@@ -1,0 +1,145 @@
+// Copyright (c) 2026 The planar Authors. Licensed under the MIT license.
+//
+// Figure 6 of the paper: index and query-processing times on the three
+// real-world datasets.
+//   6(a) Consumption + the Example-1 SQL function, query time vs #index.
+//   6(b) CMoment,  Eq.-18 queries, query time vs RQ for several #index.
+//   6(c) CTexture, same.
+//   6(d) index-construction time on all three datasets vs #index.
+//
+// The datasets are simulated stand-ins with matched cardinality /
+// dimensionality / ranges (see DESIGN.md, "Substitutions").
+//
+// Flags: --consumption_n, --image_n, --runs, --full.
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "bench/bench_util.h"
+#include "common/flags.h"
+#include "common/table_printer.h"
+#include "common/timer.h"
+#include "core/function.h"
+#include "core/index_set.h"
+#include "core/scan.h"
+#include "datagen/realworld_sim.h"
+#include "datagen/workload.h"
+
+namespace planar {
+namespace {
+
+using bench::MeanMillis;
+using bench::PrintHeader;
+
+struct BuiltSet {
+  PlanarIndexSet set;
+  double build_seconds;
+};
+
+BuiltSet Build(PhiMatrix phi, const std::vector<ParameterDomain>& domains,
+               size_t budget) {
+  IndexSetOptions options;
+  options.budget = budget;
+  WallTimer timer;
+  auto set = PlanarIndexSet::Build(std::move(phi), domains, options);
+  PLANAR_CHECK(set.ok());
+  return BuiltSet{std::move(set).value(), timer.ElapsedSeconds()};
+}
+
+PhiMatrix Copy(const PhiMatrix& phi) {
+  PhiMatrix out(phi.dim());
+  out.Reserve(phi.size());
+  for (size_t i = 0; i < phi.size(); ++i) out.AppendRow(phi.row(i));
+  return out;
+}
+
+void RunConsumption(size_t n, int runs, TablePrinter* index_time_table) {
+  PrintHeader("Figure 6(a)",
+              "Consumption (simulated, " + std::to_string(n) +
+                  " tuples): Example-1 SQL function "
+                  "Critical_Consume(threshold), threshold ~ U(0.1, 1.0)");
+  const Dataset data = SimulateConsumption(n);
+  const PhiMatrix phi = MaterializePhi(data, PowerFactorFunction());
+  PowerFactorWorkload workload(0.1, 1.0, /*seed=*/3);
+
+  TablePrinter table({"#index", "query time (ms)", "pruning %"});
+  for (size_t budget : {10u, 50u, 100u, 200u}) {
+    BuiltSet built = Build(Copy(phi), workload.Domains(), budget);
+    PowerFactorWorkload queries(0.1, 1.0, /*seed=*/17);
+    RunningStats pruning;
+    const double ms = MeanMillis(
+        [&] {
+          const InequalityResult r = built.set.Inequality(queries.Next());
+          pruning.Add(100.0 * r.stats.PruningFraction());
+        },
+        runs);
+    table.AddRow({std::to_string(budget), FormatDouble(ms, 3),
+                  FormatDouble(pruning.mean(), 1)});
+    index_time_table->AddRow({"Consumption", std::to_string(budget),
+                              FormatDouble(built.build_seconds, 2)});
+  }
+  PowerFactorWorkload queries(0.1, 1.0, /*seed=*/17);
+  const double baseline_ms =
+      MeanMillis([&] { (void)ScanInequality(phi, queries.Next()); }, runs);
+  table.AddRow({"baseline", FormatDouble(baseline_ms, 3), "0.0"});
+  table.Print();
+}
+
+void RunImage(const std::string& name, const Dataset& data, int runs,
+              TablePrinter* index_time_table) {
+  PrintHeader(name == "CMoment" ? "Figure 6(b)" : "Figure 6(c)",
+              name + " (simulated, " + std::to_string(data.size()) + " x " +
+                  std::to_string(data.dim()) +
+                  "): Eq.-18 queries, query time (ms) vs RQ");
+  const PhiMatrix phi = MaterializePhi(data, IdentityFunction(data.dim()));
+
+  TablePrinter table({"RQ", "#ind=1", "#ind=10", "#ind=50", "#ind=100",
+                      "baseline"});
+  const std::vector<size_t> budgets{1, 10, 50, 100};
+  for (int rq : {2, 4, 8, 12}) {
+    Eq18Workload workload(phi, rq, 0.25, /*seed=*/5);
+    std::vector<std::string> row{"RQ=" + std::to_string(rq)};
+    for (size_t budget : budgets) {
+      BuiltSet built = Build(Copy(phi), workload.Domains(), budget);
+      Eq18Workload queries(phi, rq, 0.25, /*seed=*/23);
+      const double ms = MeanMillis(
+          [&] { (void)built.set.Inequality(queries.Next()); }, runs);
+      row.push_back(FormatDouble(ms, 3));
+      if (rq == 4) {
+        index_time_table->AddRow({name, std::to_string(budget),
+                                  FormatDouble(built.build_seconds, 2)});
+      }
+    }
+    Eq18Workload queries(phi, rq, 0.25, /*seed=*/23);
+    row.push_back(FormatDouble(
+        MeanMillis([&] { (void)ScanInequality(phi, queries.Next()); }, runs),
+        3));
+    table.AddRow(std::move(row));
+  }
+  table.Print();
+}
+
+}  // namespace
+}  // namespace planar
+
+int main(int argc, char** argv) {
+  using namespace planar;  // NOLINT
+  FlagParser flags(argc, argv);
+  const bool full = flags.GetBool("full", false);
+  const size_t consumption_n = static_cast<size_t>(flags.GetInt(
+      "consumption_n", full ? 2075259 : 500000));
+  const size_t image_n =
+      static_cast<size_t>(flags.GetInt("image_n", 68040));
+  const int runs = bench::Runs(flags, 30);
+
+  TablePrinter index_time_table({"dataset", "#index", "build time (s)"});
+  RunConsumption(consumption_n, runs, &index_time_table);
+  RunImage("CMoment", SimulateCMoment(image_n), runs, &index_time_table);
+  RunImage("CTexture", SimulateCTexture(image_n), runs, &index_time_table);
+
+  bench::PrintHeader("Figure 6(d)",
+                     "index-construction time on the real-world datasets");
+  index_time_table.Print();
+  return 0;
+}

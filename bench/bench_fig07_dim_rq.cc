@@ -1,0 +1,56 @@
+// Copyright (c) 2026 The planar Authors. Licensed under the MIT license.
+//
+// Figure 7 of the paper: query-processing time on the synthetic datasets
+// (indp / corr / anti) with 100 Planar indices, dimensionality 2..14 and
+// randomness of query (RQ) 2..12; the sequential scan as the baseline.
+//
+// Flags: --n (points, default 200k; --full = 1M), --runs, --budget.
+
+#include <cstdio>
+#include <string>
+
+#include "bench/bench_util.h"
+#include "bench/synthetic_harness.h"
+#include "common/flags.h"
+#include "common/table_printer.h"
+#include "core/scan.h"
+
+int main(int argc, char** argv) {
+  using namespace planar;         // NOLINT
+  using namespace planar::bench;  // NOLINT
+  FlagParser flags(argc, argv);
+  const size_t n = ScaledN(flags, 200000, 1000000);
+  const int runs = Runs(flags);
+  const size_t budget = static_cast<size_t>(flags.GetInt("budget", 100));
+
+  PrintHeader("Figure 7",
+              "query time (ms) vs randomness of query; n = " +
+                  std::to_string(n) + ", #index = " + std::to_string(budget));
+
+  for (size_t dim : {2u, 6u, 10u, 14u}) {
+    std::printf("\n-- dimension = %zu --\n", dim);
+    TablePrinter table({"RQ", "indp", "corr", "anti", "baseline"});
+    for (int rq : {2, 4, 8, 12}) {
+      std::vector<std::string> row{"RQ=" + std::to_string(rq)};
+      double baseline_ms = 0.0;
+      for (auto dist : AllDistributions()) {
+        const Dataset data = MakeSynthetic(dist, n, dim);
+        PlanarIndexSet set = BuildEq18Set(data, rq, budget);
+        Eq18Workload queries(set.phi(), rq, 0.25, /*seed=*/29);
+        row.push_back(FormatDouble(
+            MeanMillis([&] { (void)set.Inequality(queries.Next()); }, runs),
+            3));
+        if (dist == SyntheticDistribution::kIndependent) {
+          Eq18Workload base_queries(set.phi(), rq, 0.25, /*seed=*/29);
+          baseline_ms = MeanMillis(
+              [&] { (void)ScanInequality(set.phi(), base_queries.Next()); },
+              runs);
+        }
+      }
+      row.push_back(FormatDouble(baseline_ms, 3));
+      table.AddRow(std::move(row));
+    }
+    table.Print();
+  }
+  return 0;
+}

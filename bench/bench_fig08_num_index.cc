@@ -1,0 +1,66 @@
+// Copyright (c) 2026 The planar Authors. Licensed under the MIT license.
+//
+// Figure 8 of the paper: query-processing time on the synthetic datasets
+// vs the number of Planar indices (1..100), RQ = 4, dimensionality 2..14.
+// Also serves as the selection-heuristic ablation (DESIGN.md §5):
+// --selector=angle switches from volume/stretch to angle minimization.
+//
+// Flags: --n (default 200k; --full = 1M), --runs, --selector.
+
+#include <cstdio>
+#include <string>
+
+#include "bench/bench_util.h"
+#include "bench/synthetic_harness.h"
+#include "common/flags.h"
+#include "common/table_printer.h"
+#include "core/scan.h"
+
+int main(int argc, char** argv) {
+  using namespace planar;         // NOLINT
+  using namespace planar::bench;  // NOLINT
+  FlagParser flags(argc, argv);
+  const size_t n = ScaledN(flags, 200000, 1000000);
+  const int runs = Runs(flags);
+  const int rq = static_cast<int>(flags.GetInt("rq", 4));
+  IndexSetOptions options;
+  const std::string selector = flags.GetString("selector", "interval-count");
+  if (selector == "angle") {
+    options.selector = IndexSetOptions::Selector::kAngle;
+  } else if (selector == "stretch") {
+    options.selector = IndexSetOptions::Selector::kStretch;
+  }
+
+  PrintHeader("Figure 8",
+              "query time (ms) vs #index; n = " + std::to_string(n) +
+                  ", RQ = " + std::to_string(rq) + ", selector = " +
+                  selector);
+
+  for (size_t dim : {2u, 6u, 10u, 14u}) {
+    std::printf("\n-- dimension = %zu --\n", dim);
+    TablePrinter table({"#index", "indp", "corr", "anti", "baseline"});
+    for (size_t budget : {1u, 10u, 50u, 100u}) {
+      std::vector<std::string> row{std::to_string(budget)};
+      double baseline_ms = 0.0;
+      for (auto dist : AllDistributions()) {
+        const Dataset data = MakeSynthetic(dist, n, dim);
+        PlanarIndexSet set = BuildEq18Set(data, rq, budget, options);
+        Eq18Workload queries(set.phi(), rq, 0.25, /*seed=*/31);
+        row.push_back(FormatDouble(
+            MeanMillis([&] { (void)set.Inequality(queries.Next()); }, runs),
+            3));
+        if (dist == SyntheticDistribution::kIndependent && budget == 1) {
+          Eq18Workload base_queries(set.phi(), rq, 0.25, /*seed=*/31);
+          baseline_ms = MeanMillis(
+              [&] { (void)ScanInequality(set.phi(), base_queries.Next()); },
+              runs);
+        }
+      }
+      row.push_back(budget == 1 ? FormatDouble(baseline_ms, 3)
+                                : std::string("-"));
+      table.AddRow(std::move(row));
+    }
+    table.Print();
+  }
+  return 0;
+}

@@ -1,0 +1,51 @@
+// Copyright (c) 2026 The planar Authors. Licensed under the MIT license.
+//
+// Figure 9 of the paper: pruning percentage (points accepted or rejected
+// without evaluating the scalar product) on the synthetic datasets vs
+// randomness of query, #index = 100, dimensionality 2..14.
+//
+// Flags: --n (default 200k; --full = 1M), --runs, --budget.
+
+#include <cstdio>
+#include <string>
+
+#include "bench/bench_util.h"
+#include "bench/synthetic_harness.h"
+#include "common/flags.h"
+#include "common/stats.h"
+#include "common/table_printer.h"
+
+int main(int argc, char** argv) {
+  using namespace planar;         // NOLINT
+  using namespace planar::bench;  // NOLINT
+  FlagParser flags(argc, argv);
+  const size_t n = ScaledN(flags, 200000, 1000000);
+  const int runs = Runs(flags);
+  const size_t budget = static_cast<size_t>(flags.GetInt("budget", 100));
+
+  PrintHeader("Figure 9",
+              "pruning percentage vs randomness of query; n = " +
+                  std::to_string(n) + ", #index = " + std::to_string(budget));
+
+  for (size_t dim : {2u, 6u, 10u, 14u}) {
+    std::printf("\n-- dimension = %zu --\n", dim);
+    TablePrinter table({"RQ", "indp", "corr", "anti"});
+    for (int rq : {2, 4, 8, 12}) {
+      std::vector<std::string> row{"RQ=" + std::to_string(rq)};
+      for (auto dist : AllDistributions()) {
+        const Dataset data = MakeSynthetic(dist, n, dim);
+        PlanarIndexSet set = BuildEq18Set(data, rq, budget);
+        Eq18Workload queries(set.phi(), rq, 0.25, /*seed=*/37);
+        RunningStats pruning;
+        for (int i = 0; i < runs; ++i) {
+          pruning.Add(
+              100.0 * set.Inequality(queries.Next()).stats.PruningFraction());
+        }
+        row.push_back(FormatDouble(pruning.mean(), 1));
+      }
+      table.AddRow(std::move(row));
+    }
+    table.Print();
+  }
+  return 0;
+}

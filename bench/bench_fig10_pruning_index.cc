@@ -1,0 +1,50 @@
+// Copyright (c) 2026 The planar Authors. Licensed under the MIT license.
+//
+// Figure 10 of the paper: pruning percentage on the synthetic datasets vs
+// the number of Planar indices (1..100), RQ = 4, dimensionality 2..14.
+//
+// Flags: --n (default 200k; --full = 1M), --runs, --rq.
+
+#include <cstdio>
+#include <string>
+
+#include "bench/bench_util.h"
+#include "bench/synthetic_harness.h"
+#include "common/flags.h"
+#include "common/stats.h"
+#include "common/table_printer.h"
+
+int main(int argc, char** argv) {
+  using namespace planar;         // NOLINT
+  using namespace planar::bench;  // NOLINT
+  FlagParser flags(argc, argv);
+  const size_t n = ScaledN(flags, 200000, 1000000);
+  const int runs = Runs(flags);
+  const int rq = static_cast<int>(flags.GetInt("rq", 4));
+
+  PrintHeader("Figure 10",
+              "pruning percentage vs #index; n = " + std::to_string(n) +
+                  ", RQ = " + std::to_string(rq));
+
+  for (size_t dim : {2u, 6u, 10u, 14u}) {
+    std::printf("\n-- dimension = %zu --\n", dim);
+    TablePrinter table({"#index", "indp", "corr", "anti"});
+    for (size_t budget : {1u, 10u, 50u, 100u}) {
+      std::vector<std::string> row{std::to_string(budget)};
+      for (auto dist : AllDistributions()) {
+        const Dataset data = MakeSynthetic(dist, n, dim);
+        PlanarIndexSet set = BuildEq18Set(data, rq, budget);
+        Eq18Workload queries(set.phi(), rq, 0.25, /*seed=*/41);
+        RunningStats pruning;
+        for (int i = 0; i < runs; ++i) {
+          pruning.Add(
+              100.0 * set.Inequality(queries.Next()).stats.PruningFraction());
+        }
+        row.push_back(FormatDouble(pruning.mean(), 1));
+      }
+      table.AddRow(std::move(row));
+    }
+    table.Print();
+  }
+  return 0;
+}

@@ -1,0 +1,68 @@
+// Copyright (c) 2026 The planar Authors. Licensed under the MIT license.
+//
+// Figure 11 of the paper: query selectivity and query-processing time as
+// the inequality parameter of Eq. 18 sweeps 0.10 .. 1.00; synthetic
+// datasets, #index = 100, RQ = 4, dimensions 6 and 10.
+//
+// Flags: --n (default 200k; --full = 1M), --runs.
+
+#include <cstdio>
+#include <string>
+
+#include "bench/bench_util.h"
+#include "bench/synthetic_harness.h"
+#include "common/flags.h"
+#include "common/stats.h"
+#include "common/table_printer.h"
+#include "core/scan.h"
+
+int main(int argc, char** argv) {
+  using namespace planar;         // NOLINT
+  using namespace planar::bench;  // NOLINT
+  FlagParser flags(argc, argv);
+  const size_t n = ScaledN(flags, 200000, 1000000);
+  const int runs = Runs(flags);
+  const int rq = 4;
+  const size_t budget = 100;
+
+  PrintHeader("Figure 11",
+              "selectivity (%) and query time (ms) vs inequality parameter; "
+              "n = " + std::to_string(n) + ", RQ = 4, #index = 100");
+
+  for (size_t dim : {6u, 10u}) {
+    std::printf("\n-- dimension = %zu --\n", dim);
+    TablePrinter table({"ineq", "sel% indp", "sel% corr", "sel% anti",
+                        "ms indp", "ms corr", "ms anti", "ms baseline"});
+    for (double ineq : {0.10, 0.25, 0.50, 0.75, 1.00}) {
+      std::vector<std::string> selectivity;
+      std::vector<std::string> times;
+      double baseline_ms = 0.0;
+      for (auto dist : AllDistributions()) {
+        const Dataset data = MakeSynthetic(dist, n, dim);
+        PlanarIndexSet set = BuildEq18Set(data, rq, budget);
+        Eq18Workload queries(set.phi(), rq, ineq, /*seed=*/43);
+        RunningStats sel;
+        const double ms = MeanMillis(
+            [&] {
+              const InequalityResult r = set.Inequality(queries.Next());
+              sel.Add(100.0 * static_cast<double>(r.ids.size()) /
+                      static_cast<double>(n));
+            },
+            runs);
+        selectivity.push_back(FormatDouble(sel.mean(), 1));
+        times.push_back(FormatDouble(ms, 3));
+        if (dist == SyntheticDistribution::kIndependent) {
+          Eq18Workload base_queries(set.phi(), rq, ineq, /*seed=*/43);
+          baseline_ms = MeanMillis(
+              [&] { (void)ScanInequality(set.phi(), base_queries.Next()); },
+              runs);
+        }
+      }
+      table.AddRow({FormatDouble(ineq, 2), selectivity[0], selectivity[1],
+                    selectivity[2], times[0], times[1], times[2],
+                    FormatDouble(baseline_ms, 3)});
+    }
+    table.Print();
+  }
+  return 0;
+}

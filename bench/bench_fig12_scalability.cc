@@ -1,0 +1,85 @@
+// Copyright (c) 2026 The planar Authors. Licensed under the MIT license.
+//
+// Figure 12 of the paper: scalability with the number of data points
+// (0.1M .. 1M): 12(a) index-construction time (identical across the
+// synthetic distributions) and 12(b-d) query time per distribution,
+// #index 1..100, RQ = 4, dimensionality 6.
+//
+// Flags: --runs, --max_n (default 1M).
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "bench/bench_util.h"
+#include "bench/synthetic_harness.h"
+#include "common/flags.h"
+#include "common/table_printer.h"
+#include "common/timer.h"
+#include "core/scan.h"
+
+int main(int argc, char** argv) {
+  using namespace planar;         // NOLINT
+  using namespace planar::bench;  // NOLINT
+  FlagParser flags(argc, argv);
+  const int runs = Runs(flags);
+  const size_t max_n =
+      static_cast<size_t>(flags.GetInt("max_n", 1000000));
+  const int rq = 4;
+  const size_t dim = 6;
+  std::vector<size_t> sizes;
+  for (double frac : {0.1, 0.3, 0.5, 0.7, 1.0}) {
+    sizes.push_back(static_cast<size_t>(frac * static_cast<double>(max_n)));
+  }
+
+  PrintHeader("Figure 12(a)",
+              "index-construction time (s) vs #points; dim = 6, RQ = 4");
+  {
+    TablePrinter table({"#points", "#index=1", "#index=10", "#index=50",
+                        "#index=100"});
+    for (size_t n : sizes) {
+      const Dataset data =
+          MakeSynthetic(SyntheticDistribution::kIndependent, n, dim);
+      std::vector<std::string> row{std::to_string(n)};
+      for (size_t budget : {1u, 10u, 50u, 100u}) {
+        WallTimer timer;
+        PlanarIndexSet set = BuildEq18Set(data, rq, budget);
+        row.push_back(FormatDouble(timer.ElapsedSeconds(), 2));
+      }
+      table.AddRow(std::move(row));
+    }
+    table.Print();
+  }
+
+  const char* figure[] = {"Figure 12(b)", "Figure 12(c)", "Figure 12(d)"};
+  int fig_idx = 0;
+  for (auto dist : AllDistributions()) {
+    PrintHeader(figure[fig_idx++],
+                "query time (ms) vs #points; " + DistributionName(dist) +
+                    ", dim = 6, RQ = 4");
+    TablePrinter table({"#points", "#index=1", "#index=10", "#index=50",
+                        "#index=100", "baseline"});
+    for (size_t n : sizes) {
+      const Dataset data = MakeSynthetic(dist, n, dim);
+      std::vector<std::string> row{std::to_string(n)};
+      double baseline_ms = 0.0;
+      for (size_t budget : {1u, 10u, 50u, 100u}) {
+        PlanarIndexSet set = BuildEq18Set(data, rq, budget);
+        Eq18Workload queries(set.phi(), rq, 0.25, /*seed=*/47);
+        row.push_back(FormatDouble(
+            MeanMillis([&] { (void)set.Inequality(queries.Next()); }, runs),
+            3));
+        if (budget == 1) {
+          Eq18Workload base_queries(set.phi(), rq, 0.25, /*seed=*/47);
+          baseline_ms = MeanMillis(
+              [&] { (void)ScanInequality(set.phi(), base_queries.Next()); },
+              runs);
+        }
+      }
+      row.push_back(FormatDouble(baseline_ms, 3));
+      table.AddRow(std::move(row));
+    }
+    table.Print();
+  }
+  return 0;
+}

@@ -1,0 +1,71 @@
+// Copyright (c) 2026 The planar Authors. Licensed under the MIT license.
+//
+// Supplementary to Table 1 of the paper: the asymptotic half-space
+// structures [1, 19, 2] were never implemented, so this bench compares
+// what one *can* implement — a kd-tree with half-space reporting —
+// against the Planar index and the scan on the phi = identity case, as
+// dimensionality grows. Expected shape: the spatial structure wins in
+// very low dimensionality, degrades with the curse of dimensionality;
+// the Planar index degrades much more gently and needs no geometry
+// beyond a sort.
+//
+// Flags: --n (default 200k; --full = 1M), --runs.
+
+#include <cstdio>
+#include <string>
+
+#include "bench/bench_util.h"
+#include "bench/synthetic_harness.h"
+#include "common/flags.h"
+#include "common/table_printer.h"
+#include "common/timer.h"
+#include "core/scan.h"
+#include "spatial/kdtree.h"
+
+int main(int argc, char** argv) {
+  using namespace planar;         // NOLINT
+  using namespace planar::bench;  // NOLINT
+  FlagParser flags(argc, argv);
+  const size_t n = ScaledN(flags, 200000, 1000000);
+  const int runs = Runs(flags);
+  const int rq = 4;
+
+  PrintHeader("Half-space comparators (supplement to Table 1)",
+              "Eq.-18 queries on Indp, n = " + std::to_string(n) +
+                  ", RQ = 4; planar = 100 indices");
+
+  TablePrinter table({"dim", "scan (ms)", "kd-tree (ms)", "planar (ms)",
+                      "kd-tree build (s)", "planar build (s)"});
+  for (size_t dim : {2u, 4u, 6u, 10u, 14u}) {
+    const Dataset data =
+        MakeSynthetic(SyntheticDistribution::kIndependent, n, dim);
+    WallTimer planar_build;
+    PlanarIndexSet set = BuildEq18Set(data, rq, 100);
+    const double planar_build_s = planar_build.ElapsedSeconds();
+    WallTimer kd_build;
+    KdTree tree(&set.phi());
+    const double kd_build_s = kd_build.ElapsedSeconds();
+
+    Eq18Workload q1(set.phi(), rq, 0.25, 71);
+    const double scan_ms = MeanMillis(
+        [&] { (void)ScanInequality(set.phi(), q1.Next()); }, runs);
+    Eq18Workload q2(set.phi(), rq, 0.25, 71);
+    std::vector<uint32_t> hits;
+    const double kd_ms = MeanMillis(
+        [&] {
+          hits.clear();
+          tree.HalfSpaceQuery(q2.Next(), &hits);
+        },
+        runs);
+    Eq18Workload q3(set.phi(), rq, 0.25, 71);
+    const double planar_ms = MeanMillis(
+        [&] { (void)set.Inequality(q3.Next()); }, runs);
+
+    table.AddRow({std::to_string(dim), FormatDouble(scan_ms, 3),
+                  FormatDouble(kd_ms, 3), FormatDouble(planar_ms, 3),
+                  FormatDouble(kd_build_s, 2),
+                  FormatDouble(planar_build_s, 2)});
+  }
+  table.Print();
+  return 0;
+}

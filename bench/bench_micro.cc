@@ -1,0 +1,169 @@
+// Copyright (c) 2026 The planar Authors. Licensed under the MIT license.
+//
+// google-benchmark microbenchmarks of the core kernels: index build,
+// interval computation, inequality / top-k queries, best-index selection,
+// the sequential-scan baseline, and B+-tree operations.
+
+#include <benchmark/benchmark.h>
+
+#include "bench/synthetic_harness.h"
+#include "btree/btree.h"
+#include "common/random.h"
+#include "core/planar_index.h"
+#include "core/scan.h"
+
+namespace planar {
+namespace {
+
+PhiMatrix MakePhi(size_t n, size_t dim) {
+  const Dataset data = bench::MakeSynthetic(
+      SyntheticDistribution::kIndependent, n, dim);
+  return MaterializePhi(data, IdentityFunction(dim));
+}
+
+void BM_IndexBuild(benchmark::State& state) {
+  const size_t n = static_cast<size_t>(state.range(0));
+  const PhiMatrix phi = MakePhi(n, 6);
+  const std::vector<double> normal(6, 1.0);
+  for (auto _ : state) {
+    auto index = PlanarIndex::BuildFirstOctant(&phi, normal);
+    benchmark::DoNotOptimize(index);
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) *
+                          static_cast<int64_t>(n));
+}
+BENCHMARK(BM_IndexBuild)->Arg(10000)->Arg(100000)->Arg(1000000);
+
+void BM_InequalityParallel(benchmark::State& state) {
+  const size_t n = static_cast<size_t>(state.range(0));
+  const PhiMatrix phi = MakePhi(n, 6);
+  auto index =
+      PlanarIndex::BuildFirstOctant(&phi, {1.0, 2.0, 3.0, 1.0, 2.0, 3.0});
+  const ScalarProductQuery q{{1.0, 2.0, 3.0, 1.0, 2.0, 3.0}, 100.0 * 3.0,
+                             Comparison::kLessEqual};
+  for (auto _ : state) {
+    auto result = index->Inequality(q);
+    benchmark::DoNotOptimize(result);
+  }
+}
+BENCHMARK(BM_InequalityParallel)->Arg(100000)->Arg(1000000);
+
+void BM_InequalitySkewed(benchmark::State& state) {
+  const size_t n = static_cast<size_t>(state.range(0));
+  const PhiMatrix phi = MakePhi(n, 6);
+  auto index = PlanarIndex::BuildFirstOctant(&phi,
+                                             std::vector<double>(6, 1.0));
+  const ScalarProductQuery q{{3.0, 1.0, 2.0, 1.0, 1.0, 2.0}, 100.0 * 2.5,
+                             Comparison::kLessEqual};
+  for (auto _ : state) {
+    auto result = index->Inequality(q);
+    benchmark::DoNotOptimize(result);
+  }
+}
+BENCHMARK(BM_InequalitySkewed)->Arg(100000)->Arg(1000000);
+
+void BM_SequentialScan(benchmark::State& state) {
+  const size_t n = static_cast<size_t>(state.range(0));
+  const PhiMatrix phi = MakePhi(n, 6);
+  const ScalarProductQuery q{{3.0, 1.0, 2.0, 1.0, 1.0, 2.0}, 100.0 * 2.5,
+                             Comparison::kLessEqual};
+  for (auto _ : state) {
+    auto result = ScanInequality(phi, q);
+    benchmark::DoNotOptimize(result);
+  }
+}
+BENCHMARK(BM_SequentialScan)->Arg(100000)->Arg(1000000);
+
+void BM_TopK(benchmark::State& state) {
+  const PhiMatrix phi = MakePhi(200000, 6);
+  auto index = PlanarIndex::BuildFirstOctant(&phi,
+                                             std::vector<double>(6, 1.0));
+  const ScalarProductQuery q{{1.0, 1.0, 1.0, 1.0, 1.0, 1.0}, 150.0,
+                             Comparison::kLessEqual};
+  const size_t k = static_cast<size_t>(state.range(0));
+  for (auto _ : state) {
+    auto result = index->TopK(q, k);
+    benchmark::DoNotOptimize(result);
+  }
+}
+BENCHMARK(BM_TopK)->Arg(10)->Arg(100)->Arg(10000);
+
+void BM_SelectBestIndex(benchmark::State& state) {
+  const Dataset data = bench::MakeSynthetic(
+      SyntheticDistribution::kIndependent, 10000, 6);
+  PlanarIndexSet set = bench::BuildEq18Set(
+      data, /*rq=*/8, static_cast<size_t>(state.range(0)));
+  Eq18Workload workload(set.phi(), 8, 0.25, 61);
+  const NormalizedQuery q = NormalizedQuery::From(workload.Next());
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(set.SelectBestIndex(q));
+  }
+}
+BENCHMARK(BM_SelectBestIndex)->Arg(10)->Arg(100)->Arg(200);
+
+void BM_BTreeInsert(benchmark::State& state) {
+  Rng rng(5);
+  for (auto _ : state) {
+    state.PauseTiming();
+    OrderStatisticBTree tree;
+    state.ResumeTiming();
+    for (int i = 0; i < state.range(0); ++i) {
+      tree.Insert(rng.NextDouble(), static_cast<uint32_t>(i));
+    }
+    benchmark::DoNotOptimize(tree.size());
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) *
+                          state.range(0));
+}
+BENCHMARK(BM_BTreeInsert)->Arg(10000)->Arg(100000);
+
+void BM_BTreeRankQuery(benchmark::State& state) {
+  Rng rng(6);
+  OrderStatisticBTree tree;
+  for (int i = 0; i < 1000000; ++i) {
+    tree.Insert(rng.NextDouble(), static_cast<uint32_t>(i));
+  }
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(tree.CountLessEqual(rng.NextDouble()));
+  }
+}
+BENCHMARK(BM_BTreeRankQuery);
+
+void BM_PointUpdateArray(benchmark::State& state) {
+  PhiMatrix phi = MakePhi(static_cast<size_t>(state.range(0)), 6);
+  auto index = PlanarIndex::BuildFirstOctant(&phi,
+                                             std::vector<double>(6, 1.0));
+  Rng rng(7);
+  std::vector<double> row(6);
+  for (auto _ : state) {
+    const uint32_t target =
+        static_cast<uint32_t>(rng.UniformInt(phi.size()));
+    for (double& v : row) v = rng.Uniform(1.0, 100.0);
+    phi.SetRow(target, row.data());
+    benchmark::DoNotOptimize(index->Update(target));
+  }
+}
+BENCHMARK(BM_PointUpdateArray)->Arg(100000)->Arg(1000000);
+
+void BM_PointUpdateBTree(benchmark::State& state) {
+  PhiMatrix phi = MakePhi(static_cast<size_t>(state.range(0)), 6);
+  PlanarIndexOptions options;
+  options.backend = PlanarIndexOptions::Backend::kBTree;
+  auto index = PlanarIndex::BuildFirstOctant(
+      &phi, std::vector<double>(6, 1.0), options);
+  Rng rng(8);
+  std::vector<double> row(6);
+  for (auto _ : state) {
+    const uint32_t target =
+        static_cast<uint32_t>(rng.UniformInt(phi.size()));
+    for (double& v : row) v = rng.Uniform(1.0, 100.0);
+    phi.SetRow(target, row.data());
+    benchmark::DoNotOptimize(index->Update(target));
+  }
+}
+BENCHMARK(BM_PointUpdateBTree)->Arg(100000)->Arg(1000000);
+
+}  // namespace
+}  // namespace planar
+
+BENCHMARK_MAIN();

@@ -1,0 +1,58 @@
+// Copyright (c) 2026 The planar Authors. Licensed under the MIT license.
+//
+// Table 3 of the paper: top-k nearest-neighbor-finding time on the Indp
+// dataset (dim 6, RQ 4, #index 100) for k in {50, 1000, 10000}: the
+// percentage of points whose scalar product is evaluated
+// ("checked/total") and the query time, against the sequential scan.
+//
+// Flags: --n (default 300k; --full = 1M), --runs.
+
+#include <cstdio>
+#include <string>
+
+#include "bench/bench_util.h"
+#include "bench/synthetic_harness.h"
+#include "common/flags.h"
+#include "common/stats.h"
+#include "common/table_printer.h"
+#include "core/scan.h"
+
+int main(int argc, char** argv) {
+  using namespace planar;         // NOLINT
+  using namespace planar::bench;  // NOLINT
+  FlagParser flags(argc, argv);
+  const size_t n = ScaledN(flags, 300000, 1000000);
+  const int runs = Runs(flags);
+  const int rq = 4;
+
+  PrintHeader("Table 3",
+              "top-k nearest-neighbor time, Indp, dim = 6, RQ = 4, "
+              "#index = 100, n = " + std::to_string(n));
+
+  const Dataset data =
+      MakeSynthetic(SyntheticDistribution::kIndependent, n, 6);
+  PlanarIndexSet set = BuildEq18Set(data, rq, 100);
+
+  TablePrinter table({"top-k", "checked/total %", "planar (ms)",
+                      "baseline (ms)"});
+  for (size_t k : {50u, 1000u, 10000u}) {
+    Eq18Workload queries(set.phi(), rq, 0.25, /*seed=*/53);
+    RunningStats checked;
+    const double planar_ms = MeanMillis(
+        [&] {
+          auto r = set.TopK(queries.Next(), k);
+          PLANAR_CHECK(r.ok());
+          checked.Add(100.0 * static_cast<double>(r->stats.checked()) /
+                      static_cast<double>(n));
+        },
+        runs);
+    Eq18Workload base_queries(set.phi(), rq, 0.25, /*seed=*/53);
+    const double base_ms = MeanMillis(
+        [&] { PLANAR_CHECK(ScanTopK(set.phi(), base_queries.Next(), k).ok()); },
+        runs);
+    table.AddRow({std::to_string(k), FormatDouble(checked.mean(), 2),
+                  FormatDouble(planar_ms, 2), FormatDouble(base_ms, 2)});
+  }
+  table.Print();
+  return 0;
+}

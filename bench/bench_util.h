@@ -1,0 +1,54 @@
+// Copyright (c) 2026 The planar Authors. Licensed under the MIT license.
+//
+// Shared plumbing for the figure/table reproduction benches. Every bench
+// accepts --n / --runs / --full to trade fidelity against wall-clock time
+// on small machines; --full selects the paper's original workload sizes.
+
+#ifndef PLANAR_BENCH_BENCH_UTIL_H_
+#define PLANAR_BENCH_BENCH_UTIL_H_
+
+#include <cstdio>
+#include <functional>
+#include <string>
+
+#include "common/flags.h"
+#include "common/stats.h"
+#include "common/timer.h"
+
+namespace planar {
+namespace bench {
+
+/// Prints the standard bench banner.
+inline void PrintHeader(const std::string& experiment,
+                        const std::string& what) {
+  std::printf("\n=== %s ===\n%s\n", experiment.c_str(), what.c_str());
+}
+
+/// Mean wall-clock milliseconds of `fn` over `runs` invocations.
+template <typename Fn>
+double MeanMillis(Fn&& fn, int runs) {
+  RunningStats stats;
+  for (int i = 0; i < runs; ++i) {
+    WallTimer timer;
+    fn();
+    stats.Add(timer.ElapsedMillis());
+  }
+  return stats.mean();
+}
+
+/// Scaled problem size: the paper's value under --full, otherwise the
+/// bench's default (or --n when given).
+inline size_t ScaledN(const FlagParser& flags, size_t dflt, size_t paper) {
+  if (flags.GetBool("full", false)) return paper;
+  return static_cast<size_t>(flags.GetInt("n", static_cast<int64_t>(dflt)));
+}
+
+/// Number of measured queries per configuration.
+inline int Runs(const FlagParser& flags, int dflt = 20) {
+  return static_cast<int>(flags.GetInt("runs", dflt));
+}
+
+}  // namespace bench
+}  // namespace planar
+
+#endif  // PLANAR_BENCH_BENCH_UTIL_H_

@@ -1,0 +1,58 @@
+// Copyright (c) 2026 The planar Authors. Licensed under the MIT license.
+//
+// Shared harness for the synthetic-dataset experiments (Figures 7-12 and
+// Table 3): builds indexed Eq.-18 workloads over the Independent /
+// Correlated / Anti-correlated generators.
+
+#ifndef PLANAR_BENCH_SYNTHETIC_HARNESS_H_
+#define PLANAR_BENCH_SYNTHETIC_HARNESS_H_
+
+#include <string>
+#include <vector>
+
+#include "common/macros.h"
+#include "core/function.h"
+#include "core/index_set.h"
+#include "core/row_matrix.h"
+#include "datagen/synthetic.h"
+#include "datagen/workload.h"
+
+namespace planar {
+namespace bench {
+
+inline const std::vector<SyntheticDistribution>& AllDistributions() {
+  static const std::vector<SyntheticDistribution> kAll = {
+      SyntheticDistribution::kIndependent, SyntheticDistribution::kCorrelated,
+      SyntheticDistribution::kAnticorrelated};
+  return kAll;
+}
+
+/// Generates a synthetic dataset in the paper's (1, 100) attribute range.
+inline Dataset MakeSynthetic(SyntheticDistribution dist, size_t n,
+                             size_t dim) {
+  SyntheticSpec spec;
+  spec.distribution = dist;
+  spec.num_points = n;
+  spec.dim = dim;
+  spec.seed = 1000 + static_cast<uint64_t>(dist) * 7 + dim;
+  return GenerateSynthetic(spec);
+}
+
+/// Builds a PlanarIndexSet over phi(x) = x for Eq.-18 queries with the
+/// given randomness of query.
+inline PlanarIndexSet BuildEq18Set(const Dataset& data, int rq,
+                                   size_t budget,
+                                   IndexSetOptions options = IndexSetOptions()) {
+  PhiMatrix phi = MaterializePhi(data, IdentityFunction(data.dim()));
+  Eq18Workload workload(phi, rq, 0.25, /*seed=*/5);
+  options.budget = budget;
+  auto set = PlanarIndexSet::Build(std::move(phi), workload.Domains(),
+                                   options);
+  PLANAR_CHECK(set.ok());
+  return std::move(set).value();
+}
+
+}  // namespace bench
+}  // namespace planar
+
+#endif  // PLANAR_BENCH_SYNTHETIC_HARNESS_H_

@@ -1,0 +1,101 @@
+// Copyright (c) 2026 The planar Authors. Licensed under the MIT license.
+//
+// Query-driven index adaptation — the paper's future-work direction
+// ("dynamically update the indices based on past queries", Section 8).
+// A workload whose parameter distribution shifts over time defeats any
+// fixed budget of sampled indices; AdaptiveIndexSet re-learns its
+// normals from the recent query log and recovers the pruning power.
+//
+// Build & run:   ./build/examples/adaptive_workload [--n=200000]
+
+#include <cstdio>
+
+#include "common/flags.h"
+#include "common/random.h"
+#include "common/stats.h"
+#include "common/timer.h"
+#include "core/adaptive.h"
+
+using namespace planar;  // NOLINT: example brevity
+
+namespace {
+
+// Queries drawn from a narrow cone around `center` (a "hot" workload).
+ScalarProductQuery HotQuery(const std::vector<double>& center, Rng& rng) {
+  ScalarProductQuery q;
+  q.a.resize(center.size());
+  double scale = 0.0;
+  for (size_t i = 0; i < center.size(); ++i) {
+    q.a[i] = center[i] * rng.Uniform(0.95, 1.05);
+    scale += q.a[i] * 100.0;
+  }
+  q.b = 0.3 * scale;
+  q.cmp = Comparison::kLessEqual;
+  return q;
+}
+
+struct Phase {
+  const char* name;
+  std::vector<double> center;
+};
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  FlagParser flags(argc, argv);
+  const size_t n = static_cast<size_t>(flags.GetInt("n", 200000));
+
+  Rng rng(11);
+  PhiMatrix pool(4);
+  for (size_t i = 0; i < n; ++i) {
+    pool.AppendRow({rng.Uniform(1, 100), rng.Uniform(1, 100),
+                    rng.Uniform(1, 100), rng.Uniform(1, 100)});
+  }
+  IndexSetOptions set_options;
+  set_options.budget = 12;
+  auto set = PlanarIndexSet::Build(
+      std::move(pool), std::vector<ParameterDomain>(4, {0.5, 20.0}),
+      set_options);
+  if (!set.ok()) {
+    std::fprintf(stderr, "build failed: %s\n",
+                 set.status().ToString().c_str());
+    return 1;
+  }
+  AdaptiveOptions adaptive_options;
+  adaptive_options.history = 128;
+  AdaptiveIndexSet adaptive(std::move(set).value(), adaptive_options);
+
+  // The workload shifts through three "hot" parameter regions the
+  // sampled indices are unlikely to cover well.
+  const Phase phases[] = {
+      {"phase A (hot normal ~ (18, 1, 1, 1))", {18.0, 1.0, 1.0, 1.0}},
+      {"phase B (hot normal ~ (1, 17, 2, 9))", {1.0, 17.0, 2.0, 9.0}},
+      {"phase C (hot normal ~ (6, 1, 19, 1))", {6.0, 1.0, 19.0, 1.0}},
+  };
+  std::printf("%-40s %-16s %-16s %-10s\n", "workload", "before adapt",
+              "after adapt", "replaced");
+  for (const Phase& phase : phases) {
+    Rng qrng(rng.NextUint64());
+    auto measure = [&](int queries) {
+      RunningStats ms;
+      for (int i = 0; i < queries; ++i) {
+        WallTimer timer;
+        (void)adaptive.Inequality(HotQuery(phase.center, qrng));
+        ms.Add(timer.ElapsedMillis());
+      }
+      return ms.mean();
+    };
+    const double before = measure(60);
+    auto replaced = adaptive.Readapt();
+    if (!replaced.ok()) {
+      std::fprintf(stderr, "readapt failed: %s\n",
+                   replaced.status().ToString().c_str());
+      return 1;
+    }
+    const double after = measure(60);
+    std::printf("%-40s %-16s %-16s %zu indices\n", phase.name,
+                FormatMillis(before).c_str(), FormatMillis(after).c_str(),
+                *replaced);
+  }
+  return 0;
+}

@@ -1,0 +1,83 @@
+// Copyright (c) 2026 The planar Authors. Licensed under the MIT license.
+//
+// Quickstart: index a function of a small dataset with a budget of Planar
+// indices and answer scalar product queries — the inequality query
+// (Problem 1) and the top-k nearest neighbor query (Problem 2).
+//
+// Build & run:   ./build/examples/quickstart
+
+#include <cstdio>
+
+#include "common/random.h"
+#include "core/function.h"
+#include "core/index_set.h"
+#include "core/scan.h"
+
+using namespace planar;  // NOLINT: example brevity
+
+int main() {
+  // 1. A dataset of 100,000 points in R^3 with attributes in (1, 100).
+  Rng rng(42);
+  Dataset points(3);
+  for (int i = 0; i < 100000; ++i) {
+    points.AppendRow(
+        {rng.Uniform(1, 100), rng.Uniform(1, 100), rng.Uniform(1, 100)});
+  }
+
+  // 2. The application-specific function phi, fixed at indexing time.
+  //    Here: the identity (half-space range searching); swap in any
+  //    PhiFunction — e.g. QuadraticFeatureFunction for distance
+  //    predicates or your own CallbackFunction.
+  IdentityFunction phi_fn(3);
+  PhiMatrix phi = MaterializePhi(points, phi_fn);
+
+  // 3. Build a budget of 20 Planar indices. The only prior knowledge the
+  //    index needs is the *domain* of each future query parameter
+  //    (Section 4.1 of the paper) — here a_i in [1, 8].
+  IndexSetOptions options;
+  options.budget = 20;
+  auto set = PlanarIndexSet::Build(
+      std::move(phi), {{1.0, 8.0}, {1.0, 8.0}, {1.0, 8.0}}, options);
+  if (!set.ok()) {
+    std::fprintf(stderr, "index build failed: %s\n",
+                 set.status().ToString().c_str());
+    return 1;
+  }
+  std::printf("built %zu Planar indices over %zu points\n",
+              set->num_indices(), set->size());
+
+  // 4. Problem 1 — inequality query, parameters known only now:
+  //    3 x0 + 5 x1 + 2 x2 <= 400.
+  ScalarProductQuery query{{3.0, 5.0, 2.0}, 400.0, Comparison::kLessEqual};
+  InequalityResult result = set->Inequality(query);
+  std::printf(
+      "inequality query: %zu matches; pruned %.1f%% of points without "
+      "evaluating the scalar product (index %d)\n",
+      result.ids.size(), 100.0 * result.stats.PruningFraction(),
+      result.stats.index_used);
+
+  // Cross-check against the sequential-scan baseline.
+  const InequalityResult reference = ScanInequality(set->phi(), query);
+  std::printf("baseline scan agrees: %s\n",
+              reference.ids.size() == result.ids.size() ? "yes" : "NO");
+
+  // 5. Problem 2 — the 5 satisfying points nearest the query hyperplane.
+  auto topk = set->TopK(query, 5);
+  if (!topk.ok()) {
+    std::fprintf(stderr, "top-k failed: %s\n",
+                 topk.status().ToString().c_str());
+    return 1;
+  }
+  std::printf("top-5 nearest satisfying points (checked %zu of %zu):\n",
+              topk->stats.checked(), set->size());
+  for (const Neighbor& n : topk->neighbors) {
+    std::printf("  point %u at distance %.4f\n", n.id, n.distance);
+  }
+
+  // 6. The index is dynamic: update a point and query again.
+  const double moved[] = {1.0, 1.0, 1.0};
+  (void)set->UpdateRow(0, moved);
+  std::printf("after moving point 0 to (1,1,1): match count %zu\n",
+              set->Inequality(query).ids.size());
+  return 0;
+}

@@ -1,0 +1,640 @@
+// Copyright (c) 2026 The planar Authors. Licensed under the MIT license.
+
+#include "btree/btree.h"
+
+#include <algorithm>
+#include <utility>
+
+#include "common/macros.h"
+
+namespace planar {
+
+// Node layout. A leaf holds up to kMaxFill entries; an internal node holds
+// up to kMaxFill children, with count-1 separators where seps[i] is the
+// minimum entry of the subtree under children[i+1]. Entries in children[j]
+// lie in the half-open composite range [seps[j-1], seps[j]). Arrays carry
+// one slot of slack so inserts can overflow a node before it is split.
+struct OrderStatisticBTree::Node {
+  bool is_leaf;
+  int count;  // Leaf: number of entries. Internal: number of children.
+};
+
+struct OrderStatisticBTree::LeafNode : Node {
+  Entry entries[kMaxFill + 1];
+  LeafNode* prev;
+  LeafNode* next;
+};
+
+struct OrderStatisticBTree::InternalNode : Node {
+  Entry seps[kMaxFill + 1];
+  Node* children[kMaxFill + 2];
+  uint64_t sizes[kMaxFill + 2];
+};
+
+namespace {
+
+using Entry = OrderStatisticBTree::Entry;
+
+// Index of the child an entry routes to: the first i with seps[i] > e.
+int ChildIndex(const Entry* seps, int num_seps, const Entry& e) {
+  return static_cast<int>(std::upper_bound(seps, seps + num_seps, e) - seps);
+}
+
+}  // namespace
+
+OrderStatisticBTree::OrderStatisticBTree() {
+  LeafNode* leaf = new LeafNode();
+  leaf->is_leaf = true;
+  leaf->count = 0;
+  leaf->prev = nullptr;
+  leaf->next = nullptr;
+  root_ = leaf;
+}
+
+OrderStatisticBTree::~OrderStatisticBTree() { DeleteSubtree(root_); }
+
+OrderStatisticBTree::OrderStatisticBTree(OrderStatisticBTree&& other) noexcept
+    : root_(other.root_), size_(other.size_) {
+  LeafNode* leaf = new LeafNode();
+  leaf->is_leaf = true;
+  leaf->count = 0;
+  leaf->prev = nullptr;
+  leaf->next = nullptr;
+  other.root_ = leaf;
+  other.size_ = 0;
+}
+
+OrderStatisticBTree& OrderStatisticBTree::operator=(
+    OrderStatisticBTree&& other) noexcept {
+  if (this != &other) {
+    std::swap(root_, other.root_);
+    std::swap(size_, other.size_);
+  }
+  return *this;
+}
+
+void OrderStatisticBTree::DeleteSubtree(Node* node) {
+  if (!node->is_leaf) {
+    InternalNode* internal = static_cast<InternalNode*>(node);
+    for (int i = 0; i < internal->count; ++i) {
+      DeleteSubtree(internal->children[i]);
+    }
+    delete internal;
+  } else {
+    delete static_cast<LeafNode*>(node);
+  }
+}
+
+size_t OrderStatisticBTree::SubtreeSize(const Node* node) {
+  if (node->is_leaf) return static_cast<size_t>(node->count);
+  const InternalNode* internal = static_cast<const InternalNode*>(node);
+  size_t total = 0;
+  for (int i = 0; i < internal->count; ++i) total += internal->sizes[i];
+  return total;
+}
+
+OrderStatisticBTree::LeafNode* OrderStatisticBTree::FindLeaf(
+    const Entry& e, std::vector<InternalNode*>* path,
+    std::vector<int>* slots) const {
+  Node* node = root_;
+  while (!node->is_leaf) {
+    InternalNode* internal = static_cast<InternalNode*>(node);
+    const int slot = ChildIndex(internal->seps, internal->count - 1, e);
+    if (path != nullptr) {
+      path->push_back(internal);
+      slots->push_back(slot);
+    }
+    node = internal->children[slot];
+  }
+  return static_cast<LeafNode*>(node);
+}
+
+void OrderStatisticBTree::Insert(double key, uint32_t value) {
+  const Entry e{key, value};
+  std::vector<InternalNode*> path;
+  std::vector<int> slots;
+  LeafNode* leaf = FindLeaf(e, &path, &slots);
+  // Optimistically account for the new entry along the descent path; if a
+  // node later splits, the affected two slots are recomputed from scratch.
+  for (size_t i = 0; i < path.size(); ++i) ++path[i]->sizes[slots[i]];
+
+  const int pos = static_cast<int>(
+      std::lower_bound(leaf->entries, leaf->entries + leaf->count, e) -
+      leaf->entries);
+  for (int i = leaf->count; i > pos; --i) leaf->entries[i] = leaf->entries[i - 1];
+  leaf->entries[pos] = e;
+  ++leaf->count;
+  ++size_;
+
+  if (leaf->count <= kMaxFill) return;
+
+  // Split the overflowing leaf.
+  const int total = leaf->count;
+  const int left_n = (total + 1) / 2;
+  const int right_n = total - left_n;
+  LeafNode* right = new LeafNode();
+  right->is_leaf = true;
+  right->count = right_n;
+  for (int i = 0; i < right_n; ++i) right->entries[i] = leaf->entries[left_n + i];
+  leaf->count = left_n;
+  right->next = leaf->next;
+  right->prev = leaf;
+  if (leaf->next != nullptr) leaf->next->prev = right;
+  leaf->next = right;
+
+  InsertIntoParent(path, slots, leaf, right->entries[0], right);
+}
+
+void OrderStatisticBTree::InsertIntoParent(std::vector<InternalNode*>& path,
+                                           std::vector<int>& slots, Node* left,
+                                           Entry sep, Node* right) {
+  while (true) {
+    if (path.empty()) {
+      InternalNode* new_root = new InternalNode();
+      new_root->is_leaf = false;
+      new_root->count = 2;
+      new_root->children[0] = left;
+      new_root->children[1] = right;
+      new_root->seps[0] = sep;
+      new_root->sizes[0] = SubtreeSize(left);
+      new_root->sizes[1] = SubtreeSize(right);
+      root_ = new_root;
+      return;
+    }
+    InternalNode* parent = path.back();
+    path.pop_back();
+    const int slot = slots.back();
+    slots.pop_back();
+
+    // Insert `sep` at seps[slot] and `right` at children[slot+1].
+    for (int i = parent->count - 1; i > slot; --i) {
+      parent->seps[i] = parent->seps[i - 1];
+    }
+    for (int i = parent->count; i > slot + 1; --i) {
+      parent->children[i] = parent->children[i - 1];
+      parent->sizes[i] = parent->sizes[i - 1];
+    }
+    parent->seps[slot] = sep;
+    parent->children[slot + 1] = right;
+    parent->sizes[slot] = SubtreeSize(left);
+    parent->sizes[slot + 1] = SubtreeSize(right);
+    ++parent->count;
+
+    if (parent->count <= kMaxFill) return;
+
+    // Split the overflowing internal node and keep propagating.
+    const int total = parent->count;  // kMaxFill + 1 children
+    const int left_n = (total + 1) / 2;
+    const int right_n = total - left_n;
+    InternalNode* rnode = new InternalNode();
+    rnode->is_leaf = false;
+    rnode->count = right_n;
+    for (int j = 0; j < right_n; ++j) {
+      rnode->children[j] = parent->children[left_n + j];
+      rnode->sizes[j] = parent->sizes[left_n + j];
+    }
+    for (int j = 0; j + 1 < right_n; ++j) {
+      rnode->seps[j] = parent->seps[left_n + j];
+    }
+    const Entry promoted = parent->seps[left_n - 1];
+    parent->count = left_n;
+
+    left = parent;
+    sep = promoted;
+    right = rnode;
+  }
+}
+
+bool OrderStatisticBTree::Erase(double key, uint32_t value) {
+  const Entry e{key, value};
+  std::vector<InternalNode*> path;
+  std::vector<int> slots;
+  LeafNode* leaf = FindLeaf(e, &path, &slots);
+  const int pos = static_cast<int>(
+      std::lower_bound(leaf->entries, leaf->entries + leaf->count, e) -
+      leaf->entries);
+  if (pos == leaf->count || !(leaf->entries[pos] == e)) return false;
+
+  for (size_t i = 0; i < path.size(); ++i) --path[i]->sizes[slots[i]];
+  for (int i = pos; i + 1 < leaf->count; ++i) {
+    leaf->entries[i] = leaf->entries[i + 1];
+  }
+  --leaf->count;
+  --size_;
+
+  RebalanceAfterErase(path, slots, leaf);
+  return true;
+}
+
+void OrderStatisticBTree::RebalanceAfterErase(std::vector<InternalNode*>& path,
+                                              std::vector<int>& slots,
+                                              Node* node) {
+  while (node != root_ && node->count < kMinFill) {
+    InternalNode* parent = path.back();
+    const int slot = slots.back();
+    PLANAR_DCHECK(parent->children[slot] == node);
+
+    Node* left_sib = slot > 0 ? parent->children[slot - 1] : nullptr;
+    Node* right_sib =
+        slot + 1 < parent->count ? parent->children[slot + 1] : nullptr;
+
+    if (left_sib != nullptr && left_sib->count > kMinFill) {
+      // Borrow the last entry/child of the left sibling.
+      if (node->is_leaf) {
+        LeafNode* dst = static_cast<LeafNode*>(node);
+        LeafNode* src = static_cast<LeafNode*>(left_sib);
+        for (int i = dst->count; i > 0; --i) dst->entries[i] = dst->entries[i - 1];
+        dst->entries[0] = src->entries[src->count - 1];
+        ++dst->count;
+        --src->count;
+        parent->seps[slot - 1] = dst->entries[0];
+        --parent->sizes[slot - 1];
+        ++parent->sizes[slot];
+      } else {
+        InternalNode* dst = static_cast<InternalNode*>(node);
+        InternalNode* src = static_cast<InternalNode*>(left_sib);
+        for (int i = dst->count; i > 0; --i) {
+          dst->children[i] = dst->children[i - 1];
+          dst->sizes[i] = dst->sizes[i - 1];
+        }
+        for (int i = dst->count - 1; i > 0; --i) dst->seps[i] = dst->seps[i - 1];
+        dst->children[0] = src->children[src->count - 1];
+        dst->sizes[0] = src->sizes[src->count - 1];
+        dst->seps[0] = parent->seps[slot - 1];
+        parent->seps[slot - 1] = src->seps[src->count - 2];
+        ++dst->count;
+        --src->count;
+        parent->sizes[slot - 1] -= dst->sizes[0];
+        parent->sizes[slot] += dst->sizes[0];
+      }
+      return;
+    }
+
+    if (right_sib != nullptr && right_sib->count > kMinFill) {
+      // Borrow the first entry/child of the right sibling.
+      if (node->is_leaf) {
+        LeafNode* dst = static_cast<LeafNode*>(node);
+        LeafNode* src = static_cast<LeafNode*>(right_sib);
+        dst->entries[dst->count] = src->entries[0];
+        ++dst->count;
+        for (int i = 0; i + 1 < src->count; ++i) src->entries[i] = src->entries[i + 1];
+        --src->count;
+        parent->seps[slot] = src->entries[0];
+        ++parent->sizes[slot];
+        --parent->sizes[slot + 1];
+      } else {
+        InternalNode* dst = static_cast<InternalNode*>(node);
+        InternalNode* src = static_cast<InternalNode*>(right_sib);
+        const uint64_t moved = src->sizes[0];
+        dst->seps[dst->count - 1] = parent->seps[slot];
+        dst->children[dst->count] = src->children[0];
+        dst->sizes[dst->count] = moved;
+        ++dst->count;
+        parent->seps[slot] = src->seps[0];
+        for (int i = 0; i + 1 < src->count; ++i) {
+          src->children[i] = src->children[i + 1];
+          src->sizes[i] = src->sizes[i + 1];
+        }
+        for (int i = 0; i + 2 < src->count; ++i) src->seps[i] = src->seps[i + 1];
+        --src->count;
+        parent->sizes[slot] += moved;
+        parent->sizes[slot + 1] -= moved;
+      }
+      return;
+    }
+
+    // Both siblings (when present) are at minimum fill: merge with one.
+    const int left_slot = left_sib != nullptr ? slot - 1 : slot;
+    Node* merge_left = parent->children[left_slot];
+    Node* merge_right = parent->children[left_slot + 1];
+    PLANAR_DCHECK(merge_left->count + merge_right->count <= kMaxFill);
+    if (merge_left->is_leaf) {
+      LeafNode* lhs = static_cast<LeafNode*>(merge_left);
+      LeafNode* rhs = static_cast<LeafNode*>(merge_right);
+      for (int i = 0; i < rhs->count; ++i) {
+        lhs->entries[lhs->count + i] = rhs->entries[i];
+      }
+      lhs->count += rhs->count;
+      lhs->next = rhs->next;
+      if (rhs->next != nullptr) rhs->next->prev = lhs;
+      delete rhs;
+    } else {
+      InternalNode* lhs = static_cast<InternalNode*>(merge_left);
+      InternalNode* rhs = static_cast<InternalNode*>(merge_right);
+      lhs->seps[lhs->count - 1] = parent->seps[left_slot];
+      for (int i = 0; i < rhs->count; ++i) {
+        lhs->children[lhs->count + i] = rhs->children[i];
+        lhs->sizes[lhs->count + i] = rhs->sizes[i];
+      }
+      for (int i = 0; i + 1 < rhs->count; ++i) {
+        lhs->seps[lhs->count + i] = rhs->seps[i];
+      }
+      lhs->count += rhs->count;
+      delete rhs;
+    }
+    // Remove children[left_slot + 1] and seps[left_slot] from the parent.
+    parent->sizes[left_slot] += parent->sizes[left_slot + 1];
+    for (int i = left_slot + 1; i + 1 < parent->count; ++i) {
+      parent->children[i] = parent->children[i + 1];
+      parent->sizes[i] = parent->sizes[i + 1];
+    }
+    for (int i = left_slot; i + 2 < parent->count; ++i) {
+      parent->seps[i] = parent->seps[i + 1];
+    }
+    --parent->count;
+
+    path.pop_back();
+    slots.pop_back();
+    node = parent;
+  }
+
+  if (!root_->is_leaf && root_->count == 1) {
+    InternalNode* old_root = static_cast<InternalNode*>(root_);
+    root_ = old_root->children[0];
+    delete old_root;
+  }
+}
+
+size_t OrderStatisticBTree::CountLess(double key) const {
+  // Rank of the smallest possible composite with this key.
+  const Entry e{key, 0};
+  const Node* node = root_;
+  size_t rank = 0;
+  while (!node->is_leaf) {
+    const InternalNode* internal = static_cast<const InternalNode*>(node);
+    const int slot = ChildIndex(internal->seps, internal->count - 1, e);
+    for (int i = 0; i < slot; ++i) rank += internal->sizes[i];
+    node = internal->children[slot];
+  }
+  const LeafNode* leaf = static_cast<const LeafNode*>(node);
+  rank += static_cast<size_t>(
+      std::lower_bound(leaf->entries, leaf->entries + leaf->count, e) -
+      leaf->entries);
+  return rank;
+}
+
+size_t OrderStatisticBTree::CountLessEqual(double key) const {
+  // Rank past the largest possible composite with this key.
+  const Entry e{key, UINT32_MAX};
+  const Node* node = root_;
+  size_t rank = 0;
+  while (!node->is_leaf) {
+    const InternalNode* internal = static_cast<const InternalNode*>(node);
+    const int slot = ChildIndex(internal->seps, internal->count - 1, e);
+    for (int i = 0; i < slot; ++i) rank += internal->sizes[i];
+    node = internal->children[slot];
+  }
+  const LeafNode* leaf = static_cast<const LeafNode*>(node);
+  rank += static_cast<size_t>(
+      std::upper_bound(leaf->entries, leaf->entries + leaf->count, e) -
+      leaf->entries);
+  return rank;
+}
+
+OrderStatisticBTree::Entry OrderStatisticBTree::Select(size_t rank) const {
+  PLANAR_CHECK_LT(rank, size_);
+  const Node* node = root_;
+  while (!node->is_leaf) {
+    const InternalNode* internal = static_cast<const InternalNode*>(node);
+    int i = 0;
+    while (rank >= internal->sizes[i]) {
+      rank -= internal->sizes[i];
+      ++i;
+      PLANAR_DCHECK(i < internal->count);
+    }
+    node = internal->children[i];
+  }
+  const LeafNode* leaf = static_cast<const LeafNode*>(node);
+  PLANAR_DCHECK(rank < static_cast<size_t>(leaf->count));
+  return leaf->entries[rank];
+}
+
+OrderStatisticBTree::Entry OrderStatisticBTree::Iterator::entry() const {
+  PLANAR_CHECK(Valid());
+  return static_cast<const LeafNode*>(leaf_)->entries[pos_];
+}
+
+void OrderStatisticBTree::Iterator::Next() {
+  PLANAR_CHECK(Valid());
+  const LeafNode* leaf = static_cast<const LeafNode*>(leaf_);
+  if (pos_ + 1 < leaf->count) {
+    ++pos_;
+    return;
+  }
+  // Skip (possibly empty root) leaves until one with entries is found.
+  const LeafNode* next = leaf->next;
+  while (next != nullptr && next->count == 0) next = next->next;
+  leaf_ = next;
+  pos_ = 0;
+}
+
+void OrderStatisticBTree::Iterator::Prev() {
+  PLANAR_CHECK(Valid());
+  if (pos_ > 0) {
+    --pos_;
+    return;
+  }
+  const LeafNode* prev = static_cast<const LeafNode*>(leaf_)->prev;
+  while (prev != nullptr && prev->count == 0) prev = prev->prev;
+  leaf_ = prev;
+  pos_ = prev != nullptr ? prev->count - 1 : 0;
+}
+
+OrderStatisticBTree::Iterator OrderStatisticBTree::IteratorAt(
+    size_t rank) const {
+  PLANAR_CHECK_LE(rank, size_);
+  Iterator it;
+  if (rank == size_) return it;
+  const Node* node = root_;
+  while (!node->is_leaf) {
+    const InternalNode* internal = static_cast<const InternalNode*>(node);
+    int i = 0;
+    while (rank >= internal->sizes[i]) {
+      rank -= internal->sizes[i];
+      ++i;
+      PLANAR_DCHECK(i < internal->count);
+    }
+    node = internal->children[i];
+  }
+  it.leaf_ = node;
+  it.pos_ = static_cast<int>(rank);
+  return it;
+}
+
+void OrderStatisticBTree::BuildFromSorted(const std::vector<Entry>& entries) {
+  Clear();
+  const size_t n = entries.size();
+  if (n == 0) return;
+  for (size_t i = 1; i < n; ++i) PLANAR_DCHECK(!(entries[i] < entries[i - 1]));
+
+  // Target fill leaves room for subsequent point inserts without an
+  // immediate cascade of splits.
+  const size_t fill = static_cast<size_t>(kMaxFill) * 3 / 4;
+
+  // Sizing rule shared by all levels: chunk `remaining` items so every
+  // chunk is within [kMinFill, kMaxFill].
+  auto chunk_size = [&](size_t remaining) -> size_t {
+    if (remaining <= static_cast<size_t>(kMaxFill)) return remaining;
+    if (remaining - fill >= static_cast<size_t>(kMinFill)) return fill;
+    return remaining - static_cast<size_t>(kMinFill);
+  };
+
+  struct Built {
+    Node* node;
+    Entry min_entry;
+  };
+
+  // Level 0: leaves.
+  std::vector<Built> level;
+  level.reserve(n / fill + 2);
+  LeafNode* prev = nullptr;
+  size_t i = 0;
+  while (i < n) {
+    const size_t take = chunk_size(n - i);
+    LeafNode* leaf = new LeafNode();
+    leaf->is_leaf = true;
+    leaf->count = static_cast<int>(take);
+    for (size_t j = 0; j < take; ++j) leaf->entries[j] = entries[i + j];
+    leaf->prev = prev;
+    leaf->next = nullptr;
+    if (prev != nullptr) prev->next = leaf;
+    prev = leaf;
+    level.push_back({leaf, leaf->entries[0]});
+    i += take;
+  }
+
+  // Upper levels.
+  while (level.size() > 1) {
+    std::vector<Built> next_level;
+    next_level.reserve(level.size() / fill + 2);
+    size_t j = 0;
+    while (j < level.size()) {
+      const size_t take = chunk_size(level.size() - j);
+      InternalNode* internal = new InternalNode();
+      internal->is_leaf = false;
+      internal->count = static_cast<int>(take);
+      for (size_t k = 0; k < take; ++k) {
+        internal->children[k] = level[j + k].node;
+        internal->sizes[k] = SubtreeSize(level[j + k].node);
+        if (k > 0) internal->seps[k - 1] = level[j + k].min_entry;
+      }
+      next_level.push_back({internal, level[j].min_entry});
+      j += take;
+    }
+    level = std::move(next_level);
+  }
+
+  DeleteSubtree(root_);
+  root_ = level[0].node;
+  size_ = n;
+}
+
+void OrderStatisticBTree::ExportSorted(std::vector<Entry>* out) const {
+  const Node* node = root_;
+  while (!node->is_leaf) {
+    node = static_cast<const InternalNode*>(node)->children[0];
+  }
+  for (const LeafNode* leaf = static_cast<const LeafNode*>(node);
+       leaf != nullptr; leaf = leaf->next) {
+    for (int i = 0; i < leaf->count; ++i) out->push_back(leaf->entries[i]);
+  }
+}
+
+void OrderStatisticBTree::Clear() {
+  DeleteSubtree(root_);
+  LeafNode* leaf = new LeafNode();
+  leaf->is_leaf = true;
+  leaf->count = 0;
+  leaf->prev = nullptr;
+  leaf->next = nullptr;
+  root_ = leaf;
+  size_ = 0;
+}
+
+size_t OrderStatisticBTree::SubtreeMemory(const Node* node) {
+  if (node->is_leaf) return sizeof(LeafNode);
+  const InternalNode* internal = static_cast<const InternalNode*>(node);
+  size_t total = sizeof(InternalNode);
+  for (int i = 0; i < internal->count; ++i) {
+    total += SubtreeMemory(internal->children[i]);
+  }
+  return total;
+}
+
+size_t OrderStatisticBTree::MemoryUsage() const {
+  return sizeof(*this) + SubtreeMemory(root_);
+}
+
+int OrderStatisticBTree::LeafDepth() const {
+  int depth = 0;
+  const Node* node = root_;
+  while (!node->is_leaf) {
+    node = static_cast<const InternalNode*>(node)->children[0];
+    ++depth;
+  }
+  return depth;
+}
+
+bool OrderStatisticBTree::ValidateNode(const Node* node, const Entry* lo,
+                                       const Entry* hi, int depth,
+                                       int leaf_depth) const {
+  const bool is_root = node == root_;
+  if (node->is_leaf) {
+    if (depth != leaf_depth) return false;
+    const LeafNode* leaf = static_cast<const LeafNode*>(node);
+    if (!is_root && leaf->count < kMinFill) return false;
+    if (leaf->count > kMaxFill) return false;
+    for (int i = 0; i < leaf->count; ++i) {
+      const Entry& e = leaf->entries[i];
+      if (i > 0 && e < leaf->entries[i - 1]) return false;
+      if (lo != nullptr && e < *lo) return false;
+      if (hi != nullptr && !(e < *hi)) return false;
+    }
+    return true;
+  }
+  const InternalNode* internal = static_cast<const InternalNode*>(node);
+  if (!is_root && internal->count < kMinFill) return false;
+  if (is_root && internal->count < 2) return false;
+  if (internal->count > kMaxFill) return false;
+  for (int i = 0; i + 2 < internal->count; ++i) {
+    if (!(internal->seps[i] < internal->seps[i + 1])) return false;
+  }
+  for (int i = 0; i < internal->count; ++i) {
+    const Entry* child_lo = i == 0 ? lo : &internal->seps[i - 1];
+    const Entry* child_hi = i + 1 == internal->count ? hi : &internal->seps[i];
+    if (internal->sizes[i] != SubtreeSize(internal->children[i])) return false;
+    if (!ValidateNode(internal->children[i], child_lo, child_hi, depth + 1,
+                      leaf_depth)) {
+      return false;
+    }
+  }
+  return true;
+}
+
+bool OrderStatisticBTree::Validate() const {
+  if (!ValidateNode(root_, nullptr, nullptr, 0, LeafDepth())) return false;
+  if (SubtreeSize(root_) != size_) return false;
+  // Leaf chain: sorted, consistent prev links, and covering every entry.
+  const Node* node = root_;
+  while (!node->is_leaf) {
+    node = static_cast<const InternalNode*>(node)->children[0];
+  }
+  const LeafNode* leaf = static_cast<const LeafNode*>(node);
+  if (leaf->prev != nullptr) return false;
+  size_t chained = 0;
+  const LeafNode* prev = nullptr;
+  const Entry* last = nullptr;
+  while (leaf != nullptr) {
+    if (leaf->prev != prev) return false;
+    for (int i = 0; i < leaf->count; ++i) {
+      if (last != nullptr && leaf->entries[i] < *last) return false;
+      last = &leaf->entries[i];
+    }
+    chained += static_cast<size_t>(leaf->count);
+    prev = leaf;
+    leaf = leaf->next;
+  }
+  return chained == size_;
+}
+
+}  // namespace planar

@@ -1,0 +1,141 @@
+// Copyright (c) 2026 The planar Authors. Licensed under the MIT license.
+//
+// An in-memory order-statistic B+-tree keyed by (double key, uint32 value)
+// composites. This is the dynamic backend of the Planar index (Section 4.4
+// of the paper): it stores index keys <c, phi(x)> together with row ids and
+// supports
+//
+//   * Insert / Erase            in O(log n)
+//   * CountLess / CountLessEqual (rank of a key)     in O(log n)
+//   * Select (entry at rank)    in O(log n)
+//   * in-order scans via linked leaves
+//   * O(n) bulk build from sorted entries
+//
+// Rank queries are what turn the tree into an index backend: the smaller /
+// intermediate / larger intervals of a Planar index are rank ranges.
+//
+// Entries are ordered lexicographically by (key, value); (key, value)
+// pairs are expected to be unique (values are row ids in the index).
+
+#ifndef PLANAR_BTREE_BTREE_H_
+#define PLANAR_BTREE_BTREE_H_
+
+#include <compare>
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace planar {
+
+/// An order-statistic B+-tree of (double, uint32) entries.
+class OrderStatisticBTree {
+ public:
+  /// One stored entry.
+  struct Entry {
+    double key;
+    uint32_t value;
+
+    friend auto operator<=>(const Entry&, const Entry&) = default;
+  };
+
+  OrderStatisticBTree();
+  ~OrderStatisticBTree();
+
+  OrderStatisticBTree(const OrderStatisticBTree&) = delete;
+  OrderStatisticBTree& operator=(const OrderStatisticBTree&) = delete;
+  OrderStatisticBTree(OrderStatisticBTree&& other) noexcept;
+  OrderStatisticBTree& operator=(OrderStatisticBTree&& other) noexcept;
+
+  /// Inserts an entry. Duplicate (key, value) pairs are stored verbatim
+  /// (multiset semantics) but Erase removes only one occurrence.
+  void Insert(double key, uint32_t value);
+
+  /// Removes one entry equal to (key, value). Returns false when absent.
+  bool Erase(double key, uint32_t value);
+
+  /// Number of entries with key strictly less than `key`.
+  size_t CountLess(double key) const;
+
+  /// Number of entries with key less than or equal to `key`.
+  size_t CountLessEqual(double key) const;
+
+  /// The entry with the given 0-based rank (in (key, value) order).
+  /// Requires rank < size().
+  Entry Select(size_t rank) const;
+
+  /// A bidirectional cursor over entries in (key, value) order. Invalidated
+  /// by any mutation of the tree.
+  class Iterator {
+   public:
+    /// True iff the iterator points at an entry.
+    bool Valid() const { return leaf_ != nullptr; }
+    /// The current entry; requires Valid().
+    Entry entry() const;
+    /// Advances to the next entry (invalid past the last one).
+    void Next();
+    /// Steps to the previous entry (invalid before the first one).
+    void Prev();
+
+   private:
+    friend class OrderStatisticBTree;
+    const void* leaf_ = nullptr;  // LeafNode*
+    int pos_ = 0;
+  };
+
+  /// An iterator positioned at the entry with the given rank; invalid when
+  /// rank == size(). Requires rank <= size().
+  Iterator IteratorAt(size_t rank) const;
+
+  /// Discards all entries and rebuilds the tree from `entries`, which must
+  /// be sorted by (key, value). O(n).
+  void BuildFromSorted(const std::vector<Entry>& entries);
+
+  /// Appends all entries in order to `out` (testing / export).
+  void ExportSorted(std::vector<Entry>* out) const;
+
+  /// Number of entries.
+  size_t size() const { return size_; }
+  bool empty() const { return size_ == 0; }
+
+  /// Removes all entries.
+  void Clear();
+
+  /// Approximate heap footprint in bytes (nodes only).
+  size_t MemoryUsage() const;
+
+  /// Exhaustively checks structural invariants (separator ordering, node
+  /// fill bounds, subtree sizes, leaf links, uniform depth). For tests;
+  /// O(n). Returns false on the first violated invariant.
+  bool Validate() const;
+
+ private:
+  struct Node;
+  struct LeafNode;
+  struct InternalNode;
+
+  // Tuning: entries per leaf / children per internal node in
+  // [kMinFill, kMaxFill] (root exempt).
+  static constexpr int kMaxFill = 32;
+  static constexpr int kMinFill = kMaxFill / 2;
+
+  LeafNode* FindLeaf(const Entry& e, std::vector<InternalNode*>* path,
+                     std::vector<int>* slots) const;
+  void InsertIntoParent(std::vector<InternalNode*>& path,
+                        std::vector<int>& slots, Node* left, Entry sep,
+                        Node* right);
+  void RebalanceAfterErase(std::vector<InternalNode*>& path,
+                           std::vector<int>& slots, Node* node);
+  static void DeleteSubtree(Node* node);
+  static size_t SubtreeSize(const Node* node);
+  static size_t SubtreeMemory(const Node* node);
+  bool ValidateNode(const Node* node, const Entry* lo, const Entry* hi,
+                    int depth, int leaf_depth) const;
+  int LeafDepth() const;
+
+  Node* root_;
+  size_t size_ = 0;
+};
+
+}  // namespace planar
+
+#endif  // PLANAR_BTREE_BTREE_H_

@@ -1,0 +1,44 @@
+// Copyright (c) 2026 The planar Authors. Licensed under the MIT license.
+//
+// Minimal command-line flag parsing for benchmarks and examples
+// (--name=value or --name value). Not a general-purpose flags library;
+// just enough for the experiment harnesses to scale workloads.
+
+#ifndef PLANAR_COMMON_FLAGS_H_
+#define PLANAR_COMMON_FLAGS_H_
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+namespace planar {
+
+/// Parses `--name=value` / `--name value` pairs from argv.
+/// Unrecognized positional arguments are kept in positional().
+class FlagParser {
+ public:
+  /// Parses argv; aborts on malformed flags (missing value).
+  FlagParser(int argc, char** argv);
+
+  /// Returns the flag value or `default_value` when absent.
+  std::string GetString(const std::string& name,
+                        const std::string& default_value) const;
+  int64_t GetInt(const std::string& name, int64_t default_value) const;
+  double GetDouble(const std::string& name, double default_value) const;
+  bool GetBool(const std::string& name, bool default_value) const;
+
+  /// True iff the flag was supplied.
+  bool Has(const std::string& name) const;
+
+  /// Non-flag arguments in order of appearance.
+  const std::vector<std::string>& positional() const { return positional_; }
+
+ private:
+  std::map<std::string, std::string> values_;
+  std::vector<std::string> positional_;
+};
+
+}  // namespace planar
+
+#endif  // PLANAR_COMMON_FLAGS_H_

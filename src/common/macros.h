@@ -1,0 +1,47 @@
+// Copyright (c) 2026 The planar Authors. Licensed under the MIT license.
+//
+// Assertion and branch-prediction macros used across the library.
+//
+// The library follows a no-exceptions error model: recoverable failures are
+// reported through planar::Status / planar::Result (see status.h, result.h);
+// programmer errors and violated invariants abort through PLANAR_CHECK.
+
+#ifndef PLANAR_COMMON_MACROS_H_
+#define PLANAR_COMMON_MACROS_H_
+
+#include <cstdio>
+#include <cstdlib>
+
+#define PLANAR_PREDICT_TRUE(x) (__builtin_expect(!!(x), 1))
+#define PLANAR_PREDICT_FALSE(x) (__builtin_expect(!!(x), 0))
+
+// Aborts the process when `condition` is false. Enabled in all build modes:
+// a violated invariant in an index structure silently corrupts query results,
+// which is strictly worse than a crash.
+#define PLANAR_CHECK(condition)                                              \
+  do {                                                                       \
+    if (PLANAR_PREDICT_FALSE(!(condition))) {                                \
+      std::fprintf(stderr, "PLANAR_CHECK failed at %s:%d: %s\n", __FILE__,   \
+                   __LINE__, #condition);                                    \
+      std::abort();                                                          \
+    }                                                                        \
+  } while (false)
+
+#define PLANAR_CHECK_OP(op, a, b) PLANAR_CHECK((a)op(b))
+#define PLANAR_CHECK_EQ(a, b) PLANAR_CHECK_OP(==, a, b)
+#define PLANAR_CHECK_NE(a, b) PLANAR_CHECK_OP(!=, a, b)
+#define PLANAR_CHECK_LT(a, b) PLANAR_CHECK_OP(<, a, b)
+#define PLANAR_CHECK_LE(a, b) PLANAR_CHECK_OP(<=, a, b)
+#define PLANAR_CHECK_GT(a, b) PLANAR_CHECK_OP(>, a, b)
+#define PLANAR_CHECK_GE(a, b) PLANAR_CHECK_OP(>=, a, b)
+
+// Debug-only check for hot paths.
+#ifndef NDEBUG
+#define PLANAR_DCHECK(condition) PLANAR_CHECK(condition)
+#else
+#define PLANAR_DCHECK(condition) \
+  do {                           \
+  } while (false)
+#endif
+
+#endif  // PLANAR_COMMON_MACROS_H_

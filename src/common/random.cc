@@ -1,0 +1,12 @@
+// Copyright (c) 2026 The planar Authors. Licensed under the MIT license.
+
+#include "common/random.h"
+
+#include <cmath>
+
+namespace planar {
+
+double Rng::Sqrt(double v) { return std::sqrt(v); }
+double Rng::Log(double v) { return std::log(v); }
+
+}  // namespace planar

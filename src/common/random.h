@@ -1,0 +1,135 @@
+// Copyright (c) 2026 The planar Authors. Licensed under the MIT license.
+//
+// Deterministic pseudo-random number generation.
+//
+// The library does not use std::mt19937 because its state is large and its
+// distributions are not reproducible across standard-library versions;
+// benchmarks and tests need bit-identical streams everywhere. Rng implements
+// xoshiro256++ seeded via SplitMix64 (Blackman & Vigna).
+
+#ifndef PLANAR_COMMON_RANDOM_H_
+#define PLANAR_COMMON_RANDOM_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "common/macros.h"
+
+namespace planar {
+
+/// SplitMix64 step; used for seeding and as a cheap stateless mixer.
+inline uint64_t SplitMix64(uint64_t& state) {
+  uint64_t z = (state += 0x9e3779b97f4a7c15ULL);
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+  return z ^ (z >> 31);
+}
+
+/// xoshiro256++ generator with convenience distributions. Deterministic for
+/// a given seed on every platform.
+class Rng {
+ public:
+  /// Seeds the four 64-bit words from `seed` via SplitMix64.
+  explicit Rng(uint64_t seed = 0x853c49e6748fea9bULL) {
+    uint64_t sm = seed;
+    for (auto& word : state_) word = SplitMix64(sm);
+  }
+
+  /// Next raw 64-bit value.
+  uint64_t NextUint64() {
+    const uint64_t result = Rotl(state_[0] + state_[3], 23) + state_[0];
+    const uint64_t t = state_[1] << 17;
+    state_[2] ^= state_[0];
+    state_[3] ^= state_[1];
+    state_[1] ^= state_[2];
+    state_[0] ^= state_[3];
+    state_[2] ^= t;
+    state_[3] = Rotl(state_[3], 45);
+    return result;
+  }
+
+  /// Uniform double in [0, 1).
+  double NextDouble() {
+    return static_cast<double>(NextUint64() >> 11) * 0x1.0p-53;
+  }
+
+  /// Uniform double in [lo, hi). Requires lo <= hi.
+  double Uniform(double lo, double hi) {
+    PLANAR_DCHECK(lo <= hi);
+    return lo + (hi - lo) * NextDouble();
+  }
+
+  /// Uniform integer in [0, n). Requires n > 0.
+  uint64_t UniformInt(uint64_t n) {
+    PLANAR_DCHECK(n > 0);
+    // Lemire's nearly-divisionless bounded sampling, biased by at most
+    // 2^-64 * n which is negligible for our n.
+    return static_cast<uint64_t>(
+        (static_cast<__uint128_t>(NextUint64()) * n) >> 64);
+  }
+
+  /// Uniform integer in [lo, hi] inclusive. Requires lo <= hi.
+  int64_t UniformInt(int64_t lo, int64_t hi) {
+    PLANAR_DCHECK(lo <= hi);
+    return lo + static_cast<int64_t>(
+                    UniformInt(static_cast<uint64_t>(hi - lo) + 1));
+  }
+
+  /// Standard normal via Marsaglia polar method.
+  double Gaussian() {
+    if (has_spare_) {
+      has_spare_ = false;
+      return spare_;
+    }
+    double u, v, s;
+    do {
+      u = Uniform(-1.0, 1.0);
+      v = Uniform(-1.0, 1.0);
+      s = u * u + v * v;
+    } while (s >= 1.0 || s == 0.0);
+    const double factor = Sqrt(-2.0 * Log(s) / s);
+    spare_ = v * factor;
+    has_spare_ = true;
+    return u * factor;
+  }
+
+  /// Normal with the given mean and standard deviation.
+  double Gaussian(double mean, double stddev) {
+    return mean + stddev * Gaussian();
+  }
+
+  /// True with probability p.
+  bool Bernoulli(double p) { return NextDouble() < p; }
+
+  /// Fisher-Yates shuffle of `items`.
+  template <typename T>
+  void Shuffle(std::vector<T>& items) {
+    for (size_t i = items.size(); i > 1; --i) {
+      const size_t j = static_cast<size_t>(UniformInt(i));
+      std::swap(items[i - 1], items[j]);
+    }
+  }
+
+  /// A child generator with an independent stream, derived from this
+  /// generator's state and `stream_id`. Useful for per-dataset /
+  /// per-query-set reproducibility.
+  Rng Fork(uint64_t stream_id) {
+    return Rng(NextUint64() ^ (0x9e3779b97f4a7c15ULL * (stream_id + 1)));
+  }
+
+ private:
+  static uint64_t Rotl(uint64_t x, int k) {
+    return (x << k) | (x >> (64 - k));
+  }
+  // Local wrappers keep <cmath> out of this header's hot inline path.
+  static double Sqrt(double v);
+  static double Log(double v);
+
+  uint64_t state_[4];
+  bool has_spare_ = false;
+  double spare_ = 0.0;
+};
+
+}  // namespace planar
+
+#endif  // PLANAR_COMMON_RANDOM_H_

@@ -1,0 +1,78 @@
+// Copyright (c) 2026 The planar Authors. Licensed under the MIT license.
+//
+// Result<T>: a value-or-Status union, modeled on absl::StatusOr<T>.
+
+#ifndef PLANAR_COMMON_RESULT_H_
+#define PLANAR_COMMON_RESULT_H_
+
+#include <optional>
+#include <utility>
+
+#include "common/macros.h"
+#include "common/status.h"
+
+namespace planar {
+
+/// Holds either a `T` or an error `Status`. Accessing the value of an
+/// errored Result is a programmer error and aborts.
+template <typename T>
+class Result {
+ public:
+  /// Constructs from a value (implicit so functions can `return value;`).
+  Result(T value) : value_(std::move(value)) {}  // NOLINT(runtime/explicit)
+  /// Constructs from a non-OK status (implicit so functions can
+  /// `return Status::InvalidArgument(...);`).
+  Result(Status status) : status_(std::move(status)) {  // NOLINT
+    PLANAR_CHECK(!status_.ok());
+  }
+
+  Result(const Result&) = default;
+  Result& operator=(const Result&) = default;
+  Result(Result&&) = default;
+  Result& operator=(Result&&) = default;
+
+  /// True iff a value is present.
+  bool ok() const { return value_.has_value(); }
+  /// The status: OK when a value is present.
+  const Status& status() const { return status_; }
+
+  /// The contained value; requires ok().
+  const T& value() const& {
+    PLANAR_CHECK(ok());
+    return *value_;
+  }
+  T& value() & {
+    PLANAR_CHECK(ok());
+    return *value_;
+  }
+  T&& value() && {
+    PLANAR_CHECK(ok());
+    return std::move(*value_);
+  }
+
+  const T& operator*() const& { return value(); }
+  T& operator*() & { return value(); }
+  const T* operator->() const { return &value(); }
+  T* operator->() { return &value(); }
+
+ private:
+  std::optional<T> value_;
+  Status status_;  // OK when value_ holds a value.
+};
+
+}  // namespace planar
+
+/// Evaluates a Result<T>-returning expression; on error propagates the
+/// status, otherwise assigns the value to `lhs`.
+#define PLANAR_ASSIGN_OR_RETURN(lhs, expr)                            \
+  PLANAR_INTERNAL_ASSIGN_OR_RETURN(                                   \
+      PLANAR_INTERNAL_CONCAT(_planar_result_, __LINE__), lhs, expr)
+
+#define PLANAR_INTERNAL_CONCAT_IMPL(x, y) x##y
+#define PLANAR_INTERNAL_CONCAT(x, y) PLANAR_INTERNAL_CONCAT_IMPL(x, y)
+#define PLANAR_INTERNAL_ASSIGN_OR_RETURN(var, lhs, expr) \
+  auto var = (expr);                                     \
+  if (!var.ok()) return var.status();                    \
+  lhs = std::move(var).value()
+
+#endif  // PLANAR_COMMON_RESULT_H_

@@ -1,0 +1,61 @@
+// Copyright (c) 2026 The planar Authors. Licensed under the MIT license.
+
+#include "common/stats.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <limits>
+
+#include "common/macros.h"
+
+namespace planar {
+
+void RunningStats::Add(double value) {
+  if (count_ == 0) {
+    min_ = value;
+    max_ = value;
+  } else {
+    min_ = std::min(min_, value);
+    max_ = std::max(max_, value);
+  }
+  ++count_;
+  const double delta = value - mean_;
+  mean_ += delta / static_cast<double>(count_);
+  m2_ += delta * (value - mean_);
+}
+
+double RunningStats::variance() const {
+  if (count_ < 2) return 0.0;
+  return m2_ / static_cast<double>(count_ - 1);
+}
+
+double RunningStats::stddev() const { return std::sqrt(variance()); }
+
+double Percentile(std::vector<double> sample, double q) {
+  PLANAR_CHECK(!sample.empty());
+  PLANAR_CHECK(q >= 0.0 && q <= 100.0);
+  std::sort(sample.begin(), sample.end());
+  if (sample.size() == 1) return sample[0];
+  const double rank = q / 100.0 * static_cast<double>(sample.size() - 1);
+  const size_t lo = static_cast<size_t>(rank);
+  const size_t hi = std::min(lo + 1, sample.size() - 1);
+  const double frac = rank - static_cast<double>(lo);
+  return sample[lo] * (1.0 - frac) + sample[hi] * frac;
+}
+
+std::string FormatMillis(double millis) {
+  char buf[64];
+  if (millis < 0.1) {
+    std::snprintf(buf, sizeof(buf), "%.4f ms", millis);
+  } else if (millis < 10.0) {
+    std::snprintf(buf, sizeof(buf), "%.2f ms", millis);
+  } else if (millis < 1000.0) {
+    std::snprintf(buf, sizeof(buf), "%.1f ms", millis);
+  } else {
+    std::snprintf(buf, sizeof(buf), "%.0f ms", millis);
+  }
+  return buf;
+}
+
+}  // namespace planar

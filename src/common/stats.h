@@ -1,0 +1,53 @@
+// Copyright (c) 2026 The planar Authors. Licensed under the MIT license.
+//
+// Streaming summary statistics used to aggregate per-query measurements.
+
+#ifndef PLANAR_COMMON_STATS_H_
+#define PLANAR_COMMON_STATS_H_
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+namespace planar {
+
+/// Welford-style running mean/variance with min/max tracking.
+class RunningStats {
+ public:
+  /// Adds one observation.
+  void Add(double value);
+
+  /// Number of observations.
+  size_t count() const { return count_; }
+  /// Sum of all observations (0 when empty).
+  double sum() const { return mean_ * static_cast<double>(count_); }
+  /// Arithmetic mean (0 when empty).
+  double mean() const { return mean_; }
+  /// Sample variance (0 with fewer than two observations).
+  double variance() const;
+  /// Sample standard deviation.
+  double stddev() const;
+  /// Minimum observation (+inf when empty).
+  double min() const { return min_; }
+  /// Maximum observation (-inf when empty).
+  double max() const { return max_; }
+
+ private:
+  size_t count_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double min_;
+  double max_;
+};
+
+/// Exact percentile over a stored sample (linear interpolation between
+/// order statistics). `q` in [0, 100]. Requires a non-empty sample.
+double Percentile(std::vector<double> sample, double q);
+
+/// Formats a quantity in milliseconds with adaptive precision, e.g.
+/// "0.013 ms", "4.2 ms", "1203 ms".
+std::string FormatMillis(double millis);
+
+}  // namespace planar
+
+#endif  // PLANAR_COMMON_STATS_H_

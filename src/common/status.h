@@ -1,0 +1,94 @@
+// Copyright (c) 2026 The planar Authors. Licensed under the MIT license.
+//
+// Status: the library's recoverable-error type (no exceptions are used).
+// Modeled on absl::Status / rocksdb::Status.
+
+#ifndef PLANAR_COMMON_STATUS_H_
+#define PLANAR_COMMON_STATUS_H_
+
+#include <string>
+#include <string_view>
+#include <utility>
+
+namespace planar {
+
+/// Error categories for recoverable failures.
+enum class StatusCode {
+  kOk = 0,
+  kInvalidArgument = 1,
+  kNotFound = 2,
+  kOutOfRange = 3,
+  kFailedPrecondition = 4,
+  kUnimplemented = 5,
+  kInternal = 6,
+};
+
+/// Returns a stable human-readable name for `code` ("OK",
+/// "INVALID_ARGUMENT", ...).
+std::string_view StatusCodeToString(StatusCode code);
+
+/// Value type carrying success or an error code plus message. Cheap to move;
+/// the OK state stores no message.
+class Status {
+ public:
+  /// Constructs an OK status.
+  Status() : code_(StatusCode::kOk) {}
+  /// Constructs a status with the given code and message.
+  Status(StatusCode code, std::string message)
+      : code_(code), message_(std::move(message)) {}
+
+  Status(const Status&) = default;
+  Status& operator=(const Status&) = default;
+  Status(Status&&) = default;
+  Status& operator=(Status&&) = default;
+
+  /// Factory helpers, one per error category.
+  static Status OK() { return Status(); }
+  static Status InvalidArgument(std::string msg) {
+    return Status(StatusCode::kInvalidArgument, std::move(msg));
+  }
+  static Status NotFound(std::string msg) {
+    return Status(StatusCode::kNotFound, std::move(msg));
+  }
+  static Status OutOfRange(std::string msg) {
+    return Status(StatusCode::kOutOfRange, std::move(msg));
+  }
+  static Status FailedPrecondition(std::string msg) {
+    return Status(StatusCode::kFailedPrecondition, std::move(msg));
+  }
+  static Status Unimplemented(std::string msg) {
+    return Status(StatusCode::kUnimplemented, std::move(msg));
+  }
+  static Status Internal(std::string msg) {
+    return Status(StatusCode::kInternal, std::move(msg));
+  }
+
+  /// True iff the status represents success.
+  bool ok() const { return code_ == StatusCode::kOk; }
+  /// The error category (kOk on success).
+  StatusCode code() const { return code_; }
+  /// The error message (empty on success).
+  const std::string& message() const { return message_; }
+
+  /// "OK" or "<CODE>: <message>".
+  std::string ToString() const;
+
+  friend bool operator==(const Status& a, const Status& b) {
+    return a.code_ == b.code_ && a.message_ == b.message_;
+  }
+
+ private:
+  StatusCode code_;
+  std::string message_;
+};
+
+}  // namespace planar
+
+/// Propagates a non-OK status to the caller.
+#define PLANAR_RETURN_IF_ERROR(expr)                 \
+  do {                                               \
+    ::planar::Status _planar_status = (expr);        \
+    if (!_planar_status.ok()) return _planar_status; \
+  } while (false)
+
+#endif  // PLANAR_COMMON_STATUS_H_

@@ -1,0 +1,48 @@
+// Copyright (c) 2026 The planar Authors. Licensed under the MIT license.
+//
+// Console table formatting for benchmark harnesses. Every figure/table
+// bench prints its rows through TablePrinter so the output stays uniform
+// and easy to diff against EXPERIMENTS.md.
+
+#ifndef PLANAR_COMMON_TABLE_PRINTER_H_
+#define PLANAR_COMMON_TABLE_PRINTER_H_
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+namespace planar {
+
+/// Collects rows of string cells and prints them with aligned columns.
+class TablePrinter {
+ public:
+  /// Creates a table with the given column headers.
+  explicit TablePrinter(std::vector<std::string> headers);
+
+  /// Appends a row; must have exactly as many cells as there are headers.
+  void AddRow(std::vector<std::string> cells);
+
+  /// Convenience: formats each cell with fixed precision.
+  /// Doubles are rendered with `precision` fractional digits.
+  void AddNumericRow(const std::vector<double>& cells, int precision = 3);
+
+  /// Renders the table to `out` (default stdout).
+  void Print(std::FILE* out = stdout) const;
+
+  /// Renders the table as comma-separated values (for machine consumption).
+  std::string ToCsv() const;
+
+  /// Number of data rows added so far.
+  size_t row_count() const { return rows_.size(); }
+
+ private:
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+/// Formats a double with `precision` fractional digits.
+std::string FormatDouble(double value, int precision = 3);
+
+}  // namespace planar
+
+#endif  // PLANAR_COMMON_TABLE_PRINTER_H_

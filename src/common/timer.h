@@ -1,0 +1,50 @@
+// Copyright (c) 2026 The planar Authors. Licensed under the MIT license.
+//
+// Wall-clock timing utilities for benchmarks and experiments.
+
+#ifndef PLANAR_COMMON_TIMER_H_
+#define PLANAR_COMMON_TIMER_H_
+
+#include <chrono>
+#include <cstdint>
+
+namespace planar {
+
+/// Monotonic wall-clock stopwatch. Started on construction.
+class WallTimer {
+ public:
+  WallTimer() : start_(Clock::now()) {}
+
+  /// Restarts the stopwatch.
+  void Reset() { start_ = Clock::now(); }
+
+  /// Elapsed time since construction / last Reset, in nanoseconds.
+  int64_t ElapsedNanos() const {
+    return std::chrono::duration_cast<std::chrono::nanoseconds>(Clock::now() -
+                                                                start_)
+        .count();
+  }
+
+  /// Elapsed time in microseconds.
+  double ElapsedMicros() const {
+    return static_cast<double>(ElapsedNanos()) * 1e-3;
+  }
+
+  /// Elapsed time in milliseconds.
+  double ElapsedMillis() const {
+    return static_cast<double>(ElapsedNanos()) * 1e-6;
+  }
+
+  /// Elapsed time in seconds.
+  double ElapsedSeconds() const {
+    return static_cast<double>(ElapsedNanos()) * 1e-9;
+  }
+
+ private:
+  using Clock = std::chrono::steady_clock;
+  Clock::time_point start_;
+};
+
+}  // namespace planar
+
+#endif  // PLANAR_COMMON_TIMER_H_

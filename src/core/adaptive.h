@@ -1,0 +1,76 @@
+// Copyright (c) 2026 The planar Authors. Licensed under the MIT license.
+//
+// Query-driven index adaptation — the paper's closing future-work item
+// ("one may also use machine learning techniques to dynamically update
+// the indices based on past queries", Section 8), and the practice its
+// Section 7.2.2 recommends for high query randomness ("it is more
+// beneficial to dynamically update our indices based on the recent
+// queries").
+//
+// AdaptiveIndexSet wraps a PlanarIndexSet, records the normals of the
+// queries it serves, and on Readapt() replaces the worst-serving indices
+// with normals taken from the recent query log (deduplicating parallel
+// ones), so the index set tracks the observed query distribution.
+
+#ifndef PLANAR_CORE_ADAPTIVE_H_
+#define PLANAR_CORE_ADAPTIVE_H_
+
+#include <cstddef>
+#include <deque>
+#include <vector>
+
+#include "common/result.h"
+#include "core/index_set.h"
+
+namespace planar {
+
+/// Options for query-driven adaptation.
+struct AdaptiveOptions {
+  /// Number of recent queries remembered.
+  size_t history = 256;
+  /// Fraction of the index budget replaced per Readapt() call.
+  double replace_fraction = 0.5;
+  /// Two normals closer than this (|cos|) are considered already covered.
+  double dedup_tolerance = 1e-3;
+};
+
+/// A PlanarIndexSet that learns its index normals from the query stream.
+class AdaptiveIndexSet {
+ public:
+  /// Wraps an existing set (moved in).
+  AdaptiveIndexSet(PlanarIndexSet set, AdaptiveOptions options);
+
+  /// Problem 1, recording the query for adaptation.
+  InequalityResult Inequality(const ScalarProductQuery& q);
+
+  /// Problem 2, recording the query for adaptation.
+  Result<TopKResult> TopK(const ScalarProductQuery& q, size_t k);
+
+  /// Replaces up to replace_fraction * num_indices() of the indices with
+  /// normals from the recorded history: the least-used indices are
+  /// dropped and history normals not yet covered (no existing index
+  /// parallel within the tolerance) are added, most recent first.
+  /// Returns the number of indices replaced.
+  Result<size_t> Readapt();
+
+  /// The wrapped set.
+  const PlanarIndexSet& set() const { return set_; }
+
+  /// Recorded query count since construction.
+  size_t queries_seen() const { return queries_seen_; }
+
+ private:
+  void Record(const NormalizedQuery& q, int index_used);
+
+  PlanarIndexSet set_;
+  AdaptiveOptions options_;
+  // Most recent normalized query normals (mirrored-space magnitudes) and
+  // their octants.
+  std::deque<std::pair<std::vector<double>, Octant>> history_;
+  std::vector<size_t> use_counts_;  // per index, since last Readapt
+  size_t queries_seen_ = 0;
+};
+
+}  // namespace planar
+
+#endif  // PLANAR_CORE_ADAPTIVE_H_

@@ -1,0 +1,113 @@
+// Copyright (c) 2026 The planar Authors. Licensed under the MIT license.
+
+#include "core/band.h"
+
+#include <algorithm>
+
+#include "common/macros.h"
+#include "geometry/vec.h"
+
+namespace planar {
+
+bool BandQuery::Matches(const double* phi_row) const {
+  const double value = Dot(a.data(), phi_row, a.size());
+  return lo <= value && value <= hi;
+}
+
+InequalityResult ScanBand(const PhiMatrix& phi, const BandQuery& query) {
+  InequalityResult result;
+  result.stats.num_points = phi.size();
+  result.stats.verified = phi.size();
+  result.stats.index_used = -1;
+  for (size_t row = 0; row < phi.size(); ++row) {
+    if (query.Matches(phi.row(row))) {
+      result.ids.push_back(static_cast<uint32_t>(row));
+    }
+  }
+  result.stats.result_size = result.ids.size();
+  return result;
+}
+
+Result<InequalityResult> BandInequality(const PlanarIndexSet& set,
+                                        const BandQuery& query) {
+  if (query.a.size() != set.phi().dim()) {
+    return Status::InvalidArgument(
+        "band normal dimensionality must match the indexed phi space");
+  }
+  if (query.lo > query.hi) {
+    return Status::InvalidArgument("band requires lo <= hi");
+  }
+  // The two half spaces share the normal, hence the octant, hence the
+  // serving index; note the upper cut is a <=-query and the lower cut a
+  // >=-query, whose *normalized* sign patterns can differ when one bound
+  // is negative — so pick the index by the <=-cut and double-check it can
+  // serve the >=-cut too.
+  const ScalarProductQuery upper{query.a, query.hi, Comparison::kLessEqual};
+  const ScalarProductQuery lower{query.a, query.lo,
+                                 Comparison::kGreaterEqual};
+  const NormalizedQuery upper_norm = NormalizedQuery::From(upper);
+  const NormalizedQuery lower_norm = NormalizedQuery::From(lower);
+  const int best = set.SelectBestIndex(upper_norm);
+  if (best < 0 ||
+      !set.index(static_cast<size_t>(best)).CanServe(lower_norm)) {
+    return ScanBand(set.phi(), query);
+  }
+  const PlanarIndex& index = set.index(static_cast<size_t>(best));
+  const auto upper_iv = index.ComputeIntervals(upper_norm);
+  const auto lower_iv = index.ComputeIntervals(lower_norm);
+  PLANAR_CHECK(upper_iv.ok() && lower_iv.ok());
+  const size_t n = set.size();
+
+  // Per cut: the rank range satisfied outright and the range not rejected
+  // outright (candidates), oriented by the cut's normalized direction.
+  struct Range {
+    size_t begin;
+    size_t end;
+  };
+  auto satisfied = [n](const NormalizedQuery& nq,
+                       const PlanarIndex::Intervals& iv) -> Range {
+    return nq.cmp == Comparison::kLessEqual ? Range{0, iv.smaller_end}
+                                            : Range{iv.larger_begin, n};
+  };
+  auto candidates = [n](const NormalizedQuery& nq,
+                        const PlanarIndex::Intervals& iv) -> Range {
+    return nq.cmp == Comparison::kLessEqual ? Range{0, iv.larger_begin}
+                                            : Range{iv.smaller_end, n};
+  };
+  auto intersect = [](Range a, Range b) -> Range {
+    Range out{std::max(a.begin, b.begin), std::min(a.end, b.end)};
+    if (out.begin > out.end) out.end = out.begin;
+    return out;
+  };
+  const Range accept = intersect(satisfied(upper_norm, *upper_iv),
+                                 satisfied(lower_norm, *lower_iv));
+  const Range window = intersect(candidates(upper_norm, *upper_iv),
+                                 candidates(lower_norm, *lower_iv));
+
+  InequalityResult result;
+  result.stats.num_points = n;
+  result.stats.index_used = best;
+  // Accepted middle: in both half spaces by the interval bounds alone.
+  index.CollectRange(accept.begin, accept.end, &result.ids);
+  result.stats.accepted_directly = result.ids.size();
+  // Fringes of the candidate window around the accepted middle.
+  std::vector<uint32_t> ids;
+  if (accept.end > accept.begin) {
+    index.CollectRange(window.begin, std::min(accept.begin, window.end),
+                       &ids);
+    index.CollectRange(std::max(accept.end, window.begin), window.end, &ids);
+  } else {
+    index.CollectRange(window.begin, window.end, &ids);
+  }
+  result.stats.verified = ids.size();
+  const PhiMatrix& phi = set.phi();
+  for (uint32_t id : ids) {
+    if (query.Matches(phi.row(id))) result.ids.push_back(id);
+  }
+  result.stats.rejected_directly =
+      n - result.stats.accepted_directly - result.stats.verified;
+  result.stats.result_size = result.ids.size();
+  return result;
+}
+
+}  // namespace planar

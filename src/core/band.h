@@ -1,0 +1,41 @@
+// Copyright (c) 2026 The planar Authors. Licensed under the MIT license.
+//
+// Band queries: b_lo <= <a, phi(x)> <= b_hi. A band is the conjunction of
+// two half spaces with the SAME normal, so unlike the general
+// ConjunctiveInequality both cuts land on one index's sorted keys: four
+// binary searches give an accepted middle range and two verified fringe
+// ranges. Useful for "between" predicates and hyperplane-slab retrieval.
+
+#ifndef PLANAR_CORE_BAND_H_
+#define PLANAR_CORE_BAND_H_
+
+#include <vector>
+
+#include "common/result.h"
+#include "core/index_set.h"
+#include "core/planar_index.h"
+
+namespace planar {
+
+/// The band predicate b_lo <= <a, phi(x)> <= b_hi.
+struct BandQuery {
+  std::vector<double> a;
+  double lo = 0.0;
+  double hi = 0.0;
+
+  /// True iff `phi_row` lies in the band.
+  bool Matches(const double* phi_row) const;
+};
+
+/// Answers a band query over `set`. Requires lo <= hi and a non-empty
+/// normal matching the indexed dimensionality; falls back to a scan when
+/// no index serves the normal's octant.
+Result<InequalityResult> BandInequality(const PlanarIndexSet& set,
+                                        const BandQuery& query);
+
+/// The scan baseline.
+InequalityResult ScanBand(const PhiMatrix& phi, const BandQuery& query);
+
+}  // namespace planar
+
+#endif  // PLANAR_CORE_BAND_H_

@@ -1,0 +1,127 @@
+// Copyright (c) 2026 The planar Authors. Licensed under the MIT license.
+
+#include "core/conjunction.h"
+
+#include <limits>
+
+#include "common/macros.h"
+#include "core/scan.h"
+
+namespace planar {
+
+bool ConjunctiveQuery::Matches(const double* phi_row) const {
+  for (const ScalarProductQuery& q : constraints) {
+    if (!q.Matches(phi_row)) return false;
+  }
+  return true;
+}
+
+InequalityResult ScanConjunctive(const PhiMatrix& phi,
+                                 const ConjunctiveQuery& query) {
+  InequalityResult result;
+  result.stats.num_points = phi.size();
+  result.stats.verified = phi.size();
+  result.stats.index_used = -1;
+  for (size_t row = 0; row < phi.size(); ++row) {
+    if (query.Matches(phi.row(row))) {
+      result.ids.push_back(static_cast<uint32_t>(row));
+    }
+  }
+  result.stats.result_size = result.ids.size();
+  return result;
+}
+
+Result<InequalityResult> ConjunctiveInequality(const PlanarIndexSet& set,
+                                               const ConjunctiveQuery& query) {
+  if (query.constraints.empty()) {
+    return Status::InvalidArgument("conjunction needs at least one constraint");
+  }
+  for (const ScalarProductQuery& q : query.constraints) {
+    if (q.a.size() != set.phi().dim()) {
+      return Status::InvalidArgument(
+          "constraint dimensionality must match the indexed phi space");
+    }
+  }
+
+  // Pick the driving constraint: smallest candidate bound |SI| + |II|,
+  // computed from interval boundaries alone (no data access).
+  const size_t n = set.size();
+  int best_constraint = -1;
+  int best_index = -1;
+  size_t best_candidates = std::numeric_limits<size_t>::max();
+  PlanarIndex::Intervals best_intervals;
+  std::vector<NormalizedQuery> normalized;
+  normalized.reserve(query.constraints.size());
+  for (size_t ci = 0; ci < query.constraints.size(); ++ci) {
+    normalized.push_back(NormalizedQuery::From(query.constraints[ci]));
+    const NormalizedQuery& norm = normalized.back();
+    const int idx = set.SelectBestIndex(norm);
+    if (idx < 0) continue;
+    const PlanarIndex& index = set.index(static_cast<size_t>(idx));
+    const auto intervals = index.ComputeIntervals(norm);
+    if (!intervals.ok()) continue;
+    // Candidates: the outright-accepted range plus the verified middle.
+    const bool le = norm.cmp == Comparison::kLessEqual;
+    const size_t candidates =
+        le ? intervals->larger_begin : n - intervals->smaller_end;
+    if (candidates < best_candidates) {
+      best_candidates = candidates;
+      best_constraint = static_cast<int>(ci);
+      best_index = idx;
+      best_intervals = *intervals;
+    }
+  }
+
+  if (best_constraint < 0) {
+    return ScanConjunctive(set.phi(), query);
+  }
+
+  const PlanarIndex& index = set.index(static_cast<size_t>(best_index));
+  const NormalizedQuery& driver =
+      normalized[static_cast<size_t>(best_constraint)];
+  const bool le = driver.cmp == Comparison::kLessEqual;
+  const PhiMatrix& phi = set.phi();
+
+  // The other constraints, checked per candidate.
+  auto others_match = [&](uint32_t id) {
+    const double* row = phi.row(id);
+    for (size_t ci = 0; ci < query.constraints.size(); ++ci) {
+      if (static_cast<int>(ci) == best_constraint) continue;
+      if (!query.constraints[ci].Matches(row)) return false;
+    }
+    return true;
+  };
+
+  InequalityResult result;
+  result.stats.num_points = n;
+  result.stats.index_used = best_index;
+  std::vector<uint32_t> candidates;
+
+  // Outright-accepted range of the driver: only the other constraints
+  // need verification.
+  const size_t accept_begin = le ? 0 : best_intervals.larger_begin;
+  const size_t accept_end = le ? best_intervals.smaller_end : n;
+  index.CollectRange(accept_begin, accept_end, &candidates);
+  result.stats.accepted_directly = candidates.size();
+  for (uint32_t id : candidates) {
+    if (others_match(id)) result.ids.push_back(id);
+  }
+  // Middle range: the driver itself also needs verification.
+  candidates.clear();
+  index.CollectRange(best_intervals.smaller_end, best_intervals.larger_begin,
+                     &candidates);
+  result.stats.verified = candidates.size();
+  for (uint32_t id : candidates) {
+    if (query.constraints[static_cast<size_t>(best_constraint)].Matches(
+            phi.row(id)) &&
+        others_match(id)) {
+      result.ids.push_back(id);
+    }
+  }
+  result.stats.rejected_directly =
+      n - result.stats.accepted_directly - result.stats.verified;
+  result.stats.result_size = result.ids.size();
+  return result;
+}
+
+}  // namespace planar

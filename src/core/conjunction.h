@@ -1,0 +1,49 @@
+// Copyright (c) 2026 The planar Authors. Licensed under the MIT license.
+//
+// Conjunctive (linear-constraint) queries: the AND of several scalar
+// product constraints, i.e. the intersection of half spaces. The paper's
+// related-work section notes that "one could apply multiple Planar
+// indices in answering such linear constraint queries" — this module
+// does exactly that: the most selective constraint (estimated from the
+// index intervals, without touching data) drives candidate generation,
+// and the remaining constraints are verified per candidate.
+
+#ifndef PLANAR_CORE_CONJUNCTION_H_
+#define PLANAR_CORE_CONJUNCTION_H_
+
+#include <vector>
+
+#include "common/result.h"
+#include "core/index_set.h"
+#include "core/planar_index.h"
+#include "core/query.h"
+
+namespace planar {
+
+/// A conjunction of scalar product constraints over one phi space: a
+/// point matches iff it satisfies every constraint.
+struct ConjunctiveQuery {
+  std::vector<ScalarProductQuery> constraints;
+
+  /// True iff `phi_row` satisfies every constraint.
+  bool Matches(const double* phi_row) const;
+};
+
+/// Answers a conjunctive query with the given index set. Strategy: for
+/// each constraint, the best index's intervals give an upper bound
+/// |SI| + |II| on its candidate count; the constraint with the smallest
+/// bound generates candidates (directly-accepted points skip their own
+/// constraint's verification) and every candidate is checked against the
+/// remaining constraints. Falls back to a full scan when no constraint
+/// has a compatible index. Fails on an empty constraint list or
+/// dimension mismatch.
+Result<InequalityResult> ConjunctiveInequality(const PlanarIndexSet& set,
+                                               const ConjunctiveQuery& query);
+
+/// The scan baseline for conjunctive queries.
+InequalityResult ScanConjunctive(const PhiMatrix& phi,
+                                 const ConjunctiveQuery& query);
+
+}  // namespace planar
+
+#endif  // PLANAR_CORE_CONJUNCTION_H_

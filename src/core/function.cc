@@ -1,0 +1,57 @@
+// Copyright (c) 2026 The planar Authors. Licensed under the MIT license.
+
+#include "core/function.h"
+
+#include "common/macros.h"
+
+namespace planar {
+
+std::vector<double> PhiFunction::operator()(const std::vector<double>& x) const {
+  PLANAR_CHECK_EQ(x.size(), input_dim());
+  std::vector<double> out(output_dim());
+  Apply(x.data(), out.data());
+  return out;
+}
+
+void IdentityFunction::Apply(const double* x, double* out) const {
+  for (size_t i = 0; i < dim_; ++i) out[i] = x[i];
+}
+
+void PowerFactorFunction::Apply(const double* x, double* out) const {
+  out[0] = x[0];          // active power
+  out[1] = x[2] * x[3];   // voltage * current
+}
+
+QuadraticFeatureFunction::QuadraticFeatureFunction(size_t input_dim)
+    : QuadraticFeatureFunction(input_dim, Options()) {}
+
+QuadraticFeatureFunction::QuadraticFeatureFunction(size_t input_dim,
+                                                   Options options)
+    : input_dim_(input_dim), options_(options) {
+  size_t d = 0;
+  if (options_.include_bias) d += 1;
+  if (options_.include_linear) d += input_dim;
+  if (options_.include_squares) d += input_dim;
+  if (options_.include_cross_terms) d += input_dim * (input_dim - 1) / 2;
+  output_dim_ = d;
+  PLANAR_CHECK_GT(output_dim_, 0u);
+}
+
+void QuadraticFeatureFunction::Apply(const double* x, double* out) const {
+  size_t pos = 0;
+  if (options_.include_bias) out[pos++] = 1.0;
+  if (options_.include_linear) {
+    for (size_t i = 0; i < input_dim_; ++i) out[pos++] = x[i];
+  }
+  if (options_.include_squares) {
+    for (size_t i = 0; i < input_dim_; ++i) out[pos++] = x[i] * x[i];
+  }
+  if (options_.include_cross_terms) {
+    for (size_t i = 0; i < input_dim_; ++i) {
+      for (size_t j = i + 1; j < input_dim_; ++j) out[pos++] = x[i] * x[j];
+    }
+  }
+  PLANAR_DCHECK(pos == output_dim_);
+}
+
+}  // namespace planar

@@ -1,0 +1,125 @@
+// Copyright (c) 2026 The planar Authors. Licensed under the MIT license.
+//
+// The application-specific function phi : R^d -> R^d' of the paper
+// (Section 3). phi is known at indexing time; the query parameters
+// (a, b) are known only at query time. The Planar index indexes phi(x),
+// never the raw points, so every indexable workload is expressed as a
+// PhiFunction.
+
+#ifndef PLANAR_CORE_FUNCTION_H_
+#define PLANAR_CORE_FUNCTION_H_
+
+#include <cstddef>
+#include <functional>
+#include <memory>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace planar {
+
+/// Interface for the indexed function phi : R^d -> R^d'.
+/// Implementations must be deterministic and thread-compatible.
+class PhiFunction {
+ public:
+  virtual ~PhiFunction() = default;
+
+  /// Dimensionality d of the raw data points.
+  virtual size_t input_dim() const = 0;
+  /// Dimensionality d' of phi(x) (the indexed space).
+  virtual size_t output_dim() const = 0;
+  /// Evaluates phi at `x` (length input_dim) into `out` (length
+  /// output_dim).
+  virtual void Apply(const double* x, double* out) const = 0;
+  /// Human-readable name for diagnostics.
+  virtual std::string name() const = 0;
+
+  /// Convenience: applies phi to a vector.
+  std::vector<double> operator()(const std::vector<double>& x) const;
+};
+
+/// phi(x) = x. Reduces the inequality query to half-space range searching
+/// and the top-k query to the hyperplane-to-nearest-point query
+/// (paper, Remark 3 of Section 3).
+class IdentityFunction final : public PhiFunction {
+ public:
+  explicit IdentityFunction(size_t dim) : dim_(dim) {}
+  size_t input_dim() const override { return dim_; }
+  size_t output_dim() const override { return dim_; }
+  void Apply(const double* x, double* out) const override;
+  std::string name() const override { return "identity"; }
+
+ private:
+  size_t dim_;
+};
+
+/// The power-factor function of the paper's Example 1. Input: a
+/// 4-attribute Consumption tuple (active_power, reactive_power, voltage,
+/// current); output: (active_power, voltage * current). The SQL function
+/// Critical_Consume(threshold) becomes
+///   <(1, -threshold), phi(x)> <= 0.
+class PowerFactorFunction final : public PhiFunction {
+ public:
+  size_t input_dim() const override { return 4; }
+  size_t output_dim() const override { return 2; }
+  void Apply(const double* x, double* out) const override;
+  std::string name() const override { return "power_factor"; }
+};
+
+/// Wraps an arbitrary callback as a PhiFunction; the general-purpose
+/// escape hatch for workloads like the moving-object feature maps.
+class CallbackFunction final : public PhiFunction {
+ public:
+  using Callback = std::function<void(const double* x, double* out)>;
+
+  CallbackFunction(size_t input_dim, size_t output_dim, std::string name,
+                   Callback callback)
+      : input_dim_(input_dim),
+        output_dim_(output_dim),
+        name_(std::move(name)),
+        callback_(std::move(callback)) {}
+
+  size_t input_dim() const override { return input_dim_; }
+  size_t output_dim() const override { return output_dim_; }
+  void Apply(const double* x, double* out) const override {
+    callback_(x, out);
+  }
+  std::string name() const override { return name_; }
+
+ private:
+  size_t input_dim_;
+  size_t output_dim_;
+  std::string name_;
+  Callback callback_;
+};
+
+/// Degree-2 polynomial feature map: optionally a constant 1, the linear
+/// terms x_i, the squares x_i^2, and the pairwise products x_i * x_j
+/// (i < j). Useful for quadratic predicates such as distance inequalities.
+class QuadraticFeatureFunction final : public PhiFunction {
+ public:
+  struct Options {
+    bool include_bias = false;
+    bool include_linear = true;
+    bool include_squares = true;
+    bool include_cross_terms = true;
+  };
+
+  /// All feature groups except the bias enabled.
+  explicit QuadraticFeatureFunction(size_t input_dim);
+  QuadraticFeatureFunction(size_t input_dim, Options options);
+
+  size_t input_dim() const override { return input_dim_; }
+  size_t output_dim() const override { return output_dim_; }
+  void Apply(const double* x, double* out) const override;
+  std::string name() const override { return "quadratic"; }
+
+ private:
+  size_t input_dim_;
+  size_t output_dim_;
+  Options options_;
+};
+
+}  // namespace planar
+
+#endif  // PLANAR_CORE_FUNCTION_H_

@@ -1,0 +1,283 @@
+// Copyright (c) 2026 The planar Authors. Licensed under the MIT license.
+
+#include "core/index_set.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <utility>
+
+#include "common/macros.h"
+#include "common/random.h"
+#include "geometry/vec.h"
+
+namespace planar {
+
+namespace {
+
+// Derives the octant from the domain signs; fails when a domain straddles
+// zero (octant would be ambiguous).
+Result<Octant> OctantFromDomains(const std::vector<ParameterDomain>& domains) {
+  std::vector<double> representative(domains.size());
+  for (size_t i = 0; i < domains.size(); ++i) {
+    const ParameterDomain& d = domains[i];
+    if (d.lo > d.hi) {
+      return Status::InvalidArgument("parameter domain with lo > hi");
+    }
+    if (d.lo < 0.0 && d.hi > 0.0) {
+      return Status::InvalidArgument(
+          "parameter domain straddles zero; the query octant is ambiguous");
+    }
+    // A domain touching or equal to zero counts as positive (the axis is
+    // then ignored during query processing when a_i == 0).
+    representative[i] = d.hi > 0.0 ? d.hi : d.lo;
+  }
+  return Octant::FromNormal(representative);
+}
+
+// Samples one mirrored-space normal: each entry uniform over the magnitude
+// range of its domain, clamped away from zero.
+std::vector<double> SampleNormal(const std::vector<ParameterDomain>& domains,
+                                 Rng& rng) {
+  constexpr double kMinEntry = 1e-12;
+  std::vector<double> c(domains.size());
+  for (size_t i = 0; i < domains.size(); ++i) {
+    const double m1 = std::fabs(domains[i].lo);
+    const double m2 = std::fabs(domains[i].hi);
+    const double lo = std::min(m1, m2);
+    const double hi = std::max(m1, m2);
+    double v = rng.Uniform(lo, hi);
+    if (lo == hi) v = lo;  // degenerate (known-constant) parameter
+    if (v < kMinEntry) v = hi > kMinEntry ? kMinEntry : 1.0;
+    c[i] = v;
+  }
+  return c;
+}
+
+}  // namespace
+
+Result<PlanarIndexSet> PlanarIndexSet::Build(
+    PhiMatrix phi, const std::vector<ParameterDomain>& domains,
+    const IndexSetOptions& options) {
+  if (phi.empty()) {
+    return Status::InvalidArgument("cannot index an empty phi matrix");
+  }
+  if (domains.size() != phi.dim()) {
+    return Status::InvalidArgument(
+        "one parameter domain per phi output axis is required");
+  }
+  if (options.budget == 0) {
+    return Status::InvalidArgument("index budget must be positive");
+  }
+  PLANAR_ASSIGN_OR_RETURN(Octant octant, OctantFromDomains(domains));
+
+  PlanarIndexSet set(std::move(phi), options);
+  Rng rng(options.seed);
+  const size_t max_attempts = options.budget * options.max_attempts_per_index;
+  std::vector<std::vector<double>> accepted_normals;
+  size_t attempts = 0;
+  while (set.indices_.size() < options.budget && attempts < max_attempts) {
+    ++attempts;
+    std::vector<double> c = SampleNormal(domains, rng);
+    bool redundant = false;
+    for (const auto& existing : accepted_normals) {
+      if (AreParallel(existing, c, options.dedup_tolerance)) {
+        redundant = true;
+        break;
+      }
+    }
+    if (redundant) continue;
+    Result<PlanarIndex> index =
+        PlanarIndex::Build(set.phi_.get(), c, octant, options.index_options);
+    PLANAR_RETURN_IF_ERROR(index.status());
+    accepted_normals.push_back(std::move(c));
+    set.indices_.push_back(std::move(index).value());
+  }
+  if (set.indices_.empty()) {
+    return Status::Internal("failed to sample any index normal");
+  }
+  return set;
+}
+
+Result<PlanarIndexSet> PlanarIndexSet::BuildWithNormals(
+    PhiMatrix phi, const std::vector<std::vector<double>>& normals,
+    const Octant& octant, const IndexSetOptions& options) {
+  if (phi.empty()) {
+    return Status::InvalidArgument("cannot index an empty phi matrix");
+  }
+  if (normals.empty()) {
+    return Status::InvalidArgument("at least one normal is required");
+  }
+  PlanarIndexSet set(std::move(phi), options);
+  for (const auto& normal : normals) {
+    Result<PlanarIndex> index = PlanarIndex::Build(
+        set.phi_.get(), normal, octant, options.index_options);
+    PLANAR_RETURN_IF_ERROR(index.status());
+    set.indices_.push_back(std::move(index).value());
+  }
+  return set;
+}
+
+int PlanarIndexSet::SelectBestIndex(const NormalizedQuery& q) const {
+  int best = -1;
+  double best_score = 0.0;
+  for (size_t i = 0; i < indices_.size(); ++i) {
+    const PlanarIndex& index = indices_[i];
+    if (!index.CanServe(q)) continue;
+    double score;
+    switch (options_.selector) {
+      case IndexSetOptions::Selector::kStretch:
+        score = index.MaxStretch(q);  // smaller is better
+        break;
+      case IndexSetOptions::Selector::kAngle:
+        score = -index.CosAngle(q);  // larger cosine is better
+        break;
+      case IndexSetOptions::Selector::kIntervalCount: {
+        const Result<PlanarIndex::Intervals> iv = index.ComputeIntervals(q);
+        PLANAR_DCHECK(iv.ok());
+        score = static_cast<double>(iv->larger_begin - iv->smaller_end);
+        break;
+      }
+    }
+    if (best == -1 || score < best_score) {
+      best = static_cast<int>(i);
+      best_score = score;
+    }
+  }
+  return best;
+}
+
+PlanarIndexSet::Explanation PlanarIndexSet::Explain(
+    const ScalarProductQuery& q) const {
+  Explanation e;
+  const NormalizedQuery norm = NormalizedQuery::From(q);
+  const int best = SelectBestIndex(norm);
+  if (best < 0) return e;
+  e.index_used = best;
+  e.index_explanation = indices_[static_cast<size_t>(best)].Explain(norm);
+  if (options_.scan_fallback_fraction < 1.0 &&
+      static_cast<double>(e.index_explanation.intermediate()) >
+          options_.scan_fallback_fraction *
+              static_cast<double>(phi_->size())) {
+    e.scan_fallback = true;
+  }
+  return e;
+}
+
+std::string PlanarIndexSet::Explanation::ToString() const {
+  if (index_used < 0) return "no compatible index: sequential scan";
+  std::string out = "index " + std::to_string(index_used);
+  if (scan_fallback) {
+    out += " (hybrid fallback to sequential scan: interval too wide); would "
+           "have run as: ";
+  } else {
+    out += ": ";
+  }
+  out += index_explanation.ToString();
+  return out;
+}
+
+PlanarIndexSet::SelectivityBounds PlanarIndexSet::EstimateSelectivity(
+    const ScalarProductQuery& q) const {
+  const NormalizedQuery norm = NormalizedQuery::From(q);
+  const int best = SelectBestIndex(norm);
+  SelectivityBounds bounds;
+  if (best < 0) return bounds;
+  const PlanarIndex::Explanation e =
+      indices_[static_cast<size_t>(best)].Explain(norm);
+  const double n = static_cast<double>(phi_->size());
+  if (n == 0.0) return bounds;
+  if (e.degenerate) return bounds;
+  const bool le = norm.cmp == Comparison::kLessEqual;
+  const double accepted = static_cast<double>(
+      le ? e.smaller_end : e.num_points - e.larger_begin);
+  bounds.lo = accepted / n;
+  bounds.hi = (accepted + static_cast<double>(e.intermediate())) / n;
+  return bounds;
+}
+
+InequalityResult PlanarIndexSet::Inequality(const ScalarProductQuery& q) const {
+  const NormalizedQuery norm = NormalizedQuery::From(q);
+  const int best = SelectBestIndex(norm);
+  if (best < 0) {
+    return ScanInequality(*phi_, q);
+  }
+  const PlanarIndex& index = indices_[static_cast<size_t>(best)];
+  if (options_.scan_fallback_fraction < 1.0) {
+    const Result<PlanarIndex::Intervals> iv = index.ComputeIntervals(norm);
+    PLANAR_CHECK(iv.ok());  // CanServe was verified by the selector
+    const double intermediate =
+        static_cast<double>(iv->larger_begin - iv->smaller_end);
+    if (intermediate > options_.scan_fallback_fraction *
+                           static_cast<double>(phi_->size())) {
+      return ScanInequality(*phi_, q);
+    }
+  }
+  Result<InequalityResult> result = index.Inequality(norm);
+  PLANAR_CHECK(result.ok());
+  result->stats.index_used = best;
+  return std::move(result).value();
+}
+
+Result<TopKResult> PlanarIndexSet::TopK(const ScalarProductQuery& q,
+                                        size_t k) const {
+  const NormalizedQuery norm = NormalizedQuery::From(q);
+  const int best = SelectBestIndex(norm);
+  if (best < 0) {
+    return ScanTopK(*phi_, q, k);
+  }
+  Result<TopKResult> result = indices_[static_cast<size_t>(best)].TopK(norm, k);
+  if (result.ok()) result->stats.index_used = best;
+  return result;
+}
+
+Status PlanarIndexSet::AddIndex(std::vector<double> normal,
+                                const Octant& octant) {
+  Result<PlanarIndex> index = PlanarIndex::Build(
+      phi_.get(), std::move(normal), octant, options_.index_options);
+  PLANAR_RETURN_IF_ERROR(index.status());
+  indices_.push_back(std::move(index).value());
+  return Status::OK();
+}
+
+Status PlanarIndexSet::RemoveIndex(size_t i) {
+  if (i >= indices_.size()) {
+    return Status::OutOfRange("index position out of range");
+  }
+  indices_.erase(indices_.begin() + static_cast<ptrdiff_t>(i));
+  return Status::OK();
+}
+
+Status PlanarIndexSet::UpdateRow(uint32_t row, const double* phi_values) {
+  if (row >= phi_->size()) {
+    return Status::OutOfRange("row id out of range");
+  }
+  phi_->SetRow(row, phi_values);
+  for (PlanarIndex& index : indices_) {
+    if (!index.Update(row)) {
+      index.Rebuild();
+      ++rebuild_count_;
+    }
+  }
+  return Status::OK();
+}
+
+Status PlanarIndexSet::AppendRow(const double* phi_values) {
+  phi_->AppendRow(phi_values);
+  const uint32_t row = static_cast<uint32_t>(phi_->size() - 1);
+  for (PlanarIndex& index : indices_) {
+    if (!index.NotifyAppend(row)) {
+      index.Rebuild();
+      ++rebuild_count_;
+    }
+  }
+  return Status::OK();
+}
+
+size_t PlanarIndexSet::MemoryUsage() const {
+  size_t total = sizeof(*this) + phi_->MemoryUsage();
+  for (const PlanarIndex& index : indices_) total += index.MemoryUsage();
+  return total;
+}
+
+}  // namespace planar

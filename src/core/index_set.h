@@ -1,0 +1,172 @@
+// Copyright (c) 2026 The planar Authors. Licensed under the MIT license.
+//
+// Multiple Planar indices (Section 5 of the paper): a budget of normals is
+// sampled from the known query-parameter domains at preprocessing time
+// (Section 5.2), and at query time the best index is chosen in O(r d')
+// without touching the data (Section 5.1) — either by minimizing the
+// volume/stretch of the intermediate interval or by minimizing the angle
+// to the query hyperplane. Queries no index can serve fall back to a
+// sequential scan, so the set is always exact.
+
+#ifndef PLANAR_CORE_INDEX_SET_H_
+#define PLANAR_CORE_INDEX_SET_H_
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "common/result.h"
+#include "common/status.h"
+#include "core/planar_index.h"
+#include "core/query.h"
+#include "core/row_matrix.h"
+#include "core/scan.h"
+
+namespace planar {
+
+/// The known domain of one query parameter a_i (paper, Section 4.1). The
+/// interval is closed and must not straddle zero: the sign of the domain
+/// fixes the hyper octant the indices are built for.
+struct ParameterDomain {
+  double lo = 0.0;
+  double hi = 0.0;
+};
+
+/// Options for building a PlanarIndexSet.
+struct IndexSetOptions {
+  /// Best-index selection strategy (Section 5.1 of the paper, plus this
+  /// library's exact variant).
+  enum class Selector {
+    kStretch,  ///< volume / max-stretch minimization (paper's default)
+    kAngle,    ///< angle minimization
+    /// Exact |II| per index via two binary searches on its sorted keys —
+    /// O(r (d'^2 + log n)) total, still independent of the interval's
+    /// cardinality. (The paper rules out "counting the points in the
+    /// intermediate interval" as a chicken-and-egg problem, but with the
+    /// sorted key list the count needs no enumeration.)
+    kIntervalCount,
+  };
+
+  /// Number of indices to sample (the paper's budget b).
+  size_t budget = 10;
+  Selector selector = Selector::kIntervalCount;
+  PlanarIndexOptions index_options;
+  /// Two sampled normals closer than this (on |cos|) are redundant and
+  /// the later one is discarded (Section 5.2).
+  double dedup_tolerance = 1e-6;
+  /// Sampling seed (index sets are deterministic given the seed).
+  uint64_t seed = 42;
+  /// Sampling stops after budget * this many attempts even when dedup
+  /// kept the set below budget.
+  size_t max_attempts_per_index = 16;
+  /// Hybrid worst-case guard: when even the best index leaves more than
+  /// this fraction of the points in the intermediate interval, answer by
+  /// sequential scan instead — random access over a near-total interval
+  /// costs more than a contiguous scan (the paper observes exactly this
+  /// effect at high dimensionality and query randomness, Section 7.2.2).
+  /// 1.0 disables the fallback.
+  double scan_fallback_fraction = 0.85;
+};
+
+/// A budget of Planar indices over one owned phi matrix.
+class PlanarIndexSet {
+ public:
+  PlanarIndexSet(PlanarIndexSet&&) = default;
+  PlanarIndexSet& operator=(PlanarIndexSet&&) = default;
+  PlanarIndexSet(const PlanarIndexSet&) = delete;
+  PlanarIndexSet& operator=(const PlanarIndexSet&) = delete;
+
+  /// Builds `options.budget` indices with normals sampled uniformly from
+  /// `domains` (one domain per phi output axis), deduplicating parallel
+  /// normals. Takes ownership of the matrix.
+  static Result<PlanarIndexSet> Build(PhiMatrix phi,
+                                      const std::vector<ParameterDomain>& domains,
+                                      const IndexSetOptions& options = IndexSetOptions());
+
+  /// Builds with explicitly chosen mirrored-space normals (all entries
+  /// strictly positive) for the given octant. Useful when good normals are
+  /// known, e.g. one per anticipated time instant in moving-object
+  /// workloads.
+  static Result<PlanarIndexSet> BuildWithNormals(
+      PhiMatrix phi, const std::vector<std::vector<double>>& normals,
+      const Octant& octant, const IndexSetOptions& options = IndexSetOptions());
+
+  /// Problem 1 via the best index; falls back to a sequential scan when no
+  /// index can serve the query (stats.index_used == -1 then).
+  InequalityResult Inequality(const ScalarProductQuery& q) const;
+
+  /// Problem 2 via the best index, with the same scan fallback.
+  Result<TopKResult> TopK(const ScalarProductQuery& q, size_t k) const;
+
+  /// The index the selection heuristic picks for `q`, or -1 when no index
+  /// is octant-compatible. O(r d').
+  int SelectBestIndex(const NormalizedQuery& q) const;
+
+  /// EXPLAIN output for `q`: which index would serve it, whether the
+  /// hybrid scan fallback would fire, and the serving index's thresholds
+  /// and candidate counts.
+  struct Explanation {
+    int index_used = -1;      ///< -1: sequential scan
+    bool scan_fallback = false;  ///< fallback fired despite a usable index
+    PlanarIndex::Explanation index_explanation;
+    std::string ToString() const;
+  };
+  Explanation Explain(const ScalarProductQuery& q) const;
+
+  /// Exact selectivity bounds for `q` without evaluating any scalar
+  /// product: the true match count lies in
+  /// [accepted_outright, accepted_outright + intermediate] (both as
+  /// fractions of the dataset). Useful for optimizer integration. Returns
+  /// {0, 1} when only a scan could answer.
+  struct SelectivityBounds {
+    double lo = 0.0;
+    double hi = 1.0;
+  };
+  SelectivityBounds EstimateSelectivity(const ScalarProductQuery& q) const;
+
+  /// Adds one more index with the given mirrored-space normal for octant
+  /// `octant` (e.g. MOVIES-style rotation of time-instant indices).
+  Status AddIndex(std::vector<double> normal, const Octant& octant);
+
+  /// Drops the i-th index.
+  Status RemoveIndex(size_t i);
+
+  /// Overwrites one row of phi and maintains every index. Indices whose
+  /// translation no longer covers the row are rebuilt transparently.
+  Status UpdateRow(uint32_t row, const double* phi_values);
+
+  /// Appends one row of phi and maintains every index.
+  Status AppendRow(const double* phi_values);
+
+  /// The owned phi matrix.
+  const PhiMatrix& phi() const { return *phi_; }
+  /// Number of points.
+  size_t size() const { return phi_->size(); }
+  /// Number of indices held.
+  size_t num_indices() const { return indices_.size(); }
+  /// Access to an individual index.
+  const PlanarIndex& index(size_t i) const { return indices_[i]; }
+
+  /// The options this set was built with.
+  const IndexSetOptions& options() const { return options_; }
+
+  /// Cumulative number of transparent index rebuilds triggered by updates.
+  size_t rebuild_count() const { return rebuild_count_; }
+
+  /// Heap footprint of all indices plus the owned matrix, in bytes.
+  size_t MemoryUsage() const;
+
+ private:
+  explicit PlanarIndexSet(PhiMatrix phi, IndexSetOptions options)
+      : phi_(std::make_unique<PhiMatrix>(std::move(phi))),
+        options_(options) {}
+
+  std::unique_ptr<PhiMatrix> phi_;  // stable address for index back-pointers
+  IndexSetOptions options_;
+  std::vector<PlanarIndex> indices_;
+  size_t rebuild_count_ = 0;
+};
+
+}  // namespace planar
+
+#endif  // PLANAR_CORE_INDEX_SET_H_

@@ -1,0 +1,58 @@
+// Copyright (c) 2026 The planar Authors. Licensed under the MIT license.
+
+#include "core/parallel.h"
+
+#include <algorithm>
+#include <thread>
+
+#include "common/macros.h"
+
+namespace planar {
+
+void ParallelFor(size_t n, const std::function<void(size_t)>& fn,
+                 size_t threads) {
+  if (n == 0) return;
+  if (threads == 0) {
+    threads = std::max(1u, std::thread::hardware_concurrency());
+  }
+  threads = std::min(threads, n);
+  if (threads == 1) {
+    for (size_t i = 0; i < n; ++i) fn(i);
+    return;
+  }
+  std::vector<std::thread> workers;
+  workers.reserve(threads);
+  const size_t chunk = (n + threads - 1) / threads;
+  for (size_t t = 0; t < threads; ++t) {
+    const size_t begin = t * chunk;
+    const size_t end = std::min(n, begin + chunk);
+    if (begin >= end) break;
+    workers.emplace_back([begin, end, &fn] {
+      for (size_t i = begin; i < end; ++i) fn(i);
+    });
+  }
+  for (std::thread& worker : workers) worker.join();
+}
+
+std::vector<InequalityResult> ParallelInequality(
+    const PlanarIndexSet& set, const std::vector<ScalarProductQuery>& queries,
+    size_t threads) {
+  std::vector<InequalityResult> results(queries.size());
+  ParallelFor(
+      queries.size(),
+      [&](size_t i) { results[i] = set.Inequality(queries[i]); }, threads);
+  return results;
+}
+
+std::vector<Result<TopKResult>> ParallelTopK(
+    const PlanarIndexSet& set, const std::vector<ScalarProductQuery>& queries,
+    size_t k, size_t threads) {
+  std::vector<Result<TopKResult>> results(
+      queries.size(), Status::Internal("not executed"));
+  ParallelFor(
+      queries.size(), [&](size_t i) { results[i] = set.TopK(queries[i], k); },
+      threads);
+  return results;
+}
+
+}  // namespace planar

@@ -1,0 +1,42 @@
+// Copyright (c) 2026 The planar Authors. Licensed under the MIT license.
+//
+// Parallel batch query execution. All query methods of PlanarIndex /
+// PlanarIndexSet are const and touch no mutable state, so concurrent
+// queries over one set are safe; these helpers shard a query batch
+// across threads. (Maintenance calls — UpdateRow / AppendRow / Rebuild —
+// must not run concurrently with queries.)
+
+#ifndef PLANAR_CORE_PARALLEL_H_
+#define PLANAR_CORE_PARALLEL_H_
+
+#include <cstddef>
+#include <functional>
+#include <vector>
+
+#include "common/result.h"
+#include "core/index_set.h"
+
+namespace planar {
+
+/// Runs fn(i) for every i in [0, n) on up to `threads` std::threads
+/// (0 = hardware concurrency). Blocks until every call returned.
+/// Each index is processed exactly once; the assignment of indices to
+/// threads is contiguous sharding.
+void ParallelFor(size_t n, const std::function<void(size_t)>& fn,
+                 size_t threads = 0);
+
+/// Answers a batch of inequality queries over `set` in parallel;
+/// result[i] corresponds to queries[i].
+std::vector<InequalityResult> ParallelInequality(
+    const PlanarIndexSet& set, const std::vector<ScalarProductQuery>& queries,
+    size_t threads = 0);
+
+/// Answers a batch of top-k queries in parallel. Per-query failures (e.g.
+/// a degenerate all-zero normal) surface in the matching Result slot.
+std::vector<Result<TopKResult>> ParallelTopK(
+    const PlanarIndexSet& set, const std::vector<ScalarProductQuery>& queries,
+    size_t k, size_t threads = 0);
+
+}  // namespace planar
+
+#endif  // PLANAR_CORE_PARALLEL_H_

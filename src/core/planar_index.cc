@@ -1,0 +1,643 @@
+// Copyright (c) 2026 The planar Authors. Licensed under the MIT license.
+
+#include "core/planar_index.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <limits>
+#include <numeric>
+#include <utility>
+
+#include "common/macros.h"
+#include "geometry/vec.h"
+
+namespace planar {
+
+namespace {
+
+// Evaluates the (normalized) predicate exactly against a phi row.
+bool MatchesNormalized(const NormalizedQuery& q, const double* phi_row) {
+  const double value = Dot(q.a.data(), phi_row, q.a.size());
+  return q.cmp == Comparison::kLessEqual ? value <= q.b : value >= q.b;
+}
+
+double ResidualNormalized(const NormalizedQuery& q, const double* phi_row) {
+  return Dot(q.a.data(), phi_row, q.a.size()) - q.b;
+}
+
+}  // namespace
+
+Result<PlanarIndex> PlanarIndex::Build(const PhiMatrix* phi,
+                                       std::vector<double> normal,
+                                       const Octant& octant,
+                                       const PlanarIndexOptions& options) {
+  if (phi == nullptr) {
+    return Status::InvalidArgument("phi matrix must not be null");
+  }
+  if (phi->empty()) {
+    return Status::InvalidArgument("cannot index an empty phi matrix");
+  }
+  if (normal.size() != phi->dim() || octant.dim() != phi->dim()) {
+    return Status::InvalidArgument(
+        "normal / octant dimensionality must match the phi matrix");
+  }
+  for (double c : normal) {
+    if (!(c > 0.0) || !std::isfinite(c)) {
+      return Status::InvalidArgument(
+          "index normal entries must be strictly positive and finite");
+    }
+  }
+  if (options.epsilon_band < 0.0) {
+    return Status::InvalidArgument("epsilon_band must be non-negative");
+  }
+
+  PlanarIndex index;
+  index.phi_ = phi;
+  index.options_ = options;
+  index.normal_ = std::move(normal);
+  index.translator_ = Translator::Create(*phi, octant, options.translation);
+  index.Rebuild();
+  return index;
+}
+
+Result<PlanarIndex> PlanarIndex::BuildFirstOctant(
+    const PhiMatrix* phi, std::vector<double> normal,
+    const PlanarIndexOptions& options) {
+  const size_t d = normal.size();
+  return Build(phi, std::move(normal), Octant::First(d), options);
+}
+
+void PlanarIndex::Rebuild() {
+  translator_ =
+      Translator::Create(*phi_, translator_.octant(), options_.translation);
+  const size_t d = normal_.size();
+  signed_normal_.resize(d);
+  key_shift_ = 0.0;
+  for (size_t i = 0; i < d; ++i) {
+    signed_normal_[i] = translator_.octant().sign(i) * normal_[i];
+    key_shift_ += normal_[i] * translator_.delta()[i];
+  }
+
+  const size_t n = phi_->size();
+  key_of_row_.resize(n);
+  std::vector<OrderStatisticBTree::Entry> entries(n);
+  for (size_t row = 0; row < n; ++row) {
+    const double key = RawKey(phi_->row(row));
+    key_of_row_[row] = key;
+    entries[row] = {key, static_cast<uint32_t>(row)};
+  }
+  std::sort(entries.begin(), entries.end());
+
+  if (options_.backend == PlanarIndexOptions::Backend::kSortedArray) {
+    keys_.resize(n);
+    ids_.resize(n);
+    for (size_t r = 0; r < n; ++r) {
+      keys_[r] = entries[r].key;
+      ids_[r] = entries[r].value;
+    }
+    tree_.Clear();
+  } else {
+    tree_.BuildFromSorted(entries);
+    keys_.clear();
+    keys_.shrink_to_fit();
+    ids_.clear();
+    ids_.shrink_to_fit();
+  }
+}
+
+double PlanarIndex::RawKey(const double* phi_row) const {
+  return Dot(signed_normal_.data(), phi_row, signed_normal_.size()) +
+         key_shift_;
+}
+
+size_t PlanarIndex::RankLessEqual(double key) const {
+  if (options_.backend == PlanarIndexOptions::Backend::kSortedArray) {
+    return static_cast<size_t>(
+        std::upper_bound(keys_.begin(), keys_.end(), key) - keys_.begin());
+  }
+  return tree_.CountLessEqual(key);
+}
+
+bool PlanarIndex::CanServe(const NormalizedQuery& q) const {
+  if (q.a.size() != normal_.size()) return false;
+  const Octant& oct = translator_.octant();
+  for (size_t i = 0; i < q.a.size(); ++i) {
+    if (q.a[i] > 0.0 && oct.sign(i) < 0.0) return false;
+    if (q.a[i] < 0.0 && oct.sign(i) > 0.0) return false;
+  }
+  return true;
+}
+
+PlanarIndex::Prepared PlanarIndex::Prepare(const NormalizedQuery& q) const {
+  Prepared p;
+  p.b_prime = translator_.MirroredOffset(q);
+
+  // Split axes into active (a~_i > 0) and always-excluded (a~_i == 0).
+  struct Axis {
+    double ratio;     // a~_i / c_i
+    double c_psi_min;  // c_i * psi_min_i
+    double c_psi_max;
+    double a_psi_min;  // a~_i * psi_min_i
+    double a_psi_max;
+  };
+  std::vector<Axis> axes;
+  axes.reserve(q.a.size());
+  size_t m = 0;
+  for (size_t i = 0; i < q.a.size(); ++i) {
+    const double at = std::fabs(q.a[i]);
+    const double psi_min = translator_.PsiMin(i);
+    const double psi_max = translator_.PsiMax(i);
+    if (at > 0.0) {
+      axes.push_back({at / normal_[i], normal_[i] * psi_min,
+                      normal_[i] * psi_max, at * psi_min, at * psi_max});
+      ++m;
+    } else {
+      p.c0min += normal_[i] * psi_min;
+      p.c0max += normal_[i] * psi_max;
+    }
+  }
+  p.excluded_axes = q.a.size() - m;  // exact-zero axes
+  if (m == 0) {
+    p.all_axes_zero = true;
+    return p;
+  }
+
+  size_t prefix = 0;  // smallest-ratio axes excluded
+  size_t suffix = 0;  // largest-ratio axes excluded
+  std::sort(axes.begin(), axes.end(),
+            [](const Axis& x, const Axis& y) { return x.ratio < y.ratio; });
+
+  if (options_.enable_axis_exclusion && m > 1) {
+    // Prefix sums over ratio order for O(1) evaluation of any
+    // prefix/suffix exclusion choice.
+    std::vector<double> pc_min(m + 1), pc_max(m + 1), pa_min(m + 1),
+        pa_max(m + 1);
+    pc_min[0] = pc_max[0] = pa_min[0] = pa_max[0] = 0.0;
+    for (size_t i = 0; i < m; ++i) {
+      pc_min[i + 1] = pc_min[i] + axes[i].c_psi_min;
+      pc_max[i + 1] = pc_max[i] + axes[i].c_psi_max;
+      pa_min[i + 1] = pa_min[i] + axes[i].a_psi_min;
+      pa_max[i + 1] = pa_max[i] + axes[i].a_psi_max;
+    }
+    // Choose the exclusion (prefix, suffix) minimizing the interval width
+    //   W = (b' - Emin)/rmin - (b' - Emax)/rmax + (C0max - C0min),
+    // a proxy for |II| under a uniform key density.
+    double best_width = std::numeric_limits<double>::infinity();
+    for (size_t pre = 0; pre < m; ++pre) {
+      for (size_t suf = 0; pre + suf + 1 <= m; ++suf) {
+        const double rmin = axes[pre].ratio;
+        const double rmax = axes[m - suf - 1].ratio;
+        const double e_min = p.emin + pa_min[pre] + (pa_min[m] - pa_min[m - suf]);
+        const double e_max = p.emax + pa_max[pre] + (pa_max[m] - pa_max[m - suf]);
+        const double c_min = p.c0min + pc_min[pre] + (pc_min[m] - pc_min[m - suf]);
+        const double c_max = p.c0max + pc_max[pre] + (pc_max[m] - pc_max[m - suf]);
+        const double width = (p.b_prime - e_min) / rmin -
+                             (p.b_prime - e_max) / rmax + (c_max - c_min);
+        if (width < best_width) {
+          best_width = width;
+          prefix = pre;
+          suffix = suf;
+        }
+      }
+    }
+  }
+
+  p.excluded_axes += prefix + suffix;
+  p.rmin = axes[prefix].ratio;
+  p.rmax = axes[m - suffix - 1].ratio;
+  for (size_t i = 0; i < prefix; ++i) {
+    p.c0min += axes[i].c_psi_min;
+    p.c0max += axes[i].c_psi_max;
+    p.emin += axes[i].a_psi_min;
+    p.emax += axes[i].a_psi_max;
+  }
+  for (size_t i = m - suffix; i < m; ++i) {
+    p.c0min += axes[i].c_psi_min;
+    p.c0max += axes[i].c_psi_max;
+    p.emin += axes[i].a_psi_min;
+    p.emax += axes[i].a_psi_max;
+  }
+
+  const double low = (p.b_prime - p.emax) / p.rmax + p.c0min;
+  const double high = (p.b_prime - p.emin) / p.rmin + p.c0max;
+  const double band = options_.epsilon_band *
+                      (std::fabs(p.b_prime) + std::fabs(p.emax) +
+                       std::fabs(low) + std::fabs(high) + 1.0);
+  p.low_cut = low - band;
+  p.high_cut = high + band;
+  return p;
+}
+
+Result<PlanarIndex::Intervals> PlanarIndex::ComputeIntervals(
+    const NormalizedQuery& q) const {
+  if (!CanServe(q)) {
+    return Status::FailedPrecondition(
+        "query octant is incompatible with this index");
+  }
+  Intervals iv;
+  if (q.IsDegenerate()) {
+    // Constant predicate: everything is decided outright, nothing is
+    // intermediate.
+    iv.smaller_end = size();
+    iv.larger_begin = size();
+    return iv;
+  }
+  const Prepared p = Prepare(q);
+  iv.smaller_end = RankLessEqual(p.low_cut);
+  iv.larger_begin = RankLessEqual(p.high_cut);
+  PLANAR_DCHECK(iv.smaller_end <= iv.larger_begin);
+  return iv;
+}
+
+void PlanarIndex::CollectRange(size_t begin, size_t end,
+                               std::vector<uint32_t>* out) const {
+  PLANAR_CHECK(begin <= end && end <= size());
+  out->reserve(out->size() + (end - begin));
+  if (options_.backend == PlanarIndexOptions::Backend::kSortedArray) {
+    for (size_t r = begin; r < end; ++r) out->push_back(ids_[r]);
+  } else {
+    OrderStatisticBTree::Iterator it = tree_.IteratorAt(begin);
+    for (size_t r = begin; r < end; ++r, it.Next()) {
+      out->push_back(it.entry().value);
+    }
+  }
+}
+
+Result<InequalityResult> PlanarIndex::Inequality(
+    const ScalarProductQuery& q) const {
+  return Inequality(NormalizedQuery::From(q));
+}
+
+Result<InequalityResult> PlanarIndex::Inequality(
+    const NormalizedQuery& q) const {
+  if (!CanServe(q)) {
+    return Status::FailedPrecondition(
+        "query octant is incompatible with this index");
+  }
+  PLANAR_CHECK_EQ(phi_->size(), size());
+  return RunInequality(q);
+}
+
+InequalityResult PlanarIndex::RunInequality(const NormalizedQuery& q) const {
+  const size_t n = size();
+  InequalityResult result;
+  result.stats.num_points = n;
+
+  if (q.IsDegenerate()) {
+    // <0, phi(x)> cmp b with b >= 0: constant over all points.
+    const bool all_match =
+        q.cmp == Comparison::kLessEqual ? (0.0 <= q.b) : (0.0 >= q.b);
+    if (all_match) {
+      result.ids.resize(n);
+      std::iota(result.ids.begin(), result.ids.end(), 0u);
+      result.stats.accepted_directly = n;
+    } else {
+      result.stats.rejected_directly = n;
+    }
+    result.stats.result_size = result.ids.size();
+    return result;
+  }
+
+  const Prepared p = Prepare(q);
+  const size_t smaller_end = RankLessEqual(p.low_cut);
+  const size_t larger_begin = RankLessEqual(p.high_cut);
+  PLANAR_DCHECK(smaller_end <= larger_begin);
+
+  const bool le = q.cmp == Comparison::kLessEqual;
+  // Which rank range is accepted outright.
+  const size_t accept_begin = le ? 0 : larger_begin;
+  const size_t accept_end = le ? smaller_end : n;
+
+  result.ids.reserve((accept_end - accept_begin) +
+                     (larger_begin - smaller_end) / 2);
+
+  if (options_.backend == PlanarIndexOptions::Backend::kSortedArray) {
+    for (size_t r = accept_begin; r < accept_end; ++r) {
+      result.ids.push_back(ids_[r]);
+    }
+    for (size_t r = smaller_end; r < larger_begin; ++r) {
+      const uint32_t id = ids_[r];
+      if (MatchesNormalized(q, phi_->row(id))) result.ids.push_back(id);
+    }
+  } else {
+    OrderStatisticBTree::Iterator it = tree_.IteratorAt(accept_begin);
+    for (size_t r = accept_begin; r < accept_end; ++r, it.Next()) {
+      result.ids.push_back(it.entry().value);
+    }
+    it = tree_.IteratorAt(smaller_end);
+    for (size_t r = smaller_end; r < larger_begin; ++r, it.Next()) {
+      const uint32_t id = it.entry().value;
+      if (MatchesNormalized(q, phi_->row(id))) result.ids.push_back(id);
+    }
+  }
+
+  result.stats.accepted_directly = accept_end - accept_begin;
+  result.stats.rejected_directly =
+      le ? n - larger_begin : smaller_end;
+  result.stats.verified = larger_begin - smaller_end;
+  result.stats.result_size = result.ids.size();
+  return result;
+}
+
+Result<TopKResult> PlanarIndex::TopK(const ScalarProductQuery& q,
+                                     size_t k) const {
+  return TopK(NormalizedQuery::From(q), k);
+}
+
+Result<TopKResult> PlanarIndex::TopK(const NormalizedQuery& q,
+                                     size_t k) const {
+  if (!CanServe(q)) {
+    return Status::FailedPrecondition(
+        "query octant is incompatible with this index");
+  }
+  if (q.IsDegenerate()) {
+    return Status::InvalidArgument(
+        "top-k distance is undefined for an all-zero query normal");
+  }
+  if (k == 0) {
+    return Status::InvalidArgument("k must be positive");
+  }
+  PLANAR_CHECK_EQ(phi_->size(), size());
+  return RunTopK(q, k);
+}
+
+TopKResult PlanarIndex::RunTopK(const NormalizedQuery& q, size_t k) const {
+  const size_t n = size();
+  TopKResult result;
+  result.stats.num_points = n;
+
+  const Prepared p = Prepare(q);
+  const size_t smaller_end = RankLessEqual(p.low_cut);
+  const size_t larger_begin = RankLessEqual(p.high_cut);
+  const double norm_a = q.NormA();
+  const bool le = q.cmp == Comparison::kLessEqual;
+
+  TopKBuffer buffer(k);
+
+  // Phase 1: verify the intermediate interval (Algorithm 2, lines 3-7).
+  auto consider = [&](uint32_t id) {
+    const double residual = ResidualNormalized(q, phi_->row(id));
+    const bool match = le ? residual <= 0.0 : residual >= 0.0;
+    if (match) buffer.Insert(id, std::fabs(residual) / norm_a);
+  };
+
+  // Lower-bound distance of a directly-accepted point with the given key
+  // (Definition 5 / Claim 3, generalized for zero-parameter axes).
+  auto lower_bound_distance = [&](double key) {
+    const double raw =
+        le ? (p.b_prime - p.emax) - p.rmax * (key - p.c0min)
+           : p.rmin * (key - p.c0max) + p.emin - p.b_prime;
+    return std::max(0.0, raw) / norm_a;
+  };
+
+  if (options_.backend == PlanarIndexOptions::Backend::kSortedArray) {
+    for (size_t r = smaller_end; r < larger_begin; ++r) {
+      consider(ids_[r]);
+      ++result.stats.verified_intermediate;
+    }
+    // Phase 2: walk the directly-accepted region from the query hyperplane
+    // outward, pruning with the lower-bound distance (lines 8-14).
+    if (le) {
+      for (size_t r = smaller_end; r-- > 0;) {
+        if (buffer.full() &&
+            lower_bound_distance(keys_[r]) > buffer.WorstDistance()) {
+          result.stats.early_terminated = true;
+          break;
+        }
+        const uint32_t id = ids_[r];
+        buffer.Insert(id,
+                      std::fabs(ResidualNormalized(q, phi_->row(id))) / norm_a);
+        ++result.stats.scanned_accept_region;
+      }
+    } else {
+      for (size_t r = larger_begin; r < n; ++r) {
+        if (buffer.full() &&
+            lower_bound_distance(keys_[r]) > buffer.WorstDistance()) {
+          result.stats.early_terminated = true;
+          break;
+        }
+        const uint32_t id = ids_[r];
+        buffer.Insert(id,
+                      std::fabs(ResidualNormalized(q, phi_->row(id))) / norm_a);
+        ++result.stats.scanned_accept_region;
+      }
+    }
+  } else {
+    OrderStatisticBTree::Iterator it = tree_.IteratorAt(smaller_end);
+    for (size_t r = smaller_end; r < larger_begin; ++r, it.Next()) {
+      consider(it.entry().value);
+      ++result.stats.verified_intermediate;
+    }
+    if (le) {
+      if (smaller_end > 0) {
+        it = tree_.IteratorAt(smaller_end - 1);
+        while (it.Valid()) {
+          const OrderStatisticBTree::Entry e = it.entry();
+          if (buffer.full() &&
+              lower_bound_distance(e.key) > buffer.WorstDistance()) {
+            result.stats.early_terminated = true;
+            break;
+          }
+          buffer.Insert(
+              e.value,
+              std::fabs(ResidualNormalized(q, phi_->row(e.value))) / norm_a);
+          ++result.stats.scanned_accept_region;
+          it.Prev();
+        }
+      }
+    } else {
+      it = tree_.IteratorAt(larger_begin);
+      while (it.Valid()) {
+        const OrderStatisticBTree::Entry e = it.entry();
+        if (buffer.full() &&
+            lower_bound_distance(e.key) > buffer.WorstDistance()) {
+          result.stats.early_terminated = true;
+          break;
+        }
+        buffer.Insert(
+            e.value,
+            std::fabs(ResidualNormalized(q, phi_->row(e.value))) / norm_a);
+        ++result.stats.scanned_accept_region;
+        it.Next();
+      }
+    }
+  }
+
+  result.neighbors = buffer.TakeSorted();
+  return result;
+}
+
+PlanarIndex::Explanation PlanarIndex::Explain(
+    const NormalizedQuery& q) const {
+  Explanation e;
+  e.num_points = size();
+  e.cmp = q.cmp;
+  e.can_serve = CanServe(q);
+  if (!e.can_serve) return e;
+  if (q.IsDegenerate()) {
+    e.degenerate = true;
+    e.smaller_end = e.larger_begin = size();
+    return e;
+  }
+  const Prepared p = Prepare(q);
+  e.b_prime = p.b_prime;
+  e.rmin = p.rmin;
+  e.rmax = p.rmax;
+  e.excluded_axes = p.excluded_axes;
+  e.low_cut = p.low_cut;
+  e.high_cut = p.high_cut;
+  e.smaller_end = RankLessEqual(p.low_cut);
+  e.larger_begin = RankLessEqual(p.high_cut);
+  return e;
+}
+
+std::string PlanarIndex::Explanation::ToString() const {
+  char buf[512];
+  if (!can_serve) return "index cannot serve this query (octant mismatch)";
+  if (degenerate) return "degenerate all-zero query normal: constant answer";
+  const bool le = cmp == Comparison::kLessEqual;
+  const size_t accepted = le ? smaller_end : num_points - larger_begin;
+  const size_t rejected = le ? num_points - larger_begin : smaller_end;
+  std::snprintf(
+      buf, sizeof(buf),
+      "b'=%.4g ratios=[%.4g, %.4g] excluded_axes=%zu key cuts=(%.4g, %.4g) "
+      "-> accept %zu outright, verify %zu, reject %zu of %zu (%.1f%% pruned)",
+      b_prime, rmin, rmax, excluded_axes, low_cut, high_cut, accepted,
+      intermediate(), rejected, num_points,
+      num_points == 0
+          ? 100.0
+          : 100.0 * static_cast<double>(accepted + rejected) /
+                static_cast<double>(num_points));
+  return buf;
+}
+
+double PlanarIndex::MaxStretch(const NormalizedQuery& q) const {
+  PLANAR_CHECK(CanServe(q));
+  const double b_prime = translator_.MirroredOffset(q);
+  double m_max = -std::numeric_limits<double>::infinity();
+  double m_min = std::numeric_limits<double>::infinity();
+  for (size_t i = 0; i < q.a.size(); ++i) {
+    const double at = std::fabs(q.a[i]);
+    if (at == 0.0) continue;
+    // c_i * I(q, i) in mirrored space (Equation 13/15 of the paper).
+    const double m = normal_[i] * (b_prime / at);
+    m_max = std::max(m_max, m);
+    m_min = std::min(m_min, m);
+  }
+  if (!std::isfinite(m_max)) return 0.0;  // all-zero query normal
+  const double min_c = *std::min_element(normal_.begin(), normal_.end());
+  return (m_max - m_min) / min_c;
+}
+
+double PlanarIndex::CosAngle(const NormalizedQuery& q) const {
+  PLANAR_CHECK(CanServe(q));
+  double dot = 0.0;
+  double norm_a = 0.0;
+  for (size_t i = 0; i < q.a.size(); ++i) {
+    const double at = std::fabs(q.a[i]);
+    dot += at * normal_[i];
+    norm_a += at * at;
+  }
+  if (norm_a == 0.0) return 1.0;  // degenerate query: any index is "parallel"
+  return dot / (std::sqrt(norm_a) * Norm(normal_));
+}
+
+void PlanarIndex::EraseKey(double key, uint32_t row) {
+  if (options_.backend == PlanarIndexOptions::Backend::kSortedArray) {
+    size_t pos = static_cast<size_t>(
+        std::lower_bound(keys_.begin(), keys_.end(), key) - keys_.begin());
+    while (pos < keys_.size() && keys_[pos] == key && ids_[pos] != row) ++pos;
+    PLANAR_CHECK(pos < keys_.size() && keys_[pos] == key && ids_[pos] == row);
+    keys_.erase(keys_.begin() + static_cast<ptrdiff_t>(pos));
+    ids_.erase(ids_.begin() + static_cast<ptrdiff_t>(pos));
+  } else {
+    PLANAR_CHECK(tree_.Erase(key, row));
+  }
+}
+
+void PlanarIndex::InsertKey(double key, uint32_t row) {
+  if (options_.backend == PlanarIndexOptions::Backend::kSortedArray) {
+    size_t pos = static_cast<size_t>(
+        std::lower_bound(keys_.begin(), keys_.end(), key) - keys_.begin());
+    // Keep (key, id) order for determinism across backends.
+    while (pos < keys_.size() && keys_[pos] == key && ids_[pos] < row) ++pos;
+    keys_.insert(keys_.begin() + static_cast<ptrdiff_t>(pos), key);
+    ids_.insert(ids_.begin() + static_cast<ptrdiff_t>(pos), row);
+  } else {
+    tree_.Insert(key, row);
+  }
+}
+
+bool PlanarIndex::Update(uint32_t row) {
+  PLANAR_CHECK_LT(row, key_of_row_.size());
+  PLANAR_CHECK_EQ(phi_->size(), key_of_row_.size());
+  const double* phi_row = phi_->row(row);
+  if (!translator_.Covers(phi_row)) return false;
+  const double new_key = RawKey(phi_row);
+  const double old_key = key_of_row_[row];
+  if (new_key == old_key) return true;
+  EraseKey(old_key, row);
+  InsertKey(new_key, row);
+  key_of_row_[row] = new_key;
+  return true;
+}
+
+bool PlanarIndex::UpdateBatch(const std::vector<uint32_t>& rows) {
+  PLANAR_CHECK_EQ(phi_->size(), key_of_row_.size());
+  for (uint32_t row : rows) {
+    PLANAR_CHECK_LT(row, key_of_row_.size());
+    if (!translator_.Covers(phi_->row(row))) return false;
+  }
+  if (options_.backend == PlanarIndexOptions::Backend::kBTree) {
+    for (uint32_t row : rows) {
+      const double new_key = RawKey(phi_->row(row));
+      const double old_key = key_of_row_[row];
+      if (new_key == old_key) continue;
+      PLANAR_CHECK(tree_.Erase(old_key, row));
+      tree_.Insert(new_key, row);
+      key_of_row_[row] = new_key;
+    }
+    return true;
+  }
+  // Sorted array: recompute the changed keys and re-sort once.
+  for (uint32_t row : rows) {
+    key_of_row_[row] = RawKey(phi_->row(row));
+  }
+  const size_t n = key_of_row_.size();
+  std::vector<OrderStatisticBTree::Entry> entries(n);
+  for (size_t row = 0; row < n; ++row) {
+    entries[row] = {key_of_row_[row], static_cast<uint32_t>(row)};
+  }
+  std::sort(entries.begin(), entries.end());
+  for (size_t r = 0; r < n; ++r) {
+    keys_[r] = entries[r].key;
+    ids_[r] = entries[r].value;
+  }
+  return true;
+}
+
+bool PlanarIndex::NotifyAppend(uint32_t row) {
+  PLANAR_CHECK_EQ(static_cast<size_t>(row) + 1, phi_->size());
+  PLANAR_CHECK_EQ(static_cast<size_t>(row), key_of_row_.size());
+  const double* phi_row = phi_->row(row);
+  if (!translator_.Covers(phi_row)) return false;
+  const double key = RawKey(phi_row);
+  key_of_row_.push_back(key);
+  InsertKey(key, row);
+  return true;
+}
+
+size_t PlanarIndex::MemoryUsage() const {
+  size_t total = sizeof(*this);
+  total += keys_.capacity() * sizeof(double);
+  total += ids_.capacity() * sizeof(uint32_t);
+  total += key_of_row_.capacity() * sizeof(double);
+  total += (normal_.capacity() + signed_normal_.capacity()) * sizeof(double);
+  if (options_.backend == PlanarIndexOptions::Backend::kBTree) {
+    total += tree_.MemoryUsage();
+  }
+  return total;
+}
+
+}  // namespace planar

@@ -1,0 +1,291 @@
+// Copyright (c) 2026 The planar Authors. Licensed under the MIT license.
+//
+// The Planar index (Sections 4 and 6 of the paper): one set of parallel
+// hyperplanes with normal `c`, indexing the points by key(x) = <c, psi(x)>
+// where psi is phi translated-and-mirrored into the first hyper octant.
+//
+// Query processing partitions the sorted key list into three rank ranges
+// by two binary searches:
+//
+//   prefix  [0, smaller_end)   keys <=  b'/rmax + C0min  (SI)
+//   middle  [smaller_end, larger_begin)                  (II, verified)
+//   suffix  [larger_begin, n)  keys  >  b'/rmin + C0max  (LI)
+//
+// with rmax/rmin = max/min over active axes of a~_i / c_i and C0min/C0max
+// correcting for axes whose query parameter is zero. For a <=-query the
+// prefix is accepted outright and the suffix rejected outright
+// (Observations 1 and 2); for a >=-query the roles swap. Only the middle
+// range ever evaluates the scalar product.
+
+#ifndef PLANAR_CORE_PLANAR_INDEX_H_
+#define PLANAR_CORE_PLANAR_INDEX_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "btree/btree.h"
+#include "common/result.h"
+#include "common/status.h"
+#include "core/query.h"
+#include "core/row_matrix.h"
+#include "core/topk.h"
+#include "core/translation.h"
+#include "geometry/octant.h"
+
+namespace planar {
+
+/// Per-query bookkeeping: how many points were pruned without evaluating
+/// the scalar product (the quantity behind Figures 9 and 10).
+struct QueryStats {
+  size_t num_points = 0;          ///< points considered (n)
+  size_t accepted_directly = 0;   ///< accepted without evaluation
+  size_t rejected_directly = 0;   ///< rejected without evaluation
+  size_t verified = 0;            ///< scalar products evaluated (|II|)
+  size_t result_size = 0;         ///< matching points reported
+  int index_used = -1;            ///< set-level: which index served; -1 = scan
+
+  /// Fraction of points accepted or rejected without evaluation.
+  double PruningFraction() const {
+    if (num_points == 0) return 1.0;
+    return static_cast<double>(accepted_directly + rejected_directly) /
+           static_cast<double>(num_points);
+  }
+};
+
+/// Result of an inequality query: matching row ids (in no particular
+/// order) plus statistics.
+struct InequalityResult {
+  std::vector<uint32_t> ids;
+  QueryStats stats;
+};
+
+/// Statistics of a top-k query (Table 3 reports checked/total).
+struct TopKStats {
+  size_t num_points = 0;
+  size_t verified_intermediate = 0;  ///< II points evaluated
+  size_t scanned_accept_region = 0;  ///< directly-satisfying points evaluated
+  bool early_terminated = false;     ///< lower-bound pruning fired
+  int index_used = -1;
+
+  /// Points whose scalar product was evaluated.
+  size_t checked() const { return verified_intermediate + scanned_accept_region; }
+};
+
+/// Result of a top-k nearest neighbor query: up to k satisfying points in
+/// ascending hyperplane distance.
+struct TopKResult {
+  std::vector<Neighbor> neighbors;
+  TopKStats stats;
+};
+
+/// Construction options for a Planar index.
+struct PlanarIndexOptions {
+  /// Key storage backend.
+  enum class Backend {
+    kSortedArray,  ///< immutable-friendly; O(n) point updates, fastest scans
+    kBTree,        ///< order-statistic B+-tree; O(log n) point updates
+  };
+  Backend backend = Backend::kSortedArray;
+
+  /// Translation slack (see Translator::Options).
+  Translator::Options translation;
+
+  /// Relative floating-point guard band. Points whose key lies within the
+  /// band of an interval boundary are pushed into the intermediate
+  /// interval and verified exactly, so rounding in the key computation can
+  /// never mis-accept or mis-reject a point.
+  double epsilon_band = 1e-9;
+
+  /// Axis exclusion (an extension of the paper's zero-parameter-axis
+  /// remark): axes whose ratio a~_i / c_i is an extreme outlier widen the
+  /// intermediate interval enormously; bounding their contribution by the
+  /// per-axis psi range instead (the same treatment zero axes get) often
+  /// shrinks it. At query time the exclusion set minimizing the interval
+  /// width is chosen greedily over ratio-order prefixes/suffixes in
+  /// O(d'^2). Sound for any choice; disable to reproduce the paper's
+  /// intervals verbatim.
+  bool enable_axis_exclusion = true;
+};
+
+/// One Planar index over an externally-owned phi matrix.
+///
+/// Lifetime: the index holds a pointer to the PhiMatrix; the matrix must
+/// outlive the index and must only be mutated through the maintenance
+/// calls (Update / NotifyAppend) or a Rebuild must follow.
+class PlanarIndex {
+ public:
+  /// Rank-range boundaries computed for a query (see file comment).
+  struct Intervals {
+    size_t smaller_end = 0;
+    size_t larger_begin = 0;
+  };
+
+  PlanarIndex(PlanarIndex&&) = default;
+  PlanarIndex& operator=(PlanarIndex&&) = default;
+  PlanarIndex(const PlanarIndex&) = delete;
+  PlanarIndex& operator=(const PlanarIndex&) = delete;
+
+  /// Builds an index for the given octant. `normal` is the mirrored-space
+  /// normal vector: every entry strictly positive, entry i corresponding
+  /// to |a_i| of the expected queries (equivalently, the original-space
+  /// normal is sign(O, i) * normal[i]). Requires a non-empty matrix with
+  /// phi->dim() == normal.size() == octant.dim().
+  static Result<PlanarIndex> Build(const PhiMatrix* phi,
+                                   std::vector<double> normal,
+                                   const Octant& octant,
+                                   const PlanarIndexOptions& options = PlanarIndexOptions());
+
+  /// Convenience: Build with the first hyper octant (all-positive
+  /// parameters, all data already non-negative or translated).
+  static Result<PlanarIndex> BuildFirstOctant(
+      const PhiMatrix* phi, std::vector<double> normal,
+      const PlanarIndexOptions& options = PlanarIndexOptions());
+
+  /// True iff this index can answer `q` exactly: dimensions match and
+  /// sign(a_i) equals the index octant's sign on every axis with a_i != 0.
+  bool CanServe(const NormalizedQuery& q) const;
+
+  /// Problem 1: all points satisfying the query. Fails with
+  /// FailedPrecondition when the query is octant-incompatible.
+  Result<InequalityResult> Inequality(const ScalarProductQuery& q) const;
+  Result<InequalityResult> Inequality(const NormalizedQuery& q) const;
+
+  /// Problem 2: the k satisfying points nearest to the query hyperplane.
+  Result<TopKResult> TopK(const ScalarProductQuery& q, size_t k) const;
+  Result<TopKResult> TopK(const NormalizedQuery& q, size_t k) const;
+
+  /// The rank-range boundaries for `q` (exposed for tests, ablations, and
+  /// callers that run their own candidate verification — see
+  /// CollectRange).
+  Result<Intervals> ComputeIntervals(const NormalizedQuery& q) const;
+
+  /// Appends the row ids with ranks in [begin, end) to `out`, in rank
+  /// order. Combined with ComputeIntervals this lets a caller verify the
+  /// intermediate interval with a cheaper domain-specific predicate than
+  /// the generic scalar product (e.g. a 2D distance check in the
+  /// moving-object workloads). Requires begin <= end <= size().
+  void CollectRange(size_t begin, size_t end,
+                    std::vector<uint32_t>* out) const;
+
+  /// A human-inspectable account of how this index would process `q`:
+  /// thresholds, interval boundaries, exclusion decisions, and the exact
+  /// candidate counts. For debugging, optimizer integration, and the
+  /// EXPLAIN-style output of the CLI.
+  struct Explanation {
+    bool can_serve = false;
+    bool degenerate = false;       ///< all-zero query normal
+    double b_prime = 0.0;          ///< mirrored offset b'
+    double rmin = 0.0;             ///< min included ratio |a_i| / c_i
+    double rmax = 0.0;             ///< max included ratio
+    size_t excluded_axes = 0;      ///< axes bounded by their psi range
+    double low_cut = 0.0;          ///< accept-below key threshold
+    double high_cut = 0.0;         ///< reject-above key threshold
+    size_t num_points = 0;
+    size_t smaller_end = 0;        ///< |SI|
+    size_t larger_begin = 0;       ///< n - |LI|
+    Comparison cmp = Comparison::kLessEqual;
+
+    /// Points needing scalar-product evaluation.
+    size_t intermediate() const { return larger_begin - smaller_end; }
+    /// One-paragraph rendering.
+    std::string ToString() const;
+  };
+
+  /// Explains query processing without running it. O(d'^2 + log n).
+  Explanation Explain(const NormalizedQuery& q) const;
+
+  /// The max-stretch score of Problem 3 (volume heuristic, Section 5.1.1);
+  /// smaller is better. Requires CanServe(q).
+  double MaxStretch(const NormalizedQuery& q) const;
+
+  /// Cosine of the angle between the query normal and the index normal in
+  /// mirrored space (Section 5.1.2); larger is better. Requires
+  /// CanServe(q).
+  double CosAngle(const NormalizedQuery& q) const;
+
+  /// Maintenance: row `row` of the phi matrix was overwritten. Returns
+  /// false when the new value escapes the translation bounds, in which
+  /// case the caller must Rebuild() before querying again.
+  bool Update(uint32_t row);
+
+  /// Maintenance: the given rows of the phi matrix were overwritten.
+  /// O(k log n) on the B+-tree backend; one O(n log n) re-sort on the
+  /// sorted-array backend, which beats k point updates for all but tiny
+  /// batches. Returns false when any new row escapes the translation
+  /// bounds — the caller must Rebuild() before querying again.
+  bool UpdateBatch(const std::vector<uint32_t>& rows);
+
+  /// Maintenance: a new row was appended to the phi matrix; `row` must be
+  /// phi->size() - 1. Same contract as Update.
+  bool NotifyAppend(uint32_t row);
+
+  /// Recomputes the translation and every key from the current matrix.
+  void Rebuild();
+
+  /// The mirrored-space normal (all entries > 0).
+  const std::vector<double>& normal() const { return normal_; }
+  /// The octant this index serves.
+  const Octant& octant() const { return translator_.octant(); }
+  /// The translation in effect.
+  const Translator& translator() const { return translator_; }
+  /// Number of indexed points.
+  size_t size() const { return key_of_row_.size(); }
+  /// The key <c, psi(x)> of a row.
+  double KeyOf(uint32_t row) const { return key_of_row_[row]; }
+  /// The backend in use.
+  PlanarIndexOptions::Backend backend() const { return options_.backend; }
+
+  /// Heap footprint of the index structure in bytes (excludes the shared
+  /// phi matrix).
+  size_t MemoryUsage() const;
+
+ private:
+  // Thresholds and per-query scalars shared by query paths. With the
+  // included axis set A and excluded set E (zero axes always in E):
+  //   <a~, psi>  <=  rmax * (key - c0min) + emax
+  //   <a~, psi>  >=  rmin * (key - c0max) + emin
+  struct Prepared {
+    double b_prime = 0.0;
+    double rmax = 0.0;   // max over included axes of a~_i / c_i
+    double rmin = 0.0;   // min over included axes of a~_i / c_i
+    double c0min = 0.0;  // sum over excluded axes of c_i * psi_min_i
+    double c0max = 0.0;  // sum over excluded axes of c_i * psi_max_i
+    double emin = 0.0;   // sum over excluded axes of a~_i * psi_min_i
+    double emax = 0.0;   // sum over excluded axes of a~_i * psi_max_i
+    double low_cut = 0.0;   // keys <= low_cut: scalar product surely <= b
+    double high_cut = 0.0;  // keys >  high_cut: scalar product surely > b
+    size_t excluded_axes = 0;  // axes bounded by psi range (incl. zeros)
+    bool all_axes_zero = false;
+  };
+
+  PlanarIndex() = default;
+
+  Prepared Prepare(const NormalizedQuery& q) const;
+  void ComputeKey(uint32_t row, double* key) const;
+  double RawKey(const double* phi_row) const;
+  size_t RankLessEqual(double key) const;
+  void EraseKey(double key, uint32_t row);
+  void InsertKey(double key, uint32_t row);
+  InequalityResult RunInequality(const NormalizedQuery& q) const;
+  TopKResult RunTopK(const NormalizedQuery& q, size_t k) const;
+
+  const PhiMatrix* phi_ = nullptr;
+  PlanarIndexOptions options_;
+  Translator translator_;
+  std::vector<double> normal_;         // mirrored-space, positive
+  std::vector<double> signed_normal_;  // sign(O, i) * normal_[i]
+  double key_shift_ = 0.0;             // sum_i normal_[i] * delta_i
+
+  // Sorted-array backend.
+  std::vector<double> keys_;    // ascending
+  std::vector<uint32_t> ids_;   // ids_[r] = row with rank r
+  // B+-tree backend.
+  OrderStatisticBTree tree_;
+
+  std::vector<double> key_of_row_;  // by row id
+};
+
+}  // namespace planar
+
+#endif  // PLANAR_CORE_PLANAR_INDEX_H_

@@ -1,0 +1,63 @@
+// Copyright (c) 2026 The planar Authors. Licensed under the MIT license.
+
+#include "core/query.h"
+
+#include <cmath>
+#include <cstdio>
+
+#include "common/macros.h"
+#include "geometry/vec.h"
+
+namespace planar {
+
+bool ScalarProductQuery::Matches(const double* phi_row) const {
+  const double value = Dot(a.data(), phi_row, a.size());
+  return cmp == Comparison::kLessEqual ? value <= b : value >= b;
+}
+
+double ScalarProductQuery::Residual(const double* phi_row) const {
+  return Dot(a.data(), phi_row, a.size()) - b;
+}
+
+double ScalarProductQuery::Distance(const double* phi_row) const {
+  const double norm = Norm(a);
+  PLANAR_CHECK_GT(norm, 0.0);
+  return std::fabs(Residual(phi_row)) / norm;
+}
+
+std::string ScalarProductQuery::ToString() const {
+  std::string out = "<a, phi(x)> ";
+  out += cmp == Comparison::kLessEqual ? "<= " : ">= ";
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%.4f", b);
+  out += buf;
+  out += ", a=";
+  out += VecToString(a);
+  return out;
+}
+
+NormalizedQuery NormalizedQuery::From(const ScalarProductQuery& q) {
+  NormalizedQuery n;
+  n.a = q.a;
+  n.b = q.b;
+  n.cmp = q.cmp;
+  if (n.b < 0.0) {
+    for (double& ai : n.a) ai = -ai;
+    n.b = -n.b;
+    n.cmp = n.cmp == Comparison::kLessEqual ? Comparison::kGreaterEqual
+                                            : Comparison::kLessEqual;
+  }
+  n.octant = Octant::FromNormal(n.a);
+  return n;
+}
+
+bool NormalizedQuery::IsDegenerate() const {
+  for (double ai : a) {
+    if (ai != 0.0) return false;
+  }
+  return true;
+}
+
+double NormalizedQuery::NormA() const { return Norm(a); }
+
+}  // namespace planar

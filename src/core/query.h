@@ -1,0 +1,65 @@
+// Copyright (c) 2026 The planar Authors. Licensed under the MIT license.
+//
+// Scalar product queries (Problems 1 and 2 of the paper) and their
+// normalized internal form.
+
+#ifndef PLANAR_CORE_QUERY_H_
+#define PLANAR_CORE_QUERY_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "geometry/octant.h"
+
+namespace planar {
+
+/// Direction of the scalar product constraint.
+enum class Comparison {
+  kLessEqual,     // <a, phi(x)> <= b
+  kGreaterEqual,  // <a, phi(x)> >= b
+};
+
+/// A scalar product query <a, phi(x)> cmp b. Both `a` and `b` are known
+/// only at query time (the function phi was fixed at indexing time).
+struct ScalarProductQuery {
+  std::vector<double> a;
+  double b = 0.0;
+  Comparison cmp = Comparison::kLessEqual;
+
+  /// Evaluates the predicate against a materialized phi row.
+  bool Matches(const double* phi_row) const;
+
+  /// Signed residual <a, phi_row> - b.
+  double Residual(const double* phi_row) const;
+
+  /// Distance of phi_row to the query hyperplane: |<a,phi_row> - b| / |a|.
+  double Distance(const double* phi_row) const;
+
+  std::string ToString() const;
+};
+
+/// The internal form with a non-negative inequality parameter: when b < 0
+/// the constraint is negated ( <a,phi> <= b  <=>  <-a,phi> >= -b ), so
+/// downstream code may assume b >= 0 (paper, Section 4.5). The octant in
+/// which the query hyperplane meets the axes is then determined by the
+/// signs of `a` alone.
+struct NormalizedQuery {
+  std::vector<double> a;
+  double b = 0.0;
+  Comparison cmp = Comparison::kLessEqual;
+  Octant octant;
+
+  /// Normalizes `q`. The predicate is preserved exactly.
+  static NormalizedQuery From(const ScalarProductQuery& q);
+
+  /// True iff every parameter is zero (degenerate constant predicate).
+  bool IsDegenerate() const;
+
+  /// L2 norm of `a`.
+  double NormA() const;
+};
+
+}  // namespace planar
+
+#endif  // PLANAR_CORE_QUERY_H_

@@ -1,0 +1,59 @@
+// Copyright (c) 2026 The planar Authors. Licensed under the MIT license.
+
+#include "core/scan.h"
+
+#include <cmath>
+
+#include "common/macros.h"
+#include "core/topk.h"
+#include "geometry/vec.h"
+
+namespace planar {
+
+InequalityResult ScanInequality(const PhiMatrix& phi,
+                                const ScalarProductQuery& q) {
+  PLANAR_CHECK_EQ(phi.dim(), q.a.size());
+  InequalityResult result;
+  const size_t n = phi.size();
+  result.stats.num_points = n;
+  result.stats.verified = n;
+  result.stats.index_used = -1;
+  for (size_t row = 0; row < n; ++row) {
+    if (q.Matches(phi.row(row))) {
+      result.ids.push_back(static_cast<uint32_t>(row));
+    }
+  }
+  result.stats.result_size = result.ids.size();
+  return result;
+}
+
+Result<TopKResult> ScanTopK(const PhiMatrix& phi, const ScalarProductQuery& q,
+                            size_t k) {
+  PLANAR_CHECK_EQ(phi.dim(), q.a.size());
+  const double norm_a = Norm(q.a);
+  if (norm_a == 0.0) {
+    return Status::InvalidArgument(
+        "top-k distance is undefined for an all-zero query normal");
+  }
+  if (k == 0) {
+    return Status::InvalidArgument("k must be positive");
+  }
+  TopKResult result;
+  const size_t n = phi.size();
+  result.stats.num_points = n;
+  result.stats.verified_intermediate = n;
+  result.stats.index_used = -1;
+  TopKBuffer buffer(k);
+  for (size_t row = 0; row < n; ++row) {
+    const double residual = q.Residual(phi.row(row));
+    const bool match =
+        q.cmp == Comparison::kLessEqual ? residual <= 0.0 : residual >= 0.0;
+    if (match) {
+      buffer.Insert(static_cast<uint32_t>(row), std::fabs(residual) / norm_a);
+    }
+  }
+  result.neighbors = buffer.TakeSorted();
+  return result;
+}
+
+}  // namespace planar

@@ -1,0 +1,32 @@
+// Copyright (c) 2026 The planar Authors. Licensed under the MIT license.
+//
+// The naive sequential-scan baseline the paper compares against
+// (Section 7.1, "Competing Method"): O(n d') for the inequality query and
+// O(n d' + n log k) for the top-k query.
+
+#ifndef PLANAR_CORE_SCAN_H_
+#define PLANAR_CORE_SCAN_H_
+
+#include <cstddef>
+
+#include "common/result.h"
+#include "core/planar_index.h"
+#include "core/query.h"
+#include "core/row_matrix.h"
+
+namespace planar {
+
+/// Answers the inequality query by evaluating the scalar product for every
+/// row of `phi`.
+InequalityResult ScanInequality(const PhiMatrix& phi,
+                                const ScalarProductQuery& q);
+
+/// Answers the top-k nearest neighbor query by evaluating every row and
+/// keeping the k nearest satisfying points. Fails for an all-zero query
+/// normal (hyperplane distance undefined) or k == 0.
+Result<TopKResult> ScanTopK(const PhiMatrix& phi, const ScalarProductQuery& q,
+                            size_t k);
+
+}  // namespace planar
+
+#endif  // PLANAR_CORE_SCAN_H_

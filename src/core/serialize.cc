@@ -1,0 +1,179 @@
+// Copyright (c) 2026 The planar Authors. Licensed under the MIT license.
+
+#include "core/serialize.h"
+
+#include <cstdint>
+#include <cstdio>
+#include <cstring>
+#include <memory>
+#include <vector>
+
+#include "common/macros.h"
+
+namespace planar {
+
+namespace {
+
+constexpr char kMagic[8] = {'P', 'L', 'N', 'R', 'I', 'D', 'X', '1'};
+
+struct FileCloser {
+  void operator()(std::FILE* f) const {
+    if (f != nullptr) std::fclose(f);
+  }
+};
+using FilePtr = std::unique_ptr<std::FILE, FileCloser>;
+
+bool WriteBytes(std::FILE* f, const void* data, size_t size) {
+  return std::fwrite(data, 1, size, f) == size;
+}
+
+bool ReadBytes(std::FILE* f, void* data, size_t size) {
+  return std::fread(data, 1, size, f) == size;
+}
+
+template <typename T>
+bool WriteValue(std::FILE* f, const T& value) {
+  return WriteBytes(f, &value, sizeof(T));
+}
+
+template <typename T>
+bool ReadValue(std::FILE* f, T* value) {
+  return ReadBytes(f, value, sizeof(T));
+}
+
+// Options are flattened into a fixed-size POD record.
+struct OptionsRecord {
+  uint64_t budget;
+  uint32_t selector;
+  uint32_t backend;
+  double dedup_tolerance;
+  uint64_t seed;
+  uint64_t max_attempts_per_index;
+  double delta_margin;
+  double epsilon_band;
+  uint32_t axis_exclusion;
+  uint32_t reserved = 0;
+};
+
+OptionsRecord PackOptions(const IndexSetOptions& o) {
+  OptionsRecord r{};
+  r.budget = o.budget;
+  r.selector = static_cast<uint32_t>(o.selector);
+  r.backend = static_cast<uint32_t>(o.index_options.backend);
+  r.dedup_tolerance = o.dedup_tolerance;
+  r.seed = o.seed;
+  r.max_attempts_per_index = o.max_attempts_per_index;
+  r.delta_margin = o.index_options.translation.delta_margin;
+  r.epsilon_band = o.index_options.epsilon_band;
+  r.axis_exclusion = o.index_options.enable_axis_exclusion ? 1 : 0;
+  return r;
+}
+
+IndexSetOptions UnpackOptions(const OptionsRecord& r) {
+  IndexSetOptions o;
+  o.budget = r.budget;
+  o.selector = static_cast<IndexSetOptions::Selector>(r.selector);
+  o.index_options.backend =
+      static_cast<PlanarIndexOptions::Backend>(r.backend);
+  o.dedup_tolerance = r.dedup_tolerance;
+  o.seed = r.seed;
+  o.max_attempts_per_index = r.max_attempts_per_index;
+  o.index_options.translation.delta_margin = r.delta_margin;
+  o.index_options.epsilon_band = r.epsilon_band;
+  o.index_options.enable_axis_exclusion = r.axis_exclusion != 0;
+  return o;
+}
+
+}  // namespace
+
+Status SaveIndexSet(const PlanarIndexSet& set, const std::string& path) {
+  FilePtr f(std::fopen(path.c_str(), "wb"));
+  if (f == nullptr) {
+    return Status::Internal("cannot open '" + path + "' for writing");
+  }
+  const PhiMatrix& phi = set.phi();
+  const OptionsRecord options = PackOptions(set.options());
+  const uint64_t dim = phi.dim();
+  const uint64_t n = phi.size();
+  const uint64_t num_indices = set.num_indices();
+  bool ok = WriteBytes(f.get(), kMagic, sizeof(kMagic)) &&
+            WriteValue(f.get(), options) && WriteValue(f.get(), dim) &&
+            WriteValue(f.get(), n);
+  for (size_t i = 0; ok && i < n; ++i) {
+    ok = WriteBytes(f.get(), phi.row(i), sizeof(double) * dim);
+  }
+  ok = ok && WriteValue(f.get(), num_indices);
+  for (size_t i = 0; ok && i < num_indices; ++i) {
+    const PlanarIndex& index = set.index(i);
+    const uint64_t octant_bits = index.octant().Id();
+    ok = WriteValue(f.get(), octant_bits) &&
+         WriteBytes(f.get(), index.normal().data(), sizeof(double) * dim);
+  }
+  if (!ok) return Status::Internal("short write to '" + path + "'");
+  return Status::OK();
+}
+
+Result<PlanarIndexSet> LoadIndexSet(const std::string& path) {
+  FilePtr f(std::fopen(path.c_str(), "rb"));
+  if (f == nullptr) {
+    return Status::NotFound("cannot open '" + path + "'");
+  }
+  char magic[8];
+  if (!ReadBytes(f.get(), magic, sizeof(magic)) ||
+      std::memcmp(magic, kMagic, sizeof(kMagic)) != 0) {
+    return Status::InvalidArgument("'" + path +
+                                   "' is not a planar index file");
+  }
+  OptionsRecord options_record;
+  uint64_t dim = 0;
+  uint64_t n = 0;
+  if (!ReadValue(f.get(), &options_record) || !ReadValue(f.get(), &dim) ||
+      !ReadValue(f.get(), &n) || dim == 0 || dim > 1u << 20) {
+    return Status::InvalidArgument("corrupt header in '" + path + "'");
+  }
+  const IndexSetOptions options = UnpackOptions(options_record);
+
+  PhiMatrix phi(dim);
+  phi.Reserve(n);
+  std::vector<double> row(dim);
+  for (uint64_t i = 0; i < n; ++i) {
+    if (!ReadBytes(f.get(), row.data(), sizeof(double) * dim)) {
+      return Status::InvalidArgument("truncated phi data in '" + path + "'");
+    }
+    phi.AppendRow(row.data());
+  }
+  uint64_t num_indices = 0;
+  if (!ReadValue(f.get(), &num_indices) || num_indices == 0) {
+    return Status::InvalidArgument("no indices in '" + path + "'");
+  }
+  std::vector<std::pair<std::vector<double>, Octant>> definitions;
+  definitions.reserve(num_indices);
+  for (uint64_t i = 0; i < num_indices; ++i) {
+    uint64_t octant_bits = 0;
+    std::vector<double> normal(dim);
+    if (!ReadValue(f.get(), &octant_bits) ||
+        !ReadBytes(f.get(), normal.data(), sizeof(double) * dim)) {
+      return Status::InvalidArgument("truncated index table in '" + path +
+                                     "'");
+    }
+    std::vector<double> representative(dim);
+    for (size_t j = 0; j < dim; ++j) {
+      representative[j] = (octant_bits >> j) & 1 ? -1.0 : 1.0;
+    }
+    definitions.emplace_back(std::move(normal),
+                             Octant::FromNormal(representative));
+  }
+
+  PLANAR_ASSIGN_OR_RETURN(
+      PlanarIndexSet set,
+      PlanarIndexSet::BuildWithNormals(std::move(phi),
+                                       {definitions[0].first},
+                                       definitions[0].second, options));
+  for (size_t i = 1; i < definitions.size(); ++i) {
+    PLANAR_RETURN_IF_ERROR(
+        set.AddIndex(definitions[i].first, definitions[i].second));
+  }
+  return set;
+}
+
+}  // namespace planar

@@ -1,0 +1,33 @@
+// Copyright (c) 2026 The planar Authors. Licensed under the MIT license.
+//
+// Persistence for PlanarIndexSet. The on-disk format stores the phi
+// matrix, the options, and every index's normal and octant; the sorted
+// key structures are rebuilt on load (index construction is loglinear
+// and fast, so this keeps the format small, versionable, and immune to
+// backend/layout changes).
+//
+// Format (little-endian):
+//   magic "PLNRIDX1" | options | dim | n | row-major phi data |
+//   #indices | per index: octant bits (u64) + normal doubles
+
+#ifndef PLANAR_CORE_SERIALIZE_H_
+#define PLANAR_CORE_SERIALIZE_H_
+
+#include <string>
+
+#include "common/result.h"
+#include "common/status.h"
+#include "core/index_set.h"
+
+namespace planar {
+
+/// Writes the set (matrix + index definitions) to `path`.
+Status SaveIndexSet(const PlanarIndexSet& set, const std::string& path);
+
+/// Reads a set written by SaveIndexSet and rebuilds its indices.
+/// `options` overrides the stored backend/tuning knobs when non-null.
+Result<PlanarIndexSet> LoadIndexSet(const std::string& path);
+
+}  // namespace planar
+
+#endif  // PLANAR_CORE_SERIALIZE_H_

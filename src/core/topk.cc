@@ -1,0 +1,42 @@
+// Copyright (c) 2026 The planar Authors. Licensed under the MIT license.
+
+#include "core/topk.h"
+
+#include <algorithm>
+
+#include "common/macros.h"
+
+namespace planar {
+
+namespace {
+
+bool HeapLess(const Neighbor& a, const Neighbor& b) {
+  if (a.distance != b.distance) return a.distance < b.distance;
+  return a.id < b.id;
+}
+
+}  // namespace
+
+TopKBuffer::TopKBuffer(size_t k) : k_(k) {
+  PLANAR_CHECK_GT(k, 0u);
+  heap_.reserve(k);
+}
+
+void TopKBuffer::Insert(uint32_t id, double distance) {
+  if (heap_.size() < k_) {
+    heap_.push_back({id, distance});
+    std::push_heap(heap_.begin(), heap_.end(), HeapLess);
+    return;
+  }
+  if (!HeapLess({id, distance}, heap_.front())) return;
+  std::pop_heap(heap_.begin(), heap_.end(), HeapLess);
+  heap_.back() = {id, distance};
+  std::push_heap(heap_.begin(), heap_.end(), HeapLess);
+}
+
+std::vector<Neighbor> TopKBuffer::TakeSorted() {
+  std::sort(heap_.begin(), heap_.end(), HeapLess);
+  return std::move(heap_);
+}
+
+}  // namespace planar

@@ -1,0 +1,57 @@
+// Copyright (c) 2026 The planar Authors. Licensed under the MIT license.
+//
+// Bounded top-k buffer (Algorithm 2 of the paper keeps the k nearest
+// points found so far in such a buffer).
+
+#ifndef PLANAR_CORE_TOPK_H_
+#define PLANAR_CORE_TOPK_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <limits>
+#include <vector>
+
+namespace planar {
+
+/// One answer of a top-k nearest neighbor query.
+struct Neighbor {
+  uint32_t id;
+  /// Distance of phi(x) to the query hyperplane.
+  double distance;
+};
+
+/// Keeps the k smallest-distance neighbors seen so far (max-heap).
+class TopKBuffer {
+ public:
+  /// A buffer for k > 0 neighbors.
+  explicit TopKBuffer(size_t k);
+
+  /// Offers a candidate; kept iff the buffer is not full or the candidate
+  /// beats the current worst.
+  void Insert(uint32_t id, double distance);
+
+  /// True iff k neighbors are held.
+  bool full() const { return heap_.size() == k_; }
+
+  /// Number of neighbors currently held.
+  size_t size() const { return heap_.size(); }
+
+  /// The largest distance held, or +infinity while not full (so any
+  /// candidate is admitted).
+  double WorstDistance() const {
+    return full() ? heap_.front().distance
+                  : std::numeric_limits<double>::infinity();
+  }
+
+  /// Extracts the neighbors sorted by ascending distance (ties by id).
+  /// The buffer is left empty.
+  std::vector<Neighbor> TakeSorted();
+
+ private:
+  size_t k_;
+  std::vector<Neighbor> heap_;  // max-heap on (distance, id)
+};
+
+}  // namespace planar
+
+#endif  // PLANAR_CORE_TOPK_H_

@@ -1,0 +1,67 @@
+// Copyright (c) 2026 The planar Authors. Licensed under the MIT license.
+
+#include "core/translation.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/macros.h"
+
+namespace planar {
+
+Translator Translator::Create(const PhiMatrix& phi, const Octant& octant) {
+  return Create(phi, octant, Options());
+}
+
+Translator Translator::Create(const PhiMatrix& phi, const Octant& octant,
+                              Options options) {
+  PLANAR_CHECK(!phi.empty());
+  PLANAR_CHECK_EQ(phi.dim(), octant.dim());
+  PLANAR_CHECK_GE(options.delta_margin, 0.0);
+
+  Translator t;
+  t.octant_ = octant;
+  const size_t d = phi.dim();
+  t.delta_.resize(d);
+  t.psi_min_.resize(d);
+  t.psi_max_.resize(d);
+  for (size_t i = 0; i < d; ++i) {
+    const double lo = phi.ColumnMin(i);
+    const double hi = phi.ColumnMax(i);
+    // delta_i = max |phi_i(x)| over points whose sign disagrees with the
+    // octant (Equation 10 of the paper); from the column bounds this is
+    // max(0, -lo) for a positive axis and max(0, hi) for a negative one.
+    double delta =
+        octant.sign(i) > 0.0 ? std::max(0.0, -lo) : std::max(0.0, hi);
+    delta *= 1.0 + options.delta_margin;
+    t.delta_[i] = delta;
+    if (octant.sign(i) > 0.0) {
+      t.psi_min_[i] = lo + delta;
+      t.psi_max_[i] = hi + delta;
+    } else {
+      t.psi_min_[i] = delta - hi;
+      t.psi_max_[i] = delta - lo;
+    }
+    PLANAR_DCHECK(t.psi_min_[i] >= 0.0);
+    PLANAR_DCHECK(t.psi_max_[i] >= t.psi_min_[i]);
+  }
+  return t;
+}
+
+bool Translator::Covers(const double* phi_row) const {
+  for (size_t i = 0; i < delta_.size(); ++i) {
+    if (Mirror(i, phi_row[i]) < 0.0) return false;
+  }
+  return true;
+}
+
+double Translator::MirroredOffset(const NormalizedQuery& q) const {
+  PLANAR_DCHECK(q.a.size() == delta_.size());
+  double b = q.b;
+  for (size_t i = 0; i < delta_.size(); ++i) {
+    b += std::fabs(q.a[i]) * delta_[i];
+  }
+  return b;
+}
+
+}  // namespace planar

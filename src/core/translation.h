@@ -1,0 +1,83 @@
+// Copyright (c) 2026 The planar Authors. Licensed under the MIT license.
+//
+// Octant translation (Section 4.5, Claim 1 of the paper), plus the mirror
+// trick that folds every hyper octant onto the first one.
+//
+// A Planar index is built for a fixed octant O (the sign pattern of the
+// query-parameter domains). The translation
+//     phi'_i(x) = phi_i(x) + sign(O,i) * delta_i
+// moves every phi(x) into O; mirroring by sign(O,i) then maps O onto the
+// first hyper octant:
+//     psi_i(x)  = sign(O,i) * phi_i(x) + delta_i        (>= 0)
+// and the query <a, phi(x)> cmp b (with sign(a_i) == sign(O,i) wherever
+// a_i != 0 and b >= 0) becomes
+//     <a~, psi(x)> cmp b',   a~_i = |a_i|,
+//     b' = b + sum_i |a_i| * delta_i  >= 0,
+// with the residual preserved exactly: <a~,psi> - b' == <a,phi> - b.
+// All interval logic therefore runs in the all-non-negative first-octant
+// setting of Section 4.3.
+
+#ifndef PLANAR_CORE_TRANSLATION_H_
+#define PLANAR_CORE_TRANSLATION_H_
+
+#include <vector>
+
+#include "core/query.h"
+#include "core/row_matrix.h"
+#include "geometry/octant.h"
+
+namespace planar {
+
+/// Per-octant translation state derived from grow-only column bounds of a
+/// phi matrix.
+class Translator {
+ public:
+  /// Options controlling the translation.
+  struct Options {
+    /// Relative slack added to each delta so that moderate dynamic updates
+    /// do not immediately invalidate the translation.
+    double delta_margin = 0.1;
+  };
+
+  /// Computes deltas for `octant` from the column bounds of `phi`.
+  /// Requires a non-empty matrix.
+  static Translator Create(const PhiMatrix& phi, const Octant& octant);
+  static Translator Create(const PhiMatrix& phi, const Octant& octant,
+                           Options options);
+
+  /// The octant this translation targets.
+  const Octant& octant() const { return octant_; }
+
+  /// The translation magnitudes delta_i (all >= 0).
+  const std::vector<double>& delta() const { return delta_; }
+
+  /// Mirrored coordinate psi_i = sign(O,i) * phi_i + delta_i for one axis.
+  double Mirror(size_t i, double phi_value) const {
+    return octant_.sign(i) * phi_value + delta_[i];
+  }
+
+  /// True iff `phi_row` stays inside the octant after translation, i.e.
+  /// psi_i >= 0 for every axis. A false return means the index using this
+  /// translation must be rebuilt (a dynamic update escaped the bounds the
+  /// deltas were computed from).
+  bool Covers(const double* phi_row) const;
+
+  /// Lower / upper bound of psi_i over all rows the source matrix has ever
+  /// contained (used for the zero-parameter axis corrections).
+  double PsiMin(size_t i) const { return psi_min_[i]; }
+  double PsiMax(size_t i) const { return psi_max_[i]; }
+
+  /// The mirrored offset b' for a normalized query (b >= 0, signs of a
+  /// compatible with the octant).
+  double MirroredOffset(const NormalizedQuery& q) const;
+
+ private:
+  Octant octant_;
+  std::vector<double> delta_;
+  std::vector<double> psi_min_;
+  std::vector<double> psi_max_;
+};
+
+}  // namespace planar
+
+#endif  // PLANAR_CORE_TRANSLATION_H_

@@ -1,0 +1,29 @@
+// Copyright (c) 2026 The planar Authors. Licensed under the MIT license.
+//
+// Self-checks for index structures: recompute every key from the phi
+// matrix, confirm order and translation coverage, and cross-check rank
+// arithmetic. Used by tests, the CLI, and any deployment that wants a
+// consistency audit after crash recovery or bulk maintenance.
+
+#ifndef PLANAR_CORE_VALIDATE_H_
+#define PLANAR_CORE_VALIDATE_H_
+
+#include "common/status.h"
+#include "core/index_set.h"
+#include "core/planar_index.h"
+#include "core/row_matrix.h"
+
+namespace planar {
+
+/// Exhaustively audits one index against its backing matrix: key-of-row
+/// consistency, sorted order, rank/CollectRange agreement, and
+/// translation coverage of every row. O(n log n). Returns the first
+/// violation found.
+Status ValidateIndex(const PlanarIndex& index, const PhiMatrix& phi);
+
+/// Audits every index of a set against the owned matrix.
+Status ValidateIndexSet(const PlanarIndexSet& set);
+
+}  // namespace planar
+
+#endif  // PLANAR_CORE_VALIDATE_H_

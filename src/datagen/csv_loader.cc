@@ -1,0 +1,118 @@
+// Copyright (c) 2026 The planar Authors. Licensed under the MIT license.
+
+#include "datagen/csv_loader.h"
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <memory>
+
+namespace planar {
+
+namespace {
+
+struct FileCloser {
+  void operator()(std::FILE* f) const {
+    if (f != nullptr) std::fclose(f);
+  }
+};
+
+// Splits `line` on the delimiter (no quoting; the target files have none).
+void SplitLine(const std::string& line, char delimiter,
+               std::vector<std::string>* fields) {
+  fields->clear();
+  size_t start = 0;
+  while (true) {
+    const size_t pos = line.find(delimiter, start);
+    if (pos == std::string::npos) {
+      fields->push_back(line.substr(start));
+      return;
+    }
+    fields->push_back(line.substr(start, pos - start));
+    start = pos + 1;
+  }
+}
+
+}  // namespace
+
+Result<Dataset> LoadCsv(const std::string& path, const CsvOptions& options) {
+  std::unique_ptr<std::FILE, FileCloser> f(std::fopen(path.c_str(), "r"));
+  if (f == nullptr) {
+    return Status::NotFound("cannot open '" + path + "'");
+  }
+
+  std::string line;
+  std::vector<std::string> fields;
+  std::vector<double> row;
+  size_t line_number = 0;
+  size_t dim = 0;
+  // The matrix is created lazily once the first data row fixes the width.
+  std::unique_ptr<Dataset> data;
+
+  char buffer[1 << 16];
+  bool header_pending = options.has_header;
+  while (std::fgets(buffer, sizeof(buffer), f.get()) != nullptr) {
+    ++line_number;
+    line.assign(buffer);
+    while (!line.empty() && (line.back() == '\n' || line.back() == '\r')) {
+      line.pop_back();
+    }
+    if (header_pending) {
+      header_pending = false;
+      continue;
+    }
+    if (line.empty()) continue;
+    SplitLine(line, options.delimiter, &fields);
+
+    // Resolve the kept columns.
+    std::vector<int> keep = options.columns;
+    if (keep.empty()) {
+      keep.resize(fields.size());
+      for (size_t i = 0; i < fields.size(); ++i) keep[i] = static_cast<int>(i);
+    }
+    if (data == nullptr) {
+      dim = keep.size();
+      if (dim == 0) {
+        return Status::InvalidArgument("no columns to load from '" + path +
+                                       "'");
+      }
+      data = std::make_unique<Dataset>(dim);
+    } else if (keep.size() != dim) {
+      return Status::InvalidArgument(
+          "inconsistent column count at line " + std::to_string(line_number));
+    }
+
+    row.clear();
+    bool missing = false;
+    for (int column : keep) {
+      if (column < 0 || static_cast<size_t>(column) >= fields.size()) {
+        return Status::InvalidArgument(
+            "line " + std::to_string(line_number) + " has " +
+            std::to_string(fields.size()) + " fields; column " +
+            std::to_string(column) + " requested");
+      }
+      const std::string& field = fields[static_cast<size_t>(column)];
+      if (field == options.missing_marker) {
+        missing = true;
+        break;
+      }
+      char* end = nullptr;
+      const double value = std::strtod(field.c_str(), &end);
+      if (end == field.c_str() || *end != '\0') {
+        return Status::InvalidArgument("unparsable number '" + field +
+                                       "' at line " +
+                                       std::to_string(line_number));
+      }
+      row.push_back(value);
+    }
+    if (missing) continue;
+    data->AppendRow(row);
+    if (options.max_rows > 0 && data->size() >= options.max_rows) break;
+  }
+  if (data == nullptr || data->empty()) {
+    return Status::InvalidArgument("'" + path + "' contains no data rows");
+  }
+  return std::move(*data);
+}
+
+}  // namespace planar

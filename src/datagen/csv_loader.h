@@ -1,0 +1,40 @@
+// Copyright (c) 2026 The planar Authors. Licensed under the MIT license.
+//
+// Loading delimited numeric files into Datasets — so the simulated
+// stand-ins (realworld_sim.h) can be swapped for the real UCI files
+// (household power consumption uses ';' as delimiter and '?' for missing
+// values; the Corel feature files are plain comma-separated).
+
+#ifndef PLANAR_DATAGEN_CSV_LOADER_H_
+#define PLANAR_DATAGEN_CSV_LOADER_H_
+
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "core/row_matrix.h"
+
+namespace planar {
+
+/// Options for LoadCsv.
+struct CsvOptions {
+  char delimiter = ',';
+  /// Skip the first line.
+  bool has_header = false;
+  /// Columns to keep, in order; empty keeps all columns.
+  std::vector<int> columns;
+  /// Rows containing this token in a kept column are skipped (the UCI
+  /// consumption file marks missing readings with "?").
+  std::string missing_marker = "?";
+  /// Stop after this many data rows (0 = no limit).
+  size_t max_rows = 0;
+};
+
+/// Parses `path` into a Dataset. Fails on unreadable files, unparsable
+/// numbers, or rows whose column count does not cover the requested
+/// columns. Rows with missing values are skipped, not errors.
+Result<Dataset> LoadCsv(const std::string& path, const CsvOptions& options);
+
+}  // namespace planar
+
+#endif  // PLANAR_DATAGEN_CSV_LOADER_H_

@@ -1,0 +1,80 @@
+// Copyright (c) 2026 The planar Authors. Licensed under the MIT license.
+
+#include "datagen/synthetic.h"
+
+#include <algorithm>
+#include <cmath>
+#include <vector>
+
+#include "common/macros.h"
+#include "common/random.h"
+
+namespace planar {
+
+namespace {
+
+double Clamp01(double v) { return std::min(1.0, std::max(0.0, v)); }
+
+}  // namespace
+
+Dataset GenerateSynthetic(const SyntheticSpec& spec) {
+  PLANAR_CHECK_GT(spec.dim, 0u);
+  PLANAR_CHECK_LT(spec.range_lo, spec.range_hi);
+  Dataset data(spec.dim);
+  data.Reserve(spec.num_points);
+  Rng rng(spec.seed);
+  const double span = spec.range_hi - spec.range_lo;
+  std::vector<double> row(spec.dim);
+
+  for (size_t p = 0; p < spec.num_points; ++p) {
+    switch (spec.distribution) {
+      case SyntheticDistribution::kIndependent: {
+        for (size_t j = 0; j < spec.dim; ++j) row[j] = rng.NextDouble();
+        break;
+      }
+      case SyntheticDistribution::kCorrelated: {
+        // A common "level" plus small per-attribute noise: points cluster
+        // around the main diagonal.
+        const double level = rng.NextDouble();
+        for (size_t j = 0; j < spec.dim; ++j) {
+          row[j] = Clamp01(level + rng.Gaussian(0.0, 0.08));
+        }
+        break;
+      }
+      case SyntheticDistribution::kAnticorrelated: {
+        // Points near the hyperplane sum(x) = d/2: offsets sum to zero, so
+        // a high value in one attribute forces low values elsewhere.
+        const double level = Clamp01(rng.Gaussian(0.5, 0.08));
+        double mean = 0.0;
+        for (size_t j = 0; j < spec.dim; ++j) {
+          row[j] = rng.Uniform(-0.4, 0.4);
+          mean += row[j];
+        }
+        mean /= static_cast<double>(spec.dim);
+        for (size_t j = 0; j < spec.dim; ++j) {
+          row[j] = Clamp01(level + (row[j] - mean));
+        }
+        break;
+      }
+    }
+    for (size_t j = 0; j < spec.dim; ++j) {
+      row[j] = spec.range_lo + span * row[j];
+    }
+    data.AppendRow(row);
+  }
+  return data;
+}
+
+std::string DistributionName(SyntheticDistribution d) {
+  switch (d) {
+    case SyntheticDistribution::kIndependent:
+      return "indp";
+    case SyntheticDistribution::kCorrelated:
+      return "corr";
+    case SyntheticDistribution::kAnticorrelated:
+      return "anti";
+  }
+  return "unknown";
+}
+
+}  // namespace planar

@@ -1,0 +1,45 @@
+// Copyright (c) 2026 The planar Authors. Licensed under the MIT license.
+//
+// Synthetic dataset generators in the style of the skyline-operator
+// generator of Borzsonyi et al. [4], which the paper uses for its
+// Independent / Correlated / Anti-correlated datasets (Section 7.1):
+// d-dimensional points with attribute values in a given range.
+
+#ifndef PLANAR_DATAGEN_SYNTHETIC_H_
+#define PLANAR_DATAGEN_SYNTHETIC_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+
+#include "core/row_matrix.h"
+
+namespace planar {
+
+/// Attribute distribution across dimensions.
+enum class SyntheticDistribution {
+  kIndependent,     ///< each attribute uniform and independent
+  kCorrelated,      ///< high in one dimension => high in the others
+  kAnticorrelated,  ///< high in one dimension => low in the others
+};
+
+/// Parameters of a synthetic dataset.
+struct SyntheticSpec {
+  SyntheticDistribution distribution = SyntheticDistribution::kIndependent;
+  size_t num_points = 1000;
+  size_t dim = 2;
+  /// Attribute range (the paper uses (1, 100)).
+  double range_lo = 1.0;
+  double range_hi = 100.0;
+  uint64_t seed = 1;
+};
+
+/// Generates a dataset per `spec`. Deterministic given the seed.
+Dataset GenerateSynthetic(const SyntheticSpec& spec);
+
+/// "indp" / "corr" / "anti".
+std::string DistributionName(SyntheticDistribution d);
+
+}  // namespace planar
+
+#endif  // PLANAR_DATAGEN_SYNTHETIC_H_

@@ -1,0 +1,60 @@
+// Copyright (c) 2026 The planar Authors. Licensed under the MIT license.
+
+#include "datagen/workload.h"
+
+#include "common/macros.h"
+
+namespace planar {
+
+Eq18Workload::Eq18Workload(const PhiMatrix& phi, int rq, double inequality,
+                           uint64_t seed)
+    : rq_(rq), inequality_(inequality), rng_(seed) {
+  PLANAR_CHECK_GE(rq, 1);
+  PLANAR_CHECK(!phi.empty());
+  column_max_.resize(phi.dim());
+  for (size_t j = 0; j < phi.dim(); ++j) column_max_[j] = phi.ColumnMax(j);
+}
+
+ScalarProductQuery Eq18Workload::Next() {
+  ScalarProductQuery q;
+  q.a.resize(column_max_.size());
+  q.cmp = Comparison::kLessEqual;
+  double rhs = 0.0;
+  for (size_t j = 0; j < q.a.size(); ++j) {
+    q.a[j] = static_cast<double>(rng_.UniformInt(1, rq_));
+    rhs += q.a[j] * column_max_[j];
+  }
+  q.b = inequality_ * rhs;
+  return q;
+}
+
+std::vector<ParameterDomain> Eq18Workload::Domains() const {
+  std::vector<ParameterDomain> domains(column_max_.size());
+  for (auto& d : domains) {
+    d.lo = 1.0;
+    d.hi = static_cast<double>(rq_);
+  }
+  return domains;
+}
+
+PowerFactorWorkload::PowerFactorWorkload(double threshold_lo,
+                                         double threshold_hi, uint64_t seed)
+    : threshold_lo_(threshold_lo), threshold_hi_(threshold_hi), rng_(seed) {
+  PLANAR_CHECK_GT(threshold_lo, 0.0);
+  PLANAR_CHECK_LE(threshold_lo, threshold_hi);
+}
+
+ScalarProductQuery PowerFactorWorkload::Next() {
+  const double threshold = rng_.Uniform(threshold_lo_, threshold_hi_);
+  ScalarProductQuery q;
+  q.a = {1.0, -threshold};
+  q.b = 0.0;
+  q.cmp = Comparison::kLessEqual;
+  return q;
+}
+
+std::vector<ParameterDomain> PowerFactorWorkload::Domains() const {
+  return {{1.0, 1.0}, {-threshold_hi_, -threshold_lo_}};
+}
+
+}  // namespace planar

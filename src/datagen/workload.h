@@ -1,0 +1,83 @@
+// Copyright (c) 2026 The planar Authors. Licensed under the MIT license.
+//
+// Query workload generators for the paper's experiments (Section 7.1,
+// "Query selection and parameter setting").
+//
+// For the synthetic and image datasets the paper issues the generalized
+// query of Equation 18:
+//
+//   sum_i a_i x_i <= s * sum_i a_i max(i)
+//
+// where each a_i is drawn from a discrete domain of |Delta| = RQ values
+// ("randomness of query"), max(i) is the per-dimension maximum of the
+// dataset, and s is the inequality parameter (0.25 by default; swept in
+// Figure 11). For the Consumption dataset it issues the power-factor
+// query of Example 1: <(1, -threshold), phi(x)> <= 0.
+
+#ifndef PLANAR_DATAGEN_WORKLOAD_H_
+#define PLANAR_DATAGEN_WORKLOAD_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "common/random.h"
+#include "core/index_set.h"
+#include "core/query.h"
+#include "core/row_matrix.h"
+
+namespace planar {
+
+/// Generator of Equation-18 queries over a dataset indexed with the
+/// identity function (phi(x) = x).
+class Eq18Workload {
+ public:
+  /// `rq` is the randomness of query (domain size |Delta_i|); parameters
+  /// are drawn uniformly from the integers {1, ..., rq}. `inequality`
+  /// scales the right-hand side (the paper's default is 0.25).
+  Eq18Workload(const PhiMatrix& phi, int rq, double inequality,
+               uint64_t seed);
+
+  /// Draws the next random query.
+  ScalarProductQuery Next();
+
+  /// The continuous parameter domains the discrete query parameters are
+  /// drawn from: [1, rq] per axis. Planar indices are sampled from these
+  /// (Section 5.2).
+  std::vector<ParameterDomain> Domains() const;
+
+  int rq() const { return rq_; }
+  double inequality() const { return inequality_; }
+
+ private:
+  std::vector<double> column_max_;
+  int rq_;
+  double inequality_;
+  Rng rng_;
+};
+
+/// Generator of Example-1 power-factor queries over the Consumption
+/// dataset materialized with PowerFactorFunction (d' = 2):
+///   <(1, -threshold), (active, voltage*current)> <= 0,
+/// threshold drawn uniformly from [threshold_lo, threshold_hi]
+/// (the paper uses (0.100, 1.000)).
+class PowerFactorWorkload {
+ public:
+  PowerFactorWorkload(double threshold_lo, double threshold_hi,
+                      uint64_t seed);
+
+  /// Draws the next random query.
+  ScalarProductQuery Next();
+
+  /// Parameter domains: a_0 = 1 fixed, a_1 in [-threshold_hi,
+  /// -threshold_lo].
+  std::vector<ParameterDomain> Domains() const;
+
+ private:
+  double threshold_lo_;
+  double threshold_hi_;
+  Rng rng_;
+};
+
+}  // namespace planar
+
+#endif  // PLANAR_DATAGEN_WORKLOAD_H_

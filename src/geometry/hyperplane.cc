@@ -1,0 +1,29 @@
+// Copyright (c) 2026 The planar Authors. Licensed under the MIT license.
+
+#include "geometry/hyperplane.h"
+
+#include <cmath>
+
+#include "geometry/vec.h"
+
+namespace planar {
+
+double Hyperplane::Evaluate(const double* y) const {
+  return Dot(normal.data(), y, normal.size()) - offset;
+}
+
+double Hyperplane::Distance(const double* y) const {
+  const double n = Norm(normal);
+  PLANAR_CHECK_GT(n, 0.0);
+  return std::fabs(Evaluate(y)) / n;
+}
+
+double CosAngleBetween(const Hyperplane& p, const Hyperplane& q) {
+  return CosineSimilarity(p.normal, q.normal);
+}
+
+bool Parallel(const Hyperplane& p, const Hyperplane& q, double tolerance) {
+  return AreParallel(p.normal, q.normal, tolerance);
+}
+
+}  // namespace planar

@@ -1,0 +1,49 @@
+// Copyright (c) 2026 The planar Authors. Licensed under the MIT license.
+//
+// Hyperplane geometry in R^d': the query hyperplane H(q): <a, y> = b and
+// the index hyperplanes H(x): <c, y> = key(x) of the paper (Section 4).
+
+#ifndef PLANAR_GEOMETRY_HYPERPLANE_H_
+#define PLANAR_GEOMETRY_HYPERPLANE_H_
+
+#include <vector>
+
+#include "common/macros.h"
+
+namespace planar {
+
+/// A hyperplane { y in R^d : <normal, y> = offset }.
+struct Hyperplane {
+  std::vector<double> normal;
+  double offset = 0.0;
+
+  /// Dimensionality of the ambient space.
+  size_t dim() const { return normal.size(); }
+
+  /// Coordinate of the intersection with axis i, i.e. I(q, i) = offset /
+  /// normal[i] in the paper's notation. Requires normal[i] != 0.
+  double AxisIntersection(size_t i) const {
+    PLANAR_DCHECK(i < normal.size());
+    PLANAR_DCHECK(normal[i] != 0.0);
+    return offset / normal[i];
+  }
+
+  /// Signed evaluation <normal, y> - offset.
+  double Evaluate(const double* y) const;
+
+  /// Euclidean distance from point y to this hyperplane:
+  /// |<normal, y> - offset| / |normal|.
+  double Distance(const double* y) const;
+};
+
+/// Cosine of the dihedral angle between two hyperplanes (the angle between
+/// their normals); both normals must be non-zero.
+double CosAngleBetween(const Hyperplane& p, const Hyperplane& q);
+
+/// True iff the two hyperplanes are parallel up to `tolerance`.
+bool Parallel(const Hyperplane& p, const Hyperplane& q,
+              double tolerance = 1e-9);
+
+}  // namespace planar
+
+#endif  // PLANAR_GEOMETRY_HYPERPLANE_H_

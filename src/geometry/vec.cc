@@ -1,0 +1,73 @@
+// Copyright (c) 2026 The planar Authors. Licensed under the MIT license.
+
+#include "geometry/vec.h"
+
+#include <cmath>
+#include <cstdio>
+
+#include "common/macros.h"
+
+namespace planar {
+
+double Dot(const double* a, const double* b, size_t n) {
+  double acc = 0.0;
+  for (size_t i = 0; i < n; ++i) acc += a[i] * b[i];
+  return acc;
+}
+
+double Dot(const std::vector<double>& a, const std::vector<double>& b) {
+  PLANAR_CHECK_EQ(a.size(), b.size());
+  return Dot(a.data(), b.data(), a.size());
+}
+
+double Norm(const double* a, size_t n) { return std::sqrt(Dot(a, a, n)); }
+
+double Norm(const std::vector<double>& a) { return Norm(a.data(), a.size()); }
+
+double SquaredDistance(const double* a, const double* b, size_t n) {
+  double acc = 0.0;
+  for (size_t i = 0; i < n; ++i) {
+    const double d = a[i] - b[i];
+    acc += d * d;
+  }
+  return acc;
+}
+
+void Axpy(double alpha, const double* x, double* y, size_t n) {
+  for (size_t i = 0; i < n; ++i) y[i] += alpha * x[i];
+}
+
+std::vector<double> Normalized(const std::vector<double>& a) {
+  const double norm = Norm(a);
+  PLANAR_CHECK_GT(norm, 0.0);
+  std::vector<double> out(a.size());
+  for (size_t i = 0; i < a.size(); ++i) out[i] = a[i] / norm;
+  return out;
+}
+
+double CosineSimilarity(const std::vector<double>& a,
+                        const std::vector<double>& b) {
+  const double na = Norm(a);
+  const double nb = Norm(b);
+  PLANAR_CHECK_GT(na, 0.0);
+  PLANAR_CHECK_GT(nb, 0.0);
+  return Dot(a, b) / (na * nb);
+}
+
+bool AreParallel(const std::vector<double>& a, const std::vector<double>& b,
+                 double tolerance) {
+  return std::fabs(CosineSimilarity(a, b)) >= 1.0 - tolerance;
+}
+
+std::string VecToString(const std::vector<double>& a) {
+  std::string out = "(";
+  char buf[32];
+  for (size_t i = 0; i < a.size(); ++i) {
+    std::snprintf(buf, sizeof(buf), "%s%.4f", i == 0 ? "" : ", ", a[i]);
+    out += buf;
+  }
+  out += ")";
+  return out;
+}
+
+}  // namespace planar

@@ -1,0 +1,49 @@
+// Copyright (c) 2026 The planar Authors. Licensed under the MIT license.
+//
+// Dense vector kernels used throughout the library. Vectors are plain
+// std::vector<double> / raw spans; these free functions keep the hot loops
+// in one place and easy to vectorize.
+
+#ifndef PLANAR_GEOMETRY_VEC_H_
+#define PLANAR_GEOMETRY_VEC_H_
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+namespace planar {
+
+/// Dot product of two length-n arrays.
+double Dot(const double* a, const double* b, size_t n);
+
+/// Dot product of two equal-length vectors.
+double Dot(const std::vector<double>& a, const std::vector<double>& b);
+
+/// Euclidean (L2) norm.
+double Norm(const double* a, size_t n);
+double Norm(const std::vector<double>& a);
+
+/// Squared Euclidean distance between two length-n arrays.
+double SquaredDistance(const double* a, const double* b, size_t n);
+
+/// In-place y += alpha * x.
+void Axpy(double alpha, const double* x, double* y, size_t n);
+
+/// Returns a / |a|; requires |a| > 0.
+std::vector<double> Normalized(const std::vector<double>& a);
+
+/// Cosine of the angle between a and b; requires both non-zero.
+double CosineSimilarity(const std::vector<double>& a,
+                        const std::vector<double>& b);
+
+/// True iff a and b are parallel up to `tolerance` on the cosine
+/// (|cos| >= 1 - tolerance). Used to deduplicate index normals.
+bool AreParallel(const std::vector<double>& a, const std::vector<double>& b,
+                 double tolerance = 1e-9);
+
+/// "(a_0, a_1, ..., a_{n-1})" with 4 fractional digits, for diagnostics.
+std::string VecToString(const std::vector<double>& a);
+
+}  // namespace planar
+
+#endif  // PLANAR_GEOMETRY_VEC_H_

@@ -1,0 +1,60 @@
+// Copyright (c) 2026 The planar Authors. Licensed under the MIT license.
+
+#include "learn/active_learner.h"
+
+#include <utility>
+#include <vector>
+
+#include "common/macros.h"
+
+namespace planar {
+
+ActiveLearner::ActiveLearner(const PlanarIndexSet* pool_index, Oracle oracle,
+                             LinearClassifier model, Options options)
+    : pool_index_(pool_index),
+      oracle_(std::move(oracle)),
+      model_(std::move(model)),
+      options_(options) {
+  PLANAR_CHECK(pool_index_ != nullptr);
+  PLANAR_CHECK(oracle_ != nullptr);
+  PLANAR_CHECK_GT(options_.batch_size, 0u);
+  PLANAR_CHECK_EQ(model_.weights().size(), pool_index_->phi().dim());
+}
+
+Result<ActiveLearningRound> ActiveLearner::Step() {
+  ActiveLearningRound round;
+  // Over-fetch so that already-labeled points near the hyperplane do not
+  // starve the batch.
+  const size_t fetch = options_.batch_size + labeled_.size();
+  std::vector<uint32_t> batch;
+
+  for (bool positive_side : {false, true}) {
+    const ScalarProductQuery q = model_.SideQuery(positive_side);
+    Result<TopKResult> result = pool_index_->TopK(q, fetch);
+    PLANAR_RETURN_IF_ERROR(result.status());
+    round.points_checked += result->stats.checked() > 0
+                                ? result->stats.checked()
+                                : result->stats.num_points;
+    size_t taken = 0;
+    for (const Neighbor& n : result->neighbors) {
+      if (taken >= options_.batch_size) break;
+      if (labeled_.count(n.id) > 0) continue;
+      batch.push_back(n.id);
+      labeled_.insert(n.id);
+      ++taken;
+    }
+  }
+
+  const PhiMatrix& pool = pool_index_->phi();
+  for (uint32_t row : batch) {
+    const int label = oracle_(row);
+    if (model_.PerceptronStep(pool.row(row), label,
+                              options_.learning_rate)) {
+      ++round.model_updates;
+    }
+  }
+  round.newly_labeled = batch.size();
+  return round;
+}
+
+}  // namespace planar

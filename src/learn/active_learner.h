@@ -1,0 +1,70 @@
+// Copyright (c) 2026 The planar Authors. Licensed under the MIT license.
+//
+// Pool-based active learning with uncertainty sampling (Settles [26];
+// the paper's Section 7.5.2 application): each round, the learner asks
+// for the top-k unlabeled points nearest to the current classifier
+// hyperplane — the paper's top-k nearest neighbor query (Problem 2) —
+// labels them with the oracle, and updates the classifier.
+
+#ifndef PLANAR_LEARN_ACTIVE_LEARNER_H_
+#define PLANAR_LEARN_ACTIVE_LEARNER_H_
+
+#include <cstdint>
+#include <functional>
+#include <unordered_set>
+
+#include "common/result.h"
+#include "core/index_set.h"
+#include "learn/linear_model.h"
+
+namespace planar {
+
+/// Outcome of one uncertainty-sampling round.
+struct ActiveLearningRound {
+  size_t newly_labeled = 0;
+  size_t model_updates = 0;       ///< perceptron corrections applied
+  size_t points_checked = 0;      ///< scalar products evaluated by the queries
+};
+
+/// Drives uncertainty sampling over an indexed pool.
+class ActiveLearner {
+ public:
+  /// Returns the ground-truth label (+1 / -1) of a pool row.
+  using Oracle = std::function<int(uint32_t row)>;
+
+  struct Options {
+    /// Points labeled per round and side (the k of the top-k query).
+    size_t batch_size = 10;
+    double learning_rate = 0.1;
+  };
+
+  /// `pool_index` must outlive the learner. Queries whose sign pattern no
+  /// index covers transparently fall back to a scan — results stay exact.
+  ActiveLearner(const PlanarIndexSet* pool_index, Oracle oracle,
+                LinearClassifier model, Options options);
+
+  /// Runs one round: the nearest unlabeled points on both sides of the
+  /// hyperplane are labeled and used for perceptron updates. Fails only
+  /// when the classifier degenerates to a zero weight vector.
+  Result<ActiveLearningRound> Step();
+
+  /// The classifier in its current state.
+  const LinearClassifier& model() const { return model_; }
+
+  /// Rows labeled so far.
+  size_t total_labeled() const { return labeled_.size(); }
+
+  /// True iff the row was labeled in a previous round.
+  bool IsLabeled(uint32_t row) const { return labeled_.count(row) > 0; }
+
+ private:
+  const PlanarIndexSet* pool_index_;
+  Oracle oracle_;
+  LinearClassifier model_;
+  Options options_;
+  std::unordered_set<uint32_t> labeled_;
+};
+
+}  // namespace planar
+
+#endif  // PLANAR_LEARN_ACTIVE_LEARNER_H_

@@ -1,0 +1,50 @@
+// Copyright (c) 2026 The planar Authors. Licensed under the MIT license.
+
+#include "learn/linear_model.h"
+
+#include "common/macros.h"
+#include "geometry/vec.h"
+
+namespace planar {
+
+LinearClassifier::LinearClassifier(std::vector<double> weights, double offset)
+    : weights_(std::move(weights)), offset_(offset) {
+  PLANAR_CHECK(!weights_.empty());
+}
+
+int LinearClassifier::Predict(const double* x) const {
+  return Margin(x) >= 0.0 ? +1 : -1;
+}
+
+double LinearClassifier::Margin(const double* x) const {
+  return Dot(weights_.data(), x, weights_.size()) - offset_;
+}
+
+bool LinearClassifier::PerceptronStep(const double* x, int label, double lr) {
+  PLANAR_CHECK(label == 1 || label == -1);
+  if (Predict(x) == label) return false;
+  Axpy(lr * label, x, weights_.data(), weights_.size());
+  offset_ -= lr * label;
+  return true;
+}
+
+double LinearClassifier::Accuracy(const RowMatrix& rows,
+                                  const std::vector<int>& labels) const {
+  PLANAR_CHECK_EQ(rows.size(), labels.size());
+  PLANAR_CHECK_GT(rows.size(), 0u);
+  size_t correct = 0;
+  for (size_t i = 0; i < rows.size(); ++i) {
+    if (Predict(rows.row(i)) == labels[i]) ++correct;
+  }
+  return static_cast<double>(correct) / static_cast<double>(rows.size());
+}
+
+ScalarProductQuery LinearClassifier::SideQuery(bool positive_side) const {
+  ScalarProductQuery q;
+  q.a = weights_;
+  q.b = offset_;
+  q.cmp = positive_side ? Comparison::kGreaterEqual : Comparison::kLessEqual;
+  return q;
+}
+
+}  // namespace planar

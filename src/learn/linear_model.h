@@ -1,0 +1,53 @@
+// Copyright (c) 2026 The planar Authors. Licensed under the MIT license.
+//
+// A linear classifier over phi-space, used by the pool-based active
+// learning application (Section 7.5.2): the classifier hyperplane
+// <w, phi(x)> = b separates positive from negative points, and the most
+// informative points to label next are the ones nearest the hyperplane.
+
+#ifndef PLANAR_LEARN_LINEAR_MODEL_H_
+#define PLANAR_LEARN_LINEAR_MODEL_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "core/query.h"
+#include "core/row_matrix.h"
+
+namespace planar {
+
+/// A linear classifier sign(<w, x> - b).
+class LinearClassifier {
+ public:
+  /// Initializes with the given weights and offset.
+  LinearClassifier(std::vector<double> weights, double offset);
+
+  /// +1 / -1 prediction for a feature row.
+  int Predict(const double* x) const;
+
+  /// Signed margin <w, x> - b.
+  double Margin(const double* x) const;
+
+  /// One perceptron step with learning rate `lr`: if `label` (+1/-1)
+  /// disagrees with the prediction, w += lr * label * x and
+  /// b -= lr * label. Returns true when an update was applied.
+  bool PerceptronStep(const double* x, int label, double lr = 1.0);
+
+  /// Fraction of rows whose prediction matches `labels` (+1/-1).
+  double Accuracy(const RowMatrix& rows, const std::vector<int>& labels) const;
+
+  /// The query asking for points on the negative side
+  /// (<w, phi(x)> <= b), or the positive side (>= b).
+  ScalarProductQuery SideQuery(bool positive_side) const;
+
+  const std::vector<double>& weights() const { return weights_; }
+  double offset() const { return offset_; }
+
+ private:
+  std::vector<double> weights_;
+  double offset_;
+};
+
+}  // namespace planar
+
+#endif  // PLANAR_LEARN_LINEAR_MODEL_H_

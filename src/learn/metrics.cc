@@ -1,0 +1,75 @@
+// Copyright (c) 2026 The planar Authors. Licensed under the MIT license.
+
+#include "learn/metrics.h"
+
+#include <cstdio>
+
+#include "common/macros.h"
+
+namespace planar {
+
+void ConfusionMatrix::Add(int predicted, int truth) {
+  PLANAR_CHECK(predicted == 1 || predicted == -1);
+  PLANAR_CHECK(truth == 1 || truth == -1);
+  if (truth == 1) {
+    if (predicted == 1) {
+      ++true_positives;
+    } else {
+      ++false_negatives;
+    }
+  } else {
+    if (predicted == 1) {
+      ++false_positives;
+    } else {
+      ++true_negatives;
+    }
+  }
+}
+
+double ConfusionMatrix::Accuracy() const {
+  const size_t n = total();
+  if (n == 0) return 0.0;
+  return static_cast<double>(true_positives + true_negatives) /
+         static_cast<double>(n);
+}
+
+double ConfusionMatrix::Precision() const {
+  const size_t predicted_positive = true_positives + false_positives;
+  if (predicted_positive == 0) return 0.0;
+  return static_cast<double>(true_positives) /
+         static_cast<double>(predicted_positive);
+}
+
+double ConfusionMatrix::Recall() const {
+  const size_t actual_positive = true_positives + false_negatives;
+  if (actual_positive == 0) return 0.0;
+  return static_cast<double>(true_positives) /
+         static_cast<double>(actual_positive);
+}
+
+double ConfusionMatrix::F1() const {
+  const double p = Precision();
+  const double r = Recall();
+  if (p + r == 0.0) return 0.0;
+  return 2.0 * p * r / (p + r);
+}
+
+std::string ConfusionMatrix::ToString() const {
+  char buf[128];
+  std::snprintf(buf, sizeof(buf), "acc=%.3f p=%.3f r=%.3f f1=%.3f (n=%zu)",
+                Accuracy(), Precision(), Recall(), F1(), total());
+  return buf;
+}
+
+ConfusionMatrix EvaluateClassifier(const LinearClassifier& model,
+                                   const RowMatrix& rows,
+                                   const std::vector<int>& labels) {
+  PLANAR_CHECK_EQ(rows.size(), labels.size());
+  ConfusionMatrix confusion;
+  for (size_t i = 0; i < rows.size(); ++i) {
+    confusion.Add(model.Predict(rows.row(i)), labels[i]);
+  }
+  return confusion;
+}
+
+}  // namespace planar

@@ -1,0 +1,53 @@
+// Copyright (c) 2026 The planar Authors. Licensed under the MIT license.
+//
+// Binary-classification metrics for the active-learning application:
+// confusion counts and the derived rates, so experiments can report more
+// than raw accuracy.
+
+#ifndef PLANAR_LEARN_METRICS_H_
+#define PLANAR_LEARN_METRICS_H_
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "core/row_matrix.h"
+#include "learn/linear_model.h"
+
+namespace planar {
+
+/// Confusion counts of a binary classifier (+1 = positive, -1 = negative).
+struct ConfusionMatrix {
+  size_t true_positives = 0;
+  size_t true_negatives = 0;
+  size_t false_positives = 0;
+  size_t false_negatives = 0;
+
+  /// Adds one (prediction, truth) observation.
+  void Add(int predicted, int truth);
+
+  size_t total() const {
+    return true_positives + true_negatives + false_positives +
+           false_negatives;
+  }
+  /// Fraction of correct predictions (0 when empty).
+  double Accuracy() const;
+  /// TP / (TP + FP); 0 when no positive predictions.
+  double Precision() const;
+  /// TP / (TP + FN); 0 when no positive truths.
+  double Recall() const;
+  /// Harmonic mean of precision and recall (0 when either is 0).
+  double F1() const;
+
+  /// "acc=0.91 p=0.88 r=0.93 f1=0.90 (n=1000)".
+  std::string ToString() const;
+};
+
+/// Evaluates `model` on labeled rows (labels are +1/-1).
+ConfusionMatrix EvaluateClassifier(const LinearClassifier& model,
+                                   const RowMatrix& rows,
+                                   const std::vector<int>& labels);
+
+}  // namespace planar
+
+#endif  // PLANAR_LEARN_METRICS_H_

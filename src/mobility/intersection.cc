@@ -1,0 +1,354 @@
+// Copyright (c) 2026 The planar Authors. Licensed under the MIT license.
+
+#include "mobility/intersection.h"
+
+#include <cmath>
+
+#include "common/macros.h"
+
+namespace planar {
+
+namespace {
+
+constexpr double kDegToRad = 3.14159265358979323846 / 180.0;
+
+double SignedSpeed(double lo, double hi, Rng& rng) {
+  const double magnitude = rng.Uniform(lo, hi);
+  return rng.Bernoulli(0.5) ? magnitude : -magnitude;
+}
+
+void AccumulateStats(QueryStats* total, const QueryStats& one) {
+  if (total == nullptr) return;
+  total->num_points += one.num_points;
+  total->accepted_directly += one.accepted_directly;
+  total->rejected_directly += one.rejected_directly;
+  total->verified += one.verified;
+  total->result_size += one.result_size;
+  total->index_used = one.index_used;
+}
+
+}  // namespace
+
+std::vector<LinearObject> GenerateLinearObjects(size_t n, double space,
+                                                double speed_lo,
+                                                double speed_hi, bool use_z,
+                                                Rng& rng) {
+  std::vector<LinearObject> objects(n);
+  for (LinearObject& o : objects) {
+    o.p0 = {rng.Uniform(0.0, space), rng.Uniform(0.0, space),
+            use_z ? rng.Uniform(0.0, space) : 0.0};
+    o.u = {SignedSpeed(speed_lo, speed_hi, rng),
+           SignedSpeed(speed_lo, speed_hi, rng),
+           use_z ? SignedSpeed(speed_lo, speed_hi, rng) : 0.0};
+  }
+  return objects;
+}
+
+std::vector<CircularObject> GenerateCircularObjects(size_t n,
+                                                    double radius_lo,
+                                                    double radius_hi,
+                                                    double omega_lo_deg,
+                                                    double omega_hi_deg,
+                                                    Rng& rng) {
+  std::vector<CircularObject> objects(n);
+  for (CircularObject& o : objects) {
+    o.center = {0.0, 0.0, 0.0};  // concentric circles (Figure 1)
+    o.radius = rng.Uniform(radius_lo, radius_hi);
+    o.omega = rng.Uniform(omega_lo_deg, omega_hi_deg) * kDegToRad;
+    o.phase = rng.Uniform(0.0, 2.0 * 3.14159265358979323846);
+  }
+  return objects;
+}
+
+std::vector<AcceleratingObject> GenerateAcceleratingObjects(
+    size_t n, double space, double speed_lo, double speed_hi,
+    double accel_lo, double accel_hi, Rng& rng) {
+  std::vector<AcceleratingObject> objects(n);
+  for (AcceleratingObject& o : objects) {
+    o.p0 = {rng.Uniform(0.0, space), rng.Uniform(0.0, space),
+            rng.Uniform(0.0, space)};
+    o.u = {SignedSpeed(speed_lo, speed_hi, rng),
+           SignedSpeed(speed_lo, speed_hi, rng),
+           SignedSpeed(speed_lo, speed_hi, rng)};
+    o.accel = {SignedSpeed(accel_lo, accel_hi, rng),
+               SignedSpeed(accel_lo, accel_hi, rng),
+               SignedSpeed(accel_lo, accel_hi, rng)};
+  }
+  return objects;
+}
+
+template <typename ObjectA>
+std::vector<IdPair> BaselineIntersectImpl(const std::vector<ObjectA>& a,
+                                          const std::vector<LinearObject>& b,
+                                          double t, double distance) {
+  std::vector<IdPair> out;
+  const double limit = distance * distance;
+  std::vector<Position3> b_at(b.size());
+  for (size_t j = 0; j < b.size(); ++j) b_at[j] = b[j].At(t);
+  for (size_t i = 0; i < a.size(); ++i) {
+    const Position3 pa = a[i].At(t);
+    for (size_t j = 0; j < b.size(); ++j) {
+      if (SquaredDistanceBetween(pa, b_at[j]) <= limit) {
+        out.emplace_back(static_cast<uint32_t>(i), static_cast<uint32_t>(j));
+      }
+    }
+  }
+  return out;
+}
+
+std::vector<IdPair> BaselineIntersect(const std::vector<LinearObject>& a,
+                                      const std::vector<LinearObject>& b,
+                                      double t, double distance) {
+  return BaselineIntersectImpl(a, b, t, distance);
+}
+
+std::vector<IdPair> BaselineIntersect(const std::vector<CircularObject>& a,
+                                      const std::vector<LinearObject>& b,
+                                      double t, double distance) {
+  return BaselineIntersectImpl(a, b, t, distance);
+}
+
+std::vector<IdPair> BaselineIntersect(
+    const std::vector<AcceleratingObject>& a,
+    const std::vector<LinearObject>& b, double t, double distance) {
+  return BaselineIntersectImpl(a, b, t, distance);
+}
+
+std::vector<IdPair> TprIntersect(const std::vector<LinearObject>& a,
+                                 const TprTree& b_tree, double t,
+                                 double distance) {
+  std::vector<IdPair> out;
+  std::vector<uint32_t> hits;
+  for (size_t i = 0; i < a.size(); ++i) {
+    hits.clear();
+    b_tree.RangeQuery(a[i].At(t), distance, t, &hits);
+    for (uint32_t j : hits) {
+      out.emplace_back(static_cast<uint32_t>(i), j);
+    }
+  }
+  return out;
+}
+
+Result<PairIntersectionIndex> PairIntersectionIndex::BuildLinear(
+    const std::vector<LinearObject>& a, const std::vector<LinearObject>& b,
+    const std::vector<double>& time_instants, const IndexSetOptions& options) {
+  if (a.empty() || b.empty()) {
+    return Status::InvalidArgument("object sets must be non-empty");
+  }
+  if (time_instants.empty()) {
+    return Status::InvalidArgument("at least one time instant is required");
+  }
+  PhiMatrix phi(LinearPairWorkload::kFeatureDim);
+  phi.Reserve(a.size() * b.size());
+  double row[LinearPairWorkload::kFeatureDim];
+  for (const LinearObject& oa : a) {
+    for (const LinearObject& ob : b) {
+      LinearPairWorkload::PairFeatures(oa, ob, row);
+      phi.AppendRow(row);
+    }
+  }
+  std::vector<std::vector<double>> normals;
+  normals.reserve(time_instants.size());
+  for (double t : time_instants) {
+    normals.push_back(LinearPairWorkload::IndexNormalAt(t));
+  }
+  PLANAR_ASSIGN_OR_RETURN(
+      PlanarIndexSet set,
+      PlanarIndexSet::BuildWithNormals(
+          std::move(phi), normals,
+          Octant::First(LinearPairWorkload::kFeatureDim), options));
+  return PairIntersectionIndex(std::move(set), b.size(),
+                               /*accelerating=*/false);
+}
+
+Result<PairIntersectionIndex> PairIntersectionIndex::BuildAccelerating(
+    const std::vector<AcceleratingObject>& a,
+    const std::vector<LinearObject>& b,
+    const std::vector<double>& time_instants, const IndexSetOptions& options) {
+  if (a.empty() || b.empty()) {
+    return Status::InvalidArgument("object sets must be non-empty");
+  }
+  if (time_instants.empty()) {
+    return Status::InvalidArgument("at least one time instant is required");
+  }
+  PhiMatrix phi(AcceleratingPairWorkload::kFeatureDim);
+  phi.Reserve(a.size() * b.size());
+  double row[AcceleratingPairWorkload::kFeatureDim];
+  for (const AcceleratingObject& oa : a) {
+    for (const LinearObject& ob : b) {
+      AcceleratingPairWorkload::PairFeatures(oa, ob, row);
+      phi.AppendRow(row);
+    }
+  }
+  std::vector<std::vector<double>> normals;
+  normals.reserve(time_instants.size());
+  for (double t : time_instants) {
+    normals.push_back(AcceleratingPairWorkload::IndexNormalAt(t));
+  }
+  PLANAR_ASSIGN_OR_RETURN(
+      PlanarIndexSet set,
+      PlanarIndexSet::BuildWithNormals(
+          std::move(phi), normals,
+          Octant::First(AcceleratingPairWorkload::kFeatureDim), options));
+  return PairIntersectionIndex(std::move(set), b.size(),
+                               /*accelerating=*/true);
+}
+
+std::vector<IdPair> PairIntersectionIndex::Query(double t, double distance,
+                                                 QueryStats* stats) const {
+  const ScalarProductQuery q =
+      accelerating_ ? AcceleratingPairWorkload::QueryAt(t, distance)
+                    : LinearPairWorkload::QueryAt(t, distance);
+  const InequalityResult result = set_.Inequality(q);
+  AccumulateStats(stats, result.stats);
+  std::vector<IdPair> out;
+  out.reserve(result.ids.size());
+  for (uint32_t pair_id : result.ids) {
+    out.emplace_back(pair_id / b_size_, pair_id % b_size_);
+  }
+  return out;
+}
+
+Result<CircularIntersectionIndex> CircularIntersectionIndex::Build(
+    const std::vector<LinearObject>& linears,
+    const std::vector<double>& time_instants,
+    const CircularIndexOptions& grid, const IndexSetOptions& options) {
+  if (linears.empty()) {
+    return Status::InvalidArgument("object set must be non-empty");
+  }
+  if (time_instants.empty()) {
+    return Status::InvalidArgument("at least one time instant is required");
+  }
+  if (!(grid.radius_lo > 0.0) || grid.radius_hi < grid.radius_lo ||
+      grid.radius_ratio <= 1.0) {
+    return Status::InvalidArgument("invalid radius grid");
+  }
+  if (grid.num_angles < 4 || grid.num_angles % 4 != 0) {
+    return Status::InvalidArgument(
+        "num_angles must be a positive multiple of 4");
+  }
+  PhiMatrix phi(CircularLinearWorkload::kFeatureDim);
+  phi.Reserve(linears.size());
+  double row[CircularLinearWorkload::kFeatureDim];
+  for (const LinearObject& o : linears) {
+    CircularLinearWorkload::LinearFeatures(o, row);
+    phi.AppendRow(row);
+  }
+  // Geometric radius grid covering [radius_lo, radius_hi].
+  std::vector<double> radii;
+  for (double r = grid.radius_lo; r < grid.radius_hi * grid.radius_ratio;
+       r *= grid.radius_ratio) {
+    radii.push_back(r);
+  }
+  // One template per (instant, radius, angle); templates span several
+  // octants, so the set is seeded with the first and extended via
+  // AddIndex. Order: instant-major, then radius, then angle (TemplateFor
+  // relies on this layout).
+  std::vector<std::pair<std::vector<double>, Octant>> all_templates;
+  for (double t : time_instants) {
+    auto templates =
+        CircularLinearWorkload::IndexTemplates(t, radii, grid.num_angles);
+    for (auto& tpl : templates) all_templates.push_back(std::move(tpl));
+  }
+  PLANAR_ASSIGN_OR_RETURN(
+      PlanarIndexSet set,
+      PlanarIndexSet::BuildWithNormals(std::move(phi),
+                                       {all_templates[0].first},
+                                       all_templates[0].second, options));
+  for (size_t i = 1; i < all_templates.size(); ++i) {
+    PLANAR_RETURN_IF_ERROR(
+        set.AddIndex(all_templates[i].first, all_templates[i].second));
+  }
+  return CircularIntersectionIndex(std::move(set), linears, time_instants,
+                                   radii, grid);
+}
+
+size_t CircularIntersectionIndex::TemplateFor(double t, double radius,
+                                              double theta) const {
+  // Nearest time instant.
+  size_t ti = static_cast<size_t>(
+      std::lower_bound(instants_.begin(), instants_.end(), t) -
+      instants_.begin());
+  if (ti == instants_.size()) {
+    ti = instants_.size() - 1;
+  } else if (ti > 0 && t - instants_[ti - 1] < instants_[ti] - t) {
+    --ti;
+  }
+  // Nearest radius grid point (geometric grid -> nearest in log space).
+  size_t ri = 0;
+  if (radius > radii_.front()) {
+    const double step = std::log(grid_.radius_ratio);
+    ri = static_cast<size_t>(
+        std::llround(std::log(radius / radii_.front()) / step));
+    ri = std::min(ri, radii_.size() - 1);
+  }
+  // Angle bucket; bucket k spans [k, k+1) * 2 pi / K and its template
+  // sits at the bucket center, so trigonometric signs agree inside the
+  // bucket (K is a multiple of 4).
+  constexpr double kTwoPi = 2.0 * 3.14159265358979323846;
+  double wrapped = std::fmod(theta, kTwoPi);
+  if (wrapped < 0.0) wrapped += kTwoPi;
+  size_t k = static_cast<size_t>(wrapped / kTwoPi *
+                                 static_cast<double>(grid_.num_angles));
+  k = std::min(k, grid_.num_angles - 1);
+  return (ti * radii_.size() + ri) * grid_.num_angles + k;
+}
+
+std::vector<IdPair> CircularIntersectionIndex::Query(
+    const std::vector<CircularObject>& circulars, double t, double distance,
+    QueryStats* stats) const {
+  std::vector<IdPair> out;
+  const double limit = distance * distance;
+  // Linear-object positions at t, computed once and shared by all
+  // queries: the intermediate-interval candidates are then verified with
+  // a plain 2D distance check instead of the generic d'=8 scalar product.
+  std::vector<Position3> b_at(linears_.size());
+  for (size_t j = 0; j < linears_.size(); ++j) b_at[j] = linears_[j].At(t);
+
+  std::vector<uint32_t> candidates;
+  for (size_t i = 0; i < circulars.size(); ++i) {
+    const CircularObject& c = circulars[i];
+    const ScalarProductQuery q =
+        CircularLinearWorkload::QueryFor(c, t, distance);
+    const NormalizedQuery norm = NormalizedQuery::From(q);
+    const PlanarIndex& index =
+        set_.index(TemplateFor(t, c.radius, c.omega * t + c.phase));
+    if (!index.CanServe(norm)) {
+      // Off-grid corner (e.g. off-center circles): the generic selection
+      // path keeps the answer exact.
+      const InequalityResult result = set_.Inequality(q);
+      AccumulateStats(stats, result.stats);
+      for (uint32_t j : result.ids) {
+        out.emplace_back(static_cast<uint32_t>(i), j);
+      }
+      continue;
+    }
+    // q.b = distance^2 >= 0 and cmp is <=, so normalization never flips:
+    // the accepted prefix is [0, smaller_end).
+    const PlanarIndex::Intervals iv =
+        std::move(index.ComputeIntervals(norm)).value();
+    candidates.clear();
+    index.CollectRange(0, iv.smaller_end, &candidates);
+    for (uint32_t j : candidates) {
+      out.emplace_back(static_cast<uint32_t>(i), j);
+    }
+    const Position3 pa = c.At(t);
+    candidates.clear();
+    index.CollectRange(iv.smaller_end, iv.larger_begin, &candidates);
+    for (uint32_t j : candidates) {
+      if (SquaredDistanceBetween(pa, b_at[j]) <= limit) {
+        out.emplace_back(static_cast<uint32_t>(i), j);
+      }
+    }
+    if (stats != nullptr) {
+      stats->num_points += index.size();
+      stats->accepted_directly += iv.smaller_end;
+      stats->rejected_directly += index.size() - iv.larger_begin;
+      stats->verified += iv.larger_begin - iv.smaller_end;
+    }
+  }
+  if (stats != nullptr) stats->result_size += out.size();
+  return out;
+}
+
+}  // namespace planar

@@ -1,0 +1,168 @@
+// Copyright (c) 2026 The planar Authors. Licensed under the MIT license.
+//
+// Moving-object intersection finding (Section 7.5.1): object-set
+// generators, the naive all-pairs baseline, the TPR/MBR-tree comparator,
+// and Planar-index-based finders for the three workloads (linear,
+// circular, accelerating).
+
+#ifndef PLANAR_MOBILITY_INTERSECTION_H_
+#define PLANAR_MOBILITY_INTERSECTION_H_
+
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+#include "common/random.h"
+#include "common/result.h"
+#include "core/index_set.h"
+#include "core/planar_index.h"
+#include "mobility/motion.h"
+#include "mobility/pair_features.h"
+#include "mobility/tpr_tree.h"
+
+namespace planar {
+
+/// A matching (id in set A, id in set B) pair.
+using IdPair = std::pair<uint32_t, uint32_t>;
+
+/// Uniformly distributed linear movers in [0, space]^2 (or ^3) with speed
+/// per axis uniform in +-[speed_lo, speed_hi] (paper: 0.1..1 mile/min).
+std::vector<LinearObject> GenerateLinearObjects(size_t n, double space,
+                                                double speed_lo,
+                                                double speed_hi, bool use_z,
+                                                Rng& rng);
+
+/// Concentric circular movers (centers at the origin as in Figure 1):
+/// radius uniform in [radius_lo, radius_hi] miles, angular velocity
+/// uniform in [omega_lo_deg, omega_hi_deg] degrees/min, random phase.
+std::vector<CircularObject> GenerateCircularObjects(size_t n,
+                                                    double radius_lo,
+                                                    double radius_hi,
+                                                    double omega_lo_deg,
+                                                    double omega_hi_deg,
+                                                    Rng& rng);
+
+/// Accelerating movers in [0, space]^3: initial speed per axis
+/// +-[speed_lo, speed_hi] mile/min, acceleration per axis
+/// +-[accel_lo, accel_hi] mile/min^2.
+std::vector<AcceleratingObject> GenerateAcceleratingObjects(
+    size_t n, double space, double speed_lo, double speed_hi,
+    double accel_lo, double accel_hi, Rng& rng);
+
+/// Naive baselines: evaluate the distance of every (a, b) pair at time t
+/// and keep pairs within `distance`.
+std::vector<IdPair> BaselineIntersect(const std::vector<LinearObject>& a,
+                                      const std::vector<LinearObject>& b,
+                                      double t, double distance);
+std::vector<IdPair> BaselineIntersect(const std::vector<CircularObject>& a,
+                                      const std::vector<LinearObject>& b,
+                                      double t, double distance);
+std::vector<IdPair> BaselineIntersect(
+    const std::vector<AcceleratingObject>& a,
+    const std::vector<LinearObject>& b, double t, double distance);
+
+/// MBR/TPR-tree comparator for the linear workload: one range query per
+/// object of set A against the tree over set B.
+std::vector<IdPair> TprIntersect(const std::vector<LinearObject>& a,
+                                 const TprTree& b_tree, double t,
+                                 double distance);
+
+/// Planar-index intersection finder for pair-feature workloads (linear x
+/// linear and accelerating x linear): the |A| x |B| pair feature matrix is
+/// indexed once with one exactly-parallel index per anticipated time
+/// instant (the MOVIES-style scheme of Section 7.5.1); a query at any
+/// t >= 0 picks the best index.
+class PairIntersectionIndex {
+ public:
+  /// Builds over linear x linear pairs (d' = 3).
+  static Result<PairIntersectionIndex> BuildLinear(
+      const std::vector<LinearObject>& a, const std::vector<LinearObject>& b,
+      const std::vector<double>& time_instants,
+      const IndexSetOptions& options = IndexSetOptions());
+
+  /// Builds over accelerating x linear pairs (d' = 5).
+  static Result<PairIntersectionIndex> BuildAccelerating(
+      const std::vector<AcceleratingObject>& a,
+      const std::vector<LinearObject>& b,
+      const std::vector<double>& time_instants,
+      const IndexSetOptions& options = IndexSetOptions());
+
+  /// All pairs within `distance` at time t. Per-query statistics are
+  /// accumulated into `stats` when non-null.
+  std::vector<IdPair> Query(double t, double distance,
+                            QueryStats* stats = nullptr) const;
+
+  /// The underlying index set (diagnostics / memory accounting).
+  const PlanarIndexSet& set() const { return set_; }
+
+ private:
+  PairIntersectionIndex(PlanarIndexSet set, size_t b_size, bool accelerating)
+      : set_(std::move(set)), b_size_(b_size), accelerating_(accelerating) {}
+
+  PlanarIndexSet set_;
+  size_t b_size_;
+  bool accelerating_;
+};
+
+/// Grid resolution for the circular-workload index templates: one Planar
+/// index per (time instant, radius grid point, angle bucket).
+struct CircularIndexOptions {
+  /// Radius domain of the circular movers; grid points are geometric with
+  /// the given ratio.
+  double radius_lo = 1.0;
+  double radius_hi = 100.0;
+  double radius_ratio = 1.25;
+  /// Angle buckets per full circle (multiple of 4 so bucket boundaries
+  /// align with the trigonometric sign changes).
+  size_t num_angles = 16;
+};
+
+/// Planar-index intersection finder for the circular x linear workload:
+/// the |B| linear objects are indexed once (d' = 8) and every circular
+/// object issues one query per time instant. The query parameters depend
+/// on the object's (radius, angle at t), so — unlike the
+/// time-instant-only workloads — a grid of templates is kept and the
+/// serving index is picked directly from (t, r, theta) in O(1) (a
+/// workload-aware specialization of the paper's O(r d') selection).
+class CircularIntersectionIndex {
+ public:
+  static Result<CircularIntersectionIndex> Build(
+      const std::vector<LinearObject>& linears,
+      const std::vector<double>& time_instants,
+      const CircularIndexOptions& grid = CircularIndexOptions(),
+      const IndexSetOptions& options = IndexSetOptions());
+
+  /// All (circular, linear) pairs within `distance` at time t.
+  /// `stats` (when non-null) accumulates the per-query statistics over
+  /// all |circulars| queries.
+  std::vector<IdPair> Query(const std::vector<CircularObject>& circulars,
+                            double t, double distance,
+                            QueryStats* stats = nullptr) const;
+
+  const PlanarIndexSet& set() const { return set_; }
+
+ private:
+  CircularIntersectionIndex(PlanarIndexSet set,
+                            std::vector<LinearObject> linears,
+                            std::vector<double> instants,
+                            std::vector<double> radii,
+                            CircularIndexOptions grid)
+      : set_(std::move(set)),
+        linears_(std::move(linears)),
+        instants_(std::move(instants)),
+        radii_(std::move(radii)),
+        grid_(grid) {}
+
+  /// The grid index serving a (t, radius, angle) query.
+  size_t TemplateFor(double t, double radius, double theta) const;
+
+  PlanarIndexSet set_;
+  std::vector<LinearObject> linears_;
+  std::vector<double> instants_;
+  std::vector<double> radii_;
+  CircularIndexOptions grid_;
+};
+
+}  // namespace planar
+
+#endif  // PLANAR_MOBILITY_INTERSECTION_H_

@@ -1,0 +1,22 @@
+// Copyright (c) 2026 The planar Authors. Licensed under the MIT license.
+
+#include "mobility/motion.h"
+
+#include <cmath>
+
+namespace planar {
+
+double SquaredDistanceBetween(const Position3& a, const Position3& b) {
+  const double dx = a.x - b.x;
+  const double dy = a.y - b.y;
+  const double dz = a.z - b.z;
+  return dx * dx + dy * dy + dz * dz;
+}
+
+Position3 CircularObject::At(double t) const {
+  const double angle = omega * t + phase;
+  return {center.x + radius * std::cos(angle),
+          center.y + radius * std::sin(angle), center.z};
+}
+
+}  // namespace planar

@@ -1,0 +1,65 @@
+// Copyright (c) 2026 The planar Authors. Licensed under the MIT license.
+//
+// Moving-object motion models for the intersection experiments of
+// Section 7.5.1: linear constant-velocity motion, circular motion with
+// constant angular velocity, and linearly accelerated motion (in 2D or
+// 3D as the workload requires).
+
+#ifndef PLANAR_MOBILITY_MOTION_H_
+#define PLANAR_MOBILITY_MOTION_H_
+
+#include <array>
+#include <cstddef>
+
+namespace planar {
+
+/// A 2D/3D position.
+struct Position3 {
+  double x = 0.0;
+  double y = 0.0;
+  double z = 0.0;
+};
+
+/// Squared Euclidean distance between two positions.
+double SquaredDistanceBetween(const Position3& a, const Position3& b);
+
+/// An object moving on a straight line with constant velocity:
+/// p(t) = p0 + u * t.
+struct LinearObject {
+  Position3 p0;
+  Position3 u;  // velocity (units / min)
+
+  Position3 At(double t) const {
+    return {p0.x + u.x * t, p0.y + u.y * t, p0.z + u.z * t};
+  }
+};
+
+/// An object moving on a circle of radius r around a center with constant
+/// angular velocity omega (radians / min), starting at phase phi0:
+/// p(t) = center + r * (cos(omega t + phi0), sin(omega t + phi0)).
+struct CircularObject {
+  Position3 center;
+  double radius = 1.0;
+  double omega = 0.1;  // rad / min
+  double phase = 0.0;
+
+  Position3 At(double t) const;
+};
+
+/// An object moving with constant acceleration:
+/// p(t) = p0 + u t + 0.5 a t^2.
+struct AcceleratingObject {
+  Position3 p0;
+  Position3 u;
+  Position3 accel;
+
+  Position3 At(double t) const {
+    const double h = 0.5 * t * t;
+    return {p0.x + u.x * t + accel.x * h, p0.y + u.y * t + accel.y * h,
+            p0.z + u.z * t + accel.z * h};
+  }
+};
+
+}  // namespace planar
+
+#endif  // PLANAR_MOBILITY_MOTION_H_

@@ -1,0 +1,54 @@
+// Copyright (c) 2026 The planar Authors. Licensed under the MIT license.
+
+#include "mobility/movies.h"
+
+#include <utility>
+
+#include "common/macros.h"
+
+namespace planar {
+
+Result<TimeInstantIndexManager> TimeInstantIndexManager::Build(
+    PhiMatrix phi, std::vector<double> instants, NormalFn normal_fn,
+    const IndexSetOptions& options) {
+  if (instants.empty()) {
+    return Status::InvalidArgument("at least one time instant is required");
+  }
+  for (size_t i = 1; i < instants.size(); ++i) {
+    if (instants[i] <= instants[i - 1]) {
+      return Status::InvalidArgument("instants must be strictly ascending");
+    }
+  }
+  const size_t dim = phi.dim();
+  std::vector<std::vector<double>> normals;
+  normals.reserve(instants.size());
+  for (double t : instants) {
+    std::vector<double> normal = normal_fn(t);
+    if (normal.size() != dim) {
+      return Status::InvalidArgument("normal dimensionality mismatch");
+    }
+    normals.push_back(std::move(normal));
+  }
+  PLANAR_ASSIGN_OR_RETURN(PlanarIndexSet set,
+                          PlanarIndexSet::BuildWithNormals(
+                              std::move(phi), normals, Octant::First(dim),
+                              options));
+  return TimeInstantIndexManager(std::move(set), std::move(instants),
+                                 std::move(normal_fn));
+}
+
+Status TimeInstantIndexManager::Advance(double new_instant) {
+  if (new_instant <= instants_.back()) {
+    return Status::InvalidArgument(
+        "new instant must exceed the newest indexed instant");
+  }
+  // Throw the oldest index away (MOVIES), then index the new instant.
+  PLANAR_RETURN_IF_ERROR(set_.RemoveIndex(0));
+  instants_.erase(instants_.begin());
+  PLANAR_RETURN_IF_ERROR(
+      set_.AddIndex(normal_fn_(new_instant), Octant::First(set_.phi().dim())));
+  instants_.push_back(new_instant);
+  return Status::OK();
+}
+
+}  // namespace planar

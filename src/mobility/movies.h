@@ -1,0 +1,62 @@
+// Copyright (c) 2026 The planar Authors. Licensed under the MIT license.
+//
+// MOVIES-style index rotation (Dittrich et al. [9], applied by the paper
+// in Section 7.5.1): short-lived Planar indices are kept for a sliding
+// window of anticipated time instants; as time advances, the oldest index
+// is thrown away and a fresh one is built for the newest instant.
+
+#ifndef PLANAR_MOBILITY_MOVIES_H_
+#define PLANAR_MOBILITY_MOVIES_H_
+
+#include <functional>
+#include <vector>
+
+#include "common/result.h"
+#include "core/index_set.h"
+#include "core/row_matrix.h"
+
+namespace planar {
+
+/// A sliding window of time-instant Planar indices over one phi matrix.
+class TimeInstantIndexManager {
+ public:
+  /// Maps a time instant to the (first-octant, all-positive) index normal
+  /// that is exactly parallel to queries at that instant.
+  using NormalFn = std::function<std::vector<double>(double)>;
+
+  /// Builds one index per instant (ascending order expected). Takes
+  /// ownership of the matrix.
+  static Result<TimeInstantIndexManager> Build(
+      PhiMatrix phi, std::vector<double> instants, NormalFn normal_fn,
+      const IndexSetOptions& options = IndexSetOptions());
+
+  /// Slides the window: drops the oldest instant's index and builds one
+  /// for `new_instant` (must exceed the newest held instant).
+  Status Advance(double new_instant);
+
+  /// Answers an inequality query with the best index in the window.
+  InequalityResult Query(const ScalarProductQuery& q) const {
+    return set_.Inequality(q);
+  }
+
+  /// The instants currently indexed, oldest first.
+  const std::vector<double>& instants() const { return instants_; }
+
+  /// The underlying index set.
+  const PlanarIndexSet& set() const { return set_; }
+
+ private:
+  TimeInstantIndexManager(PlanarIndexSet set, std::vector<double> instants,
+                          NormalFn normal_fn)
+      : set_(std::move(set)),
+        instants_(std::move(instants)),
+        normal_fn_(std::move(normal_fn)) {}
+
+  PlanarIndexSet set_;
+  std::vector<double> instants_;
+  NormalFn normal_fn_;
+};
+
+}  // namespace planar
+
+#endif  // PLANAR_MOBILITY_MOVIES_H_

@@ -1,0 +1,162 @@
+// Copyright (c) 2026 The planar Authors. Licensed under the MIT license.
+
+#include "mobility/pair_features.h"
+
+#include <cmath>
+
+#include "common/macros.h"
+
+namespace planar {
+
+namespace {
+
+double Dot3(const Position3& a, const Position3& b) {
+  return a.x * b.x + a.y * b.y + a.z * b.z;
+}
+
+Position3 Minus(const Position3& a, const Position3& b) {
+  return {a.x - b.x, a.y - b.y, a.z - b.z};
+}
+
+}  // namespace
+
+void LinearPairWorkload::PairFeatures(const LinearObject& a,
+                                      const LinearObject& b, double* out) {
+  const Position3 d0 = Minus(a.p0, b.p0);
+  const Position3 du = Minus(a.u, b.u);
+  out[0] = Dot3(d0, d0);
+  out[1] = 2.0 * Dot3(d0, du);
+  out[2] = Dot3(du, du);
+}
+
+ScalarProductQuery LinearPairWorkload::QueryAt(double t, double distance) {
+  PLANAR_CHECK_GE(t, 0.0);
+  ScalarProductQuery q;
+  q.a = {1.0, t, t * t};
+  q.b = distance * distance;
+  q.cmp = Comparison::kLessEqual;
+  return q;
+}
+
+std::vector<double> LinearPairWorkload::IndexNormalAt(double t) {
+  PLANAR_CHECK_GT(t, 0.0);
+  return {1.0, t, t * t};
+}
+
+void AcceleratingPairWorkload::PairFeatures(const AcceleratingObject& a,
+                                            const LinearObject& b,
+                                            double* out) {
+  const Position3 d0 = Minus(a.p0, b.p0);
+  const Position3 du = Minus(a.u, b.u);
+  const Position3& w = a.accel;
+  out[0] = Dot3(d0, d0);
+  out[1] = 2.0 * Dot3(d0, du);
+  out[2] = Dot3(du, du) + Dot3(d0, w);
+  out[3] = Dot3(du, w);
+  out[4] = 0.25 * Dot3(w, w);
+}
+
+ScalarProductQuery AcceleratingPairWorkload::QueryAt(double t,
+                                                     double distance) {
+  PLANAR_CHECK_GE(t, 0.0);
+  const double t2 = t * t;
+  ScalarProductQuery q;
+  q.a = {1.0, t, t2, t2 * t, t2 * t2};
+  q.b = distance * distance;
+  q.cmp = Comparison::kLessEqual;
+  return q;
+}
+
+std::vector<double> AcceleratingPairWorkload::IndexNormalAt(double t) {
+  PLANAR_CHECK_GT(t, 0.0);
+  const double t2 = t * t;
+  return {1.0, t, t2, t2 * t, t2 * t2};
+}
+
+void CircularLinearWorkload::LinearFeatures(const LinearObject& b,
+                                            double* out) {
+  const Position3& q0 = b.p0;
+  const Position3& v = b.u;
+  out[0] = 1.0;
+  out[1] = Dot3(q0, q0);
+  out[2] = Dot3(q0, v);
+  out[3] = Dot3(v, v);
+  out[4] = q0.x;
+  out[5] = q0.y;
+  out[6] = v.x;
+  out[7] = v.y;
+}
+
+ScalarProductQuery CircularLinearWorkload::QueryFor(const CircularObject& a,
+                                                    double t,
+                                                    double distance) {
+  // Position of the circular object at t: c + r e(theta).
+  const double theta = a.omega * t + a.phase;
+  const double ex = std::cos(theta);
+  const double ey = std::sin(theta);
+  const double cx = a.center.x;
+  const double cy = a.center.y;
+  const double r = a.radius;
+  // dist^2 = |q0 + v t - c - r e|^2, expanded over the linear-object
+  // features (1, |q0|^2, q0.v, |v|^2, q0_x, q0_y, v_x, v_y).
+  ScalarProductQuery q;
+  q.a = {cx * cx + cy * cy + r * r + 2.0 * r * (ex * cx + ey * cy),
+         1.0,
+         2.0 * t,
+         t * t,
+         -2.0 * (cx + r * ex),
+         -2.0 * (cy + r * ey),
+         -2.0 * t * (cx + r * ex),
+         -2.0 * t * (cy + r * ey)};
+  q.b = distance * distance;
+  q.cmp = Comparison::kLessEqual;
+  return q;
+}
+
+std::vector<std::pair<std::vector<double>, Octant>>
+CircularLinearWorkload::IndexTemplates(double t,
+                                       const std::vector<double>& radii,
+                                       size_t num_angles) {
+  PLANAR_CHECK_GT(t, 0.0);
+  PLANAR_CHECK_GE(num_angles, 4u);
+  // With concentric circles (center at the origin) the parameters are
+  //   (r^2, 1, 2t, t^2, -2 r e_x, -2 r e_y, -2 t r e_x, -2 t r e_y)
+  // with e = (cos theta, sin theta). Templates discretize (r, theta):
+  // angles are offset by half a step so none sits on an axis (which would
+  // produce a zero normal entry).
+  constexpr double kTwoPi = 2.0 * 3.14159265358979323846;
+  std::vector<std::pair<std::vector<double>, Octant>> templates;
+  for (double r : radii) {
+    PLANAR_CHECK_GT(r, 0.0);
+    for (size_t k = 0; k < num_angles; ++k) {
+      const double theta =
+          kTwoPi * (static_cast<double>(k) + 0.5) / num_angles;
+      const double ex = std::cos(theta);
+      const double ey = std::sin(theta);
+      std::vector<double> signed_normal = {r * r,
+                                           1.0,
+                                           2.0 * t,
+                                           t * t,
+                                           -2.0 * r * ex,
+                                           -2.0 * r * ey,
+                                           -2.0 * t * r * ex,
+                                           -2.0 * t * r * ey};
+      const Octant octant = Octant::FromNormal(signed_normal);
+      std::vector<double> mirrored(signed_normal.size());
+      for (size_t i = 0; i < signed_normal.size(); ++i) {
+        mirrored[i] = std::fabs(signed_normal[i]);
+      }
+      templates.emplace_back(std::move(mirrored), octant);
+    }
+  }
+  return templates;
+}
+
+std::vector<std::pair<std::vector<double>, Octant>>
+CircularLinearWorkload::IndexTemplates(double t, double typical_radius) {
+  PLANAR_CHECK_GT(typical_radius, 0.0);
+  return IndexTemplates(
+      t, {0.6 * typical_radius, 1.4 * typical_radius}, /*num_angles=*/8);
+}
+
+}  // namespace planar

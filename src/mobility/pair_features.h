@@ -1,0 +1,97 @@
+// Copyright (c) 2026 The planar Authors. Licensed under the MIT license.
+//
+// Scalar-product formulations of the moving-object intersection problem
+// (Example 2 and Section 7.5.1 of the paper). Each workload factors the
+// time-parameterized squared distance between two objects into
+//
+//   dist^2(t) = <a(params), phi(objects)>
+//
+// where phi depends only on quantities fixed at indexing time and `a`
+// only on quantities known at query time, so "which pairs are within S of
+// each other at future time t" becomes the inequality query
+// <a, phi> <= S^2.
+//
+// * Linear x linear (2D/3D): phi is per-PAIR (d' = 3), a = (1, t, t^2).
+// * Accelerating x linear (3D): phi per-pair (d' = 5),
+//   a = (1, t, t^2, t^3, t^4).
+// * Circular x linear (2D): phi is per-LINEAR-OBJECT (d' = 8) and each
+//   circular object issues its own query with parameters depending on
+//   (r, omega, center, t). (The paper's Equation 1 is equivalent; we use
+//   the clean per-object factorization — see DESIGN.md.)
+
+#ifndef PLANAR_MOBILITY_PAIR_FEATURES_H_
+#define PLANAR_MOBILITY_PAIR_FEATURES_H_
+
+#include <utility>
+#include <vector>
+
+#include "core/query.h"
+#include "geometry/octant.h"
+#include "mobility/motion.h"
+
+namespace planar {
+
+/// Linear x linear intersection as a scalar product query
+/// (Section 7.5.1, "Objects moving with uniform velocity").
+struct LinearPairWorkload {
+  static constexpr size_t kFeatureDim = 3;
+
+  /// phi(pair) = (|p-q|^2, 2 (p-q).(u-v), |u-v|^2).
+  static void PairFeatures(const LinearObject& a, const LinearObject& b,
+                           double* out);
+
+  /// <(1, t, t^2), phi> <= S^2: all pairs within distance S at time t.
+  static ScalarProductQuery QueryAt(double t, double distance);
+
+  /// The exactly-parallel index normal for time instant t (all positive:
+  /// first-octant index).
+  static std::vector<double> IndexNormalAt(double t);
+};
+
+/// Accelerating x linear intersection (Section 7.5.1, "Objects moving
+/// with acceleration"; 3D).
+struct AcceleratingPairWorkload {
+  static constexpr size_t kFeatureDim = 5;
+
+  /// phi(pair) = (|d0|^2, 2 d0.du, |du|^2 + d0.w, du.w, |w|^2 / 4) with
+  /// d0 = p0 - q0, du = u - v, w = accel.
+  static void PairFeatures(const AcceleratingObject& a, const LinearObject& b,
+                           double* out);
+
+  /// <(1, t, t^2, t^3, t^4), phi> <= S^2.
+  static ScalarProductQuery QueryAt(double t, double distance);
+
+  static std::vector<double> IndexNormalAt(double t);
+};
+
+/// Circular x linear intersection (Section 7.5.1, "Circular moving
+/// objects"; 2D). The linear objects are indexed once; each circular
+/// object issues one query per (object, t).
+struct CircularLinearWorkload {
+  static constexpr size_t kFeatureDim = 8;
+
+  /// phi(b) = (1, |q0|^2, q0.v, |v|^2, q0_x, q0_y, v_x, v_y).
+  static void LinearFeatures(const LinearObject& b, double* out);
+
+  /// dist^2 between circular object `a` at time t and an indexed linear
+  /// object, as a scalar product query with threshold distance^2.
+  static ScalarProductQuery QueryFor(const CircularObject& a, double t,
+                                     double distance);
+
+  /// Representative (mirrored-space normal, octant) pairs covering the
+  /// sign patterns the queries of this workload can take at time t (the
+  /// trigonometric parameters change sign with the object's angle).
+  /// One template is produced per (radius, angle) combination:
+  /// `num_angles` angles spread over the circle (>= 4 so every octant is
+  /// covered) for each radius in `radii`.
+  static std::vector<std::pair<std::vector<double>, Octant>> IndexTemplates(
+      double t, const std::vector<double>& radii, size_t num_angles);
+
+  /// Convenience: two radii around `typical_radius`, 8 angles.
+  static std::vector<std::pair<std::vector<double>, Octant>> IndexTemplates(
+      double t, double typical_radius);
+};
+
+}  // namespace planar
+
+#endif  // PLANAR_MOBILITY_PAIR_FEATURES_H_

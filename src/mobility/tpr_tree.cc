@@ -1,0 +1,169 @@
+// Copyright (c) 2026 The planar Authors. Licensed under the MIT license.
+
+#include "mobility/tpr_tree.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <numeric>
+
+#include "common/macros.h"
+
+namespace planar {
+
+TprTree::Bounds TprTree::BoundsOf(const LinearObject& o, bool use_z) {
+  Bounds b;
+  const double pos[3] = {o.p0.x, o.p0.y, use_z ? o.p0.z : 0.0};
+  const double vel[3] = {o.u.x, o.u.y, use_z ? o.u.z : 0.0};
+  for (int d = 0; d < 3; ++d) {
+    b.pos_min[d] = pos[d];
+    b.pos_max[d] = pos[d];
+    b.vel_min[d] = vel[d];
+    b.vel_max[d] = vel[d];
+  }
+  return b;
+}
+
+TprTree::Bounds TprTree::Merge(const Bounds& a, const Bounds& b) {
+  Bounds m;
+  for (int d = 0; d < 3; ++d) {
+    m.pos_min[d] = std::min(a.pos_min[d], b.pos_min[d]);
+    m.pos_max[d] = std::max(a.pos_max[d], b.pos_max[d]);
+    m.vel_min[d] = std::min(a.vel_min[d], b.vel_min[d]);
+    m.vel_max[d] = std::max(a.vel_max[d], b.vel_max[d]);
+  }
+  return m;
+}
+
+TprTree::TprTree(const std::vector<LinearObject>& objects,
+                 size_t leaf_capacity, bool use_z)
+    : objects_(objects), dims_(use_z ? 3 : 2) {
+  PLANAR_CHECK_GT(leaf_capacity, 0u);
+  const size_t n = objects_.size();
+  object_ids_.resize(n);
+  std::iota(object_ids_.begin(), object_ids_.end(), 0u);
+  if (n == 0) {
+    Node empty;
+    empty.is_leaf = true;
+    for (int d = 0; d < 3; ++d) {
+      empty.bounds.pos_min[d] = 0;
+      empty.bounds.pos_max[d] = 0;
+      empty.bounds.vel_min[d] = 0;
+      empty.bounds.vel_max[d] = 0;
+    }
+    nodes_.push_back(empty);
+    root_ = 0;
+    return;
+  }
+
+  // STR packing: sort by x, slice into sqrt(#leaves) strips, sort each
+  // strip by y, cut into leaves.
+  const size_t num_leaves = (n + leaf_capacity - 1) / leaf_capacity;
+  const size_t strips =
+      std::max<size_t>(1, static_cast<size_t>(std::ceil(
+                              std::sqrt(static_cast<double>(num_leaves)))));
+  const size_t per_strip = (n + strips - 1) / strips;
+  std::sort(object_ids_.begin(), object_ids_.end(),
+            [&](uint32_t a, uint32_t b) {
+              return objects_[a].p0.x < objects_[b].p0.x;
+            });
+  for (size_t s = 0; s * per_strip < n; ++s) {
+    const size_t begin = s * per_strip;
+    const size_t end = std::min(n, begin + per_strip);
+    std::sort(object_ids_.begin() + begin, object_ids_.begin() + end,
+              [&](uint32_t a, uint32_t b) {
+                return objects_[a].p0.y < objects_[b].p0.y;
+              });
+  }
+
+  // Build leaves.
+  std::vector<uint32_t> level;
+  for (size_t begin = 0; begin < n; begin += leaf_capacity) {
+    const size_t end = std::min(n, begin + leaf_capacity);
+    Node leaf;
+    leaf.is_leaf = true;
+    leaf.first = static_cast<uint32_t>(begin);
+    leaf.last = static_cast<uint32_t>(end);
+    leaf.bounds = BoundsOf(objects_[object_ids_[begin]], dims_ == 3);
+    for (size_t i = begin + 1; i < end; ++i) {
+      leaf.bounds =
+          Merge(leaf.bounds, BoundsOf(objects_[object_ids_[i]], dims_ == 3));
+    }
+    level.push_back(static_cast<uint32_t>(nodes_.size()));
+    nodes_.push_back(std::move(leaf));
+  }
+
+  // Build internal levels with the same fanout.
+  const size_t fanout = std::max<size_t>(2, leaf_capacity / 2);
+  while (level.size() > 1) {
+    std::vector<uint32_t> next;
+    for (size_t begin = 0; begin < level.size(); begin += fanout) {
+      const size_t end = std::min(level.size(), begin + fanout);
+      Node internal;
+      internal.is_leaf = false;
+      internal.bounds = nodes_[level[begin]].bounds;
+      for (size_t i = begin; i < end; ++i) {
+        internal.children.push_back(level[i]);
+        internal.bounds = Merge(internal.bounds, nodes_[level[i]].bounds);
+      }
+      next.push_back(static_cast<uint32_t>(nodes_.size()));
+      nodes_.push_back(std::move(internal));
+    }
+    level = std::move(next);
+  }
+  root_ = level[0];
+}
+
+bool TprTree::Intersects(const Bounds& b, const Position3& center,
+                         double radius, double t) const {
+  const double c[3] = {center.x, center.y, center.z};
+  double dist2 = 0.0;
+  for (size_t d = 0; d < dims_; ++d) {
+    const double lo = b.pos_min[d] + b.vel_min[d] * t;
+    const double hi = b.pos_max[d] + b.vel_max[d] * t;
+    if (c[d] < lo) {
+      dist2 += (lo - c[d]) * (lo - c[d]);
+    } else if (c[d] > hi) {
+      dist2 += (c[d] - hi) * (c[d] - hi);
+    }
+  }
+  return dist2 <= radius * radius;
+}
+
+void TprTree::Query(uint32_t node_id, const Position3& center, double radius,
+                    double t, std::vector<uint32_t>* out) const {
+  const Node& node = nodes_[node_id];
+  if (!Intersects(node.bounds, center, radius, t)) return;
+  if (node.is_leaf) {
+    for (uint32_t i = node.first; i < node.last; ++i) {
+      const uint32_t id = object_ids_[i];
+      const Position3 p = objects_[id].At(t);
+      if (SquaredDistanceBetween(p, center) <= radius * radius) {
+        out->push_back(id);
+      }
+    }
+    return;
+  }
+  for (uint32_t child : node.children) Query(child, center, radius, t, out);
+}
+
+void TprTree::RangeQuery(const Position3& center, double radius, double t,
+                         std::vector<uint32_t>* out) const {
+  PLANAR_CHECK_GE(t, 0.0);
+  PLANAR_CHECK_GE(radius, 0.0);
+  if (objects_.empty()) return;
+  Query(root_, center, radius, t, out);
+}
+
+size_t TprTree::MemoryUsage() const {
+  size_t total = sizeof(*this);
+  total += objects_.capacity() * sizeof(LinearObject);
+  total += object_ids_.capacity() * sizeof(uint32_t);
+  total += nodes_.capacity() * sizeof(Node);
+  for (const Node& n : nodes_) {
+    total += n.children.capacity() * sizeof(uint32_t);
+  }
+  return total;
+}
+
+}  // namespace planar

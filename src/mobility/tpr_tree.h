@@ -1,0 +1,81 @@
+// Copyright (c) 2026 The planar Authors. Licensed under the MIT license.
+//
+// A time-parameterized R-tree over linear constant-velocity objects — the
+// stand-in for the continuous-intersection MBR-tree of Zhang et al. [33]
+// that the paper compares against in Figure 14(a). Each node stores a
+// position MBR at reference time 0 plus a velocity MBR; the node's spatial
+// extent at future time t >= 0 is
+//
+//   [min_pos + min_vel * t,  max_pos + max_vel * t]   per axis,
+//
+// which conservatively contains every enclosed object at time t. Like
+// [33] (and the TPR-tree it improves on), it only supports straight-line
+// constant-velocity motion — which is precisely the limitation the Planar
+// index removes.
+
+#ifndef PLANAR_MOBILITY_TPR_TREE_H_
+#define PLANAR_MOBILITY_TPR_TREE_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "mobility/motion.h"
+
+namespace planar {
+
+/// STR-bulk-loaded time-parameterized R-tree (2D or 3D).
+class TprTree {
+ public:
+  /// Builds over `objects` (indexed by their position in the vector).
+  /// `leaf_capacity` objects per leaf; `use_z` enables the third axis.
+  explicit TprTree(const std::vector<LinearObject>& objects,
+                   size_t leaf_capacity = 32, bool use_z = false);
+
+  /// Appends to `out` the ids of all objects within `radius` of `center`
+  /// at time t >= 0 (exact: candidates from the tree are verified against
+  /// the true object motion).
+  void RangeQuery(const Position3& center, double radius, double t,
+                  std::vector<uint32_t>* out) const;
+
+  /// Number of tree nodes (diagnostics).
+  size_t node_count() const { return nodes_.size(); }
+
+  /// Number of indexed objects.
+  size_t size() const { return objects_.size(); }
+
+  /// Heap footprint in bytes.
+  size_t MemoryUsage() const;
+
+ private:
+  struct Bounds {
+    double pos_min[3];
+    double pos_max[3];
+    double vel_min[3];
+    double vel_max[3];
+  };
+  struct Node {
+    Bounds bounds;
+    // Leaf: [first, last) indexes into object_ids_. Internal: children.
+    uint32_t first = 0;
+    uint32_t last = 0;
+    std::vector<uint32_t> children;
+    bool is_leaf = true;
+  };
+
+  static Bounds BoundsOf(const LinearObject& o, bool use_z);
+  static Bounds Merge(const Bounds& a, const Bounds& b);
+  bool Intersects(const Bounds& b, const Position3& center, double radius,
+                  double t) const;
+  void Query(uint32_t node, const Position3& center, double radius, double t,
+             std::vector<uint32_t>* out) const;
+
+  std::vector<LinearObject> objects_;
+  std::vector<uint32_t> object_ids_;  // leaf-ordered ids
+  std::vector<Node> nodes_;
+  uint32_t root_ = 0;
+  size_t dims_ = 2;
+};
+
+}  // namespace planar
+
+#endif  // PLANAR_MOBILITY_TPR_TREE_H_

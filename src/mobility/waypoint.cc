@@ -1,0 +1,45 @@
+// Copyright (c) 2026 The planar Authors. Licensed under the MIT license.
+
+#include "mobility/waypoint.h"
+
+#include <algorithm>
+
+#include "common/macros.h"
+
+namespace planar {
+
+WaypointObject::WaypointObject(std::vector<double> times,
+                               std::vector<Position3> points)
+    : times_(std::move(times)), points_(std::move(points)) {
+  PLANAR_CHECK_GE(times_.size(), 2u);
+  PLANAR_CHECK_EQ(times_.size(), points_.size());
+  for (size_t i = 1; i < times_.size(); ++i) {
+    PLANAR_CHECK_LT(times_[i - 1], times_[i]);
+  }
+}
+
+size_t WaypointObject::SegmentAt(double t) const {
+  const size_t upper = static_cast<size_t>(
+      std::upper_bound(times_.begin(), times_.end(), t) - times_.begin());
+  if (upper == 0) return 0;
+  return std::min(upper - 1, segments() - 1);
+}
+
+LinearObject WaypointObject::SegmentObject(size_t i) const {
+  PLANAR_CHECK_LT(i, segments());
+  const double dt = times_[i + 1] - times_[i];
+  const Position3& a = points_[i];
+  const Position3& b = points_[i + 1];
+  LinearObject object;
+  object.u = {(b.x - a.x) / dt, (b.y - a.y) / dt, (b.z - a.z) / dt};
+  // Anchor at t = 0 so LinearObject::At(t) uses absolute time.
+  object.p0 = {a.x - object.u.x * times_[i], a.y - object.u.y * times_[i],
+               a.z - object.u.z * times_[i]};
+  return object;
+}
+
+Position3 WaypointObject::At(double t) const {
+  return SegmentObject(SegmentAt(t)).At(t);
+}
+
+}  // namespace planar

@@ -1,0 +1,52 @@
+// Copyright (c) 2026 The planar Authors. Licensed under the MIT license.
+//
+// Piecewise-linear (waypoint) motion. Classic moving-object indexes
+// assume straight-line constant-velocity motion and must be updated
+// whenever an object turns (the paper's Section 2 critique); a waypoint
+// trajectory makes that concrete: within one segment the object IS a
+// LinearObject, so the pair-feature machinery applies per segment, and a
+// direction change is exactly one phi-row update (Section 4.4).
+
+#ifndef PLANAR_MOBILITY_WAYPOINT_H_
+#define PLANAR_MOBILITY_WAYPOINT_H_
+
+#include <cstddef>
+#include <vector>
+
+#include "mobility/motion.h"
+
+namespace planar {
+
+/// An object following straight segments between timed waypoints and
+/// continuing at the last segment's velocity after the final waypoint.
+class WaypointObject {
+ public:
+  /// `times` strictly ascending, same length as `points`, length >= 2.
+  WaypointObject(std::vector<double> times, std::vector<Position3> points);
+
+  /// Position at time t (t < times.front() extrapolates the first
+  /// segment backwards).
+  Position3 At(double t) const;
+
+  /// The segment index active at time t: the largest i with
+  /// times[i] <= t, clamped to [0, segments() - 1].
+  size_t SegmentAt(double t) const;
+
+  /// Number of linear segments (waypoints - 1).
+  size_t segments() const { return times_.size() - 1; }
+
+  /// The equivalent constant-velocity object of segment i (valid for
+  /// t in [times[i], times[i+1]], and beyond for the last segment).
+  LinearObject SegmentObject(size_t i) const;
+
+  /// Times at which the velocity changes (the index-update instants).
+  const std::vector<double>& waypoint_times() const { return times_; }
+
+ private:
+  std::vector<double> times_;
+  std::vector<Position3> points_;
+};
+
+}  // namespace planar
+
+#endif  // PLANAR_MOBILITY_WAYPOINT_H_

@@ -1,0 +1,190 @@
+// Copyright (c) 2026 The planar Authors. Licensed under the MIT license.
+
+#include "spatial/kdtree.h"
+
+#include <algorithm>
+#include <limits>
+#include <numeric>
+
+#include "common/macros.h"
+#include "geometry/vec.h"
+
+namespace planar {
+
+KdTree::KdTree(const RowMatrix* points, size_t leaf_size) : points_(points) {
+  PLANAR_CHECK(points != nullptr);
+  PLANAR_CHECK_GT(leaf_size, 0u);
+  ids_.resize(points_->size());
+  std::iota(ids_.begin(), ids_.end(), 0u);
+  if (ids_.empty()) {
+    Node empty;
+    empty.is_leaf = true;
+    empty.box_lo.assign(points_->dim(), 0.0);
+    empty.box_hi.assign(points_->dim(), 0.0);
+    nodes_.push_back(std::move(empty));
+    root_ = 0;
+    return;
+  }
+  root_ = Build(0, ids_.size(), leaf_size);
+}
+
+size_t KdTree::dim() const { return points_->dim(); }
+
+void KdTree::ComputeBox(Node* node, size_t begin, size_t end) const {
+  const size_t d = points_->dim();
+  node->box_lo.assign(d, std::numeric_limits<double>::infinity());
+  node->box_hi.assign(d, -std::numeric_limits<double>::infinity());
+  for (size_t i = begin; i < end; ++i) {
+    const double* row = points_->row(ids_[i]);
+    for (size_t j = 0; j < d; ++j) {
+      node->box_lo[j] = std::min(node->box_lo[j], row[j]);
+      node->box_hi[j] = std::max(node->box_hi[j], row[j]);
+    }
+  }
+}
+
+uint32_t KdTree::Build(size_t begin, size_t end, size_t leaf_size) {
+  Node node;
+  ComputeBox(&node, begin, end);
+  const uint32_t node_id = static_cast<uint32_t>(nodes_.size());
+  nodes_.push_back(std::move(node));
+
+  if (end - begin <= leaf_size) {
+    nodes_[node_id].is_leaf = true;
+    nodes_[node_id].first = static_cast<uint32_t>(begin);
+    nodes_[node_id].last = static_cast<uint32_t>(end);
+    return node_id;
+  }
+  // Split on the widest box dimension at the median.
+  size_t split_dim = 0;
+  double widest = -1.0;
+  for (size_t j = 0; j < points_->dim(); ++j) {
+    const double width = nodes_[node_id].box_hi[j] - nodes_[node_id].box_lo[j];
+    if (width > widest) {
+      widest = width;
+      split_dim = j;
+    }
+  }
+  const size_t mid = begin + (end - begin) / 2;
+  std::nth_element(ids_.begin() + static_cast<ptrdiff_t>(begin),
+                   ids_.begin() + static_cast<ptrdiff_t>(mid),
+                   ids_.begin() + static_cast<ptrdiff_t>(end),
+                   [&](uint32_t a, uint32_t b) {
+                     return points_->at(a, split_dim) <
+                            points_->at(b, split_dim);
+                   });
+  if (widest == 0.0) {
+    // All points identical: keep as one (possibly oversized) leaf rather
+    // than recursing forever.
+    nodes_[node_id].is_leaf = true;
+    nodes_[node_id].first = static_cast<uint32_t>(begin);
+    nodes_[node_id].last = static_cast<uint32_t>(end);
+    return node_id;
+  }
+  const uint32_t left = Build(begin, mid, leaf_size);
+  const uint32_t right = Build(mid, end, leaf_size);
+  nodes_[node_id].is_leaf = false;
+  nodes_[node_id].left = left;
+  nodes_[node_id].right = right;
+  return node_id;
+}
+
+void KdTree::ReportSubtree(uint32_t node_id,
+                           std::vector<uint32_t>* out) const {
+  const Node& node = nodes_[node_id];
+  if (node.is_leaf) {
+    for (uint32_t i = node.first; i < node.last; ++i) {
+      out->push_back(ids_[i]);
+    }
+    return;
+  }
+  ReportSubtree(node.left, out);
+  ReportSubtree(node.right, out);
+}
+
+void KdTree::HalfSpace(uint32_t node_id, const ScalarProductQuery& q,
+                       bool le, std::vector<uint32_t>* out) const {
+  const Node& node = nodes_[node_id];
+  // Range of <a, x> over the bounding box.
+  double lo = 0.0;
+  double hi = 0.0;
+  for (size_t j = 0; j < q.a.size(); ++j) {
+    if (q.a[j] >= 0.0) {
+      lo += q.a[j] * node.box_lo[j];
+      hi += q.a[j] * node.box_hi[j];
+    } else {
+      lo += q.a[j] * node.box_hi[j];
+      hi += q.a[j] * node.box_lo[j];
+    }
+  }
+  const bool all_in = le ? hi <= q.b : lo >= q.b;
+  const bool all_out = le ? lo > q.b : hi < q.b;
+  if (all_out) return;
+  if (all_in) {
+    ReportSubtree(node_id, out);
+    return;
+  }
+  if (node.is_leaf) {
+    for (uint32_t i = node.first; i < node.last; ++i) {
+      const uint32_t id = ids_[i];
+      if (q.Matches(points_->row(id))) out->push_back(id);
+    }
+    return;
+  }
+  HalfSpace(node.left, q, le, out);
+  HalfSpace(node.right, q, le, out);
+}
+
+void KdTree::HalfSpaceQuery(const ScalarProductQuery& q,
+                            std::vector<uint32_t>* out) const {
+  PLANAR_CHECK_EQ(q.a.size(), points_->dim());
+  if (ids_.empty()) return;
+  HalfSpace(root_, q, q.cmp == Comparison::kLessEqual, out);
+}
+
+void KdTree::Ball(uint32_t node_id, const double* center, double radius,
+                  std::vector<uint32_t>* out) const {
+  const Node& node = nodes_[node_id];
+  double dist2 = 0.0;
+  for (size_t j = 0; j < points_->dim(); ++j) {
+    if (center[j] < node.box_lo[j]) {
+      const double d = node.box_lo[j] - center[j];
+      dist2 += d * d;
+    } else if (center[j] > node.box_hi[j]) {
+      const double d = center[j] - node.box_hi[j];
+      dist2 += d * d;
+    }
+  }
+  if (dist2 > radius * radius) return;
+  if (node.is_leaf) {
+    for (uint32_t i = node.first; i < node.last; ++i) {
+      const uint32_t id = ids_[i];
+      if (SquaredDistance(points_->row(id), center, points_->dim()) <=
+          radius * radius) {
+        out->push_back(id);
+      }
+    }
+    return;
+  }
+  Ball(node.left, center, radius, out);
+  Ball(node.right, center, radius, out);
+}
+
+void KdTree::BallQuery(const double* center, double radius,
+                       std::vector<uint32_t>* out) const {
+  PLANAR_CHECK_GE(radius, 0.0);
+  if (ids_.empty()) return;
+  Ball(root_, center, radius, out);
+}
+
+size_t KdTree::MemoryUsage() const {
+  size_t total = sizeof(*this) + ids_.capacity() * sizeof(uint32_t) +
+                 nodes_.capacity() * sizeof(Node);
+  for (const Node& node : nodes_) {
+    total += (node.box_lo.capacity() + node.box_hi.capacity()) *
+             sizeof(double);
+  }
+  return total;
+}
+
+}  // namespace planar

@@ -1,0 +1,73 @@
+// Copyright (c) 2026 The planar Authors. Licensed under the MIT license.
+//
+// A bulk-loaded kd-tree with half-space reporting — the classic spatial
+// answer to half-space range searching (the phi = identity special case
+// of the paper's Problem 1) and the kind of structure the related work
+// applies to linear constraint queries. Serves as a practical comparator
+// for the asymptotic structures of Table 1: excellent in low
+// dimensionality, cursed in high.
+
+#ifndef PLANAR_SPATIAL_KDTREE_H_
+#define PLANAR_SPATIAL_KDTREE_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "core/query.h"
+#include "core/row_matrix.h"
+
+namespace planar {
+
+/// An immutable kd-tree over the rows of an externally-owned matrix
+/// (which must outlive the tree).
+class KdTree {
+ public:
+  /// Bulk loads by median splits on the widest box dimension.
+  explicit KdTree(const RowMatrix* points, size_t leaf_size = 32);
+
+  /// Appends all rows satisfying <q.a, x> cmp q.b to `out`. Subtrees whose
+  /// bounding box lies entirely on one side are accepted or rejected
+  /// wholesale; leaf stragglers are verified exactly.
+  void HalfSpaceQuery(const ScalarProductQuery& q,
+                      std::vector<uint32_t>* out) const;
+
+  /// Appends all rows within `radius` of `center` (length dim()).
+  void BallQuery(const double* center, double radius,
+                 std::vector<uint32_t>* out) const;
+
+  /// Number of indexed rows / tree nodes.
+  size_t size() const { return ids_.size(); }
+  size_t node_count() const { return nodes_.size(); }
+  size_t dim() const;
+
+  /// Heap footprint in bytes (excluding the point matrix).
+  size_t MemoryUsage() const;
+
+ private:
+  struct Node {
+    std::vector<double> box_lo;
+    std::vector<double> box_hi;
+    uint32_t left = 0;    // child node ids (internal only)
+    uint32_t right = 0;
+    uint32_t first = 0;   // leaf range [first, last) into ids_
+    uint32_t last = 0;
+    bool is_leaf = true;
+  };
+
+  uint32_t Build(size_t begin, size_t end, size_t leaf_size);
+  void ComputeBox(Node* node, size_t begin, size_t end) const;
+  void HalfSpace(uint32_t node_id, const ScalarProductQuery& q, bool le,
+                 std::vector<uint32_t>* out) const;
+  void Ball(uint32_t node_id, const double* center, double radius,
+            std::vector<uint32_t>* out) const;
+  void ReportSubtree(uint32_t node_id, std::vector<uint32_t>* out) const;
+
+  const RowMatrix* points_;
+  std::vector<uint32_t> ids_;  // permutation; leaves own contiguous ranges
+  std::vector<Node> nodes_;
+  uint32_t root_ = 0;
+};
+
+}  // namespace planar
+
+#endif  // PLANAR_SPATIAL_KDTREE_H_

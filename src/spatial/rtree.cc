@@ -1,0 +1,210 @@
+// Copyright (c) 2026 The planar Authors. Licensed under the MIT license.
+
+#include "spatial/rtree.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <numeric>
+
+#include "common/macros.h"
+
+namespace planar {
+
+bool Window::Contains(const double* point) const {
+  for (size_t j = 0; j < lo.size(); ++j) {
+    if (point[j] < lo[j] || point[j] > hi[j]) return false;
+  }
+  return true;
+}
+
+size_t RTree::dim() const { return points_->dim(); }
+
+void RTree::ComputeBox(Node* node, size_t begin, size_t end) const {
+  const size_t d = points_->dim();
+  node->box_lo.assign(d, std::numeric_limits<double>::infinity());
+  node->box_hi.assign(d, -std::numeric_limits<double>::infinity());
+  for (size_t i = begin; i < end; ++i) {
+    const double* row = points_->row(ids_[i]);
+    for (size_t j = 0; j < d; ++j) {
+      node->box_lo[j] = std::min(node->box_lo[j], row[j]);
+      node->box_hi[j] = std::max(node->box_hi[j], row[j]);
+    }
+  }
+}
+
+// STR packing: recursively sort-and-slice dimension by dimension so each
+// leaf holds `leaf_size` spatially clustered points, then pack upward.
+uint32_t RTree::PackLeaves(size_t leaf_size) {
+  const size_t n = ids_.size();
+  const size_t d = points_->dim();
+  const size_t num_leaves = (n + leaf_size - 1) / leaf_size;
+
+  // Tile recursively over dimensions. For simplicity (and d up to ~16)
+  // two passes suffice in practice: sort by dim 0, slice into
+  // ceil(num_leaves^(1/2)) slabs, sort each slab by dim 1 (mod d).
+  const size_t slabs = std::max<size_t>(
+      1, static_cast<size_t>(
+             std::ceil(std::sqrt(static_cast<double>(num_leaves)))));
+  const size_t per_slab = (n + slabs - 1) / slabs;
+  std::sort(ids_.begin(), ids_.end(), [&](uint32_t a, uint32_t b) {
+    return points_->at(a, 0) < points_->at(b, 0);
+  });
+  if (d > 1) {
+    for (size_t s = 0; s * per_slab < n; ++s) {
+      const size_t begin = s * per_slab;
+      const size_t end = std::min(n, begin + per_slab);
+      std::sort(ids_.begin() + static_cast<ptrdiff_t>(begin),
+                ids_.begin() + static_cast<ptrdiff_t>(end),
+                [&](uint32_t a, uint32_t b) {
+                  return points_->at(a, 1) < points_->at(b, 1);
+                });
+    }
+  }
+
+  std::vector<uint32_t> level;
+  for (size_t begin = 0; begin < n; begin += leaf_size) {
+    const size_t end = std::min(n, begin + leaf_size);
+    Node leaf;
+    leaf.is_leaf = true;
+    leaf.first = static_cast<uint32_t>(begin);
+    leaf.last = static_cast<uint32_t>(end);
+    ComputeBox(&leaf, begin, end);
+    level.push_back(static_cast<uint32_t>(nodes_.size()));
+    nodes_.push_back(std::move(leaf));
+  }
+  const size_t fanout = std::max<size_t>(2, leaf_size / 2);
+  while (level.size() > 1) {
+    std::vector<uint32_t> next;
+    for (size_t begin = 0; begin < level.size(); begin += fanout) {
+      const size_t end = std::min(level.size(), begin + fanout);
+      Node internal;
+      internal.is_leaf = false;
+      internal.box_lo = nodes_[level[begin]].box_lo;
+      internal.box_hi = nodes_[level[begin]].box_hi;
+      for (size_t i = begin; i < end; ++i) {
+        internal.children.push_back(level[i]);
+        const Node& child = nodes_[level[i]];
+        for (size_t j = 0; j < internal.box_lo.size(); ++j) {
+          internal.box_lo[j] = std::min(internal.box_lo[j], child.box_lo[j]);
+          internal.box_hi[j] = std::max(internal.box_hi[j], child.box_hi[j]);
+        }
+      }
+      next.push_back(static_cast<uint32_t>(nodes_.size()));
+      nodes_.push_back(std::move(internal));
+    }
+    level = std::move(next);
+  }
+  return level[0];
+}
+
+RTree::RTree(const RowMatrix* points, size_t leaf_size) : points_(points) {
+  PLANAR_CHECK(points != nullptr);
+  PLANAR_CHECK_GT(leaf_size, 0u);
+  ids_.resize(points_->size());
+  std::iota(ids_.begin(), ids_.end(), 0u);
+  if (ids_.empty()) {
+    Node empty;
+    empty.is_leaf = true;
+    empty.box_lo.assign(points_->dim(), 0.0);
+    empty.box_hi.assign(points_->dim(), 0.0);
+    nodes_.push_back(std::move(empty));
+    root_ = 0;
+    return;
+  }
+  root_ = PackLeaves(leaf_size);
+}
+
+void RTree::ReportSubtree(uint32_t node_id,
+                          std::vector<uint32_t>* out) const {
+  const Node& node = nodes_[node_id];
+  if (node.is_leaf) {
+    for (uint32_t i = node.first; i < node.last; ++i) out->push_back(ids_[i]);
+    return;
+  }
+  for (uint32_t child : node.children) ReportSubtree(child, out);
+}
+
+void RTree::Window_(uint32_t node_id, const Window& window,
+                    std::vector<uint32_t>* out) const {
+  const Node& node = nodes_[node_id];
+  bool contained = true;
+  for (size_t j = 0; j < window.lo.size(); ++j) {
+    if (node.box_lo[j] > window.hi[j] || node.box_hi[j] < window.lo[j]) {
+      return;  // disjoint
+    }
+    contained = contained && window.lo[j] <= node.box_lo[j] &&
+                node.box_hi[j] <= window.hi[j];
+  }
+  if (contained) {
+    ReportSubtree(node_id, out);
+    return;
+  }
+  if (node.is_leaf) {
+    for (uint32_t i = node.first; i < node.last; ++i) {
+      const uint32_t id = ids_[i];
+      if (window.Contains(points_->row(id))) out->push_back(id);
+    }
+    return;
+  }
+  for (uint32_t child : node.children) Window_(child, window, out);
+}
+
+void RTree::WindowQuery(const Window& window,
+                        std::vector<uint32_t>* out) const {
+  PLANAR_CHECK_EQ(window.lo.size(), points_->dim());
+  PLANAR_CHECK_EQ(window.hi.size(), points_->dim());
+  if (ids_.empty()) return;
+  Window_(root_, window, out);
+}
+
+void RTree::HalfSpace(uint32_t node_id, const ScalarProductQuery& q,
+                      bool le, std::vector<uint32_t>* out) const {
+  const Node& node = nodes_[node_id];
+  double lo = 0.0;
+  double hi = 0.0;
+  for (size_t j = 0; j < q.a.size(); ++j) {
+    if (q.a[j] >= 0.0) {
+      lo += q.a[j] * node.box_lo[j];
+      hi += q.a[j] * node.box_hi[j];
+    } else {
+      lo += q.a[j] * node.box_hi[j];
+      hi += q.a[j] * node.box_lo[j];
+    }
+  }
+  const bool all_in = le ? hi <= q.b : lo >= q.b;
+  const bool all_out = le ? lo > q.b : hi < q.b;
+  if (all_out) return;
+  if (all_in) {
+    ReportSubtree(node_id, out);
+    return;
+  }
+  if (node.is_leaf) {
+    for (uint32_t i = node.first; i < node.last; ++i) {
+      const uint32_t id = ids_[i];
+      if (q.Matches(points_->row(id))) out->push_back(id);
+    }
+    return;
+  }
+  for (uint32_t child : node.children) HalfSpace(child, q, le, out);
+}
+
+void RTree::HalfSpaceQuery(const ScalarProductQuery& q,
+                           std::vector<uint32_t>* out) const {
+  PLANAR_CHECK_EQ(q.a.size(), points_->dim());
+  if (ids_.empty()) return;
+  HalfSpace(root_, q, q.cmp == Comparison::kLessEqual, out);
+}
+
+size_t RTree::MemoryUsage() const {
+  size_t total = sizeof(*this) + ids_.capacity() * sizeof(uint32_t) +
+                 nodes_.capacity() * sizeof(Node);
+  for (const Node& node : nodes_) {
+    total += (node.box_lo.capacity() + node.box_hi.capacity()) *
+                 sizeof(double) +
+             node.children.capacity() * sizeof(uint32_t);
+  }
+  return total;
+}
+
+}  // namespace planar

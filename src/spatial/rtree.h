@@ -1,0 +1,76 @@
+// Copyright (c) 2026 The planar Authors. Licensed under the MIT license.
+//
+// A static STR-packed R-tree over points, with window (orthogonal range)
+// and half-space reporting. This is the structure the paper's related
+// work applies to linear constraint queries ("most studies in linear
+// constraint queries apply spatial data structures such as R-tree and
+// K-D-B tree"); together with spatial/kdtree.h it completes the
+// practical comparator suite for the identity-phi case.
+
+#ifndef PLANAR_SPATIAL_RTREE_H_
+#define PLANAR_SPATIAL_RTREE_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "core/query.h"
+#include "core/row_matrix.h"
+
+namespace planar {
+
+/// An axis-aligned query window: per-dimension [lo, hi] (closed).
+struct Window {
+  std::vector<double> lo;
+  std::vector<double> hi;
+
+  /// True iff the point (length lo.size()) lies inside the window.
+  bool Contains(const double* point) const;
+};
+
+/// Sort-Tile-Recursive bulk-loaded R-tree over the rows of an
+/// externally-owned matrix (which must outlive the tree).
+class RTree {
+ public:
+  explicit RTree(const RowMatrix* points, size_t leaf_size = 32);
+
+  /// Appends all rows inside `window` to `out`.
+  void WindowQuery(const Window& window, std::vector<uint32_t>* out) const;
+
+  /// Appends all rows satisfying the half-space predicate to `out`.
+  void HalfSpaceQuery(const ScalarProductQuery& q,
+                      std::vector<uint32_t>* out) const;
+
+  size_t size() const { return ids_.size(); }
+  size_t node_count() const { return nodes_.size(); }
+  size_t dim() const;
+
+  /// Heap footprint in bytes (excluding the point matrix).
+  size_t MemoryUsage() const;
+
+ private:
+  struct Node {
+    std::vector<double> box_lo;
+    std::vector<double> box_hi;
+    std::vector<uint32_t> children;  // internal
+    uint32_t first = 0;              // leaf range into ids_
+    uint32_t last = 0;
+    bool is_leaf = true;
+  };
+
+  void ComputeBox(Node* node, size_t begin, size_t end) const;
+  uint32_t PackLeaves(size_t leaf_size);
+  void Window_(uint32_t node_id, const Window& window,
+               std::vector<uint32_t>* out) const;
+  void HalfSpace(uint32_t node_id, const ScalarProductQuery& q, bool le,
+                 std::vector<uint32_t>* out) const;
+  void ReportSubtree(uint32_t node_id, std::vector<uint32_t>* out) const;
+
+  const RowMatrix* points_;
+  std::vector<uint32_t> ids_;
+  std::vector<Node> nodes_;
+  uint32_t root_ = 0;
+};
+
+}  // namespace planar
+
+#endif  // PLANAR_SPATIAL_RTREE_H_

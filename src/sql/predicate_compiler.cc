@@ -1,0 +1,525 @@
+// Copyright (c) 2026 The planar Authors. Licensed under the MIT license.
+
+#include "sql/predicate_compiler.h"
+
+#include <algorithm>
+#include <cctype>
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+#include <utility>
+
+#include "common/macros.h"
+
+namespace planar {
+
+int SqlSchema::ColumnOf(const std::string& name) const {
+  for (size_t i = 0; i < attributes.size(); ++i) {
+    if (attributes[i] == name) return static_cast<int>(i);
+  }
+  return -1;
+}
+
+namespace {
+
+using Monomial = std::map<int, int>;
+using Poly = std::map<Monomial, double>;
+constexpr int kParamBase = 1 << 20;
+
+// ---------------------------------------------------------------------
+// Tokenizer
+
+enum class TokenKind {
+  kNumber,
+  kIdent,
+  kParam,
+  kPlus,
+  kMinus,
+  kStar,
+  kSlash,
+  kLParen,
+  kRParen,
+  kLessEqual,
+  kGreaterEqual,
+  kEnd,
+};
+
+struct Token {
+  TokenKind kind;
+  double number = 0.0;
+  std::string ident;
+  int param_index = -1;  // -1: bare '?', bound positionally
+  size_t offset = 0;
+};
+
+Result<std::vector<Token>> Tokenize(const std::string& text) {
+  std::vector<Token> tokens;
+  size_t i = 0;
+  auto error = [&](const std::string& message) {
+    return Status::InvalidArgument(message + " at offset " +
+                                   std::to_string(i));
+  };
+  while (i < text.size()) {
+    const char c = text[i];
+    if (std::isspace(static_cast<unsigned char>(c))) {
+      ++i;
+      continue;
+    }
+    Token token;
+    token.offset = i;
+    if (std::isdigit(static_cast<unsigned char>(c)) || c == '.') {
+      const char* start = text.c_str() + i;
+      char* end = nullptr;
+      token.number = std::strtod(start, &end);
+      if (end == start) return error("malformed number");
+      token.kind = TokenKind::kNumber;
+      i += static_cast<size_t>(end - start);
+    } else if (std::isalpha(static_cast<unsigned char>(c)) || c == '_') {
+      size_t j = i;
+      while (j < text.size() &&
+             (std::isalnum(static_cast<unsigned char>(text[j])) ||
+              text[j] == '_')) {
+        ++j;
+      }
+      token.kind = TokenKind::kIdent;
+      token.ident = text.substr(i, j - i);
+      i = j;
+    } else if (c == '?') {
+      size_t j = i + 1;
+      while (j < text.size() &&
+             std::isdigit(static_cast<unsigned char>(text[j]))) {
+        ++j;
+      }
+      token.kind = TokenKind::kParam;
+      if (j > i + 1) {
+        const int index = std::atoi(text.substr(i + 1, j - i - 1).c_str());
+        if (index < 1) return error("parameter indices are 1-based");
+        token.param_index = index - 1;
+      }
+      i = j;
+    } else if (c == '+') {
+      token.kind = TokenKind::kPlus;
+      ++i;
+    } else if (c == '-') {
+      token.kind = TokenKind::kMinus;
+      ++i;
+    } else if (c == '*') {
+      token.kind = TokenKind::kStar;
+      ++i;
+    } else if (c == '/') {
+      token.kind = TokenKind::kSlash;
+      ++i;
+    } else if (c == '(') {
+      token.kind = TokenKind::kLParen;
+      ++i;
+    } else if (c == ')') {
+      token.kind = TokenKind::kRParen;
+      ++i;
+    } else if (c == '<') {
+      token.kind = TokenKind::kLessEqual;
+      i += (i + 1 < text.size() && text[i + 1] == '=') ? 2 : 1;
+    } else if (c == '>') {
+      token.kind = TokenKind::kGreaterEqual;
+      i += (i + 1 < text.size() && text[i + 1] == '=') ? 2 : 1;
+    } else {
+      return error(std::string("unexpected character '") + c + "'");
+    }
+    tokens.push_back(std::move(token));
+  }
+  Token end;
+  end.kind = TokenKind::kEnd;
+  end.offset = text.size();
+  tokens.push_back(end);
+  return tokens;
+}
+
+// ---------------------------------------------------------------------
+// Polynomial algebra
+
+void PolyAddTerm(Poly& poly, const Monomial& monomial, double coefficient) {
+  if (coefficient == 0.0) return;
+  auto [it, inserted] = poly.emplace(monomial, coefficient);
+  if (!inserted) {
+    it->second += coefficient;
+    if (it->second == 0.0) poly.erase(it);
+  }
+}
+
+Poly PolyAdd(const Poly& a, const Poly& b) {
+  Poly out = a;
+  for (const auto& [m, c] : b) PolyAddTerm(out, m, c);
+  return out;
+}
+
+Poly PolyNeg(const Poly& a) {
+  Poly out;
+  for (const auto& [m, c] : a) out.emplace(m, -c);
+  return out;
+}
+
+Poly PolyMul(const Poly& a, const Poly& b) {
+  Poly out;
+  for (const auto& [ma, ca] : a) {
+    for (const auto& [mb, cb] : b) {
+      Monomial m = ma;
+      for (const auto& [var, exp] : mb) m[var] += exp;
+      PolyAddTerm(out, m, ca * cb);
+    }
+  }
+  return out;
+}
+
+// A constant polynomial's value, when it is one.
+bool PolyConstant(const Poly& poly, double* value) {
+  if (poly.empty()) {
+    *value = 0.0;
+    return true;
+  }
+  if (poly.size() == 1 && poly.begin()->first.empty()) {
+    *value = poly.begin()->second;
+    return true;
+  }
+  return false;
+}
+
+// ---------------------------------------------------------------------
+// Parser (recursive descent straight into polynomials)
+
+class Parser {
+ public:
+  Parser(std::vector<Token> tokens, const SqlSchema& schema)
+      : tokens_(std::move(tokens)), schema_(schema) {}
+
+  Result<Poly> ParseExpr() {
+    PLANAR_ASSIGN_OR_RETURN(Poly left, ParseTerm());
+    while (Peek() == TokenKind::kPlus || Peek() == TokenKind::kMinus) {
+      const bool add = Peek() == TokenKind::kPlus;
+      ++pos_;
+      PLANAR_ASSIGN_OR_RETURN(Poly right, ParseTerm());
+      left = add ? PolyAdd(left, right) : PolyAdd(left, PolyNeg(right));
+    }
+    return left;
+  }
+
+  TokenKind Peek() const { return tokens_[pos_].kind; }
+  const Token& Current() const { return tokens_[pos_]; }
+  void Advance() { ++pos_; }
+  int max_param_index() const { return max_param_index_; }
+
+ private:
+  Status SyntaxError(const std::string& message) const {
+    return Status::InvalidArgument(
+        message + " at offset " + std::to_string(tokens_[pos_].offset));
+  }
+
+  Result<Poly> ParseTerm() {
+    PLANAR_ASSIGN_OR_RETURN(Poly left, ParseFactor());
+    while (Peek() == TokenKind::kStar || Peek() == TokenKind::kSlash) {
+      const bool mul = Peek() == TokenKind::kStar;
+      ++pos_;
+      PLANAR_ASSIGN_OR_RETURN(Poly right, ParseFactor());
+      if (mul) {
+        left = PolyMul(left, right);
+      } else {
+        double divisor;
+        if (!PolyConstant(right, &divisor)) {
+          return SyntaxError(
+              "division is only supported by constant expressions");
+        }
+        if (divisor == 0.0) return SyntaxError("division by zero");
+        Poly scaled;
+        for (const auto& [m, c] : left) scaled.emplace(m, c / divisor);
+        left = std::move(scaled);
+      }
+    }
+    return left;
+  }
+
+  Result<Poly> ParseFactor() {
+    const Token& token = tokens_[pos_];
+    switch (token.kind) {
+      case TokenKind::kNumber: {
+        ++pos_;
+        Poly poly;
+        PolyAddTerm(poly, Monomial{}, token.number);
+        return poly;
+      }
+      case TokenKind::kIdent: {
+        const int column = schema_.ColumnOf(token.ident);
+        if (column < 0) {
+          return SyntaxError("unknown attribute '" + token.ident + "'");
+        }
+        ++pos_;
+        Poly poly;
+        PolyAddTerm(poly, Monomial{{column, 1}}, 1.0);
+        return poly;
+      }
+      case TokenKind::kParam: {
+        int index = token.param_index;
+        if (index < 0) index = next_positional_++;
+        max_param_index_ = std::max(max_param_index_, index);
+        ++pos_;
+        Poly poly;
+        PolyAddTerm(poly, Monomial{{kParamBase + index, 1}}, 1.0);
+        return poly;
+      }
+      case TokenKind::kLParen: {
+        ++pos_;
+        PLANAR_ASSIGN_OR_RETURN(Poly inner, ParseExpr());
+        if (Peek() != TokenKind::kRParen) {
+          return SyntaxError("expected ')'");
+        }
+        ++pos_;
+        return inner;
+      }
+      case TokenKind::kMinus: {
+        ++pos_;
+        PLANAR_ASSIGN_OR_RETURN(Poly inner, ParseFactor());
+        return PolyNeg(inner);
+      }
+      default:
+        return SyntaxError("expected a number, attribute, parameter or '('");
+    }
+  }
+
+  std::vector<Token> tokens_;
+  const SqlSchema& schema_;
+  size_t pos_ = 0;
+  int next_positional_ = 0;
+  int max_param_index_ = -1;
+};
+
+// Splits a full monomial into its attribute and parameter parts.
+void SplitMonomial(const Monomial& m, Monomial* attr, Monomial* param) {
+  for (const auto& [var, exp] : m) {
+    if (var >= kParamBase) {
+      (*param)[var - kParamBase] = exp;
+    } else {
+      (*attr)[var] = exp;
+    }
+  }
+}
+
+// Interval arithmetic helpers for DeriveDomains.
+struct Interval {
+  double lo;
+  double hi;
+};
+
+Interval IntervalPow(Interval v, int exp) {
+  PLANAR_CHECK_GE(exp, 1);
+  Interval out = v;
+  for (int e = 1; e < exp; ++e) {
+    const double candidates[4] = {out.lo * v.lo, out.lo * v.hi,
+                                  out.hi * v.lo, out.hi * v.hi};
+    out = {*std::min_element(candidates, candidates + 4),
+           *std::max_element(candidates, candidates + 4)};
+  }
+  return out;
+}
+
+Interval IntervalMul(Interval a, Interval b) {
+  const double candidates[4] = {a.lo * b.lo, a.lo * b.hi, a.hi * b.lo,
+                                a.hi * b.hi};
+  return {*std::min_element(candidates, candidates + 4),
+          *std::max_element(candidates, candidates + 4)};
+}
+
+std::string MonomialToString(const Monomial& m, const SqlSchema& schema,
+                             bool params) {
+  if (m.empty()) return "1";
+  std::string out;
+  for (const auto& [var, exp] : m) {
+    if (!out.empty()) out += "*";
+    out += params ? ("p" + std::to_string(var)) : schema.attributes[var];
+    if (exp > 1) out += "^" + std::to_string(exp);
+  }
+  return out;
+}
+
+}  // namespace
+
+// ---------------------------------------------------------------------
+// The compiled phi function
+
+class CompiledPredicate::SqlPhiFunction final : public PhiFunction {
+ public:
+  SqlPhiFunction(size_t input_dim, std::vector<Axis> axes)
+      : input_dim_(input_dim), axes_(std::move(axes)) {}
+
+  size_t input_dim() const override { return input_dim_; }
+  size_t output_dim() const override { return axes_.size(); }
+  std::string name() const override { return "sql_predicate"; }
+
+  void Apply(const double* x, double* out) const override {
+    for (size_t i = 0; i < axes_.size(); ++i) {
+      double value = 0.0;
+      for (const AttrTerm& term : axes_[i].attr_poly) {
+        double product = term.coefficient;
+        for (const auto& [column, exp] : term.attr_monomial) {
+          for (int e = 0; e < exp; ++e) product *= x[column];
+        }
+        value += product;
+      }
+      out[i] = value;
+    }
+  }
+
+ private:
+  size_t input_dim_;
+  std::vector<Axis> axes_;
+};
+
+Result<CompiledPredicate> CompilePredicate(const std::string& text,
+                                           const SqlSchema& schema) {
+  if (schema.attributes.empty()) {
+    return Status::InvalidArgument("schema has no attributes");
+  }
+  PLANAR_ASSIGN_OR_RETURN(std::vector<Token> tokens, Tokenize(text));
+  Parser parser(std::move(tokens), schema);
+
+  PLANAR_ASSIGN_OR_RETURN(Poly lhs, parser.ParseExpr());
+  Comparison cmp;
+  if (parser.Peek() == TokenKind::kLessEqual) {
+    cmp = Comparison::kLessEqual;
+  } else if (parser.Peek() == TokenKind::kGreaterEqual) {
+    cmp = Comparison::kGreaterEqual;
+  } else {
+    return Status::InvalidArgument("expected '<=' or '>=' comparison");
+  }
+  parser.Advance();
+  PLANAR_ASSIGN_OR_RETURN(Poly rhs, parser.ParseExpr());
+  if (parser.Peek() != TokenKind::kEnd) {
+    return Status::InvalidArgument("trailing input after the predicate");
+  }
+
+  // Normal form: diff cmp 0 with diff = lhs - rhs.
+  const Poly diff = PolyAdd(lhs, PolyNeg(rhs));
+
+  using AttrTerm = CompiledPredicate::AttrTerm;
+
+  CompiledPredicate compiled;
+  compiled.schema_ = schema;
+  compiled.cmp_ = cmp;
+  compiled.num_parameters_ =
+      static_cast<size_t>(parser.max_param_index() + 1);
+
+  // Group terms by their parameter monomial.
+  std::map<Monomial, std::vector<AttrTerm>> groups;
+  for (const auto& [monomial, coefficient] : diff) {
+    Monomial attr, param;
+    SplitMonomial(monomial, &attr, &param);
+    if (attr.empty()) {
+      if (param.empty()) {
+        compiled.rhs_constant_ += coefficient;
+      } else {
+        compiled.rhs_param_terms_.push_back({param, coefficient});
+      }
+      continue;
+    }
+    groups[param].push_back({attr, coefficient});
+  }
+  if (groups.empty()) {
+    return Status::InvalidArgument(
+        "the predicate contains no attribute terms; nothing to index");
+  }
+  for (auto& [param, attr_poly] : groups) {
+    // Normalize: the leading attribute coefficient moves into the query
+    // coefficient (paper convention: phi holds the bare attribute
+    // polynomial, a holds the numeric scale).
+    const double scale = attr_poly.front().coefficient;
+    for (AttrTerm& term : attr_poly) term.coefficient /= scale;
+    compiled.axes_.push_back({param, std::move(attr_poly), scale});
+  }
+  compiled.phi_ = std::make_shared<CompiledPredicate::SqlPhiFunction>(
+      schema.attributes.size(), compiled.axes_);
+  return compiled;
+}
+
+double CompiledPredicate::EvalParamMonomial(
+    const Monomial& m, const std::vector<double>& params) const {
+  double value = 1.0;
+  for (const auto& [index, exp] : m) {
+    for (int e = 0; e < exp; ++e) value *= params[static_cast<size_t>(index)];
+  }
+  return value;
+}
+
+Result<ScalarProductQuery> CompiledPredicate::Bind(
+    const std::vector<double>& params) const {
+  if (params.size() != num_parameters_) {
+    return Status::InvalidArgument(
+        "expected " + std::to_string(num_parameters_) + " parameters, got " +
+        std::to_string(params.size()));
+  }
+  ScalarProductQuery q;
+  q.cmp = cmp_;
+  q.a.reserve(axes_.size());
+  for (const Axis& axis : axes_) {
+    q.a.push_back(axis.scale * EvalParamMonomial(axis.param_monomial, params));
+  }
+  double b = -rhs_constant_;
+  for (const ParamOnlyTerm& term : rhs_param_terms_) {
+    b -= term.coefficient * EvalParamMonomial(term.param_monomial, params);
+  }
+  q.b = b;
+  return q;
+}
+
+Result<std::vector<ParameterDomain>> CompiledPredicate::DeriveDomains(
+    const std::vector<ParameterDomain>& parameter_bounds) const {
+  if (parameter_bounds.size() != num_parameters_) {
+    return Status::InvalidArgument("one bound per parameter is required");
+  }
+  std::vector<ParameterDomain> out;
+  out.reserve(axes_.size());
+  for (const Axis& axis : axes_) {
+    Interval interval{axis.scale, axis.scale};
+    for (const auto& [index, exp] : axis.param_monomial) {
+      const ParameterDomain& bound =
+          parameter_bounds[static_cast<size_t>(index)];
+      interval = IntervalMul(interval, IntervalPow({bound.lo, bound.hi}, exp));
+    }
+    if (interval.lo < 0.0 && interval.hi > 0.0) {
+      return Status::FailedPrecondition(
+          "coefficient of axis [" +
+          MonomialToString(axis.param_monomial, schema_, true) +
+          "] straddles zero over the given parameter bounds; split the "
+          "parameter range and build one index set per sub-range");
+    }
+    out.push_back({interval.lo, interval.hi});
+  }
+  return out;
+}
+
+std::string CompiledPredicate::ToString() const {
+  std::string out;
+  char buf[64];
+  for (size_t i = 0; i < axes_.size(); ++i) {
+    if (i > 0) out += " + ";
+    out += "a" + std::to_string(i) + "*[";
+    const auto& poly = axes_[i].attr_poly;
+    for (size_t t = 0; t < poly.size(); ++t) {
+      if (t > 0) out += " + ";
+      if (poly[t].coefficient != 1.0) {
+        std::snprintf(buf, sizeof(buf), "%g*", poly[t].coefficient);
+        out += buf;
+      }
+      out += MonomialToString(poly[t].attr_monomial, schema_, false);
+    }
+    out += "]";
+  }
+  out += cmp_ == Comparison::kLessEqual ? " <= b" : " >= b";
+  for (size_t i = 0; i < axes_.size(); ++i) {
+    out += i == 0 ? ", " : ", ";
+    out += "a" + std::to_string(i) + " = ";
+    if (axes_[i].scale != 1.0) {
+      std::snprintf(buf, sizeof(buf), "%g*", axes_[i].scale);
+      out += buf;
+    }
+    out += MonomialToString(axes_[i].param_monomial, schema_, true);
+  }
+  return out;
+}
+
+}  // namespace planar

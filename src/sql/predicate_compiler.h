@@ -1,0 +1,135 @@
+// Copyright (c) 2026 The planar Authors. Licensed under the MIT license.
+//
+// Compiling parameterized SQL predicates into scalar product queries —
+// the machinery behind the paper's Example 1. A predicate like
+//
+//     active_power - ? * voltage * current <= 0
+//
+// over a relation schema is parsed, algebraically expanded, and factored
+// into
+//
+//     < a(params), phi(attributes) >  cmp  b(params)
+//
+// where phi collects the attribute polynomials (known at indexing time)
+// and a / b collect the parameter monomials (evaluated when the
+// placeholder values arrive). The result plugs directly into
+// PlanarIndex / PlanarIndexSet: CREATE-FUNCTION-style predicates with
+// runtime parameters become indexable, which Oracle's function-based
+// indexes cannot do (Section 1 of the paper).
+//
+// Grammar (arithmetic over attribute names, numeric literals, and
+// parameter placeholders):
+//
+//   predicate := expr ('<=' | '<' | '>=' | '>') expr
+//   expr      := term (('+' | '-') term)*
+//   term      := factor (('*' | '/') factor)*
+//   factor    := NUMBER | IDENT | PARAM | '(' expr ')' | '-' factor
+//   PARAM     := '?' | '?' digits     (bare '?' binds positionally;
+//                                      '?1', '?2', ... bind by index)
+//
+// Division is supported by constant subexpressions only. '<' / '>' are
+// accepted as synonyms of '<=' / '>=' (point predicates on continuous
+// data).
+
+#ifndef PLANAR_SQL_PREDICATE_COMPILER_H_
+#define PLANAR_SQL_PREDICATE_COMPILER_H_
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "core/function.h"
+#include "core/index_set.h"
+#include "core/query.h"
+
+namespace planar {
+
+/// The relation schema a predicate is compiled against: attribute name ->
+/// column position in the raw dataset.
+struct SqlSchema {
+  std::vector<std::string> attributes;
+
+  /// Column of `name`, or -1 when absent.
+  int ColumnOf(const std::string& name) const;
+};
+
+/// A predicate compiled into scalar-product form.
+class CompiledPredicate {
+ public:
+  /// The factored form's phi : R^d -> R^d' — evaluates one attribute
+  /// polynomial per output axis. Shared with any index built over it.
+  std::shared_ptr<const PhiFunction> phi() const { return phi_; }
+
+  /// Number of placeholder parameters the predicate takes.
+  size_t num_parameters() const { return num_parameters_; }
+
+  /// Output dimensionality d' of phi.
+  size_t output_dim() const { return axes_.size(); }
+
+  /// Instantiates the scalar product query for concrete parameter values
+  /// (size must equal num_parameters()).
+  Result<ScalarProductQuery> Bind(const std::vector<double>& params) const;
+
+  /// Parameter domains for index construction, derived by interval
+  /// arithmetic from per-parameter bounds: given lo/hi for each
+  /// placeholder, returns the induced [lo, hi] of every query
+  /// coefficient a_i. Fails when a coefficient's domain straddles zero
+  /// (the octant would be ambiguous; split the parameter range and build
+  /// one set per sub-range).
+  Result<std::vector<ParameterDomain>> DeriveDomains(
+      const std::vector<ParameterDomain>& parameter_bounds) const;
+
+  /// Human-readable factored form, e.g.
+  /// "a0*[active_power] + a1*[voltage*current] <= b, a0 = 1, a1 = -p0".
+  std::string ToString() const;
+
+ private:
+  friend Result<CompiledPredicate> CompilePredicate(const std::string&,
+                                                    const SqlSchema&);
+
+  // A monomial: variable id -> exponent. Attribute i has id i; parameter
+  // j has id kParamBase + j.
+  using Monomial = std::map<int, int>;
+  static constexpr int kParamBase = 1 << 20;
+
+  struct AttrTerm {
+    Monomial attr_monomial;  // attribute part only
+    double coefficient;
+  };
+  struct Axis {
+    Monomial param_monomial;          // parameter part (may be empty)
+    std::vector<AttrTerm> attr_poly;  // the phi component (normalized so
+                                      // its leading coefficient is 1)
+    double scale = 1.0;               // folded into a_i at bind time
+  };
+  struct ParamOnlyTerm {
+    Monomial param_monomial;
+    double coefficient;
+  };
+
+  class SqlPhiFunction;
+
+  double EvalParamMonomial(const Monomial& m,
+                           const std::vector<double>& params) const;
+
+  std::shared_ptr<const PhiFunction> phi_;
+  SqlSchema schema_;
+  std::vector<Axis> axes_;
+  std::vector<ParamOnlyTerm> rhs_param_terms_;  // moved to b at bind time
+  double rhs_constant_ = 0.0;                   // moved to b
+  Comparison cmp_ = Comparison::kLessEqual;
+  size_t num_parameters_ = 0;
+};
+
+/// Parses and factors `text` against `schema`. Fails with
+/// InvalidArgument on syntax errors, unknown attributes, or division by
+/// a non-constant expression.
+Result<CompiledPredicate> CompilePredicate(const std::string& text,
+                                           const SqlSchema& schema);
+
+}  // namespace planar
+
+#endif  // PLANAR_SQL_PREDICATE_COMPILER_H_

@@ -1,0 +1,106 @@
+// Copyright (c) 2026 The planar Authors. Licensed under the MIT license.
+
+#include "learn/active_learner.h"
+
+#include <gtest/gtest.h>
+
+#include "common/random.h"
+#include "core/index_set.h"
+#include "tests/test_util.h"
+
+namespace planar {
+namespace {
+
+// A pool whose true labels come from a hidden hyperplane with positive
+// weights (so the Eq.18-style positive-octant indices apply).
+struct Pool {
+  PlanarIndexSet set;
+  std::vector<int> labels;
+  PhiMatrix features;  // copy of the pool for accuracy evaluation
+};
+
+Pool MakePool(size_t n, uint64_t seed) {
+  Rng rng(seed);
+  PhiMatrix pool(2);
+  PhiMatrix copy(2);
+  std::vector<int> labels;
+  for (size_t i = 0; i < n; ++i) {
+    const std::vector<double> row{rng.Uniform(0.01, 1.0),
+                                  rng.Uniform(0.01, 1.0)};
+    pool.AppendRow(row);
+    copy.AppendRow(row);
+    // Hidden concept: 2x + y >= 1.5.
+    labels.push_back(2.0 * row[0] + row[1] >= 1.5 ? 1 : -1);
+  }
+  IndexSetOptions options;
+  options.budget = 6;
+  auto set = PlanarIndexSet::Build(std::move(pool),
+                                   {{1.0, 4.0}, {1.0, 4.0}}, options);
+  return Pool{std::move(set).value(), std::move(labels), std::move(copy)};
+}
+
+TEST(ActiveLearnerTest, StepLabelsRequestedBatch) {
+  Pool pool = MakePool(500, 1);
+  ActiveLearner::Options options;
+  options.batch_size = 5;
+  ActiveLearner learner(
+      &pool.set, [&](uint32_t row) { return pool.labels[row]; },
+      LinearClassifier({1.0, 1.0}, 1.0), options);
+  auto round = learner.Step();
+  ASSERT_TRUE(round.ok()) << round.status().ToString();
+  EXPECT_EQ(round->newly_labeled, 10u);  // 5 per side
+  EXPECT_EQ(learner.total_labeled(), 10u);
+}
+
+TEST(ActiveLearnerTest, NoRelabeling) {
+  Pool pool = MakePool(200, 2);
+  ActiveLearner::Options options;
+  options.batch_size = 8;
+  ActiveLearner learner(
+      &pool.set, [&](uint32_t row) { return pool.labels[row]; },
+      LinearClassifier({1.0, 1.0}, 1.0), options);
+  size_t total = 0;
+  for (int i = 0; i < 6; ++i) {
+    auto round = learner.Step();
+    ASSERT_TRUE(round.ok());
+    total += round->newly_labeled;
+    EXPECT_EQ(learner.total_labeled(), total);
+  }
+  EXPECT_LE(total, 200u);
+}
+
+TEST(ActiveLearnerTest, LearnsTheConcept) {
+  Pool pool = MakePool(2000, 3);
+  ActiveLearner::Options options;
+  options.batch_size = 10;
+  options.learning_rate = 0.05;
+  ActiveLearner learner(
+      &pool.set, [&](uint32_t row) { return pool.labels[row]; },
+      LinearClassifier({1.0, 1.0}, 1.2), options);
+  const double before =
+      learner.model().Accuracy(pool.features, pool.labels);
+  for (int i = 0; i < 30; ++i) {
+    ASSERT_TRUE(learner.Step().ok());
+  }
+  const double after = learner.model().Accuracy(pool.features, pool.labels);
+  EXPECT_GT(after, 0.9);
+  EXPECT_GE(after, before - 0.05);  // did not get materially worse
+  // Active learning labels only a fraction of the pool.
+  EXPECT_LT(learner.total_labeled(), 1000u);
+}
+
+TEST(ActiveLearnerTest, ChecksFewerPointsThanScan) {
+  Pool pool = MakePool(5000, 4);
+  ActiveLearner::Options options;
+  options.batch_size = 10;
+  ActiveLearner learner(
+      &pool.set, [&](uint32_t row) { return pool.labels[row]; },
+      LinearClassifier({2.0, 1.0}, 1.5), options);
+  auto round = learner.Step();
+  ASSERT_TRUE(round.ok());
+  // The top-k queries prune: far fewer scalar products than two full scans.
+  EXPECT_LT(round->points_checked, 2u * 5000u / 2);
+}
+
+}  // namespace
+}  // namespace planar

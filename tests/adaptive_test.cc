@@ -1,0 +1,114 @@
+// Copyright (c) 2026 The planar Authors. Licensed under the MIT license.
+
+#include "core/adaptive.h"
+
+#include <gtest/gtest.h>
+
+#include "common/random.h"
+#include "tests/test_util.h"
+
+namespace planar {
+namespace {
+
+AdaptiveIndexSet MakeAdaptive(const PhiMatrix& phi, size_t budget,
+                              AdaptiveOptions options = AdaptiveOptions()) {
+  PhiMatrix copy(phi.dim());
+  for (size_t i = 0; i < phi.size(); ++i) copy.AppendRow(phi.row(i));
+  IndexSetOptions set_options;
+  set_options.budget = budget;
+  auto set = PlanarIndexSet::Build(
+      std::move(copy),
+      std::vector<ParameterDomain>(phi.dim(), {1.0, 10.0}), set_options);
+  PLANAR_CHECK(set.ok());
+  return AdaptiveIndexSet(std::move(set).value(), options);
+}
+
+TEST(AdaptiveIndexSetTest, QueriesStayExact) {
+  PhiMatrix phi = RandomPhi(1000, 3, 1.0, 100.0, 71);
+  AdaptiveIndexSet adaptive = MakeAdaptive(phi, 6);
+  Rng rng(72);
+  for (int trial = 0; trial < 20; ++trial) {
+    ScalarProductQuery q;
+    q.a = {rng.Uniform(1, 10), rng.Uniform(1, 10), rng.Uniform(1, 10)};
+    q.b = rng.Uniform(100, 1500);
+    const InequalityResult result = adaptive.Inequality(q);
+    EXPECT_EQ(Sorted(result.ids), BruteForceMatches(phi, q));
+  }
+  EXPECT_EQ(adaptive.queries_seen(), 20u);
+}
+
+TEST(AdaptiveIndexSetTest, ReadaptAddsRecurringQueryNormal) {
+  PhiMatrix phi = RandomPhi(2000, 3, 1.0, 100.0, 73);
+  AdaptiveIndexSet adaptive = MakeAdaptive(phi, 6);
+  // A recurring query normal nowhere near the sampled indices.
+  const ScalarProductQuery hot{{9.7, 1.1, 4.9}, 700.0,
+                               Comparison::kLessEqual};
+  QueryStats before = adaptive.Inequality(hot).stats;
+  for (int i = 0; i < 30; ++i) (void)adaptive.Inequality(hot);
+
+  auto replaced = adaptive.Readapt();
+  ASSERT_TRUE(replaced.ok());
+  EXPECT_GE(*replaced, 1u);
+
+  // Some index is now (anti)parallel to the hot query; pruning is total.
+  QueryStats after = adaptive.Inequality(hot).stats;
+  EXPECT_EQ(after.verified, 0u);
+  EXPECT_GE(after.PruningFraction(), before.PruningFraction());
+  // Answers are still exact after adaptation.
+  EXPECT_EQ(Sorted(adaptive.Inequality(hot).ids),
+            BruteForceMatches(phi, hot));
+}
+
+TEST(AdaptiveIndexSetTest, ReadaptWithoutHistoryIsNoop) {
+  PhiMatrix phi = RandomPhi(100, 2, 1.0, 100.0, 74);
+  AdaptiveIndexSet adaptive = MakeAdaptive(phi, 4);
+  auto replaced = adaptive.Readapt();
+  ASSERT_TRUE(replaced.ok());
+  EXPECT_EQ(*replaced, 0u);
+  EXPECT_EQ(adaptive.set().num_indices(), 4u);
+}
+
+TEST(AdaptiveIndexSetTest, AlreadyCoveredNormalNotDuplicated) {
+  PhiMatrix phi = RandomPhi(500, 2, 1.0, 100.0, 75);
+  AdaptiveIndexSet adaptive = MakeAdaptive(phi, 4);
+  // Query exactly parallel to whatever index 0 is.
+  const std::vector<double>& existing = adaptive.set().index(0).normal();
+  ScalarProductQuery q{{existing[0], existing[1]}, 500.0,
+                       Comparison::kLessEqual};
+  for (int i = 0; i < 10; ++i) (void)adaptive.Inequality(q);
+  auto replaced = adaptive.Readapt();
+  ASSERT_TRUE(replaced.ok());
+  EXPECT_EQ(*replaced, 0u);  // nothing new to learn
+}
+
+TEST(AdaptiveIndexSetTest, HistoryIsBounded) {
+  PhiMatrix phi = RandomPhi(200, 2, 1.0, 100.0, 76);
+  AdaptiveOptions options;
+  options.history = 8;
+  AdaptiveIndexSet adaptive = MakeAdaptive(phi, 3, options);
+  Rng rng(77);
+  for (int i = 0; i < 100; ++i) {
+    ScalarProductQuery q{{rng.Uniform(1, 10), rng.Uniform(1, 10)},
+                         rng.Uniform(100, 900), Comparison::kLessEqual};
+    (void)adaptive.Inequality(q);
+  }
+  EXPECT_EQ(adaptive.queries_seen(), 100u);
+  // Readapt can replace at most replace_fraction * budget indices.
+  auto replaced = adaptive.Readapt();
+  ASSERT_TRUE(replaced.ok());
+  EXPECT_LE(*replaced, 1u);  // floor(0.5 * 3) = 1
+  EXPECT_EQ(adaptive.set().num_indices(), 3u);
+}
+
+TEST(AdaptiveIndexSetTest, TopKRecordedToo) {
+  PhiMatrix phi = RandomPhi(300, 2, 1.0, 100.0, 78);
+  AdaptiveIndexSet adaptive = MakeAdaptive(phi, 3);
+  const ScalarProductQuery q{{2.0, 3.0}, 250.0, Comparison::kLessEqual};
+  auto topk = adaptive.TopK(q, 5);
+  ASSERT_TRUE(topk.ok());
+  EXPECT_EQ(topk->neighbors.size(), 5u);
+  EXPECT_EQ(adaptive.queries_seen(), 1u);
+}
+
+}  // namespace
+}  // namespace planar

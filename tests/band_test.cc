@@ -1,0 +1,113 @@
+// Copyright (c) 2026 The planar Authors. Licensed under the MIT license.
+
+#include "core/band.h"
+
+#include <gtest/gtest.h>
+
+#include "common/random.h"
+#include "tests/test_util.h"
+
+namespace planar {
+namespace {
+
+std::vector<uint32_t> BruteBand(const PhiMatrix& phi, const BandQuery& q) {
+  std::vector<uint32_t> out;
+  for (size_t i = 0; i < phi.size(); ++i) {
+    if (q.Matches(phi.row(i))) out.push_back(static_cast<uint32_t>(i));
+  }
+  return out;
+}
+
+PlanarIndexSet MakeSet(const PhiMatrix& phi, double lo, double hi) {
+  PhiMatrix copy(phi.dim());
+  for (size_t i = 0; i < phi.size(); ++i) copy.AppendRow(phi.row(i));
+  auto set = PlanarIndexSet::Build(
+      std::move(copy),
+      std::vector<ParameterDomain>(phi.dim(), {lo, hi}));
+  PLANAR_CHECK(set.ok());
+  return std::move(set).value();
+}
+
+TEST(BandQueryTest, MatchesIsClosedInterval) {
+  BandQuery q{{1.0, 1.0}, 3.0, 5.0};
+  const double below[] = {1.0, 1.5};
+  const double edge_lo[] = {1.5, 1.5};
+  const double inside[] = {2.0, 2.0};
+  const double edge_hi[] = {2.5, 2.5};
+  const double above[] = {3.0, 3.0};
+  EXPECT_FALSE(q.Matches(below));
+  EXPECT_TRUE(q.Matches(edge_lo));
+  EXPECT_TRUE(q.Matches(inside));
+  EXPECT_TRUE(q.Matches(edge_hi));
+  EXPECT_FALSE(q.Matches(above));
+}
+
+TEST(BandInequalityTest, MatchesBruteForce) {
+  PhiMatrix phi = RandomPhi(3000, 3, 1.0, 100.0, 121);
+  PlanarIndexSet set = MakeSet(phi, 1.0, 5.0);
+  Rng rng(122);
+  for (int trial = 0; trial < 25; ++trial) {
+    BandQuery q;
+    q.a = {rng.Uniform(1, 5), rng.Uniform(1, 5), rng.Uniform(1, 5)};
+    const double center = rng.Uniform(200, 800);
+    const double width = rng.Uniform(1, 200);
+    q.lo = center - width;
+    q.hi = center + width;
+    auto result = BandInequality(set, q);
+    ASSERT_TRUE(result.ok()) << result.status().ToString();
+    EXPECT_EQ(Sorted(result->ids), BruteBand(set.phi(), q)) << trial;
+    EXPECT_EQ(result->stats.result_size, result->ids.size());
+  }
+}
+
+TEST(BandInequalityTest, NarrowBandPrunesAlmostEverything) {
+  PhiMatrix phi = RandomPhi(10000, 2, 1.0, 100.0, 123);
+  PlanarIndexSet set = MakeSet(phi, 1.0, 4.0);
+  BandQuery q{{2.0, 3.0}, 249.0, 251.0};
+  auto result = BandInequality(set, q);
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(Sorted(result->ids), BruteBand(set.phi(), q));
+  EXPECT_GT(result->stats.rejected_directly, 8000u);
+}
+
+TEST(BandInequalityTest, NegativeBoundsFallBackToScanButStayExact) {
+  // lo < 0 <= hi flips the lower cut's octant: no single positive-octant
+  // index serves both cuts, so the scan answers.
+  PhiMatrix phi = RandomPhi(500, 2, -10.0, 10.0, 124);
+  PlanarIndexSet set = MakeSet(phi, 1.0, 4.0);
+  BandQuery q{{1.0, 2.0}, -5.0, 5.0};
+  auto result = BandInequality(set, q);
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result->stats.index_used, -1);
+  EXPECT_EQ(Sorted(result->ids), BruteBand(set.phi(), q));
+}
+
+TEST(BandInequalityTest, FullyNegativeBandUsesFlippedProcessing) {
+  // hi < 0: both cuts flip consistently; exactness must hold either way.
+  PhiMatrix phi = RandomPhi(2000, 2, -100.0, -1.0, 125);
+  PlanarIndexSet set = MakeSet(phi, 1.0, 4.0);
+  BandQuery q{{2.0, 1.0}, -400.0, -200.0};
+  auto result = BandInequality(set, q);
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(Sorted(result->ids), BruteBand(set.phi(), q));
+}
+
+TEST(BandInequalityTest, DegenerateWidthZero) {
+  PhiMatrix phi = RowMatrix::FromRowMajor(1, {1.0, 2.0, 3.0});
+  PlanarIndexSet set = MakeSet(phi, 1.0, 2.0);
+  BandQuery q{{1.0}, 2.0, 2.0};
+  auto result = BandInequality(set, q);
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result->ids, (std::vector<uint32_t>{1}));
+}
+
+TEST(BandInequalityTest, Validation) {
+  PhiMatrix phi = RandomPhi(10, 2, 1.0, 10.0, 126);
+  PlanarIndexSet set = MakeSet(phi, 1.0, 2.0);
+  EXPECT_FALSE(BandInequality(set, BandQuery{{1.0}, 0.0, 1.0}).ok());
+  EXPECT_FALSE(
+      BandInequality(set, BandQuery{{1.0, 1.0}, 2.0, 1.0}).ok());
+}
+
+}  // namespace
+}  // namespace planar

@@ -1,0 +1,194 @@
+// Copyright (c) 2026 The planar Authors. Licensed under the MIT license.
+//
+// Randomized property tests: the order-statistic B+-tree must agree with a
+// reference std::set model under arbitrary interleavings of inserts and
+// erases, while maintaining its structural invariants.
+
+#include <algorithm>
+#include <set>
+#include <utility>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "btree/btree.h"
+#include "common/random.h"
+
+namespace planar {
+namespace {
+
+using Entry = OrderStatisticBTree::Entry;
+using Model = std::set<std::pair<double, uint32_t>>;
+
+void ExpectAgreesWithModel(const OrderStatisticBTree& tree,
+                           const Model& model) {
+  ASSERT_EQ(tree.size(), model.size());
+  // Ranks and order agree.
+  size_t rank = 0;
+  for (const auto& [key, value] : model) {
+    const Entry e = tree.Select(rank);
+    ASSERT_EQ(e.key, key) << "rank " << rank;
+    ASSERT_EQ(e.value, value) << "rank " << rank;
+    ++rank;
+  }
+  // Rank queries agree on a few probe keys.
+  for (double probe : {-1e9, -7.0, 0.0, 3.5, 42.0, 1e9}) {
+    const size_t expect_less =
+        static_cast<size_t>(std::distance(
+            model.begin(), model.lower_bound({probe, 0})));
+    const size_t expect_le = static_cast<size_t>(std::distance(
+        model.begin(), model.upper_bound({probe, UINT32_MAX})));
+    ASSERT_EQ(tree.CountLess(probe), expect_less) << probe;
+    ASSERT_EQ(tree.CountLessEqual(probe), expect_le) << probe;
+  }
+}
+
+struct FuzzParams {
+  uint64_t seed;
+  int operations;
+  int key_space;  // small => many duplicates-by-key and collisions
+};
+
+class BTreeFuzzTest : public ::testing::TestWithParam<FuzzParams> {};
+
+TEST_P(BTreeFuzzTest, RandomInsertEraseAgreesWithModel) {
+  const FuzzParams p = GetParam();
+  Rng rng(p.seed);
+  OrderStatisticBTree tree;
+  Model model;
+  std::vector<std::pair<double, uint32_t>> live;
+
+  for (int op = 0; op < p.operations; ++op) {
+    const bool do_insert = live.empty() || rng.Bernoulli(0.55);
+    if (do_insert) {
+      const double key =
+          static_cast<double>(rng.UniformInt(0, p.key_space - 1)) * 0.25;
+      const uint32_t value = static_cast<uint32_t>(rng.UniformInt(uint64_t{1} << 20));
+      if (model.emplace(key, value).second) {
+        tree.Insert(key, value);
+        live.emplace_back(key, value);
+      }
+    } else {
+      const size_t pick = rng.UniformInt(live.size());
+      const auto [key, value] = live[pick];
+      live[pick] = live.back();
+      live.pop_back();
+      ASSERT_TRUE(tree.Erase(key, value));
+      model.erase({key, value});
+    }
+    if (op % 64 == 0) {
+      ASSERT_TRUE(tree.Validate()) << "op " << op;
+    }
+  }
+  ASSERT_TRUE(tree.Validate());
+  ExpectAgreesWithModel(tree, model);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, BTreeFuzzTest,
+    ::testing::Values(FuzzParams{1, 2000, 16},     // heavy key collisions
+                      FuzzParams{2, 2000, 100000},  // mostly unique keys
+                      FuzzParams{3, 6000, 512},
+                      FuzzParams{4, 6000, 64},
+                      FuzzParams{5, 12000, 4096},
+                      FuzzParams{6, 12000, 33}));
+
+TEST(BTreeChurnTest, GrowShrinkCycles) {
+  Rng rng(99);
+  OrderStatisticBTree tree;
+  Model model;
+  for (int cycle = 0; cycle < 4; ++cycle) {
+    // Grow to ~3000 entries.
+    while (model.size() < 3000) {
+      const double key = rng.Uniform(-100.0, 100.0);
+      const uint32_t value = static_cast<uint32_t>(model.size());
+      if (model.emplace(key, value).second) tree.Insert(key, value);
+    }
+    ASSERT_TRUE(tree.Validate());
+    // Shrink to ~100 by erasing in model order (stresses leftmost paths).
+    while (model.size() > 100) {
+      const auto it = model.begin();
+      ASSERT_TRUE(tree.Erase(it->first, it->second));
+      model.erase(it);
+    }
+    ASSERT_TRUE(tree.Validate());
+    ExpectAgreesWithModel(tree, model);
+  }
+}
+
+TEST(BTreeBulkBuildTest, MatchesIncrementalBuild) {
+  Rng rng(7);
+  std::vector<Entry> entries;
+  for (uint32_t i = 0; i < 5000; ++i) {
+    entries.push_back({rng.Uniform(0.0, 1.0), i});
+  }
+  std::sort(entries.begin(), entries.end());
+
+  OrderStatisticBTree bulk;
+  bulk.BuildFromSorted(entries);
+  OrderStatisticBTree incremental;
+  for (const Entry& e : entries) incremental.Insert(e.key, e.value);
+
+  ASSERT_TRUE(bulk.Validate());
+  ASSERT_TRUE(incremental.Validate());
+  ASSERT_EQ(bulk.size(), incremental.size());
+  for (size_t r = 0; r < entries.size(); r += 97) {
+    EXPECT_EQ(bulk.Select(r), incremental.Select(r));
+  }
+  std::vector<Entry> a, b;
+  bulk.ExportSorted(&a);
+  incremental.ExportSorted(&b);
+  EXPECT_EQ(a, b);
+}
+
+TEST(BTreeBulkBuildTest, VariousSizesValidate) {
+  for (size_t n : {1u, 2u, 15u, 16u, 17u, 31u, 32u, 33u, 100u, 1023u, 1024u,
+                   1025u, 50000u}) {
+    std::vector<Entry> entries;
+    entries.reserve(n);
+    for (uint32_t i = 0; i < n; ++i) entries.push_back({double(i), i});
+    OrderStatisticBTree tree;
+    tree.BuildFromSorted(entries);
+    ASSERT_TRUE(tree.Validate()) << "n=" << n;
+    ASSERT_EQ(tree.size(), n);
+    ASSERT_EQ(tree.Select(n - 1).value, static_cast<uint32_t>(n - 1));
+  }
+}
+
+TEST(BTreeIteratorTest, FullWalkAfterChurn) {
+  Rng rng(21);
+  OrderStatisticBTree tree;
+  Model model;
+  for (int i = 0; i < 4000; ++i) {
+    const double key = rng.Uniform(0.0, 50.0);
+    const uint32_t value = static_cast<uint32_t>(i);
+    if (model.emplace(key, value).second) tree.Insert(key, value);
+  }
+  // Erase a random half.
+  std::vector<std::pair<double, uint32_t>> all(model.begin(), model.end());
+  rng.Shuffle(all);
+  for (size_t i = 0; i < all.size() / 2; ++i) {
+    ASSERT_TRUE(tree.Erase(all[i].first, all[i].second));
+    model.erase(all[i]);
+  }
+  // Forward walk matches model.
+  auto it = tree.IteratorAt(0);
+  for (const auto& [key, value] : model) {
+    ASSERT_TRUE(it.Valid());
+    EXPECT_EQ(it.entry().key, key);
+    EXPECT_EQ(it.entry().value, value);
+    it.Next();
+  }
+  EXPECT_FALSE(it.Valid());
+  // Backward walk matches reversed model.
+  it = tree.IteratorAt(tree.size() - 1);
+  for (auto rit = model.rbegin(); rit != model.rend(); ++rit) {
+    ASSERT_TRUE(it.Valid());
+    EXPECT_EQ(it.entry().key, rit->first);
+    it.Prev();
+  }
+  EXPECT_FALSE(it.Valid());
+}
+
+}  // namespace
+}  // namespace planar

@@ -1,0 +1,228 @@
+// Copyright (c) 2026 The planar Authors. Licensed under the MIT license.
+
+#include "btree/btree.h"
+
+#include <vector>
+
+#include <gtest/gtest.h>
+
+namespace planar {
+namespace {
+
+using Entry = OrderStatisticBTree::Entry;
+
+TEST(BTreeTest, EmptyTree) {
+  OrderStatisticBTree tree;
+  EXPECT_EQ(tree.size(), 0u);
+  EXPECT_TRUE(tree.empty());
+  EXPECT_EQ(tree.CountLess(0.0), 0u);
+  EXPECT_EQ(tree.CountLessEqual(0.0), 0u);
+  EXPECT_TRUE(tree.Validate());
+  EXPECT_FALSE(tree.IteratorAt(0).Valid());
+}
+
+TEST(BTreeTest, SingleEntry) {
+  OrderStatisticBTree tree;
+  tree.Insert(5.0, 1);
+  EXPECT_EQ(tree.size(), 1u);
+  EXPECT_EQ(tree.CountLess(5.0), 0u);
+  EXPECT_EQ(tree.CountLessEqual(5.0), 1u);
+  EXPECT_EQ(tree.CountLess(6.0), 1u);
+  const Entry e = tree.Select(0);
+  EXPECT_EQ(e.key, 5.0);
+  EXPECT_EQ(e.value, 1u);
+  EXPECT_TRUE(tree.Validate());
+}
+
+TEST(BTreeTest, InsertAscendingKeepsOrder) {
+  OrderStatisticBTree tree;
+  for (uint32_t i = 0; i < 500; ++i) tree.Insert(static_cast<double>(i), i);
+  EXPECT_EQ(tree.size(), 500u);
+  EXPECT_TRUE(tree.Validate());
+  for (uint32_t i = 0; i < 500; ++i) {
+    EXPECT_EQ(tree.Select(i).value, i);
+    EXPECT_EQ(tree.CountLess(static_cast<double>(i)), i);
+  }
+}
+
+TEST(BTreeTest, InsertDescending) {
+  OrderStatisticBTree tree;
+  for (int i = 499; i >= 0; --i) {
+    tree.Insert(static_cast<double>(i), static_cast<uint32_t>(i));
+  }
+  EXPECT_TRUE(tree.Validate());
+  for (uint32_t i = 0; i < 500; ++i) EXPECT_EQ(tree.Select(i).value, i);
+}
+
+TEST(BTreeTest, EqualKeysOrderedByValue) {
+  OrderStatisticBTree tree;
+  tree.Insert(1.0, 30);
+  tree.Insert(1.0, 10);
+  tree.Insert(1.0, 20);
+  EXPECT_EQ(tree.Select(0).value, 10u);
+  EXPECT_EQ(tree.Select(1).value, 20u);
+  EXPECT_EQ(tree.Select(2).value, 30u);
+  EXPECT_EQ(tree.CountLessEqual(1.0), 3u);
+  EXPECT_EQ(tree.CountLess(1.0), 0u);
+}
+
+TEST(BTreeTest, EraseMissingReturnsFalse) {
+  OrderStatisticBTree tree;
+  tree.Insert(1.0, 1);
+  EXPECT_FALSE(tree.Erase(1.0, 2));   // same key, wrong value
+  EXPECT_FALSE(tree.Erase(2.0, 1));   // absent key
+  EXPECT_EQ(tree.size(), 1u);
+}
+
+TEST(BTreeTest, EraseSingle) {
+  OrderStatisticBTree tree;
+  tree.Insert(1.0, 1);
+  EXPECT_TRUE(tree.Erase(1.0, 1));
+  EXPECT_EQ(tree.size(), 0u);
+  EXPECT_TRUE(tree.Validate());
+}
+
+TEST(BTreeTest, EraseAllAscending) {
+  OrderStatisticBTree tree;
+  for (uint32_t i = 0; i < 300; ++i) tree.Insert(static_cast<double>(i), i);
+  for (uint32_t i = 0; i < 300; ++i) {
+    EXPECT_TRUE(tree.Erase(static_cast<double>(i), i));
+    EXPECT_TRUE(tree.Validate()) << "after erasing " << i;
+  }
+  EXPECT_TRUE(tree.empty());
+}
+
+TEST(BTreeTest, EraseAllDescending) {
+  OrderStatisticBTree tree;
+  for (uint32_t i = 0; i < 300; ++i) tree.Insert(static_cast<double>(i), i);
+  for (int i = 299; i >= 0; --i) {
+    EXPECT_TRUE(
+        tree.Erase(static_cast<double>(i), static_cast<uint32_t>(i)));
+  }
+  EXPECT_TRUE(tree.empty());
+  EXPECT_TRUE(tree.Validate());
+}
+
+TEST(BTreeTest, BuildFromSorted) {
+  std::vector<Entry> entries;
+  for (uint32_t i = 0; i < 1000; ++i) {
+    entries.push_back({static_cast<double>(i) * 0.5, i});
+  }
+  OrderStatisticBTree tree;
+  tree.BuildFromSorted(entries);
+  EXPECT_EQ(tree.size(), 1000u);
+  EXPECT_TRUE(tree.Validate());
+  std::vector<Entry> out;
+  tree.ExportSorted(&out);
+  EXPECT_EQ(out.size(), entries.size());
+  for (size_t i = 0; i < out.size(); ++i) EXPECT_EQ(out[i], entries[i]);
+}
+
+TEST(BTreeTest, BuildFromSortedEmpty) {
+  OrderStatisticBTree tree;
+  tree.Insert(1.0, 1);
+  tree.BuildFromSorted({});
+  EXPECT_TRUE(tree.empty());
+  EXPECT_TRUE(tree.Validate());
+}
+
+TEST(BTreeTest, BuildThenMutate) {
+  std::vector<Entry> entries;
+  for (uint32_t i = 0; i < 500; ++i) entries.push_back({double(i), i});
+  OrderStatisticBTree tree;
+  tree.BuildFromSorted(entries);
+  tree.Insert(250.5, 9999);
+  EXPECT_TRUE(tree.Erase(100.0, 100));
+  EXPECT_TRUE(tree.Validate());
+  EXPECT_EQ(tree.size(), 500u);
+  EXPECT_EQ(tree.CountLessEqual(250.5), 251u);  // 0..250 minus 100 plus 250.5
+}
+
+TEST(BTreeTest, IteratorForward) {
+  OrderStatisticBTree tree;
+  for (uint32_t i = 0; i < 200; ++i) tree.Insert(static_cast<double>(i), i);
+  auto it = tree.IteratorAt(50);
+  for (uint32_t i = 50; i < 200; ++i) {
+    ASSERT_TRUE(it.Valid());
+    EXPECT_EQ(it.entry().value, i);
+    it.Next();
+  }
+  EXPECT_FALSE(it.Valid());
+}
+
+TEST(BTreeTest, IteratorBackward) {
+  OrderStatisticBTree tree;
+  for (uint32_t i = 0; i < 200; ++i) tree.Insert(static_cast<double>(i), i);
+  auto it = tree.IteratorAt(149);
+  for (int i = 149; i >= 0; --i) {
+    ASSERT_TRUE(it.Valid());
+    EXPECT_EQ(it.entry().value, static_cast<uint32_t>(i));
+    it.Prev();
+  }
+  EXPECT_FALSE(it.Valid());
+}
+
+TEST(BTreeTest, IteratorAtEndInvalid) {
+  OrderStatisticBTree tree;
+  tree.Insert(1.0, 1);
+  EXPECT_FALSE(tree.IteratorAt(1).Valid());
+}
+
+TEST(BTreeTest, CountNegativeAndBetweenKeys) {
+  OrderStatisticBTree tree;
+  tree.Insert(-5.0, 0);
+  tree.Insert(0.0, 1);
+  tree.Insert(5.0, 2);
+  EXPECT_EQ(tree.CountLess(-10.0), 0u);
+  EXPECT_EQ(tree.CountLessEqual(-5.0), 1u);
+  EXPECT_EQ(tree.CountLess(0.0), 1u);
+  EXPECT_EQ(tree.CountLessEqual(2.5), 2u);
+  EXPECT_EQ(tree.CountLessEqual(100.0), 3u);
+}
+
+TEST(BTreeTest, MoveConstructor) {
+  OrderStatisticBTree a;
+  for (uint32_t i = 0; i < 100; ++i) a.Insert(static_cast<double>(i), i);
+  OrderStatisticBTree b(std::move(a));
+  EXPECT_EQ(b.size(), 100u);
+  EXPECT_TRUE(b.Validate());
+  EXPECT_EQ(a.size(), 0u);  // NOLINT(bugprone-use-after-move): documented reset
+  EXPECT_TRUE(a.Validate());
+  a.Insert(1.0, 1);  // moved-from tree remains usable
+  EXPECT_EQ(a.size(), 1u);
+}
+
+TEST(BTreeTest, MoveAssignment) {
+  OrderStatisticBTree a, b;
+  a.Insert(1.0, 1);
+  b.Insert(2.0, 2);
+  b = std::move(a);
+  EXPECT_EQ(b.size(), 1u);
+  EXPECT_EQ(b.Select(0).value, 1u);
+}
+
+TEST(BTreeTest, ClearResets) {
+  OrderStatisticBTree tree;
+  for (uint32_t i = 0; i < 100; ++i) tree.Insert(static_cast<double>(i), i);
+  tree.Clear();
+  EXPECT_TRUE(tree.empty());
+  EXPECT_TRUE(tree.Validate());
+  tree.Insert(7.0, 7);
+  EXPECT_EQ(tree.size(), 1u);
+}
+
+TEST(BTreeTest, MemoryUsageGrows) {
+  OrderStatisticBTree tree;
+  const size_t empty = tree.MemoryUsage();
+  for (uint32_t i = 0; i < 10000; ++i) tree.Insert(static_cast<double>(i), i);
+  EXPECT_GT(tree.MemoryUsage(), empty + 10000 * sizeof(Entry) / 2);
+}
+
+TEST(BTreeDeathTest, SelectOutOfRangeAborts) {
+  OrderStatisticBTree tree;
+  tree.Insert(1.0, 1);
+  EXPECT_DEATH((void)tree.Select(1), "PLANAR_CHECK");
+}
+
+}  // namespace
+}  // namespace planar

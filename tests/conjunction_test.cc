@@ -1,0 +1,130 @@
+// Copyright (c) 2026 The planar Authors. Licensed under the MIT license.
+
+#include "core/conjunction.h"
+
+#include <gtest/gtest.h>
+
+#include "common/random.h"
+#include "tests/test_util.h"
+
+namespace planar {
+namespace {
+
+std::vector<uint32_t> BruteConjunction(const PhiMatrix& phi,
+                                       const ConjunctiveQuery& query) {
+  std::vector<uint32_t> out;
+  for (size_t i = 0; i < phi.size(); ++i) {
+    if (query.Matches(phi.row(i))) out.push_back(static_cast<uint32_t>(i));
+  }
+  return out;
+}
+
+PlanarIndexSet MakeSet(const PhiMatrix& phi, size_t budget) {
+  PhiMatrix copy(phi.dim());
+  for (size_t i = 0; i < phi.size(); ++i) copy.AppendRow(phi.row(i));
+  IndexSetOptions options;
+  options.budget = budget;
+  auto set = PlanarIndexSet::Build(
+      std::move(copy),
+      std::vector<ParameterDomain>(phi.dim(), {1.0, 5.0}), options);
+  PLANAR_CHECK(set.ok());
+  return std::move(set).value();
+}
+
+TEST(ConjunctiveQueryTest, MatchesIsAnd) {
+  ConjunctiveQuery query;
+  query.constraints.push_back({{1.0, 0.0}, 5.0, Comparison::kLessEqual});
+  query.constraints.push_back({{0.0, 1.0}, 2.0, Comparison::kGreaterEqual});
+  const double yes[] = {4.0, 3.0};
+  const double no1[] = {6.0, 3.0};
+  const double no2[] = {4.0, 1.0};
+  EXPECT_TRUE(query.Matches(yes));
+  EXPECT_FALSE(query.Matches(no1));
+  EXPECT_FALSE(query.Matches(no2));
+}
+
+TEST(ConjunctiveInequalityTest, MatchesBruteForce) {
+  PhiMatrix phi = RandomPhi(2000, 3, 1.0, 100.0, 61);
+  PlanarIndexSet set = MakeSet(phi, 10);
+  Rng rng(62);
+  for (int trial = 0; trial < 20; ++trial) {
+    ConjunctiveQuery query;
+    const int m = 1 + static_cast<int>(rng.UniformInt(uint64_t{3}));
+    for (int c = 0; c < m; ++c) {
+      ScalarProductQuery q;
+      q.a = {rng.Uniform(1, 5), rng.Uniform(1, 5), rng.Uniform(1, 5)};
+      q.b = rng.Uniform(100, 900);
+      q.cmp = rng.Bernoulli(0.5) ? Comparison::kLessEqual
+                                 : Comparison::kGreaterEqual;
+      query.constraints.push_back(std::move(q));
+    }
+    auto result = ConjunctiveInequality(set, query);
+    ASSERT_TRUE(result.ok()) << result.status().ToString();
+    EXPECT_EQ(Sorted(result->ids), BruteConjunction(set.phi(), query))
+        << "trial " << trial;
+    EXPECT_EQ(result->stats.result_size, result->ids.size());
+  }
+}
+
+TEST(ConjunctiveInequalityTest, BandQueryPrunesWell) {
+  // A narrow band b1 <= <a, x> <= b2 around a hyperplane: the driving
+  // constraint should prune most of the data.
+  PhiMatrix phi = RandomPhi(5000, 2, 1.0, 100.0, 63);
+  PlanarIndexSet set = MakeSet(phi, 10);
+  ConjunctiveQuery query;
+  query.constraints.push_back({{2.0, 3.0}, 260.0, Comparison::kLessEqual});
+  query.constraints.push_back({{2.0, 3.0}, 240.0, Comparison::kGreaterEqual});
+  auto result = ConjunctiveInequality(set, query);
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(Sorted(result->ids), BruteConjunction(set.phi(), query));
+  EXPECT_GT(result->stats.rejected_directly, 5000u / 3);
+}
+
+TEST(ConjunctiveInequalityTest, EmptyConstraintsRejected) {
+  PhiMatrix phi = RandomPhi(10, 2, 1.0, 10.0, 64);
+  PlanarIndexSet set = MakeSet(phi, 2);
+  EXPECT_FALSE(ConjunctiveInequality(set, ConjunctiveQuery{}).ok());
+}
+
+TEST(ConjunctiveInequalityTest, DimensionMismatchRejected) {
+  PhiMatrix phi = RandomPhi(10, 2, 1.0, 10.0, 65);
+  PlanarIndexSet set = MakeSet(phi, 2);
+  ConjunctiveQuery query;
+  query.constraints.push_back({{1.0}, 1.0, Comparison::kLessEqual});
+  EXPECT_FALSE(ConjunctiveInequality(set, query).ok());
+}
+
+TEST(ConjunctiveInequalityTest, ScanFallbackForForeignOctants) {
+  PhiMatrix phi = RandomPhi(500, 2, -10.0, 10.0, 66);
+  PlanarIndexSet set = MakeSet(phi, 4);  // positive-octant indices only
+  ConjunctiveQuery query;
+  query.constraints.push_back({{-1.0, -2.0}, 3.0, Comparison::kLessEqual});
+  query.constraints.push_back({{-2.0, 1.0}, 1.0, Comparison::kGreaterEqual});
+  auto result = ConjunctiveInequality(set, query);
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result->stats.index_used, -1);  // fell back to the scan
+  EXPECT_EQ(Sorted(result->ids), BruteConjunction(set.phi(), query));
+}
+
+TEST(ConjunctiveInequalityTest, SingleConstraintEqualsInequality) {
+  PhiMatrix phi = RandomPhi(1000, 3, 1.0, 100.0, 67);
+  PlanarIndexSet set = MakeSet(phi, 8);
+  const ScalarProductQuery q{{2.0, 1.0, 4.0}, 400.0, Comparison::kLessEqual};
+  ConjunctiveQuery query;
+  query.constraints.push_back(q);
+  auto conj = ConjunctiveInequality(set, query);
+  ASSERT_TRUE(conj.ok());
+  EXPECT_EQ(Sorted(conj->ids), Sorted(set.Inequality(q).ids));
+}
+
+TEST(ScanConjunctiveTest, Basic) {
+  PhiMatrix phi = RowMatrix::FromRowMajor(1, {1.0, 2.0, 3.0, 4.0});
+  ConjunctiveQuery query;
+  query.constraints.push_back({{1.0}, 3.0, Comparison::kLessEqual});
+  query.constraints.push_back({{1.0}, 2.0, Comparison::kGreaterEqual});
+  const InequalityResult result = ScanConjunctive(phi, query);
+  EXPECT_EQ(Sorted(result.ids), (std::vector<uint32_t>{1, 2}));
+}
+
+}  // namespace
+}  // namespace planar

@@ -1,0 +1,113 @@
+// Copyright (c) 2026 The planar Authors. Licensed under the MIT license.
+
+#include "datagen/csv_loader.h"
+
+#include <cstdio>
+#include <fstream>
+
+#include <gtest/gtest.h>
+
+namespace planar {
+namespace {
+
+std::string WriteTemp(const char* name, const std::string& content) {
+  const std::string path = std::string(::testing::TempDir()) + "/" + name;
+  std::ofstream out(path);
+  out << content;
+  return path;
+}
+
+TEST(CsvLoaderTest, PlainCommaSeparated) {
+  const std::string path = WriteTemp("plain.csv", "1,2,3\n4,5,6\n");
+  auto data = LoadCsv(path, CsvOptions());
+  ASSERT_TRUE(data.ok()) << data.status().ToString();
+  EXPECT_EQ(data->size(), 2u);
+  EXPECT_EQ(data->dim(), 3u);
+  EXPECT_DOUBLE_EQ(data->at(1, 2), 6.0);
+  std::remove(path.c_str());
+}
+
+TEST(CsvLoaderTest, HeaderSkipped) {
+  const std::string path = WriteTemp("header.csv", "a,b\n1,2\n");
+  CsvOptions options;
+  options.has_header = true;
+  auto data = LoadCsv(path, options);
+  ASSERT_TRUE(data.ok());
+  EXPECT_EQ(data->size(), 1u);
+  std::remove(path.c_str());
+}
+
+TEST(CsvLoaderTest, UciConsumptionStyle) {
+  // Semicolon delimiter, '?' for missing readings, selected columns.
+  const std::string path = WriteTemp(
+      "consumption.csv",
+      "Date;Time;Active;Reactive;Voltage;Intensity\n"
+      "16/12/2006;17:24:00;4.216;0.418;234.840;18.400\n"
+      "16/12/2006;17:25:00;?;0.436;233.630;23.000\n"
+      "16/12/2006;17:26:00;5.360;0.436;233.290;23.000\n");
+  CsvOptions options;
+  options.delimiter = ';';
+  options.has_header = true;
+  options.columns = {2, 3, 4, 5};
+  auto data = LoadCsv(path, options);
+  ASSERT_TRUE(data.ok()) << data.status().ToString();
+  EXPECT_EQ(data->size(), 2u);  // the '?' row is skipped
+  EXPECT_EQ(data->dim(), 4u);
+  EXPECT_DOUBLE_EQ(data->at(0, 0), 4.216);
+  EXPECT_DOUBLE_EQ(data->at(1, 2), 233.290);
+  std::remove(path.c_str());
+}
+
+TEST(CsvLoaderTest, MaxRows) {
+  const std::string path = WriteTemp("many.csv", "1\n2\n3\n4\n5\n");
+  CsvOptions options;
+  options.max_rows = 3;
+  auto data = LoadCsv(path, options);
+  ASSERT_TRUE(data.ok());
+  EXPECT_EQ(data->size(), 3u);
+  std::remove(path.c_str());
+}
+
+TEST(CsvLoaderTest, EmptyLinesIgnored) {
+  const std::string path = WriteTemp("gaps.csv", "1,2\n\n3,4\n\n");
+  auto data = LoadCsv(path, CsvOptions());
+  ASSERT_TRUE(data.ok());
+  EXPECT_EQ(data->size(), 2u);
+  std::remove(path.c_str());
+}
+
+TEST(CsvLoaderTest, Errors) {
+  EXPECT_EQ(LoadCsv("/nonexistent/file.csv", CsvOptions()).status().code(),
+            StatusCode::kNotFound);
+
+  const std::string garbage = WriteTemp("garbage.csv", "1,abc\n");
+  EXPECT_EQ(LoadCsv(garbage, CsvOptions()).status().code(),
+            StatusCode::kInvalidArgument);
+  std::remove(garbage.c_str());
+
+  const std::string ragged = WriteTemp("ragged.csv", "1,2\n3\n");
+  EXPECT_FALSE(LoadCsv(ragged, CsvOptions()).ok());
+  std::remove(ragged.c_str());
+
+  const std::string empty = WriteTemp("empty.csv", "");
+  EXPECT_FALSE(LoadCsv(empty, CsvOptions()).ok());
+  std::remove(empty.c_str());
+
+  const std::string bad_column = WriteTemp("badcol.csv", "1,2\n");
+  CsvOptions options;
+  options.columns = {5};
+  EXPECT_FALSE(LoadCsv(bad_column, options).ok());
+  std::remove(bad_column.c_str());
+}
+
+TEST(CsvLoaderTest, WindowsLineEndings) {
+  const std::string path = WriteTemp("crlf.csv", "1,2\r\n3,4\r\n");
+  auto data = LoadCsv(path, CsvOptions());
+  ASSERT_TRUE(data.ok());
+  EXPECT_EQ(data->size(), 2u);
+  EXPECT_DOUBLE_EQ(data->at(1, 1), 4.0);
+  std::remove(path.c_str());
+}
+
+}  // namespace
+}  // namespace planar

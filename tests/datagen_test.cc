@@ -1,0 +1,203 @@
+// Copyright (c) 2026 The planar Authors. Licensed under the MIT license.
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "datagen/realworld_sim.h"
+#include "datagen/synthetic.h"
+#include "datagen/workload.h"
+
+namespace planar {
+namespace {
+
+double PearsonCorrelation(const Dataset& data, size_t col_a, size_t col_b) {
+  const size_t n = data.size();
+  double ma = 0, mb = 0;
+  for (size_t i = 0; i < n; ++i) {
+    ma += data.at(i, col_a);
+    mb += data.at(i, col_b);
+  }
+  ma /= n;
+  mb /= n;
+  double cov = 0, va = 0, vb = 0;
+  for (size_t i = 0; i < n; ++i) {
+    const double da = data.at(i, col_a) - ma;
+    const double db = data.at(i, col_b) - mb;
+    cov += da * db;
+    va += da * da;
+    vb += db * db;
+  }
+  return cov / std::sqrt(va * vb);
+}
+
+SyntheticSpec Spec(SyntheticDistribution dist, size_t n, size_t d) {
+  SyntheticSpec s;
+  s.distribution = dist;
+  s.num_points = n;
+  s.dim = d;
+  return s;
+}
+
+TEST(SyntheticTest, ShapeAndRange) {
+  for (auto dist : {SyntheticDistribution::kIndependent,
+                    SyntheticDistribution::kCorrelated,
+                    SyntheticDistribution::kAnticorrelated}) {
+    const Dataset data = GenerateSynthetic(Spec(dist, 2000, 6));
+    EXPECT_EQ(data.size(), 2000u);
+    EXPECT_EQ(data.dim(), 6u);
+    for (size_t j = 0; j < 6; ++j) {
+      EXPECT_GE(data.ColumnMin(j), 1.0);
+      EXPECT_LE(data.ColumnMax(j), 100.0);
+    }
+  }
+}
+
+TEST(SyntheticTest, IndependentHasLowCorrelation) {
+  const Dataset data =
+      GenerateSynthetic(Spec(SyntheticDistribution::kIndependent, 20000, 3));
+  EXPECT_LT(std::fabs(PearsonCorrelation(data, 0, 1)), 0.05);
+  EXPECT_LT(std::fabs(PearsonCorrelation(data, 1, 2)), 0.05);
+}
+
+TEST(SyntheticTest, CorrelatedHasPositiveCorrelation) {
+  const Dataset data =
+      GenerateSynthetic(Spec(SyntheticDistribution::kCorrelated, 20000, 3));
+  EXPECT_GT(PearsonCorrelation(data, 0, 1), 0.7);
+  EXPECT_GT(PearsonCorrelation(data, 0, 2), 0.7);
+}
+
+TEST(SyntheticTest, AnticorrelatedHasNegativeCorrelation) {
+  const Dataset data = GenerateSynthetic(
+      Spec(SyntheticDistribution::kAnticorrelated, 20000, 2));
+  EXPECT_LT(PearsonCorrelation(data, 0, 1), -0.5);
+}
+
+TEST(SyntheticTest, DeterministicBySeed) {
+  const Dataset a =
+      GenerateSynthetic(Spec(SyntheticDistribution::kIndependent, 100, 2));
+  const Dataset b =
+      GenerateSynthetic(Spec(SyntheticDistribution::kIndependent, 100, 2));
+  for (size_t i = 0; i < 100; ++i) {
+    EXPECT_EQ(a.at(i, 0), b.at(i, 0));
+    EXPECT_EQ(a.at(i, 1), b.at(i, 1));
+  }
+}
+
+TEST(SyntheticTest, DistributionNames) {
+  EXPECT_EQ(DistributionName(SyntheticDistribution::kIndependent), "indp");
+  EXPECT_EQ(DistributionName(SyntheticDistribution::kCorrelated), "corr");
+  EXPECT_EQ(DistributionName(SyntheticDistribution::kAnticorrelated), "anti");
+}
+
+TEST(RealWorldSimTest, CMomentShapeAndRange) {
+  const Dataset data = SimulateCMoment(5000);
+  EXPECT_EQ(data.size(), 5000u);
+  EXPECT_EQ(data.dim(), 9u);
+  for (size_t j = 0; j < 9; ++j) {
+    EXPECT_GE(data.ColumnMin(j), -4.15);
+    EXPECT_LE(data.ColumnMax(j), 4.59);
+  }
+}
+
+TEST(RealWorldSimTest, CTextureShapeRangeAndConcentration) {
+  const Dataset data = SimulateCTexture(5000);
+  EXPECT_EQ(data.dim(), 16u);
+  for (size_t j = 0; j < 16; ++j) {
+    EXPECT_GE(data.ColumnMin(j), -5.25);
+    EXPECT_LE(data.ColumnMax(j), 50.21);
+  }
+  // The bulk concentrates well above 25% of the per-axis maximum (making
+  // the Eq.-18 threshold highly selective) and the attributes share a
+  // dominant per-image energy factor.
+  double mean = 0;
+  for (size_t i = 0; i < data.size(); ++i) mean += data.at(i, 0);
+  mean /= data.size();
+  EXPECT_GT(mean, 0.3 * data.ColumnMax(0));
+  EXPECT_GT(PearsonCorrelation(data, 0, 8), 0.8);
+}
+
+TEST(RealWorldSimTest, ConsumptionRangesAndPowerFactor) {
+  const Dataset data = SimulateConsumption(20000);
+  EXPECT_EQ(data.dim(), 4u);
+  EXPECT_GE(data.ColumnMin(0), 0.0);
+  EXPECT_LE(data.ColumnMax(0), 11000.0);
+  EXPECT_GE(data.ColumnMin(2), 223.0);
+  EXPECT_LE(data.ColumnMax(2), 254.0);
+  EXPECT_GE(data.ColumnMin(3), 0.0);
+  EXPECT_LE(data.ColumnMax(3), 48.0);
+  // Power factor lies in (0, 1] and the critical-consume selectivity is
+  // monotone in the threshold.
+  size_t below_03 = 0, below_06 = 0, below_09 = 0;
+  for (size_t i = 0; i < data.size(); ++i) {
+    const double pf = data.at(i, 0) / (data.at(i, 2) * data.at(i, 3));
+    EXPECT_GT(pf, 0.0);
+    EXPECT_LE(pf, 1.0);
+    below_03 += pf < 0.3;
+    below_06 += pf < 0.6;
+    below_09 += pf < 0.9;
+  }
+  EXPECT_LT(below_03, below_06);
+  EXPECT_LT(below_06, below_09);
+  // Most households have a healthy power factor.
+  EXPECT_LT(below_06, data.size() / 4);
+  EXPECT_GT(below_09, data.size() / 4);
+}
+
+TEST(Eq18WorkloadTest, QueryShape) {
+  Dataset data = GenerateSynthetic(Spec(SyntheticDistribution::kIndependent,
+                                        1000, 4));
+  Eq18Workload workload(data, /*rq=*/4, /*inequality=*/0.25, /*seed=*/1);
+  for (int i = 0; i < 50; ++i) {
+    const ScalarProductQuery q = workload.Next();
+    ASSERT_EQ(q.a.size(), 4u);
+    double rhs = 0.0;
+    for (size_t j = 0; j < 4; ++j) {
+      EXPECT_GE(q.a[j], 1.0);
+      EXPECT_LE(q.a[j], 4.0);
+      EXPECT_EQ(q.a[j], std::floor(q.a[j]));  // discrete domain
+      rhs += q.a[j] * data.ColumnMax(j);
+    }
+    EXPECT_DOUBLE_EQ(q.b, 0.25 * rhs);
+    EXPECT_EQ(q.cmp, Comparison::kLessEqual);
+  }
+}
+
+TEST(Eq18WorkloadTest, DomainsMatchRq) {
+  Dataset data = GenerateSynthetic(Spec(SyntheticDistribution::kIndependent,
+                                        100, 3));
+  Eq18Workload workload(data, 8, 0.25, 2);
+  const auto domains = workload.Domains();
+  ASSERT_EQ(domains.size(), 3u);
+  for (const auto& d : domains) {
+    EXPECT_DOUBLE_EQ(d.lo, 1.0);
+    EXPECT_DOUBLE_EQ(d.hi, 8.0);
+  }
+}
+
+TEST(Eq18WorkloadTest, Rq1IsDeterministicNormal) {
+  Dataset data = GenerateSynthetic(Spec(SyntheticDistribution::kIndependent,
+                                        100, 2));
+  Eq18Workload workload(data, 1, 0.25, 3);
+  const ScalarProductQuery q1 = workload.Next();
+  const ScalarProductQuery q2 = workload.Next();
+  EXPECT_EQ(q1.a, q2.a);
+}
+
+TEST(PowerFactorWorkloadTest, QueryShape) {
+  PowerFactorWorkload workload(0.1, 1.0, 4);
+  for (int i = 0; i < 50; ++i) {
+    const ScalarProductQuery q = workload.Next();
+    ASSERT_EQ(q.a.size(), 2u);
+    EXPECT_DOUBLE_EQ(q.a[0], 1.0);
+    EXPECT_LE(q.a[1], -0.1);
+    EXPECT_GE(q.a[1], -1.0);
+    EXPECT_DOUBLE_EQ(q.b, 0.0);
+  }
+  const auto domains = workload.Domains();
+  EXPECT_DOUBLE_EQ(domains[0].lo, 1.0);
+  EXPECT_DOUBLE_EQ(domains[1].hi, -0.1);
+}
+
+}  // namespace
+}  // namespace planar

@@ -1,0 +1,131 @@
+// Copyright (c) 2026 The planar Authors. Licensed under the MIT license.
+
+#include <gtest/gtest.h>
+
+#include "common/random.h"
+#include "core/index_set.h"
+#include "core/planar_index.h"
+#include "tests/test_util.h"
+
+namespace planar {
+namespace {
+
+TEST(ExplainTest, CountsMatchActualExecution) {
+  PhiMatrix phi = RandomPhi(2000, 3, 1.0, 100.0, 101);
+  auto index = PlanarIndex::BuildFirstOctant(&phi, {1.0, 2.0, 1.0});
+  ASSERT_TRUE(index.ok());
+  const ScalarProductQuery q{{2.0, 1.0, 3.0}, 350.0, Comparison::kLessEqual};
+  const NormalizedQuery norm = NormalizedQuery::From(q);
+  const PlanarIndex::Explanation e = index->Explain(norm);
+  EXPECT_TRUE(e.can_serve);
+  EXPECT_FALSE(e.degenerate);
+  EXPECT_EQ(e.num_points, 2000u);
+  auto result = index->Inequality(norm);
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(e.smaller_end, result->stats.accepted_directly);
+  EXPECT_EQ(e.intermediate(), result->stats.verified);
+  EXPECT_EQ(e.num_points - e.larger_begin, result->stats.rejected_directly);
+  EXPECT_GT(e.rmax, 0.0);
+  EXPECT_GE(e.rmax, e.rmin);
+  EXPECT_LE(e.low_cut, e.high_cut);
+}
+
+TEST(ExplainTest, OctantMismatchReported) {
+  PhiMatrix phi = RandomPhi(50, 2, 1.0, 10.0, 102);
+  auto index = PlanarIndex::BuildFirstOctant(&phi, {1.0, 1.0});
+  const NormalizedQuery q =
+      NormalizedQuery::From({{1.0, -1.0}, 5.0, Comparison::kLessEqual});
+  const PlanarIndex::Explanation e = index->Explain(q);
+  EXPECT_FALSE(e.can_serve);
+  EXPECT_NE(e.ToString().find("octant"), std::string::npos);
+}
+
+TEST(ExplainTest, DegenerateReported) {
+  PhiMatrix phi = RandomPhi(50, 2, 1.0, 10.0, 103);
+  auto index = PlanarIndex::BuildFirstOctant(&phi, {1.0, 1.0});
+  const NormalizedQuery q =
+      NormalizedQuery::From({{0.0, 0.0}, 5.0, Comparison::kLessEqual});
+  const PlanarIndex::Explanation e = index->Explain(q);
+  EXPECT_TRUE(e.degenerate);
+}
+
+TEST(ExplainTest, ExcludedAxesCounted) {
+  PhiMatrix phi = RandomPhi(500, 3, 1.0, 100.0, 104);
+  auto index = PlanarIndex::BuildFirstOctant(&phi, {1.0, 1.0, 1.0});
+  // A zero axis is always excluded.
+  const NormalizedQuery q =
+      NormalizedQuery::From({{1.0, 0.0, 1.0}, 100.0, Comparison::kLessEqual});
+  EXPECT_GE(index->Explain(q).excluded_axes, 1u);
+}
+
+TEST(ExplainTest, ToStringMentionsPruning) {
+  PhiMatrix phi = RandomPhi(500, 2, 1.0, 100.0, 105);
+  auto index = PlanarIndex::BuildFirstOctant(&phi, {1.0, 1.0});
+  const NormalizedQuery q =
+      NormalizedQuery::From({{1.0, 1.0}, 120.0, Comparison::kLessEqual});
+  const std::string s = index->Explain(q).ToString();
+  EXPECT_NE(s.find("pruned"), std::string::npos);
+  EXPECT_NE(s.find("verify"), std::string::npos);
+}
+
+TEST(SetExplainTest, ReportsSelectedIndex) {
+  PhiMatrix phi = RandomPhi(1000, 2, 1.0, 100.0, 106);
+  auto set = PlanarIndexSet::BuildWithNormals(
+      std::move(phi), {{1.0, 3.0}, {3.0, 1.0}}, Octant::First(2));
+  ASSERT_TRUE(set.ok());
+  // Parallel to index 1.
+  const ScalarProductQuery q{{3.0, 1.0}, 200.0, Comparison::kLessEqual};
+  const PlanarIndexSet::Explanation e = set->Explain(q);
+  EXPECT_EQ(e.index_used, 1);
+  EXPECT_FALSE(e.scan_fallback);
+  EXPECT_EQ(e.index_explanation.intermediate(), 0u);  // exactly parallel
+  EXPECT_NE(e.ToString().find("index 1"), std::string::npos);
+}
+
+TEST(SetExplainTest, ScanWhenNoIndexCompatible) {
+  PhiMatrix phi = RandomPhi(100, 2, -10.0, 10.0, 107);
+  auto set = PlanarIndexSet::BuildWithNormals(
+      std::move(phi), {{1.0, 1.0}}, Octant::First(2));
+  ASSERT_TRUE(set.ok());
+  const PlanarIndexSet::Explanation e =
+      set->Explain({{-1.0, 1.0}, 5.0, Comparison::kLessEqual});
+  EXPECT_EQ(e.index_used, -1);
+  EXPECT_NE(e.ToString().find("scan"), std::string::npos);
+}
+
+TEST(SelectivityBoundsTest, BracketTrueSelectivity) {
+  PhiMatrix phi = RandomPhi(3000, 3, 1.0, 100.0, 108);
+  PhiMatrix reference(3);
+  for (size_t i = 0; i < phi.size(); ++i) reference.AppendRow(phi.row(i));
+  auto set = PlanarIndexSet::Build(
+      std::move(phi), std::vector<ParameterDomain>(3, {1.0, 5.0}));
+  ASSERT_TRUE(set.ok());
+  Rng rng(109);
+  for (int trial = 0; trial < 20; ++trial) {
+    ScalarProductQuery q;
+    q.a = {rng.Uniform(1, 5), rng.Uniform(1, 5), rng.Uniform(1, 5)};
+    q.b = rng.Uniform(100, 1200);
+    q.cmp = trial % 2 == 0 ? Comparison::kLessEqual
+                           : Comparison::kGreaterEqual;
+    const auto bounds = set->EstimateSelectivity(q);
+    const double truth =
+        static_cast<double>(BruteForceMatches(reference, q).size()) / 3000.0;
+    EXPECT_LE(bounds.lo, truth + 1e-12) << trial;
+    EXPECT_GE(bounds.hi, truth - 1e-12) << trial;
+    EXPECT_LE(bounds.lo, bounds.hi);
+  }
+}
+
+TEST(SelectivityBoundsTest, TrivialWhenScanOnly) {
+  PhiMatrix phi = RandomPhi(100, 2, -10.0, 10.0, 110);
+  auto set = PlanarIndexSet::BuildWithNormals(
+      std::move(phi), {{1.0, 1.0}}, Octant::First(2));
+  ASSERT_TRUE(set.ok());
+  const auto bounds =
+      set->EstimateSelectivity({{-1.0, -1.0}, 5.0, Comparison::kLessEqual});
+  EXPECT_EQ(bounds.lo, 0.0);
+  EXPECT_EQ(bounds.hi, 1.0);
+}
+
+}  // namespace
+}  // namespace planar

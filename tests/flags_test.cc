@@ -1,0 +1,75 @@
+// Copyright (c) 2026 The planar Authors. Licensed under the MIT license.
+
+#include "common/flags.h"
+
+#include <gtest/gtest.h>
+
+namespace planar {
+namespace {
+
+FlagParser Parse(std::vector<const char*> args) {
+  args.insert(args.begin(), "prog");
+  std::vector<char*> argv;
+  for (const char* a : args) argv.push_back(const_cast<char*>(a));
+  return FlagParser(static_cast<int>(argv.size()), argv.data());
+}
+
+TEST(FlagParserTest, EqualsSyntax) {
+  FlagParser p = Parse({"--n=100", "--name=abc"});
+  EXPECT_EQ(p.GetInt("n", 0), 100);
+  EXPECT_EQ(p.GetString("name", ""), "abc");
+}
+
+TEST(FlagParserTest, SpaceSyntax) {
+  FlagParser p = Parse({"--n", "42"});
+  EXPECT_EQ(p.GetInt("n", 0), 42);
+}
+
+TEST(FlagParserTest, DefaultsWhenAbsent) {
+  FlagParser p = Parse({});
+  EXPECT_EQ(p.GetInt("n", 7), 7);
+  EXPECT_EQ(p.GetString("s", "dflt"), "dflt");
+  EXPECT_DOUBLE_EQ(p.GetDouble("d", 1.5), 1.5);
+  EXPECT_TRUE(p.GetBool("b", true));
+  EXPECT_FALSE(p.Has("n"));
+}
+
+TEST(FlagParserTest, DoubleValues) {
+  FlagParser p = Parse({"--ratio=0.25"});
+  EXPECT_DOUBLE_EQ(p.GetDouble("ratio", 0.0), 0.25);
+}
+
+TEST(FlagParserTest, BoolValues) {
+  FlagParser p = Parse({"--a=true", "--b=1", "--c=yes", "--d=false"});
+  EXPECT_TRUE(p.GetBool("a", false));
+  EXPECT_TRUE(p.GetBool("b", false));
+  EXPECT_TRUE(p.GetBool("c", false));
+  EXPECT_FALSE(p.GetBool("d", true));
+}
+
+TEST(FlagParserTest, BareFlagIsTrue) {
+  FlagParser p = Parse({"--verbose"});
+  EXPECT_TRUE(p.GetBool("verbose", false));
+}
+
+TEST(FlagParserTest, PositionalArguments) {
+  FlagParser p = Parse({"file1", "--n=1", "file2"});
+  ASSERT_EQ(p.positional().size(), 2u);
+  EXPECT_EQ(p.positional()[0], "file1");
+  EXPECT_EQ(p.positional()[1], "file2");
+}
+
+TEST(FlagParserTest, HasDetectsPresence) {
+  FlagParser p = Parse({"--x=0"});
+  EXPECT_TRUE(p.Has("x"));
+  EXPECT_FALSE(p.Has("y"));
+}
+
+TEST(FlagParserTest, NegativeNumberAsSeparateValue) {
+  // "--t -5": "-5" does not start with "--" so it is consumed as the value.
+  FlagParser p = Parse({"--t", "-5"});
+  EXPECT_EQ(p.GetInt("t", 0), -5);
+}
+
+}  // namespace
+}  // namespace planar

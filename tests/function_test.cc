@@ -1,0 +1,91 @@
+// Copyright (c) 2026 The planar Authors. Licensed under the MIT license.
+
+#include "core/function.h"
+
+#include <gtest/gtest.h>
+
+namespace planar {
+namespace {
+
+TEST(IdentityFunctionTest, PassesThrough) {
+  IdentityFunction f(3);
+  EXPECT_EQ(f.input_dim(), 3u);
+  EXPECT_EQ(f.output_dim(), 3u);
+  EXPECT_EQ(f({1.0, -2.0, 3.5}), (std::vector<double>{1.0, -2.0, 3.5}));
+  EXPECT_EQ(f.name(), "identity");
+}
+
+TEST(PowerFactorFunctionTest, Example1Mapping) {
+  PowerFactorFunction f;
+  EXPECT_EQ(f.input_dim(), 4u);
+  EXPECT_EQ(f.output_dim(), 2u);
+  // (active, reactive, voltage, current) -> (active, voltage * current)
+  const std::vector<double> out = f({5000.0, 100.0, 240.0, 30.0});
+  EXPECT_DOUBLE_EQ(out[0], 5000.0);
+  EXPECT_DOUBLE_EQ(out[1], 240.0 * 30.0);
+}
+
+TEST(PowerFactorFunctionTest, CriticalConsumePredicate) {
+  // Example 1: active - threshold * voltage * current <= 0 is
+  // <(1, -threshold), phi(x)> <= 0.
+  PowerFactorFunction f;
+  const std::vector<double> tuple{6000.0, 0.0, 250.0, 40.0};  // pf = 0.6
+  const std::vector<double> phi = f(tuple);
+  const double threshold = 0.7;
+  const double lhs = 1.0 * phi[0] - threshold * phi[1];
+  EXPECT_LT(lhs, 0.0);  // 0.6 < 0.7 -> critical
+  const double threshold2 = 0.5;
+  EXPECT_GT(1.0 * phi[0] - threshold2 * phi[1], 0.0);
+}
+
+TEST(CallbackFunctionTest, WrapsLambda) {
+  CallbackFunction f(2, 3, "pairwise", [](const double* x, double* out) {
+    out[0] = x[0] + x[1];
+    out[1] = x[0] * x[1];
+    out[2] = x[0] - x[1];
+  });
+  EXPECT_EQ(f.input_dim(), 2u);
+  EXPECT_EQ(f.output_dim(), 3u);
+  EXPECT_EQ(f.name(), "pairwise");
+  EXPECT_EQ(f({3.0, 2.0}), (std::vector<double>{5.0, 6.0, 1.0}));
+}
+
+TEST(QuadraticFeatureFunctionTest, DefaultFeatureCount) {
+  // d=3: linear (3) + squares (3) + cross (3) = 9.
+  QuadraticFeatureFunction f(3);
+  EXPECT_EQ(f.output_dim(), 9u);
+}
+
+TEST(QuadraticFeatureFunctionTest, DefaultValues) {
+  QuadraticFeatureFunction f(2);
+  // linear: x0, x1; squares: x0^2, x1^2; cross: x0*x1.
+  EXPECT_EQ(f({2.0, 3.0}), (std::vector<double>{2.0, 3.0, 4.0, 9.0, 6.0}));
+}
+
+TEST(QuadraticFeatureFunctionTest, BiasOnly) {
+  QuadraticFeatureFunction::Options opts;
+  opts.include_bias = true;
+  opts.include_linear = false;
+  opts.include_squares = false;
+  opts.include_cross_terms = false;
+  QuadraticFeatureFunction f(4, opts);
+  EXPECT_EQ(f.output_dim(), 1u);
+  EXPECT_EQ(f({1.0, 2.0, 3.0, 4.0}), (std::vector<double>{1.0}));
+}
+
+TEST(QuadraticFeatureFunctionTest, AllGroups) {
+  QuadraticFeatureFunction::Options opts;
+  opts.include_bias = true;
+  QuadraticFeatureFunction f(2, opts);
+  EXPECT_EQ(f.output_dim(), 6u);
+  EXPECT_EQ(f({2.0, 3.0}),
+            (std::vector<double>{1.0, 2.0, 3.0, 4.0, 9.0, 6.0}));
+}
+
+TEST(PhiFunctionDeathTest, WrongInputDimAborts) {
+  IdentityFunction f(2);
+  EXPECT_DEATH((void)f({1.0}), "PLANAR_CHECK");
+}
+
+}  // namespace
+}  // namespace planar

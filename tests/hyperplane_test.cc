@@ -1,0 +1,67 @@
+// Copyright (c) 2026 The planar Authors. Licensed under the MIT license.
+
+#include "geometry/hyperplane.h"
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+namespace planar {
+namespace {
+
+TEST(HyperplaneTest, AxisIntersection) {
+  // Y1 + 2 Y2 + 5 Y3 = 10 (the paper's Example 4): intersections at
+  // 10, 5, 2.
+  Hyperplane h{{1.0, 2.0, 5.0}, 10.0};
+  EXPECT_DOUBLE_EQ(h.AxisIntersection(0), 10.0);
+  EXPECT_DOUBLE_EQ(h.AxisIntersection(1), 5.0);
+  EXPECT_DOUBLE_EQ(h.AxisIntersection(2), 2.0);
+}
+
+TEST(HyperplaneTest, EvaluateSignedResidual) {
+  Hyperplane h{{1.0, 1.0}, 2.0};
+  const double on[] = {1.0, 1.0};
+  const double above[] = {2.0, 2.0};
+  const double below[] = {0.0, 0.0};
+  EXPECT_DOUBLE_EQ(h.Evaluate(on), 0.0);
+  EXPECT_GT(h.Evaluate(above), 0.0);
+  EXPECT_LT(h.Evaluate(below), 0.0);
+}
+
+TEST(HyperplaneTest, DistanceIsEuclidean) {
+  Hyperplane h{{3.0, 4.0}, 0.0};
+  const double p[] = {3.0, 4.0};
+  EXPECT_DOUBLE_EQ(h.Distance(p), 5.0);  // |3*3+4*4| / 5 = 25/5
+  const double origin[] = {0.0, 0.0};
+  EXPECT_DOUBLE_EQ(h.Distance(origin), 0.0);
+}
+
+TEST(HyperplaneTest, DistanceWithOffset) {
+  Hyperplane h{{0.0, 1.0}, 3.0};  // the line y = 3
+  const double p[] = {100.0, 5.0};
+  EXPECT_DOUBLE_EQ(h.Distance(p), 2.0);
+}
+
+TEST(HyperplaneTest, CosAngle) {
+  Hyperplane h1{{1.0, 0.0}, 1.0};
+  Hyperplane h2{{0.0, 1.0}, 5.0};
+  Hyperplane h3{{2.0, 0.0}, 7.0};
+  EXPECT_DOUBLE_EQ(CosAngleBetween(h1, h2), 0.0);
+  EXPECT_DOUBLE_EQ(CosAngleBetween(h1, h3), 1.0);
+}
+
+TEST(HyperplaneTest, ParallelIgnoresOffsetAndScale) {
+  Hyperplane h1{{1.0, 2.0}, 0.0};
+  Hyperplane h2{{2.0, 4.0}, 99.0};
+  Hyperplane h3{{1.0, 2.1}, 0.0};
+  EXPECT_TRUE(Parallel(h1, h2));
+  EXPECT_FALSE(Parallel(h1, h3));
+}
+
+TEST(HyperplaneTest, DimMatchesNormal) {
+  Hyperplane h{{1.0, 2.0, 3.0, 4.0}, 0.0};
+  EXPECT_EQ(h.dim(), 4u);
+}
+
+}  // namespace
+}  // namespace planar

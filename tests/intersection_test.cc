@@ -1,0 +1,158 @@
+// Copyright (c) 2026 The planar Authors. Licensed under the MIT license.
+//
+// End-to-end moving-object intersection: the Planar-index finders must
+// return exactly the baseline's pairs for all three workloads, including
+// query times that fall between the indexed time instants.
+
+#include "mobility/intersection.h"
+
+#include <algorithm>
+
+#include <gtest/gtest.h>
+
+#include "common/random.h"
+
+namespace planar {
+namespace {
+
+const std::vector<double> kInstants{10.0, 11.0, 12.0, 13.0, 14.0, 15.0};
+
+TEST(GeneratorTest, LinearObjectsRespectSpec) {
+  Rng rng(1);
+  const auto objects = GenerateLinearObjects(500, 1000.0, 0.1, 1.0, false,
+                                             rng);
+  ASSERT_EQ(objects.size(), 500u);
+  for (const auto& o : objects) {
+    EXPECT_GE(o.p0.x, 0.0);
+    EXPECT_LE(o.p0.x, 1000.0);
+    EXPECT_GE(std::abs(o.u.x), 0.1);
+    EXPECT_LE(std::abs(o.u.x), 1.0);
+    EXPECT_EQ(o.p0.z, 0.0);
+    EXPECT_EQ(o.u.z, 0.0);
+  }
+}
+
+TEST(GeneratorTest, CircularObjectsRespectSpec) {
+  Rng rng(2);
+  const auto objects = GenerateCircularObjects(500, 1.0, 100.0, 1.0, 5.0,
+                                               rng);
+  const double deg = 3.14159265358979323846 / 180.0;
+  for (const auto& o : objects) {
+    EXPECT_GE(o.radius, 1.0);
+    EXPECT_LE(o.radius, 100.0);
+    EXPECT_GE(o.omega, 1.0 * deg);
+    EXPECT_LE(o.omega, 5.0 * deg);
+    EXPECT_EQ(o.center.x, 0.0);  // concentric
+  }
+}
+
+TEST(GeneratorTest, AcceleratingObjectsRespectSpec) {
+  Rng rng(3);
+  const auto objects = GenerateAcceleratingObjects(200, 1000.0, 0.1, 1.0,
+                                                   0.01, 0.05, rng);
+  for (const auto& o : objects) {
+    EXPECT_GE(std::abs(o.accel.x), 0.01);
+    EXPECT_LE(std::abs(o.accel.x), 0.05);
+    EXPECT_GE(o.p0.z, 0.0);
+    EXPECT_LE(o.p0.z, 1000.0);
+  }
+}
+
+TEST(PairIntersectionIndexTest, LinearMatchesBaseline) {
+  Rng rng(4);
+  // Dense space so intersections actually occur.
+  const auto a = GenerateLinearObjects(60, 100.0, 0.1, 1.0, false, rng);
+  const auto b = GenerateLinearObjects(70, 100.0, 0.1, 1.0, false, rng);
+  auto index = PairIntersectionIndex::BuildLinear(a, b, kInstants);
+  ASSERT_TRUE(index.ok()) << index.status().ToString();
+  EXPECT_EQ(index->set().size(), 60u * 70u);
+  for (double t : {10.0, 11.5, 13.0, 15.0}) {
+    QueryStats stats;
+    auto got = index->Query(t, 10.0, &stats);
+    auto want = BaselineIntersect(a, b, t, 10.0);
+    std::sort(got.begin(), got.end());
+    std::sort(want.begin(), want.end());
+    EXPECT_EQ(got, want) << "t=" << t;
+    EXPECT_FALSE(want.empty());  // the workload produced intersections
+    EXPECT_GE(stats.index_used, 0);
+  }
+}
+
+TEST(PairIntersectionIndexTest, ExactInstantHasEmptyIntermediate) {
+  Rng rng(5);
+  const auto a = GenerateLinearObjects(40, 100.0, 0.1, 1.0, false, rng);
+  const auto b = GenerateLinearObjects(40, 100.0, 0.1, 1.0, false, rng);
+  auto index = PairIntersectionIndex::BuildLinear(a, b, kInstants);
+  ASSERT_TRUE(index.ok());
+  QueryStats stats;
+  (void)index->Query(12.0, 10.0, &stats);  // t = indexed instant
+  EXPECT_EQ(stats.verified, 0u);           // parallel index -> |II| = 0
+  QueryStats between;
+  (void)index->Query(12.5, 10.0, &between);
+  EXPECT_GT(between.verified, 0u);
+}
+
+TEST(PairIntersectionIndexTest, AcceleratingMatchesBaseline) {
+  Rng rng(6);
+  const auto a = GenerateAcceleratingObjects(50, 150.0, 0.1, 1.0, 0.01,
+                                             0.05, rng);
+  const auto b = GenerateLinearObjects(60, 150.0, 0.1, 1.0, true, rng);
+  auto index = PairIntersectionIndex::BuildAccelerating(a, b, kInstants);
+  ASSERT_TRUE(index.ok()) << index.status().ToString();
+  for (double t : {10.0, 12.3, 15.0}) {
+    auto got = index->Query(t, 25.0);
+    auto want = BaselineIntersect(a, b, t, 25.0);
+    std::sort(got.begin(), got.end());
+    std::sort(want.begin(), want.end());
+    EXPECT_EQ(got, want) << "t=" << t;
+  }
+}
+
+TEST(CircularIntersectionIndexTest, MatchesBaseline) {
+  Rng rng(7);
+  const auto circulars = GenerateCircularObjects(40, 1.0, 100.0, 1.0, 5.0,
+                                                 rng);
+  const auto linears = GenerateLinearObjects(300, 100.0, 0.1, 1.0, false,
+                                             rng);
+  // Recenter linears around the origin (the circles are concentric there).
+  std::vector<LinearObject> centered = linears;
+  for (auto& o : centered) {
+    o.p0.x -= 50.0;
+    o.p0.y -= 50.0;
+  }
+  auto index = CircularIntersectionIndex::Build(centered, kInstants);
+  ASSERT_TRUE(index.ok()) << index.status().ToString();
+  for (double t : {10.0, 12.7, 15.0}) {
+    QueryStats stats;
+    auto got = index->Query(circulars, t, 10.0, &stats);
+    auto want = BaselineIntersect(circulars, centered, t, 10.0);
+    std::sort(got.begin(), got.end());
+    std::sort(want.begin(), want.end());
+    EXPECT_EQ(got, want) << "t=" << t;
+    EXPECT_FALSE(want.empty());
+    // The finder must prune: strictly fewer verifications than the
+    // baseline's |circulars| * |linears| distance computations.
+    EXPECT_LT(stats.verified,
+              circulars.size() * centered.size());
+  }
+}
+
+TEST(PairIntersectionIndexTest, RejectsEmptyInput) {
+  Rng rng(8);
+  const auto a = GenerateLinearObjects(5, 100.0, 0.1, 1.0, false, rng);
+  EXPECT_FALSE(PairIntersectionIndex::BuildLinear(a, {}, kInstants).ok());
+  EXPECT_FALSE(PairIntersectionIndex::BuildLinear(a, a, {}).ok());
+}
+
+TEST(BaselineIntersectTest, SymmetricSmallCase) {
+  std::vector<LinearObject> a{{{0.0, 0.0, 0.0}, {1.0, 0.0, 0.0}}};
+  std::vector<LinearObject> b{{{10.0, 0.0, 0.0}, {0.0, 0.0, 0.0}},
+                              {{100.0, 0.0, 0.0}, {0.0, 0.0, 0.0}}};
+  // At t=8, object a0 is at x=8: within 3 of b0 (x=10), far from b1.
+  const auto pairs = BaselineIntersect(a, b, 8.0, 3.0);
+  ASSERT_EQ(pairs.size(), 1u);
+  EXPECT_EQ(pairs[0], (IdPair{0, 0}));
+}
+
+}  // namespace
+}  // namespace planar

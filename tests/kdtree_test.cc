@@ -1,0 +1,109 @@
+// Copyright (c) 2026 The planar Authors. Licensed under the MIT license.
+
+#include "spatial/kdtree.h"
+
+#include <algorithm>
+
+#include <gtest/gtest.h>
+
+#include "common/random.h"
+#include "geometry/vec.h"
+#include "tests/test_util.h"
+
+namespace planar {
+namespace {
+
+TEST(KdTreeTest, EmptyTree) {
+  RowMatrix points(2);
+  KdTree tree(&points);
+  std::vector<uint32_t> out;
+  tree.HalfSpaceQuery({{1.0, 1.0}, 0.0, Comparison::kLessEqual}, &out);
+  EXPECT_TRUE(out.empty());
+  const double center[2] = {0.0, 0.0};
+  tree.BallQuery(center, 1.0, &out);
+  EXPECT_TRUE(out.empty());
+}
+
+TEST(KdTreeTest, SinglePoint) {
+  RowMatrix points = RowMatrix::FromRowMajor(2, {3.0, 4.0});
+  KdTree tree(&points);
+  std::vector<uint32_t> out;
+  tree.HalfSpaceQuery({{1.0, 1.0}, 7.0, Comparison::kLessEqual}, &out);
+  EXPECT_EQ(out, (std::vector<uint32_t>{0}));
+  out.clear();
+  tree.HalfSpaceQuery({{1.0, 1.0}, 6.9, Comparison::kLessEqual}, &out);
+  EXPECT_TRUE(out.empty());
+}
+
+TEST(KdTreeTest, HalfSpaceMatchesBruteForce) {
+  Rng rng(1);
+  for (size_t dim : {1u, 2u, 4u, 8u}) {
+    PhiMatrix points = RandomPhi(3000, dim, -50.0, 50.0, dim * 7 + 1);
+    KdTree tree(&points);
+    for (int trial = 0; trial < 15; ++trial) {
+      ScalarProductQuery q;
+      q.a.resize(dim);
+      for (double& a : q.a) a = rng.Uniform(-3.0, 3.0);
+      q.b = rng.Uniform(-100.0, 100.0);
+      q.cmp = trial % 2 == 0 ? Comparison::kLessEqual
+                             : Comparison::kGreaterEqual;
+      std::vector<uint32_t> out;
+      tree.HalfSpaceQuery(q, &out);
+      EXPECT_EQ(Sorted(out), BruteForceMatches(points, q))
+          << "dim=" << dim << " trial " << trial;
+    }
+  }
+}
+
+TEST(KdTreeTest, BallMatchesBruteForce) {
+  Rng rng(2);
+  PhiMatrix points = RandomPhi(3000, 3, 0.0, 100.0, 11);
+  KdTree tree(&points);
+  for (int trial = 0; trial < 15; ++trial) {
+    const std::vector<double> center{rng.Uniform(0, 100),
+                                     rng.Uniform(0, 100),
+                                     rng.Uniform(0, 100)};
+    const double radius = rng.Uniform(2.0, 40.0);
+    std::vector<uint32_t> out;
+    tree.BallQuery(center.data(), radius, &out);
+    std::vector<uint32_t> want;
+    for (size_t i = 0; i < points.size(); ++i) {
+      if (SquaredDistance(points.row(i), center.data(), 3) <=
+          radius * radius) {
+        want.push_back(static_cast<uint32_t>(i));
+      }
+    }
+    EXPECT_EQ(Sorted(out), want) << trial;
+  }
+}
+
+TEST(KdTreeTest, DuplicatePointsDoNotRecurseForever) {
+  PhiMatrix points(2);
+  for (int i = 0; i < 500; ++i) points.AppendRow({7.0, 7.0});
+  KdTree tree(&points, /*leaf_size=*/8);
+  std::vector<uint32_t> out;
+  tree.HalfSpaceQuery({{1.0, 0.0}, 7.0, Comparison::kLessEqual}, &out);
+  EXPECT_EQ(out.size(), 500u);
+}
+
+TEST(KdTreeTest, WholeSubtreeAcceptance) {
+  // A query accepting everything must report without verification
+  // (observable via exact results on a big tree).
+  PhiMatrix points = RandomPhi(10000, 2, 0.0, 10.0, 13);
+  KdTree tree(&points);
+  std::vector<uint32_t> out;
+  tree.HalfSpaceQuery({{1.0, 1.0}, 1000.0, Comparison::kLessEqual}, &out);
+  EXPECT_EQ(out.size(), 10000u);
+}
+
+TEST(KdTreeTest, NodeCountAndMemory) {
+  PhiMatrix points = RandomPhi(4096, 2, 0.0, 1.0, 17);
+  KdTree tree(&points, 32);
+  EXPECT_GE(tree.node_count(), 4096u / 32);
+  EXPECT_EQ(tree.size(), 4096u);
+  EXPECT_EQ(tree.dim(), 2u);
+  EXPECT_GT(tree.MemoryUsage(), 4096 * sizeof(uint32_t));
+}
+
+}  // namespace
+}  // namespace planar

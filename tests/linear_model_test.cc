@@ -1,0 +1,76 @@
+// Copyright (c) 2026 The planar Authors. Licensed under the MIT license.
+
+#include "learn/linear_model.h"
+
+#include <gtest/gtest.h>
+
+namespace planar {
+namespace {
+
+TEST(LinearClassifierTest, PredictSign) {
+  LinearClassifier c({1.0, -1.0}, 0.5);
+  const double pos[] = {2.0, 0.0};   // margin 1.5
+  const double neg[] = {0.0, 2.0};   // margin -2.5
+  const double edge[] = {0.5, 0.0};  // margin 0 -> +1
+  EXPECT_EQ(c.Predict(pos), 1);
+  EXPECT_EQ(c.Predict(neg), -1);
+  EXPECT_EQ(c.Predict(edge), 1);
+}
+
+TEST(LinearClassifierTest, Margin) {
+  LinearClassifier c({2.0, 1.0}, 3.0);
+  const double x[] = {1.0, 2.0};
+  EXPECT_DOUBLE_EQ(c.Margin(x), 1.0);
+}
+
+TEST(LinearClassifierTest, PerceptronNoUpdateWhenCorrect) {
+  LinearClassifier c({1.0}, 0.0);
+  const double x[] = {1.0};
+  EXPECT_FALSE(c.PerceptronStep(x, +1));
+  EXPECT_EQ(c.weights()[0], 1.0);
+}
+
+TEST(LinearClassifierTest, PerceptronUpdatesOnMistake) {
+  LinearClassifier c({1.0}, 0.0);
+  const double x[] = {2.0};
+  EXPECT_TRUE(c.PerceptronStep(x, -1, 0.5));
+  // w -= 0.5 * 2 = 1 -> 0; b += 0.5.
+  EXPECT_DOUBLE_EQ(c.weights()[0], 0.0);
+  EXPECT_DOUBLE_EQ(c.offset(), 0.5);
+}
+
+TEST(LinearClassifierTest, PerceptronConvergesOnSeparableData) {
+  // 1D data: label = sign(x - 5).
+  LinearClassifier c({0.1}, 0.0);
+  RowMatrix data(1);
+  std::vector<int> labels;
+  for (int i = 0; i < 20; ++i) {
+    data.AppendRow({static_cast<double>(i)});
+    labels.push_back(i >= 5 ? 1 : -1);
+  }
+  for (int epoch = 0; epoch < 200; ++epoch) {
+    for (size_t i = 0; i < data.size(); ++i) {
+      c.PerceptronStep(data.row(i), labels[i], 0.1);
+    }
+  }
+  EXPECT_GT(c.Accuracy(data, labels), 0.95);
+}
+
+TEST(LinearClassifierTest, SideQueries) {
+  LinearClassifier c({1.0, 2.0}, 5.0);
+  const ScalarProductQuery neg = c.SideQuery(false);
+  EXPECT_EQ(neg.cmp, Comparison::kLessEqual);
+  EXPECT_EQ(neg.a, c.weights());
+  EXPECT_DOUBLE_EQ(neg.b, 5.0);
+  const ScalarProductQuery pos = c.SideQuery(true);
+  EXPECT_EQ(pos.cmp, Comparison::kGreaterEqual);
+}
+
+TEST(LinearClassifierDeathTest, BadLabelAborts) {
+  LinearClassifier c({1.0}, 0.0);
+  const double x[] = {1.0};
+  EXPECT_DEATH(c.PerceptronStep(x, 0), "PLANAR_CHECK");
+}
+
+}  // namespace
+}  // namespace planar

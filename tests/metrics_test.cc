@@ -1,0 +1,90 @@
+// Copyright (c) 2026 The planar Authors. Licensed under the MIT license.
+
+#include "learn/metrics.h"
+
+#include <gtest/gtest.h>
+
+namespace planar {
+namespace {
+
+TEST(ConfusionMatrixTest, CountsRouteCorrectly) {
+  ConfusionMatrix m;
+  m.Add(+1, +1);  // TP
+  m.Add(+1, -1);  // FP
+  m.Add(-1, +1);  // FN
+  m.Add(-1, -1);  // TN
+  EXPECT_EQ(m.true_positives, 1u);
+  EXPECT_EQ(m.false_positives, 1u);
+  EXPECT_EQ(m.false_negatives, 1u);
+  EXPECT_EQ(m.true_negatives, 1u);
+  EXPECT_EQ(m.total(), 4u);
+  EXPECT_DOUBLE_EQ(m.Accuracy(), 0.5);
+  EXPECT_DOUBLE_EQ(m.Precision(), 0.5);
+  EXPECT_DOUBLE_EQ(m.Recall(), 0.5);
+  EXPECT_DOUBLE_EQ(m.F1(), 0.5);
+}
+
+TEST(ConfusionMatrixTest, EmptyIsZero) {
+  ConfusionMatrix m;
+  EXPECT_DOUBLE_EQ(m.Accuracy(), 0.0);
+  EXPECT_DOUBLE_EQ(m.Precision(), 0.0);
+  EXPECT_DOUBLE_EQ(m.Recall(), 0.0);
+  EXPECT_DOUBLE_EQ(m.F1(), 0.0);
+}
+
+TEST(ConfusionMatrixTest, PerfectClassifier) {
+  ConfusionMatrix m;
+  for (int i = 0; i < 10; ++i) m.Add(+1, +1);
+  for (int i = 0; i < 20; ++i) m.Add(-1, -1);
+  EXPECT_DOUBLE_EQ(m.Accuracy(), 1.0);
+  EXPECT_DOUBLE_EQ(m.Precision(), 1.0);
+  EXPECT_DOUBLE_EQ(m.Recall(), 1.0);
+  EXPECT_DOUBLE_EQ(m.F1(), 1.0);
+}
+
+TEST(ConfusionMatrixTest, PrecisionRecallDiverge) {
+  ConfusionMatrix m;
+  // Always predicts positive: recall 1, precision = positive rate.
+  for (int i = 0; i < 3; ++i) m.Add(+1, +1);
+  for (int i = 0; i < 7; ++i) m.Add(+1, -1);
+  EXPECT_DOUBLE_EQ(m.Recall(), 1.0);
+  EXPECT_DOUBLE_EQ(m.Precision(), 0.3);
+  EXPECT_NEAR(m.F1(), 2 * 0.3 / 1.3, 1e-12);
+}
+
+TEST(ConfusionMatrixTest, ToStringFormat) {
+  ConfusionMatrix m;
+  m.Add(+1, +1);
+  const std::string s = m.ToString();
+  EXPECT_NE(s.find("acc="), std::string::npos);
+  EXPECT_NE(s.find("f1="), std::string::npos);
+  EXPECT_NE(s.find("n=1"), std::string::npos);
+}
+
+TEST(ConfusionMatrixDeathTest, BadLabelAborts) {
+  ConfusionMatrix m;
+  EXPECT_DEATH(m.Add(0, 1), "PLANAR_CHECK");
+  EXPECT_DEATH(m.Add(1, 2), "PLANAR_CHECK");
+}
+
+TEST(EvaluateClassifierTest, MatchesManualEvaluation) {
+  LinearClassifier model({1.0}, 0.5);  // sign(x - 0.5)
+  RowMatrix rows(1);
+  std::vector<int> labels;
+  rows.AppendRow({1.0});
+  labels.push_back(+1);  // TP
+  rows.AppendRow({0.0});
+  labels.push_back(-1);  // TN
+  rows.AppendRow({1.0});
+  labels.push_back(-1);  // FP
+  rows.AppendRow({0.0});
+  labels.push_back(+1);  // FN
+  const ConfusionMatrix m = EvaluateClassifier(model, rows, labels);
+  EXPECT_EQ(m.true_positives, 1u);
+  EXPECT_EQ(m.true_negatives, 1u);
+  EXPECT_EQ(m.false_positives, 1u);
+  EXPECT_EQ(m.false_negatives, 1u);
+}
+
+}  // namespace
+}  // namespace planar

@@ -1,0 +1,80 @@
+// Copyright (c) 2026 The planar Authors. Licensed under the MIT license.
+
+#include "mobility/motion.h"
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+namespace planar {
+namespace {
+
+TEST(LinearObjectTest, PositionAtTime) {
+  LinearObject o{{1.0, 2.0, 3.0}, {0.5, -1.0, 0.0}};
+  const Position3 p = o.At(4.0);
+  EXPECT_DOUBLE_EQ(p.x, 3.0);
+  EXPECT_DOUBLE_EQ(p.y, -2.0);
+  EXPECT_DOUBLE_EQ(p.z, 3.0);
+}
+
+TEST(LinearObjectTest, AtZeroIsInitial) {
+  LinearObject o{{7.0, 8.0, 9.0}, {1.0, 1.0, 1.0}};
+  const Position3 p = o.At(0.0);
+  EXPECT_DOUBLE_EQ(p.x, 7.0);
+  EXPECT_DOUBLE_EQ(p.y, 8.0);
+}
+
+TEST(CircularObjectTest, StartsAtPhase) {
+  CircularObject o{{0.0, 0.0, 0.0}, 2.0, 0.1, 0.0};
+  const Position3 p = o.At(0.0);
+  EXPECT_DOUBLE_EQ(p.x, 2.0);
+  EXPECT_DOUBLE_EQ(p.y, 0.0);
+}
+
+TEST(CircularObjectTest, QuarterTurn) {
+  const double kPi = 3.14159265358979323846;
+  CircularObject o{{1.0, 1.0, 0.0}, 3.0, kPi / 2.0, 0.0};  // quarter turn / min
+  const Position3 p = o.At(1.0);
+  EXPECT_NEAR(p.x, 1.0, 1e-12);
+  EXPECT_NEAR(p.y, 4.0, 1e-12);
+}
+
+TEST(CircularObjectTest, StaysOnCircle) {
+  CircularObject o{{5.0, -2.0, 0.0}, 7.0, 0.3, 1.1};
+  for (double t : {0.0, 1.0, 5.0, 13.7}) {
+    const Position3 p = o.At(t);
+    const double dx = p.x - 5.0;
+    const double dy = p.y + 2.0;
+    EXPECT_NEAR(std::sqrt(dx * dx + dy * dy), 7.0, 1e-9) << t;
+  }
+}
+
+TEST(AcceleratingObjectTest, KinematicEquation) {
+  AcceleratingObject o{{0.0, 0.0, 0.0}, {2.0, 0.0, -1.0}, {1.0, -2.0, 0.0}};
+  const Position3 p = o.At(3.0);
+  EXPECT_DOUBLE_EQ(p.x, 2.0 * 3.0 + 0.5 * 1.0 * 9.0);    // 10.5
+  EXPECT_DOUBLE_EQ(p.y, 0.5 * -2.0 * 9.0);               // -9
+  EXPECT_DOUBLE_EQ(p.z, -3.0);
+}
+
+TEST(AcceleratingObjectTest, ZeroAccelerationIsLinear) {
+  AcceleratingObject a{{1.0, 2.0, 3.0}, {1.0, 1.0, 1.0}, {0.0, 0.0, 0.0}};
+  LinearObject l{{1.0, 2.0, 3.0}, {1.0, 1.0, 1.0}};
+  for (double t : {0.0, 2.5, 10.0}) {
+    EXPECT_DOUBLE_EQ(a.At(t).x, l.At(t).x);
+    EXPECT_DOUBLE_EQ(a.At(t).y, l.At(t).y);
+    EXPECT_DOUBLE_EQ(a.At(t).z, l.At(t).z);
+  }
+}
+
+TEST(SquaredDistanceTest, Basic) {
+  EXPECT_DOUBLE_EQ(
+      SquaredDistanceBetween({0, 0, 0}, {3.0, 4.0, 0.0}), 25.0);
+  EXPECT_DOUBLE_EQ(
+      SquaredDistanceBetween({1, 1, 1}, {1, 1, 1}), 0.0);
+  EXPECT_DOUBLE_EQ(
+      SquaredDistanceBetween({0, 0, 0}, {1.0, 2.0, 2.0}), 9.0);
+}
+
+}  // namespace
+}  // namespace planar

@@ -1,0 +1,101 @@
+// Copyright (c) 2026 The planar Authors. Licensed under the MIT license.
+
+#include "mobility/movies.h"
+
+#include <algorithm>
+
+#include <gtest/gtest.h>
+
+#include "common/random.h"
+#include "core/scan.h"
+#include "mobility/intersection.h"
+#include "mobility/pair_features.h"
+#include "tests/test_util.h"
+
+namespace planar {
+namespace {
+
+PhiMatrix LinearPairPhi(const std::vector<LinearObject>& a,
+                        const std::vector<LinearObject>& b) {
+  PhiMatrix phi(LinearPairWorkload::kFeatureDim);
+  double row[LinearPairWorkload::kFeatureDim];
+  for (const auto& oa : a) {
+    for (const auto& ob : b) {
+      LinearPairWorkload::PairFeatures(oa, ob, row);
+      phi.AppendRow(row);
+    }
+  }
+  return phi;
+}
+
+TEST(TimeInstantIndexManagerTest, BuildValidation) {
+  Rng rng(1);
+  const auto a = GenerateLinearObjects(10, 100.0, 0.1, 1.0, false, rng);
+  const auto b = GenerateLinearObjects(10, 100.0, 0.1, 1.0, false, rng);
+  // Empty instants.
+  EXPECT_FALSE(TimeInstantIndexManager::Build(
+                   LinearPairPhi(a, b), {}, LinearPairWorkload::IndexNormalAt)
+                   .ok());
+  // Non-ascending instants.
+  EXPECT_FALSE(TimeInstantIndexManager::Build(
+                   LinearPairPhi(a, b), {10.0, 10.0},
+                   LinearPairWorkload::IndexNormalAt)
+                   .ok());
+  // Normal dimensionality mismatch.
+  EXPECT_FALSE(TimeInstantIndexManager::Build(
+                   LinearPairPhi(a, b), {10.0},
+                   [](double) { return std::vector<double>{1.0}; })
+                   .ok());
+}
+
+TEST(TimeInstantIndexManagerTest, QueriesAreExactAcrossWindow) {
+  Rng rng(2);
+  const auto a = GenerateLinearObjects(30, 100.0, 0.1, 1.0, false, rng);
+  const auto b = GenerateLinearObjects(30, 100.0, 0.1, 1.0, false, rng);
+  PhiMatrix phi = LinearPairPhi(a, b);
+  PhiMatrix reference = LinearPairPhi(a, b);
+  auto manager = TimeInstantIndexManager::Build(
+      std::move(phi), {10.0, 11.0, 12.0}, LinearPairWorkload::IndexNormalAt);
+  ASSERT_TRUE(manager.ok()) << manager.status().ToString();
+  for (double t : {10.0, 10.5, 12.0}) {
+    const ScalarProductQuery q = LinearPairWorkload::QueryAt(t, 10.0);
+    const InequalityResult got = manager->Query(q);
+    EXPECT_EQ(Sorted(got.ids), BruteForceMatches(reference, q)) << t;
+  }
+}
+
+TEST(TimeInstantIndexManagerTest, AdvanceSlidesWindow) {
+  Rng rng(3);
+  const auto a = GenerateLinearObjects(20, 100.0, 0.1, 1.0, false, rng);
+  const auto b = GenerateLinearObjects(20, 100.0, 0.1, 1.0, false, rng);
+  PhiMatrix reference = LinearPairPhi(a, b);
+  auto manager = TimeInstantIndexManager::Build(
+      LinearPairPhi(a, b), {10.0, 11.0, 12.0},
+      LinearPairWorkload::IndexNormalAt);
+  ASSERT_TRUE(manager.ok());
+  ASSERT_TRUE(manager->Advance(13.0).ok());
+  EXPECT_EQ(manager->instants(), (std::vector<double>{11.0, 12.0, 13.0}));
+  EXPECT_EQ(manager->set().num_indices(), 3u);
+  // Window still answers exactly, including the new instant.
+  const ScalarProductQuery q = LinearPairWorkload::QueryAt(13.0, 10.0);
+  EXPECT_EQ(Sorted(manager->Query(q).ids), BruteForceMatches(reference, q));
+  // Advancing backwards is rejected.
+  EXPECT_FALSE(manager->Advance(12.5).ok());
+}
+
+TEST(TimeInstantIndexManagerTest, ExactInstantUsesParallelIndex) {
+  Rng rng(4);
+  const auto a = GenerateLinearObjects(25, 100.0, 0.1, 1.0, false, rng);
+  const auto b = GenerateLinearObjects(25, 100.0, 0.1, 1.0, false, rng);
+  auto manager = TimeInstantIndexManager::Build(
+      LinearPairPhi(a, b), {10.0, 11.0, 12.0},
+      LinearPairWorkload::IndexNormalAt);
+  ASSERT_TRUE(manager.ok());
+  const InequalityResult r =
+      manager->Query(LinearPairWorkload::QueryAt(11.0, 10.0));
+  EXPECT_EQ(r.stats.index_used, 1);  // the t=11 index
+  EXPECT_EQ(r.stats.verified, 0u);   // exactly parallel
+}
+
+}  // namespace
+}  // namespace planar

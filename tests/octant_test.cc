@@ -1,0 +1,57 @@
+// Copyright (c) 2026 The planar Authors. Licensed under the MIT license.
+
+#include "geometry/octant.h"
+
+#include <gtest/gtest.h>
+
+namespace planar {
+namespace {
+
+TEST(OctantTest, FirstOctantAllPositive) {
+  const Octant o = Octant::First(3);
+  EXPECT_EQ(o.dim(), 3u);
+  EXPECT_TRUE(o.IsFirst());
+  for (size_t i = 0; i < 3; ++i) EXPECT_EQ(o.sign(i), 1.0);
+  EXPECT_EQ(o.Id(), 0u);
+}
+
+TEST(OctantTest, FromNormalSigns) {
+  const Octant o = Octant::FromNormal({1.5, -2.0, 3.0, -0.1});
+  EXPECT_EQ(o.sign(0), 1.0);
+  EXPECT_EQ(o.sign(1), -1.0);
+  EXPECT_EQ(o.sign(2), 1.0);
+  EXPECT_EQ(o.sign(3), -1.0);
+  EXPECT_FALSE(o.IsFirst());
+}
+
+TEST(OctantTest, ZeroMapsToPositive) {
+  const Octant o = Octant::FromNormal({0.0, -1.0});
+  EXPECT_EQ(o.sign(0), 1.0);
+  EXPECT_EQ(o.sign(1), -1.0);
+}
+
+TEST(OctantTest, IdBitPattern) {
+  // Bit i set iff axis i negative.
+  EXPECT_EQ(Octant::FromNormal({-1.0, 1.0, -1.0}).Id(), 0b101u);
+  EXPECT_EQ(Octant::FromNormal({1.0, -1.0}).Id(), 0b10u);
+}
+
+TEST(OctantTest, Equality) {
+  EXPECT_EQ(Octant::FromNormal({1.0, -1.0}), Octant::FromNormal({5.0, -9.0}));
+  EXPECT_FALSE(Octant::FromNormal({1.0, -1.0}) ==
+               Octant::FromNormal({1.0, 1.0}));
+}
+
+TEST(OctantTest, ToString) {
+  EXPECT_EQ(Octant::FromNormal({1.0, -1.0, 1.0}).ToString(), "(+,-,+)");
+  EXPECT_EQ(Octant::First(1).ToString(), "(+)");
+}
+
+TEST(OctantTest, DefaultIsZeroDimensional) {
+  Octant o;
+  EXPECT_EQ(o.dim(), 0u);
+  EXPECT_TRUE(o.IsFirst());
+}
+
+}  // namespace
+}  // namespace planar

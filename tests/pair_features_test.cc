@@ -1,0 +1,146 @@
+// Copyright (c) 2026 The planar Authors. Licensed under the MIT license.
+//
+// The defining property of every workload factorization: the scalar
+// product <a(t), phi(objects)> must equal the true squared distance
+// between the two objects at time t, for arbitrary objects and times.
+
+#include "mobility/pair_features.h"
+
+#include <cmath>
+#include <set>
+
+#include <gtest/gtest.h>
+
+#include "common/random.h"
+#include "geometry/vec.h"
+#include "mobility/motion.h"
+
+namespace planar {
+namespace {
+
+double Residual(const ScalarProductQuery& q, const double* phi) {
+  return Dot(q.a.data(), phi, q.a.size()) - q.b;
+}
+
+TEST(LinearPairWorkloadTest, ScalarProductEqualsSquaredDistance) {
+  Rng rng(1);
+  for (int trial = 0; trial < 200; ++trial) {
+    LinearObject a{{rng.Uniform(-50, 50), rng.Uniform(-50, 50), 0},
+                   {rng.Uniform(-1, 1), rng.Uniform(-1, 1), 0}};
+    LinearObject b{{rng.Uniform(-50, 50), rng.Uniform(-50, 50), 0},
+                   {rng.Uniform(-1, 1), rng.Uniform(-1, 1), 0}};
+    double phi[LinearPairWorkload::kFeatureDim];
+    LinearPairWorkload::PairFeatures(a, b, phi);
+    const double t = rng.Uniform(0.0, 20.0);
+    const ScalarProductQuery q = LinearPairWorkload::QueryAt(t, 0.0);
+    const double expected =
+        SquaredDistanceBetween(a.At(t), b.At(t));
+    EXPECT_NEAR(Residual(q, phi), expected, 1e-6 * (1.0 + expected));
+  }
+}
+
+TEST(LinearPairWorkloadTest, QueryThresholdIsSquared) {
+  const ScalarProductQuery q = LinearPairWorkload::QueryAt(2.0, 10.0);
+  EXPECT_DOUBLE_EQ(q.b, 100.0);
+  EXPECT_EQ(q.a, (std::vector<double>{1.0, 2.0, 4.0}));
+  EXPECT_EQ(q.cmp, Comparison::kLessEqual);
+}
+
+TEST(LinearPairWorkloadTest, IndexNormalParallelToQuery) {
+  const auto normal = LinearPairWorkload::IndexNormalAt(12.0);
+  const ScalarProductQuery q = LinearPairWorkload::QueryAt(12.0, 5.0);
+  EXPECT_TRUE(AreParallel(normal, q.a));
+  for (double c : normal) EXPECT_GT(c, 0.0);
+}
+
+TEST(AcceleratingPairWorkloadTest, ScalarProductEqualsSquaredDistance) {
+  Rng rng(2);
+  for (int trial = 0; trial < 200; ++trial) {
+    AcceleratingObject a{
+        {rng.Uniform(-50, 50), rng.Uniform(-50, 50), rng.Uniform(-50, 50)},
+        {rng.Uniform(-1, 1), rng.Uniform(-1, 1), rng.Uniform(-1, 1)},
+        {rng.Uniform(-0.05, 0.05), rng.Uniform(-0.05, 0.05),
+         rng.Uniform(-0.05, 0.05)}};
+    LinearObject b{
+        {rng.Uniform(-50, 50), rng.Uniform(-50, 50), rng.Uniform(-50, 50)},
+        {rng.Uniform(-1, 1), rng.Uniform(-1, 1), rng.Uniform(-1, 1)}};
+    double phi[AcceleratingPairWorkload::kFeatureDim];
+    AcceleratingPairWorkload::PairFeatures(a, b, phi);
+    const double t = rng.Uniform(0.0, 15.0);
+    const ScalarProductQuery q = AcceleratingPairWorkload::QueryAt(t, 0.0);
+    const double expected = SquaredDistanceBetween(a.At(t), b.At(t));
+    EXPECT_NEAR(Residual(q, phi), expected, 1e-6 * (1.0 + expected))
+        << "t=" << t;
+  }
+}
+
+TEST(AcceleratingPairWorkloadTest, DegreeFourParameters) {
+  const ScalarProductQuery q = AcceleratingPairWorkload::QueryAt(3.0, 1.0);
+  EXPECT_EQ(q.a, (std::vector<double>{1.0, 3.0, 9.0, 27.0, 81.0}));
+}
+
+TEST(CircularLinearWorkloadTest, ScalarProductEqualsSquaredDistance) {
+  Rng rng(3);
+  for (int trial = 0; trial < 200; ++trial) {
+    CircularObject a{{0.0, 0.0, 0.0},
+                     rng.Uniform(1.0, 100.0),
+                     rng.Uniform(0.01, 0.1),
+                     rng.Uniform(0.0, 6.28)};
+    LinearObject b{{rng.Uniform(-100, 100), rng.Uniform(-100, 100), 0},
+                   {rng.Uniform(-1, 1), rng.Uniform(-1, 1), 0}};
+    double phi[CircularLinearWorkload::kFeatureDim];
+    CircularLinearWorkload::LinearFeatures(b, phi);
+    const double t = rng.Uniform(0.0, 20.0);
+    const ScalarProductQuery q =
+        CircularLinearWorkload::QueryFor(a, t, 0.0);
+    const double expected = SquaredDistanceBetween(a.At(t), b.At(t));
+    EXPECT_NEAR(Residual(q, phi), expected, 1e-6 * (1.0 + expected));
+  }
+}
+
+TEST(CircularLinearWorkloadTest, OffCenterCircleAlsoExact) {
+  Rng rng(4);
+  CircularObject a{{10.0, -20.0, 0.0}, 5.0, 0.05, 0.7};
+  LinearObject b{{3.0, 4.0, 0.0}, {0.5, -0.5, 0.0}};
+  double phi[CircularLinearWorkload::kFeatureDim];
+  CircularLinearWorkload::LinearFeatures(b, phi);
+  for (double t : {0.0, 5.0, 12.5}) {
+    const ScalarProductQuery q = CircularLinearWorkload::QueryFor(a, t, 0.0);
+    const double expected = SquaredDistanceBetween(a.At(t), b.At(t));
+    EXPECT_NEAR(Residual(q, phi), expected, 1e-9 * (1.0 + expected));
+  }
+}
+
+TEST(CircularLinearWorkloadTest, IndexTemplatesCoverAllSignPatterns) {
+  const auto templates = CircularLinearWorkload::IndexTemplates(10.0, 50.0);
+  ASSERT_EQ(templates.size(), 16u);  // 2 radii x 8 angles
+  // Every template normal is strictly positive in mirrored space.
+  std::set<uint64_t> octant_ids;
+  for (const auto& [normal, octant] : templates) {
+    for (double c : normal) EXPECT_GT(c, 0.0);
+    octant_ids.insert(octant.Id());
+  }
+  // All four trigonometric sign patterns are represented.
+  EXPECT_EQ(octant_ids.size(), 4u);
+  // Each query octant at t=10 is covered by some template.
+  Rng rng(5);
+  for (int trial = 0; trial < 50; ++trial) {
+    CircularObject a{{0.0, 0.0, 0.0}, rng.Uniform(1.0, 100.0),
+                     rng.Uniform(0.01, 0.1), rng.Uniform(0.0, 6.28)};
+    const NormalizedQuery q = NormalizedQuery::From(
+        CircularLinearWorkload::QueryFor(a, 10.0, 10.0));
+    bool covered = false;
+    for (const auto& [normal, octant] : templates) {
+      bool compatible = true;
+      for (size_t i = 0; i < q.a.size(); ++i) {
+        if (q.a[i] > 0.0 && octant.sign(i) < 0.0) compatible = false;
+        if (q.a[i] < 0.0 && octant.sign(i) > 0.0) compatible = false;
+      }
+      covered |= compatible;
+    }
+    EXPECT_TRUE(covered) << trial;
+  }
+}
+
+}  // namespace
+}  // namespace planar

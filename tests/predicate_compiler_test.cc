@@ -1,0 +1,203 @@
+// Copyright (c) 2026 The planar Authors. Licensed under the MIT license.
+
+#include "sql/predicate_compiler.h"
+
+#include <gtest/gtest.h>
+
+#include "common/random.h"
+#include "core/scan.h"
+#include "tests/test_util.h"
+
+namespace planar {
+namespace {
+
+const SqlSchema kConsumption{
+    {"active_power", "reactive_power", "voltage", "current"}};
+
+TEST(SqlSchemaTest, ColumnLookup) {
+  EXPECT_EQ(kConsumption.ColumnOf("voltage"), 2);
+  EXPECT_EQ(kConsumption.ColumnOf("nope"), -1);
+}
+
+TEST(PredicateCompilerTest, Example1FactorsCorrectly) {
+  // The paper's Critical_Consume: active - threshold * voltage * current.
+  auto compiled = CompilePredicate(
+      "active_power - ? * voltage * current <= 0", kConsumption);
+  ASSERT_TRUE(compiled.ok()) << compiled.status().ToString();
+  EXPECT_EQ(compiled->num_parameters(), 1u);
+  EXPECT_EQ(compiled->output_dim(), 2u);
+
+  // phi maps a tuple to (active_power, voltage * current).
+  const std::vector<double> tuple{5000.0, 100.0, 240.0, 30.0};
+  const std::vector<double> phi = (*compiled->phi())(tuple);
+  // Axis order is canonical (by parameter monomial): the parameter-free
+  // axis (active_power) sorts first.
+  ASSERT_EQ(phi.size(), 2u);
+  EXPECT_DOUBLE_EQ(phi[0], 5000.0);
+  EXPECT_DOUBLE_EQ(phi[1], 240.0 * 30.0);
+
+  // Bind(threshold): a = (1, -threshold), b = 0.
+  auto q = compiled->Bind({0.8});
+  ASSERT_TRUE(q.ok());
+  EXPECT_EQ(q->a, (std::vector<double>{1.0, -0.8}));
+  EXPECT_DOUBLE_EQ(q->b, 0.0);
+  EXPECT_EQ(q->cmp, Comparison::kLessEqual);
+}
+
+TEST(PredicateCompilerTest, BoundPredicateAgreesWithDirectEvaluation) {
+  const SqlSchema schema{{"x", "y", "z"}};
+  auto compiled = CompilePredicate(
+      "2 * x * x - ?1 * (y + 3 * z) + ?2 * ?2 * y >= 4 - ?1", schema);
+  ASSERT_TRUE(compiled.ok()) << compiled.status().ToString();
+  EXPECT_EQ(compiled->num_parameters(), 2u);
+
+  Rng rng(1);
+  for (int trial = 0; trial < 100; ++trial) {
+    const double x = rng.Uniform(-5, 5);
+    const double y = rng.Uniform(-5, 5);
+    const double z = rng.Uniform(-5, 5);
+    const double p1 = rng.Uniform(-3, 3);
+    const double p2 = rng.Uniform(-3, 3);
+    const bool direct =
+        2 * x * x - p1 * (y + 3 * z) + p2 * p2 * y >= 4 - p1;
+    auto q = compiled->Bind({p1, p2});
+    ASSERT_TRUE(q.ok());
+    std::vector<double> phi(compiled->output_dim());
+    const double tuple[3] = {x, y, z};
+    compiled->phi()->Apply(tuple, phi.data());
+    EXPECT_EQ(q->Matches(phi.data()), direct)
+        << "trial " << trial << " x=" << x << " y=" << y << " z=" << z;
+  }
+}
+
+TEST(PredicateCompilerTest, PositionalAndIndexedParameters) {
+  const SqlSchema schema{{"x"}};
+  auto positional = CompilePredicate("? * x + ? * x * x <= 1", schema);
+  ASSERT_TRUE(positional.ok());
+  EXPECT_EQ(positional->num_parameters(), 2u);
+  auto indexed = CompilePredicate("?2 * x + ?1 * x * x <= 1", schema);
+  ASSERT_TRUE(indexed.ok());
+  EXPECT_EQ(indexed->num_parameters(), 2u);
+  // ?1 binds to params[0]: q.a for axis x^2 uses p0.
+  auto q = indexed->Bind({10.0, 20.0});
+  ASSERT_TRUE(q.ok());
+  // Axes sorted by parameter monomial: p0 before p1; attr polys are x^2
+  // for p0 and x for p1.
+  EXPECT_EQ(q->a, (std::vector<double>{10.0, 20.0}));
+}
+
+TEST(PredicateCompilerTest, ConstantFoldingAndDivision) {
+  const SqlSchema schema{{"x"}};
+  auto compiled = CompilePredicate("(4 / 2) * x + 1 - 1 <= 6 / 3", schema);
+  ASSERT_TRUE(compiled.ok());
+  auto q = compiled->Bind({});
+  ASSERT_TRUE(q.ok());
+  EXPECT_EQ(q->a, (std::vector<double>{2.0}));
+  EXPECT_DOUBLE_EQ(q->b, 2.0);
+}
+
+TEST(PredicateCompilerTest, GreaterEqual) {
+  const SqlSchema schema{{"x"}};
+  auto compiled = CompilePredicate("x >= ?", schema);
+  ASSERT_TRUE(compiled.ok());
+  auto q = compiled->Bind({7.0});
+  EXPECT_EQ(q->cmp, Comparison::kGreaterEqual);
+  EXPECT_DOUBLE_EQ(q->b, 7.0);
+}
+
+TEST(PredicateCompilerTest, RejectsBadInput) {
+  const SqlSchema schema{{"x", "y"}};
+  EXPECT_FALSE(CompilePredicate("x + <= 1", schema).ok());      // syntax
+  EXPECT_FALSE(CompilePredicate("unknown <= 1", schema).ok());  // attribute
+  EXPECT_FALSE(CompilePredicate("x / y <= 1", schema).ok());    // non-const /
+  EXPECT_FALSE(CompilePredicate("x / 0 <= 1", schema).ok());    // div by 0
+  EXPECT_FALSE(CompilePredicate("x + 1", schema).ok());         // no cmp
+  EXPECT_FALSE(CompilePredicate("x <= 1 2", schema).ok());      // trailing
+  EXPECT_FALSE(CompilePredicate("? <= 1", schema).ok());   // no attributes
+  EXPECT_FALSE(CompilePredicate("?0 * x <= 1", schema).ok());  // 1-based
+}
+
+TEST(PredicateCompilerTest, BindValidatesArity) {
+  const SqlSchema schema{{"x"}};
+  auto compiled = CompilePredicate("? * x <= 1", schema);
+  ASSERT_TRUE(compiled.ok());
+  EXPECT_FALSE(compiled->Bind({}).ok());
+  EXPECT_FALSE(compiled->Bind({1.0, 2.0}).ok());
+  EXPECT_TRUE(compiled->Bind({1.0}).ok());
+}
+
+TEST(PredicateCompilerTest, DeriveDomains) {
+  auto compiled = CompilePredicate(
+      "active_power - ? * voltage * current <= 0", kConsumption);
+  ASSERT_TRUE(compiled.ok());
+  auto domains = compiled->DeriveDomains({{0.1, 1.0}});
+  ASSERT_TRUE(domains.ok()) << domains.status().ToString();
+  ASSERT_EQ(domains->size(), 2u);
+  EXPECT_DOUBLE_EQ((*domains)[0].lo, 1.0);  // constant axis
+  EXPECT_DOUBLE_EQ((*domains)[0].hi, 1.0);
+  EXPECT_DOUBLE_EQ((*domains)[1].lo, -1.0);  // -threshold
+  EXPECT_DOUBLE_EQ((*domains)[1].hi, -0.1);
+}
+
+TEST(PredicateCompilerTest, DeriveDomainsRejectsStraddle) {
+  const SqlSchema schema{{"x"}};
+  auto compiled = CompilePredicate("? * x <= 1", schema);
+  ASSERT_TRUE(compiled.ok());
+  EXPECT_FALSE(compiled->DeriveDomains({{-1.0, 1.0}}).ok());
+  EXPECT_TRUE(compiled->DeriveDomains({{0.5, 1.0}}).ok());
+}
+
+TEST(PredicateCompilerTest, DeriveDomainsSquaredParameter) {
+  const SqlSchema schema{{"x"}};
+  auto compiled = CompilePredicate("? * ? * x <= 1", schema);
+  ASSERT_TRUE(compiled.ok());
+  // Two positional parameters: p0 * p1 over [-2,-1] x [-2,-1] = [1, 4].
+  auto domains = compiled->DeriveDomains({{-2.0, -1.0}, {-2.0, -1.0}});
+  ASSERT_TRUE(domains.ok());
+  EXPECT_DOUBLE_EQ((*domains)[0].lo, 1.0);
+  EXPECT_DOUBLE_EQ((*domains)[0].hi, 4.0);
+}
+
+TEST(PredicateCompilerTest, EndToEndWithIndexSet) {
+  // Compile, index, query, and compare against the scan on random data.
+  const SqlSchema schema{{"u", "v"}};
+  auto compiled = CompilePredicate("u * u + ?1 * v <= 10 + ?1", schema);
+  ASSERT_TRUE(compiled.ok());
+
+  Rng rng(2);
+  Dataset raw(2);
+  for (int i = 0; i < 1500; ++i) {
+    raw.AppendRow({rng.Uniform(-3, 3), rng.Uniform(0.5, 5)});
+  }
+  PhiMatrix phi = MaterializePhi(raw, *compiled->phi());
+  PhiMatrix reference = MaterializePhi(raw, *compiled->phi());
+
+  auto domains = compiled->DeriveDomains({{0.5, 4.0}});
+  ASSERT_TRUE(domains.ok());
+  IndexSetOptions options;
+  options.budget = 8;
+  auto set = PlanarIndexSet::Build(std::move(phi), *domains, options);
+  ASSERT_TRUE(set.ok()) << set.status().ToString();
+
+  for (int trial = 0; trial < 20; ++trial) {
+    const double p = rng.Uniform(0.5, 4.0);
+    auto q = compiled->Bind({p});
+    ASSERT_TRUE(q.ok());
+    EXPECT_EQ(Sorted(set->Inequality(*q).ids),
+              BruteForceMatches(reference, *q))
+        << "p=" << p;
+  }
+}
+
+TEST(PredicateCompilerTest, ToStringShowsFactoredForm) {
+  auto compiled = CompilePredicate(
+      "active_power - ? * voltage * current <= 0", kConsumption);
+  ASSERT_TRUE(compiled.ok());
+  const std::string s = compiled->ToString();
+  EXPECT_NE(s.find("active_power"), std::string::npos);
+  EXPECT_NE(s.find("voltage*current"), std::string::npos);
+  EXPECT_NE(s.find("<= b"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace planar

@@ -1,0 +1,179 @@
+// Copyright (c) 2026 The planar Authors. Licensed under the MIT license.
+//
+// Property fuzz for the SQL predicate compiler: random expression trees
+// are rendered to text, compiled, and the factored scalar-product form
+// must agree with direct tree evaluation on random tuples and parameter
+// bindings — i.e. Bind(params).Matches(phi(x)) == eval(tree).
+
+#include <cmath>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "common/random.h"
+#include "sql/predicate_compiler.h"
+
+namespace planar {
+namespace {
+
+// A tiny expression AST mirroring the compiler's grammar.
+struct Expr {
+  enum class Kind { kNumber, kAttr, kParam, kAdd, kSub, kMul, kNeg, kDivConst };
+  Kind kind;
+  double number = 0.0;  // kNumber / kDivConst divisor
+  int index = 0;        // attribute column or parameter index
+  std::unique_ptr<Expr> lhs;
+  std::unique_ptr<Expr> rhs;
+};
+
+std::unique_ptr<Expr> RandomExpr(Rng& rng, int depth, size_t num_attrs,
+                                 size_t num_params, bool* used_attr) {
+  const double pick = rng.NextDouble();
+  auto expr = std::make_unique<Expr>();
+  if (depth <= 0 || pick < 0.35) {
+    const double leaf = rng.NextDouble();
+    if (leaf < 0.45) {
+      expr->kind = Expr::Kind::kAttr;
+      expr->index = static_cast<int>(rng.UniformInt(num_attrs));
+      *used_attr = true;
+    } else if (leaf < 0.75) {
+      expr->kind = Expr::Kind::kParam;
+      expr->index = static_cast<int>(rng.UniformInt(num_params));
+    } else {
+      expr->kind = Expr::Kind::kNumber;
+      expr->number = std::round(rng.Uniform(-5.0, 5.0) * 4.0) / 4.0;
+    }
+    return expr;
+  }
+  if (pick < 0.55) {
+    expr->kind = Expr::Kind::kAdd;
+  } else if (pick < 0.7) {
+    expr->kind = Expr::Kind::kSub;
+  } else if (pick < 0.88) {
+    expr->kind = Expr::Kind::kMul;
+  } else if (pick < 0.95) {
+    expr->kind = Expr::Kind::kNeg;
+    expr->lhs = RandomExpr(rng, depth - 1, num_attrs, num_params, used_attr);
+    return expr;
+  } else {
+    expr->kind = Expr::Kind::kDivConst;
+    expr->number = rng.Bernoulli(0.5) ? 2.0 : -4.0;
+    expr->lhs = RandomExpr(rng, depth - 1, num_attrs, num_params, used_attr);
+    return expr;
+  }
+  expr->lhs = RandomExpr(rng, depth - 1, num_attrs, num_params, used_attr);
+  expr->rhs = RandomExpr(rng, depth - 1, num_attrs, num_params, used_attr);
+  return expr;
+}
+
+std::string Render(const Expr& expr, const SqlSchema& schema) {
+  char buf[64];
+  switch (expr.kind) {
+    case Expr::Kind::kNumber:
+      // Negative literals render as unary minus.
+      std::snprintf(buf, sizeof(buf), "(%s%g)",
+                    expr.number < 0 ? "-" : "", std::fabs(expr.number));
+      return buf;
+    case Expr::Kind::kAttr:
+      return schema.attributes[static_cast<size_t>(expr.index)];
+    case Expr::Kind::kParam:
+      return "?" + std::to_string(expr.index + 1);
+    case Expr::Kind::kAdd:
+      return "(" + Render(*expr.lhs, schema) + " + " +
+             Render(*expr.rhs, schema) + ")";
+    case Expr::Kind::kSub:
+      return "(" + Render(*expr.lhs, schema) + " - " +
+             Render(*expr.rhs, schema) + ")";
+    case Expr::Kind::kMul:
+      return "(" + Render(*expr.lhs, schema) + " * " +
+             Render(*expr.rhs, schema) + ")";
+    case Expr::Kind::kNeg:
+      return "(-" + Render(*expr.lhs, schema) + ")";
+    case Expr::Kind::kDivConst:
+      std::snprintf(buf, sizeof(buf), " / (%s%g))",
+                    expr.number < 0 ? "-" : "", std::fabs(expr.number));
+      return "(" + Render(*expr.lhs, schema) + buf;
+  }
+  return "";
+}
+
+double Eval(const Expr& expr, const std::vector<double>& attrs,
+            const std::vector<double>& params) {
+  switch (expr.kind) {
+    case Expr::Kind::kNumber:
+      return expr.number;
+    case Expr::Kind::kAttr:
+      return attrs[static_cast<size_t>(expr.index)];
+    case Expr::Kind::kParam:
+      return params[static_cast<size_t>(expr.index)];
+    case Expr::Kind::kAdd:
+      return Eval(*expr.lhs, attrs, params) + Eval(*expr.rhs, attrs, params);
+    case Expr::Kind::kSub:
+      return Eval(*expr.lhs, attrs, params) - Eval(*expr.rhs, attrs, params);
+    case Expr::Kind::kMul:
+      return Eval(*expr.lhs, attrs, params) * Eval(*expr.rhs, attrs, params);
+    case Expr::Kind::kNeg:
+      return -Eval(*expr.lhs, attrs, params);
+    case Expr::Kind::kDivConst:
+      return Eval(*expr.lhs, attrs, params) / expr.number;
+  }
+  return 0.0;
+}
+
+TEST(PredicateFuzzTest, CompiledFormAgreesWithTreeEvaluation) {
+  const SqlSchema schema{{"x", "y", "z"}};
+  Rng rng(271828);
+  int compiled_count = 0;
+  for (int round = 0; round < 300; ++round) {
+    bool used_attr = false;
+    auto lhs = RandomExpr(rng, 3, 3, 2, &used_attr);
+    auto rhs = RandomExpr(rng, 2, 3, 2, &used_attr);
+    if (!used_attr) continue;  // attribute-free predicates are rejected
+    const bool le = rng.Bernoulli(0.5);
+    const std::string text = Render(*lhs, schema) +
+                             (le ? " <= " : " >= ") + Render(*rhs, schema);
+    // All parameters must appear for Bind arity to be 2; reference them.
+    const std::string full = text;
+    auto compiled = CompilePredicate(full, schema);
+    if (!compiled.ok()) {
+      // The generator can produce attribute-free *differences* (terms
+      // cancel); those are legitimately rejected. Anything else is a bug.
+      ASSERT_NE(compiled.status().message().find("attribute"),
+                std::string::npos)
+          << full << " -> " << compiled.status().ToString();
+      continue;
+    }
+    ++compiled_count;
+    const size_t arity = compiled->num_parameters();
+    std::vector<double> phi(compiled->output_dim());
+    for (int trial = 0; trial < 10; ++trial) {
+      const std::vector<double> attrs{rng.Uniform(-4, 4), rng.Uniform(-4, 4),
+                                      rng.Uniform(-4, 4)};
+      std::vector<double> params(2);
+      for (double& p : params) p = rng.Uniform(-3, 3);
+      auto q = compiled->Bind(
+          std::vector<double>(params.begin(),
+                              params.begin() + static_cast<long>(arity)));
+      ASSERT_TRUE(q.ok()) << full;
+      compiled->phi()->Apply(attrs.data(), phi.data());
+      const double lhs_value = Eval(*lhs, attrs, params);
+      const double rhs_value = Eval(*rhs, attrs, params);
+      const double diff = lhs_value - rhs_value;
+      // Skip knife-edge cases where float reassociation could flip the
+      // comparison legitimately.
+      if (std::fabs(diff) < 1e-6) continue;
+      const bool direct = le ? diff <= 0 : diff >= 0;
+      ASSERT_EQ(q->Matches(phi.data()), direct)
+          << full << "  attrs=(" << attrs[0] << "," << attrs[1] << ","
+          << attrs[2] << ") params=(" << params[0] << "," << params[1]
+          << ")";
+    }
+  }
+  // The fuzz actually exercised the compiler.
+  EXPECT_GT(compiled_count, 100);
+}
+
+}  // namespace
+}  // namespace planar

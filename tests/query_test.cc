@@ -1,0 +1,107 @@
+// Copyright (c) 2026 The planar Authors. Licensed under the MIT license.
+
+#include "core/query.h"
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+namespace planar {
+namespace {
+
+TEST(ScalarProductQueryTest, MatchesLessEqual) {
+  ScalarProductQuery q{{1.0, 1.0}, 5.0, Comparison::kLessEqual};
+  const double in[] = {2.0, 2.0};
+  const double edge[] = {2.5, 2.5};
+  const double out[] = {3.0, 3.0};
+  EXPECT_TRUE(q.Matches(in));
+  EXPECT_TRUE(q.Matches(edge));
+  EXPECT_FALSE(q.Matches(out));
+}
+
+TEST(ScalarProductQueryTest, MatchesGreaterEqual) {
+  ScalarProductQuery q{{2.0, -1.0}, 1.0, Comparison::kGreaterEqual};
+  const double yes[] = {1.0, 0.5};  // 2 - 0.5 = 1.5 >= 1
+  const double no[] = {0.0, 0.5};   // -0.5 < 1
+  EXPECT_TRUE(q.Matches(yes));
+  EXPECT_FALSE(q.Matches(no));
+}
+
+TEST(ScalarProductQueryTest, Residual) {
+  ScalarProductQuery q{{1.0, 2.0}, 4.0, Comparison::kLessEqual};
+  const double p[] = {1.0, 1.0};
+  EXPECT_DOUBLE_EQ(q.Residual(p), -1.0);
+}
+
+TEST(ScalarProductQueryTest, DistanceIsHyperplaneDistance) {
+  ScalarProductQuery q{{3.0, 4.0}, 5.0, Comparison::kLessEqual};
+  const double p[] = {3.0, 4.0};  // <a,p> = 25, |a| = 5 -> dist = 4
+  EXPECT_DOUBLE_EQ(q.Distance(p), 4.0);
+}
+
+TEST(ScalarProductQueryTest, ToStringMentionsDirection) {
+  ScalarProductQuery le{{1.0}, 2.0, Comparison::kLessEqual};
+  ScalarProductQuery ge{{1.0}, 2.0, Comparison::kGreaterEqual};
+  EXPECT_NE(le.ToString().find("<="), std::string::npos);
+  EXPECT_NE(ge.ToString().find(">="), std::string::npos);
+}
+
+TEST(NormalizedQueryTest, NonNegativeBUnchanged) {
+  ScalarProductQuery q{{1.0, -2.0}, 3.0, Comparison::kLessEqual};
+  const NormalizedQuery n = NormalizedQuery::From(q);
+  EXPECT_EQ(n.a, q.a);
+  EXPECT_EQ(n.b, 3.0);
+  EXPECT_EQ(n.cmp, Comparison::kLessEqual);
+}
+
+TEST(NormalizedQueryTest, NegativeBFlipsEverything) {
+  ScalarProductQuery q{{1.0, -2.0}, -3.0, Comparison::kLessEqual};
+  const NormalizedQuery n = NormalizedQuery::From(q);
+  EXPECT_EQ(n.a, (std::vector<double>{-1.0, 2.0}));
+  EXPECT_EQ(n.b, 3.0);
+  EXPECT_EQ(n.cmp, Comparison::kGreaterEqual);
+}
+
+TEST(NormalizedQueryTest, FlipPreservesPredicate) {
+  ScalarProductQuery q{{2.0, -1.5}, -0.7, Comparison::kGreaterEqual};
+  const NormalizedQuery n = NormalizedQuery::From(q);
+  EXPECT_EQ(n.cmp, Comparison::kLessEqual);
+  for (double x0 : {-2.0, -0.5, 0.0, 0.3, 1.9}) {
+    for (double x1 : {-1.0, 0.0, 2.5}) {
+      const double phi[] = {x0, x1};
+      const double orig = 2.0 * x0 - 1.5 * x1;
+      const bool orig_match = orig >= -0.7;
+      const double flipped = n.a[0] * x0 + n.a[1] * x1;
+      const bool norm_match = n.cmp == Comparison::kLessEqual
+                                  ? flipped <= n.b
+                                  : flipped >= n.b;
+      EXPECT_EQ(orig_match, norm_match) << x0 << "," << x1;
+      (void)phi;
+    }
+  }
+}
+
+TEST(NormalizedQueryTest, OctantFollowsSigns) {
+  const NormalizedQuery n =
+      NormalizedQuery::From({{1.0, -2.0, 0.0}, 1.0, Comparison::kLessEqual});
+  EXPECT_EQ(n.octant.sign(0), 1.0);
+  EXPECT_EQ(n.octant.sign(1), -1.0);
+  EXPECT_EQ(n.octant.sign(2), 1.0);  // zero maps to +
+}
+
+TEST(NormalizedQueryTest, Degenerate) {
+  EXPECT_TRUE(NormalizedQuery::From({{0.0, 0.0}, 1.0, Comparison::kLessEqual})
+                  .IsDegenerate());
+  EXPECT_FALSE(
+      NormalizedQuery::From({{0.0, 0.1}, 1.0, Comparison::kLessEqual})
+          .IsDegenerate());
+}
+
+TEST(NormalizedQueryTest, NormA) {
+  const NormalizedQuery n =
+      NormalizedQuery::From({{3.0, 4.0}, 0.0, Comparison::kLessEqual});
+  EXPECT_DOUBLE_EQ(n.NormA(), 5.0);
+}
+
+}  // namespace
+}  // namespace planar

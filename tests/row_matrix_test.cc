@@ -1,0 +1,110 @@
+// Copyright (c) 2026 The planar Authors. Licensed under the MIT license.
+
+#include "core/row_matrix.h"
+
+#include <gtest/gtest.h>
+
+#include "core/function.h"
+
+namespace planar {
+namespace {
+
+TEST(RowMatrixTest, EmptyMatrix) {
+  RowMatrix m(3);
+  EXPECT_EQ(m.dim(), 3u);
+  EXPECT_EQ(m.size(), 0u);
+  EXPECT_TRUE(m.empty());
+}
+
+TEST(RowMatrixTest, AppendAndAccess) {
+  RowMatrix m(2);
+  m.AppendRow({1.0, 2.0});
+  m.AppendRow({3.0, 4.0});
+  EXPECT_EQ(m.size(), 2u);
+  EXPECT_DOUBLE_EQ(m.at(0, 0), 1.0);
+  EXPECT_DOUBLE_EQ(m.at(1, 1), 4.0);
+  EXPECT_DOUBLE_EQ(m.row(1)[0], 3.0);
+}
+
+TEST(RowMatrixTest, FromRowMajor) {
+  RowMatrix m = RowMatrix::FromRowMajor(3, {1, 2, 3, 4, 5, 6});
+  EXPECT_EQ(m.size(), 2u);
+  EXPECT_DOUBLE_EQ(m.at(1, 2), 6.0);
+  EXPECT_DOUBLE_EQ(m.ColumnMin(0), 1.0);
+  EXPECT_DOUBLE_EQ(m.ColumnMax(2), 6.0);
+}
+
+TEST(RowMatrixTest, ColumnBoundsTrackAppends) {
+  RowMatrix m(2);
+  m.AppendRow({1.0, -5.0});
+  m.AppendRow({3.0, 2.0});
+  EXPECT_DOUBLE_EQ(m.ColumnMin(0), 1.0);
+  EXPECT_DOUBLE_EQ(m.ColumnMax(0), 3.0);
+  EXPECT_DOUBLE_EQ(m.ColumnMin(1), -5.0);
+  EXPECT_DOUBLE_EQ(m.ColumnMax(1), 2.0);
+}
+
+TEST(RowMatrixTest, SetRowOverwrites) {
+  RowMatrix m(2);
+  m.AppendRow({1.0, 1.0});
+  const double vals[] = {9.0, -9.0};
+  m.SetRow(0, vals);
+  EXPECT_DOUBLE_EQ(m.at(0, 0), 9.0);
+  EXPECT_DOUBLE_EQ(m.at(0, 1), -9.0);
+}
+
+TEST(RowMatrixTest, BoundsAreGrowOnly) {
+  RowMatrix m(1);
+  m.AppendRow({10.0});
+  const double smaller[] = {5.0};
+  m.SetRow(0, smaller);
+  // The old extreme is retained: bounds always contain every value ever
+  // stored (keeps translation deltas sound under updates).
+  EXPECT_DOUBLE_EQ(m.ColumnMax(0), 10.0);
+  EXPECT_DOUBLE_EQ(m.ColumnMin(0), 5.0);
+}
+
+TEST(RowMatrixTest, MemoryUsagePositive) {
+  RowMatrix m(4);
+  m.AppendRow({1, 2, 3, 4});
+  EXPECT_GT(m.MemoryUsage(), 4 * sizeof(double));
+}
+
+TEST(RowMatrixDeathTest, FromRowMajorBadSizeAborts) {
+  EXPECT_DEATH((void)RowMatrix::FromRowMajor(2, {1.0, 2.0, 3.0}),
+               "PLANAR_CHECK");
+}
+
+TEST(RowMatrixDeathTest, ColumnBoundsOfEmptyAbort) {
+  RowMatrix m(1);
+  EXPECT_DEATH((void)m.ColumnMin(0), "PLANAR_CHECK");
+}
+
+TEST(MaterializePhiTest, AppliesFunctionRowwise) {
+  Dataset points(2);
+  points.AppendRow({2.0, 3.0});
+  points.AppendRow({4.0, 5.0});
+  QuadraticFeatureFunction fn(2);
+  PhiMatrix phi = MaterializePhi(points, fn);
+  EXPECT_EQ(phi.size(), 2u);
+  EXPECT_EQ(phi.dim(), 5u);
+  EXPECT_DOUBLE_EQ(phi.at(0, 4), 6.0);   // 2*3
+  EXPECT_DOUBLE_EQ(phi.at(1, 2), 16.0);  // 4^2
+}
+
+TEST(MaterializePhiTest, IdentityCopies) {
+  Dataset points(3);
+  points.AppendRow({1.0, 2.0, 3.0});
+  PhiMatrix phi = MaterializePhi(points, IdentityFunction(3));
+  EXPECT_DOUBLE_EQ(phi.at(0, 2), 3.0);
+}
+
+TEST(MaterializePhiDeathTest, DimMismatchAborts) {
+  Dataset points(2);
+  points.AppendRow({1.0, 2.0});
+  EXPECT_DEATH((void)MaterializePhi(points, IdentityFunction(3)),
+               "PLANAR_CHECK");
+}
+
+}  // namespace
+}  // namespace planar

@@ -1,0 +1,102 @@
+// Copyright (c) 2026 The planar Authors. Licensed under the MIT license.
+
+#include "spatial/rtree.h"
+
+#include <algorithm>
+
+#include <gtest/gtest.h>
+
+#include "common/random.h"
+#include "tests/test_util.h"
+
+namespace planar {
+namespace {
+
+std::vector<uint32_t> BruteWindow(const RowMatrix& points,
+                                  const Window& window) {
+  std::vector<uint32_t> out;
+  for (size_t i = 0; i < points.size(); ++i) {
+    if (window.Contains(points.row(i))) out.push_back(static_cast<uint32_t>(i));
+  }
+  return out;
+}
+
+TEST(WindowTest, Contains) {
+  Window w{{0.0, 0.0}, {1.0, 2.0}};
+  const double inside[] = {0.5, 1.5};
+  const double edge[] = {1.0, 2.0};
+  const double outside[] = {1.1, 1.0};
+  EXPECT_TRUE(w.Contains(inside));
+  EXPECT_TRUE(w.Contains(edge));
+  EXPECT_FALSE(w.Contains(outside));
+}
+
+TEST(RTreeTest, EmptyTree) {
+  RowMatrix points(2);
+  RTree tree(&points);
+  std::vector<uint32_t> out;
+  tree.WindowQuery({{0, 0}, {1, 1}}, &out);
+  EXPECT_TRUE(out.empty());
+  tree.HalfSpaceQuery({{1.0, 1.0}, 5.0, Comparison::kLessEqual}, &out);
+  EXPECT_TRUE(out.empty());
+}
+
+TEST(RTreeTest, WindowMatchesBruteForce) {
+  Rng rng(1);
+  for (size_t dim : {1u, 2u, 3u, 6u}) {
+    PhiMatrix points = RandomPhi(2500, dim, 0.0, 100.0, dim * 13 + 3);
+    RTree tree(&points);
+    for (int trial = 0; trial < 12; ++trial) {
+      Window window;
+      window.lo.resize(dim);
+      window.hi.resize(dim);
+      for (size_t j = 0; j < dim; ++j) {
+        const double a = rng.Uniform(0.0, 100.0);
+        const double b = rng.Uniform(0.0, 100.0);
+        window.lo[j] = std::min(a, b);
+        window.hi[j] = std::max(a, b);
+      }
+      std::vector<uint32_t> out;
+      tree.WindowQuery(window, &out);
+      EXPECT_EQ(Sorted(out), BruteWindow(points, window))
+          << "dim=" << dim << " trial " << trial;
+    }
+  }
+}
+
+TEST(RTreeTest, HalfSpaceMatchesBruteForce) {
+  Rng rng(2);
+  PhiMatrix points = RandomPhi(2500, 4, -30.0, 30.0, 17);
+  RTree tree(&points);
+  for (int trial = 0; trial < 15; ++trial) {
+    ScalarProductQuery q;
+    q.a = {rng.Uniform(-2, 2), rng.Uniform(-2, 2), rng.Uniform(-2, 2),
+           rng.Uniform(-2, 2)};
+    q.b = rng.Uniform(-40, 40);
+    q.cmp = trial % 2 == 0 ? Comparison::kLessEqual
+                           : Comparison::kGreaterEqual;
+    std::vector<uint32_t> out;
+    tree.HalfSpaceQuery(q, &out);
+    EXPECT_EQ(Sorted(out), BruteForceMatches(points, q)) << trial;
+  }
+}
+
+TEST(RTreeTest, FullWindowReportsEverything) {
+  PhiMatrix points = RandomPhi(5000, 2, 0.0, 10.0, 19);
+  RTree tree(&points);
+  std::vector<uint32_t> out;
+  tree.WindowQuery({{-1.0, -1.0}, {11.0, 11.0}}, &out);
+  EXPECT_EQ(out.size(), 5000u);
+}
+
+TEST(RTreeTest, StructureStats) {
+  PhiMatrix points = RandomPhi(4096, 3, 0.0, 1.0, 23);
+  RTree tree(&points, 64);
+  EXPECT_EQ(tree.size(), 4096u);
+  EXPECT_EQ(tree.dim(), 3u);
+  EXPECT_GE(tree.node_count(), 64u);
+  EXPECT_GT(tree.MemoryUsage(), 4096 * sizeof(uint32_t));
+}
+
+}  // namespace
+}  // namespace planar

@@ -1,0 +1,115 @@
+// Copyright (c) 2026 The planar Authors. Licensed under the MIT license.
+
+#include "core/serialize.h"
+
+#include <unistd.h>
+
+#include <cstdio>
+
+#include <gtest/gtest.h>
+
+#include "common/random.h"
+#include "tests/test_util.h"
+
+namespace planar {
+namespace {
+
+std::string TempPath(const char* name) {
+  return std::string(::testing::TempDir()) + "/" + name;
+}
+
+PlanarIndexSet MakeSet(uint64_t seed, size_t budget,
+                       IndexSetOptions options = IndexSetOptions()) {
+  PhiMatrix phi = RandomPhi(500, 3, -20.0, 80.0, seed);
+  options.budget = budget;
+  auto set = PlanarIndexSet::Build(
+      std::move(phi), {{1.0, 6.0}, {-6.0, -1.0}, {1.0, 6.0}}, options);
+  PLANAR_CHECK(set.ok());
+  return std::move(set).value();
+}
+
+TEST(SerializeTest, RoundTripPreservesAnswers) {
+  const std::string path = TempPath("set_roundtrip.planar");
+  PlanarIndexSet original = MakeSet(81, 8);
+  ASSERT_TRUE(SaveIndexSet(original, path).ok());
+  auto loaded = LoadIndexSet(path);
+  ASSERT_TRUE(loaded.ok()) << loaded.status().ToString();
+
+  EXPECT_EQ(loaded->size(), original.size());
+  EXPECT_EQ(loaded->num_indices(), original.num_indices());
+  for (size_t i = 0; i < original.num_indices(); ++i) {
+    EXPECT_EQ(loaded->index(i).normal(), original.index(i).normal());
+    EXPECT_EQ(loaded->index(i).octant(), original.index(i).octant());
+  }
+
+  Rng rng(82);
+  for (int trial = 0; trial < 15; ++trial) {
+    ScalarProductQuery q;
+    q.a = {rng.Uniform(1, 6), -rng.Uniform(1, 6), rng.Uniform(1, 6)};
+    q.b = rng.Uniform(-200, 400);
+    q.cmp = trial % 2 == 0 ? Comparison::kLessEqual
+                           : Comparison::kGreaterEqual;
+    EXPECT_EQ(Sorted(loaded->Inequality(q).ids),
+              Sorted(original.Inequality(q).ids))
+        << trial;
+  }
+  std::remove(path.c_str());
+}
+
+TEST(SerializeTest, OptionsSurviveRoundTrip) {
+  const std::string path = TempPath("set_options.planar");
+  IndexSetOptions options;
+  options.selector = IndexSetOptions::Selector::kAngle;
+  options.index_options.backend = PlanarIndexOptions::Backend::kBTree;
+  options.index_options.enable_axis_exclusion = false;
+  options.index_options.epsilon_band = 1e-7;
+  PlanarIndexSet original = MakeSet(83, 3, options);
+  ASSERT_TRUE(SaveIndexSet(original, path).ok());
+  auto loaded = LoadIndexSet(path);
+  ASSERT_TRUE(loaded.ok());
+  EXPECT_EQ(loaded->options().selector, IndexSetOptions::Selector::kAngle);
+  EXPECT_EQ(loaded->options().index_options.backend,
+            PlanarIndexOptions::Backend::kBTree);
+  EXPECT_FALSE(loaded->options().index_options.enable_axis_exclusion);
+  EXPECT_DOUBLE_EQ(loaded->options().index_options.epsilon_band, 1e-7);
+  EXPECT_EQ(loaded->index(0).backend(),
+            PlanarIndexOptions::Backend::kBTree);
+  std::remove(path.c_str());
+}
+
+TEST(SerializeTest, MissingFileFails) {
+  auto loaded = LoadIndexSet(TempPath("does_not_exist.planar"));
+  EXPECT_FALSE(loaded.ok());
+  EXPECT_EQ(loaded.status().code(), StatusCode::kNotFound);
+}
+
+TEST(SerializeTest, GarbageFileRejected) {
+  const std::string path = TempPath("garbage.planar");
+  std::FILE* f = std::fopen(path.c_str(), "wb");
+  ASSERT_NE(f, nullptr);
+  std::fputs("this is not an index", f);
+  std::fclose(f);
+  auto loaded = LoadIndexSet(path);
+  EXPECT_FALSE(loaded.ok());
+  EXPECT_EQ(loaded.status().code(), StatusCode::kInvalidArgument);
+  std::remove(path.c_str());
+}
+
+TEST(SerializeTest, TruncatedFileRejected) {
+  const std::string path = TempPath("truncated.planar");
+  PlanarIndexSet original = MakeSet(84, 2);
+  ASSERT_TRUE(SaveIndexSet(original, path).ok());
+  // Chop the file to two thirds.
+  std::FILE* f = std::fopen(path.c_str(), "rb");
+  ASSERT_NE(f, nullptr);
+  std::fseek(f, 0, SEEK_END);
+  const long size = std::ftell(f);
+  std::fclose(f);
+  ASSERT_EQ(truncate(path.c_str(), size * 2 / 3), 0);
+  auto loaded = LoadIndexSet(path);
+  EXPECT_FALSE(loaded.ok());
+  std::remove(path.c_str());
+}
+
+}  // namespace
+}  // namespace planar

@@ -1,0 +1,78 @@
+// Copyright (c) 2026 The planar Authors. Licensed under the MIT license.
+
+#include "common/stats.h"
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+namespace planar {
+namespace {
+
+TEST(RunningStatsTest, EmptyDefaults) {
+  RunningStats s;
+  EXPECT_EQ(s.count(), 0u);
+  EXPECT_EQ(s.mean(), 0.0);
+  EXPECT_EQ(s.sum(), 0.0);
+  EXPECT_EQ(s.variance(), 0.0);
+}
+
+TEST(RunningStatsTest, SingleObservation) {
+  RunningStats s;
+  s.Add(4.5);
+  EXPECT_EQ(s.count(), 1u);
+  EXPECT_EQ(s.mean(), 4.5);
+  EXPECT_EQ(s.min(), 4.5);
+  EXPECT_EQ(s.max(), 4.5);
+  EXPECT_EQ(s.variance(), 0.0);
+}
+
+TEST(RunningStatsTest, MeanAndVariance) {
+  RunningStats s;
+  for (double v : {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0}) s.Add(v);
+  EXPECT_DOUBLE_EQ(s.mean(), 5.0);
+  // Sample variance of the classic example: 32 / 7.
+  EXPECT_NEAR(s.variance(), 32.0 / 7.0, 1e-12);
+  EXPECT_NEAR(s.stddev(), std::sqrt(32.0 / 7.0), 1e-12);
+  EXPECT_EQ(s.min(), 2.0);
+  EXPECT_EQ(s.max(), 9.0);
+  EXPECT_DOUBLE_EQ(s.sum(), 40.0);
+}
+
+TEST(RunningStatsTest, NegativeValues) {
+  RunningStats s;
+  s.Add(-3.0);
+  s.Add(3.0);
+  EXPECT_DOUBLE_EQ(s.mean(), 0.0);
+  EXPECT_EQ(s.min(), -3.0);
+  EXPECT_EQ(s.max(), 3.0);
+}
+
+TEST(PercentileTest, MedianOfOddSample) {
+  EXPECT_DOUBLE_EQ(Percentile({3.0, 1.0, 2.0}, 50.0), 2.0);
+}
+
+TEST(PercentileTest, Extremes) {
+  std::vector<double> v{5.0, 1.0, 9.0, 3.0};
+  EXPECT_DOUBLE_EQ(Percentile(v, 0.0), 1.0);
+  EXPECT_DOUBLE_EQ(Percentile(v, 100.0), 9.0);
+}
+
+TEST(PercentileTest, Interpolates) {
+  // Sorted: 10, 20, 30, 40. p50 -> halfway between 20 and 30.
+  EXPECT_DOUBLE_EQ(Percentile({40.0, 10.0, 30.0, 20.0}, 50.0), 25.0);
+}
+
+TEST(PercentileTest, SingleElement) {
+  EXPECT_DOUBLE_EQ(Percentile({7.0}, 99.0), 7.0);
+}
+
+TEST(FormatMillisTest, AdaptivePrecision) {
+  EXPECT_EQ(FormatMillis(0.0123), "0.0123 ms");
+  EXPECT_EQ(FormatMillis(4.25), "4.25 ms");
+  EXPECT_EQ(FormatMillis(42.5), "42.5 ms");
+  EXPECT_EQ(FormatMillis(4250.0), "4250 ms");
+}
+
+}  // namespace
+}  // namespace planar

@@ -1,0 +1,77 @@
+// Copyright (c) 2026 The planar Authors. Licensed under the MIT license.
+
+#include "common/status.h"
+
+#include <gtest/gtest.h>
+
+namespace planar {
+namespace {
+
+TEST(StatusTest, DefaultIsOk) {
+  Status s;
+  EXPECT_TRUE(s.ok());
+  EXPECT_EQ(s.code(), StatusCode::kOk);
+  EXPECT_EQ(s.message(), "");
+  EXPECT_EQ(s.ToString(), "OK");
+}
+
+TEST(StatusTest, OkFactory) {
+  EXPECT_TRUE(Status::OK().ok());
+}
+
+TEST(StatusTest, ErrorFactoriesCarryCodeAndMessage) {
+  struct Case {
+    Status status;
+    StatusCode code;
+  };
+  const Case cases[] = {
+      {Status::InvalidArgument("a"), StatusCode::kInvalidArgument},
+      {Status::NotFound("b"), StatusCode::kNotFound},
+      {Status::OutOfRange("c"), StatusCode::kOutOfRange},
+      {Status::FailedPrecondition("d"), StatusCode::kFailedPrecondition},
+      {Status::Unimplemented("e"), StatusCode::kUnimplemented},
+      {Status::Internal("f"), StatusCode::kInternal},
+  };
+  for (const Case& c : cases) {
+    EXPECT_FALSE(c.status.ok());
+    EXPECT_EQ(c.status.code(), c.code);
+    EXPECT_FALSE(c.status.message().empty());
+  }
+}
+
+TEST(StatusTest, ToStringIncludesCodeAndMessage) {
+  const Status s = Status::InvalidArgument("bad dimension");
+  EXPECT_EQ(s.ToString(), "INVALID_ARGUMENT: bad dimension");
+}
+
+TEST(StatusTest, EqualityComparesCodeAndMessage) {
+  EXPECT_EQ(Status::NotFound("x"), Status::NotFound("x"));
+  EXPECT_FALSE(Status::NotFound("x") == Status::NotFound("y"));
+  EXPECT_FALSE(Status::NotFound("x") == Status::Internal("x"));
+  EXPECT_EQ(Status::OK(), Status());
+}
+
+TEST(StatusTest, CodeNamesAreStable) {
+  EXPECT_EQ(StatusCodeToString(StatusCode::kOk), "OK");
+  EXPECT_EQ(StatusCodeToString(StatusCode::kNotFound), "NOT_FOUND");
+  EXPECT_EQ(StatusCodeToString(StatusCode::kInternal), "INTERNAL");
+}
+
+Status Fails() { return Status::NotFound("missing"); }
+Status Succeeds() { return Status::OK(); }
+
+Status UsesReturnIfError(bool fail) {
+  PLANAR_RETURN_IF_ERROR(Succeeds());
+  if (fail) {
+    PLANAR_RETURN_IF_ERROR(Fails());
+  }
+  return Status::OK();
+}
+
+TEST(StatusTest, ReturnIfErrorPropagates) {
+  EXPECT_TRUE(UsesReturnIfError(false).ok());
+  EXPECT_EQ(UsesReturnIfError(true).code(), StatusCode::kNotFound);
+}
+
+}  // namespace
+}  // namespace planar

@@ -1,0 +1,56 @@
+// Copyright (c) 2026 The planar Authors. Licensed under the MIT license.
+
+#include "common/table_printer.h"
+
+#include <gtest/gtest.h>
+
+namespace planar {
+namespace {
+
+TEST(TablePrinterTest, CsvRoundTrip) {
+  TablePrinter t({"a", "b"});
+  t.AddRow({"1", "x"});
+  t.AddRow({"2", "y"});
+  EXPECT_EQ(t.ToCsv(), "a,b\n1,x\n2,y\n");
+}
+
+TEST(TablePrinterTest, NumericRows) {
+  TablePrinter t({"v", "w"});
+  t.AddNumericRow({1.5, 2.25}, 2);
+  EXPECT_EQ(t.ToCsv(), "v,w\n1.50,2.25\n");
+}
+
+TEST(TablePrinterTest, RowCount) {
+  TablePrinter t({"h"});
+  EXPECT_EQ(t.row_count(), 0u);
+  t.AddRow({"r"});
+  EXPECT_EQ(t.row_count(), 1u);
+}
+
+TEST(TablePrinterDeathTest, MismatchedRowAborts) {
+  TablePrinter t({"a", "b"});
+  EXPECT_DEATH(t.AddRow({"only one"}), "PLANAR_CHECK");
+}
+
+TEST(FormatDoubleTest, Precision) {
+  EXPECT_EQ(FormatDouble(3.14159, 2), "3.14");
+  EXPECT_EQ(FormatDouble(3.0, 0), "3");
+  EXPECT_EQ(FormatDouble(-1.5, 1), "-1.5");
+}
+
+TEST(TablePrinterTest, PrintAlignsColumns) {
+  TablePrinter t({"name", "v"});
+  t.AddRow({"longer-name", "1"});
+  // Render to a memory stream and sanity-check the layout.
+  char buf[512] = {0};
+  std::FILE* f = fmemopen(buf, sizeof(buf), "w");
+  ASSERT_NE(f, nullptr);
+  t.Print(f);
+  std::fclose(f);
+  const std::string out(buf);
+  EXPECT_NE(out.find("| name        | v |"), std::string::npos);
+  EXPECT_NE(out.find("| longer-name | 1 |"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace planar

@@ -1,0 +1,77 @@
+// Copyright (c) 2026 The planar Authors. Licensed under the MIT license.
+
+#include "core/topk.h"
+
+#include <gtest/gtest.h>
+
+namespace planar {
+namespace {
+
+TEST(TopKBufferTest, KeepsKSmallest) {
+  TopKBuffer buf(3);
+  for (uint32_t id = 0; id < 10; ++id) {
+    buf.Insert(id, static_cast<double>(10 - id));  // distances 10..1
+  }
+  const auto out = buf.TakeSorted();
+  ASSERT_EQ(out.size(), 3u);
+  EXPECT_EQ(out[0].id, 9u);
+  EXPECT_DOUBLE_EQ(out[0].distance, 1.0);
+  EXPECT_EQ(out[1].id, 8u);
+  EXPECT_EQ(out[2].id, 7u);
+}
+
+TEST(TopKBufferTest, NotFullAcceptsEverything) {
+  TopKBuffer buf(5);
+  buf.Insert(1, 100.0);
+  EXPECT_FALSE(buf.full());
+  EXPECT_EQ(buf.size(), 1u);
+  EXPECT_EQ(buf.WorstDistance(), std::numeric_limits<double>::infinity());
+}
+
+TEST(TopKBufferTest, WorstDistanceWhenFull) {
+  TopKBuffer buf(2);
+  buf.Insert(1, 5.0);
+  buf.Insert(2, 3.0);
+  EXPECT_TRUE(buf.full());
+  EXPECT_DOUBLE_EQ(buf.WorstDistance(), 5.0);
+  buf.Insert(3, 1.0);  // evicts distance 5
+  EXPECT_DOUBLE_EQ(buf.WorstDistance(), 3.0);
+}
+
+TEST(TopKBufferTest, RejectsWorseWhenFull) {
+  TopKBuffer buf(1);
+  buf.Insert(1, 2.0);
+  buf.Insert(2, 5.0);
+  const auto out = buf.TakeSorted();
+  ASSERT_EQ(out.size(), 1u);
+  EXPECT_EQ(out[0].id, 1u);
+}
+
+TEST(TopKBufferTest, TiesBrokenById) {
+  TopKBuffer buf(2);
+  buf.Insert(7, 1.0);
+  buf.Insert(3, 1.0);
+  buf.Insert(5, 1.0);  // tie with worst (id 7): smaller id wins
+  const auto out = buf.TakeSorted();
+  ASSERT_EQ(out.size(), 2u);
+  EXPECT_EQ(out[0].id, 3u);
+  EXPECT_EQ(out[1].id, 5u);
+}
+
+TEST(TopKBufferTest, SortedOutputAscending) {
+  TopKBuffer buf(4);
+  buf.Insert(1, 3.0);
+  buf.Insert(2, 1.0);
+  buf.Insert(3, 2.0);
+  const auto out = buf.TakeSorted();
+  ASSERT_EQ(out.size(), 3u);
+  EXPECT_LE(out[0].distance, out[1].distance);
+  EXPECT_LE(out[1].distance, out[2].distance);
+}
+
+TEST(TopKBufferDeathTest, ZeroKAborts) {
+  EXPECT_DEATH(TopKBuffer(0), "PLANAR_CHECK");
+}
+
+}  // namespace
+}  // namespace planar

@@ -1,0 +1,84 @@
+// Copyright (c) 2026 The planar Authors. Licensed under the MIT license.
+
+#include "geometry/vec.h"
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+namespace planar {
+namespace {
+
+TEST(VecTest, DotProduct) {
+  EXPECT_DOUBLE_EQ(Dot({1.0, 2.0, 3.0}, {4.0, 5.0, 6.0}), 32.0);
+  EXPECT_DOUBLE_EQ(Dot({1.0, -2.0}, {3.0, 1.0}), 1.0);
+}
+
+TEST(VecTest, DotEmptyIsZero) {
+  EXPECT_DOUBLE_EQ(Dot(nullptr, nullptr, 0), 0.0);
+}
+
+TEST(VecTest, Norm) {
+  EXPECT_DOUBLE_EQ(Norm({3.0, 4.0}), 5.0);
+  EXPECT_DOUBLE_EQ(Norm({0.0, 0.0}), 0.0);
+  EXPECT_DOUBLE_EQ(Norm({-2.0}), 2.0);
+}
+
+TEST(VecTest, SquaredDistance) {
+  const double a[] = {1.0, 2.0};
+  const double b[] = {4.0, 6.0};
+  EXPECT_DOUBLE_EQ(SquaredDistance(a, b, 2), 25.0);
+  EXPECT_DOUBLE_EQ(SquaredDistance(a, a, 2), 0.0);
+}
+
+TEST(VecTest, Axpy) {
+  const double x[] = {1.0, 2.0};
+  double y[] = {10.0, 20.0};
+  Axpy(2.0, x, y, 2);
+  EXPECT_DOUBLE_EQ(y[0], 12.0);
+  EXPECT_DOUBLE_EQ(y[1], 24.0);
+}
+
+TEST(VecTest, Normalized) {
+  const std::vector<double> n = Normalized({3.0, 4.0});
+  EXPECT_DOUBLE_EQ(n[0], 0.6);
+  EXPECT_DOUBLE_EQ(n[1], 0.8);
+  EXPECT_NEAR(Norm(n), 1.0, 1e-15);
+}
+
+TEST(VecDeathTest, NormalizedZeroAborts) {
+  EXPECT_DEATH((void)Normalized({0.0, 0.0}), "PLANAR_CHECK");
+}
+
+TEST(VecTest, CosineSimilarity) {
+  EXPECT_DOUBLE_EQ(CosineSimilarity({1.0, 0.0}, {0.0, 1.0}), 0.0);
+  EXPECT_DOUBLE_EQ(CosineSimilarity({1.0, 1.0}, {2.0, 2.0}), 1.0);
+  EXPECT_DOUBLE_EQ(CosineSimilarity({1.0, 0.0}, {-1.0, 0.0}), -1.0);
+  EXPECT_NEAR(CosineSimilarity({1.0, 0.0}, {1.0, 1.0}), std::sqrt(0.5),
+              1e-15);
+}
+
+TEST(VecTest, AreParallelDetectsScaledVectors) {
+  EXPECT_TRUE(AreParallel({1.0, 2.0, 3.0}, {2.0, 4.0, 6.0}));
+  EXPECT_TRUE(AreParallel({1.0, 2.0}, {-3.0, -6.0}));  // anti-parallel counts
+  EXPECT_FALSE(AreParallel({1.0, 2.0}, {2.0, 1.0}));
+}
+
+TEST(VecTest, AreParallelTolerance) {
+  EXPECT_TRUE(AreParallel({1.0, 1.0}, {1.0, 1.0 + 1e-8}, 1e-6));
+  EXPECT_FALSE(AreParallel({1.0, 1.0}, {1.0, 1.1}, 1e-6));
+}
+
+TEST(VecTest, VecToString) {
+  EXPECT_EQ(VecToString({1.0, -2.5}), "(1.0000, -2.5000)");
+  EXPECT_EQ(VecToString({}), "()");
+}
+
+TEST(VecTest, DotMismatchedSizesAborts) {
+  EXPECT_DEATH((void)Dot(std::vector<double>{1.0},
+                         std::vector<double>{1.0, 2.0}),
+               "PLANAR_CHECK");
+}
+
+}  // namespace
+}  // namespace planar

@@ -1,0 +1,133 @@
+// Copyright (c) 2026 The planar Authors. Licensed under the MIT license.
+
+#include "mobility/waypoint.h"
+
+#include <algorithm>
+
+#include <gtest/gtest.h>
+
+#include "common/random.h"
+#include "mobility/intersection.h"
+#include "mobility/pair_features.h"
+
+namespace planar {
+namespace {
+
+WaypointObject MakeL() {
+  // Moves right for 10 min, then up for 10 min.
+  return WaypointObject({0.0, 10.0, 20.0},
+                        {{0, 0, 0}, {10, 0, 0}, {10, 10, 0}});
+}
+
+TEST(WaypointObjectTest, InterpolatesWithinSegments) {
+  const WaypointObject o = MakeL();
+  EXPECT_DOUBLE_EQ(o.At(5.0).x, 5.0);
+  EXPECT_DOUBLE_EQ(o.At(5.0).y, 0.0);
+  EXPECT_DOUBLE_EQ(o.At(15.0).x, 10.0);
+  EXPECT_DOUBLE_EQ(o.At(15.0).y, 5.0);
+}
+
+TEST(WaypointObjectTest, HitsWaypointsExactly) {
+  const WaypointObject o = MakeL();
+  EXPECT_DOUBLE_EQ(o.At(0.0).x, 0.0);
+  EXPECT_DOUBLE_EQ(o.At(10.0).x, 10.0);
+  EXPECT_DOUBLE_EQ(o.At(10.0).y, 0.0);
+  EXPECT_DOUBLE_EQ(o.At(20.0).y, 10.0);
+}
+
+TEST(WaypointObjectTest, ExtrapolatesLastSegment) {
+  const WaypointObject o = MakeL();
+  EXPECT_DOUBLE_EQ(o.At(25.0).y, 15.0);  // keeps moving up
+  EXPECT_DOUBLE_EQ(o.At(25.0).x, 10.0);
+}
+
+TEST(WaypointObjectTest, SegmentLookup) {
+  const WaypointObject o = MakeL();
+  EXPECT_EQ(o.SegmentAt(-1.0), 0u);
+  EXPECT_EQ(o.SegmentAt(0.0), 0u);
+  EXPECT_EQ(o.SegmentAt(9.99), 0u);
+  EXPECT_EQ(o.SegmentAt(10.0), 1u);
+  EXPECT_EQ(o.SegmentAt(99.0), 1u);
+  EXPECT_EQ(o.segments(), 2u);
+}
+
+TEST(WaypointObjectTest, SegmentObjectsUseAbsoluteTime) {
+  const WaypointObject o = MakeL();
+  const LinearObject seg1 = o.SegmentObject(1);
+  // At absolute t = 15 the segment object must agree with the waypoint
+  // trajectory.
+  EXPECT_DOUBLE_EQ(seg1.At(15.0).x, o.At(15.0).x);
+  EXPECT_DOUBLE_EQ(seg1.At(15.0).y, o.At(15.0).y);
+}
+
+TEST(WaypointObjectDeathTest, BadConstruction) {
+  EXPECT_DEATH(WaypointObject({0.0}, {{0, 0, 0}}), "PLANAR_CHECK");
+  EXPECT_DEATH(WaypointObject({0.0, 0.0}, {{0, 0, 0}, {1, 0, 0}}),
+               "PLANAR_CHECK");
+}
+
+// Direction changes integrate with the pair-feature index: when an object
+// turns, updating its pair rows keeps intersection queries exact.
+TEST(WaypointIntegrationTest, TurnUpdatesKeepIndexExact) {
+  Rng rng(7);
+  // Set A: waypoint movers currently in their first segment; set B linear.
+  std::vector<WaypointObject> movers;
+  for (int i = 0; i < 20; ++i) {
+    const Position3 p0{rng.Uniform(0, 100), rng.Uniform(0, 100), 0};
+    const Position3 p1{rng.Uniform(0, 100), rng.Uniform(0, 100), 0};
+    const Position3 p2{rng.Uniform(0, 100), rng.Uniform(0, 100), 0};
+    movers.emplace_back(std::vector<double>{0.0, 12.0, 30.0},
+                        std::vector<Position3>{p0, p1, p2});
+  }
+  const auto linears = GenerateLinearObjects(30, 100.0, 0.1, 1.0, false, rng);
+
+  // Index pair features for the CURRENT segments.
+  auto segment_of = [&](const WaypointObject& o, double t) {
+    return o.SegmentObject(o.SegmentAt(t));
+  };
+  std::vector<LinearObject> a_now;
+  for (const auto& m : movers) a_now.push_back(segment_of(m, 5.0));
+  auto index = PairIntersectionIndex::BuildLinear(a_now, linears,
+                                                  {5.0, 10.0});
+  ASSERT_TRUE(index.ok());
+  // Exact while everyone is in segment 0.
+  {
+    auto got = index->Query(10.0, 15.0);
+    std::vector<IdPair> want;
+    for (size_t i = 0; i < movers.size(); ++i) {
+      for (size_t j = 0; j < linears.size(); ++j) {
+        if (SquaredDistanceBetween(movers[i].At(10.0), linears[j].At(10.0)) <=
+            15.0 * 15.0) {
+          want.emplace_back(i, j);
+        }
+      }
+    }
+    std::sort(got.begin(), got.end());
+    std::sort(want.begin(), want.end());
+    EXPECT_EQ(got, want);
+  }
+  // After t = 12 every mover turned: rebuild with the new segments (one
+  // row update per pair in a real deployment; the library exposes
+  // UpdateRow for exactly this — here we simply rebuild the small index).
+  std::vector<LinearObject> a_turned;
+  for (const auto& m : movers) a_turned.push_back(segment_of(m, 15.0));
+  auto turned = PairIntersectionIndex::BuildLinear(a_turned, linears,
+                                                   {15.0, 20.0});
+  ASSERT_TRUE(turned.ok());
+  auto got = turned->Query(18.0, 15.0);
+  std::vector<IdPair> want;
+  for (size_t i = 0; i < movers.size(); ++i) {
+    for (size_t j = 0; j < linears.size(); ++j) {
+      if (SquaredDistanceBetween(movers[i].At(18.0), linears[j].At(18.0)) <=
+          15.0 * 15.0) {
+        want.emplace_back(i, j);
+      }
+    }
+  }
+  std::sort(got.begin(), got.end());
+  std::sort(want.begin(), want.end());
+  EXPECT_EQ(got, want);
+}
+
+}  // namespace
+}  // namespace planar
