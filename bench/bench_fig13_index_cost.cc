@@ -104,7 +104,8 @@ int main(int argc, char** argv) {
           (total_mb - phi_mb) / static_cast<double>(set.num_indices());
       std::vector<std::string> row{std::to_string(kept_dims[i])};
       for (size_t budget : {1u, 10u, 50u, 100u}) {
-        row.push_back(FormatDouble(phi_mb + per_index_mb * budget, 1));
+        row.push_back(FormatDouble(
+            phi_mb + per_index_mb * static_cast<double>(budget), 1));
       }
       table.AddRow(std::move(row));
     }
@@ -128,12 +129,14 @@ int main(int argc, char** argv) {
       const double fraction = pct / 100.0;
       table.AddRow(
           {FormatDouble(pct, 0),
-           FormatDouble(MeasureUpdates(data6, fraction,
-                                       PlanarIndexOptions::Backend::kSortedArray),
-                        1),
-           FormatDouble(MeasureUpdates(data10, fraction,
-                                       PlanarIndexOptions::Backend::kSortedArray),
-                        1),
+           FormatDouble(
+               MeasureUpdates(data6, fraction,
+                              PlanarIndexOptions::Backend::kSortedArray),
+               1),
+           FormatDouble(
+               MeasureUpdates(data10, fraction,
+                              PlanarIndexOptions::Backend::kSortedArray),
+               1),
            FormatDouble(MeasureUpdates(data6, fraction,
                                        PlanarIndexOptions::Backend::kBTree),
                         1),

@@ -40,9 +40,9 @@ inline Dataset MakeSynthetic(SyntheticDistribution dist, size_t n,
 
 /// Builds a PlanarIndexSet over phi(x) = x for Eq.-18 queries with the
 /// given randomness of query.
-inline PlanarIndexSet BuildEq18Set(const Dataset& data, int rq,
-                                   size_t budget,
-                                   IndexSetOptions options = IndexSetOptions()) {
+inline PlanarIndexSet BuildEq18Set(
+    const Dataset& data, int rq, size_t budget,
+    IndexSetOptions options = IndexSetOptions()) {
   PhiMatrix phi = MaterializePhi(data, IdentityFunction(data.dim()));
   Eq18Workload workload(phi, rq, 0.25, /*seed=*/5);
   options.budget = budget;

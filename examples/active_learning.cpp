@@ -73,6 +73,7 @@ int main(int argc, char** argv) {
   std::printf(
       "labeled %zu of %zu points (%.2f%%) to train the classifier\n",
       learner.total_labeled(), pool_size,
-      100.0 * learner.total_labeled() / pool_size);
+      100.0 * static_cast<double>(learner.total_labeled()) /
+          static_cast<double>(pool_size));
   return 0;
 }

@@ -69,7 +69,9 @@ int main(int argc, char** argv) {
         "(%.1f%% selectivity) | planar %.2f ms (%.1f%% pruned, index %d) "
         "vs scan %.2f ms -> %.1fx\n",
         threshold, via_index.ids.size(),
-        100.0 * via_index.ids.size() / set->size(), index_ms,
+        100.0 * static_cast<double>(via_index.ids.size()) /
+            static_cast<double>(set->size()),
+        index_ms,
         100.0 * via_index.stats.PruningFraction(),
         via_index.stats.index_used, scan_ms,
         scan_ms / (index_ms > 0 ? index_ms : 1e-9));

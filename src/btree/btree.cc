@@ -121,7 +121,9 @@ void OrderStatisticBTree::Insert(double key, uint32_t value) {
   const int pos = static_cast<int>(
       std::lower_bound(leaf->entries, leaf->entries + leaf->count, e) -
       leaf->entries);
-  for (int i = leaf->count; i > pos; --i) leaf->entries[i] = leaf->entries[i - 1];
+  for (int i = leaf->count; i > pos; --i) {
+    leaf->entries[i] = leaf->entries[i - 1];
+  }
   leaf->entries[pos] = e;
   ++leaf->count;
   ++size_;
@@ -135,7 +137,9 @@ void OrderStatisticBTree::Insert(double key, uint32_t value) {
   LeafNode* right = new LeafNode();
   right->is_leaf = true;
   right->count = right_n;
-  for (int i = 0; i < right_n; ++i) right->entries[i] = leaf->entries[left_n + i];
+  for (int i = 0; i < right_n; ++i) {
+    right->entries[i] = leaf->entries[left_n + i];
+  }
   leaf->count = left_n;
   right->next = leaf->next;
   right->prev = leaf;
@@ -243,7 +247,9 @@ void OrderStatisticBTree::RebalanceAfterErase(std::vector<InternalNode*>& path,
       if (node->is_leaf) {
         LeafNode* dst = static_cast<LeafNode*>(node);
         LeafNode* src = static_cast<LeafNode*>(left_sib);
-        for (int i = dst->count; i > 0; --i) dst->entries[i] = dst->entries[i - 1];
+        for (int i = dst->count; i > 0; --i) {
+          dst->entries[i] = dst->entries[i - 1];
+        }
         dst->entries[0] = src->entries[src->count - 1];
         ++dst->count;
         --src->count;
@@ -257,7 +263,9 @@ void OrderStatisticBTree::RebalanceAfterErase(std::vector<InternalNode*>& path,
           dst->children[i] = dst->children[i - 1];
           dst->sizes[i] = dst->sizes[i - 1];
         }
-        for (int i = dst->count - 1; i > 0; --i) dst->seps[i] = dst->seps[i - 1];
+        for (int i = dst->count - 1; i > 0; --i) {
+          dst->seps[i] = dst->seps[i - 1];
+        }
         dst->children[0] = src->children[src->count - 1];
         dst->sizes[0] = src->sizes[src->count - 1];
         dst->seps[0] = parent->seps[slot - 1];
@@ -277,7 +285,9 @@ void OrderStatisticBTree::RebalanceAfterErase(std::vector<InternalNode*>& path,
         LeafNode* src = static_cast<LeafNode*>(right_sib);
         dst->entries[dst->count] = src->entries[0];
         ++dst->count;
-        for (int i = 0; i + 1 < src->count; ++i) src->entries[i] = src->entries[i + 1];
+        for (int i = 0; i + 1 < src->count; ++i) {
+          src->entries[i] = src->entries[i + 1];
+        }
         --src->count;
         parent->seps[slot] = src->entries[0];
         ++parent->sizes[slot];
@@ -295,7 +305,9 @@ void OrderStatisticBTree::RebalanceAfterErase(std::vector<InternalNode*>& path,
           src->children[i] = src->children[i + 1];
           src->sizes[i] = src->sizes[i + 1];
         }
-        for (int i = 0; i + 2 < src->count; ++i) src->seps[i] = src->seps[i + 1];
+        for (int i = 0; i + 2 < src->count; ++i) {
+          src->seps[i] = src->seps[i + 1];
+        }
         --src->count;
         parent->sizes[slot] += moved;
         parent->sizes[slot + 1] -= moved;

@@ -9,8 +9,10 @@
 #ifndef PLANAR_COMMON_MACROS_H_
 #define PLANAR_COMMON_MACROS_H_
 
+#include <cstddef>
 #include <cstdio>
 #include <cstdlib>
+#include <type_traits>
 
 #define PLANAR_PREDICT_TRUE(x) (__builtin_expect(!!(x), 1))
 #define PLANAR_PREDICT_FALSE(x) (__builtin_expect(!!(x), 0))
@@ -27,7 +29,65 @@
     }                                                                        \
   } while (false)
 
-#define PLANAR_CHECK_OP(op, a, b) PLANAR_CHECK((a)op(b))
+namespace planar {
+namespace internal {
+
+// Renders one CHECK_OP operand into `buf`. Covers the types that appear in
+// checks across the library (integers, floats, bools, enums, pointers);
+// anything else prints a placeholder rather than failing to compile.
+template <typename T, size_t N>
+void FormatCheckOperand(char (&buf)[N], const T& v) {
+  using D = std::decay_t<T>;
+  if constexpr (std::is_same_v<D, bool>) {
+    std::snprintf(buf, N, "%s", v ? "true" : "false");
+  } else if constexpr (std::is_floating_point_v<D>) {
+    std::snprintf(buf, N, "%.17g", static_cast<double>(v));
+  } else if constexpr (std::is_enum_v<D>) {
+    const auto raw = static_cast<std::underlying_type_t<D>>(v);
+    std::snprintf(buf, N, "%lld", static_cast<long long>(raw));
+  } else if constexpr (std::is_integral_v<D> && std::is_signed_v<D>) {
+    std::snprintf(buf, N, "%lld", static_cast<long long>(v));
+  } else if constexpr (std::is_integral_v<D> && std::is_unsigned_v<D>) {
+    std::snprintf(buf, N, "%llu", static_cast<unsigned long long>(v));
+  } else if constexpr (std::is_pointer_v<D>) {
+    std::snprintf(buf, N, "%p", static_cast<const void*>(v));
+  } else {
+    std::snprintf(buf, N, "<unprintable>");
+  }
+}
+
+template <typename A, typename B>
+[[noreturn]] void CheckOpFailure(const char* file, int line,
+                                 const char* expr_text, const A& lhs,
+                                 const B& rhs) {
+  char lhs_buf[64];
+  char rhs_buf[64];
+  FormatCheckOperand(lhs_buf, lhs);
+  FormatCheckOperand(rhs_buf, rhs);
+  std::fprintf(stderr, "PLANAR_CHECK failed at %s:%d: %s (lhs=%s, rhs=%s)\n",
+               file, line, expr_text, lhs_buf, rhs_buf);
+  std::abort();
+}
+
+}  // namespace internal
+}  // namespace planar
+
+// Binary comparison check that prints both operand values on failure.
+// Operands are evaluated exactly once and bound to locals before the
+// comparison, so compound expressions (PLANAR_CHECK_EQ(a | b, c)) never
+// parse against the operator precedence of `op`.
+#define PLANAR_CHECK_OP(op, a, b)                                            \
+  do {                                                                       \
+    const auto& planar_check_lhs_ = (a);                                     \
+    const auto& planar_check_rhs_ = (b);                                     \
+    if (PLANAR_PREDICT_FALSE(!(planar_check_lhs_ op planar_check_rhs_))) {   \
+      ::planar::internal::CheckOpFailure(__FILE__, __LINE__,                 \
+                                         #a " " #op " " #b,                  \
+                                         planar_check_lhs_,                  \
+                                         planar_check_rhs_);                 \
+    }                                                                        \
+  } while (false)
+
 #define PLANAR_CHECK_EQ(a, b) PLANAR_CHECK_OP(==, a, b)
 #define PLANAR_CHECK_NE(a, b) PLANAR_CHECK_OP(!=, a, b)
 #define PLANAR_CHECK_LT(a, b) PLANAR_CHECK_OP(<, a, b)

@@ -25,7 +25,8 @@ void TablePrinter::AddRow(std::vector<std::string> cells) {
   rows_.push_back(std::move(cells));
 }
 
-void TablePrinter::AddNumericRow(const std::vector<double>& cells, int precision) {
+void TablePrinter::AddNumericRow(const std::vector<double>& cells,
+                                 int precision) {
   std::vector<std::string> row;
   row.reserve(cells.size());
   for (double cell : cells) row.push_back(FormatDouble(cell, precision));

@@ -6,7 +6,8 @@
 
 namespace planar {
 
-std::vector<double> PhiFunction::operator()(const std::vector<double>& x) const {
+std::vector<double> PhiFunction::operator()(
+    const std::vector<double>& x) const {
   PLANAR_CHECK_EQ(x.size(), input_dim());
   std::vector<double> out(output_dim());
   Apply(x.data(), out.data());

@@ -119,12 +119,16 @@ Result<PlanarIndexSet> PlanarIndexSet::BuildWithNormals(
 }
 
 int PlanarIndexSet::SelectBestIndex(const NormalizedQuery& q) const {
+  // Non-finite parameters defeat every selection heuristic and the index
+  // pruning math itself; reporting "no index" routes such queries to the
+  // exact sequential-scan fallback.
+  if (!q.IsFinite()) return -1;
   int best = -1;
   double best_score = 0.0;
   for (size_t i = 0; i < indices_.size(); ++i) {
     const PlanarIndex& index = indices_[i];
     if (!index.CanServe(q)) continue;
-    double score;
+    double score = 0.0;
     switch (options_.selector) {
       case IndexSetOptions::Selector::kStretch:
         score = index.MaxStretch(q);  // smaller is better
@@ -222,6 +226,9 @@ InequalityResult PlanarIndexSet::Inequality(const ScalarProductQuery& q) const {
 Result<TopKResult> PlanarIndexSet::TopK(const ScalarProductQuery& q,
                                         size_t k) const {
   const NormalizedQuery norm = NormalizedQuery::From(q);
+  if (!norm.IsFinite()) {
+    return Status::InvalidArgument("query parameters must be finite");
+  }
   const int best = SelectBestIndex(norm);
   if (best < 0) {
     return ScanTopK(*phi_, q, k);

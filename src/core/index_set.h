@@ -79,9 +79,9 @@ class PlanarIndexSet {
   /// Builds `options.budget` indices with normals sampled uniformly from
   /// `domains` (one domain per phi output axis), deduplicating parallel
   /// normals. Takes ownership of the matrix.
-  static Result<PlanarIndexSet> Build(PhiMatrix phi,
-                                      const std::vector<ParameterDomain>& domains,
-                                      const IndexSetOptions& options = IndexSetOptions());
+  static Result<PlanarIndexSet> Build(
+      PhiMatrix phi, const std::vector<ParameterDomain>& domains,
+      const IndexSetOptions& options = IndexSetOptions());
 
   /// Builds with explicitly chosen mirrored-space normals (all entries
   /// strictly positive) for the given octant. Useful when good normals are

@@ -133,7 +133,8 @@ PlanarIndex::Prepared PlanarIndex::Prepare(const NormalizedQuery& q) const {
   Prepared p;
   p.b_prime = translator_.MirroredOffset(q);
 
-  // Split axes into active (a~_i > 0) and always-excluded (a~_i == 0).
+  // Split axes into active (normal, finite ratio a~_i / c_i) and
+  // always-excluded (a~_i == 0, or a ratio too degenerate to divide by).
   struct Axis {
     double ratio;     // a~_i / c_i
     double c_psi_min;  // c_i * psi_min_i
@@ -148,18 +149,35 @@ PlanarIndex::Prepared PlanarIndex::Prepare(const NormalizedQuery& q) const {
     const double at = std::fabs(q.a[i]);
     const double psi_min = translator_.PsiMin(i);
     const double psi_max = translator_.PsiMax(i);
-    if (at > 0.0) {
-      axes.push_back({at / normal_[i], normal_[i] * psi_min,
-                      normal_[i] * psi_max, at * psi_min, at * psi_max});
+    const double ratio = at > 0.0 ? at / normal_[i] : 0.0;
+    // Only axes whose ratio a~_i / c_i is a normal, finite double may
+    // enter the rmin/rmax envelope: the ratio reappears as a divisor in
+    // the key cuts ((b' - E) / r), so a ratio that underflowed to zero or
+    // a denormal would evaluate b/0.0-style expressions, and an overflowed
+    // infinity poisons the top-k lower bound. Degenerate-ratio axes get
+    // the zero-axis treatment instead — bounded by their psi range and
+    // resolved by exact verification — which is sound for any exclusion
+    // choice.
+    if (ratio >= std::numeric_limits<double>::min() &&
+        std::isfinite(ratio)) {
+      axes.push_back({ratio, normal_[i] * psi_min, normal_[i] * psi_max,
+                      at * psi_min, at * psi_max});
       ++m;
     } else {
       p.c0min += normal_[i] * psi_min;
       p.c0max += normal_[i] * psi_max;
+      p.emin += at * psi_min;
+      p.emax += at * psi_max;
     }
   }
-  p.excluded_axes = q.a.size() - m;  // exact-zero axes
+  p.excluded_axes = q.a.size() - m;  // zero or degenerate-ratio axes
   if (m == 0) {
+    // Every axis is excluded: the key carries no information about the
+    // scalar product, so the whole dataset is intermediate and verified
+    // exactly.
     p.all_axes_zero = true;
+    p.low_cut = -std::numeric_limits<double>::infinity();
+    p.high_cut = std::numeric_limits<double>::infinity();
     return p;
   }
 
@@ -188,10 +206,14 @@ PlanarIndex::Prepared PlanarIndex::Prepare(const NormalizedQuery& q) const {
       for (size_t suf = 0; pre + suf + 1 <= m; ++suf) {
         const double rmin = axes[pre].ratio;
         const double rmax = axes[m - suf - 1].ratio;
-        const double e_min = p.emin + pa_min[pre] + (pa_min[m] - pa_min[m - suf]);
-        const double e_max = p.emax + pa_max[pre] + (pa_max[m] - pa_max[m - suf]);
-        const double c_min = p.c0min + pc_min[pre] + (pc_min[m] - pc_min[m - suf]);
-        const double c_max = p.c0max + pc_max[pre] + (pc_max[m] - pc_max[m - suf]);
+        const double e_min =
+            p.emin + pa_min[pre] + (pa_min[m] - pa_min[m - suf]);
+        const double e_max =
+            p.emax + pa_max[pre] + (pa_max[m] - pa_max[m - suf]);
+        const double c_min =
+            p.c0min + pc_min[pre] + (pc_min[m] - pc_min[m - suf]);
+        const double c_max =
+            p.c0max + pc_max[pre] + (pc_max[m] - pc_max[m - suf]);
         const double width = (p.b_prime - e_min) / rmin -
                              (p.b_prime - e_max) / rmax + (c_max - c_min);
         if (width < best_width) {
@@ -231,6 +253,9 @@ PlanarIndex::Prepared PlanarIndex::Prepare(const NormalizedQuery& q) const {
 
 Result<PlanarIndex::Intervals> PlanarIndex::ComputeIntervals(
     const NormalizedQuery& q) const {
+  if (!q.IsFinite()) {
+    return Status::InvalidArgument("query parameters must be finite");
+  }
   if (!CanServe(q)) {
     return Status::FailedPrecondition(
         "query octant is incompatible with this index");
@@ -271,6 +296,9 @@ Result<InequalityResult> PlanarIndex::Inequality(
 
 Result<InequalityResult> PlanarIndex::Inequality(
     const NormalizedQuery& q) const {
+  if (!q.IsFinite()) {
+    return Status::InvalidArgument("query parameters must be finite");
+  }
   if (!CanServe(q)) {
     return Status::FailedPrecondition(
         "query octant is incompatible with this index");
@@ -347,6 +375,9 @@ Result<TopKResult> PlanarIndex::TopK(const ScalarProductQuery& q,
 
 Result<TopKResult> PlanarIndex::TopK(const NormalizedQuery& q,
                                      size_t k) const {
+  if (!q.IsFinite()) {
+    return Status::InvalidArgument("query parameters must be finite");
+  }
   if (!CanServe(q)) {
     return Status::FailedPrecondition(
         "query octant is incompatible with this index");
@@ -473,7 +504,7 @@ PlanarIndex::Explanation PlanarIndex::Explain(
   Explanation e;
   e.num_points = size();
   e.cmp = q.cmp;
-  e.can_serve = CanServe(q);
+  e.can_serve = q.IsFinite() && CanServe(q);
   if (!e.can_serve) return e;
   if (q.IsDegenerate()) {
     e.degenerate = true;

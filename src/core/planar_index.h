@@ -69,7 +69,9 @@ struct TopKStats {
   int index_used = -1;
 
   /// Points whose scalar product was evaluated.
-  size_t checked() const { return verified_intermediate + scanned_accept_region; }
+  size_t checked() const {
+    return verified_intermediate + scanned_accept_region;
+  }
 };
 
 /// Result of a top-k nearest neighbor query: up to k satisfying points in
@@ -131,10 +133,9 @@ class PlanarIndex {
   /// to |a_i| of the expected queries (equivalently, the original-space
   /// normal is sign(O, i) * normal[i]). Requires a non-empty matrix with
   /// phi->dim() == normal.size() == octant.dim().
-  static Result<PlanarIndex> Build(const PhiMatrix* phi,
-                                   std::vector<double> normal,
-                                   const Octant& octant,
-                                   const PlanarIndexOptions& options = PlanarIndexOptions());
+  static Result<PlanarIndex> Build(
+      const PhiMatrix* phi, std::vector<double> normal, const Octant& octant,
+      const PlanarIndexOptions& options = PlanarIndexOptions());
 
   /// Convenience: Build with the first hyper octant (all-positive
   /// parameters, all data already non-negative or translated).

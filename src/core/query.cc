@@ -25,6 +25,20 @@ double ScalarProductQuery::Distance(const double* phi_row) const {
   return std::fabs(Residual(phi_row)) / norm;
 }
 
+namespace {
+
+bool AllFinite(const std::vector<double>& a, double b) {
+  if (!std::isfinite(b)) return false;
+  for (double ai : a) {
+    if (!std::isfinite(ai)) return false;
+  }
+  return true;
+}
+
+}  // namespace
+
+bool ScalarProductQuery::IsFinite() const { return AllFinite(a, b); }
+
 std::string ScalarProductQuery::ToString() const {
   std::string out = "<a, phi(x)> ";
   out += cmp == Comparison::kLessEqual ? "<= " : ">= ";
@@ -57,6 +71,8 @@ bool NormalizedQuery::IsDegenerate() const {
   }
   return true;
 }
+
+bool NormalizedQuery::IsFinite() const { return AllFinite(a, b); }
 
 double NormalizedQuery::NormA() const { return Norm(a); }
 

@@ -33,6 +33,13 @@ struct ScalarProductQuery {
   /// Signed residual <a, phi_row> - b.
   double Residual(const double* phi_row) const;
 
+  /// True iff every parameter (each a_i and b) is finite. Non-finite
+  /// parameters defeat the key-interval pruning math (a NaN comparison is
+  /// always false, an infinity collapses the envelope to b/0-style
+  /// divisions), so index query paths reject them and set-level paths fall
+  /// back to an exact sequential scan.
+  bool IsFinite() const;
+
   /// Distance of phi_row to the query hyperplane: |<a,phi_row> - b| / |a|.
   double Distance(const double* phi_row) const;
 
@@ -55,6 +62,9 @@ struct NormalizedQuery {
 
   /// True iff every parameter is zero (degenerate constant predicate).
   bool IsDegenerate() const;
+
+  /// True iff every parameter is finite (see ScalarProductQuery::IsFinite).
+  bool IsFinite() const;
 
   /// L2 norm of `a`.
   double NormA() const;

@@ -30,6 +30,9 @@ InequalityResult ScanInequality(const PhiMatrix& phi,
 Result<TopKResult> ScanTopK(const PhiMatrix& phi, const ScalarProductQuery& q,
                             size_t k) {
   PLANAR_CHECK_EQ(phi.dim(), q.a.size());
+  if (!q.IsFinite()) {
+    return Status::InvalidArgument("query parameters must be finite");
+  }
   const double norm_a = Norm(q.a);
   if (norm_a == 0.0) {
     return Status::InvalidArgument(

@@ -129,8 +129,8 @@ CircularLinearWorkload::IndexTemplates(double t,
   for (double r : radii) {
     PLANAR_CHECK_GT(r, 0.0);
     for (size_t k = 0; k < num_angles; ++k) {
-      const double theta =
-          kTwoPi * (static_cast<double>(k) + 0.5) / num_angles;
+      const double theta = kTwoPi * (static_cast<double>(k) + 0.5) /
+                           static_cast<double>(num_angles);
       const double ex = std::cos(theta);
       const double ey = std::sin(theta);
       std::vector<double> signed_normal = {r * r,

@@ -63,7 +63,8 @@ TEST_P(BTreeFuzzTest, RandomInsertEraseAgreesWithModel) {
     if (do_insert) {
       const double key =
           static_cast<double>(rng.UniformInt(0, p.key_space - 1)) * 0.25;
-      const uint32_t value = static_cast<uint32_t>(rng.UniformInt(uint64_t{1} << 20));
+      const uint32_t value =
+          static_cast<uint32_t>(rng.UniformInt(uint64_t{1} << 20));
       if (model.emplace(key, value).second) {
         tree.Insert(key, value);
         live.emplace_back(key, value);

@@ -18,8 +18,8 @@ double PearsonCorrelation(const Dataset& data, size_t col_a, size_t col_b) {
     ma += data.at(i, col_a);
     mb += data.at(i, col_b);
   }
-  ma /= n;
-  mb /= n;
+  ma /= static_cast<double>(n);
+  mb /= static_cast<double>(n);
   double cov = 0, va = 0, vb = 0;
   for (size_t i = 0; i < n; ++i) {
     const double da = data.at(i, col_a) - ma;
@@ -112,7 +112,7 @@ TEST(RealWorldSimTest, CTextureShapeRangeAndConcentration) {
   // dominant per-image energy factor.
   double mean = 0;
   for (size_t i = 0; i < data.size(); ++i) mean += data.at(i, 0);
-  mean /= data.size();
+  mean /= static_cast<double>(data.size());
   EXPECT_GT(mean, 0.3 * data.ColumnMax(0));
   EXPECT_GT(PearsonCorrelation(data, 0, 8), 0.8);
 }

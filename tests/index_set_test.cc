@@ -3,6 +3,7 @@
 #include "core/index_set.h"
 
 #include <cmath>
+#include <limits>
 
 #include <gtest/gtest.h>
 
@@ -241,6 +242,33 @@ TEST(IndexSetTest, DeterministicForSeed) {
   ASSERT_EQ(s1->num_indices(), s2->num_indices());
   for (size_t i = 0; i < s1->num_indices(); ++i) {
     EXPECT_EQ(s1->index(i).normal(), s2->index(i).normal());
+  }
+}
+
+TEST(IndexSetEdgeCaseTest, NonFiniteInequalityFallsBackToExactScan) {
+  PhiMatrix phi = RandomPhi(300, 3, 1.0, 100.0, 48);
+  PhiMatrix reference(3);
+  for (size_t i = 0; i < phi.size(); ++i) reference.AppendRow(phi.row(i));
+  auto set = PlanarIndexSet::Build(std::move(phi),
+                                   PositiveDomains(3, 1.0, 8.0), WithBudget(4));
+  ASSERT_TRUE(set.ok());
+  const double nan = std::numeric_limits<double>::quiet_NaN();
+  const double inf = std::numeric_limits<double>::infinity();
+  const ScalarProductQuery queries[] = {
+      {{nan, 2.0, 3.0}, 50.0, Comparison::kLessEqual},
+      {{1.0, inf, 3.0}, 50.0, Comparison::kLessEqual},
+      {{1.0, 2.0, 3.0}, nan, Comparison::kGreaterEqual},
+  };
+  for (const ScalarProductQuery& q : queries) {
+    const InequalityResult result = set->Inequality(q);
+    EXPECT_EQ(result.stats.index_used, -1) << q.ToString();
+    EXPECT_EQ(Sorted(result.ids), BruteForceMatches(reference, q))
+        << q.ToString();
+    EXPECT_FALSE(set->TopK(q, 5).ok()) << q.ToString();
+    EXPECT_EQ(set->Explain(q).index_used, -1) << q.ToString();
+    const auto bounds = set->EstimateSelectivity(q);
+    EXPECT_EQ(bounds.lo, 0.0);
+    EXPECT_EQ(bounds.hi, 1.0);
   }
 }
 

@@ -1,0 +1,89 @@
+// Copyright (c) 2026 The planar Authors. Licensed under the MIT license.
+
+#include "common/macros.h"
+
+#include <cstddef>
+
+#include <gtest/gtest.h>
+
+namespace planar {
+namespace {
+
+TEST(PlanarCheckTest, PassingChecksAreSilent) {
+  PLANAR_CHECK(true);
+  PLANAR_CHECK_EQ(2 + 2, 4);
+  PLANAR_CHECK_NE(1, 2);
+  PLANAR_CHECK_LT(1, 2);
+  PLANAR_CHECK_LE(2, 2);
+  PLANAR_CHECK_GT(3, 2);
+  PLANAR_CHECK_GE(3, 3);
+}
+
+TEST(PlanarCheckDeathTest, CheckPrintsExpression) {
+  EXPECT_DEATH(PLANAR_CHECK(1 == 2), "PLANAR_CHECK failed");
+}
+
+TEST(PlanarCheckDeathTest, CheckEqPrintsIntegerOperands) {
+  const int lhs = 3;
+  const int rhs = 4;
+  EXPECT_DEATH(PLANAR_CHECK_EQ(lhs, rhs), "lhs=3, rhs=4");
+}
+
+TEST(PlanarCheckDeathTest, CheckLtPrintsFloatingPointOperands) {
+  const double big = 2.5;
+  const double small = 1.25;
+  EXPECT_DEATH(PLANAR_CHECK_LT(big, small), "lhs=2.5, rhs=1.25");
+}
+
+TEST(PlanarCheckDeathTest, CheckEqPrintsUnsignedOperands) {
+  const size_t n = 7;
+  const size_t m = 9;
+  EXPECT_DEATH(PLANAR_CHECK_EQ(n, m), "lhs=7, rhs=9");
+}
+
+TEST(PlanarCheckDeathTest, CheckEqPrintsBoolOperands) {
+  const bool yes = true;
+  const bool no = false;
+  EXPECT_DEATH(PLANAR_CHECK_EQ(yes, no), "lhs=true, rhs=false");
+}
+
+TEST(PlanarCheckDeathTest, MessageNamesTheOriginalExpression) {
+  const int count = 1;
+  EXPECT_DEATH(PLANAR_CHECK_GE(count, 5), "count >= 5");
+}
+
+TEST(PlanarCheckTest, CompoundOperandsParseAsWholeExpressions) {
+  // With a naive `(a)op(b)` expansion, `a | b == c` would parse as
+  // `a | (b == c)` when the operand text is substituted unparenthesized.
+  // Operands are bound to locals first, so the bitwise-or result is what
+  // gets compared.
+  const unsigned a = 1;
+  const unsigned b = 2;
+  const unsigned c = 3;
+  PLANAR_CHECK_EQ(a | b, c);
+  PLANAR_CHECK_EQ(a + 1, b);
+}
+
+TEST(PlanarCheckDeathTest, CompoundOperandFailurePrintsCombinedValue) {
+  const unsigned a = 1;
+  const unsigned b = 2;
+  const unsigned c = 3;
+  EXPECT_DEATH(PLANAR_CHECK_EQ(a & b, c), "lhs=0, rhs=3");
+}
+
+TEST(PlanarCheckTest, OperandsAreEvaluatedExactlyOnce) {
+  int evaluations = 0;
+  const auto count_and_return = [&evaluations] {
+    ++evaluations;
+    return 5;
+  };
+  PLANAR_CHECK_EQ(count_and_return(), 5);
+  EXPECT_EQ(evaluations, 1);
+}
+
+TEST(PlanarCheckTest, DcheckCompilesInBothModes) {
+  PLANAR_DCHECK(true);
+}
+
+}  // namespace
+}  // namespace planar

@@ -35,6 +35,31 @@ TEST(ParallelForTest, MoreThreadsThanItems) {
   EXPECT_EQ(total.load(), 3);
 }
 
+TEST(ParallelForTest, ExactlyOnceAccountingAcrossDegenerateShapes) {
+  // Every (n, threads) shape must invoke fn exactly once per index:
+  // n == 0, threads == 1, threads == n, threads > n, the hardware default
+  // (threads == 0), and chunk sizes that do not divide n evenly.
+  const size_t sizes[] = {0, 1, 2, 3, 16, 17, 1000};
+  const size_t thread_counts[] = {0, 1, 2, 3, 7, 16, 64};
+  for (size_t n : sizes) {
+    for (size_t threads : thread_counts) {
+      std::vector<std::atomic<int>> counts(n);
+      ParallelFor(n, [&](size_t i) { counts[i].fetch_add(1); }, threads);
+      for (size_t i = 0; i < n; ++i) {
+        ASSERT_EQ(counts[i].load(), 1)
+            << "n=" << n << " threads=" << threads << " i=" << i;
+      }
+    }
+  }
+}
+
+TEST(ParallelForTest, ZeroItemsNeverInvokesWithAnyThreadCount) {
+  for (size_t threads : {size_t{0}, size_t{1}, size_t{8}}) {
+    ParallelFor(0, [&](size_t) { FAIL() << "fn invoked for n == 0"; },
+                threads);
+  }
+}
+
 class ParallelQueryTest : public ::testing::Test {
  protected:
   void SetUp() override {

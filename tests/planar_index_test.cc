@@ -7,6 +7,7 @@
 #include "core/planar_index.h"
 
 #include <cmath>
+#include <limits>
 
 #include <gtest/gtest.h>
 
@@ -348,6 +349,97 @@ TEST(PlanarIndexTest, PaperExample4Stretch) {
       NormalizedQuery::From({{1.0, 2.0, 5.0}, 10.0, Comparison::kLessEqual});
   // m_k = c_k * b / a_k = 10, 5, 4 -> spread 6; min c = 1 -> stretch 6.
   EXPECT_NEAR(index->MaxStretch(q), 6.0, 1e-12);
+}
+
+// --- Non-finite and degenerate-ratio query parameters ---------------------
+
+TEST(PlanarIndexEdgeCaseTest, NonFiniteQueryParametersAreRejected) {
+  PhiMatrix phi = RandomPhi(50, 2, 0.0, 10.0, 71);
+  auto index = PlanarIndex::BuildFirstOctant(&phi, {1.0, 1.0});
+  ASSERT_TRUE(index.ok());
+  const double nan = std::numeric_limits<double>::quiet_NaN();
+  const double inf = std::numeric_limits<double>::infinity();
+  const ScalarProductQuery bad_queries[] = {
+      {{nan, 1.0}, 1.0, Comparison::kLessEqual},
+      {{1.0, inf}, 1.0, Comparison::kLessEqual},
+      {{1.0, 1.0}, nan, Comparison::kLessEqual},
+      {{1.0, 1.0}, -inf, Comparison::kGreaterEqual},
+  };
+  for (const ScalarProductQuery& q : bad_queries) {
+    EXPECT_FALSE(index->Inequality(q).ok()) << q.ToString();
+    EXPECT_FALSE(index->TopK(q, 3).ok()) << q.ToString();
+    EXPECT_FALSE(index->ComputeIntervals(NormalizedQuery::From(q)).ok())
+        << q.ToString();
+  }
+}
+
+TEST(PlanarIndexEdgeCaseTest, UnderflowingRatioStaysExact) {
+  // |a_1| / c_1 = 1e-300 / 1e300 underflows to exactly zero; without the
+  // degenerate-ratio exclusion the key cuts would evaluate (b' - E) / 0.0.
+  PhiMatrix phi = RandomPhi(200, 2, 0.0, 10.0, 72);
+  auto index = PlanarIndex::BuildFirstOctant(&phi, {1.0, 1e300});
+  ASSERT_TRUE(index.ok());
+  const ScalarProductQuery q{{1.0, 1e-300}, 5.0, Comparison::kLessEqual};
+  const auto result = index->Inequality(q);
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(Sorted(result->ids), BruteForceMatches(phi, q));
+}
+
+TEST(PlanarIndexEdgeCaseTest, DenormalQueryComponentStaysExact) {
+  PhiMatrix phi = RandomPhi(200, 2, 0.0, 10.0, 73);
+  auto index = PlanarIndex::BuildFirstOctant(&phi, {1.0, 1.0});
+  ASSERT_TRUE(index.ok());
+  // 5e-324 is the smallest denormal; its ratio against c_1 = 1 is itself
+  // denormal and must not enter the rmin/rmax envelope as a divisor.
+  const ScalarProductQuery q{{2.0, 5e-324}, 30.0, Comparison::kLessEqual};
+  const auto result = index->Inequality(q);
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(Sorted(result->ids), BruteForceMatches(phi, q));
+}
+
+TEST(PlanarIndexEdgeCaseTest, OverflowingRatioStaysExact) {
+  // |a_0| / c_0 = 1e300 / 1e-300 overflows to infinity, which would poison
+  // the top-k lower bound; the axis is excluded instead.
+  PhiMatrix phi = RandomPhi(200, 2, 0.0, 10.0, 74);
+  auto index = PlanarIndex::BuildFirstOctant(&phi, {1e-300, 1.0});
+  ASSERT_TRUE(index.ok());
+  const ScalarProductQuery q{{1e300, 1.0}, 1e301, Comparison::kLessEqual};
+  const auto result = index->Inequality(q);
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(Sorted(result->ids), BruteForceMatches(phi, q));
+}
+
+TEST(PlanarIndexEdgeCaseTest, AllRatiosDegenerateVerifiesEverything) {
+  // Every axis excluded: the key carries no information, so the whole
+  // dataset lands in the intermediate interval and is verified exactly.
+  PhiMatrix phi = RandomPhi(100, 2, 0.0, 10.0, 75);
+  auto index = PlanarIndex::BuildFirstOctant(&phi, {1e300, 1e300});
+  ASSERT_TRUE(index.ok());
+  const ScalarProductQuery q{{1e-300, 1e-300}, 1.0, Comparison::kLessEqual};
+  const auto result = index->Inequality(q);
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result->stats.verified, phi.size());
+  EXPECT_EQ(Sorted(result->ids), BruteForceMatches(phi, q));
+}
+
+TEST(PlanarIndexEdgeCaseTest, ZeroAndNegativeComponentsStayExact) {
+  PhiMatrix phi = RandomPhi(200, 3, 0.0, 10.0, 76);
+  auto index = PlanarIndex::BuildFirstOctant(&phi, {1.0, 2.0, 1.0});
+  ASSERT_TRUE(index.ok());
+  // A zero component excludes the axis; a negative component makes the
+  // query octant-incompatible with a first-octant index.
+  const ScalarProductQuery zero_axis{{1.0, 0.0, 2.0}, 25.0,
+                                     Comparison::kLessEqual};
+  const auto result = index->Inequality(zero_axis);
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(Sorted(result->ids), BruteForceMatches(phi, zero_axis));
+
+  const ScalarProductQuery negative{{1.0, -1.0, 2.0}, 25.0,
+                                    Comparison::kLessEqual};
+  EXPECT_FALSE(index->Inequality(negative).ok());
+  // The exact answer is still available through the scan path.
+  EXPECT_EQ(Sorted(ScanInequality(phi, negative).ids),
+            BruteForceMatches(phi, negative));
 }
 
 TEST(PlanarIndexTest, MemoryUsageScalesWithN) {

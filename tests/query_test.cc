@@ -3,6 +3,7 @@
 #include "core/query.h"
 
 #include <cmath>
+#include <limits>
 
 #include <gtest/gtest.h>
 
@@ -95,6 +96,47 @@ TEST(NormalizedQueryTest, Degenerate) {
   EXPECT_FALSE(
       NormalizedQuery::From({{0.0, 0.1}, 1.0, Comparison::kLessEqual})
           .IsDegenerate());
+}
+
+TEST(ScalarProductQueryTest, IsFiniteAcceptsOrdinaryParameters) {
+  EXPECT_TRUE((ScalarProductQuery{{1.0, -2.0, 0.0}, 3.0,
+                                  Comparison::kLessEqual})
+                  .IsFinite());
+  // Zero, negative, and denormal components are all legitimate finite
+  // parameters; only NaN and infinities are excluded.
+  EXPECT_TRUE((ScalarProductQuery{{0.0, -0.0, 5e-324}, -7.5,
+                                  Comparison::kGreaterEqual})
+                  .IsFinite());
+}
+
+TEST(ScalarProductQueryTest, IsFiniteRejectsNaNAndInfinity) {
+  const double nan = std::numeric_limits<double>::quiet_NaN();
+  const double inf = std::numeric_limits<double>::infinity();
+  EXPECT_FALSE((ScalarProductQuery{{nan, 1.0}, 1.0,
+                                   Comparison::kLessEqual})
+                   .IsFinite());
+  EXPECT_FALSE((ScalarProductQuery{{1.0, inf}, 1.0,
+                                   Comparison::kLessEqual})
+                   .IsFinite());
+  EXPECT_FALSE((ScalarProductQuery{{1.0, -inf}, 1.0,
+                                   Comparison::kGreaterEqual})
+                   .IsFinite());
+  EXPECT_FALSE((ScalarProductQuery{{1.0, 1.0}, nan,
+                                   Comparison::kLessEqual})
+                   .IsFinite());
+  EXPECT_FALSE((ScalarProductQuery{{1.0, 1.0}, -inf,
+                                   Comparison::kLessEqual})
+                   .IsFinite());
+}
+
+TEST(NormalizedQueryTest, IsFiniteSurvivesNormalization) {
+  const double nan = std::numeric_limits<double>::quiet_NaN();
+  EXPECT_TRUE(NormalizedQuery::From({{1.0, -2.0}, -3.0,
+                                     Comparison::kLessEqual})
+                  .IsFinite());
+  EXPECT_FALSE(NormalizedQuery::From({{nan, -2.0}, -3.0,
+                                      Comparison::kLessEqual})
+                   .IsFinite());
 }
 
 TEST(NormalizedQueryTest, NormA) {

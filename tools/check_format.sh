@@ -1,0 +1,37 @@
+#!/usr/bin/env bash
+# Copyright (c) 2026 The planar Authors. Licensed under the MIT license.
+#
+# Verifies that every C++ file satisfies .clang-format
+# (`clang-format --dry-run -Werror`). Pass --fix to rewrite in place.
+#
+# Environment:
+#   CLANG_FORMAT  clang-format binary to use (default: clang-format)
+#
+# Exits 0 when clang-format is unavailable so environments without LLVM
+# still pass the full ctest suite; the CI format job installs the real
+# tool and enforces the gate.
+set -u -o pipefail
+
+cd "$(dirname "$0")/.."
+
+CLANG_FORMAT="${CLANG_FORMAT:-clang-format}"
+if ! command -v "$CLANG_FORMAT" > /dev/null 2>&1; then
+  echo "check_format: SKIPPED ($CLANG_FORMAT not installed)"
+  exit 0
+fi
+
+mode=(--dry-run -Werror)
+if [ "${1:-}" = "--fix" ]; then
+  mode=(-i)
+fi
+
+mapfile -t sources < <(find src tests bench examples tools \
+  \( -name '*.cc' -o -name '*.h' -o -name '*.cpp' \) | sort)
+echo "check_format: ${#sources[@]} files"
+
+if "$CLANG_FORMAT" "${mode[@]}" --style=file "${sources[@]}"; then
+  echo "check_format: OK"
+else
+  echo "check_format: run tools/check_format.sh --fix" >&2
+  exit 1
+fi

@@ -1,0 +1,154 @@
+#!/usr/bin/env python3
+# Copyright (c) 2026 The planar Authors. Licensed under the MIT license.
+"""Repository lint: enforces planar invariants the compiler cannot.
+
+Rules (library code under src/ unless stated otherwise):
+
+  no-exceptions     `throw` / `try` are forbidden in src/ — the library
+                    reports recoverable failures through Status/Result and
+                    aborts on violated invariants via PLANAR_CHECK.
+  no-stdout         `std::cout` / `std::cerr` / bare `printf(` / `puts(` /
+                    `fprintf(stdout, ...)` are forbidden in src/; library
+                    code must not write to the process's standard streams
+                    (snprintf into caller buffers and the PLANAR_CHECK
+                    fprintf(stderr) abort path are fine).
+  no-bare-assert    `assert(` is forbidden in src/ — invariants go through
+                    PLANAR_CHECK, which stays armed in release builds.
+  header-guards     every .h under src/, tests/, and bench/ must open with
+                    `#ifndef PLANAR_<PATH>_<FILE>_H_` + matching #define
+                    derived from its repo-relative path.
+
+Exit status 0 when clean, 1 with one "file:line: rule: message" diagnostic
+per finding otherwise. Registered as a ctest (`ctest -R planar_lint`).
+"""
+
+import argparse
+import re
+import sys
+from pathlib import Path
+
+SOURCE_DIRS = ("src",)
+HEADER_GUARD_DIRS = ("src", "tests", "bench")
+
+RE_EXCEPTION = re.compile(r"(?<![A-Za-z0-9_])(?:throw|try)(?![A-Za-z0-9_])")
+RE_STDOUT = re.compile(
+    r"std::cout|std::cerr"
+    r"|(?<![A-Za-z0-9_])printf\s*\("      # printf( / std::printf( — not
+                                          # snprintf( / fprintf(
+    r"|(?<![A-Za-z0-9_])puts\s*\("
+    r"|(?<![A-Za-z0-9_])fprintf\s*\(\s*stdout\b"
+)
+RE_ASSERT = re.compile(r"(?<![A-Za-z0-9_])assert\s*\(")
+
+
+def strip_comments_and_strings(text: str) -> str:
+    """Blanks comments, string literals, and char literals, preserving
+    line structure so reported line numbers stay accurate."""
+    out = []
+    i = 0
+    n = len(text)
+    while i < n:
+        c = text[i]
+        nxt = text[i + 1] if i + 1 < n else ""
+        if c == "/" and nxt == "/":
+            j = text.find("\n", i)
+            j = n if j == -1 else j
+            i = j
+        elif c == "/" and nxt == "*":
+            j = text.find("*/", i + 2)
+            j = n - 2 if j == -1 else j
+            out.append("\n" * text.count("\n", i, j + 2))
+            i = j + 2
+        elif c in "\"'":
+            quote = c
+            j = i + 1
+            while j < n:
+                if text[j] == "\\":
+                    j += 2
+                    continue
+                if text[j] == quote:
+                    break
+                j += 1
+            i = min(j + 1, n)
+        else:
+            out.append(c)
+            i += 1
+    return "".join(out)
+
+
+def expected_guard(rel_path: Path) -> str:
+    parts = [p.upper().replace(".", "_").replace("-", "_")
+             for p in rel_path.with_suffix("").parts]
+    return "PLANAR_" + "_".join(parts) + "_H_"
+
+
+def findings_for_file(root: Path, path: Path):
+    rel = path.relative_to(root)
+    text = path.read_text(encoding="utf-8")
+    code = strip_comments_and_strings(text)
+    lines = code.splitlines()
+
+    if str(rel.parts[0]) in SOURCE_DIRS:
+        for lineno, line in enumerate(lines, start=1):
+            if RE_EXCEPTION.search(line):
+                yield (rel, lineno, "no-exceptions",
+                       "throw/try is forbidden in library code; use "
+                       "Status/Result or PLANAR_CHECK")
+            if RE_STDOUT.search(line):
+                yield (rel, lineno, "no-stdout",
+                       "library code must not write to stdout/stderr; "
+                       "format into caller-provided buffers instead")
+            if RE_ASSERT.search(line):
+                yield (rel, lineno, "no-bare-assert",
+                       "use PLANAR_CHECK (armed in release builds) "
+                       "instead of assert")
+
+    if path.suffix == ".h" and str(rel.parts[0]) in HEADER_GUARD_DIRS:
+        # src/ headers are included as "core/foo.h" (relative to src/),
+        # so their guard drops the leading SRC component.
+        guard_rel = Path(*rel.parts[1:]) if rel.parts[0] == "src" else rel
+        want = expected_guard(guard_rel)
+        ifndef = re.search(r"^#ifndef\s+(\S+)", text, re.MULTILINE)
+        define = re.search(r"^#define\s+(\S+)", text, re.MULTILINE)
+        if not ifndef or ifndef.group(1) != want:
+            got = ifndef.group(1) if ifndef else "<missing>"
+            yield (rel, 1, "header-guards",
+                   f"expected guard {want}, found {got}")
+        elif not define or define.group(1) != want:
+            got = define.group(1) if define else "<missing>"
+            yield (rel, 1, "header-guards",
+                   f"#define does not match #ifndef {want} (found {got})")
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--root", type=Path, default=Path(__file__).parent.parent,
+                        help="repository root (default: the checkout "
+                             "containing this script)")
+    args = parser.parse_args()
+    root = args.root.resolve()
+
+    scan_dirs = sorted(set(SOURCE_DIRS) | set(HEADER_GUARD_DIRS))
+    files = []
+    for d in scan_dirs:
+        base = root / d
+        if base.is_dir():
+            files.extend(sorted(base.rglob("*.h")))
+            files.extend(sorted(base.rglob("*.cc")))
+
+    failures = 0
+    for path in files:
+        for rel, lineno, rule, message in findings_for_file(root, path):
+            print(f"{rel}:{lineno}: {rule}: {message}")
+            failures += 1
+
+    if failures:
+        print(f"planar_lint: {failures} finding(s) in {len(files)} files",
+              file=sys.stderr)
+        return 1
+    print(f"planar_lint: OK ({len(files)} files clean)")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

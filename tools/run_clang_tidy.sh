@@ -1,0 +1,61 @@
+#!/usr/bin/env bash
+# Copyright (c) 2026 The planar Authors. Licensed under the MIT license.
+#
+# Runs clang-tidy (config: .clang-tidy at the repo root) over every
+# library translation unit, using the compile_commands.json of an
+# existing build directory.
+#
+# Usage: tools/run_clang_tidy.sh [build-dir]
+#
+#   build-dir   directory containing compile_commands.json
+#               (default: the first of build, build-release,
+#               build-asan-ubsan that has one)
+#
+# Environment:
+#   CLANG_TIDY  clang-tidy binary to use (default: clang-tidy)
+#
+# Exits 0 when clang-tidy is unavailable so that environments without
+# LLVM (the pinned CI image runs it; minimal dev containers may not)
+# still pass the full ctest suite; the CI clang-tidy job installs the
+# real tool and enforces the gate.
+set -u -o pipefail
+
+cd "$(dirname "$0")/.."
+
+CLANG_TIDY="${CLANG_TIDY:-clang-tidy}"
+if ! command -v "$CLANG_TIDY" > /dev/null 2>&1; then
+  echo "run_clang_tidy: SKIPPED ($CLANG_TIDY not installed)"
+  exit 0
+fi
+
+build_dir="${1:-}"
+if [ -z "$build_dir" ]; then
+  for candidate in build build-release build-asan-ubsan; do
+    if [ -f "$candidate/compile_commands.json" ]; then
+      build_dir="$candidate"
+      break
+    fi
+  done
+fi
+if [ -z "$build_dir" ] || [ ! -f "$build_dir/compile_commands.json" ]; then
+  echo "run_clang_tidy: no compile_commands.json found; configure first" >&2
+  echo "  (cmake --preset release  # or: cmake -B build -S .)" >&2
+  exit 1
+fi
+
+mapfile -t sources < <(find src -name '*.cc' | sort)
+echo "run_clang_tidy: checking ${#sources[@]} files against $build_dir"
+
+status=0
+for source in "${sources[@]}"; do
+  if ! "$CLANG_TIDY" --quiet -p "$build_dir" "$source"; then
+    status=1
+  fi
+done
+
+if [ "$status" -eq 0 ]; then
+  echo "run_clang_tidy: OK"
+else
+  echo "run_clang_tidy: findings above must be fixed" >&2
+fi
+exit "$status"
