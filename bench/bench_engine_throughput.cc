@@ -1,0 +1,134 @@
+// Copyright (c) 2026 The planar Authors. Licensed under the MIT license.
+//
+// Engine throughput sweep: requests/second and latency percentiles as a
+// function of worker count and batch size. Clients are closed-loop (each
+// keeps one request in flight), generated with the same ParallelFor
+// primitive the core library uses. Prints a TablePrinter table plus one
+// JSON line per configuration for machine consumption.
+//
+//   --n        dataset size            (default 20000)
+//   --queries  requests per client     (default 400)
+//   --clients  concurrent clients      (default 4)
+//   --full     paper-scale dataset     (n = 100000)
+
+#include <cstdio>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "bench/bench_util.h"
+#include "common/random.h"
+#include "common/table_printer.h"
+#include "core/parallel.h"
+#include "engine/engine.h"
+#include "tests/test_util.h"
+
+namespace planar {
+namespace {
+
+struct SweepResult {
+  size_t workers;
+  size_t batch;
+  double seconds;
+  double rps;
+  double p50_ms;
+  double p99_ms;
+  uint64_t completed;
+  uint64_t shed;
+};
+
+SweepResult RunConfig(Catalog& catalog, size_t workers, size_t batch,
+                      size_t clients, int queries_per_client) {
+  EngineOptions options;
+  options.num_workers = workers;
+  options.queue_capacity = 1024;
+  options.max_batch = batch;
+  Engine engine(&catalog, options);
+
+  WallTimer timer;
+  // Closed-loop clients: ParallelFor shards one task per client thread.
+  ParallelFor(
+      clients,
+      [&engine, queries_per_client](size_t client) {
+        Rng rng(client + 7);
+        for (int i = 0; i < queries_per_client; ++i) {
+          EngineRequest request;
+          request.target = "bench";
+          request.kind =
+              i % 4 == 0 ? QueryKind::kTopK : QueryKind::kInequality;
+          request.k = 8;
+          request.query.a = {rng.Uniform(1, 6), -rng.Uniform(1, 6),
+                             rng.Uniform(1, 6)};
+          request.query.b = rng.Uniform(-100, 300);
+          auto future = engine.Submit(std::move(request));
+          if (!future.ok()) continue;  // shed under pressure
+          (void)future->get();
+        }
+      },
+      clients);
+  engine.Drain();
+  const double seconds = timer.ElapsedSeconds();
+
+  const DebugSnapshot snapshot = engine.Snapshot();
+  SweepResult r;
+  r.workers = workers;
+  r.batch = batch;
+  r.seconds = seconds;
+  r.completed = snapshot.counters.completed_ok;
+  r.shed = snapshot.counters.rejected_queue_full;
+  r.rps = seconds > 0.0 ? static_cast<double>(r.completed) / seconds : 0.0;
+  r.p50_ms = snapshot.latency_millis.ApproxPercentile(50);
+  r.p99_ms = snapshot.latency_millis.ApproxPercentile(99);
+  return r;
+}
+
+}  // namespace
+}  // namespace planar
+
+int main(int argc, char** argv) {
+  using namespace planar;  // NOLINT: bench brevity
+  FlagParser flags(argc, argv);
+  const size_t n = bench::ScaledN(flags, 20000, 100000);
+  const int queries = static_cast<int>(flags.GetInt("queries", 400));
+  const size_t clients =
+      static_cast<size_t>(flags.GetInt("clients", 4));
+
+  bench::PrintHeader("engine throughput",
+                     "requests/s over worker-count x batch-size; " +
+                         std::to_string(clients) + " closed-loop clients, " +
+                         std::to_string(queries) + " requests each");
+
+  Catalog catalog;
+  {
+    PhiMatrix phi = RandomPhi(n, 3, -20.0, 80.0, 3);
+    auto set = PlanarIndexSet::Build(
+        std::move(phi), {{1.0, 6.0}, {-6.0, -1.0}, {1.0, 6.0}});
+    PLANAR_CHECK(set.ok());
+    catalog.Install("bench", std::move(set).value());
+  }
+
+  const size_t worker_counts[] = {1, 2, 4, 8};
+  const size_t batch_sizes[] = {1, 8, 32};
+  TablePrinter table(
+      {"workers", "batch", "req/s", "p50 ms", "p99 ms", "completed", "shed"});
+  for (const size_t workers : worker_counts) {
+    for (const size_t batch : batch_sizes) {
+      const SweepResult r =
+          RunConfig(catalog, workers, batch, clients, queries);
+      table.AddRow({std::to_string(r.workers), std::to_string(r.batch),
+                    FormatDouble(r.rps, 0), FormatDouble(r.p50_ms, 4),
+                    FormatDouble(r.p99_ms, 4), std::to_string(r.completed),
+                    std::to_string(r.shed)});
+      std::printf(
+          "{\"bench\":\"engine_throughput\",\"workers\":%zu,\"batch\":%zu,"
+          "\"clients\":%zu,\"n\":%zu,\"rps\":%.1f,\"p50_ms\":%.4f,"
+          "\"p99_ms\":%.4f,\"completed\":%llu,\"shed\":%llu}\n",
+          r.workers, r.batch, clients, n, r.rps, r.p50_ms, r.p99_ms,
+          static_cast<unsigned long long>(r.completed),
+          static_cast<unsigned long long>(r.shed));
+    }
+  }
+  std::printf("\n");
+  table.Print();
+  return 0;
+}

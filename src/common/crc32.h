@@ -1,0 +1,26 @@
+// Copyright (c) 2026 The planar Authors. Licensed under the MIT license.
+//
+// CRC-32 (IEEE 802.3, reflected polynomial 0xEDB88320) over byte buffers.
+// Used to checksum serialized index payloads so a truncated or bit-flipped
+// snapshot is detected at load time instead of rebuilding a garbage index.
+
+#ifndef PLANAR_COMMON_CRC32_H_
+#define PLANAR_COMMON_CRC32_H_
+
+#include <cstddef>
+#include <cstdint>
+
+namespace planar {
+
+/// Extends a running CRC-32 with `size` bytes. Start from `crc == 0` and
+/// feed buffers in order; the result is independent of the chunking.
+uint32_t Crc32Extend(uint32_t crc, const void* data, size_t size);
+
+/// CRC-32 of one contiguous buffer.
+inline uint32_t Crc32(const void* data, size_t size) {
+  return Crc32Extend(0, data, size);
+}
+
+}  // namespace planar
+
+#endif  // PLANAR_COMMON_CRC32_H_

@@ -1,0 +1,76 @@
+// Copyright (c) 2026 The planar Authors. Licensed under the MIT license.
+//
+// Deadline: a point on the monotonic clock after which a request should
+// stop doing work. Core query paths poll Expired() cooperatively every
+// kDeadlineCheckInterval verified rows (a steady_clock read per check, a
+// few tens of nanoseconds, amortized over ~hundreds of scalar products),
+// so a request past its deadline returns kDeadlineExceeded instead of
+// finishing the verification loop. The default-constructed deadline is
+// infinite and adds no clock reads to the hot path.
+
+#ifndef PLANAR_COMMON_DEADLINE_H_
+#define PLANAR_COMMON_DEADLINE_H_
+
+#include <chrono>
+#include <limits>
+
+namespace planar {
+
+/// How many verification-loop iterations run between deadline polls.
+/// Power of two so the check compiles to a mask test.
+inline constexpr size_t kDeadlineCheckInterval = 256;
+
+/// A monotonic-clock deadline; default-constructed = never expires.
+/// Cheap value type, safe to copy across threads.
+class Deadline {
+ public:
+  using Clock = std::chrono::steady_clock;
+
+  /// Never expires.
+  Deadline() = default;
+  static Deadline Infinite() { return Deadline(); }
+
+  /// Expires `millis` milliseconds from now (clamped at >= 0).
+  static Deadline After(double millis) {
+    const double clamped = millis > 0.0 ? millis : 0.0;
+    return At(Clock::now() +
+              std::chrono::nanoseconds(
+                  static_cast<int64_t>(clamped * 1e6)));
+  }
+
+  /// Expires at the given instant.
+  static Deadline At(Clock::time_point when) {
+    Deadline d;
+    d.when_ = when;
+    d.has_deadline_ = true;
+    return d;
+  }
+
+  /// True iff this deadline can never expire.
+  bool is_infinite() const { return !has_deadline_; }
+
+  /// True iff the deadline has passed. Reads the clock (finite only).
+  bool Expired() const { return has_deadline_ && Clock::now() >= when_; }
+
+  /// Milliseconds until expiry: negative when already expired, +inf when
+  /// infinite.
+  double RemainingMillis() const {
+    if (!has_deadline_) return std::numeric_limits<double>::infinity();
+    return static_cast<double>(
+               std::chrono::duration_cast<std::chrono::nanoseconds>(
+                   when_ - Clock::now())
+                   .count()) *
+           1e-6;
+  }
+
+  /// The expiry instant; meaningful only when !is_infinite().
+  Clock::time_point when() const { return when_; }
+
+ private:
+  Clock::time_point when_{};
+  bool has_deadline_ = false;
+};
+
+}  // namespace planar
+
+#endif  // PLANAR_COMMON_DEADLINE_H_

@@ -1,0 +1,114 @@
+// Copyright (c) 2026 The planar Authors. Licensed under the MIT license.
+
+#include "common/histogram.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <limits>
+
+#include "common/macros.h"
+
+namespace planar {
+
+FixedBucketHistogram::FixedBucketHistogram(std::vector<double> upper_bounds)
+    : bounds_(std::move(upper_bounds)),
+      counts_(bounds_.size() + 1, 0),
+      min_(std::numeric_limits<double>::infinity()),
+      max_(-std::numeric_limits<double>::infinity()) {
+  PLANAR_CHECK(!bounds_.empty());
+  for (size_t i = 0; i + 1 < bounds_.size(); ++i) {
+    PLANAR_CHECK(bounds_[i] < bounds_[i + 1]);
+  }
+}
+
+FixedBucketHistogram FixedBucketHistogram::LatencyMillis() {
+  std::vector<double> bounds;
+  for (double b = 0.001; b < 16384.0; b *= 2.0) bounds.push_back(b);
+  return FixedBucketHistogram(std::move(bounds));
+}
+
+void FixedBucketHistogram::Add(double value) {
+  const size_t bucket = static_cast<size_t>(
+      std::lower_bound(bounds_.begin(), bounds_.end(), value) -
+      bounds_.begin());
+  ++counts_[bucket];
+  ++count_;
+  sum_ += value;
+  min_ = std::min(min_, value);
+  max_ = std::max(max_, value);
+}
+
+void FixedBucketHistogram::Merge(const FixedBucketHistogram& other) {
+  PLANAR_CHECK(bounds_ == other.bounds_);
+  for (size_t i = 0; i < counts_.size(); ++i) counts_[i] += other.counts_[i];
+  count_ += other.count_;
+  sum_ += other.sum_;
+  min_ = std::min(min_, other.min_);
+  max_ = std::max(max_, other.max_);
+}
+
+void FixedBucketHistogram::Reset() {
+  std::fill(counts_.begin(), counts_.end(), 0);
+  count_ = 0;
+  sum_ = 0.0;
+  min_ = std::numeric_limits<double>::infinity();
+  max_ = -std::numeric_limits<double>::infinity();
+}
+
+double FixedBucketHistogram::mean() const {
+  if (count_ == 0) return 0.0;
+  return sum_ / static_cast<double>(count_);
+}
+
+double FixedBucketHistogram::upper_bound(size_t i) const {
+  PLANAR_CHECK_LT(i, counts_.size());
+  if (i == bounds_.size()) return std::numeric_limits<double>::infinity();
+  return bounds_[i];
+}
+
+double FixedBucketHistogram::ApproxPercentile(double q) const {
+  PLANAR_CHECK(q >= 0.0 && q <= 100.0);
+  if (count_ == 0) return 0.0;
+  // 1-based rank of the target observation under the nearest-rank rule.
+  const uint64_t rank = std::max<uint64_t>(
+      1, static_cast<uint64_t>(
+             std::ceil(q / 100.0 * static_cast<double>(count_))));
+  uint64_t seen = 0;
+  for (size_t i = 0; i < counts_.size(); ++i) {
+    if (counts_[i] == 0) continue;
+    if (seen + counts_[i] < rank) {
+      seen += counts_[i];
+      continue;
+    }
+    // Interpolate inside bucket i between its bounds, clamped to the
+    // observed extremes (the overflow bucket has no finite upper bound,
+    // and the first bucket no finite lower bound).
+    const double lo = std::max(i == 0 ? min_ : bounds_[i - 1], min_);
+    const double hi = std::min(
+        i == bounds_.size() ? max_ : std::min(bounds_[i], max_), max_);
+    const double frac = static_cast<double>(rank - seen) /
+                        static_cast<double>(counts_[i]);
+    return lo + (hi - lo) * frac;
+  }
+  return max_;  // unreachable: rank <= count_
+}
+
+std::string FixedBucketHistogram::ToString() const {
+  std::string out;
+  char line[128];
+  double lo = -std::numeric_limits<double>::infinity();
+  for (size_t i = 0; i < counts_.size(); ++i) {
+    const double hi = upper_bound(i);
+    if (counts_[i] != 0) {
+      std::snprintf(line, sizeof(line), "(%.4g, %.4g]: %llu\n", lo, hi,
+                    static_cast<unsigned long long>(counts_[i]));
+      out += line;
+    }
+    lo = hi;
+  }
+  if (out.empty()) out = "(empty)\n";
+  return out;
+}
+
+}  // namespace planar

@@ -1,0 +1,79 @@
+// Copyright (c) 2026 The planar Authors. Licensed under the MIT license.
+//
+// Fixed-bucket histogram for latency accounting. Unlike RunningStats
+// (stats.h), which keeps only moments, the histogram preserves an
+// approximate distribution at O(#buckets) memory — the right tradeoff for
+// a long-running serving process where storing every sample for an exact
+// Percentile() is not an option. Bucket boundaries are fixed at
+// construction, so snapshots of the same histogram are mergeable and
+// diffable across time.
+
+#ifndef PLANAR_COMMON_HISTOGRAM_H_
+#define PLANAR_COMMON_HISTOGRAM_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace planar {
+
+/// Histogram over fixed, ascending bucket upper bounds plus an implicit
+/// overflow bucket. Bucket i covers (bound[i-1], bound[i]]; the first
+/// bucket is unbounded below, the last (overflow) unbounded above.
+/// Not thread-safe; callers that share one instance must synchronize.
+class FixedBucketHistogram {
+ public:
+  /// `upper_bounds` must be non-empty and strictly ascending.
+  explicit FixedBucketHistogram(std::vector<double> upper_bounds);
+
+  /// The default latency scale: geometric buckets from 1 microsecond to
+  /// ~16 seconds (factor 2), in milliseconds.
+  static FixedBucketHistogram LatencyMillis();
+
+  /// Adds one observation.
+  void Add(double value);
+
+  /// Adds every observation of `other`; bucket bounds must be identical.
+  void Merge(const FixedBucketHistogram& other);
+
+  /// Discards all observations, keeping the bucket layout.
+  void Reset();
+
+  /// Number of observations.
+  uint64_t count() const { return count_; }
+  /// Sum of all observations (0 when empty).
+  double sum() const { return sum_; }
+  /// Arithmetic mean (0 when empty).
+  double mean() const;
+  /// Smallest / largest observation (+inf / -inf when empty).
+  double min() const { return min_; }
+  double max() const { return max_; }
+
+  /// Number of buckets, including the overflow bucket.
+  size_t num_buckets() const { return counts_.size(); }
+  /// Observations in bucket `i`.
+  uint64_t bucket_count(size_t i) const { return counts_[i]; }
+  /// Upper bound of bucket `i` (+inf for the overflow bucket).
+  double upper_bound(size_t i) const;
+
+  /// Percentile estimate by linear interpolation inside the owning
+  /// bucket, clamped to the observed [min, max]. `q` in [0, 100].
+  /// Returns 0 when empty. Error is bounded by the bucket width.
+  double ApproxPercentile(double q) const;
+
+  /// One "(lo, hi]: count" line per non-empty bucket.
+  std::string ToString() const;
+
+ private:
+  std::vector<double> bounds_;    // ascending upper bounds
+  std::vector<uint64_t> counts_;  // bounds_.size() + 1 (overflow last)
+  uint64_t count_ = 0;
+  double sum_ = 0.0;
+  double min_;
+  double max_;
+};
+
+}  // namespace planar
+
+#endif  // PLANAR_COMMON_HISTOGRAM_H_

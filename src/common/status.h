@@ -21,6 +21,10 @@ enum class StatusCode {
   kFailedPrecondition = 4,
   kUnimplemented = 5,
   kInternal = 6,
+  kDeadlineExceeded = 7,
+  kResourceExhausted = 8,
+  kDataLoss = 9,
+  kUnavailable = 10,
 };
 
 /// Returns a stable human-readable name for `code` ("OK",
@@ -61,6 +65,18 @@ class Status {
   }
   static Status Internal(std::string msg) {
     return Status(StatusCode::kInternal, std::move(msg));
+  }
+  static Status DeadlineExceeded(std::string msg) {
+    return Status(StatusCode::kDeadlineExceeded, std::move(msg));
+  }
+  static Status ResourceExhausted(std::string msg) {
+    return Status(StatusCode::kResourceExhausted, std::move(msg));
+  }
+  static Status DataLoss(std::string msg) {
+    return Status(StatusCode::kDataLoss, std::move(msg));
+  }
+  static Status Unavailable(std::string msg) {
+    return Status(StatusCode::kUnavailable, std::move(msg));
   }
 
   /// True iff the status represents success.

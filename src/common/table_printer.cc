@@ -34,6 +34,10 @@ void TablePrinter::AddNumericRow(const std::vector<double>& cells,
 }
 
 void TablePrinter::Print(std::FILE* out) const {
+  std::fputs(ToText().c_str(), out);
+}
+
+std::string TablePrinter::ToText() const {
   std::vector<size_t> widths(headers_.size());
   for (size_t i = 0; i < headers_.size(); ++i) widths[i] = headers_[i].size();
   for (const auto& row : rows_) {
@@ -41,20 +45,23 @@ void TablePrinter::Print(std::FILE* out) const {
       widths[i] = std::max(widths[i], row[i].size());
     }
   }
-  auto print_row = [&](const std::vector<std::string>& row) {
+  std::string out;
+  auto append_row = [&](const std::vector<std::string>& row) {
     for (size_t i = 0; i < row.size(); ++i) {
-      std::fprintf(out, "%s%-*s", i == 0 ? "| " : " | ",
-                   static_cast<int>(widths[i]), row[i].c_str());
+      out += i == 0 ? "| " : " | ";
+      out += row[i];
+      out.append(widths[i] - row[i].size(), ' ');
     }
-    std::fprintf(out, " |\n");
+    out += " |\n";
   };
-  print_row(headers_);
+  append_row(headers_);
   for (size_t i = 0; i < headers_.size(); ++i) {
-    std::fprintf(out, "%s%s", i == 0 ? "|-" : "-|-",
-                 std::string(widths[i], '-').c_str());
+    out += i == 0 ? "|-" : "-|-";
+    out.append(widths[i], '-');
   }
-  std::fprintf(out, "-|\n");
-  for (const auto& row : rows_) print_row(row);
+  out += "-|\n";
+  for (const auto& row : rows_) append_row(row);
+  return out;
 }
 
 std::string TablePrinter::ToCsv() const {

@@ -29,6 +29,11 @@ class TablePrinter {
   /// Renders the table to `out` (default stdout).
   void Print(std::FILE* out = stdout) const;
 
+  /// Renders the table into a string, identical to Print's output. Used
+  /// by library code (e.g. engine debug snapshots) that must not touch
+  /// the process's standard streams.
+  std::string ToText() const;
+
   /// Renders the table as comma-separated values (for machine consumption).
   std::string ToCsv() const;
 

@@ -201,10 +201,17 @@ PlanarIndexSet::SelectivityBounds PlanarIndexSet::EstimateSelectivity(
 }
 
 InequalityResult PlanarIndexSet::Inequality(const ScalarProductQuery& q) const {
+  Result<InequalityResult> result = Inequality(q, Deadline::Infinite());
+  PLANAR_CHECK(result.ok());  // an infinite deadline never expires
+  return std::move(result).value();
+}
+
+Result<InequalityResult> PlanarIndexSet::Inequality(
+    const ScalarProductQuery& q, const Deadline& deadline) const {
   const NormalizedQuery norm = NormalizedQuery::From(q);
   const int best = SelectBestIndex(norm);
   if (best < 0) {
-    return ScanInequality(*phi_, q);
+    return ScanInequality(*phi_, q, deadline);
   }
   const PlanarIndex& index = indices_[static_cast<size_t>(best)];
   if (options_.scan_fallback_fraction < 1.0) {
@@ -214,26 +221,31 @@ InequalityResult PlanarIndexSet::Inequality(const ScalarProductQuery& q) const {
         static_cast<double>(iv->larger_begin - iv->smaller_end);
     if (intermediate > options_.scan_fallback_fraction *
                            static_cast<double>(phi_->size())) {
-      return ScanInequality(*phi_, q);
+      return ScanInequality(*phi_, q, deadline);
     }
   }
-  Result<InequalityResult> result = index.Inequality(norm);
-  PLANAR_CHECK(result.ok());
-  result->stats.index_used = best;
-  return std::move(result).value();
+  Result<InequalityResult> result = index.Inequality(norm, deadline);
+  if (result.ok()) result->stats.index_used = best;
+  return result;
 }
 
 Result<TopKResult> PlanarIndexSet::TopK(const ScalarProductQuery& q,
                                         size_t k) const {
+  return TopK(q, k, Deadline::Infinite());
+}
+
+Result<TopKResult> PlanarIndexSet::TopK(const ScalarProductQuery& q, size_t k,
+                                        const Deadline& deadline) const {
   const NormalizedQuery norm = NormalizedQuery::From(q);
   if (!norm.IsFinite()) {
     return Status::InvalidArgument("query parameters must be finite");
   }
   const int best = SelectBestIndex(norm);
   if (best < 0) {
-    return ScanTopK(*phi_, q, k);
+    return ScanTopK(*phi_, q, k, deadline);
   }
-  Result<TopKResult> result = indices_[static_cast<size_t>(best)].TopK(norm, k);
+  Result<TopKResult> result =
+      indices_[static_cast<size_t>(best)].TopK(norm, k, deadline);
   if (result.ok()) result->stats.index_used = best;
   return result;
 }

@@ -95,8 +95,19 @@ class PlanarIndexSet {
   /// index can serve the query (stats.index_used == -1 then).
   InequalityResult Inequality(const ScalarProductQuery& q) const;
 
+  /// Deadline-aware variant for serving layers: both the II verification
+  /// loop of the chosen index and the scan fallback poll `deadline` and
+  /// fail with kDeadlineExceeded instead of finishing. An infinite
+  /// deadline behaves exactly like the plain overload.
+  Result<InequalityResult> Inequality(const ScalarProductQuery& q,
+                                      const Deadline& deadline) const;
+
   /// Problem 2 via the best index, with the same scan fallback.
   Result<TopKResult> TopK(const ScalarProductQuery& q, size_t k) const;
+
+  /// Deadline-aware variant (see Inequality).
+  Result<TopKResult> TopK(const ScalarProductQuery& q, size_t k,
+                          const Deadline& deadline) const;
 
   /// The index the selection heuristic picks for `q`, or -1 when no index
   /// is octant-compatible. O(r d').

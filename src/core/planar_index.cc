@@ -296,6 +296,11 @@ Result<InequalityResult> PlanarIndex::Inequality(
 
 Result<InequalityResult> PlanarIndex::Inequality(
     const NormalizedQuery& q) const {
+  return Inequality(q, Deadline::Infinite());
+}
+
+Result<InequalityResult> PlanarIndex::Inequality(
+    const NormalizedQuery& q, const Deadline& deadline) const {
   if (!q.IsFinite()) {
     return Status::InvalidArgument("query parameters must be finite");
   }
@@ -304,10 +309,11 @@ Result<InequalityResult> PlanarIndex::Inequality(
         "query octant is incompatible with this index");
   }
   PLANAR_CHECK_EQ(phi_->size(), size());
-  return RunInequality(q);
+  return RunInequality(q, deadline);
 }
 
-InequalityResult PlanarIndex::RunInequality(const NormalizedQuery& q) const {
+Result<InequalityResult> PlanarIndex::RunInequality(
+    const NormalizedQuery& q, const Deadline& deadline) const {
   const size_t n = size();
   InequalityResult result;
   result.stats.num_points = n;
@@ -340,11 +346,23 @@ InequalityResult PlanarIndex::RunInequality(const NormalizedQuery& q) const {
   result.ids.reserve((accept_end - accept_begin) +
                      (larger_begin - smaller_end) / 2);
 
+  // Deadline poll, placed at the top of every II verification loop body:
+  // checks the clock once per kDeadlineCheckInterval verified rows (and on
+  // the very first row, so an already-expired request never verifies
+  // anything). Infinite deadlines short-circuit inside Expired().
+  auto past_deadline = [&deadline](size_t step) {
+    return (step & (kDeadlineCheckInterval - 1)) == 0 && deadline.Expired();
+  };
+
   if (options_.backend == PlanarIndexOptions::Backend::kSortedArray) {
     for (size_t r = accept_begin; r < accept_end; ++r) {
       result.ids.push_back(ids_[r]);
     }
     for (size_t r = smaller_end; r < larger_begin; ++r) {
+      if (past_deadline(r - smaller_end)) {
+        return Status::DeadlineExceeded(
+            "inequality query exceeded its deadline during II verification");
+      }
       const uint32_t id = ids_[r];
       if (MatchesNormalized(q, phi_->row(id))) result.ids.push_back(id);
     }
@@ -355,6 +373,10 @@ InequalityResult PlanarIndex::RunInequality(const NormalizedQuery& q) const {
     }
     it = tree_.IteratorAt(smaller_end);
     for (size_t r = smaller_end; r < larger_begin; ++r, it.Next()) {
+      if (past_deadline(r - smaller_end)) {
+        return Status::DeadlineExceeded(
+            "inequality query exceeded its deadline during II verification");
+      }
       const uint32_t id = it.entry().value;
       if (MatchesNormalized(q, phi_->row(id))) result.ids.push_back(id);
     }
@@ -375,6 +397,11 @@ Result<TopKResult> PlanarIndex::TopK(const ScalarProductQuery& q,
 
 Result<TopKResult> PlanarIndex::TopK(const NormalizedQuery& q,
                                      size_t k) const {
+  return TopK(q, k, Deadline::Infinite());
+}
+
+Result<TopKResult> PlanarIndex::TopK(const NormalizedQuery& q, size_t k,
+                                     const Deadline& deadline) const {
   if (!q.IsFinite()) {
     return Status::InvalidArgument("query parameters must be finite");
   }
@@ -390,10 +417,11 @@ Result<TopKResult> PlanarIndex::TopK(const NormalizedQuery& q,
     return Status::InvalidArgument("k must be positive");
   }
   PLANAR_CHECK_EQ(phi_->size(), size());
-  return RunTopK(q, k);
+  return RunTopK(q, k, deadline);
 }
 
-TopKResult PlanarIndex::RunTopK(const NormalizedQuery& q, size_t k) const {
+Result<TopKResult> PlanarIndex::RunTopK(const NormalizedQuery& q, size_t k,
+                                        const Deadline& deadline) const {
   const size_t n = size();
   TopKResult result;
   result.stats.num_points = n;
@@ -422,8 +450,20 @@ TopKResult PlanarIndex::RunTopK(const NormalizedQuery& q, size_t k) const {
     return std::max(0.0, raw) / norm_a;
   };
 
+  // Deadline poll for both evaluation loops (II verification and the
+  // accept-region walk): one clock read per kDeadlineCheckInterval rows,
+  // including the first, so an expired request evaluates nothing.
+  size_t deadline_step = 0;
+  auto past_deadline = [&]() {
+    return (deadline_step++ & (kDeadlineCheckInterval - 1)) == 0 &&
+           deadline.Expired();
+  };
+  const Status deadline_status = Status::DeadlineExceeded(
+      "top-k query exceeded its deadline during candidate evaluation");
+
   if (options_.backend == PlanarIndexOptions::Backend::kSortedArray) {
     for (size_t r = smaller_end; r < larger_begin; ++r) {
+      if (past_deadline()) return deadline_status;
       consider(ids_[r]);
       ++result.stats.verified_intermediate;
     }
@@ -431,6 +471,7 @@ TopKResult PlanarIndex::RunTopK(const NormalizedQuery& q, size_t k) const {
     // outward, pruning with the lower-bound distance (lines 8-14).
     if (le) {
       for (size_t r = smaller_end; r-- > 0;) {
+        if (past_deadline()) return deadline_status;
         if (buffer.full() &&
             lower_bound_distance(keys_[r]) > buffer.WorstDistance()) {
           result.stats.early_terminated = true;
@@ -443,6 +484,7 @@ TopKResult PlanarIndex::RunTopK(const NormalizedQuery& q, size_t k) const {
       }
     } else {
       for (size_t r = larger_begin; r < n; ++r) {
+        if (past_deadline()) return deadline_status;
         if (buffer.full() &&
             lower_bound_distance(keys_[r]) > buffer.WorstDistance()) {
           result.stats.early_terminated = true;
@@ -457,6 +499,7 @@ TopKResult PlanarIndex::RunTopK(const NormalizedQuery& q, size_t k) const {
   } else {
     OrderStatisticBTree::Iterator it = tree_.IteratorAt(smaller_end);
     for (size_t r = smaller_end; r < larger_begin; ++r, it.Next()) {
+      if (past_deadline()) return deadline_status;
       consider(it.entry().value);
       ++result.stats.verified_intermediate;
     }
@@ -464,6 +507,7 @@ TopKResult PlanarIndex::RunTopK(const NormalizedQuery& q, size_t k) const {
       if (smaller_end > 0) {
         it = tree_.IteratorAt(smaller_end - 1);
         while (it.Valid()) {
+          if (past_deadline()) return deadline_status;
           const OrderStatisticBTree::Entry e = it.entry();
           if (buffer.full() &&
               lower_bound_distance(e.key) > buffer.WorstDistance()) {
@@ -480,6 +524,7 @@ TopKResult PlanarIndex::RunTopK(const NormalizedQuery& q, size_t k) const {
     } else {
       it = tree_.IteratorAt(larger_begin);
       while (it.Valid()) {
+        if (past_deadline()) return deadline_status;
         const OrderStatisticBTree::Entry e = it.entry();
         if (buffer.full() &&
             lower_bound_distance(e.key) > buffer.WorstDistance()) {

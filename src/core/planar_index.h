@@ -25,6 +25,7 @@
 #include <vector>
 
 #include "btree/btree.h"
+#include "common/deadline.h"
 #include "common/result.h"
 #include "common/status.h"
 #include "core/query.h"
@@ -152,9 +153,21 @@ class PlanarIndex {
   Result<InequalityResult> Inequality(const ScalarProductQuery& q) const;
   Result<InequalityResult> Inequality(const NormalizedQuery& q) const;
 
+  /// Deadline-aware variant: the verification loops poll `deadline` every
+  /// kDeadlineCheckInterval rows and fail with kDeadlineExceeded instead
+  /// of finishing, so a serving layer can bound per-request work. An
+  /// infinite deadline adds no clock reads.
+  Result<InequalityResult> Inequality(const NormalizedQuery& q,
+                                      const Deadline& deadline) const;
+
   /// Problem 2: the k satisfying points nearest to the query hyperplane.
   Result<TopKResult> TopK(const ScalarProductQuery& q, size_t k) const;
   Result<TopKResult> TopK(const NormalizedQuery& q, size_t k) const;
+
+  /// Deadline-aware variant (see Inequality); both the intermediate
+  /// verification and the accept-region walk poll the deadline.
+  Result<TopKResult> TopK(const NormalizedQuery& q, size_t k,
+                          const Deadline& deadline) const;
 
   /// The rank-range boundaries for `q` (exposed for tests, ablations, and
   /// callers that run their own candidate verification — see
@@ -268,8 +281,10 @@ class PlanarIndex {
   size_t RankLessEqual(double key) const;
   void EraseKey(double key, uint32_t row);
   void InsertKey(double key, uint32_t row);
-  InequalityResult RunInequality(const NormalizedQuery& q) const;
-  TopKResult RunTopK(const NormalizedQuery& q, size_t k) const;
+  Result<InequalityResult> RunInequality(const NormalizedQuery& q,
+                                         const Deadline& deadline) const;
+  Result<TopKResult> RunTopK(const NormalizedQuery& q, size_t k,
+                             const Deadline& deadline) const;
 
   const PhiMatrix* phi_ = nullptr;
   PlanarIndexOptions options_;

@@ -12,6 +12,15 @@ namespace planar {
 
 InequalityResult ScanInequality(const PhiMatrix& phi,
                                 const ScalarProductQuery& q) {
+  Result<InequalityResult> result =
+      ScanInequality(phi, q, Deadline::Infinite());
+  PLANAR_CHECK(result.ok());  // an infinite deadline never expires
+  return std::move(result).value();
+}
+
+Result<InequalityResult> ScanInequality(const PhiMatrix& phi,
+                                        const ScalarProductQuery& q,
+                                        const Deadline& deadline) {
   PLANAR_CHECK_EQ(phi.dim(), q.a.size());
   InequalityResult result;
   const size_t n = phi.size();
@@ -19,6 +28,10 @@ InequalityResult ScanInequality(const PhiMatrix& phi,
   result.stats.verified = n;
   result.stats.index_used = -1;
   for (size_t row = 0; row < n; ++row) {
+    if ((row & (kDeadlineCheckInterval - 1)) == 0 && deadline.Expired()) {
+      return Status::DeadlineExceeded(
+          "sequential scan exceeded its deadline");
+    }
     if (q.Matches(phi.row(row))) {
       result.ids.push_back(static_cast<uint32_t>(row));
     }
@@ -29,6 +42,11 @@ InequalityResult ScanInequality(const PhiMatrix& phi,
 
 Result<TopKResult> ScanTopK(const PhiMatrix& phi, const ScalarProductQuery& q,
                             size_t k) {
+  return ScanTopK(phi, q, k, Deadline::Infinite());
+}
+
+Result<TopKResult> ScanTopK(const PhiMatrix& phi, const ScalarProductQuery& q,
+                            size_t k, const Deadline& deadline) {
   PLANAR_CHECK_EQ(phi.dim(), q.a.size());
   if (!q.IsFinite()) {
     return Status::InvalidArgument("query parameters must be finite");
@@ -48,6 +66,10 @@ Result<TopKResult> ScanTopK(const PhiMatrix& phi, const ScalarProductQuery& q,
   result.stats.index_used = -1;
   TopKBuffer buffer(k);
   for (size_t row = 0; row < n; ++row) {
+    if ((row & (kDeadlineCheckInterval - 1)) == 0 && deadline.Expired()) {
+      return Status::DeadlineExceeded(
+          "sequential top-k scan exceeded its deadline");
+    }
     const double residual = q.Residual(phi.row(row));
     const bool match =
         q.cmp == Comparison::kLessEqual ? residual <= 0.0 : residual >= 0.0;

@@ -9,6 +9,7 @@
 
 #include <cstddef>
 
+#include "common/deadline.h"
 #include "common/result.h"
 #include "core/planar_index.h"
 #include "core/query.h"
@@ -21,11 +22,22 @@ namespace planar {
 InequalityResult ScanInequality(const PhiMatrix& phi,
                                 const ScalarProductQuery& q);
 
+/// Deadline-aware variant: the scan polls `deadline` every
+/// kDeadlineCheckInterval rows and fails with kDeadlineExceeded, so the
+/// scan fallback honors the same per-request budget as the index paths.
+Result<InequalityResult> ScanInequality(const PhiMatrix& phi,
+                                        const ScalarProductQuery& q,
+                                        const Deadline& deadline);
+
 /// Answers the top-k nearest neighbor query by evaluating every row and
 /// keeping the k nearest satisfying points. Fails for an all-zero query
 /// normal (hyperplane distance undefined) or k == 0.
 Result<TopKResult> ScanTopK(const PhiMatrix& phi, const ScalarProductQuery& q,
                             size_t k);
+
+/// Deadline-aware variant (see the inequality overload).
+Result<TopKResult> ScanTopK(const PhiMatrix& phi, const ScalarProductQuery& q,
+                            size_t k, const Deadline& deadline);
 
 }  // namespace planar
 

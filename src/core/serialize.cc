@@ -6,15 +6,18 @@
 #include <cstdio>
 #include <cstring>
 #include <memory>
+#include <utility>
 #include <vector>
 
+#include "common/crc32.h"
 #include "common/macros.h"
 
 namespace planar {
 
 namespace {
 
-constexpr char kMagic[8] = {'P', 'L', 'N', 'R', 'I', 'D', 'X', '1'};
+constexpr char kMagicV1[8] = {'P', 'L', 'N', 'R', 'I', 'D', 'X', '1'};
+constexpr char kMagicV2[8] = {'P', 'L', 'N', 'R', 'I', 'D', 'X', '2'};
 
 struct FileCloser {
   void operator()(std::FILE* f) const {
@@ -23,23 +26,46 @@ struct FileCloser {
 };
 using FilePtr = std::unique_ptr<std::FILE, FileCloser>;
 
-bool WriteBytes(std::FILE* f, const void* data, size_t size) {
-  return std::fwrite(data, 1, size, f) == size;
-}
+// Append-only byte buffer the payload is serialized into before it is
+// checksummed and written in one pass.
+class ByteWriter {
+ public:
+  void Append(const void* data, size_t size) {
+    const unsigned char* bytes = static_cast<const unsigned char*>(data);
+    buffer_.insert(buffer_.end(), bytes, bytes + size);
+  }
+  template <typename T>
+  void AppendValue(const T& value) {
+    Append(&value, sizeof(T));
+  }
+  const std::vector<unsigned char>& buffer() const { return buffer_; }
 
-bool ReadBytes(std::FILE* f, void* data, size_t size) {
-  return std::fread(data, 1, size, f) == size;
-}
+ private:
+  std::vector<unsigned char> buffer_;
+};
 
-template <typename T>
-bool WriteValue(std::FILE* f, const T& value) {
-  return WriteBytes(f, &value, sizeof(T));
-}
+// Bounds-checked cursor over an in-memory payload.
+class ByteReader {
+ public:
+  ByteReader(const unsigned char* data, size_t size)
+      : data_(data), remaining_(size) {}
 
-template <typename T>
-bool ReadValue(std::FILE* f, T* value) {
-  return ReadBytes(f, value, sizeof(T));
-}
+  bool Read(void* out, size_t size) {
+    if (size > remaining_) return false;
+    std::memcpy(out, data_, size);
+    data_ += size;
+    remaining_ -= size;
+    return true;
+  }
+  template <typename T>
+  bool ReadValue(T* out) {
+    return Read(out, sizeof(T));
+  }
+
+ private:
+  const unsigned char* data_;
+  size_t remaining_;
+};
 
 // Options are flattened into a fixed-size POD record.
 struct OptionsRecord {
@@ -84,66 +110,51 @@ IndexSetOptions UnpackOptions(const OptionsRecord& r) {
   return o;
 }
 
-}  // namespace
-
-Status SaveIndexSet(const PlanarIndexSet& set, const std::string& path) {
-  FilePtr f(std::fopen(path.c_str(), "wb"));
-  if (f == nullptr) {
-    return Status::Internal("cannot open '" + path + "' for writing");
-  }
-  const PhiMatrix& phi = set.phi();
-  const OptionsRecord options = PackOptions(set.options());
-  const uint64_t dim = phi.dim();
-  const uint64_t n = phi.size();
-  const uint64_t num_indices = set.num_indices();
-  bool ok = WriteBytes(f.get(), kMagic, sizeof(kMagic)) &&
-            WriteValue(f.get(), options) && WriteValue(f.get(), dim) &&
-            WriteValue(f.get(), n);
-  for (size_t i = 0; ok && i < n; ++i) {
-    ok = WriteBytes(f.get(), phi.row(i), sizeof(double) * dim);
-  }
-  ok = ok && WriteValue(f.get(), num_indices);
-  for (size_t i = 0; ok && i < num_indices; ++i) {
-    const PlanarIndex& index = set.index(i);
-    const uint64_t octant_bits = index.octant().Id();
-    ok = WriteValue(f.get(), octant_bits) &&
-         WriteBytes(f.get(), index.normal().data(), sizeof(double) * dim);
-  }
-  if (!ok) return Status::Internal("short write to '" + path + "'");
-  return Status::OK();
-}
-
-Result<PlanarIndexSet> LoadIndexSet(const std::string& path) {
+Result<std::vector<unsigned char>> ReadWholeFile(const std::string& path) {
   FilePtr f(std::fopen(path.c_str(), "rb"));
   if (f == nullptr) {
     return Status::NotFound("cannot open '" + path + "'");
   }
-  char magic[8];
-  if (!ReadBytes(f.get(), magic, sizeof(magic)) ||
-      std::memcmp(magic, kMagic, sizeof(kMagic)) != 0) {
-    return Status::InvalidArgument("'" + path +
-                                   "' is not a planar index file");
+  std::vector<unsigned char> bytes;
+  unsigned char chunk[1 << 16];
+  size_t got = 0;
+  while ((got = std::fread(chunk, 1, sizeof(chunk), f.get())) > 0) {
+    bytes.insert(bytes.end(), chunk, chunk + got);
   }
+  if (std::ferror(f.get()) != 0) {
+    return Status::Internal("read error on '" + path + "'");
+  }
+  return bytes;
+}
+
+// Parses the payload (everything after the version header) and rebuilds
+// the set. `options_override`, when non-null, replaces the stored
+// backend/tuning knobs.
+Result<PlanarIndexSet> ParsePayload(ByteReader reader,
+                                    const std::string& path,
+                                    const IndexSetOptions* options_override) {
   OptionsRecord options_record;
   uint64_t dim = 0;
   uint64_t n = 0;
-  if (!ReadValue(f.get(), &options_record) || !ReadValue(f.get(), &dim) ||
-      !ReadValue(f.get(), &n) || dim == 0 || dim > 1u << 20) {
+  if (!reader.ReadValue(&options_record) || !reader.ReadValue(&dim) ||
+      !reader.ReadValue(&n) || dim == 0 || dim > 1u << 20) {
     return Status::InvalidArgument("corrupt header in '" + path + "'");
   }
-  const IndexSetOptions options = UnpackOptions(options_record);
+  const IndexSetOptions options = options_override != nullptr
+                                      ? *options_override
+                                      : UnpackOptions(options_record);
 
   PhiMatrix phi(dim);
   phi.Reserve(n);
   std::vector<double> row(dim);
   for (uint64_t i = 0; i < n; ++i) {
-    if (!ReadBytes(f.get(), row.data(), sizeof(double) * dim)) {
+    if (!reader.Read(row.data(), sizeof(double) * dim)) {
       return Status::InvalidArgument("truncated phi data in '" + path + "'");
     }
     phi.AppendRow(row.data());
   }
   uint64_t num_indices = 0;
-  if (!ReadValue(f.get(), &num_indices) || num_indices == 0) {
+  if (!reader.ReadValue(&num_indices) || num_indices == 0) {
     return Status::InvalidArgument("no indices in '" + path + "'");
   }
   std::vector<std::pair<std::vector<double>, Octant>> definitions;
@@ -151,8 +162,8 @@ Result<PlanarIndexSet> LoadIndexSet(const std::string& path) {
   for (uint64_t i = 0; i < num_indices; ++i) {
     uint64_t octant_bits = 0;
     std::vector<double> normal(dim);
-    if (!ReadValue(f.get(), &octant_bits) ||
-        !ReadBytes(f.get(), normal.data(), sizeof(double) * dim)) {
+    if (!reader.ReadValue(&octant_bits) ||
+        !reader.Read(normal.data(), sizeof(double) * dim)) {
       return Status::InvalidArgument("truncated index table in '" + path +
                                      "'");
     }
@@ -174,6 +185,99 @@ Result<PlanarIndexSet> LoadIndexSet(const std::string& path) {
         set.AddIndex(definitions[i].first, definitions[i].second));
   }
   return set;
+}
+
+}  // namespace
+
+Status SaveIndexSet(const PlanarIndexSet& set, const std::string& path) {
+  const PhiMatrix& phi = set.phi();
+  const uint64_t dim = phi.dim();
+  const uint64_t n = phi.size();
+  const uint64_t num_indices = set.num_indices();
+
+  ByteWriter payload;
+  payload.AppendValue(PackOptions(set.options()));
+  payload.AppendValue(dim);
+  payload.AppendValue(n);
+  for (size_t i = 0; i < n; ++i) {
+    payload.Append(phi.row(i), sizeof(double) * dim);
+  }
+  payload.AppendValue(num_indices);
+  for (size_t i = 0; i < num_indices; ++i) {
+    const PlanarIndex& index = set.index(i);
+    const uint64_t octant_bits = index.octant().Id();
+    payload.AppendValue(octant_bits);
+    payload.Append(index.normal().data(), sizeof(double) * dim);
+  }
+
+  const std::vector<unsigned char>& bytes = payload.buffer();
+  const uint32_t crc = Crc32(bytes.data(), bytes.size());
+  const uint64_t payload_size = bytes.size();
+
+  FilePtr f(std::fopen(path.c_str(), "wb"));
+  if (f == nullptr) {
+    return Status::Internal("cannot open '" + path + "' for writing");
+  }
+  const bool ok =
+      std::fwrite(kMagicV2, 1, sizeof(kMagicV2), f.get()) ==
+          sizeof(kMagicV2) &&
+      std::fwrite(&crc, 1, sizeof(crc), f.get()) == sizeof(crc) &&
+      std::fwrite(&payload_size, 1, sizeof(payload_size), f.get()) ==
+          sizeof(payload_size) &&
+      std::fwrite(bytes.data(), 1, bytes.size(), f.get()) == bytes.size();
+  if (!ok) return Status::Internal("short write to '" + path + "'");
+  return Status::OK();
+}
+
+Result<PlanarIndexSet> LoadIndexSet(const std::string& path) {
+  return LoadIndexSet(path, nullptr);
+}
+
+Result<PlanarIndexSet> LoadIndexSet(const std::string& path,
+                                    const IndexSetOptions* options) {
+  PLANAR_ASSIGN_OR_RETURN(std::vector<unsigned char> bytes,
+                          ReadWholeFile(path));
+  if (bytes.size() < sizeof(kMagicV2)) {
+    return Status::InvalidArgument("'" + path +
+                                   "' is not a planar index file");
+  }
+  if (std::memcmp(bytes.data(), kMagicV2, sizeof(kMagicV2)) == 0) {
+    // v2: checksummed. Verify the payload before parsing a single field.
+    constexpr size_t kHeaderSize =
+        sizeof(kMagicV2) + sizeof(uint32_t) + sizeof(uint64_t);
+    if (bytes.size() < kHeaderSize) {
+      return Status::DataLoss("truncated header in '" + path + "'");
+    }
+    uint32_t stored_crc = 0;
+    uint64_t payload_size = 0;
+    std::memcpy(&stored_crc, bytes.data() + sizeof(kMagicV2),
+                sizeof(stored_crc));
+    std::memcpy(&payload_size,
+                bytes.data() + sizeof(kMagicV2) + sizeof(stored_crc),
+                sizeof(payload_size));
+    const unsigned char* payload = bytes.data() + kHeaderSize;
+    const size_t available = bytes.size() - kHeaderSize;
+    if (available != payload_size) {
+      return Status::DataLoss("'" + path + "' is truncated: expected " +
+                              std::to_string(payload_size) +
+                              " payload bytes, found " +
+                              std::to_string(available));
+    }
+    const uint32_t actual_crc = Crc32(payload, available);
+    if (actual_crc != stored_crc) {
+      return Status::DataLoss("checksum mismatch in '" + path +
+                              "': the snapshot is corrupt");
+    }
+    return ParsePayload(ByteReader(payload, available), path, options);
+  }
+  if (std::memcmp(bytes.data(), kMagicV1, sizeof(kMagicV1)) == 0) {
+    // v1: no checksum; field-level bounds checks are the only guard.
+    return ParsePayload(ByteReader(bytes.data() + sizeof(kMagicV1),
+                                   bytes.size() - sizeof(kMagicV1)),
+                        path, options);
+  }
+  return Status::InvalidArgument("'" + path +
+                                 "' is not a planar index file");
 }
 
 }  // namespace planar

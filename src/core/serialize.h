@@ -6,9 +6,15 @@
 // and fast, so this keeps the format small, versionable, and immune to
 // backend/layout changes).
 //
-// Format (little-endian):
-//   magic "PLNRIDX1" | options | dim | n | row-major phi data |
-//   #indices | per index: octant bits (u64) + normal doubles
+// Format v2 (little-endian):
+//   magic "PLNRIDX2" | crc32 (u32, over the payload) | payload size (u64) |
+//   payload: options | dim | n | row-major phi data |
+//            #indices | per index: octant bits (u64) + normal doubles
+//
+// The checksum covers every payload byte, so a truncated or bit-flipped
+// snapshot fails with kDataLoss instead of rebuilding a garbage index.
+// v1 files ("PLNRIDX1": the same payload with no checksum header) are
+// still readable.
 
 #ifndef PLANAR_CORE_SERIALIZE_H_
 #define PLANAR_CORE_SERIALIZE_H_
@@ -21,12 +27,20 @@
 
 namespace planar {
 
-/// Writes the set (matrix + index definitions) to `path`.
+/// Writes the set (matrix + index definitions) to `path` in format v2.
 Status SaveIndexSet(const PlanarIndexSet& set, const std::string& path);
 
-/// Reads a set written by SaveIndexSet and rebuilds its indices.
-/// `options` overrides the stored backend/tuning knobs when non-null.
+/// Reads a set written by SaveIndexSet and rebuilds its indices with the
+/// options stored in the file. Fails with kDataLoss when a v2 checksum
+/// does not match (truncation, bit flips).
 Result<PlanarIndexSet> LoadIndexSet(const std::string& path);
+
+/// Same, but `options` overrides the stored backend/tuning knobs when
+/// non-null: the indices are rebuilt with *options instead of the
+/// persisted record (e.g. load a sorted-array snapshot onto the B+-tree
+/// backend). Passing nullptr is identical to the single-argument form.
+Result<PlanarIndexSet> LoadIndexSet(const std::string& path,
+                                    const IndexSetOptions* options);
 
 }  // namespace planar
 

@@ -1,0 +1,105 @@
+// Copyright (c) 2026 The planar Authors. Licensed under the MIT license.
+//
+// Bounded MPMC queue backing the engine's admission control. Producers
+// never block: TryPush fails immediately when the queue is full or
+// closed, which is what lets Engine::Submit shed load with
+// kResourceExhausted instead of stalling the caller. Consumers pop in
+// batches; a blocking PopBatch returns 0 only after Close() once the
+// queue has drained, so workers exit cleanly without a poison pill.
+
+#ifndef PLANAR_ENGINE_BOUNDED_QUEUE_H_
+#define PLANAR_ENGINE_BOUNDED_QUEUE_H_
+
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <mutex>
+#include <utility>
+#include <vector>
+
+namespace planar {
+
+/// Mutex+condvar bounded queue of movable items.
+template <typename T>
+class BoundedQueue {
+ public:
+  explicit BoundedQueue(size_t capacity) : capacity_(capacity) {}
+
+  BoundedQueue(const BoundedQueue&) = delete;
+  BoundedQueue& operator=(const BoundedQueue&) = delete;
+
+  /// Enqueues `item` unless the queue is full or closed; never blocks.
+  /// Returns false (leaving `item` moved-from only on success) when the
+  /// element was not admitted.
+  bool TryPush(T&& item) {
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      if (closed_ || items_.size() >= capacity_) return false;
+      items_.push_back(std::move(item));
+    }
+    ready_.notify_one();
+    return true;
+  }
+
+  /// Blocks until at least one item is available or the queue is closed,
+  /// then moves up to `max_batch` items into `out` (appended). Returns
+  /// the number of items popped; 0 means closed-and-drained.
+  size_t PopBatch(std::vector<T>* out, size_t max_batch) {
+    std::unique_lock<std::mutex> lock(mu_);
+    ready_.wait(lock, [this] { return closed_ || !items_.empty(); });
+    return PopLocked(out, max_batch);
+  }
+
+  /// Non-blocking variant: pops whatever is immediately available, up to
+  /// `max_batch`. Used by the manual (0-worker) execution mode.
+  size_t TryPopBatch(std::vector<T>* out, size_t max_batch) {
+    std::lock_guard<std::mutex> lock(mu_);
+    return PopLocked(out, max_batch);
+  }
+
+  /// Rejects all future pushes and wakes every blocked consumer. Items
+  /// already queued remain poppable (close-then-drain).
+  void Close() {
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      closed_ = true;
+    }
+    ready_.notify_all();
+  }
+
+  /// Current number of queued items.
+  size_t size() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return items_.size();
+  }
+
+  /// True once Close() has been called.
+  bool closed() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return closed_;
+  }
+
+  /// Maximum number of queued items.
+  size_t capacity() const { return capacity_; }
+
+ private:
+  size_t PopLocked(std::vector<T>* out, size_t max_batch) {
+    size_t popped = 0;
+    while (popped < max_batch && !items_.empty()) {
+      out->push_back(std::move(items_.front()));
+      items_.pop_front();
+      ++popped;
+    }
+    return popped;
+  }
+
+  const size_t capacity_;
+  mutable std::mutex mu_;
+  std::condition_variable ready_;
+  std::deque<T> items_;
+  bool closed_ = false;
+};
+
+}  // namespace planar
+
+#endif  // PLANAR_ENGINE_BOUNDED_QUEUE_H_

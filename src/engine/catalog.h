@@ -1,0 +1,66 @@
+// Copyright (c) 2026 The planar Authors. Licensed under the MIT license.
+//
+// Catalog: named, refcounted PlanarIndexSet instances with atomic
+// snapshot-swap semantics. Readers grab a shared_ptr<const ...> and keep
+// querying their snapshot even while a writer Install()s a replacement —
+// a rebuild never blocks or invalidates in-flight queries; the old set is
+// destroyed when its last reader drops the pointer. The expensive part
+// (building the set) happens entirely outside the catalog; Install/Drop
+// only swap a pointer under a short mutex.
+
+#ifndef PLANAR_ENGINE_CATALOG_H_
+#define PLANAR_ENGINE_CATALOG_H_
+
+#include <atomic>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "core/index_set.h"
+
+namespace planar {
+
+/// Thread-safe name -> index-set mapping with copy-on-swap updates.
+class Catalog {
+ public:
+  using SetPtr = std::shared_ptr<const PlanarIndexSet>;
+
+  Catalog() = default;
+  Catalog(const Catalog&) = delete;
+  Catalog& operator=(const Catalog&) = delete;
+
+  /// Installs (or replaces) the entry `name`. The set is frozen behind a
+  /// const pointer; in-flight readers of a previous version are
+  /// unaffected. Returns the installed snapshot.
+  SetPtr Install(const std::string& name, PlanarIndexSet set);
+
+  /// Removes `name`. Returns false when no such entry exists. Readers
+  /// holding the snapshot keep it alive until they finish.
+  bool Drop(const std::string& name);
+
+  /// The current snapshot for `name`, or nullptr when absent. O(log r).
+  SetPtr Find(const std::string& name) const;
+
+  /// All entry names, sorted.
+  std::vector<std::string> Names() const;
+
+  /// Number of entries.
+  size_t size() const;
+
+  /// Monotone counter bumped by every Install and successful Drop; lets
+  /// callers detect churn between two observations.
+  uint64_t version() const { return version_.load(std::memory_order_acquire); }
+
+ private:
+  mutable std::mutex mu_;
+  std::map<std::string, SetPtr> sets_;
+  std::atomic<uint64_t> version_{0};
+};
+
+}  // namespace planar
+
+#endif  // PLANAR_ENGINE_CATALOG_H_

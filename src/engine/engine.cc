@@ -1,0 +1,139 @@
+// Copyright (c) 2026 The planar Authors. Licensed under the MIT license.
+
+#include "engine/engine.h"
+
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace planar {
+
+Engine::Engine(Catalog* catalog, const EngineOptions& options)
+    : catalog_(catalog),
+      options_(options),
+      queue_(options.queue_capacity) {
+  workers_.reserve(options_.num_workers);
+  for (size_t i = 0; i < options_.num_workers; ++i) {
+    workers_.emplace_back([this] { WorkerLoop(); });
+  }
+}
+
+Engine::~Engine() { Drain(); }
+
+Result<std::future<EngineResponse>> Engine::Submit(EngineRequest request) {
+  metrics_.OnSubmitted();
+  if (draining_.load(std::memory_order_acquire)) {
+    metrics_.OnRejectedDraining();
+    return Status::Unavailable("engine is draining; not accepting requests");
+  }
+  Pending pending;
+  pending.request = std::move(request);
+  std::future<EngineResponse> future = pending.promise.get_future();
+  if (!queue_.TryPush(std::move(pending))) {
+    metrics_.OnRejectedQueueFull();
+    return Status::ResourceExhausted(
+        "engine queue is full (" + std::to_string(queue_.capacity()) +
+        " requests); retry later or raise queue_capacity");
+  }
+  metrics_.OnAdmitted();
+  return future;
+}
+
+size_t Engine::RunPending() {
+  std::vector<Pending> batch;
+  batch.reserve(options_.max_batch);
+  if (queue_.TryPopBatch(&batch, options_.max_batch) == 0) return 0;
+  RunBatch(batch);
+  return batch.size();
+}
+
+void Engine::Drain() {
+  if (drained_.exchange(true, std::memory_order_acq_rel)) return;
+  draining_.store(true, std::memory_order_release);
+  queue_.Close();
+  for (std::thread& worker : workers_) worker.join();
+  workers_.clear();
+  // Whatever the workers did not claim (all of it, in 0-worker mode)
+  // runs inline so every admitted request is answered and accounted.
+  while (RunPending() > 0) {
+  }
+}
+
+DebugSnapshot Engine::Snapshot() const {
+  DebugSnapshot snapshot;
+  snapshot.counters = metrics_.counters();
+  snapshot.latency_millis = metrics_.latency_millis();
+  snapshot.queue_wait_millis = metrics_.queue_wait_millis();
+  snapshot.queue_depth = queue_.size();
+  snapshot.in_flight = in_flight_.load(std::memory_order_relaxed);
+  snapshot.workers = workers_.size();
+  snapshot.catalog_entries = catalog_->size();
+  snapshot.draining = draining_.load(std::memory_order_acquire);
+  return snapshot;
+}
+
+EngineResponse Engine::Execute(const EngineRequest& request) const {
+  EngineResponse response;
+  const Catalog::SetPtr set = catalog_->Find(request.target);
+  if (set == nullptr) {
+    response.status =
+        Status::NotFound("no catalog entry named '" + request.target + "'");
+    return response;
+  }
+  // A request that spent its whole budget in the queue is answered
+  // without starting the query at all.
+  if (request.deadline.Expired()) {
+    response.status = Status::DeadlineExceeded(
+        "deadline expired before execution started");
+    return response;
+  }
+  switch (request.kind) {
+    case QueryKind::kInequality: {
+      Result<InequalityResult> result =
+          set->Inequality(request.query, request.deadline);
+      if (result.ok()) {
+        response.inequality = std::move(result).value();
+      } else {
+        response.status = result.status();
+      }
+      break;
+    }
+    case QueryKind::kTopK: {
+      Result<TopKResult> result =
+          set->TopK(request.query, request.k, request.deadline);
+      if (result.ok()) {
+        response.topk = std::move(result).value();
+      } else {
+        response.status = result.status();
+      }
+      break;
+    }
+  }
+  return response;
+}
+
+void Engine::RunBatch(std::vector<Pending>& batch) {
+  for (Pending& pending : batch) {
+    in_flight_.fetch_add(1, std::memory_order_relaxed);
+    const double queue_millis = pending.queued.ElapsedMillis();
+    WallTimer execute_timer;
+    EngineResponse response = Execute(pending.request);
+    response.queue_millis = queue_millis;
+    response.execute_millis = execute_timer.ElapsedMillis();
+    metrics_.OnCompleted(response.status, response.queue_millis,
+                         response.execute_millis);
+    pending.promise.set_value(std::move(response));
+    in_flight_.fetch_sub(1, std::memory_order_relaxed);
+  }
+}
+
+void Engine::WorkerLoop() {
+  std::vector<Pending> batch;
+  batch.reserve(options_.max_batch);
+  while (queue_.PopBatch(&batch, options_.max_batch) > 0) {
+    RunBatch(batch);
+    batch.clear();
+  }
+}
+
+}  // namespace planar

@@ -1,0 +1,111 @@
+// Copyright (c) 2026 The planar Authors. Licensed under the MIT license.
+//
+// Engine: a concurrent query-serving runtime over a Catalog of planar
+// index sets. Requests enter through a bounded queue (admission control:
+// a full queue sheds with kResourceExhausted, never blocks the caller)
+// and are executed in batches by a worker pool. Each request can carry a
+// deadline that is honored both before execution starts and cooperatively
+// inside the II verification loops of the core query paths. Shutdown is a
+// graceful drain: queued requests still execute, then workers exit.
+//
+// With num_workers == 0 the engine runs no threads and the caller drives
+// execution explicitly via RunPending() — the deterministic mode the unit
+// tests use to exercise admission and accounting without scheduler races.
+
+#ifndef PLANAR_ENGINE_ENGINE_H_
+#define PLANAR_ENGINE_ENGINE_H_
+
+#include <atomic>
+#include <cstddef>
+#include <future>
+#include <thread>
+#include <vector>
+
+#include "common/result.h"
+#include "common/status.h"
+#include "common/timer.h"
+#include "engine/bounded_queue.h"
+#include "engine/catalog.h"
+#include "engine/metrics.h"
+#include "engine/request.h"
+
+namespace planar {
+
+/// Engine sizing and scheduling knobs.
+struct EngineOptions {
+  /// Worker threads. 0 means no threads: the owner calls RunPending().
+  size_t num_workers = 4;
+  /// Admission-control bound: Submit() sheds once this many requests are
+  /// queued.
+  size_t queue_capacity = 1024;
+  /// Upper bound on requests a worker claims per queue round-trip;
+  /// batching amortizes the queue lock under load.
+  size_t max_batch = 16;
+};
+
+/// A serving runtime bound to one (not owned) catalog.
+class Engine {
+ public:
+  /// `catalog` must outlive the engine.
+  explicit Engine(Catalog* catalog,
+                  const EngineOptions& options = EngineOptions());
+  /// Drains (see Drain) before destruction.
+  ~Engine();
+
+  Engine(const Engine&) = delete;
+  Engine& operator=(const Engine&) = delete;
+
+  /// Admits `request` and returns a future for its response. Fails fast —
+  /// without blocking or enqueueing — with kResourceExhausted when the
+  /// queue is at capacity and kUnavailable once draining has begun.
+  Result<std::future<EngineResponse>> Submit(EngineRequest request);
+
+  /// Pops and executes up to options().max_batch queued requests on the
+  /// calling thread; returns how many ran. Never blocks. This is the
+  /// execution path when num_workers == 0, and is also safe to call as a
+  /// helping hand alongside a worker pool.
+  size_t RunPending();
+
+  /// Graceful shutdown: stops admission (subsequent Submit ->
+  /// kUnavailable), lets queued requests finish, joins the workers, and
+  /// executes any remainder inline (covers the 0-worker mode).
+  /// Idempotent.
+  void Drain();
+
+  /// Point-in-time counters, gauges, and latency histograms. The
+  /// counter conservation laws are exact after Drain() and best-effort
+  /// (momentarily behind) while requests are moving.
+  DebugSnapshot Snapshot() const;
+
+  const EngineOptions& options() const { return options_; }
+
+ private:
+  struct Pending {
+    EngineRequest request;
+    std::promise<EngineResponse> promise;
+    WallTimer queued;  // started on admission; read when execution begins
+  };
+
+  /// Runs one request to completion: catalog lookup, pre-execution
+  /// deadline check, deadline-aware core query call.
+  EngineResponse Execute(const EngineRequest& request) const;
+
+  /// Executes one popped batch, fulfilling promises and recording
+  /// metrics.
+  void RunBatch(std::vector<Pending>& batch);
+
+  void WorkerLoop();
+
+  Catalog* const catalog_;
+  const EngineOptions options_;
+  BoundedQueue<Pending> queue_;
+  EngineMetrics metrics_;
+  std::vector<std::thread> workers_;
+  std::atomic<bool> draining_{false};
+  std::atomic<bool> drained_{false};
+  std::atomic<size_t> in_flight_{0};
+};
+
+}  // namespace planar
+
+#endif  // PLANAR_ENGINE_ENGINE_H_

@@ -1,0 +1,83 @@
+// Copyright (c) 2026 The planar Authors. Licensed under the MIT license.
+
+#include "engine/metrics.h"
+
+#include <utility>
+#include <vector>
+
+#include "common/table_printer.h"
+
+namespace planar {
+
+EngineMetrics::EngineMetrics()
+    : latency_millis_(FixedBucketHistogram::LatencyMillis()),
+      queue_wait_millis_(FixedBucketHistogram::LatencyMillis()) {}
+
+void EngineMetrics::OnCompleted(const Status& status, double queue_millis,
+                                double execute_millis) {
+  if (status.ok()) {
+    Bump(&completed_ok_);
+  } else if (status.code() == StatusCode::kDeadlineExceeded) {
+    Bump(&deadline_exceeded_);
+  } else {
+    Bump(&failed_);
+  }
+  std::lock_guard<std::mutex> lock(hist_mu_);
+  latency_millis_.Add(execute_millis);
+  queue_wait_millis_.Add(queue_millis);
+}
+
+EngineCounters EngineMetrics::counters() const {
+  EngineCounters c;
+  c.submitted = submitted_.load(std::memory_order_relaxed);
+  c.admitted = admitted_.load(std::memory_order_relaxed);
+  c.rejected_queue_full = rejected_queue_full_.load(std::memory_order_relaxed);
+  c.rejected_draining = rejected_draining_.load(std::memory_order_relaxed);
+  c.completed_ok = completed_ok_.load(std::memory_order_relaxed);
+  c.deadline_exceeded = deadline_exceeded_.load(std::memory_order_relaxed);
+  c.failed = failed_.load(std::memory_order_relaxed);
+  return c;
+}
+
+FixedBucketHistogram EngineMetrics::latency_millis() const {
+  std::lock_guard<std::mutex> lock(hist_mu_);
+  return latency_millis_;
+}
+
+FixedBucketHistogram EngineMetrics::queue_wait_millis() const {
+  std::lock_guard<std::mutex> lock(hist_mu_);
+  return queue_wait_millis_;
+}
+
+std::string DebugSnapshot::ToString() const {
+  TablePrinter table({"metric", "value"});
+  const auto add = [&table](const std::string& name, uint64_t value) {
+    table.AddRow({name, std::to_string(value)});
+  };
+  add("submitted", counters.submitted);
+  add("admitted", counters.admitted);
+  add("rejected_queue_full", counters.rejected_queue_full);
+  add("rejected_draining", counters.rejected_draining);
+  add("completed_ok", counters.completed_ok);
+  add("deadline_exceeded", counters.deadline_exceeded);
+  add("failed", counters.failed);
+  add("queue_depth", queue_depth);
+  add("in_flight", in_flight);
+  add("workers", workers);
+  add("catalog_entries", catalog_entries);
+  table.AddRow({"draining", draining ? "true" : "false"});
+
+  const auto add_histogram = [&table](const std::string& prefix,
+                                      const FixedBucketHistogram& h) {
+    table.AddRow({prefix + "_count", std::to_string(h.count())});
+    table.AddRow({prefix + "_mean_ms", FormatDouble(h.mean())});
+    table.AddRow({prefix + "_p50_ms", FormatDouble(h.ApproxPercentile(50))});
+    table.AddRow({prefix + "_p90_ms", FormatDouble(h.ApproxPercentile(90))});
+    table.AddRow({prefix + "_p99_ms", FormatDouble(h.ApproxPercentile(99))});
+  };
+  add_histogram("latency", latency_millis);
+  add_histogram("queue_wait", queue_wait_millis);
+  return table.ToText();
+}
+
+}  // namespace planar

@@ -1,0 +1,95 @@
+// Copyright (c) 2026 The planar Authors. Licensed under the MIT license.
+//
+// Engine observability: monotone counters over the request lifecycle and
+// fixed-bucket latency histograms, exposed as a point-in-time
+// DebugSnapshot. The counters obey a conservation law the tests assert:
+// submitted = admitted + rejected_queue_full + rejected_draining, and
+// after a Drain() every admitted request is accounted for as
+// completed_ok + deadline_exceeded + failed.
+
+#ifndef PLANAR_ENGINE_METRICS_H_
+#define PLANAR_ENGINE_METRICS_H_
+
+#include <atomic>
+#include <cstdint>
+#include <mutex>
+#include <string>
+
+#include "common/histogram.h"
+#include "common/status.h"
+
+namespace planar {
+
+/// Monotone request-lifecycle counters.
+struct EngineCounters {
+  uint64_t submitted = 0;           ///< Submit() calls
+  uint64_t admitted = 0;            ///< accepted into the queue
+  uint64_t rejected_queue_full = 0; ///< shed with kResourceExhausted
+  uint64_t rejected_draining = 0;   ///< refused with kUnavailable
+  uint64_t completed_ok = 0;        ///< finished with an OK status
+  uint64_t deadline_exceeded = 0;   ///< finished with kDeadlineExceeded
+  uint64_t failed = 0;              ///< finished with any other error
+};
+
+/// Point-in-time view of one engine, safe to inspect with no locks held.
+struct DebugSnapshot {
+  EngineCounters counters;
+  /// End-to-end execution latency of finished requests (milliseconds).
+  FixedBucketHistogram latency_millis = FixedBucketHistogram::LatencyMillis();
+  /// Time requests spent queued before execution (milliseconds).
+  FixedBucketHistogram queue_wait_millis =
+      FixedBucketHistogram::LatencyMillis();
+  size_t queue_depth = 0;      ///< requests waiting at snapshot time
+  size_t in_flight = 0;        ///< requests executing at snapshot time
+  size_t workers = 0;          ///< worker threads configured
+  size_t catalog_entries = 0;  ///< entries in the attached catalog
+  bool draining = false;       ///< Drain() has begun
+
+  /// Renders counters, gauges, and latency percentiles as an aligned
+  /// table (TablePrinter layout).
+  std::string ToString() const;
+};
+
+/// Thread-safe metrics sink shared by Submit() and the workers.
+class EngineMetrics {
+ public:
+  EngineMetrics();
+
+  void OnSubmitted() { Bump(&submitted_); }
+  void OnAdmitted() { Bump(&admitted_); }
+  void OnRejectedQueueFull() { Bump(&rejected_queue_full_); }
+  void OnRejectedDraining() { Bump(&rejected_draining_); }
+
+  /// Records one finished request: classifies `status` into the
+  /// completion counters and feeds both histograms.
+  void OnCompleted(const Status& status, double queue_millis,
+                   double execute_millis);
+
+  /// Consistent copy of the counters.
+  EngineCounters counters() const;
+
+  /// Copies of the histograms (bucket layouts included).
+  FixedBucketHistogram latency_millis() const;
+  FixedBucketHistogram queue_wait_millis() const;
+
+ private:
+  static void Bump(std::atomic<uint64_t>* c) {
+    c->fetch_add(1, std::memory_order_relaxed);
+  }
+
+  std::atomic<uint64_t> submitted_{0};
+  std::atomic<uint64_t> admitted_{0};
+  std::atomic<uint64_t> rejected_queue_full_{0};
+  std::atomic<uint64_t> rejected_draining_{0};
+  std::atomic<uint64_t> completed_ok_{0};
+  std::atomic<uint64_t> deadline_exceeded_{0};
+  std::atomic<uint64_t> failed_{0};
+
+  mutable std::mutex hist_mu_;
+  FixedBucketHistogram latency_millis_;
+  FixedBucketHistogram queue_wait_millis_;
+};
+
+}  // namespace planar
+
+#endif  // PLANAR_ENGINE_METRICS_H_

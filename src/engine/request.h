@@ -1,0 +1,55 @@
+// Copyright (c) 2026 The planar Authors. Licensed under the MIT license.
+//
+// Request/response types for the query-serving engine. A request names a
+// catalog entry, carries one scalar product query (inequality or top-k),
+// and optionally a deadline; the response carries the matching result
+// plus per-request timing that feeds the engine's histograms.
+
+#ifndef PLANAR_ENGINE_REQUEST_H_
+#define PLANAR_ENGINE_REQUEST_H_
+
+#include <cstddef>
+#include <string>
+
+#include "common/deadline.h"
+#include "common/status.h"
+#include "core/planar_index.h"
+#include "core/query.h"
+
+namespace planar {
+
+/// Which of the paper's two problems a request asks for.
+enum class QueryKind {
+  kInequality,  ///< Problem 1: all rows with <a, phi(x)> cmp b
+  kTopK,        ///< Problem 2: k satisfying rows nearest the hyperplane
+};
+
+/// One unit of work submitted to an Engine.
+struct EngineRequest {
+  /// Name of the catalog entry to query.
+  std::string target;
+  QueryKind kind = QueryKind::kInequality;
+  ScalarProductQuery query;
+  /// Result size for kTopK; ignored for kInequality.
+  size_t k = 10;
+  /// Per-request deadline. Default: infinite. An expired deadline is
+  /// detected both before execution starts and cooperatively inside the
+  /// II verification loops (see common/deadline.h).
+  Deadline deadline;
+};
+
+/// The engine's answer. Exactly one of `inequality` / `topk` is
+/// meaningful, per `EngineRequest::kind`, and only when status.ok().
+struct EngineResponse {
+  Status status;
+  InequalityResult inequality;
+  TopKResult topk;
+  /// Time spent queued before a worker picked the request up.
+  double queue_millis = 0.0;
+  /// Time spent executing the query.
+  double execute_millis = 0.0;
+};
+
+}  // namespace planar
+
+#endif  // PLANAR_ENGINE_REQUEST_H_

@@ -1,0 +1,56 @@
+// Copyright (c) 2026 The planar Authors. Licensed under the MIT license.
+
+#include "common/crc32.h"
+
+#include <cstring>
+#include <string>
+
+#include <gtest/gtest.h>
+
+namespace planar {
+namespace {
+
+TEST(Crc32Test, EmptyInputIsZero) {
+  EXPECT_EQ(Crc32(nullptr, 0), 0u);
+}
+
+TEST(Crc32Test, KnownCheckVector) {
+  // The standard CRC-32 (IEEE 802.3) check value.
+  const char* data = "123456789";
+  EXPECT_EQ(Crc32(data, std::strlen(data)), 0xCBF43926u);
+}
+
+TEST(Crc32Test, IncrementalMatchesOneShot) {
+  const std::string data = "the quick brown fox jumps over the lazy dog";
+  const uint32_t one_shot = Crc32(data.data(), data.size());
+  uint32_t incremental = 0;
+  for (size_t split = 0; split <= data.size(); ++split) {
+    incremental = Crc32Extend(0, data.data(), split);
+    incremental =
+        Crc32Extend(incremental, data.data() + split, data.size() - split);
+    EXPECT_EQ(incremental, one_shot) << "split at " << split;
+  }
+}
+
+TEST(Crc32Test, DetectsSingleBitFlips) {
+  std::string data = "planar index payload bytes";
+  const uint32_t original = Crc32(data.data(), data.size());
+  for (size_t byte = 0; byte < data.size(); ++byte) {
+    for (int bit = 0; bit < 8; ++bit) {
+      data[byte] = static_cast<char>(data[byte] ^ (1 << bit));
+      EXPECT_NE(Crc32(data.data(), data.size()), original)
+          << "byte " << byte << " bit " << bit;
+      data[byte] = static_cast<char>(data[byte] ^ (1 << bit));
+    }
+  }
+  EXPECT_EQ(Crc32(data.data(), data.size()), original);
+}
+
+TEST(Crc32Test, DistinguishesPermutations) {
+  const char a[] = "abcd";
+  const char b[] = "abdc";
+  EXPECT_NE(Crc32(a, 4), Crc32(b, 4));
+}
+
+}  // namespace
+}  // namespace planar

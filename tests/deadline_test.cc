@@ -1,0 +1,127 @@
+// Copyright (c) 2026 The planar Authors. Licensed under the MIT license.
+
+#include "common/deadline.h"
+
+#include <cmath>
+#include <memory>
+
+#include <gtest/gtest.h>
+
+#include "core/index_set.h"
+#include "core/scan.h"
+#include "tests/test_util.h"
+
+namespace planar {
+namespace {
+
+TEST(DeadlineTest, DefaultNeverExpires) {
+  Deadline d;
+  EXPECT_TRUE(d.is_infinite());
+  EXPECT_FALSE(d.Expired());
+  EXPECT_TRUE(std::isinf(d.RemainingMillis()));
+  EXPECT_FALSE(Deadline::Infinite().Expired());
+}
+
+TEST(DeadlineTest, PastDeadlineIsExpired) {
+  const Deadline d = Deadline::After(0.0);
+  EXPECT_FALSE(d.is_infinite());
+  EXPECT_TRUE(d.Expired());
+  EXPECT_LE(d.RemainingMillis(), 0.0);
+}
+
+TEST(DeadlineTest, FutureDeadlineIsNotExpired) {
+  const Deadline d = Deadline::After(60000.0);
+  EXPECT_FALSE(d.Expired());
+  EXPECT_GT(d.RemainingMillis(), 0.0);
+}
+
+TEST(DeadlineTest, NegativeMillisClampToNow) {
+  EXPECT_TRUE(Deadline::After(-100.0).Expired());
+}
+
+class DeadlineQueryTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    PhiMatrix phi = RandomPhi(2000, 3, -20.0, 80.0, 7);
+    auto set = PlanarIndexSet::Build(
+        std::move(phi), {{1.0, 6.0}, {-6.0, -1.0}, {1.0, 6.0}});
+    ASSERT_TRUE(set.ok());
+    set_ = std::make_unique<PlanarIndexSet>(std::move(set).value());
+    query_.a = {2.0, -3.0, 4.0};
+    query_.b = 100.0;
+    query_.cmp = Comparison::kLessEqual;
+  }
+
+  std::unique_ptr<PlanarIndexSet> set_;
+  ScalarProductQuery query_;
+};
+
+TEST_F(DeadlineQueryTest, ExpiredDeadlineAbortsInequalityBeforeVerification) {
+  // The query has a non-trivial intermediate interval, so completing it
+  // requires II verification work the expired deadline must cut short.
+  const auto explanation = set_->Explain(query_);
+  ASSERT_GT(explanation.index_explanation.intermediate(), 0u);
+
+  auto result = set_->Inequality(query_, Deadline::After(0.0));
+  ASSERT_FALSE(result.ok());
+  EXPECT_EQ(result.status().code(), StatusCode::kDeadlineExceeded);
+}
+
+TEST_F(DeadlineQueryTest, InfiniteDeadlineMatchesPlainOverload) {
+  const InequalityResult plain = set_->Inequality(query_);
+  auto with_deadline = set_->Inequality(query_, Deadline::Infinite());
+  ASSERT_TRUE(with_deadline.ok());
+  EXPECT_EQ(Sorted(with_deadline->ids), Sorted(plain.ids));
+
+  auto generous = set_->Inequality(query_, Deadline::After(60000.0));
+  ASSERT_TRUE(generous.ok());
+  EXPECT_EQ(Sorted(generous->ids), Sorted(plain.ids));
+}
+
+TEST_F(DeadlineQueryTest, ExpiredDeadlineAbortsTopK) {
+  auto result = set_->TopK(query_, 10, Deadline::After(0.0));
+  ASSERT_FALSE(result.ok());
+  EXPECT_EQ(result.status().code(), StatusCode::kDeadlineExceeded);
+
+  auto ok = set_->TopK(query_, 10, Deadline::Infinite());
+  ASSERT_TRUE(ok.ok());
+  EXPECT_EQ(ok->neighbors.size(), 10u);
+}
+
+TEST_F(DeadlineQueryTest, ExpiredDeadlineAbortsScan) {
+  auto scan = ScanInequality(set_->phi(), query_, Deadline::After(0.0));
+  ASSERT_FALSE(scan.ok());
+  EXPECT_EQ(scan.status().code(), StatusCode::kDeadlineExceeded);
+
+  auto topk = ScanTopK(set_->phi(), query_, 5, Deadline::After(0.0));
+  ASSERT_FALSE(topk.ok());
+  EXPECT_EQ(topk.status().code(), StatusCode::kDeadlineExceeded);
+
+  auto full = ScanInequality(set_->phi(), query_, Deadline::Infinite());
+  ASSERT_TRUE(full.ok());
+  EXPECT_EQ(Sorted(full->ids), BruteForceMatches(set_->phi(), query_));
+}
+
+TEST_F(DeadlineQueryTest, BTreeBackendHonorsDeadlines) {
+  IndexSetOptions options;
+  options.index_options.backend = PlanarIndexOptions::Backend::kBTree;
+  PhiMatrix phi = RandomPhi(2000, 3, -20.0, 80.0, 8);
+  auto set = PlanarIndexSet::Build(
+      std::move(phi), {{1.0, 6.0}, {-6.0, -1.0}, {1.0, 6.0}}, options);
+  ASSERT_TRUE(set.ok());
+
+  auto expired = set->Inequality(query_, Deadline::After(0.0));
+  ASSERT_FALSE(expired.ok());
+  EXPECT_EQ(expired.status().code(), StatusCode::kDeadlineExceeded);
+
+  auto expired_topk = set->TopK(query_, 10, Deadline::After(0.0));
+  ASSERT_FALSE(expired_topk.ok());
+  EXPECT_EQ(expired_topk.status().code(), StatusCode::kDeadlineExceeded);
+
+  auto fine = set->Inequality(query_, Deadline::After(60000.0));
+  ASSERT_TRUE(fine.ok());
+  EXPECT_EQ(Sorted(fine->ids), BruteForceMatches(set->phi(), query_));
+}
+
+}  // namespace
+}  // namespace planar

@@ -1,0 +1,179 @@
+// Copyright (c) 2026 The planar Authors. Licensed under the MIT license.
+//
+// Catalog-churn stress: client threads hammer Engine::Submit while a
+// churn thread keeps replacing (and briefly dropping) the named index
+// set. Meant to run under ThreadSanitizer (tsan preset / CI job) to
+// catch data races between snapshot readers and the swap path. The
+// functional assertions are deliberately loose — under churn a request
+// may legitimately fail with kNotFound — but every admitted request must
+// be answered and accounted.
+
+#include <atomic>
+#include <cstdint>
+#include <future>
+#include <memory>
+#include <thread>
+#include <utility>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "engine/engine.h"
+#include "tests/test_util.h"
+
+namespace planar {
+namespace {
+
+PlanarIndexSet MakeSet(uint64_t seed, size_t n) {
+  PhiMatrix phi = RandomPhi(n, 3, -20.0, 80.0, seed);
+  auto set = PlanarIndexSet::Build(
+      std::move(phi), {{1.0, 6.0}, {-6.0, -1.0}, {1.0, 6.0}});
+  PLANAR_CHECK(set.ok());
+  return std::move(set).value();
+}
+
+TEST(EngineStressTest, QueryingSurvivesCatalogChurn) {
+  constexpr size_t kClients = 4;
+  constexpr int kRequestsPerClient = 200;
+  constexpr int kChurnRounds = 60;
+
+  Catalog catalog;
+  catalog.Install("live", MakeSet(1, 400));
+
+  EngineOptions options;
+  options.num_workers = 3;
+  options.queue_capacity = 256;
+  Engine engine(&catalog, options);
+
+  std::atomic<bool> stop_churn{false};
+  std::thread churn([&] {
+    for (int round = 0; round < kChurnRounds &&
+                        !stop_churn.load(std::memory_order_relaxed);
+         ++round) {
+      // Build outside the catalog lock, then swap in O(1). Replacing an
+      // existing name is atomic — readers see the old or the new set,
+      // never a gap — so "live" requests can never fail with kNotFound.
+      catalog.Install("live",
+                      MakeSet(static_cast<uint64_t>(round) + 2,
+                              200 + 10 * static_cast<size_t>(round % 7)));
+      // Exercise Drop on a separate ephemeral entry, where a visibility
+      // gap is expected and clients tolerate kNotFound.
+      if (round % 5 == 4) {
+        catalog.Install("ephemeral",
+                        MakeSet(static_cast<uint64_t>(round), 100));
+        std::this_thread::yield();
+        catalog.Drop("ephemeral");
+      }
+    }
+  });
+
+  std::atomic<uint64_t> answered{0};
+  std::atomic<uint64_t> ok_answers{0};
+  std::vector<std::thread> clients;
+  clients.reserve(kClients);
+  for (size_t c = 0; c < kClients; ++c) {
+    clients.emplace_back([&, c] {
+      Rng rng(100 + c);
+      for (int i = 0; i < kRequestsPerClient; ++i) {
+        const bool ephemeral = i % 10 == 3;
+        EngineRequest request;
+        request.target = ephemeral ? "ephemeral" : "live";
+        request.kind =
+            i % 3 == 0 ? QueryKind::kTopK : QueryKind::kInequality;
+        request.k = 4;
+        request.query.a = {rng.Uniform(1, 6), -rng.Uniform(1, 6),
+                           rng.Uniform(1, 6)};
+        request.query.b = rng.Uniform(-100, 300);
+        request.query.cmp = i % 2 == 0 ? Comparison::kLessEqual
+                                       : Comparison::kGreaterEqual;
+        if (i % 20 == 7) request.deadline = Deadline::After(0.0);
+        auto future = engine.Submit(std::move(request));
+        if (!future.ok()) {
+          // Queue full: legitimate shedding under pressure.
+          EXPECT_EQ(future.status().code(), StatusCode::kResourceExhausted);
+          continue;
+        }
+        const EngineResponse response = future->get();
+        answered.fetch_add(1, std::memory_order_relaxed);
+        if (response.status.ok()) {
+          ok_answers.fetch_add(1, std::memory_order_relaxed);
+        } else if (ephemeral &&
+                   response.status.code() == StatusCode::kNotFound) {
+          // The ephemeral entry comes and goes by design.
+        } else {
+          // "live" is replaced atomically, never dropped: the only
+          // legitimate failure is the deadline we injected ourselves.
+          EXPECT_EQ(response.status.code(), StatusCode::kDeadlineExceeded)
+              << response.status.ToString();
+        }
+      }
+    });
+  }
+
+  for (std::thread& client : clients) client.join();
+  stop_churn.store(true, std::memory_order_relaxed);
+  churn.join();
+  engine.Drain();
+
+  const DebugSnapshot snapshot = engine.Snapshot();
+  const EngineCounters& counters = snapshot.counters;
+  EXPECT_EQ(counters.submitted, kClients * kRequestsPerClient);
+  EXPECT_EQ(counters.admitted, answered.load());
+  EXPECT_EQ(counters.admitted,
+            counters.completed_ok + counters.deadline_exceeded +
+                counters.failed);
+  EXPECT_EQ(counters.completed_ok, ok_answers.load());
+  EXPECT_EQ(snapshot.latency_millis.count(), counters.admitted);
+  // Per client: 20 requests target the ephemeral entry and 10 carry an
+  // expired deadline (disjoint sets); everything else must succeed.
+  EXPECT_GE(ok_answers.load() + kClients * 30, answered.load())
+      << snapshot.ToString();
+  EXPECT_GT(ok_answers.load(), 0u) << snapshot.ToString();
+  EXPECT_GT(catalog.version(), 0u);
+}
+
+TEST(EngineStressTest, DrainRacesWithSubmitters) {
+  Catalog catalog;
+  catalog.Install("live", MakeSet(5, 300));
+  EngineOptions options;
+  options.num_workers = 2;
+  options.queue_capacity = 128;
+  Engine engine(&catalog, options);
+
+  std::vector<std::thread> submitters;
+  for (int t = 0; t < 3; ++t) {
+    submitters.emplace_back([&, t] {
+      Rng rng(static_cast<uint64_t>(t) + 40);
+      for (int i = 0; i < 150; ++i) {
+        EngineRequest request;
+        request.target = "live";
+        request.query.a = {rng.Uniform(1, 6), -rng.Uniform(1, 6),
+                           rng.Uniform(1, 6)};
+        request.query.b = rng.Uniform(-100, 300);
+        auto future = engine.Submit(std::move(request));
+        if (!future.ok()) {
+          // Racing a drain: shedding and unavailability are the only
+          // acceptable rejections.
+          EXPECT_TRUE(
+              future.status().code() == StatusCode::kResourceExhausted ||
+              future.status().code() == StatusCode::kUnavailable);
+          continue;
+        }
+        future->get();
+      }
+    });
+  }
+  // Drain concurrently with the submitters: admitted requests must all
+  // be answered (their futures above never hang) and late submits are
+  // turned away instead of lost.
+  engine.Drain();
+  for (std::thread& submitter : submitters) submitter.join();
+
+  const EngineCounters counters = engine.Snapshot().counters;
+  EXPECT_EQ(counters.admitted, counters.completed_ok +
+                                   counters.deadline_exceeded +
+                                   counters.failed);
+}
+
+}  // namespace
+}  // namespace planar

@@ -1,0 +1,299 @@
+// Copyright (c) 2026 The planar Authors. Licensed under the MIT license.
+
+#include "engine/engine.h"
+
+#include <future>
+#include <memory>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "engine/bounded_queue.h"
+#include "engine/catalog.h"
+#include "tests/test_util.h"
+
+namespace planar {
+namespace {
+
+PlanarIndexSet MakeSet(uint64_t seed, size_t n = 500) {
+  PhiMatrix phi = RandomPhi(n, 3, -20.0, 80.0, seed);
+  auto set = PlanarIndexSet::Build(
+      std::move(phi), {{1.0, 6.0}, {-6.0, -1.0}, {1.0, 6.0}});
+  PLANAR_CHECK(set.ok());
+  return std::move(set).value();
+}
+
+ScalarProductQuery MakeQuery(double b = 100.0) {
+  ScalarProductQuery q;
+  q.a = {2.0, -3.0, 4.0};
+  q.b = b;
+  q.cmp = Comparison::kLessEqual;
+  return q;
+}
+
+TEST(BoundedQueueTest, TryPushRespectsCapacity) {
+  BoundedQueue<int> queue(2);
+  int a = 1, b = 2, c = 3;
+  EXPECT_TRUE(queue.TryPush(std::move(a)));
+  EXPECT_TRUE(queue.TryPush(std::move(b)));
+  EXPECT_FALSE(queue.TryPush(std::move(c)));  // full: shed, not block
+  EXPECT_EQ(queue.size(), 2u);
+
+  std::vector<int> batch;
+  EXPECT_EQ(queue.TryPopBatch(&batch, 10), 2u);
+  EXPECT_EQ(batch, (std::vector<int>{1, 2}));
+}
+
+TEST(BoundedQueueTest, CloseThenDrain) {
+  BoundedQueue<int> queue(4);
+  int a = 1, b = 2;
+  ASSERT_TRUE(queue.TryPush(std::move(a)));
+  ASSERT_TRUE(queue.TryPush(std::move(b)));
+  queue.Close();
+  int c = 3;
+  EXPECT_FALSE(queue.TryPush(std::move(c)));  // closed rejects producers
+  std::vector<int> batch;
+  EXPECT_EQ(queue.PopBatch(&batch, 1), 1u);  // queued items stay poppable
+  EXPECT_EQ(queue.PopBatch(&batch, 10), 1u);
+  EXPECT_EQ(queue.PopBatch(&batch, 10), 0u);  // closed-and-drained
+}
+
+TEST(CatalogTest, InstallFindDrop) {
+  Catalog catalog;
+  EXPECT_EQ(catalog.size(), 0u);
+  EXPECT_EQ(catalog.Find("main"), nullptr);
+
+  catalog.Install("main", MakeSet(11));
+  ASSERT_NE(catalog.Find("main"), nullptr);
+  EXPECT_EQ(catalog.size(), 1u);
+  EXPECT_EQ(catalog.Names(), (std::vector<std::string>{"main"}));
+
+  EXPECT_TRUE(catalog.Drop("main"));
+  EXPECT_FALSE(catalog.Drop("main"));
+  EXPECT_EQ(catalog.Find("main"), nullptr);
+}
+
+TEST(CatalogTest, InstallSwapsSnapshotWithoutInvalidatingReaders) {
+  Catalog catalog;
+  catalog.Install("main", MakeSet(12, 100));
+  const Catalog::SetPtr before = catalog.Find("main");
+  const uint64_t version_before = catalog.version();
+
+  catalog.Install("main", MakeSet(13, 200));
+  const Catalog::SetPtr after = catalog.Find("main");
+
+  ASSERT_NE(before, nullptr);
+  ASSERT_NE(after, nullptr);
+  EXPECT_NE(before, after);
+  EXPECT_GT(catalog.version(), version_before);
+  // The old snapshot is still fully queryable.
+  EXPECT_EQ(before->size(), 100u);
+  EXPECT_EQ(after->size(), 200u);
+  const InequalityResult old_answer = before->Inequality(MakeQuery());
+  EXPECT_EQ(Sorted(old_answer.ids),
+            BruteForceMatches(before->phi(), MakeQuery()));
+}
+
+class EngineTest : public ::testing::Test {
+ protected:
+  EngineTest() { catalog_.Install("main", MakeSet(21)); }
+  Catalog catalog_;
+};
+
+TEST_F(EngineTest, ExecutesInequalityAndTopK) {
+  EngineOptions options;
+  Engine engine(&catalog_, options);
+
+  EngineRequest inequality;
+  inequality.target = "main";
+  inequality.query = MakeQuery();
+  auto f1 = engine.Submit(std::move(inequality));
+  ASSERT_TRUE(f1.ok());
+
+  EngineRequest topk;
+  topk.target = "main";
+  topk.kind = QueryKind::kTopK;
+  topk.query = MakeQuery();
+  topk.k = 5;
+  auto f2 = engine.Submit(std::move(topk));
+  ASSERT_TRUE(f2.ok());
+
+  const EngineResponse r1 = f1->get();
+  ASSERT_TRUE(r1.status.ok()) << r1.status.ToString();
+  const Catalog::SetPtr set = catalog_.Find("main");
+  EXPECT_EQ(Sorted(r1.inequality.ids),
+            BruteForceMatches(set->phi(), MakeQuery()));
+  EXPECT_GE(r1.execute_millis, 0.0);
+  EXPECT_GE(r1.queue_millis, 0.0);
+
+  const EngineResponse r2 = f2->get();
+  ASSERT_TRUE(r2.status.ok()) << r2.status.ToString();
+  EXPECT_EQ(r2.topk.neighbors.size(), 5u);
+}
+
+TEST_F(EngineTest, UnknownTargetReturnsNotFound) {
+  Engine engine(&catalog_);
+  EngineRequest request;
+  request.target = "nope";
+  request.query = MakeQuery();
+  auto f = engine.Submit(std::move(request));
+  ASSERT_TRUE(f.ok());
+  EXPECT_EQ(f->get().status.code(), StatusCode::kNotFound);
+}
+
+TEST_F(EngineTest, FullQueueShedsWithResourceExhausted) {
+  // 0 workers: nothing consumes the queue until we say so, which makes
+  // the shedding deterministic.
+  EngineOptions options;
+  options.num_workers = 0;
+  options.queue_capacity = 2;
+  Engine engine(&catalog_, options);
+
+  EngineRequest request;
+  request.target = "main";
+  request.query = MakeQuery();
+  auto f1 = engine.Submit(request);
+  auto f2 = engine.Submit(request);
+  auto f3 = engine.Submit(request);  // must fail fast, not block
+  ASSERT_TRUE(f1.ok());
+  ASSERT_TRUE(f2.ok());
+  ASSERT_FALSE(f3.ok());
+  EXPECT_EQ(f3.status().code(), StatusCode::kResourceExhausted);
+
+  const DebugSnapshot before = engine.Snapshot();
+  EXPECT_EQ(before.counters.submitted, 3u);
+  EXPECT_EQ(before.counters.admitted, 2u);
+  EXPECT_EQ(before.counters.rejected_queue_full, 1u);
+  EXPECT_EQ(before.queue_depth, 2u);
+
+  EXPECT_EQ(engine.RunPending(), 2u);
+  EXPECT_TRUE(f1->get().status.ok());
+  EXPECT_TRUE(f2->get().status.ok());
+  // Capacity freed: admission works again.
+  auto f4 = engine.Submit(request);
+  ASSERT_TRUE(f4.ok());
+  engine.Drain();
+  EXPECT_TRUE(f4->get().status.ok());
+}
+
+TEST_F(EngineTest, ExpiredDeadlineShortCircuitsExecution) {
+  EngineOptions options;
+  options.num_workers = 0;
+  Engine engine(&catalog_, options);
+
+  EngineRequest request;
+  request.target = "main";
+  request.query = MakeQuery();
+  request.deadline = Deadline::After(0.0);
+  auto f = engine.Submit(std::move(request));
+  ASSERT_TRUE(f.ok());
+  ASSERT_EQ(engine.RunPending(), 1u);
+  const EngineResponse response = f->get();
+  EXPECT_EQ(response.status.code(), StatusCode::kDeadlineExceeded);
+  EXPECT_TRUE(response.inequality.ids.empty());
+  EXPECT_EQ(engine.Snapshot().counters.deadline_exceeded, 1u);
+}
+
+TEST_F(EngineTest, SubmitAfterDrainReturnsUnavailable) {
+  Engine engine(&catalog_);
+  engine.Drain();
+  EngineRequest request;
+  request.target = "main";
+  request.query = MakeQuery();
+  auto f = engine.Submit(std::move(request));
+  ASSERT_FALSE(f.ok());
+  EXPECT_EQ(f.status().code(), StatusCode::kUnavailable);
+  EXPECT_EQ(engine.Snapshot().counters.rejected_draining, 1u);
+}
+
+TEST_F(EngineTest, DrainAnswersEveryQueuedRequest) {
+  EngineOptions options;
+  options.num_workers = 0;
+  options.queue_capacity = 64;
+  Engine engine(&catalog_, options);
+
+  std::vector<std::future<EngineResponse>> futures;
+  for (int i = 0; i < 10; ++i) {
+    EngineRequest request;
+    request.target = "main";
+    request.query = MakeQuery(50.0 + 10.0 * i);
+    auto f = engine.Submit(std::move(request));
+    ASSERT_TRUE(f.ok());
+    futures.push_back(std::move(*f));
+  }
+  engine.Drain();
+  for (auto& f : futures) EXPECT_TRUE(f.get().status.ok());
+}
+
+TEST_F(EngineTest, SnapshotAccountsForEveryAdmittedRequest) {
+  EngineOptions options;
+  options.num_workers = 2;
+  Engine engine(&catalog_, options);
+
+  constexpr int kRequests = 64;
+  std::vector<std::future<EngineResponse>> futures;
+  for (int i = 0; i < kRequests; ++i) {
+    EngineRequest request;
+    request.target = i % 8 == 0 ? "missing" : "main";
+    request.query = MakeQuery(40.0 + i);
+    // Offset by one so the expired-deadline requests never coincide with
+    // the missing-target ones: each lands in exactly one counter.
+    if (i % 16 == 1) request.deadline = Deadline::After(0.0);
+    auto f = engine.Submit(std::move(request));
+    if (f.ok()) futures.push_back(std::move(*f));
+  }
+  for (auto& f : futures) f.get();
+  engine.Drain();
+
+  const DebugSnapshot snapshot = engine.Snapshot();
+  const EngineCounters& c = snapshot.counters;
+  // Conservation laws: every submit is admitted or rejected; every
+  // admitted request finished in exactly one completion bucket.
+  EXPECT_EQ(c.submitted,
+            c.admitted + c.rejected_queue_full + c.rejected_draining);
+  EXPECT_EQ(c.admitted, c.completed_ok + c.deadline_exceeded + c.failed);
+  EXPECT_EQ(c.admitted, static_cast<uint64_t>(futures.size()));
+  EXPECT_GT(c.deadline_exceeded, 0u);
+  EXPECT_GT(c.failed, 0u);  // the "missing" targets
+  // Both histograms saw every admitted request.
+  EXPECT_EQ(snapshot.latency_millis.count(), c.admitted);
+  EXPECT_EQ(snapshot.queue_wait_millis.count(), c.admitted);
+  EXPECT_EQ(snapshot.queue_depth, 0u);
+  EXPECT_EQ(snapshot.in_flight, 0u);
+  EXPECT_TRUE(snapshot.draining);
+
+  const std::string rendered = snapshot.ToString();
+  EXPECT_NE(rendered.find("admitted"), std::string::npos);
+  EXPECT_NE(rendered.find("latency_p99_ms"), std::string::npos);
+}
+
+TEST_F(EngineTest, WorkerPoolServesConcurrentLoad) {
+  EngineOptions options;
+  options.num_workers = 4;
+  options.queue_capacity = 4096;
+  Engine engine(&catalog_, options);
+
+  std::vector<std::future<EngineResponse>> futures;
+  for (int i = 0; i < 200; ++i) {
+    EngineRequest request;
+    request.target = "main";
+    request.kind = i % 2 == 0 ? QueryKind::kInequality : QueryKind::kTopK;
+    request.query = MakeQuery(30.0 + i);
+    request.k = 3;
+    auto f = engine.Submit(std::move(request));
+    ASSERT_TRUE(f.ok());
+    futures.push_back(std::move(*f));
+  }
+  size_t ok = 0;
+  for (auto& f : futures) {
+    if (f.get().status.ok()) ++ok;
+  }
+  EXPECT_EQ(ok, futures.size());
+  engine.Drain();
+  EXPECT_EQ(engine.Snapshot().counters.completed_ok, futures.size());
+}
+
+}  // namespace
+}  // namespace planar

@@ -1,0 +1,100 @@
+// Copyright (c) 2026 The planar Authors. Licensed under the MIT license.
+
+#include "common/histogram.h"
+
+#include <cmath>
+#include <limits>
+
+#include <gtest/gtest.h>
+
+namespace planar {
+namespace {
+
+TEST(HistogramTest, EmptyState) {
+  FixedBucketHistogram h({1.0, 10.0, 100.0});
+  EXPECT_EQ(h.count(), 0u);
+  EXPECT_EQ(h.sum(), 0.0);
+  EXPECT_EQ(h.mean(), 0.0);
+  EXPECT_EQ(h.ApproxPercentile(50), 0.0);
+  EXPECT_EQ(h.num_buckets(), 4u);  // three bounds + overflow
+}
+
+TEST(HistogramTest, BucketAssignment) {
+  FixedBucketHistogram h({1.0, 10.0, 100.0});
+  h.Add(0.5);    // bucket 0: (-inf, 1]
+  h.Add(1.0);    // bucket 0 (bounds are inclusive above)
+  h.Add(5.0);    // bucket 1: (1, 10]
+  h.Add(50.0);   // bucket 2: (10, 100]
+  h.Add(500.0);  // overflow
+  EXPECT_EQ(h.count(), 5u);
+  EXPECT_EQ(h.bucket_count(0), 2u);
+  EXPECT_EQ(h.bucket_count(1), 1u);
+  EXPECT_EQ(h.bucket_count(2), 1u);
+  EXPECT_EQ(h.bucket_count(3), 1u);
+  EXPECT_TRUE(std::isinf(h.upper_bound(3)));
+  EXPECT_EQ(h.min(), 0.5);
+  EXPECT_EQ(h.max(), 500.0);
+  EXPECT_DOUBLE_EQ(h.sum(), 556.5);
+  EXPECT_DOUBLE_EQ(h.mean(), 556.5 / 5);
+}
+
+TEST(HistogramTest, PercentileIsWithinBucketError) {
+  FixedBucketHistogram h = FixedBucketHistogram::LatencyMillis();
+  for (int i = 1; i <= 1000; ++i) h.Add(static_cast<double>(i) / 10.0);
+  // True p50 is ~50; the estimate must land within the owning bucket
+  // (geometric base-2 buckets → at worst a factor-2 band).
+  const double p50 = h.ApproxPercentile(50);
+  EXPECT_GE(p50, 32.0);
+  EXPECT_LE(p50, 64.0);
+  const double p100 = h.ApproxPercentile(100);
+  EXPECT_LE(p100, 100.0);  // clamped to observed max
+  EXPECT_GE(h.ApproxPercentile(0), 0.1);  // clamped to observed min
+}
+
+TEST(HistogramTest, PercentilesAreMonotone) {
+  FixedBucketHistogram h = FixedBucketHistogram::LatencyMillis();
+  for (int i = 0; i < 500; ++i) h.Add(std::pow(1.01, i));
+  double prev = -1.0;
+  for (double q = 0.0; q <= 100.0; q += 5.0) {
+    const double p = h.ApproxPercentile(q);
+    EXPECT_GE(p, prev) << "q=" << q;
+    prev = p;
+  }
+}
+
+TEST(HistogramTest, MergeAccumulates) {
+  FixedBucketHistogram a({1.0, 10.0});
+  FixedBucketHistogram b({1.0, 10.0});
+  a.Add(0.5);
+  a.Add(5.0);
+  b.Add(20.0);
+  a.Merge(b);
+  EXPECT_EQ(a.count(), 3u);
+  EXPECT_EQ(a.bucket_count(0), 1u);
+  EXPECT_EQ(a.bucket_count(1), 1u);
+  EXPECT_EQ(a.bucket_count(2), 1u);
+  EXPECT_EQ(a.min(), 0.5);
+  EXPECT_EQ(a.max(), 20.0);
+}
+
+TEST(HistogramTest, ResetKeepsLayout) {
+  FixedBucketHistogram h({1.0, 10.0});
+  h.Add(5.0);
+  h.Reset();
+  EXPECT_EQ(h.count(), 0u);
+  EXPECT_EQ(h.num_buckets(), 3u);
+  h.Add(2.0);
+  EXPECT_EQ(h.bucket_count(1), 1u);
+}
+
+TEST(HistogramTest, ToStringListsNonEmptyBuckets) {
+  FixedBucketHistogram h({1.0, 10.0});
+  h.Add(0.5);
+  h.Add(5.0);
+  const std::string s = h.ToString();
+  EXPECT_NE(s.find("1"), std::string::npos);
+  EXPECT_FALSE(s.empty());
+}
+
+}  // namespace
+}  // namespace planar

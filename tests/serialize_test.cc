@@ -95,7 +95,7 @@ TEST(SerializeTest, GarbageFileRejected) {
   std::remove(path.c_str());
 }
 
-TEST(SerializeTest, TruncatedFileRejected) {
+TEST(SerializeTest, TruncatedFileFailsWithDataLoss) {
   const std::string path = TempPath("truncated.planar");
   PlanarIndexSet original = MakeSet(84, 2);
   ASSERT_TRUE(SaveIndexSet(original, path).ok());
@@ -107,7 +107,108 @@ TEST(SerializeTest, TruncatedFileRejected) {
   std::fclose(f);
   ASSERT_EQ(truncate(path.c_str(), size * 2 / 3), 0);
   auto loaded = LoadIndexSet(path);
-  EXPECT_FALSE(loaded.ok());
+  ASSERT_FALSE(loaded.ok());
+  EXPECT_EQ(loaded.status().code(), StatusCode::kDataLoss);
+  std::remove(path.c_str());
+}
+
+std::vector<unsigned char> ReadAll(const std::string& path) {
+  std::FILE* f = std::fopen(path.c_str(), "rb");
+  PLANAR_CHECK(f != nullptr);
+  std::fseek(f, 0, SEEK_END);
+  const long size = std::ftell(f);
+  std::fseek(f, 0, SEEK_SET);
+  std::vector<unsigned char> bytes(static_cast<size_t>(size));
+  PLANAR_CHECK(std::fread(bytes.data(), 1, bytes.size(), f) == bytes.size());
+  std::fclose(f);
+  return bytes;
+}
+
+void WriteAll(const std::string& path,
+              const std::vector<unsigned char>& bytes) {
+  std::FILE* f = std::fopen(path.c_str(), "wb");
+  PLANAR_CHECK(f != nullptr);
+  PLANAR_CHECK(std::fwrite(bytes.data(), 1, bytes.size(), f) ==
+               bytes.size());
+  std::fclose(f);
+}
+
+TEST(SerializeTest, BitFlipFailsWithDataLoss) {
+  const std::string path = TempPath("bitflip.planar");
+  PlanarIndexSet original = MakeSet(85, 2);
+  ASSERT_TRUE(SaveIndexSet(original, path).ok());
+  std::vector<unsigned char> bytes = ReadAll(path);
+  // The header is magic(8) + crc(4) + size(8) = 20 bytes; flip one bit in
+  // the middle of the payload (phi data), where a v1-style reader would
+  // have rebuilt a silently wrong index.
+  const size_t victim = 20 + (bytes.size() - 20) / 2;
+  ASSERT_LT(victim, bytes.size());
+  bytes[victim] = static_cast<unsigned char>(bytes[victim] ^ 0x10);
+  WriteAll(path, bytes);
+
+  auto loaded = LoadIndexSet(path);
+  ASSERT_FALSE(loaded.ok());
+  EXPECT_EQ(loaded.status().code(), StatusCode::kDataLoss);
+  EXPECT_NE(loaded.status().message().find("checksum"), std::string::npos);
+  std::remove(path.c_str());
+}
+
+TEST(SerializeTest, V1FilesStillLoad) {
+  const std::string path = TempPath("v2.planar");
+  const std::string v1_path = TempPath("v1.planar");
+  PlanarIndexSet original = MakeSet(86, 3);
+  ASSERT_TRUE(SaveIndexSet(original, path).ok());
+
+  // A v1 file is the magic "PLNRIDX1" followed directly by the payload —
+  // the v2 layout minus the crc and size fields.
+  std::vector<unsigned char> v2 = ReadAll(path);
+  std::vector<unsigned char> v1;
+  const char kV1Magic[8] = {'P', 'L', 'N', 'R', 'I', 'D', 'X', '1'};
+  v1.insert(v1.end(), kV1Magic, kV1Magic + 8);
+  v1.insert(v1.end(), v2.begin() + 20, v2.end());
+  WriteAll(v1_path, v1);
+
+  auto loaded = LoadIndexSet(v1_path);
+  ASSERT_TRUE(loaded.ok()) << loaded.status().ToString();
+  EXPECT_EQ(loaded->size(), original.size());
+  EXPECT_EQ(loaded->num_indices(), original.num_indices());
+  ScalarProductQuery q;
+  q.a = {2.0, -3.0, 4.0};
+  q.b = 150.0;
+  EXPECT_EQ(Sorted(loaded->Inequality(q).ids),
+            Sorted(original.Inequality(q).ids));
+  std::remove(path.c_str());
+  std::remove(v1_path.c_str());
+}
+
+TEST(SerializeTest, LoadWithOptionsOverrideSwitchesBackend) {
+  const std::string path = TempPath("override.planar");
+  // Saved with the sorted-array backend...
+  PlanarIndexSet original = MakeSet(87, 2);
+  ASSERT_EQ(original.options().index_options.backend,
+            PlanarIndexOptions::Backend::kSortedArray);
+  ASSERT_TRUE(SaveIndexSet(original, path).ok());
+
+  // ...loaded onto the B+-tree backend via the override, answers intact.
+  IndexSetOptions override_options = original.options();
+  override_options.index_options.backend =
+      PlanarIndexOptions::Backend::kBTree;
+  auto loaded = LoadIndexSet(path, &override_options);
+  ASSERT_TRUE(loaded.ok()) << loaded.status().ToString();
+  EXPECT_EQ(loaded->options().index_options.backend,
+            PlanarIndexOptions::Backend::kBTree);
+  EXPECT_EQ(loaded->index(0).backend(), PlanarIndexOptions::Backend::kBTree);
+  ScalarProductQuery q;
+  q.a = {3.0, -2.0, 1.0};
+  q.b = 120.0;
+  EXPECT_EQ(Sorted(loaded->Inequality(q).ids),
+            Sorted(original.Inequality(q).ids));
+
+  // A null override is identical to the single-argument overload.
+  auto plain = LoadIndexSet(path, nullptr);
+  ASSERT_TRUE(plain.ok());
+  EXPECT_EQ(plain->options().index_options.backend,
+            PlanarIndexOptions::Backend::kSortedArray);
   std::remove(path.c_str());
 }
 

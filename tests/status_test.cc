@@ -31,6 +31,10 @@ TEST(StatusTest, ErrorFactoriesCarryCodeAndMessage) {
       {Status::FailedPrecondition("d"), StatusCode::kFailedPrecondition},
       {Status::Unimplemented("e"), StatusCode::kUnimplemented},
       {Status::Internal("f"), StatusCode::kInternal},
+      {Status::DeadlineExceeded("g"), StatusCode::kDeadlineExceeded},
+      {Status::ResourceExhausted("h"), StatusCode::kResourceExhausted},
+      {Status::DataLoss("i"), StatusCode::kDataLoss},
+      {Status::Unavailable("j"), StatusCode::kUnavailable},
   };
   for (const Case& c : cases) {
     EXPECT_FALSE(c.status.ok());
@@ -55,6 +59,12 @@ TEST(StatusTest, CodeNamesAreStable) {
   EXPECT_EQ(StatusCodeToString(StatusCode::kOk), "OK");
   EXPECT_EQ(StatusCodeToString(StatusCode::kNotFound), "NOT_FOUND");
   EXPECT_EQ(StatusCodeToString(StatusCode::kInternal), "INTERNAL");
+  EXPECT_EQ(StatusCodeToString(StatusCode::kDeadlineExceeded),
+            "DEADLINE_EXCEEDED");
+  EXPECT_EQ(StatusCodeToString(StatusCode::kResourceExhausted),
+            "RESOURCE_EXHAUSTED");
+  EXPECT_EQ(StatusCodeToString(StatusCode::kDataLoss), "DATA_LOSS");
+  EXPECT_EQ(StatusCodeToString(StatusCode::kUnavailable), "UNAVAILABLE");
 }
 
 Status Fails() { return Status::NotFound("missing"); }

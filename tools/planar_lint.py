@@ -14,6 +14,11 @@ Rules (library code under src/ unless stated otherwise):
                     fprintf(stderr) abort path are fine).
   no-bare-assert    `assert(` is forbidden in src/ — invariants go through
                     PLANAR_CHECK, which stays armed in release builds.
+  no-detached-threads
+                    `.detach()` is forbidden in src/ — every thread the
+                    library spawns (e.g. the engine's worker pool under
+                    src/engine) must be joined so shutdown is a
+                    deterministic drain, never a process-exit race.
   header-guards     every .h under src/, tests/, and bench/ must open with
                     `#ifndef PLANAR_<PATH>_<FILE>_H_` + matching #define
                     derived from its repo-relative path.
@@ -39,6 +44,7 @@ RE_STDOUT = re.compile(
     r"|(?<![A-Za-z0-9_])fprintf\s*\(\s*stdout\b"
 )
 RE_ASSERT = re.compile(r"(?<![A-Za-z0-9_])assert\s*\(")
+RE_DETACH = re.compile(r"\.\s*detach\s*\(\s*\)")
 
 
 def strip_comments_and_strings(text: str) -> str:
@@ -102,6 +108,10 @@ def findings_for_file(root: Path, path: Path):
                 yield (rel, lineno, "no-bare-assert",
                        "use PLANAR_CHECK (armed in release builds) "
                        "instead of assert")
+            if RE_DETACH.search(line):
+                yield (rel, lineno, "no-detached-threads",
+                       "library threads must be joined (graceful "
+                       "drain), never detached")
 
     if path.suffix == ".h" and str(rel.parts[0]) in HEADER_GUARD_DIRS:
         # src/ headers are included as "core/foo.h" (relative to src/),
