@@ -3,27 +3,57 @@
 #include "core/planar_index.h"
 
 #include <algorithm>
+#include <atomic>
 #include <cmath>
 #include <cstdio>
 #include <limits>
 #include <numeric>
+#include <thread>
 #include <utility>
 
 #include "common/macros.h"
+#include "core/kernels/kernels.h"
+#include "core/parallel.h"
 #include "geometry/vec.h"
 
 namespace planar {
 
 namespace {
 
-// Evaluates the (normalized) predicate exactly against a phi row.
-bool MatchesNormalized(const NormalizedQuery& q, const double* phi_row) {
-  const double value = Dot(q.a.data(), phi_row, q.a.size());
-  return q.cmp == Comparison::kLessEqual ? value <= q.b : value >= q.b;
+// Exact signed residual <a, phi_row> - b, computed with the kernel dot so
+// per-row evaluations (top-k walk) agree bit-for-bit with the batched
+// verification blocks.
+double ResidualNormalized(const NormalizedQuery& q, const double* phi_row) {
+  return kernels::Ops().dot_one(q.a.data(), phi_row, q.a.size()) - q.b;
 }
 
-double ResidualNormalized(const NormalizedQuery& q, const double* phi_row) {
-  return Dot(q.a.data(), phi_row, q.a.size()) - q.b;
+// The batched verification inner loop shared by the serial path and every
+// parallel shard: per block of kernels::kBlockRows candidates, one
+// cancellation check, one batched residual computation, and one
+// branch-light compress-store append into *out (which must have capacity
+// for `count` more entries — resize within reserved capacity never
+// reallocates, so shards cannot invalidate each other's storage).
+// Returns false iff cancelled before completing.
+template <typename CancelFn>
+bool VerifyBlocks(const NormalizedQuery& q, const double* rows, size_t stride,
+                  const uint32_t* ids, size_t count, CancelFn&& cancelled,
+                  std::vector<uint32_t>* out) {
+  const kernels::DotOps& ops = kernels::Ops();
+  const bool le = q.cmp == Comparison::kLessEqual;
+  const double* a = q.a.data();
+  const size_t dim = q.a.size();
+  double residuals[kernels::kBlockRows];
+  for (size_t off = 0; off < count; off += kernels::kBlockRows) {
+    if (cancelled()) return false;
+    const size_t blk = std::min(kernels::kBlockRows, count - off);
+    ops.dot_gather(a, dim, rows, stride, ids + off, blk, -q.b, residuals);
+    const size_t old_size = out->size();
+    out->resize(old_size + blk);
+    const size_t kept = kernels::CompressAccept(residuals, ids + off, blk, le,
+                                                out->data() + old_size);
+    out->resize(old_size + kept);
+  }
+  return true;
 }
 
 }  // namespace
@@ -81,11 +111,13 @@ void PlanarIndex::Rebuild() {
 
   const size_t n = phi_->size();
   key_of_row_.resize(n);
+  // One batched kernel call over the contiguous phi rows; bit-identical
+  // to per-row RawKey (same blocked dot, same shift).
+  kernels::Ops().dot_range(signed_normal_.data(), d, phi_->data(),
+                           phi_->dim(), 0, n, key_shift_, key_of_row_.data());
   std::vector<OrderStatisticBTree::Entry> entries(n);
   for (size_t row = 0; row < n; ++row) {
-    const double key = RawKey(phi_->row(row));
-    key_of_row_[row] = key;
-    entries[row] = {key, static_cast<uint32_t>(row)};
+    entries[row] = {key_of_row_[row], static_cast<uint32_t>(row)};
   }
   std::sort(entries.begin(), entries.end());
 
@@ -107,7 +139,10 @@ void PlanarIndex::Rebuild() {
 }
 
 double PlanarIndex::RawKey(const double* phi_row) const {
-  return Dot(signed_normal_.data(), phi_row, signed_normal_.size()) +
+  // Kernel dot (not geometry/vec.h Dot) so single-row key maintenance
+  // matches the batched Rebuild computation bit-for-bit.
+  return kernels::Ops().dot_one(signed_normal_.data(), phi_row,
+                                signed_normal_.size()) +
          key_shift_;
 }
 
@@ -342,43 +377,41 @@ Result<InequalityResult> PlanarIndex::RunInequality(
   // Which rank range is accepted outright.
   const size_t accept_begin = le ? 0 : larger_begin;
   const size_t accept_end = le ? smaller_end : n;
+  const size_t ii_count = larger_begin - smaller_end;
 
-  result.ids.reserve((accept_end - accept_begin) +
-                     (larger_begin - smaller_end) / 2);
+  // Worst case up front (every II candidate accepted): one allocation for
+  // the whole query, and the verification blocks may compress-store
+  // straight into the vector's tail without capacity checks.
+  result.ids.reserve((accept_end - accept_begin) + ii_count);
 
-  // Deadline poll, placed at the top of every II verification loop body:
-  // checks the clock once per kDeadlineCheckInterval verified rows (and on
-  // the very first row, so an already-expired request never verifies
-  // anything). Infinite deadlines short-circuit inside Expired().
-  auto past_deadline = [&deadline](size_t step) {
-    return (step & (kDeadlineCheckInterval - 1)) == 0 && deadline.Expired();
-  };
-
+  // The II is verified by the batched kernels (core/kernels): per block of
+  // kernels::kBlockRows candidates, one deadline poll, one batched
+  // residual computation, one compress-store append — no per-row branch,
+  // no per-row clock read. An already-expired request still verifies
+  // nothing (the first block polls before any work).
   if (options_.backend == PlanarIndexOptions::Backend::kSortedArray) {
-    for (size_t r = accept_begin; r < accept_end; ++r) {
-      result.ids.push_back(ids_[r]);
-    }
-    for (size_t r = smaller_end; r < larger_begin; ++r) {
-      if (past_deadline(r - smaller_end)) {
-        return Status::DeadlineExceeded(
-            "inequality query exceeded its deadline during II verification");
-      }
-      const uint32_t id = ids_[r];
-      if (MatchesNormalized(q, phi_->row(id))) result.ids.push_back(id);
+    result.ids.insert(result.ids.end(),
+                      ids_.begin() + static_cast<ptrdiff_t>(accept_begin),
+                      ids_.begin() + static_cast<ptrdiff_t>(accept_end));
+    if (!VerifyCandidates(q, ids_.data() + smaller_end, ii_count, deadline,
+                          &result.ids)) {
+      return Status::DeadlineExceeded(
+          "inequality query exceeded its deadline during II verification");
     }
   } else {
     OrderStatisticBTree::Iterator it = tree_.IteratorAt(accept_begin);
     for (size_t r = accept_begin; r < accept_end; ++r, it.Next()) {
       result.ids.push_back(it.entry().value);
     }
-    it = tree_.IteratorAt(smaller_end);
-    for (size_t r = smaller_end; r < larger_begin; ++r, it.Next()) {
-      if (past_deadline(r - smaller_end)) {
-        return Status::DeadlineExceeded(
-            "inequality query exceeded its deadline during II verification");
-      }
-      const uint32_t id = it.entry().value;
-      if (MatchesNormalized(q, phi_->row(id))) result.ids.push_back(id);
+    // The B+-tree stores rank order behind node pointers: materialize the
+    // candidate ids once (O(|II|) leaf walk), then verify the flat array
+    // with the same batched kernels as the sorted-array backend.
+    std::vector<uint32_t> candidates;
+    CollectRange(smaller_end, larger_begin, &candidates);
+    if (!VerifyCandidates(q, candidates.data(), ii_count, deadline,
+                          &result.ids)) {
+      return Status::DeadlineExceeded(
+          "inequality query exceeded its deadline during II verification");
     }
   }
 
@@ -388,6 +421,73 @@ Result<InequalityResult> PlanarIndex::RunInequality(
   result.stats.verified = larger_begin - smaller_end;
   result.stats.result_size = result.ids.size();
   return result;
+}
+
+bool PlanarIndex::VerifyCandidates(const NormalizedQuery& q,
+                                   const uint32_t* ids, size_t count,
+                                   const Deadline& deadline,
+                                   std::vector<uint32_t>* out) const {
+  if (count == 0) return true;
+  const size_t threads = options_.parallel_verify_threads;
+  if (threads != 1 && count >= kParallelVerifyMinRows) {
+    return VerifyCandidatesParallel(q, ids, count, threads, deadline, out);
+  }
+  return VerifyCandidatesSerial(q, ids, count, deadline, out);
+}
+
+bool PlanarIndex::VerifyCandidatesSerial(const NormalizedQuery& q,
+                                         const uint32_t* ids, size_t count,
+                                         const Deadline& deadline,
+                                         std::vector<uint32_t>* out) const {
+  return VerifyBlocks(q, phi_->data(), phi_->dim(), ids, count,
+                      [&deadline] { return deadline.Expired(); }, out);
+}
+
+bool PlanarIndex::VerifyCandidatesParallel(const NormalizedQuery& q,
+                                           const uint32_t* ids, size_t count,
+                                           size_t threads,
+                                           const Deadline& deadline,
+                                           std::vector<uint32_t>* out) const {
+  if (threads == 0) {
+    threads = std::max(1u, std::thread::hardware_concurrency());
+  }
+  const size_t shards = std::min(threads, count);
+  const size_t chunk = (count + shards - 1) / shards;
+  std::vector<std::vector<uint32_t>> shard_out(shards);
+  // Cooperative cancellation across shards: the first shard to observe an
+  // expired deadline raises the flag; every other shard sees it at its
+  // next block boundary and stops. Relaxed ordering suffices — the flag
+  // only accelerates shutdown, the authoritative answer is the post-join
+  // load below, which ParallelFor's join synchronizes with.
+  std::atomic<bool> expired(false);
+  ParallelFor(
+      shards,
+      [&](size_t s) {
+        const size_t begin = s * chunk;
+        const size_t end = std::min(count, begin + chunk);
+        if (begin >= end) return;
+        std::vector<uint32_t>& local = shard_out[s];
+        local.reserve(end - begin);
+        const bool done = VerifyBlocks(
+            q, phi_->data(), phi_->dim(), ids + begin, end - begin,
+            [&] {
+              if (expired.load(std::memory_order_relaxed)) return true;
+              if (!deadline.Expired()) return false;
+              expired.store(true, std::memory_order_relaxed);
+              return true;
+            },
+            &local);
+        (void)done;
+      },
+      shards);
+  if (expired.load(std::memory_order_relaxed)) return false;
+  // Merge in shard order: shard s holds accepted ids of candidate range
+  // [s*chunk, (s+1)*chunk) in candidate order, so concatenation
+  // reproduces the serial output exactly.
+  for (const std::vector<uint32_t>& local : shard_out) {
+    out->insert(out->end(), local.begin(), local.end());
+  }
+  return true;
 }
 
 Result<TopKResult> PlanarIndex::TopK(const ScalarProductQuery& q,
@@ -434,11 +534,26 @@ Result<TopKResult> PlanarIndex::RunTopK(const NormalizedQuery& q, size_t k,
 
   TopKBuffer buffer(k);
 
-  // Phase 1: verify the intermediate interval (Algorithm 2, lines 3-7).
-  auto consider = [&](uint32_t id) {
-    const double residual = ResidualNormalized(q, phi_->row(id));
-    const bool match = le ? residual <= 0.0 : residual >= 0.0;
-    if (match) buffer.Insert(id, std::fabs(residual) / norm_a);
+  // Phase 1: verify the intermediate interval (Algorithm 2, lines 3-7)
+  // with the batched kernels — per block: one deadline poll, one batched
+  // residual computation, then the (branchy, heap-bound) insert loop over
+  // the few matches.
+  const kernels::DotOps& ops = kernels::Ops();
+  const double* rows = phi_->data();
+  const size_t stride = phi_->dim();
+  const size_t dim = q.a.size();
+  const size_t ii_count = larger_begin - smaller_end;
+  double residuals[kernels::kBlockRows];
+
+  auto consider_block = [&](const uint32_t* block_ids, size_t blk) {
+    ops.dot_gather(q.a.data(), dim, rows, stride, block_ids, blk, -q.b,
+                   residuals);
+    for (size_t i = 0; i < blk; ++i) {
+      const double residual = residuals[i];
+      const bool match = le ? residual <= 0.0 : residual >= 0.0;
+      if (match) buffer.Insert(block_ids[i], std::fabs(residual) / norm_a);
+    }
+    result.stats.verified_intermediate += blk;
   };
 
   // Lower-bound distance of a directly-accepted point with the given key
@@ -450,9 +565,9 @@ Result<TopKResult> PlanarIndex::RunTopK(const NormalizedQuery& q, size_t k,
     return std::max(0.0, raw) / norm_a;
   };
 
-  // Deadline poll for both evaluation loops (II verification and the
-  // accept-region walk): one clock read per kDeadlineCheckInterval rows,
-  // including the first, so an expired request evaluates nothing.
+  // Deadline poll for the accept-region walk (phase 2): one clock read per
+  // kDeadlineCheckInterval rows, including the first, so an expired
+  // request evaluates nothing.
   size_t deadline_step = 0;
   auto past_deadline = [&]() {
     return (deadline_step++ & (kDeadlineCheckInterval - 1)) == 0 &&
@@ -462,10 +577,10 @@ Result<TopKResult> PlanarIndex::RunTopK(const NormalizedQuery& q, size_t k,
       "top-k query exceeded its deadline during candidate evaluation");
 
   if (options_.backend == PlanarIndexOptions::Backend::kSortedArray) {
-    for (size_t r = smaller_end; r < larger_begin; ++r) {
-      if (past_deadline()) return deadline_status;
-      consider(ids_[r]);
-      ++result.stats.verified_intermediate;
+    for (size_t off = 0; off < ii_count; off += kernels::kBlockRows) {
+      if (deadline.Expired()) return deadline_status;
+      const size_t blk = std::min(kernels::kBlockRows, ii_count - off);
+      consider_block(ids_.data() + smaller_end + off, blk);
     }
     // Phase 2: walk the directly-accepted region from the query hyperplane
     // outward, pruning with the lower-bound distance (lines 8-14).
@@ -497,11 +612,17 @@ Result<TopKResult> PlanarIndex::RunTopK(const NormalizedQuery& q, size_t k,
       }
     }
   } else {
+    // B+-tree: gather one block of candidate ids through the leaf cursor,
+    // then verify the block with the same batched kernels.
     OrderStatisticBTree::Iterator it = tree_.IteratorAt(smaller_end);
-    for (size_t r = smaller_end; r < larger_begin; ++r, it.Next()) {
-      if (past_deadline()) return deadline_status;
-      consider(it.entry().value);
-      ++result.stats.verified_intermediate;
+    uint32_t block_ids[kernels::kBlockRows];
+    for (size_t off = 0; off < ii_count; off += kernels::kBlockRows) {
+      if (deadline.Expired()) return deadline_status;
+      const size_t blk = std::min(kernels::kBlockRows, ii_count - off);
+      for (size_t i = 0; i < blk; ++i, it.Next()) {
+        block_ids[i] = it.entry().value;
+      }
+      consider_block(block_ids, blk);
     }
     if (le) {
       if (smaller_end > 0) {

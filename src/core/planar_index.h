@@ -109,7 +109,21 @@ struct PlanarIndexOptions {
   /// O(d'^2). Sound for any choice; disable to reproduce the paper's
   /// intervals verbatim.
   bool enable_axis_exclusion = true;
+
+  /// Intra-query parallel verification: intermediate intervals of at
+  /// least kParallelVerifyMinRows candidates are sharded across this many
+  /// threads (1 = always serial, 0 = hardware concurrency, n = n
+  /// threads). Shard outputs are concatenated in shard order, so the
+  /// result id order is identical to the serial path. Default serial: a
+  /// serving layer (src/engine) already parallelizes across requests, and
+  /// nesting thread pools there would oversubscribe; turn this on for
+  /// large single-query workloads.
+  size_t parallel_verify_threads = 1;
 };
+
+/// Smallest intermediate interval worth sharding across threads; below
+/// this, thread spawn/join costs more than the verification itself.
+inline constexpr size_t kParallelVerifyMinRows = 8192;
 
 /// One Planar index over an externally-owned phi matrix.
 ///
@@ -285,6 +299,23 @@ class PlanarIndex {
                                          const Deadline& deadline) const;
   Result<TopKResult> RunTopK(const NormalizedQuery& q, size_t k,
                              const Deadline& deadline) const;
+  // Verifies the candidate ids (block-batched kernels, one deadline poll
+  // per block) and appends accepted ids to *out in candidate order.
+  // Returns false iff the deadline expired mid-verification.
+  bool VerifyCandidatesSerial(const NormalizedQuery& q, const uint32_t* ids,
+                              size_t count, const Deadline& deadline,
+                              std::vector<uint32_t>* out) const;
+  // Same contract, sharded across ParallelFor with per-shard buffers
+  // merged in shard order (deterministic: identical output to serial).
+  bool VerifyCandidatesParallel(const NormalizedQuery& q, const uint32_t* ids,
+                                size_t count, size_t threads,
+                                const Deadline& deadline,
+                                std::vector<uint32_t>* out) const;
+  // Dispatches between the two based on options_ and count; for the
+  // B+-tree backend the caller materializes candidate ids first.
+  bool VerifyCandidates(const NormalizedQuery& q, const uint32_t* ids,
+                        size_t count, const Deadline& deadline,
+                        std::vector<uint32_t>* out) const;
 
   const PhiMatrix* phi_ = nullptr;
   PlanarIndexOptions options_;

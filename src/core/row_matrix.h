@@ -43,6 +43,11 @@ class RowMatrix {
     return data_.data() + i * dim_;
   }
 
+  /// Base pointer of the row-major storage (row i starts at
+  /// data() + i * dim()). For the batched kernels in core/kernels, which
+  /// take a base + stride instead of per-row pointers.
+  const double* data() const { return data_.data(); }
+
   /// Element access.
   double at(size_t i, size_t j) const {
     PLANAR_DCHECK(i < rows_ && j < dim_);

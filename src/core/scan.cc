@@ -2,9 +2,11 @@
 
 #include "core/scan.h"
 
+#include <algorithm>
 #include <cmath>
 
 #include "common/macros.h"
+#include "core/kernels/kernels.h"
 #include "core/topk.h"
 #include "geometry/vec.h"
 
@@ -27,14 +29,23 @@ Result<InequalityResult> ScanInequality(const PhiMatrix& phi,
   result.stats.num_points = n;
   result.stats.verified = n;
   result.stats.index_used = -1;
-  for (size_t row = 0; row < n; ++row) {
-    if ((row & (kDeadlineCheckInterval - 1)) == 0 && deadline.Expired()) {
-      return Status::DeadlineExceeded(
-          "sequential scan exceeded its deadline");
+  // Batched over contiguous rows: per block, one deadline poll, one
+  // kernel call for the residuals, one branch-light compress-store of the
+  // matching row ids.
+  const bool le = q.cmp == Comparison::kLessEqual;
+  const kernels::DotOps& ops = kernels::Ops();
+  double residuals[kernels::kBlockRows];
+  uint32_t accepted[kernels::kBlockRows];
+  for (size_t row = 0; row < n; row += kernels::kBlockRows) {
+    if (deadline.Expired()) {
+      return Status::DeadlineExceeded("sequential scan exceeded its deadline");
     }
-    if (q.Matches(phi.row(row))) {
-      result.ids.push_back(static_cast<uint32_t>(row));
-    }
+    const size_t blk = std::min(kernels::kBlockRows, n - row);
+    ops.dot_range(q.a.data(), phi.dim(), phi.data(), phi.dim(), row, blk,
+                  -q.b, residuals);
+    const size_t kept = kernels::CompressAcceptRange(
+        residuals, static_cast<uint32_t>(row), blk, le, accepted);
+    result.ids.insert(result.ids.end(), accepted, accepted + kept);
   }
   result.stats.result_size = result.ids.size();
   return result;
@@ -64,17 +75,25 @@ Result<TopKResult> ScanTopK(const PhiMatrix& phi, const ScalarProductQuery& q,
   result.stats.num_points = n;
   result.stats.verified_intermediate = n;
   result.stats.index_used = -1;
+  const bool le = q.cmp == Comparison::kLessEqual;
+  const kernels::DotOps& ops = kernels::Ops();
+  double residuals[kernels::kBlockRows];
   TopKBuffer buffer(k);
-  for (size_t row = 0; row < n; ++row) {
-    if ((row & (kDeadlineCheckInterval - 1)) == 0 && deadline.Expired()) {
+  for (size_t row = 0; row < n; row += kernels::kBlockRows) {
+    if (deadline.Expired()) {
       return Status::DeadlineExceeded(
           "sequential top-k scan exceeded its deadline");
     }
-    const double residual = q.Residual(phi.row(row));
-    const bool match =
-        q.cmp == Comparison::kLessEqual ? residual <= 0.0 : residual >= 0.0;
-    if (match) {
-      buffer.Insert(static_cast<uint32_t>(row), std::fabs(residual) / norm_a);
+    const size_t blk = std::min(kernels::kBlockRows, n - row);
+    ops.dot_range(q.a.data(), phi.dim(), phi.data(), phi.dim(), row, blk,
+                  -q.b, residuals);
+    for (size_t i = 0; i < blk; ++i) {
+      const double residual = residuals[i];
+      const bool match = le ? residual <= 0.0 : residual >= 0.0;
+      if (match) {
+        buffer.Insert(static_cast<uint32_t>(row + i),
+                      std::fabs(residual) / norm_a);
+      }
     }
   }
   result.neighbors = buffer.TakeSorted();

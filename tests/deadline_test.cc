@@ -102,6 +102,52 @@ TEST_F(DeadlineQueryTest, ExpiredDeadlineAbortsScan) {
   EXPECT_EQ(Sorted(full->ids), BruteForceMatches(set_->phi(), query_));
 }
 
+// Deadline polling is amortized to once per verification block
+// (kernels::kBlockRows rows). These regressions pin down that a short —
+// but not yet expired — deadline still cancels the query part-way
+// through a large intermediate interval, rather than being checked only
+// once up front.
+TEST(DeadlineMidVerificationTest, ShortDeadlineCancelsScanMidway) {
+  // ~2M row-dot-products at d'=4: far more work than fits in 0.05 ms, so
+  // some block poll after the first must observe the expiry.
+  PhiMatrix phi = RandomPhi(500000, 4, 0.0, 100.0, 11);
+  ScalarProductQuery q;
+  q.a = {1.0, 2.0, 3.0, 4.0};
+  q.b = 500.0;
+  auto result = ScanInequality(phi, q, Deadline::After(0.05));
+  ASSERT_FALSE(result.ok());
+  EXPECT_EQ(result.status().code(), StatusCode::kDeadlineExceeded);
+
+  auto topk = ScanTopK(phi, q, 10, Deadline::After(0.05));
+  ASSERT_FALSE(topk.ok());
+  EXPECT_EQ(topk.status().code(), StatusCode::kDeadlineExceeded);
+}
+
+TEST(DeadlineMidVerificationTest, ShortDeadlineCancelsIndexMidII) {
+  // A query whose per-axis ratio spread makes the intermediate interval
+  // cover nearly the whole dataset, so verification dominates.
+  for (const auto backend : {PlanarIndexOptions::Backend::kSortedArray,
+                             PlanarIndexOptions::Backend::kBTree}) {
+    PlanarIndexOptions options;
+    options.backend = backend;
+    options.enable_axis_exclusion = false;
+    PhiMatrix phi = RandomPhi(300000, 2, 0.0, 100.0, 12);
+    auto index = PlanarIndex::BuildFirstOctant(&phi, {1.0, 1.0}, options);
+    ASSERT_TRUE(index.ok());
+    ScalarProductQuery q;
+    q.a = {1.0, 1000.0};
+    q.b = 100.0 * 1000.0 / 2.0;
+    const NormalizedQuery nq = NormalizedQuery::From(q);
+    auto intervals = index->ComputeIntervals(nq);
+    ASSERT_TRUE(intervals.ok());
+    ASSERT_GT(intervals->larger_begin - intervals->smaller_end, 100000u);
+
+    auto result = index->Inequality(nq, Deadline::After(0.05));
+    ASSERT_FALSE(result.ok());
+    EXPECT_EQ(result.status().code(), StatusCode::kDeadlineExceeded);
+  }
+}
+
 TEST_F(DeadlineQueryTest, BTreeBackendHonorsDeadlines) {
   IndexSetOptions options;
   options.index_options.backend = PlanarIndexOptions::Backend::kBTree;

@@ -22,6 +22,11 @@ Rules (library code under src/ unless stated otherwise):
   header-guards     every .h under src/, tests/, and bench/ must open with
                     `#ifndef PLANAR_<PATH>_<FILE>_H_` + matching #define
                     derived from its repo-relative path.
+  no-march-native   `-march=native` is forbidden in committed build files
+                    (CMakeLists.txt, *.cmake, CMakePresets.json): it makes
+                    binaries non-portable and non-reproducible. SIMD use
+                    goes through runtime dispatch (src/core/kernels) with
+                    per-source -mavx2/-mfma on the dispatched TU only.
 
 Exit status 0 when clean, 1 with one "file:line: rule: message" diagnostic
 per finding otherwise. Registered as a ctest (`ctest -R planar_lint`).
@@ -130,6 +135,30 @@ def findings_for_file(root: Path, path: Path):
                    f"#define does not match #ifndef {want} (found {got})")
 
 
+def build_file_findings(root: Path):
+    """Scans committed build files for -march=native (no-march-native)."""
+    candidates = [root / "CMakePresets.json"]
+    for pattern in ("CMakeLists.txt", "*.cmake"):
+        candidates.extend(p for p in root.rglob(pattern)
+                          if not any(part.startswith("build")
+                                     or part == "third_party"
+                                     for part in p.relative_to(root).parts))
+    for path in sorted(set(candidates)):
+        if not path.is_file():
+            continue
+        rel = path.relative_to(root)
+        is_cmake = path.suffix != ".json"
+        for lineno, line in enumerate(
+                path.read_text(encoding="utf-8").splitlines(), start=1):
+            if is_cmake:
+                line = line.split("#", 1)[0]  # CMake comments may discuss it
+            if "-march=native" in line:
+                yield (rel, lineno, "no-march-native",
+                       "host-specific codegen is forbidden in committed "
+                       "build files; use runtime dispatch "
+                       "(src/core/kernels) instead")
+
+
 def main() -> int:
     parser = argparse.ArgumentParser(description=__doc__)
     parser.add_argument("--root", type=Path, default=Path(__file__).parent.parent,
@@ -151,6 +180,9 @@ def main() -> int:
         for rel, lineno, rule, message in findings_for_file(root, path):
             print(f"{rel}:{lineno}: {rule}: {message}")
             failures += 1
+    for rel, lineno, rule, message in build_file_findings(root):
+        print(f"{rel}:{lineno}: {rule}: {message}")
+        failures += 1
 
     if failures:
         print(f"planar_lint: {failures} finding(s) in {len(files)} files",
