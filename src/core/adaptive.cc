@@ -101,11 +101,12 @@ Result<size_t> AdaptiveIndexSet::Readapt() {
   for (size_t position : drop) {
     PLANAR_RETURN_IF_ERROR(set_.RemoveIndex(position));
   }
-  for (size_t i = 0; i < drop.size(); ++i) {
-    PLANAR_RETURN_IF_ERROR(
-        set_.AddIndex(wanted[i].first, wanted[i].second));
-    ++replaced;
-  }
+  // Build all replacement indices in one batch so the set-level
+  // build_threads knob applies to re-adaptation too.
+  const size_t adding = drop.size();
+  wanted.resize(adding);
+  PLANAR_RETURN_IF_ERROR(set_.AddIndices(std::move(wanted)));
+  replaced = adding;
   use_counts_.assign(set_.num_indices(), 0);
   return replaced;
 }

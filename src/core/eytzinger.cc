@@ -1,0 +1,48 @@
+// Copyright (c) 2026 The planar Authors. Licensed under the MIT license.
+
+#include "core/eytzinger.h"
+
+#include "common/macros.h"
+
+namespace planar {
+
+namespace {
+
+// In-order walk of the implicit tree assigns sorted ranks to BFS slots.
+// Recursion depth is the tree height (~log2 n), not n.
+size_t FillNode(const double* sorted, size_t rank, size_t node, size_t n,
+                double* keys, uint32_t* ranks) {
+  if (node > n) return rank;
+  rank = FillNode(sorted, rank, 2 * node, n, keys, ranks);
+  keys[node] = sorted[rank];
+  ranks[node] = static_cast<uint32_t>(rank);
+  ++rank;
+  return FillNode(sorted, rank, 2 * node + 1, n, keys, ranks);
+}
+
+}  // namespace
+
+void EytzingerKeys::Build(const double* sorted_keys, size_t n) {
+  Clear();
+  if (n < kEytzingerMinKeys) return;
+  PLANAR_CHECK(sorted_keys != nullptr);
+  n_ = n;
+  keys_.resize(n + 1);
+  rank_.resize(n + 1);
+  keys_[0] = 0.0;
+  rank_[0] = 0;
+  const size_t filled =
+      FillNode(sorted_keys, 0, 1, n, keys_.data(), rank_.data());
+  PLANAR_DCHECK(filled == n);
+  (void)filled;
+}
+
+void EytzingerKeys::Clear() {
+  keys_.clear();
+  keys_.shrink_to_fit();
+  rank_.clear();
+  rank_.shrink_to_fit();
+  n_ = 0;
+}
+
+}  // namespace planar

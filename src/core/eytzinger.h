@@ -1,0 +1,134 @@
+// Copyright (c) 2026 The planar Authors. Licensed under the MIT license.
+//
+// Cache-optimized boundary search: an auxiliary copy of a sorted key
+// array rearranged into Eytzinger (BFS / implicit-heap) order, searched
+// by a branchless descent with explicit prefetch.
+//
+// Why: a query against a Planar index pays two binary searches over the
+// sorted keys (the SI/LI rank boundaries) before any verification runs.
+// std::lower_bound over a large flat array takes one unpredictable branch
+// and one dependent cache miss per level; the Eytzinger layout packs the
+// first levels of the comparison tree into a handful of cache lines and
+// makes every level's children adjacent, so the descent can prefetch
+// great-great-grandchildren one line at a time and replace the branch
+// with an arithmetic step. This is the standard cache-conscious layout
+// result (van Emde Boas / Eytzinger literature; see PAPERS.md) and it
+// compounds with the vectorized verification kernels: once |II| is small,
+// the boundary searches ARE the per-query fixed cost.
+//
+// The layout is a read-only sidecar: the flat sorted array stays the
+// source of truth for II range scans, serialization, and maintenance;
+// Build() is re-run after any mutation of the underlying keys. Searches
+// agree with std::lower_bound / std::upper_bound on every input,
+// including duplicates, ±infinity probes, denormals, and empty arrays
+// (machine-checked by tests/eytzinger_test.cc).
+
+#ifndef PLANAR_CORE_EYTZINGER_H_
+#define PLANAR_CORE_EYTZINGER_H_
+
+#include <bit>
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace planar {
+
+/// Arrays below this size skip the Eytzinger sidecar: they fit in one or
+/// two cache lines, where std::lower_bound is already branch-cheap and
+/// the 12 bytes/key sidecar would be pure overhead. Callers fall back to
+/// the flat search when empty() is true.
+inline constexpr size_t kEytzingerMinKeys = 64;
+
+/// An Eytzinger-ordered copy of a sorted double array answering rank
+/// (lower/upper bound) queries branchlessly. Immutable after Build().
+class EytzingerKeys {
+ public:
+  /// Rebuilds the layout from `n` keys sorted ascending. With
+  /// n < kEytzingerMinKeys the layout is not materialized and empty()
+  /// stays true — the caller keeps using the flat array.
+  void Build(const double* sorted_keys, size_t n);
+
+  /// Releases the layout (empty() becomes true).
+  void Clear();
+
+  /// True iff no layout is materialized.
+  bool empty() const { return n_ == 0; }
+
+  /// Number of keys in the layout (0 when not materialized).
+  size_t size() const { return n_; }
+
+  /// Rank of the first key not less than `x`; equals
+  /// std::lower_bound(begin, end, x) - begin on the sorted array.
+  /// Defined inline so the ~log2(n)-step descent fuses into the caller's
+  /// loop instead of paying a call per lookup.
+  size_t LowerBound(double x) const {
+    const double* keys = keys_.data();
+    const size_t n = n_;
+    size_t k = 1;
+    while (k <= n) {
+      Prefetch(keys + k * kPrefetchAhead);
+      // Descend right iff keys[k] < x: the left subtree then cannot hold
+      // the first key >= x. The comparison writes into the index, not a
+      // branch, so the loop is a fixed ~log2(n) arithmetic steps.
+      k = 2 * k + static_cast<size_t>(keys[k] < x);
+    }
+    return Finish(k);
+  }
+
+  /// Rank of the first key greater than `x`; equals
+  /// std::upper_bound(begin, end, x) - begin on the sorted array.
+  size_t UpperBound(double x) const {
+    const double* keys = keys_.data();
+    const size_t n = n_;
+    size_t k = 1;
+    while (k <= n) {
+      Prefetch(keys + k * kPrefetchAhead);
+      // !(x < keys[k]) rather than keys[k] <= x: bitwise-identical to the
+      // comparator std::upper_bound applies, including for NaN probes.
+      k = 2 * k + static_cast<size_t>(!(x < keys[k]));
+    }
+    return Finish(k);
+  }
+
+  /// Heap footprint in bytes.
+  size_t MemoryUsage() const {
+    return keys_.capacity() * sizeof(double) +
+           rank_.capacity() * sizeof(uint32_t);
+  }
+
+ private:
+  // The descendants four levels down span keys [16k, 16k + 16) — 128
+  // bytes, two cache lines. Prefetching both pulls the whole candidate
+  // set for the descent's position four iterations from now while the
+  // current comparisons run; the addresses may lie past the array, which
+  // is fine — prefetch never faults, it is a hint.
+  static constexpr size_t kPrefetchAhead = 16;
+
+  static void Prefetch(const double* addr) {
+#if defined(__GNUC__) || defined(__clang__)
+    __builtin_prefetch(addr);
+    __builtin_prefetch(addr + 8);
+#else
+    (void)addr;
+#endif
+  }
+
+  // The answer is the node where the descent last went left: cancel the
+  // trailing right-moves (low 1-bits) plus that left-move. k == 0 means
+  // every key compared "descend right" — rank n, like std::lower_bound
+  // returning end.
+  size_t Finish(size_t k) const {
+    k >>= static_cast<unsigned>(std::countr_one(k)) + 1;
+    return k == 0 ? n_ : rank_[k];
+  }
+
+  // 1-indexed BFS order: node i has children 2i and 2i+1; slot 0 unused.
+  std::vector<double> keys_;
+  // rank_[i] = position of keys_[i] in the sorted array.
+  std::vector<uint32_t> rank_;
+  size_t n_ = 0;
+};
+
+}  // namespace planar
+
+#endif  // PLANAR_CORE_EYTZINGER_H_

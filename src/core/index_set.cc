@@ -5,10 +5,12 @@
 #include <algorithm>
 #include <cmath>
 #include <limits>
+#include <optional>
 #include <utility>
 
 #include "common/macros.h"
 #include "common/random.h"
+#include "core/parallel.h"
 #include "geometry/vec.h"
 
 namespace planar {
@@ -72,30 +74,31 @@ Result<PlanarIndexSet> PlanarIndexSet::Build(
   PLANAR_ASSIGN_OR_RETURN(Octant octant, OctantFromDomains(domains));
 
   PlanarIndexSet set(std::move(phi), options);
+  // Phase 1 (serial, RNG-sequential): sample and deduplicate the normals.
+  // This is O(budget^2 d') with no data access, so parallelizing it would
+  // buy nothing and cost determinism of the accepted sequence.
   Rng rng(options.seed);
   const size_t max_attempts = options.budget * options.max_attempts_per_index;
-  std::vector<std::vector<double>> accepted_normals;
+  std::vector<IndexDefinition> definitions;
   size_t attempts = 0;
-  while (set.indices_.size() < options.budget && attempts < max_attempts) {
+  while (definitions.size() < options.budget && attempts < max_attempts) {
     ++attempts;
     std::vector<double> c = SampleNormal(domains, rng);
     bool redundant = false;
-    for (const auto& existing : accepted_normals) {
-      if (AreParallel(existing, c, options.dedup_tolerance)) {
+    for (const auto& existing : definitions) {
+      if (AreParallel(existing.first, c, options.dedup_tolerance)) {
         redundant = true;
         break;
       }
     }
     if (redundant) continue;
-    Result<PlanarIndex> index =
-        PlanarIndex::Build(set.phi_.get(), c, octant, options.index_options);
-    PLANAR_RETURN_IF_ERROR(index.status());
-    accepted_normals.push_back(std::move(c));
-    set.indices_.push_back(std::move(index).value());
+    definitions.emplace_back(std::move(c), octant);
   }
-  if (set.indices_.empty()) {
+  if (definitions.empty()) {
     return Status::Internal("failed to sample any index normal");
   }
+  // Phase 2: build the accepted indices across build_threads threads.
+  PLANAR_RETURN_IF_ERROR(set.BuildIndicesParallel(std::move(definitions)));
   return set;
 }
 
@@ -109,13 +112,46 @@ Result<PlanarIndexSet> PlanarIndexSet::BuildWithNormals(
     return Status::InvalidArgument("at least one normal is required");
   }
   PlanarIndexSet set(std::move(phi), options);
+  std::vector<IndexDefinition> definitions;
+  definitions.reserve(normals.size());
   for (const auto& normal : normals) {
-    Result<PlanarIndex> index = PlanarIndex::Build(
-        set.phi_.get(), normal, octant, options.index_options);
-    PLANAR_RETURN_IF_ERROR(index.status());
-    set.indices_.push_back(std::move(index).value());
+    definitions.emplace_back(normal, octant);
   }
+  PLANAR_RETURN_IF_ERROR(set.BuildIndicesParallel(std::move(definitions)));
   return set;
+}
+
+Status PlanarIndexSet::BuildIndicesParallel(
+    std::vector<IndexDefinition> definitions) {
+  const size_t count = definitions.size();
+  if (count == 0) return Status::OK();
+  // Each slot builds independently against the shared (read-only) phi
+  // matrix; slots keep definition order, so the resulting indices_ layout
+  // — and therefore SelectBestIndex tie-breaking, serialization order,
+  // and every stretch/angle score — is identical to the serial build.
+  std::vector<std::optional<PlanarIndex>> slots(count);
+  std::vector<Status> statuses(count, Status::OK());
+  ParallelFor(
+      count,
+      [&](size_t i) {
+        Result<PlanarIndex> index =
+            PlanarIndex::Build(phi_.get(), std::move(definitions[i].first),
+                               definitions[i].second, options_.index_options);
+        if (index.ok()) {
+          slots[i].emplace(std::move(index).value());
+        } else {
+          statuses[i] = index.status();
+        }
+      },
+      options_.build_threads);
+  for (const Status& status : statuses) {
+    PLANAR_RETURN_IF_ERROR(status);
+  }
+  indices_.reserve(indices_.size() + count);
+  for (std::optional<PlanarIndex>& slot : slots) {
+    indices_.push_back(std::move(*slot));
+  }
+  return Status::OK();
 }
 
 int PlanarIndexSet::SelectBestIndex(const NormalizedQuery& q) const {
@@ -257,6 +293,11 @@ Status PlanarIndexSet::AddIndex(std::vector<double> normal,
   PLANAR_RETURN_IF_ERROR(index.status());
   indices_.push_back(std::move(index).value());
   return Status::OK();
+}
+
+Status PlanarIndexSet::AddIndices(
+    std::vector<IndexDefinition> definitions) {
+  return BuildIndicesParallel(std::move(definitions));
 }
 
 Status PlanarIndexSet::RemoveIndex(size_t i) {

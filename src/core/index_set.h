@@ -13,6 +13,7 @@
 
 #include <cstdint>
 #include <memory>
+#include <utility>
 #include <vector>
 
 #include "common/result.h"
@@ -66,6 +67,21 @@ struct IndexSetOptions {
   /// effect at high dimensionality and query randomness, Section 7.2.2).
   /// 1.0 disables the fallback.
   double scan_fallback_fraction = 0.85;
+
+  /// Set-level build parallelism (1 = serial, 0 = hardware concurrency,
+  /// n = at most n threads): Build / BuildWithNormals / AddIndices shard
+  /// the construction of the r indices across this many threads. Normal
+  /// sampling and dedup stay serial (they are RNG-sequential and cheap),
+  /// so the accepted normals, their order, and every selection score are
+  /// identical to the serial build; per-index key computation uses the
+  /// same dot_range kernel either way, so the built indices — and their
+  /// serialized v2 blobs — are bit-identical for any thread count
+  /// (machine-checked by tests/build_determinism_test.cc). Not persisted
+  /// by SaveIndexSet: it is a build-machine knob, not part of the index
+  /// definition. Composes with PlanarIndexOptions::build_threads
+  /// (intra-index sort parallelism); enable one or the other, not both,
+  /// to avoid oversubscription.
+  size_t build_threads = 1;
 };
 
 /// A budget of Planar indices over one owned phi matrix.
@@ -135,9 +151,18 @@ class PlanarIndexSet {
   };
   SelectivityBounds EstimateSelectivity(const ScalarProductQuery& q) const;
 
+  /// One (mirrored-space normal, octant) index definition.
+  using IndexDefinition = std::pair<std::vector<double>, Octant>;
+
   /// Adds one more index with the given mirrored-space normal for octant
   /// `octant` (e.g. MOVIES-style rotation of time-instant indices).
   Status AddIndex(std::vector<double> normal, const Octant& octant);
+
+  /// Adds several indices at once, building them across
+  /// options().build_threads threads (the batch analogue of AddIndex,
+  /// used by snapshot loading and adaptive re-indexing). All-or-nothing:
+  /// on failure no index is added. Definition order is preserved.
+  Status AddIndices(std::vector<IndexDefinition> definitions);
 
   /// Drops the i-th index.
   Status RemoveIndex(size_t i);
@@ -171,6 +196,11 @@ class PlanarIndexSet {
   explicit PlanarIndexSet(PhiMatrix phi, IndexSetOptions options)
       : phi_(std::make_unique<PhiMatrix>(std::move(phi))),
         options_(options) {}
+
+  // Builds every definition (sharded across options_.build_threads via
+  // ParallelFor) and appends the indices in definition order; on any
+  // failure appends nothing and returns the first failing status.
+  Status BuildIndicesParallel(std::vector<IndexDefinition> definitions);
 
   std::unique_ptr<PhiMatrix> phi_;  // stable address for index back-pointers
   IndexSetOptions options_;

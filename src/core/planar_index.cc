@@ -14,6 +14,7 @@
 #include "common/macros.h"
 #include "core/kernels/kernels.h"
 #include "core/parallel.h"
+#include "core/sort_util.h"
 #include "geometry/vec.h"
 
 namespace planar {
@@ -111,15 +112,37 @@ void PlanarIndex::Rebuild() {
 
   const size_t n = phi_->size();
   key_of_row_.resize(n);
-  // One batched kernel call over the contiguous phi rows; bit-identical
-  // to per-row RawKey (same blocked dot, same shift).
-  kernels::Ops().dot_range(signed_normal_.data(), d, phi_->data(),
-                           phi_->dim(), 0, n, key_shift_, key_of_row_.data());
+  // Batched kernel calls over contiguous phi row ranges; bit-identical to
+  // per-row RawKey (same blocked dot, same shift), and — because every
+  // row's key is independent — bit-identical for any shard count, so
+  // build_threads never changes a key.
+  size_t threads = options_.build_threads;
+  if (threads == 0) {
+    threads = std::max(1u, std::thread::hardware_concurrency());
+  }
+  if (threads > 1 && n >= kParallelBuildMinRows) {
+    const size_t chunk = (n + threads - 1) / threads;
+    ParallelFor(
+        threads,
+        [&](size_t s) {
+          const size_t begin = s * chunk;
+          const size_t end = std::min(n, begin + chunk);
+          if (begin >= end) return;
+          kernels::Ops().dot_range(signed_normal_.data(), d, phi_->data(),
+                                   phi_->dim(), begin, end - begin,
+                                   key_shift_, key_of_row_.data() + begin);
+        },
+        threads);
+  } else {
+    kernels::Ops().dot_range(signed_normal_.data(), d, phi_->data(),
+                             phi_->dim(), 0, n, key_shift_,
+                             key_of_row_.data());
+  }
   std::vector<OrderStatisticBTree::Entry> entries(n);
   for (size_t row = 0; row < n; ++row) {
     entries[row] = {key_of_row_[row], static_cast<uint32_t>(row)};
   }
-  std::sort(entries.begin(), entries.end());
+  SortEntries(&entries, options_.build_threads);
 
   if (options_.backend == PlanarIndexOptions::Backend::kSortedArray) {
     keys_.resize(n);
@@ -136,6 +159,15 @@ void PlanarIndex::Rebuild() {
     ids_.clear();
     ids_.shrink_to_fit();
   }
+  RefreshSearchLayout();
+}
+
+void PlanarIndex::RefreshSearchLayout() {
+  if (options_.backend == PlanarIndexOptions::Backend::kSortedArray) {
+    eytz_.Build(keys_.data(), keys_.size());
+  } else {
+    eytz_.Clear();
+  }
 }
 
 double PlanarIndex::RawKey(const double* phi_row) const {
@@ -148,6 +180,10 @@ double PlanarIndex::RawKey(const double* phi_row) const {
 
 size_t PlanarIndex::RankLessEqual(double key) const {
   if (options_.backend == PlanarIndexOptions::Backend::kSortedArray) {
+    // Branchless Eytzinger descent with prefetch; small arrays (below
+    // kEytzingerMinKeys the sidecar is not materialized) keep the flat
+    // std::upper_bound, which is already cache-resident there.
+    if (!eytz_.empty()) return eytz_.UpperBound(key);
     return static_cast<size_t>(
         std::upper_bound(keys_.begin(), keys_.end(), key) - keys_.begin());
   }
@@ -777,6 +813,7 @@ bool PlanarIndex::Update(uint32_t row) {
   EraseKey(old_key, row);
   InsertKey(new_key, row);
   key_of_row_[row] = new_key;
+  RefreshSearchLayout();
   return true;
 }
 
@@ -797,20 +834,56 @@ bool PlanarIndex::UpdateBatch(const std::vector<uint32_t>& rows) {
     }
     return true;
   }
-  // Sorted array: recompute the changed keys and re-sort once.
-  for (uint32_t row : rows) {
-    key_of_row_[row] = RawKey(phi_->row(row));
-  }
+  // Sorted array: recompute only the touched keys, then splice them back
+  // with one merge pass instead of re-sorting all n entries — compact the
+  // unchanged entries (O(n), stable, preserves rank order), sort the k
+  // fresh entries, and backward-merge the two sorted runs in place
+  // (O(n + k log k) total). The (key, id) tie order matches the full
+  // re-sort exactly, so the result is identical to a Rebuild
+  // (machine-checked by the UpdateBatchMatchesFullRebuild regression
+  // test).
   const size_t n = key_of_row_.size();
-  std::vector<OrderStatisticBTree::Entry> entries(n);
-  for (size_t row = 0; row < n; ++row) {
-    entries[row] = {key_of_row_[row], static_cast<uint32_t>(row)};
+  std::vector<OrderStatisticBTree::Entry> fresh;
+  fresh.reserve(rows.size());
+  std::vector<unsigned char> changed(n, 0);
+  for (uint32_t row : rows) {
+    const double new_key = RawKey(phi_->row(row));
+    // A duplicate row id in `rows` recomputes the same key and skips.
+    if (new_key == key_of_row_[row]) continue;
+    key_of_row_[row] = new_key;
+    changed[row] = 1;
+    fresh.push_back({new_key, row});
   }
-  std::sort(entries.begin(), entries.end());
+  if (fresh.empty()) return true;
+  size_t kept = 0;
   for (size_t r = 0; r < n; ++r) {
-    keys_[r] = entries[r].key;
-    ids_[r] = entries[r].value;
+    if (changed[ids_[r]] == 0) {
+      keys_[kept] = keys_[r];
+      ids_[kept] = ids_[r];
+      ++kept;
+    }
   }
+  PLANAR_DCHECK(kept + fresh.size() == n);
+  SortEntries(&fresh, options_.build_threads);
+  size_t a = kept;          // end of the compacted unchanged run
+  size_t b = fresh.size();  // end of the fresh run
+  size_t out = n;           // write cursor, one past
+  while (b > 0) {
+    const OrderStatisticBTree::Entry& fb = fresh[b - 1];
+    if (a > 0 && (keys_[a - 1] > fb.key ||
+                  (keys_[a - 1] == fb.key && ids_[a - 1] > fb.value))) {
+      --a;
+      --out;
+      keys_[out] = keys_[a];
+      ids_[out] = ids_[a];
+    } else {
+      --b;
+      --out;
+      keys_[out] = fb.key;
+      ids_[out] = fb.value;
+    }
+  }
+  RefreshSearchLayout();
   return true;
 }
 
@@ -822,6 +895,7 @@ bool PlanarIndex::NotifyAppend(uint32_t row) {
   const double key = RawKey(phi_row);
   key_of_row_.push_back(key);
   InsertKey(key, row);
+  RefreshSearchLayout();
   return true;
 }
 
@@ -829,6 +903,7 @@ size_t PlanarIndex::MemoryUsage() const {
   size_t total = sizeof(*this);
   total += keys_.capacity() * sizeof(double);
   total += ids_.capacity() * sizeof(uint32_t);
+  total += eytz_.MemoryUsage();
   total += key_of_row_.capacity() * sizeof(double);
   total += (normal_.capacity() + signed_normal_.capacity()) * sizeof(double);
   if (options_.backend == PlanarIndexOptions::Backend::kBTree) {

@@ -28,6 +28,7 @@
 #include "common/deadline.h"
 #include "common/result.h"
 #include "common/status.h"
+#include "core/eytzinger.h"
 #include "core/query.h"
 #include "core/row_matrix.h"
 #include "core/topk.h"
@@ -119,11 +120,25 @@ struct PlanarIndexOptions {
   /// nesting thread pools there would oversubscribe; turn this on for
   /// large single-query workloads.
   size_t parallel_verify_threads = 1;
+
+  /// Build/Rebuild parallelism (1 = serial, 0 = hardware concurrency,
+  /// n = n threads): key construction shards the dot_range kernel over
+  /// contiguous row ranges and the (key, id) sort runs through
+  /// core/sort_util's deterministic parallel sort, both of which are
+  /// bit-identical to the serial path for any thread count. Matrices
+  /// below kParallelBuildMinRows always build serially. Leave at 1 when
+  /// an enclosing layer already parallelizes across indices
+  /// (IndexSetOptions::build_threads) — nesting the two oversubscribes.
+  size_t build_threads = 1;
 };
 
 /// Smallest intermediate interval worth sharding across threads; below
 /// this, thread spawn/join costs more than the verification itself.
 inline constexpr size_t kParallelVerifyMinRows = 8192;
+
+/// Smallest matrix worth building with threads; below this, spawn/join
+/// costs more than the key computation and sort combined.
+inline constexpr size_t kParallelBuildMinRows = 16384;
 
 /// One Planar index over an externally-owned phi matrix.
 ///
@@ -238,10 +253,11 @@ class PlanarIndex {
   bool Update(uint32_t row);
 
   /// Maintenance: the given rows of the phi matrix were overwritten.
-  /// O(k log n) on the B+-tree backend; one O(n log n) re-sort on the
-  /// sorted-array backend, which beats k point updates for all but tiny
-  /// batches. Returns false when any new row escapes the translation
-  /// bounds — the caller must Rebuild() before querying again.
+  /// O(k log n) on the B+-tree backend; on the sorted-array backend the
+  /// k touched entries are recomputed, sorted, and merged back in one
+  /// O(n + k log k) pass (identical result to a full Rebuild). Returns
+  /// false when any new row escapes the translation bounds — the caller
+  /// must Rebuild() before querying again.
   bool UpdateBatch(const std::vector<uint32_t>& rows);
 
   /// Maintenance: a new row was appended to the phi matrix; `row` must be
@@ -295,6 +311,9 @@ class PlanarIndex {
   size_t RankLessEqual(double key) const;
   void EraseKey(double key, uint32_t row);
   void InsertKey(double key, uint32_t row);
+  // Rebuilds the Eytzinger sidecar from keys_ after any mutation of the
+  // sorted-array backend (no-op on the B+-tree backend).
+  void RefreshSearchLayout();
   Result<InequalityResult> RunInequality(const NormalizedQuery& q,
                                          const Deadline& deadline) const;
   Result<TopKResult> RunTopK(const NormalizedQuery& q, size_t k,
@@ -324,9 +343,12 @@ class PlanarIndex {
   std::vector<double> signed_normal_;  // sign(O, i) * normal_[i]
   double key_shift_ = 0.0;             // sum_i normal_[i] * delta_i
 
-  // Sorted-array backend.
+  // Sorted-array backend. keys_/ids_ stay the source of truth for II
+  // range scans, serialization, and maintenance; eytz_ is a read-only
+  // search sidecar rebuilt whenever they change.
   std::vector<double> keys_;    // ascending
   std::vector<uint32_t> ids_;   // ids_[r] = row with rank r
+  EytzingerKeys eytz_;          // branchless SI/LI boundary search
   // B+-tree backend.
   OrderStatisticBTree tree_;
 

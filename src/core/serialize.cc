@@ -5,6 +5,7 @@
 #include <cstdint>
 #include <cstdio>
 #include <cstring>
+#include <iterator>
 #include <memory>
 #include <utility>
 #include <vector>
@@ -180,9 +181,13 @@ Result<PlanarIndexSet> ParsePayload(ByteReader reader,
       PlanarIndexSet::BuildWithNormals(std::move(phi),
                                        {definitions[0].first},
                                        definitions[0].second, options));
-  for (size_t i = 1; i < definitions.size(); ++i) {
-    PLANAR_RETURN_IF_ERROR(
-        set.AddIndex(definitions[i].first, definitions[i].second));
+  if (definitions.size() > 1) {
+    // Rebuild the remaining indices as one batch so snapshot loading
+    // benefits from IndexSetOptions::build_threads.
+    std::vector<PlanarIndexSet::IndexDefinition> rest(
+        std::make_move_iterator(definitions.begin() + 1),
+        std::make_move_iterator(definitions.end()));
+    PLANAR_RETURN_IF_ERROR(set.AddIndices(std::move(rest)));
   }
   return set;
 }

@@ -2,6 +2,8 @@
 
 #include "engine/catalog.h"
 
+#include "common/macros.h"
+
 namespace planar {
 
 Catalog::SetPtr Catalog::Install(const std::string& name,
@@ -13,6 +15,17 @@ Catalog::SetPtr Catalog::Install(const std::string& name,
   }
   version_.fetch_add(1, std::memory_order_acq_rel);
   return snapshot;
+}
+
+Result<Catalog::SetPtr> Catalog::BuildAndInstall(
+    const std::string& name, PhiMatrix phi,
+    const std::vector<ParameterDomain>& domains, IndexSetOptions options,
+    size_t build_threads) {
+  options.build_threads = build_threads;
+  PLANAR_ASSIGN_OR_RETURN(
+      PlanarIndexSet set,
+      PlanarIndexSet::Build(std::move(phi), domains, options));
+  return Install(name, std::move(set));
 }
 
 bool Catalog::Drop(const std::string& name) {

@@ -38,6 +38,16 @@ class Catalog {
   /// unaffected. Returns the installed snapshot.
   SetPtr Install(const std::string& name, PlanarIndexSet set);
 
+  /// Builds a set with `options` (its build_threads overridden by
+  /// `build_threads`, default 0 = all hardware threads: an explicit
+  /// install is a foreground provisioning step, not a query-path
+  /// operation) and installs it under `name`. The build runs outside any
+  /// catalog lock, so concurrent readers and installs are unaffected.
+  Result<SetPtr> BuildAndInstall(const std::string& name, PhiMatrix phi,
+                                 const std::vector<ParameterDomain>& domains,
+                                 IndexSetOptions options = IndexSetOptions(),
+                                 size_t build_threads = 0);
+
   /// Removes `name`. Returns false when no such entry exists. Readers
   /// holding the snapshot keep it alive until they finish.
   bool Drop(const std::string& name);

@@ -75,6 +75,33 @@ TEST(CatalogTest, InstallFindDrop) {
   EXPECT_EQ(catalog.Find("main"), nullptr);
 }
 
+TEST(CatalogTest, BuildAndInstallBuildsWithThePool) {
+  Catalog catalog;
+  // build_threads = 4: the built set must be indistinguishable from a
+  // serial Install of the same definition.
+  auto installed = catalog.BuildAndInstall(
+      "main", RandomPhi(500, 3, -20.0, 80.0, 11),
+      {{1.0, 6.0}, {-6.0, -1.0}, {1.0, 6.0}}, IndexSetOptions(), 4);
+  ASSERT_TRUE(installed.ok()) << installed.status().ToString();
+  ASSERT_NE(*installed, nullptr);
+  EXPECT_EQ(catalog.Find("main"), *installed);
+
+  const PlanarIndexSet reference = MakeSet(11);
+  ASSERT_EQ((*installed)->num_indices(), reference.num_indices());
+  for (size_t i = 0; i < reference.num_indices(); ++i) {
+    EXPECT_EQ((*installed)->index(i).normal(), reference.index(i).normal());
+  }
+  const InequalityResult got = (*installed)->Inequality(MakeQuery());
+  EXPECT_EQ(Sorted(got.ids),
+            BruteForceMatches((*installed)->phi(), MakeQuery()));
+
+  // A failing build must leave the catalog untouched.
+  auto bad = catalog.BuildAndInstall("broken", PhiMatrix(3),
+                                     {{1.0, 6.0}, {-6.0, -1.0}, {1.0, 6.0}});
+  EXPECT_FALSE(bad.ok());
+  EXPECT_EQ(catalog.Find("broken"), nullptr);
+}
+
 TEST(CatalogTest, InstallSwapsSnapshotWithoutInvalidatingReaders) {
   Catalog catalog;
   catalog.Install("main", MakeSet(12, 100));

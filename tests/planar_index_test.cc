@@ -295,6 +295,51 @@ TEST(PlanarIndexUpdateTest, UpdateBatchBothBackends) {
   }
 }
 
+// The sorted-array UpdateBatch merge path (compact unchanged entries,
+// sort the k fresh ones, merge back) must leave keys_/ids_ exactly as a
+// full Rebuild would — same ranks, same (key, id) tie order. Duplicate
+// keys, repeated rows in the batch, and no-op updates are all included.
+TEST(PlanarIndexUpdateTest, UpdateBatchMatchesFullRebuild) {
+  // Integer-grid values make duplicate keys common, exercising the
+  // (key, id) tie-break in the merge.
+  PhiMatrix phi(2);
+  Rng init(31);
+  for (int i = 0; i < 400; ++i) {
+    phi.AppendRow({static_cast<double>(init.UniformInt(8) + 1),
+                   static_cast<double>(init.UniformInt(8) + 1)});
+  }
+  auto index = PlanarIndex::BuildFirstOctant(&phi, {1.0, 1.0},
+                                             ArrayBackend());
+  ASSERT_TRUE(index.ok());
+  Rng rng(32);
+  std::vector<uint32_t> rows;
+  for (int i = 0; i < 120; ++i) {
+    const uint32_t target = static_cast<uint32_t>(rng.UniformInt(400));
+    const double row[] = {static_cast<double>(rng.UniformInt(8) + 1),
+                          static_cast<double>(rng.UniformInt(8) + 1)};
+    phi.SetRow(target, row);
+    rows.push_back(target);
+    if (i % 7 == 0) rows.push_back(target);  // duplicate row in the batch
+  }
+  ASSERT_TRUE(index->UpdateBatch(rows));
+
+  std::vector<uint32_t> merged_ids;
+  index->CollectRange(0, index->size(), &merged_ids);
+  std::vector<double> merged_keys(merged_ids.size());
+  for (size_t r = 0; r < merged_ids.size(); ++r) {
+    merged_keys[r] = index->KeyOf(merged_ids[r]);
+  }
+
+  index->Rebuild();
+  std::vector<uint32_t> rebuilt_ids;
+  index->CollectRange(0, index->size(), &rebuilt_ids);
+  ASSERT_EQ(merged_ids.size(), rebuilt_ids.size());
+  EXPECT_EQ(merged_ids, rebuilt_ids);
+  for (size_t r = 0; r < rebuilt_ids.size(); ++r) {
+    EXPECT_EQ(merged_keys[r], index->KeyOf(rebuilt_ids[r])) << "rank " << r;
+  }
+}
+
 TEST(PlanarIndexUpdateTest, UpdateBatchDetectsEscape) {
   PhiMatrix phi = RandomPhi(50, 1, 1.0, 10.0, 28);
   auto index = PlanarIndex::BuildFirstOctant(&phi, {1.0});

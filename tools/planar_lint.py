@@ -27,6 +27,14 @@ Rules (library code under src/ unless stated otherwise):
                     binaries non-portable and non-reproducible. SIMD use
                     goes through runtime dispatch (src/core/kernels) with
                     per-source -mavx2/-mfma on the dispatched TU only.
+  core-sort-via-sort-util
+                    `std::sort` / `std::stable_sort` of key or entry
+                    containers is forbidden in src/core outside
+                    sort_util.*: core index sorts must go through
+                    SortEntries so the deterministic-parallel-sort
+                    guarantee (identical output for any thread count)
+                    holds everywhere. Sorting other containers (axes,
+                    positions, heaps) is fine.
 
 Exit status 0 when clean, 1 with one "file:line: rule: message" diagnostic
 per finding otherwise. Registered as a ctest (`ctest -R planar_lint`).
@@ -50,6 +58,11 @@ RE_STDOUT = re.compile(
 )
 RE_ASSERT = re.compile(r"(?<![A-Za-z0-9_])assert\s*\(")
 RE_DETACH = re.compile(r"\.\s*detach\s*\(\s*\)")
+# std::sort(<first-arg>, ...) where the sorted container smells like index
+# keys or (key, id) entries.
+RE_CORE_SORT = re.compile(
+    r"std::(?:stable_)?sort\s*\(\s*([A-Za-z_][A-Za-z0-9_.\->]*)")
+RE_KEYLIKE = re.compile(r"entr|key", re.IGNORECASE)
 
 
 def strip_comments_and_strings(text: str) -> str:
@@ -117,6 +130,17 @@ def findings_for_file(root: Path, path: Path):
                 yield (rel, lineno, "no-detached-threads",
                        "library threads must be joined (graceful "
                        "drain), never detached")
+
+    if (len(rel.parts) > 2 and rel.parts[0] == "src" and rel.parts[1] == "core"
+            and not rel.name.startswith("sort_util")):
+        # Whole-text scan: the first argument may sit on the next line.
+        for match in RE_CORE_SORT.finditer(code):
+            if RE_KEYLIKE.search(match.group(1)):
+                lineno = code.count("\n", 0, match.start()) + 1
+                yield (rel, lineno, "core-sort-via-sort-util",
+                       "sorting key/entry containers in src/core must go "
+                       "through SortEntries (core/sort_util.h) to keep "
+                       "builds deterministic at any thread count")
 
     if path.suffix == ".h" and str(rel.parts[0]) in HEADER_GUARD_DIRS:
         # src/ headers are included as "core/foo.h" (relative to src/),
