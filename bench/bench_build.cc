@@ -175,9 +175,9 @@ int main(int argc, char** argv) {
                           FormatDouble(speedup, 2)});
       std::printf(
           "{\"bench\":\"build\",\"r\":%zu,\"n\":%zu,\"threads\":%zu,"
-          "\"host_threads\":%u,\"rows_per_sec\":%.0f,"
-          "\"speedup_vs_serial\":%.2f}\n",
-          normals.size(), n, threads, host_threads, rows_per_sec, speedup);
+          "\"rows_per_sec\":%.0f,\"speedup_vs_serial\":%.2f%s}\n",
+          normals.size(), n, threads, rows_per_sec, speedup,
+          bench::JsonStamp().c_str());
     }
   }
 
@@ -194,8 +194,9 @@ int main(int argc, char** argv) {
                          FormatDouble(m.speedup(), 2)});
     std::printf(
         "{\"bench\":\"search\",\"n\":%zu,\"std_ns\":%.1f,"
-        "\"eytzinger_ns\":%.1f,\"speedup\":%.2f}\n",
-        keys, m.std_ns, m.eytzinger_ns, m.speedup());
+        "\"eytzinger_ns\":%.1f,\"speedup\":%.2f%s}\n",
+        keys, m.std_ns, m.eytzinger_ns, m.speedup(),
+        bench::JsonStamp().c_str());
   }
 
   std::printf("\n");

@@ -122,10 +122,11 @@ int main(int argc, char** argv) {
       std::printf(
           "{\"bench\":\"engine_throughput\",\"workers\":%zu,\"batch\":%zu,"
           "\"clients\":%zu,\"n\":%zu,\"rps\":%.1f,\"p50_ms\":%.4f,"
-          "\"p99_ms\":%.4f,\"completed\":%llu,\"shed\":%llu}\n",
+          "\"p99_ms\":%.4f,\"completed\":%llu,\"shed\":%llu%s}\n",
           r.workers, r.batch, clients, n, r.rps, r.p50_ms, r.p99_ms,
           static_cast<unsigned long long>(r.completed),
-          static_cast<unsigned long long>(r.shed));
+          static_cast<unsigned long long>(r.shed),
+          bench::JsonStamp().c_str());
     }
   }
   std::printf("\n");

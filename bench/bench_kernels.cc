@@ -224,10 +224,10 @@ int main(int argc, char** argv) {
       std::printf(
           "{\"bench\":\"kernels\",\"workload\":\"%s\",\"dim\":%zu,"
           "\"n\":%zu,\"backend\":\"%s\",\"baseline_rows_per_sec\":%.0f,"
-          "\"kernel_rows_per_sec\":%.0f,\"speedup\":%.2f}\n",
+          "\"kernel_rows_per_sec\":%.0f,\"speedup\":%.2f%s}\n",
           row.workload, dim, n, kernels::BackendName(),
           row.m.baseline_rows_per_sec, row.m.kernel_rows_per_sec,
-          row.m.speedup());
+          row.m.speedup(), bench::JsonStamp().c_str());
     }
   }
   std::printf("\n");

@@ -78,6 +78,26 @@ void BM_SequentialScan(benchmark::State& state) {
 }
 BENCHMARK(BM_SequentialScan)->Arg(100000)->Arg(1000000);
 
+// High-selectivity scan: nearly every row matches, so the result vector
+// reaches ~n entries. ScanInequality reserves n up front (like the index
+// II paths); without that reserve this case pays log2(n) geometric
+// regrowths, each copying the accumulated ids — measurably slower than
+// the residual kernels at 1M rows. (ScanTopK needs no such fix: its
+// TopKBuffer reserves k at construction.)
+void BM_SequentialScanDense(benchmark::State& state) {
+  const size_t n = static_cast<size_t>(state.range(0));
+  const PhiMatrix phi = MakePhi(n, 6);
+  const ScalarProductQuery q{{1.0, 1.0, 1.0, 1.0, 1.0, 1.0}, 1e9,
+                             Comparison::kLessEqual};
+  for (auto _ : state) {
+    auto result = ScanInequality(phi, q);
+    benchmark::DoNotOptimize(result);
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) *
+                          static_cast<int64_t>(n));
+}
+BENCHMARK(BM_SequentialScanDense)->Arg(100000)->Arg(1000000);
+
 void BM_TopK(benchmark::State& state) {
   const PhiMatrix phi = MakePhi(200000, 6);
   auto index = PlanarIndex::BuildFirstOctant(&phi,

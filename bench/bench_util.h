@@ -10,13 +10,43 @@
 #include <cstdio>
 #include <functional>
 #include <string>
+#include <thread>
 
 #include "common/flags.h"
 #include "common/stats.h"
 #include "common/timer.h"
 
+// Injected by bench/CMakeLists.txt from `git rev-parse --short HEAD`;
+// "unknown" outside a git checkout (e.g. a source tarball).
+#ifndef PLANAR_GIT_SHA
+#define PLANAR_GIT_SHA "unknown"
+#endif
+
 namespace planar {
 namespace bench {
+
+/// Compiler that produced this binary, e.g. "gcc 13.2.0".
+inline std::string CompilerId() {
+#if defined(__clang__)
+  return std::string("clang ") + __clang_version__;
+#elif defined(__GNUC__)
+  return std::string("gcc ") + __VERSION__;
+#else
+  return "unknown";
+#endif
+}
+
+/// Provenance fields every bench JSON line must carry, as a comma-led
+/// fragment ready to splice before the closing brace:
+///   std::printf("{\"bench\":\"x\",\"metric\":%f%s}\n", v,
+///               JsonStamp().c_str());
+/// Committed BENCH_*.json baselines are only comparable when the stamp
+/// matches the host they were measured on.
+inline std::string JsonStamp() {
+  return std::string(",\"git_sha\":\"") + PLANAR_GIT_SHA +
+         "\",\"compiler\":\"" + CompilerId() + "\",\"host_threads\":" +
+         std::to_string(std::thread::hardware_concurrency());
+}
 
 /// Prints the standard bench banner.
 inline void PrintHeader(const std::string& experiment,

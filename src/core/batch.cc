@@ -1,0 +1,407 @@
+// Copyright (c) 2026 The planar Authors. Licensed under the MIT license.
+//
+// PlanarIndexSet::BatchInequality: cross-query batched execution.
+//
+// Per call:
+//   1. Plan. Each query is normalized, assigned its best index with the
+//      existing Section-5.1 selectors, and its SI/LI/II rank boundaries
+//      are computed with the existing (Eytzinger) boundary searches; the
+//      serial path's scan-fallback rule routes too-wide intervals to the
+//      scan group. Degenerate queries and single-query groups take the
+//      serial code path directly — a batch of one costs exactly what
+//      Inequality() costs.
+//   2. Per index with >= 2 queries: each query's accept region is emitted
+//      outright (identical order to serial), then the non-empty
+//      intermediate intervals are sorted by begin rank and overlapping
+//      ranges are merged. Every merged range is streamed exactly once in
+//      kernels::kBlockRows blocks through dot_block_many — one residual
+//      matrix per block covering every query whose interval overlaps it —
+//      and CompressAcceptMany scatters the accepted ids into the
+//      per-query result tails without per-row branches.
+//   3. Queries with no usable index (or fallen back) run as one batched
+//      scan over the full row range, sharing the row stream the same way.
+//
+// Determinism: a query's intermediate interval is one contiguous rank
+// range, so it is wholly contained in exactly one merged range; blocks
+// advance in ascending rank order and each block appends a query's
+// accepted sub-slice in rank order, so the per-query id sequence equals
+// the serial path's exactly. The residuals come from the same kernels
+// with the same per-(query, row) summation order (kernels.h determinism
+// contract), so every accept decision — and therefore every result — is
+// bit-identical to the serial path on both dispatch backends.
+//
+// Deadlines cancel cooperatively at block granularity, matching the
+// serial cadence of one poll per verification block: an expired query is
+// answered kDeadlineExceeded and drops out of the active set; the rest of
+// the batch is unaffected. As in the serial path, a query whose
+// intermediate interval is empty never observes its deadline.
+
+#include <algorithm>
+#include <memory>
+#include <numeric>
+#include <utility>
+#include <vector>
+
+#include "common/macros.h"
+#include "core/batch.h"
+#include "core/index_set.h"
+#include "core/kernels/kernels.h"
+
+namespace planar {
+
+namespace {
+
+using kernels::kBlockRows;
+
+// One non-degenerate index-served query: its position in the caller's
+// span and its intermediate interval in rank space.
+struct IntervalQuery {
+  size_t slot = 0;
+  size_t begin = 0;  // smaller_end
+  size_t end = 0;    // larger_begin
+};
+
+// A coalesced rank range [begin, end) covering the sorted interval list
+// entries [first, last).
+struct MergedRange {
+  size_t begin = 0;
+  size_t end = 0;
+  size_t first = 0;
+  size_t last = 0;
+};
+
+// Per-block kernel argument arrays, sized once to the maximum possible
+// active-query count of the group they serve.
+struct BlockArgs {
+  std::vector<const double*> q_ptrs;
+  std::vector<double> biases;
+  std::vector<size_t> slice_begin;
+  std::vector<size_t> slice_end;
+  std::vector<size_t> old_size;
+  std::vector<size_t> kept;
+  std::vector<uint32_t*> outs;
+  std::unique_ptr<bool[]> less_equal;
+  std::vector<double> residuals;
+
+  explicit BlockArgs(size_t max_queries)
+      : q_ptrs(max_queries),
+        biases(max_queries),
+        slice_begin(max_queries),
+        slice_end(max_queries),
+        old_size(max_queries),
+        kept(max_queries),
+        outs(max_queries),
+        less_equal(new bool[max_queries]),
+        residuals(max_queries * kBlockRows) {}
+};
+
+// The serial path's degenerate-query answer (RunInequality's constant
+// predicate branch), with the set-level index attribution.
+InequalityResult DegenerateResult(const NormalizedQuery& q, size_t n,
+                                  int index_used) {
+  InequalityResult result;
+  result.stats.num_points = n;
+  result.stats.index_used = index_used;
+  const bool all_match =
+      q.cmp == Comparison::kLessEqual ? (0.0 <= q.b) : (0.0 >= q.b);
+  if (all_match) {
+    result.ids.resize(n);
+    std::iota(result.ids.begin(), result.ids.end(), 0u);
+    result.stats.accepted_directly = n;
+  } else {
+    result.stats.rejected_directly = n;
+  }
+  result.stats.result_size = result.ids.size();
+  return result;
+}
+
+}  // namespace
+
+std::vector<Result<InequalityResult>> PlanarIndexSet::BatchInequality(
+    std::span<const ScalarProductQuery> queries,
+    std::span<const Deadline> deadlines, BatchExecStats* exec_stats) const {
+  const size_t m = queries.size();
+  PLANAR_CHECK(deadlines.empty() || deadlines.size() == m);
+  BatchExecStats stats;
+  stats.queries = m;
+
+  // Every slot is overwritten exactly once below; the placeholder only
+  // exists because Result has no default state.
+  std::vector<Result<InequalityResult>> results;
+  results.reserve(m);
+  for (size_t i = 0; i < m; ++i) {
+    results.emplace_back(Status::Internal("batch slot not executed"));
+  }
+  if (m == 0) {
+    if (exec_stats != nullptr) *exec_stats = stats;
+    return results;
+  }
+
+  const Deadline infinite = Deadline::Infinite();
+  const auto deadline_of = [&](size_t slot) -> const Deadline& {
+    return deadlines.empty() ? infinite : deadlines[slot];
+  };
+
+  const size_t n = phi_->size();
+  const size_t dim = phi_->dim();
+  const kernels::DotOps& ops = kernels::Ops();
+
+  // ---- Plan: route every query to an index group or the scan group,
+  // replicating the serial Inequality() decision sequence exactly.
+  std::vector<NormalizedQuery> norms;
+  norms.reserve(m);
+  std::vector<std::vector<IntervalQuery>> groups(indices_.size());
+  std::vector<size_t> scan_slots;
+  for (size_t qi = 0; qi < m; ++qi) {
+    norms.push_back(NormalizedQuery::From(queries[qi]));
+    const NormalizedQuery& norm = norms.back();
+    const int best = SelectBestIndex(norm);
+    if (best < 0) {
+      scan_slots.push_back(qi);
+      continue;
+    }
+    const PlanarIndex& index = indices_[static_cast<size_t>(best)];
+    const Result<PlanarIndex::Intervals> iv = index.ComputeIntervals(norm);
+    PLANAR_CHECK(iv.ok());  // CanServe was verified by the selector
+    if (options_.scan_fallback_fraction < 1.0 &&
+        static_cast<double>(iv->larger_begin - iv->smaller_end) >
+            options_.scan_fallback_fraction * static_cast<double>(n)) {
+      scan_slots.push_back(qi);
+      continue;
+    }
+    if (norm.IsDegenerate()) {
+      results[qi] = DegenerateResult(norm, n, best);
+      continue;
+    }
+    groups[static_cast<size_t>(best)].push_back(
+        {qi, iv->smaller_end, iv->larger_begin});
+  }
+
+  // ---- Index groups.
+  for (size_t gi = 0; gi < groups.size(); ++gi) {
+    const std::vector<IntervalQuery>& group = groups[gi];
+    if (group.empty()) continue;
+    const PlanarIndex& index = indices_[gi];
+    ++stats.index_groups;
+
+    if (group.size() == 1) {
+      // Nothing to share: the serial path is exactly right, and keeps a
+      // batch of one at serial latency.
+      const size_t slot = group[0].slot;
+      const size_t ii = group[0].end - group[0].begin;
+      Result<InequalityResult> r =
+          index.Inequality(norms[slot], deadline_of(slot));
+      if (r.ok()) r->stats.index_used = static_cast<int>(gi);
+      results[slot] = std::move(r);
+      stats.rows_demanded += ii;
+      stats.rows_streamed += ii;
+      if (ii > 0) ++stats.merged_ranges;
+      continue;
+    }
+
+    // Accept regions first (same emission order as serial), reserving the
+    // worst case so the block appends below never reallocate.
+    for (const IntervalQuery& iq : group) {
+      InequalityResult r;
+      r.stats.num_points = n;
+      const bool le = norms[iq.slot].cmp == Comparison::kLessEqual;
+      const size_t accept_begin = le ? 0 : iq.end;
+      const size_t accept_end = le ? iq.begin : n;
+      const size_t ii = iq.end - iq.begin;
+      r.ids.reserve((accept_end - accept_begin) + ii);
+      index.CollectRange(accept_begin, accept_end, &r.ids);
+      r.stats.accepted_directly = accept_end - accept_begin;
+      r.stats.rejected_directly = le ? n - iq.end : iq.begin;
+      r.stats.verified = ii;
+      r.stats.index_used = static_cast<int>(gi);
+      results[iq.slot] = std::move(r);
+      stats.rows_demanded += ii;
+    }
+
+    // Coalesce: sort the non-empty intervals by begin rank and merge
+    // every overlapping (or touching) run into one streamed range.
+    std::vector<IntervalQuery> intervals;
+    intervals.reserve(group.size());
+    for (const IntervalQuery& iq : group) {
+      if (iq.end > iq.begin) intervals.push_back(iq);
+    }
+    std::sort(intervals.begin(), intervals.end(),
+              [](const IntervalQuery& x, const IntervalQuery& y) {
+                if (x.begin != y.begin) return x.begin < y.begin;
+                if (x.end != y.end) return x.end < y.end;
+                return x.slot < y.slot;
+              });
+    std::vector<MergedRange> ranges;
+    for (size_t i = 0; i < intervals.size();) {
+      MergedRange range{intervals[i].begin, intervals[i].end, i, i + 1};
+      size_t j = i + 1;
+      while (j < intervals.size() && intervals[j].begin <= range.end) {
+        range.end = std::max(range.end, intervals[j].end);
+        ++j;
+      }
+      range.last = j;
+      ranges.push_back(range);
+      i = j;
+    }
+    stats.merged_ranges += ranges.size();
+
+    // Stream each merged range once. Because every query's interval is
+    // contiguous in rank space, a block's active set is a window over the
+    // begin-sorted interval list.
+    BlockArgs args(intervals.size());
+    const uint32_t* rank_ids = index.RankIds();
+    std::vector<uint32_t> scratch_ids;  // B+-tree: materialized per range
+    std::vector<size_t> active;
+    active.reserve(intervals.size());
+    for (const MergedRange& range : ranges) {
+      const uint32_t* ids_base;
+      if (rank_ids != nullptr) {
+        ids_base = rank_ids + range.begin;
+      } else {
+        scratch_ids.clear();
+        index.CollectRange(range.begin, range.end, &scratch_ids);
+        ids_base = scratch_ids.data();
+      }
+      stats.rows_streamed += range.end - range.begin;
+      active.clear();
+      size_t next = range.first;
+      for (size_t r0 = range.begin; r0 < range.end; r0 += kBlockRows) {
+        const size_t r1 = std::min(range.end, r0 + kBlockRows);
+        while (next < range.last && intervals[next].begin < r1) {
+          active.push_back(next++);
+        }
+        // Retire finished intervals and poll deadlines — one poll per
+        // (query, block), the serial VerifyBlocks cadence.
+        size_t na = 0;
+        for (const size_t idx : active) {
+          const IntervalQuery& iq = intervals[idx];
+          if (iq.end <= r0) continue;
+          if (deadline_of(iq.slot).Expired()) {
+            results[iq.slot] = Status::DeadlineExceeded(
+                "inequality query exceeded its deadline during II "
+                "verification");
+            continue;
+          }
+          active[na++] = idx;
+        }
+        active.resize(na);
+        if (na == 0) continue;
+
+        const size_t blk = r1 - r0;
+        const uint32_t* block_ids = ids_base + (r0 - range.begin);
+        for (size_t ai = 0; ai < na; ++ai) {
+          const IntervalQuery& iq = intervals[active[ai]];
+          const NormalizedQuery& nq = norms[iq.slot];
+          args.q_ptrs[ai] = nq.a.data();
+          args.biases[ai] = -nq.b;
+          args.less_equal[ai] = nq.cmp == Comparison::kLessEqual;
+          args.slice_begin[ai] = std::max(iq.begin, r0) - r0;
+          args.slice_end[ai] = std::min(iq.end, r1) - r0;
+          std::vector<uint32_t>& out_ids = results[iq.slot]->ids;
+          args.old_size[ai] = out_ids.size();
+          out_ids.resize(args.old_size[ai] +
+                         (args.slice_end[ai] - args.slice_begin[ai]));
+          args.outs[ai] = out_ids.data() + args.old_size[ai];
+        }
+        ops.dot_block_many(args.q_ptrs.data(), args.biases.data(), na, dim,
+                           phi_->data(), dim, block_ids, blk,
+                           args.residuals.data(), kBlockRows);
+        kernels::CompressAcceptMany(args.residuals.data(), kBlockRows, na,
+                                    block_ids, args.slice_begin.data(),
+                                    args.slice_end.data(),
+                                    args.less_equal.get(), args.outs.data(),
+                                    args.kept.data());
+        for (size_t ai = 0; ai < na; ++ai) {
+          const IntervalQuery& iq = intervals[active[ai]];
+          results[iq.slot]->ids.resize(args.old_size[ai] + args.kept[ai]);
+        }
+      }
+    }
+    for (const IntervalQuery& iq : group) {
+      if (results[iq.slot].ok()) {
+        results[iq.slot]->stats.result_size = results[iq.slot]->ids.size();
+      }
+    }
+  }
+
+  // ---- Scan group: every query needs every row, so the whole matrix is
+  // the one shared range.
+  stats.scan_queries = scan_slots.size();
+  if (scan_slots.size() == 1) {
+    const size_t slot = scan_slots[0];
+    results[slot] = ScanInequality(*phi_, queries[slot], deadline_of(slot));
+    stats.rows_demanded += n;
+    stats.rows_streamed += n;
+    ++stats.merged_ranges;
+  } else if (scan_slots.size() > 1) {
+    for (const size_t slot : scan_slots) {
+      PLANAR_CHECK_EQ(dim, queries[slot].a.size());
+      InequalityResult r;
+      r.stats.num_points = n;
+      r.stats.verified = n;
+      r.stats.index_used = -1;
+      r.ids.reserve(n);
+      results[slot] = std::move(r);
+      stats.rows_demanded += n;
+    }
+    stats.rows_streamed += n;
+    ++stats.merged_ranges;
+
+    BlockArgs args(scan_slots.size());
+    uint32_t block_ids[kBlockRows];
+    std::vector<size_t> active = scan_slots;
+    for (size_t row = 0; row < n; row += kBlockRows) {
+      size_t na = 0;
+      for (const size_t slot : active) {
+        if (deadline_of(slot).Expired()) {
+          results[slot] = Status::DeadlineExceeded(
+              "sequential scan exceeded its deadline");
+          continue;
+        }
+        active[na++] = slot;
+      }
+      active.resize(na);
+      if (na == 0) break;
+
+      const size_t blk = std::min(kBlockRows, n - row);
+      for (size_t i = 0; i < blk; ++i) {
+        block_ids[i] = static_cast<uint32_t>(row + i);
+      }
+      for (size_t ai = 0; ai < na; ++ai) {
+        // The scan path verifies against the caller's original query, as
+        // ScanInequality does (bit-identical residuals either way — the
+        // normalization negates both sides).
+        const ScalarProductQuery& q = queries[active[ai]];
+        args.q_ptrs[ai] = q.a.data();
+        args.biases[ai] = -q.b;
+        args.less_equal[ai] = q.cmp == Comparison::kLessEqual;
+        args.slice_begin[ai] = 0;
+        args.slice_end[ai] = blk;
+        std::vector<uint32_t>& out_ids = results[active[ai]]->ids;
+        args.old_size[ai] = out_ids.size();
+        out_ids.resize(args.old_size[ai] + blk);
+        args.outs[ai] = out_ids.data() + args.old_size[ai];
+      }
+      ops.dot_block_many(args.q_ptrs.data(), args.biases.data(), na, dim,
+                         phi_->data(), dim, block_ids, blk,
+                         args.residuals.data(), kBlockRows);
+      kernels::CompressAcceptMany(args.residuals.data(), kBlockRows, na,
+                                  block_ids, args.slice_begin.data(),
+                                  args.slice_end.data(), args.less_equal.get(),
+                                  args.outs.data(), args.kept.data());
+      for (size_t ai = 0; ai < na; ++ai) {
+        results[active[ai]]->ids.resize(args.old_size[ai] + args.kept[ai]);
+      }
+    }
+    for (const size_t slot : scan_slots) {
+      if (results[slot].ok()) {
+        results[slot]->stats.result_size = results[slot]->ids.size();
+      }
+    }
+  }
+
+  if (exec_stats != nullptr) *exec_stats = stats;
+  return results;
+}
+
+}  // namespace planar

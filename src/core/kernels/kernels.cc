@@ -9,6 +9,8 @@
 
 #include <cstdlib>
 
+#include "core/kernels/kernels_internal.h"
+
 namespace planar {
 namespace kernels {
 
@@ -60,7 +62,8 @@ void DotRangeScalar(const double* a, size_t dim, const double* rows,
 }
 
 constexpr DotOps kScalarOps = {&DotOneScalar, &DotGatherScalar,
-                               &DotRangeScalar, "scalar"};
+                               &DotRangeScalar, &detail::DotBlockManyScalar,
+                               "scalar"};
 
 bool SimdDisabledByEnv() {
   const char* env = std::getenv("PLANAR_DISABLE_SIMD");

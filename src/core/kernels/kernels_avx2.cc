@@ -19,6 +19,8 @@
 
 #include <immintrin.h>
 
+#include "core/kernels/kernels_internal.h"
+
 namespace planar {
 namespace kernels {
 
@@ -122,7 +124,7 @@ void DotRangeAvx2(const double* a, size_t dim, const double* rows,
 }
 
 constexpr DotOps kAvx2Ops = {&DotOneAvx2, &DotGatherAvx2, &DotRangeAvx2,
-                             "avx2"};
+                             &detail::DotBlockManyAvx2, "avx2"};
 
 }  // namespace
 

@@ -1,0 +1,37 @@
+// Copyright (c) 2026 The planar Authors. Licensed under the MIT license.
+//
+// Cross-TU entry points of the multi-query kernels (kernels_many.cc and
+// kernels_many_avx2.cc), referenced by the dispatch tables in kernels.cc
+// and kernels_avx2.cc. Internal to src/core/kernels — everything callers
+// need is in kernels.h.
+
+#ifndef PLANAR_CORE_KERNELS_KERNELS_INTERNAL_H_
+#define PLANAR_CORE_KERNELS_KERNELS_INTERNAL_H_
+
+#include <cstddef>
+#include <cstdint>
+
+namespace planar {
+namespace kernels {
+namespace detail {
+
+// The portable dot_block_many reference (see DotOps::dot_block_many).
+void DotBlockManyScalar(const double* const* qs, const double* biases,
+                        size_t num_q, size_t dim, const double* rows,
+                        size_t stride, const uint32_t* ids, size_t count,
+                        double* out, size_t out_stride);
+
+#if PLANAR_HAVE_AVX2
+// The AVX2 register-blocked micro-GEMM (2 queries x 4 rows), bit-identical
+// to DotBlockManyScalar.
+void DotBlockManyAvx2(const double* const* qs, const double* biases,
+                      size_t num_q, size_t dim, const double* rows,
+                      size_t stride, const uint32_t* ids, size_t count,
+                      double* out, size_t out_stride);
+#endif
+
+}  // namespace detail
+}  // namespace kernels
+}  // namespace planar
+
+#endif  // PLANAR_CORE_KERNELS_KERNELS_INTERNAL_H_

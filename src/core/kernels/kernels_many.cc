@@ -1,0 +1,51 @@
+// Copyright (c) 2026 The planar Authors. Licensed under the MIT license.
+//
+// Portable multi-query kernels: dot_block_many (a block of phi rows
+// against several query vectors at once — the inner loop of cross-query
+// batched verification, core/batch.cc) and CompressAcceptMany (its
+// per-query branch-light accept scatter). This translation unit compiles
+// with -ffp-contract=off like every kernel TU, and the scalar
+// dot_block_many is defined as one dot_gather per query, so each
+// (query, row) product uses exactly the canonical blocked summation order
+// of kernels.h — batched answers can never differ from serial ones.
+
+#include "core/kernels/kernels.h"
+#include "core/kernels/kernels_internal.h"
+
+namespace planar {
+namespace kernels {
+
+namespace detail {
+
+void DotBlockManyScalar(const double* const* qs, const double* biases,
+                        size_t num_q, size_t dim, const double* rows,
+                        size_t stride, const uint32_t* ids, size_t count,
+                        double* out, size_t out_stride) {
+  // One gather sweep per query. Re-reading the row block per query is the
+  // scalar reference's cost model; the AVX2 path amortizes the row loads
+  // across query pairs, which is where the batched speedup comes from.
+  const DotOps& scalar = ScalarOps();
+  for (size_t qi = 0; qi < num_q; ++qi) {
+    scalar.dot_gather(qs[qi], dim, rows, stride, ids, count, biases[qi],
+                      out + qi * out_stride);
+  }
+}
+
+}  // namespace detail
+
+void CompressAcceptMany(const double* residuals, size_t residual_stride,
+                        size_t num_q, const uint32_t* ids, const size_t* begin,
+                        const size_t* end, const bool* less_equal,
+                        uint32_t* const* outs, size_t* kept) {
+  // Per-query compress-store over that query's sub-slice of the block:
+  // the per-row loop stays branch-free (CompressAccept), and disjoint
+  // output buffers mean no cross-query dependence.
+  for (size_t qi = 0; qi < num_q; ++qi) {
+    kept[qi] = CompressAccept(residuals + qi * residual_stride + begin[qi],
+                              ids + begin[qi], end[qi] - begin[qi],
+                              less_equal[qi], outs[qi]);
+  }
+}
+
+}  // namespace kernels
+}  // namespace planar

@@ -1,0 +1,131 @@
+// Copyright (c) 2026 The planar Authors. Licensed under the MIT license.
+//
+// AVX2 multi-query kernel: a register-blocked micro-GEMM of 2 query
+// vectors x 4 phi rows per iteration (8 independent accumulators plus the
+// row and query loads stay within the 16 ymm registers). Each row block
+// is loaded from memory once and dotted against both queries, so the row
+// traffic — the bottleneck the batched execution layer exists to share —
+// is amortized across the query pair.
+//
+// Compiled with -mavx2 -mfma -ffp-contract=off (src/core/CMakeLists.txt);
+// see kernels_avx2.cc for the dispatch and portability rules. The
+// bit-identical contract of kernels.h applies unchanged: per (query, row)
+// the accumulator lanes, the ((s0 + s2) + (s1 + s3)) reduction, the
+// sequential tail, and the final bias add happen in exactly the scalar
+// reference's order, with vmulpd/vaddpd never contracted into FMAs.
+
+#include "core/kernels/kernels.h"
+#include "core/kernels/kernels_internal.h"
+
+#if PLANAR_HAVE_AVX2
+
+#include <immintrin.h>
+
+namespace planar {
+namespace kernels {
+namespace detail {
+
+namespace {
+
+// Reduces a 4-lane accumulator as ((s0 + s2) + (s1 + s3)) — the same
+// helper as kernels_avx2.cc, duplicated so each kernel TU stays
+// self-contained.
+inline double ReduceBlocked(__m256d acc) {
+  const __m128d lo = _mm256_castpd256_pd128(acc);       // [s0, s1]
+  const __m128d hi = _mm256_extractf128_pd(acc, 1);     // [s2, s3]
+  const __m128d pair = _mm_add_pd(lo, hi);              // [s0+s2, s1+s3]
+  const __m128d swapped = _mm_unpackhi_pd(pair, pair);  // [s1+s3, s1+s3]
+  return _mm_cvtsd_f64(_mm_add_sd(pair, swapped));
+}
+
+// Sequential tail for dim % 4 trailing entries.
+inline double TailDot(const double* a, const double* row, size_t from,
+                      size_t dim) {
+  double tail = 0.0;
+  for (size_t j = from; j < dim; ++j) tail += a[j] * row[j];
+  return tail;
+}
+
+inline double DotOneAvx2(const double* a, const double* row, size_t dim) {
+  __m256d acc = _mm256_setzero_pd();
+  size_t j = 0;
+  for (; j + 4 <= dim; j += 4) {
+    acc = _mm256_add_pd(
+        acc, _mm256_mul_pd(_mm256_loadu_pd(a + j), _mm256_loadu_pd(row + j)));
+  }
+  return ReduceBlocked(acc) + TailDot(a, row, j, dim);
+}
+
+}  // namespace
+
+void DotBlockManyAvx2(const double* const* qs, const double* biases,
+                      size_t num_q, size_t dim, const double* rows,
+                      size_t stride, const uint32_t* ids, size_t count,
+                      double* out, size_t out_stride) {
+  size_t qi = 0;
+  for (; qi + 2 <= num_q; qi += 2) {
+    const double* a0 = qs[qi];
+    const double* a1 = qs[qi + 1];
+    const double b0 = biases[qi];
+    const double b1 = biases[qi + 1];
+    double* out0 = out + qi * out_stride;
+    double* out1 = out0 + out_stride;
+    size_t i = 0;
+    for (; i + 4 <= count; i += 4) {
+      const double* r0 = rows + static_cast<size_t>(ids[i]) * stride;
+      const double* r1 = rows + static_cast<size_t>(ids[i + 1]) * stride;
+      const double* r2 = rows + static_cast<size_t>(ids[i + 2]) * stride;
+      const double* r3 = rows + static_cast<size_t>(ids[i + 3]) * stride;
+      __m256d acc00 = _mm256_setzero_pd();
+      __m256d acc01 = _mm256_setzero_pd();
+      __m256d acc02 = _mm256_setzero_pd();
+      __m256d acc03 = _mm256_setzero_pd();
+      __m256d acc10 = _mm256_setzero_pd();
+      __m256d acc11 = _mm256_setzero_pd();
+      __m256d acc12 = _mm256_setzero_pd();
+      __m256d acc13 = _mm256_setzero_pd();
+      size_t j = 0;
+      for (; j + 4 <= dim; j += 4) {
+        const __m256d av0 = _mm256_loadu_pd(a0 + j);
+        const __m256d av1 = _mm256_loadu_pd(a1 + j);
+        const __m256d rv0 = _mm256_loadu_pd(r0 + j);
+        acc00 = _mm256_add_pd(acc00, _mm256_mul_pd(av0, rv0));
+        acc10 = _mm256_add_pd(acc10, _mm256_mul_pd(av1, rv0));
+        const __m256d rv1 = _mm256_loadu_pd(r1 + j);
+        acc01 = _mm256_add_pd(acc01, _mm256_mul_pd(av0, rv1));
+        acc11 = _mm256_add_pd(acc11, _mm256_mul_pd(av1, rv1));
+        const __m256d rv2 = _mm256_loadu_pd(r2 + j);
+        acc02 = _mm256_add_pd(acc02, _mm256_mul_pd(av0, rv2));
+        acc12 = _mm256_add_pd(acc12, _mm256_mul_pd(av1, rv2));
+        const __m256d rv3 = _mm256_loadu_pd(r3 + j);
+        acc03 = _mm256_add_pd(acc03, _mm256_mul_pd(av0, rv3));
+        acc13 = _mm256_add_pd(acc13, _mm256_mul_pd(av1, rv3));
+      }
+      out0[i] = ReduceBlocked(acc00) + TailDot(a0, r0, j, dim) + b0;
+      out0[i + 1] = ReduceBlocked(acc01) + TailDot(a0, r1, j, dim) + b0;
+      out0[i + 2] = ReduceBlocked(acc02) + TailDot(a0, r2, j, dim) + b0;
+      out0[i + 3] = ReduceBlocked(acc03) + TailDot(a0, r3, j, dim) + b0;
+      out1[i] = ReduceBlocked(acc10) + TailDot(a1, r0, j, dim) + b1;
+      out1[i + 1] = ReduceBlocked(acc11) + TailDot(a1, r1, j, dim) + b1;
+      out1[i + 2] = ReduceBlocked(acc12) + TailDot(a1, r2, j, dim) + b1;
+      out1[i + 3] = ReduceBlocked(acc13) + TailDot(a1, r3, j, dim) + b1;
+    }
+    for (; i < count; ++i) {
+      const double* r = rows + static_cast<size_t>(ids[i]) * stride;
+      out0[i] = DotOneAvx2(a0, r, dim) + b0;
+      out1[i] = DotOneAvx2(a1, r, dim) + b1;
+    }
+  }
+  if (qi < num_q) {
+    // Odd query out: the plain 4-row gather kernel (same table this
+    // function is dispatched from, so AVX2 is known-supported here).
+    Avx2Ops()->dot_gather(qs[qi], dim, rows, stride, ids, count, biases[qi],
+                          out + qi * out_stride);
+  }
+}
+
+}  // namespace detail
+}  // namespace kernels
+}  // namespace planar
+
+#endif  // PLANAR_HAVE_AVX2

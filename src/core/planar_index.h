@@ -211,6 +211,18 @@ class PlanarIndex {
   void CollectRange(size_t begin, size_t end,
                     std::vector<uint32_t>* out) const;
 
+  /// Zero-copy view of the rank-ordered row ids (RankIds()[r] = row with
+  /// rank r) on the sorted-array backend, or nullptr on the B+-tree
+  /// backend (whose rank order lives behind node pointers — use
+  /// CollectRange there). The batched execution layer (core/batch.cc)
+  /// streams coalesced candidate ranges straight off this array.
+  /// Invalidated by any maintenance call.
+  const uint32_t* RankIds() const {
+    return options_.backend == PlanarIndexOptions::Backend::kSortedArray
+               ? ids_.data()
+               : nullptr;
+  }
+
   /// A human-inspectable account of how this index would process `q`:
   /// thresholds, interval boundaries, exclusion decisions, and the exact
   /// candidate counts. For debugging, optimizer integration, and the

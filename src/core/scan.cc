@@ -29,6 +29,12 @@ Result<InequalityResult> ScanInequality(const PhiMatrix& phi,
   result.stats.num_points = n;
   result.stats.verified = n;
   result.stats.index_used = -1;
+  // Worst case up front (every row matches), like the index II paths:
+  // one allocation per query instead of log2(result) geometric regrowths,
+  // each of which copies the whole accumulated id vector. On near-total
+  // selectivity scans the regrowth copies cost more than a block's
+  // residual kernel (see the micro-bench note in bench/bench_micro.cc).
+  result.ids.reserve(n);
   // Batched over contiguous rows: per block, one deadline poll, one
   // kernel call for the residuals, one branch-light compress-store of the
   // matching row ids.

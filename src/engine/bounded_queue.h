@@ -10,6 +10,7 @@
 #ifndef PLANAR_ENGINE_BOUNDED_QUEUE_H_
 #define PLANAR_ENGINE_BOUNDED_QUEUE_H_
 
+#include <chrono>
 #include <condition_variable>
 #include <cstddef>
 #include <deque>
@@ -48,6 +49,34 @@ class BoundedQueue {
     std::unique_lock<std::mutex> lock(mu_);
     ready_.wait(lock, [this] { return closed_ || !items_.empty(); });
     return PopLocked(out, max_batch);
+  }
+
+  /// PopBatch that lingers: blocks until the first item (or close) like
+  /// PopBatch, then — if the batch is not yet full — keeps waiting up to
+  /// `linger` past the first pop for more items to coalesce with, popping
+  /// greedily as they arrive. This is what lets a worker gather a batch
+  /// worth sharing work across instead of racing away with a single
+  /// request under light load. A non-positive linger behaves exactly like
+  /// PopBatch. Returns the number of items popped; 0 means
+  /// closed-and-drained.
+  size_t PopBatchLinger(std::vector<T>* out, size_t max_batch,
+                        std::chrono::nanoseconds linger) {
+    std::unique_lock<std::mutex> lock(mu_);
+    ready_.wait(lock, [this] { return closed_ || !items_.empty(); });
+    size_t popped = PopLocked(out, max_batch);
+    if (popped == 0 || popped >= max_batch ||
+        linger <= std::chrono::nanoseconds::zero()) {
+      return popped;
+    }
+    const auto deadline = std::chrono::steady_clock::now() + linger;
+    while (popped < max_batch) {
+      const bool signaled = ready_.wait_until(
+          lock, deadline, [this] { return closed_ || !items_.empty(); });
+      if (!signaled) break;  // linger expired
+      if (items_.empty()) break;  // closed and drained
+      popped += PopLocked(out, max_batch - popped);
+    }
+    return popped;
   }
 
   /// Non-blocking variant: pops whatever is immediately available, up to

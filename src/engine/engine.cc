@@ -2,9 +2,13 @@
 
 #include "engine/engine.h"
 
+#include <chrono>
+#include <span>
 #include <string>
 #include <utility>
 #include <vector>
+
+#include "core/batch.h"
 
 namespace planar {
 
@@ -64,6 +68,8 @@ DebugSnapshot Engine::Snapshot() const {
   snapshot.counters = metrics_.counters();
   snapshot.latency_millis = metrics_.latency_millis();
   snapshot.queue_wait_millis = metrics_.queue_wait_millis();
+  snapshot.batch_occupancy = metrics_.batch_occupancy();
+  snapshot.rows_shared_per_query = metrics_.rows_shared_per_query();
   snapshot.queue_depth = queue_.size();
   snapshot.in_flight = in_flight_.load(std::memory_order_relaxed);
   snapshot.workers = workers_.size();
@@ -113,7 +119,35 @@ EngineResponse Engine::Execute(const EngineRequest& request) const {
 }
 
 void Engine::RunBatch(std::vector<Pending>& batch) {
-  for (Pending& pending : batch) {
+  // Opportunistic micro-batching: inequality requests that name the same
+  // catalog entry and share a comparison direction are compatible with
+  // one coalesced BatchInequality call. Groups of two or more take that
+  // path; singletons and every other request kind run serially, exactly
+  // as before.
+  std::vector<char> grouped(batch.size(), 0);
+  std::vector<size_t> members;
+  for (size_t i = 0; i < batch.size(); ++i) {
+    if (grouped[i] || batch[i].request.kind != QueryKind::kInequality) {
+      continue;
+    }
+    members.clear();
+    members.push_back(i);
+    for (size_t j = i + 1; j < batch.size(); ++j) {
+      if (grouped[j] || batch[j].request.kind != QueryKind::kInequality) {
+        continue;
+      }
+      if (batch[j].request.target == batch[i].request.target &&
+          batch[j].request.query.cmp == batch[i].request.query.cmp) {
+        members.push_back(j);
+      }
+    }
+    if (members.size() < 2) continue;
+    for (size_t m : members) grouped[m] = 1;
+    RunGroup(batch, members);
+  }
+  for (size_t i = 0; i < batch.size(); ++i) {
+    if (grouped[i]) continue;
+    Pending& pending = batch[i];
     in_flight_.fetch_add(1, std::memory_order_relaxed);
     const double queue_millis = pending.queued.ElapsedMillis();
     WallTimer execute_timer;
@@ -127,10 +161,77 @@ void Engine::RunBatch(std::vector<Pending>& batch) {
   }
 }
 
+void Engine::RunGroup(std::vector<Pending>& batch,
+                      const std::vector<size_t>& members) {
+  in_flight_.fetch_add(members.size(), std::memory_order_relaxed);
+  std::vector<double> queue_millis(members.size());
+  for (size_t m = 0; m < members.size(); ++m) {
+    queue_millis[m] = batch[members[m]].queued.ElapsedMillis();
+  }
+  const Catalog::SetPtr set = catalog_->Find(batch[members[0]].request.target);
+  // Requests that cannot execute — unknown target, or a deadline already
+  // spent in the queue — are answered up front with the same statuses the
+  // serial path produces; the rest form the live group.
+  std::vector<size_t> live;  // indices into `members`
+  live.reserve(members.size());
+  for (size_t m = 0; m < members.size(); ++m) {
+    Pending& pending = batch[members[m]];
+    EngineResponse response;
+    if (set == nullptr) {
+      response.status = Status::NotFound("no catalog entry named '" +
+                                         pending.request.target + "'");
+    } else if (pending.request.deadline.Expired()) {
+      response.status = Status::DeadlineExceeded(
+          "deadline expired before execution started");
+    } else {
+      live.push_back(m);
+      continue;
+    }
+    response.queue_millis = queue_millis[m];
+    metrics_.OnCompleted(response.status, response.queue_millis, 0.0);
+    pending.promise.set_value(std::move(response));
+  }
+  if (!live.empty()) {
+    std::vector<ScalarProductQuery> queries;
+    std::vector<Deadline> deadlines;
+    queries.reserve(live.size());
+    deadlines.reserve(live.size());
+    for (size_t m : live) {
+      queries.push_back(batch[members[m]].request.query);
+      deadlines.push_back(batch[members[m]].request.deadline);
+    }
+    BatchExecStats exec_stats;
+    WallTimer execute_timer;
+    std::vector<Result<InequalityResult>> results = set->BatchInequality(
+        std::span<const ScalarProductQuery>(queries),
+        std::span<const Deadline>(deadlines), &exec_stats);
+    const double execute_millis = execute_timer.ElapsedMillis();
+    metrics_.OnBatchExecuted(live.size(), exec_stats.RowsSharedPerQuery());
+    for (size_t li = 0; li < live.size(); ++li) {
+      const size_t m = live[li];
+      Pending& pending = batch[members[m]];
+      EngineResponse response;
+      if (results[li].ok()) {
+        response.inequality = std::move(results[li]).value();
+      } else {
+        response.status = results[li].status();
+      }
+      response.queue_millis = queue_millis[m];
+      response.execute_millis = execute_millis;
+      metrics_.OnCompleted(response.status, response.queue_millis,
+                           response.execute_millis);
+      pending.promise.set_value(std::move(response));
+    }
+  }
+  in_flight_.fetch_sub(members.size(), std::memory_order_relaxed);
+}
+
 void Engine::WorkerLoop() {
+  const auto linger = std::chrono::duration_cast<std::chrono::nanoseconds>(
+      std::chrono::duration<double, std::milli>(options_.batch_linger_millis));
   std::vector<Pending> batch;
   batch.reserve(options_.max_batch);
-  while (queue_.PopBatch(&batch, options_.max_batch) > 0) {
+  while (queue_.PopBatchLinger(&batch, options_.max_batch, linger) > 0) {
     RunBatch(batch);
     batch.clear();
   }

@@ -39,8 +39,18 @@ struct EngineOptions {
   /// queued.
   size_t queue_capacity = 1024;
   /// Upper bound on requests a worker claims per queue round-trip;
-  /// batching amortizes the queue lock under load.
+  /// batching amortizes the queue lock — and, for inequality requests
+  /// against the same catalog entry with the same comparison direction,
+  /// feeds the coalesced PlanarIndexSet::BatchInequality path, which
+  /// streams overlapping candidate intervals once for the whole group.
   size_t max_batch = 16;
+  /// How long (milliseconds) a worker lingers after claiming its first
+  /// request, waiting for more to coalesce into the same batch. 0 (the
+  /// default) never waits: batching then only happens when the queue is
+  /// already backlogged. A small linger (say 0.2–1 ms) trades that much
+  /// added latency under light load for larger batches — worth it when
+  /// queries overlap heavily and the batch path's row sharing pays.
+  double batch_linger_millis = 0.0;
 };
 
 /// A serving runtime bound to one (not owned) catalog.
@@ -91,8 +101,16 @@ class Engine {
   EngineResponse Execute(const EngineRequest& request) const;
 
   /// Executes one popped batch, fulfilling promises and recording
-  /// metrics.
+  /// metrics. Inequality requests that share a catalog entry and
+  /// comparison direction are grouped and executed through RunGroup;
+  /// everything else runs serially through Execute.
   void RunBatch(std::vector<Pending>& batch);
+
+  /// Executes `members` (indices into `batch`, all inequality requests
+  /// with the same target and comparison) through one coalesced
+  /// BatchInequality call, answering each future individually.
+  void RunGroup(std::vector<Pending>& batch,
+                const std::vector<size_t>& members);
 
   void WorkerLoop();
 

@@ -9,9 +9,22 @@
 
 namespace planar {
 
+FixedBucketHistogram BatchOccupancyHistogram() {
+  return FixedBucketHistogram({1, 2, 4, 8, 16, 32, 64, 128, 256});
+}
+
+FixedBucketHistogram RowsSharedHistogram() {
+  // Powers of four: sharing spans from "none" (0) through a handful of
+  // overlapping II rows up to full-dataset scans shared by the batch.
+  return FixedBucketHistogram({0, 1, 4, 16, 64, 256, 1024, 4096, 16384,
+                               65536, 262144, 1048576});
+}
+
 EngineMetrics::EngineMetrics()
     : latency_millis_(FixedBucketHistogram::LatencyMillis()),
-      queue_wait_millis_(FixedBucketHistogram::LatencyMillis()) {}
+      queue_wait_millis_(FixedBucketHistogram::LatencyMillis()),
+      batch_occupancy_(BatchOccupancyHistogram()),
+      rows_shared_per_query_(RowsSharedHistogram()) {}
 
 void EngineMetrics::OnCompleted(const Status& status, double queue_millis,
                                 double execute_millis) {
@@ -44,9 +57,26 @@ FixedBucketHistogram EngineMetrics::latency_millis() const {
   return latency_millis_;
 }
 
+void EngineMetrics::OnBatchExecuted(size_t occupancy,
+                                    double rows_shared_per_query) {
+  std::lock_guard<std::mutex> lock(hist_mu_);
+  batch_occupancy_.Add(static_cast<double>(occupancy));
+  rows_shared_per_query_.Add(rows_shared_per_query);
+}
+
 FixedBucketHistogram EngineMetrics::queue_wait_millis() const {
   std::lock_guard<std::mutex> lock(hist_mu_);
   return queue_wait_millis_;
+}
+
+FixedBucketHistogram EngineMetrics::batch_occupancy() const {
+  std::lock_guard<std::mutex> lock(hist_mu_);
+  return batch_occupancy_;
+}
+
+FixedBucketHistogram EngineMetrics::rows_shared_per_query() const {
+  std::lock_guard<std::mutex> lock(hist_mu_);
+  return rows_shared_per_query_;
 }
 
 std::string DebugSnapshot::ToString() const {
@@ -77,6 +107,18 @@ std::string DebugSnapshot::ToString() const {
   };
   add_histogram("latency", latency_millis);
   add_histogram("queue_wait", queue_wait_millis);
+
+  // Unitless histograms (counts, not milliseconds).
+  const auto add_count_histogram = [&table](const std::string& prefix,
+                                            const FixedBucketHistogram& h) {
+    table.AddRow({prefix + "_count", std::to_string(h.count())});
+    table.AddRow({prefix + "_mean", FormatDouble(h.mean())});
+    table.AddRow({prefix + "_p50", FormatDouble(h.ApproxPercentile(50))});
+    table.AddRow({prefix + "_p90", FormatDouble(h.ApproxPercentile(90))});
+    table.AddRow({prefix + "_p99", FormatDouble(h.ApproxPercentile(99))});
+  };
+  add_count_histogram("batch_occupancy", batch_occupancy);
+  add_count_histogram("rows_shared_per_query", rows_shared_per_query);
   return table.ToText();
 }
 

@@ -31,6 +31,16 @@ struct EngineCounters {
   uint64_t failed = 0;              ///< finished with any other error
 };
 
+/// Bucket layout for batch-occupancy samples: how many inequality
+/// requests one coalesced BatchInequality call served (powers of two up
+/// to the largest max_batch anyone sensibly configures).
+FixedBucketHistogram BatchOccupancyHistogram();
+
+/// Bucket layout for rows-shared-per-query samples: phi rows a query
+/// obtained from another query's streaming instead of demanding its own
+/// read (powers of four; 0 means no sharing happened).
+FixedBucketHistogram RowsSharedHistogram();
+
 /// Point-in-time view of one engine, safe to inspect with no locks held.
 struct DebugSnapshot {
   EngineCounters counters;
@@ -39,6 +49,12 @@ struct DebugSnapshot {
   /// Time requests spent queued before execution (milliseconds).
   FixedBucketHistogram queue_wait_millis =
       FixedBucketHistogram::LatencyMillis();
+  /// Requests served per coalesced batch execution (one sample per
+  /// BatchInequality call the engine issued; unitless counts).
+  FixedBucketHistogram batch_occupancy = BatchOccupancyHistogram();
+  /// Per-query average of phi rows obtained from a batch-mate's stream
+  /// (one sample per batch execution; unitless row counts).
+  FixedBucketHistogram rows_shared_per_query = RowsSharedHistogram();
   size_t queue_depth = 0;      ///< requests waiting at snapshot time
   size_t in_flight = 0;        ///< requests executing at snapshot time
   size_t workers = 0;          ///< worker threads configured
@@ -65,12 +81,19 @@ class EngineMetrics {
   void OnCompleted(const Status& status, double queue_millis,
                    double execute_millis);
 
+  /// Records one coalesced batch execution: how many requests it served
+  /// and how many phi rows each of them got from a batch-mate's stream
+  /// on average (BatchExecStats::RowsSharedPerQuery()).
+  void OnBatchExecuted(size_t occupancy, double rows_shared_per_query);
+
   /// Consistent copy of the counters.
   EngineCounters counters() const;
 
   /// Copies of the histograms (bucket layouts included).
   FixedBucketHistogram latency_millis() const;
   FixedBucketHistogram queue_wait_millis() const;
+  FixedBucketHistogram batch_occupancy() const;
+  FixedBucketHistogram rows_shared_per_query() const;
 
  private:
   static void Bump(std::atomic<uint64_t>* c) {
@@ -88,6 +111,8 @@ class EngineMetrics {
   mutable std::mutex hist_mu_;
   FixedBucketHistogram latency_millis_;
   FixedBucketHistogram queue_wait_millis_;
+  FixedBucketHistogram batch_occupancy_;
+  FixedBucketHistogram rows_shared_per_query_;
 };
 
 }  // namespace planar

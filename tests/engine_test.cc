@@ -296,6 +296,138 @@ TEST_F(EngineTest, SnapshotAccountsForEveryAdmittedRequest) {
   EXPECT_NE(rendered.find("latency_p99_ms"), std::string::npos);
 }
 
+TEST_F(EngineTest, MicroBatchGroupsCompatibleInequalities) {
+  // 0 workers + RunPending: one deterministic batch pop. Five inequality
+  // requests against "main" (3 le + 2 ge) plus one top-k must form
+  // exactly two coalesced groups; the top-k runs serially.
+  EngineOptions options;
+  options.num_workers = 0;
+  options.queue_capacity = 16;
+  options.max_batch = 16;
+  Engine engine(&catalog_, options);
+
+  std::vector<std::future<EngineResponse>> futures;
+  std::vector<EngineRequest> requests;
+  for (int i = 0; i < 5; ++i) {
+    EngineRequest request;
+    request.target = "main";
+    request.query = MakeQuery(80.0 + 20.0 * i);
+    if (i >= 3) request.query.cmp = Comparison::kGreaterEqual;
+    requests.push_back(request);
+    auto f = engine.Submit(std::move(request));
+    ASSERT_TRUE(f.ok());
+    futures.push_back(std::move(*f));
+  }
+  EngineRequest topk;
+  topk.target = "main";
+  topk.kind = QueryKind::kTopK;
+  topk.query = MakeQuery();
+  topk.k = 4;
+  auto ftopk = engine.Submit(std::move(topk));
+  ASSERT_TRUE(ftopk.ok());
+
+  EXPECT_EQ(engine.RunPending(), 6u);
+
+  // Every grouped answer is bit-identical to the serial path.
+  const Catalog::SetPtr set = catalog_.Find("main");
+  for (size_t i = 0; i < futures.size(); ++i) {
+    const EngineResponse response = futures[i].get();
+    ASSERT_TRUE(response.status.ok()) << response.status.ToString();
+    const auto serial =
+        set->Inequality(requests[i].query, Deadline::Infinite());
+    ASSERT_TRUE(serial.ok());
+    EXPECT_EQ(response.inequality.ids, serial->ids) << i;
+    EXPECT_GE(response.execute_millis, 0.0);
+  }
+  EXPECT_EQ(ftopk->get().topk.neighbors.size(), 4u);
+
+  const DebugSnapshot snapshot = engine.Snapshot();
+  // Two batch executions: the le group (3) and the ge group (2).
+  EXPECT_EQ(snapshot.batch_occupancy.count(), 2u);
+  EXPECT_DOUBLE_EQ(snapshot.batch_occupancy.mean(), 2.5);
+  EXPECT_EQ(snapshot.rows_shared_per_query.count(), 2u);
+  EXPECT_EQ(snapshot.counters.completed_ok, 6u);
+  const std::string rendered = snapshot.ToString();
+  EXPECT_NE(rendered.find("batch_occupancy_p50"), std::string::npos);
+  EXPECT_NE(rendered.find("rows_shared_per_query_mean"), std::string::npos);
+}
+
+TEST_F(EngineTest, GroupedRequestsHandleNotFoundAndExpiredDeadlines) {
+  EngineOptions options;
+  options.num_workers = 0;
+  Engine engine(&catalog_, options);
+
+  // Two groups: "missing" (both NotFound) and "main" (one live, one with
+  // a pre-expired deadline).
+  std::vector<std::future<EngineResponse>> futures;
+  for (int i = 0; i < 2; ++i) {
+    EngineRequest request;
+    request.target = "missing";
+    request.query = MakeQuery();
+    auto f = engine.Submit(std::move(request));
+    ASSERT_TRUE(f.ok());
+    futures.push_back(std::move(*f));
+  }
+  for (int i = 0; i < 2; ++i) {
+    EngineRequest request;
+    request.target = "main";
+    request.query = MakeQuery(100.0 + i);
+    if (i == 1) request.deadline = Deadline::After(0.0);
+    auto f = engine.Submit(std::move(request));
+    ASSERT_TRUE(f.ok());
+    futures.push_back(std::move(*f));
+  }
+  EXPECT_EQ(engine.RunPending(), 4u);
+
+  EXPECT_EQ(futures[0].get().status.code(), StatusCode::kNotFound);
+  EXPECT_EQ(futures[1].get().status.code(), StatusCode::kNotFound);
+  EXPECT_TRUE(futures[2].get().status.ok());
+  EXPECT_EQ(futures[3].get().status.code(), StatusCode::kDeadlineExceeded);
+
+  const DebugSnapshot snapshot = engine.Snapshot();
+  const EngineCounters& c = snapshot.counters;
+  EXPECT_EQ(c.admitted, c.completed_ok + c.deadline_exceeded + c.failed);
+  EXPECT_EQ(c.completed_ok, 1u);
+  EXPECT_EQ(c.deadline_exceeded, 1u);
+  EXPECT_EQ(c.failed, 2u);
+  // Only the "main" group had live queries; the "missing" group answered
+  // everything up front and never reached BatchInequality.
+  EXPECT_EQ(snapshot.batch_occupancy.count(), 1u);
+}
+
+TEST_F(EngineTest, BatchLingerCoalescesAcrossSubmissionGaps) {
+  // One worker with a generous linger: requests submitted back-to-back
+  // from this thread should coalesce into few batches. Timing-dependent
+  // only in the loose direction — the assertions hold whether or not the
+  // linger actually gathers everything into one batch.
+  EngineOptions options;
+  options.num_workers = 1;
+  options.max_batch = 8;
+  options.batch_linger_millis = 50.0;
+  Engine engine(&catalog_, options);
+
+  std::vector<std::future<EngineResponse>> futures;
+  for (int i = 0; i < 8; ++i) {
+    EngineRequest request;
+    request.target = "main";
+    request.query = MakeQuery(60.0 + 15.0 * i);
+    auto f = engine.Submit(std::move(request));
+    ASSERT_TRUE(f.ok());
+    futures.push_back(std::move(*f));
+  }
+  const Catalog::SetPtr set = catalog_.Find("main");
+  for (int i = 0; i < 8; ++i) {
+    const EngineResponse response = futures[static_cast<size_t>(i)].get();
+    ASSERT_TRUE(response.status.ok());
+    const auto serial = set->Inequality(MakeQuery(60.0 + 15.0 * i),
+                                        Deadline::Infinite());
+    ASSERT_TRUE(serial.ok());
+    EXPECT_EQ(response.inequality.ids, serial->ids) << i;
+  }
+  engine.Drain();
+  EXPECT_EQ(engine.Snapshot().counters.completed_ok, 8u);
+}
+
 TEST_F(EngineTest, WorkerPoolServesConcurrentLoad) {
   EngineOptions options;
   options.num_workers = 4;

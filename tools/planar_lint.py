@@ -35,9 +35,20 @@ Rules (library code under src/ unless stated otherwise):
                     guarantee (identical output for any thread count)
                     holds everywhere. Sorting other containers (axes,
                     positions, heaps) is fine.
+  kernel-ffp-contract
+                    every kernel TU (src/core/kernels/*.cc) must appear in
+                    a set_source_files_properties(...) block of
+                    src/core/CMakeLists.txt that carries -ffp-contract=off:
+                    the scalar/SIMD bit-identity contract (kernels.h)
+                    forbids the compiler from contracting a*b+c into FMA,
+                    and a newly added kernel TU that misses the flag breaks
+                    it silently on -O2.
 
 Exit status 0 when clean, 1 with one "file:line: rule: message" diagnostic
 per finding otherwise. Registered as a ctest (`ctest -R planar_lint`).
+`--self-test` exercises the kernel-ffp-contract rule against synthetic
+fixture trees (missing flag, covered multi-file block, flag only inside a
+comment) and exits nonzero if the rule ever stops firing.
 """
 
 import argparse
@@ -183,12 +194,88 @@ def build_file_findings(root: Path):
                        "(src/core/kernels) instead")
 
 
+RE_SOURCE_PROPS = re.compile(r"set_source_files_properties\s*\(([^)]*)\)",
+                             re.DOTALL)
+RE_KERNEL_TU = re.compile(r"kernels/([A-Za-z0-9_.\-]+\.cc)")
+
+
+def kernel_ffp_findings(root: Path):
+    """Every src/core/kernels/*.cc must be compiled with -ffp-contract=off
+    (kernel-ffp-contract)."""
+    kernels_dir = root / "src" / "core" / "kernels"
+    cmake = root / "src" / "core" / "CMakeLists.txt"
+    if not kernels_dir.is_dir():
+        return
+    covered = set()
+    if cmake.is_file():
+        text = "\n".join(line.split("#", 1)[0] for line in
+                         cmake.read_text(encoding="utf-8").splitlines())
+        for match in RE_SOURCE_PROPS.finditer(text):
+            block = match.group(1)
+            if "-ffp-contract=off" not in block:
+                continue
+            for tu in RE_KERNEL_TU.finditer(block):
+                covered.add(tu.group(1))
+    for path in sorted(kernels_dir.glob("*.cc")):
+        if path.name not in covered:
+            yield (Path("src/core/CMakeLists.txt"), 1, "kernel-ffp-contract",
+                   f"kernel TU src/core/kernels/{path.name} is not covered "
+                   "by a set_source_files_properties(... -ffp-contract=off) "
+                   "block; FP contraction would break the scalar/SIMD "
+                   "bit-identity contract (see kernels.h)")
+
+
+def self_test() -> int:
+    """Fixture-based check that kernel-ffp-contract actually fires."""
+    import tempfile
+
+    def write_tree(cmake_text: str) -> Path:
+        root = Path(tempfile.mkdtemp(prefix="planar_lint_selftest_"))
+        kdir = root / "src" / "core" / "kernels"
+        kdir.mkdir(parents=True)
+        (kdir / "kernels.cc").write_text("// fixture\n")
+        (kdir / "kernels_avx2.cc").write_text("// fixture\n")
+        (root / "src" / "core" / "CMakeLists.txt").write_text(cmake_text)
+        return root
+
+    cases = [
+        # (cmake fixture, expected number of findings)
+        ('set_source_files_properties(kernels/kernels.cc PROPERTIES\n'
+         '  COMPILE_OPTIONS "-ffp-contract=off")\n', 1),  # avx2 TU missed
+        ('set_source_files_properties(\n'
+         '  kernels/kernels.cc\n'
+         '  kernels/kernels_avx2.cc\n'
+         '  PROPERTIES COMPILE_OPTIONS "-mavx2;-mfma;-ffp-contract=off")\n',
+         0),  # multi-file block covers both
+        ('# set_source_files_properties(kernels/kernels.cc PROPERTIES\n'
+         '#   COMPILE_OPTIONS "-ffp-contract=off")\n', 2),  # comments don't count
+        ('set_source_files_properties(kernels/kernels.cc\n'
+         '  kernels/kernels_avx2.cc PROPERTIES COMPILE_OPTIONS "-mavx2")\n',
+         2),  # block without the flag doesn't count
+    ]
+    for i, (fixture, want) in enumerate(cases):
+        root = write_tree(fixture)
+        got = list(kernel_ffp_findings(root))
+        if len(got) != want or any(rule != "kernel-ffp-contract"
+                                   for _, _, rule, _ in got):
+            print(f"planar_lint: self-test case {i} FAILED: expected {want} "
+                  f"kernel-ffp-contract finding(s), got {got}",
+                  file=sys.stderr)
+            return 1
+    print(f"planar_lint: self-test OK ({len(cases)} fixture cases)")
+    return 0
+
+
 def main() -> int:
     parser = argparse.ArgumentParser(description=__doc__)
     parser.add_argument("--root", type=Path, default=Path(__file__).parent.parent,
                         help="repository root (default: the checkout "
                              "containing this script)")
+    parser.add_argument("--self-test", action="store_true",
+                        help="run the rule fixtures instead of linting")
     args = parser.parse_args()
+    if args.self_test:
+        return self_test()
     root = args.root.resolve()
 
     scan_dirs = sorted(set(SOURCE_DIRS) | set(HEADER_GUARD_DIRS))
@@ -205,6 +292,9 @@ def main() -> int:
             print(f"{rel}:{lineno}: {rule}: {message}")
             failures += 1
     for rel, lineno, rule, message in build_file_findings(root):
+        print(f"{rel}:{lineno}: {rule}: {message}")
+        failures += 1
+    for rel, lineno, rule, message in kernel_ffp_findings(root):
         print(f"{rel}:{lineno}: {rule}: {message}")
         failures += 1
 
