@@ -1,0 +1,79 @@
+// Copyright (c) 2026 The planar Authors. Licensed under the MIT license.
+//
+// Lock-order registry backing PLANAR_VALIDATE_LOCK_ORDER (common/mutex.h).
+// Each thread keeps a stack of the Mutexes it currently holds; acquiring
+// a Mutex already on the stack (recursive acquisition — UB on
+// std::shared_mutex) or a ranked Mutex whose rank is not strictly
+// greater than every ranked Mutex already held (a lock-order inversion,
+// the necessary condition for deadlock) aborts with a PLANAR_CHECK-style
+// message. The validator complements the compile-time thread-safety
+// analysis: Clang's attribute set can prove what is held at each access
+// but cannot express a global acquisition order.
+
+#include "common/mutex.h"
+
+#include <cstddef>
+#include <cstdio>
+#include <cstdlib>
+#include <vector>
+
+namespace planar {
+namespace internal {
+namespace {
+
+struct HeldLock {
+  const void* mu;
+  int rank;
+};
+
+// Release order need not mirror acquisition order (guards in sibling
+// scopes unwind independently), so releases erase by identity rather
+// than popping the top.
+thread_local std::vector<HeldLock> held_locks;
+
+}  // namespace
+
+void LockOrderCheckAcquire(const void* mu, int rank) {
+  for (const HeldLock& held : held_locks) {
+    if (held.mu == mu) {
+      std::fprintf(stderr,
+                   "PLANAR_CHECK failed: lock-order violation: recursive "
+                   "acquisition of Mutex %p (rank %d)\n",
+                   mu, rank);
+      std::abort();
+    }
+    if (rank != kLockRankUnranked && held.rank != kLockRankUnranked &&
+        held.rank >= rank) {
+      std::fprintf(stderr,
+                   "PLANAR_CHECK failed: lock-order violation: acquiring "
+                   "Mutex %p with rank %d while holding Mutex %p with rank "
+                   "%d (ranks must strictly increase along every "
+                   "acquisition chain; see the lock-rank table in "
+                   "common/mutex.h)\n",
+                   mu, rank, held.mu, held.rank);
+      std::abort();
+    }
+  }
+}
+
+void LockOrderAcquired(const void* mu, int rank) {
+  held_locks.push_back(HeldLock{mu, rank});
+}
+
+void LockOrderReleased(const void* mu) {
+  for (size_t i = held_locks.size(); i > 0; --i) {
+    if (held_locks[i - 1].mu == mu) {
+      held_locks.erase(held_locks.begin() +
+                       static_cast<std::ptrdiff_t>(i - 1));
+      return;
+    }
+  }
+  std::fprintf(stderr,
+               "PLANAR_CHECK failed: lock-order violation: releasing Mutex "
+               "%p this thread does not hold\n",
+               mu);
+  std::abort();
+}
+
+}  // namespace internal
+}  // namespace planar

@@ -271,7 +271,13 @@ std::vector<Result<InequalityResult>> PlanarIndexSet::BatchInequality(
           active.push_back(next++);
         }
         // Retire finished intervals and poll deadlines — one poll per
-        // (query, block), the serial VerifyBlocks cadence.
+        // (query, block), the serial VerifyBlocks cadence. Memory-order
+        // audit: unlike the sharded verifier (planar_index.cc), the
+        // batch walk is single-threaded, so the poll is a plain call on
+        // an immutable Deadline — no atomic flag, and nothing to order.
+        // If this loop is ever sharded, cancellation must adopt the
+        // relaxed-atomic advisory-flag + authoritative-post-join-load
+        // pattern documented in VerifyCandidatesParallel.
         size_t na = 0;
         for (const size_t idx : active) {
           const IntervalQuery& iq = intervals[idx];

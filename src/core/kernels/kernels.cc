@@ -66,6 +66,10 @@ constexpr DotOps kScalarOps = {&DotOneScalar, &DotGatherScalar,
                                "scalar"};
 
 bool SimdDisabledByEnv() {
+  // Read exactly once, from the dispatch latch below, before any worker
+  // threads exist; nothing in the library calls setenv, so the
+  // concurrent-getenv hazard clang-tidy guards against cannot arise.
+  // NOLINTNEXTLINE(concurrency-mt-unsafe)
   const char* env = std::getenv("PLANAR_DISABLE_SIMD");
   if (env == nullptr || env[0] == '\0') return false;
   return !(env[0] == '0' && env[1] == '\0');

@@ -493,8 +493,12 @@ bool PlanarIndex::VerifyCandidatesParallel(const NormalizedQuery& q,
   // Cooperative cancellation across shards: the first shard to observe an
   // expired deadline raises the flag; every other shard sees it at its
   // next block boundary and stops. Relaxed ordering suffices — the flag
-  // only accelerates shutdown, the authoritative answer is the post-join
-  // load below, which ParallelFor's join synchronizes with.
+  // only accelerates shutdown (a shard that misses a racing store merely
+  // verifies one more block), and the authoritative answer is the
+  // post-join load below, which ParallelFor's join synchronizes with.
+  // Strengthening to acquire/release would buy nothing; weakening is
+  // impossible (relaxed is the floor). Do not replace the flag with a
+  // plain bool: concurrent shards store and load it without any lock.
   std::atomic<bool> expired(false);
   ParallelFor(
       shards,
@@ -507,6 +511,9 @@ bool PlanarIndex::VerifyCandidatesParallel(const NormalizedQuery& q,
         const bool done = VerifyBlocks(
             q, phi_->data(), phi_->dim(), ids + begin, end - begin,
             [&] {
+              // relaxed-ok: advisory fast-exit flag; the post-join load
+              // is the authoritative answer (see the comment at the
+              // declaration above).
               if (expired.load(std::memory_order_relaxed)) return true;
               if (!deadline.Expired()) return false;
               expired.store(true, std::memory_order_relaxed);
@@ -516,6 +523,9 @@ bool PlanarIndex::VerifyCandidatesParallel(const NormalizedQuery& q,
         (void)done;
       },
       shards);
+  // relaxed-ok: ParallelFor's join happens-before this load, so every
+  // shard's store (any order) is already visible; no flag-based
+  // synchronization is being relied on.
   if (expired.load(std::memory_order_relaxed)) return false;
   // Merge in shard order: shard s holds accepted ids of candidate range
   // [s*chunk, (s+1)*chunk) in candidate order, so concatenation

@@ -6,17 +6,24 @@
 // kResourceExhausted instead of stalling the caller. Consumers pop in
 // batches; a blocking PopBatch returns 0 only after Close() once the
 // queue has drained, so workers exit cleanly without a poison pill.
+//
+// Synchronization goes through the annotated planar::Mutex layer
+// (common/mutex.h): items_ and closed_ are GUARDED_BY(mu_), PopLocked
+// REQUIRES(mu_), and the public API EXCLUDES(mu_) — Clang's
+// thread-safety analysis proves the drain invariant's locking structure
+// ("every admitted item is popped under the same mutex that admitted
+// it") at compile time.
 
 #ifndef PLANAR_ENGINE_BOUNDED_QUEUE_H_
 #define PLANAR_ENGINE_BOUNDED_QUEUE_H_
 
 #include <chrono>
-#include <condition_variable>
 #include <cstddef>
 #include <deque>
-#include <mutex>
 #include <utility>
 #include <vector>
+
+#include "common/mutex.h"
 
 namespace planar {
 
@@ -32,22 +39,23 @@ class BoundedQueue {
   /// Enqueues `item` unless the queue is full or closed; never blocks.
   /// Returns false (leaving `item` moved-from only on success) when the
   /// element was not admitted.
-  bool TryPush(T&& item) {
+  bool TryPush(T&& item) PLANAR_EXCLUDES(mu_) {
     {
-      std::lock_guard<std::mutex> lock(mu_);
+      MutexLock lock(&mu_);
       if (closed_ || items_.size() >= capacity_) return false;
       items_.push_back(std::move(item));
     }
-    ready_.notify_one();
+    ready_.Signal();
     return true;
   }
 
   /// Blocks until at least one item is available or the queue is closed,
   /// then moves up to `max_batch` items into `out` (appended). Returns
   /// the number of items popped; 0 means closed-and-drained.
-  size_t PopBatch(std::vector<T>* out, size_t max_batch) {
-    std::unique_lock<std::mutex> lock(mu_);
-    ready_.wait(lock, [this] { return closed_ || !items_.empty(); });
+  size_t PopBatch(std::vector<T>* out, size_t max_batch)
+      PLANAR_EXCLUDES(mu_) {
+    MutexLock lock(&mu_);
+    while (!closed_ && items_.empty()) ready_.Wait(&mu_);
     return PopLocked(out, max_batch);
   }
 
@@ -60,9 +68,10 @@ class BoundedQueue {
   /// PopBatch. Returns the number of items popped; 0 means
   /// closed-and-drained.
   size_t PopBatchLinger(std::vector<T>* out, size_t max_batch,
-                        std::chrono::nanoseconds linger) {
-    std::unique_lock<std::mutex> lock(mu_);
-    ready_.wait(lock, [this] { return closed_ || !items_.empty(); });
+                        std::chrono::nanoseconds linger)
+      PLANAR_EXCLUDES(mu_) {
+    MutexLock lock(&mu_);
+    while (!closed_ && items_.empty()) ready_.Wait(&mu_);
     size_t popped = PopLocked(out, max_batch);
     if (popped == 0 || popped >= max_batch ||
         linger <= std::chrono::nanoseconds::zero()) {
@@ -70,10 +79,11 @@ class BoundedQueue {
     }
     const auto deadline = std::chrono::steady_clock::now() + linger;
     while (popped < max_batch) {
-      const bool signaled = ready_.wait_until(
-          lock, deadline, [this] { return closed_ || !items_.empty(); });
-      if (!signaled) break;  // linger expired
-      if (items_.empty()) break;  // closed and drained
+      bool timed_out = false;
+      while (!closed_ && items_.empty() && !timed_out) {
+        timed_out = !ready_.WaitUntil(&mu_, deadline);
+      }
+      if (items_.empty()) break;  // linger expired, or closed and drained
       popped += PopLocked(out, max_batch - popped);
     }
     return popped;
@@ -81,30 +91,31 @@ class BoundedQueue {
 
   /// Non-blocking variant: pops whatever is immediately available, up to
   /// `max_batch`. Used by the manual (0-worker) execution mode.
-  size_t TryPopBatch(std::vector<T>* out, size_t max_batch) {
-    std::lock_guard<std::mutex> lock(mu_);
+  size_t TryPopBatch(std::vector<T>* out, size_t max_batch)
+      PLANAR_EXCLUDES(mu_) {
+    MutexLock lock(&mu_);
     return PopLocked(out, max_batch);
   }
 
   /// Rejects all future pushes and wakes every blocked consumer. Items
   /// already queued remain poppable (close-then-drain).
-  void Close() {
+  void Close() PLANAR_EXCLUDES(mu_) {
     {
-      std::lock_guard<std::mutex> lock(mu_);
+      MutexLock lock(&mu_);
       closed_ = true;
     }
-    ready_.notify_all();
+    ready_.SignalAll();
   }
 
   /// Current number of queued items.
-  size_t size() const {
-    std::lock_guard<std::mutex> lock(mu_);
+  size_t size() const PLANAR_EXCLUDES(mu_) {
+    MutexLock lock(&mu_);
     return items_.size();
   }
 
   /// True once Close() has been called.
-  bool closed() const {
-    std::lock_guard<std::mutex> lock(mu_);
+  bool closed() const PLANAR_EXCLUDES(mu_) {
+    MutexLock lock(&mu_);
     return closed_;
   }
 
@@ -112,7 +123,8 @@ class BoundedQueue {
   size_t capacity() const { return capacity_; }
 
  private:
-  size_t PopLocked(std::vector<T>* out, size_t max_batch) {
+  size_t PopLocked(std::vector<T>* out, size_t max_batch)
+      PLANAR_REQUIRES(mu_) {
     size_t popped = 0;
     while (popped < max_batch && !items_.empty()) {
       out->push_back(std::move(items_.front()));
@@ -123,10 +135,10 @@ class BoundedQueue {
   }
 
   const size_t capacity_;
-  mutable std::mutex mu_;
-  std::condition_variable ready_;
-  std::deque<T> items_;
-  bool closed_ = false;
+  mutable Mutex mu_{kLockRankEngineQueue};
+  CondVar ready_;
+  std::deque<T> items_ PLANAR_GUARDED_BY(mu_);
+  bool closed_ PLANAR_GUARDED_BY(mu_) = false;
 };
 
 }  // namespace planar

@@ -10,7 +10,7 @@ Catalog::SetPtr Catalog::Install(const std::string& name,
                                  PlanarIndexSet set) {
   SetPtr snapshot = std::make_shared<const PlanarIndexSet>(std::move(set));
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(&mu_);
     sets_[name] = snapshot;
   }
   version_.fetch_add(1, std::memory_order_acq_rel);
@@ -31,7 +31,7 @@ Result<Catalog::SetPtr> Catalog::BuildAndInstall(
 bool Catalog::Drop(const std::string& name) {
   SetPtr doomed;  // destroyed outside the lock
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(&mu_);
     auto it = sets_.find(name);
     if (it == sets_.end()) return false;
     doomed = std::move(it->second);
@@ -42,21 +42,21 @@ bool Catalog::Drop(const std::string& name) {
 }
 
 Catalog::SetPtr Catalog::Find(const std::string& name) const {
-  std::lock_guard<std::mutex> lock(mu_);
+  ReaderMutexLock lock(&mu_);
   auto it = sets_.find(name);
   return it == sets_.end() ? nullptr : it->second;
 }
 
 std::vector<std::string> Catalog::Names() const {
   std::vector<std::string> names;
-  std::lock_guard<std::mutex> lock(mu_);
+  ReaderMutexLock lock(&mu_);
   names.reserve(sets_.size());
   for (const auto& [name, set] : sets_) names.push_back(name);
   return names;
 }
 
 size_t Catalog::size() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  ReaderMutexLock lock(&mu_);
   return sets_.size();
 }
 

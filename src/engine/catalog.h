@@ -15,11 +15,11 @@
 #include <cstdint>
 #include <map>
 #include <memory>
-#include <mutex>
 #include <string>
 #include <utility>
 #include <vector>
 
+#include "common/mutex.h"
 #include "core/index_set.h"
 
 namespace planar {
@@ -36,7 +36,8 @@ class Catalog {
   /// Installs (or replaces) the entry `name`. The set is frozen behind a
   /// const pointer; in-flight readers of a previous version are
   /// unaffected. Returns the installed snapshot.
-  SetPtr Install(const std::string& name, PlanarIndexSet set);
+  SetPtr Install(const std::string& name, PlanarIndexSet set)
+      PLANAR_EXCLUDES(mu_);
 
   /// Builds a set with `options` (its build_threads overridden by
   /// `build_threads`, default 0 = all hardware threads: an explicit
@@ -46,28 +47,32 @@ class Catalog {
   Result<SetPtr> BuildAndInstall(const std::string& name, PhiMatrix phi,
                                  const std::vector<ParameterDomain>& domains,
                                  IndexSetOptions options = IndexSetOptions(),
-                                 size_t build_threads = 0);
+                                 size_t build_threads = 0)
+      PLANAR_EXCLUDES(mu_);
 
   /// Removes `name`. Returns false when no such entry exists. Readers
   /// holding the snapshot keep it alive until they finish.
-  bool Drop(const std::string& name);
+  bool Drop(const std::string& name) PLANAR_EXCLUDES(mu_);
 
   /// The current snapshot for `name`, or nullptr when absent. O(log r).
-  SetPtr Find(const std::string& name) const;
+  /// Takes the lock in shared mode: concurrent Find/Names/size calls
+  /// never serialize behind each other, only behind the short exclusive
+  /// pointer swap of Install/Drop.
+  SetPtr Find(const std::string& name) const PLANAR_EXCLUDES(mu_);
 
   /// All entry names, sorted.
-  std::vector<std::string> Names() const;
+  std::vector<std::string> Names() const PLANAR_EXCLUDES(mu_);
 
   /// Number of entries.
-  size_t size() const;
+  size_t size() const PLANAR_EXCLUDES(mu_);
 
   /// Monotone counter bumped by every Install and successful Drop; lets
   /// callers detect churn between two observations.
   uint64_t version() const { return version_.load(std::memory_order_acquire); }
 
  private:
-  mutable std::mutex mu_;
-  std::map<std::string, SetPtr> sets_;
+  mutable Mutex mu_{kLockRankCatalog};
+  std::map<std::string, SetPtr> sets_ PLANAR_GUARDED_BY(mu_);
   std::atomic<uint64_t> version_{0};
 };
 

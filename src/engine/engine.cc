@@ -71,6 +71,8 @@ DebugSnapshot Engine::Snapshot() const {
   snapshot.batch_occupancy = metrics_.batch_occupancy();
   snapshot.rows_shared_per_query = metrics_.rows_shared_per_query();
   snapshot.queue_depth = queue_.size();
+  // relaxed-ok: best-effort gauge; a snapshot is allowed to be
+  // momentarily behind while requests are moving (see header contract).
   snapshot.in_flight = in_flight_.load(std::memory_order_relaxed);
   snapshot.workers = workers_.size();
   snapshot.catalog_entries = catalog_->size();
@@ -148,6 +150,9 @@ void Engine::RunBatch(std::vector<Pending>& batch) {
   for (size_t i = 0; i < batch.size(); ++i) {
     if (grouped[i]) continue;
     Pending& pending = batch[i];
+    // relaxed-ok: in_flight_ is a monitoring gauge only — nothing
+    // synchronizes on it, and Drain() correctness rests on the queue
+    // mutex plus thread joins, not this counter.
     in_flight_.fetch_add(1, std::memory_order_relaxed);
     const double queue_millis = pending.queued.ElapsedMillis();
     WallTimer execute_timer;
@@ -157,12 +162,14 @@ void Engine::RunBatch(std::vector<Pending>& batch) {
     metrics_.OnCompleted(response.status, response.queue_millis,
                          response.execute_millis);
     pending.promise.set_value(std::move(response));
+    // relaxed-ok: monitoring gauge (see the fetch_add above).
     in_flight_.fetch_sub(1, std::memory_order_relaxed);
   }
 }
 
 void Engine::RunGroup(std::vector<Pending>& batch,
                       const std::vector<size_t>& members) {
+  // relaxed-ok: monitoring gauge, same contract as RunBatch above.
   in_flight_.fetch_add(members.size(), std::memory_order_relaxed);
   std::vector<double> queue_millis(members.size());
   for (size_t m = 0; m < members.size(); ++m) {
@@ -223,6 +230,7 @@ void Engine::RunGroup(std::vector<Pending>& batch,
       pending.promise.set_value(std::move(response));
     }
   }
+  // relaxed-ok: monitoring gauge (see the fetch_add above).
   in_flight_.fetch_sub(members.size(), std::memory_order_relaxed);
 }
 

@@ -35,13 +35,16 @@ void EngineMetrics::OnCompleted(const Status& status, double queue_millis,
   } else {
     Bump(&failed_);
   }
-  std::lock_guard<std::mutex> lock(hist_mu_);
+  MutexLock lock(&hist_mu_);
   latency_millis_.Add(execute_millis);
   queue_wait_millis_.Add(queue_millis);
 }
 
 EngineCounters EngineMetrics::counters() const {
   EngineCounters c;
+  // relaxed-ok: point-in-time copy of independent counters; the
+  // conservation laws are only promised exact after Drain(), whose
+  // thread joins order every prior Bump before this read.
   c.submitted = submitted_.load(std::memory_order_relaxed);
   c.admitted = admitted_.load(std::memory_order_relaxed);
   c.rejected_queue_full = rejected_queue_full_.load(std::memory_order_relaxed);
@@ -53,29 +56,29 @@ EngineCounters EngineMetrics::counters() const {
 }
 
 FixedBucketHistogram EngineMetrics::latency_millis() const {
-  std::lock_guard<std::mutex> lock(hist_mu_);
+  MutexLock lock(&hist_mu_);
   return latency_millis_;
 }
 
 void EngineMetrics::OnBatchExecuted(size_t occupancy,
                                     double rows_shared_per_query) {
-  std::lock_guard<std::mutex> lock(hist_mu_);
+  MutexLock lock(&hist_mu_);
   batch_occupancy_.Add(static_cast<double>(occupancy));
   rows_shared_per_query_.Add(rows_shared_per_query);
 }
 
 FixedBucketHistogram EngineMetrics::queue_wait_millis() const {
-  std::lock_guard<std::mutex> lock(hist_mu_);
+  MutexLock lock(&hist_mu_);
   return queue_wait_millis_;
 }
 
 FixedBucketHistogram EngineMetrics::batch_occupancy() const {
-  std::lock_guard<std::mutex> lock(hist_mu_);
+  MutexLock lock(&hist_mu_);
   return batch_occupancy_;
 }
 
 FixedBucketHistogram EngineMetrics::rows_shared_per_query() const {
-  std::lock_guard<std::mutex> lock(hist_mu_);
+  MutexLock lock(&hist_mu_);
   return rows_shared_per_query_;
 }
 

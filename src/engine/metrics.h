@@ -12,10 +12,10 @@
 
 #include <atomic>
 #include <cstdint>
-#include <mutex>
 #include <string>
 
 #include "common/histogram.h"
+#include "common/mutex.h"
 #include "common/status.h"
 
 namespace planar {
@@ -79,24 +79,29 @@ class EngineMetrics {
   /// Records one finished request: classifies `status` into the
   /// completion counters and feeds both histograms.
   void OnCompleted(const Status& status, double queue_millis,
-                   double execute_millis);
+                   double execute_millis) PLANAR_EXCLUDES(hist_mu_);
 
   /// Records one coalesced batch execution: how many requests it served
   /// and how many phi rows each of them got from a batch-mate's stream
   /// on average (BatchExecStats::RowsSharedPerQuery()).
-  void OnBatchExecuted(size_t occupancy, double rows_shared_per_query);
+  void OnBatchExecuted(size_t occupancy, double rows_shared_per_query)
+      PLANAR_EXCLUDES(hist_mu_);
 
   /// Consistent copy of the counters.
   EngineCounters counters() const;
 
   /// Copies of the histograms (bucket layouts included).
-  FixedBucketHistogram latency_millis() const;
-  FixedBucketHistogram queue_wait_millis() const;
-  FixedBucketHistogram batch_occupancy() const;
-  FixedBucketHistogram rows_shared_per_query() const;
+  FixedBucketHistogram latency_millis() const PLANAR_EXCLUDES(hist_mu_);
+  FixedBucketHistogram queue_wait_millis() const PLANAR_EXCLUDES(hist_mu_);
+  FixedBucketHistogram batch_occupancy() const PLANAR_EXCLUDES(hist_mu_);
+  FixedBucketHistogram rows_shared_per_query() const
+      PLANAR_EXCLUDES(hist_mu_);
 
  private:
   static void Bump(std::atomic<uint64_t>* c) {
+    // relaxed-ok: independent monotone counters; no reader infers
+    // cross-counter ordering from a single load (the conservation laws
+    // are only exact after Drain(), whose joins provide the ordering).
     c->fetch_add(1, std::memory_order_relaxed);
   }
 
@@ -108,11 +113,11 @@ class EngineMetrics {
   std::atomic<uint64_t> deadline_exceeded_{0};
   std::atomic<uint64_t> failed_{0};
 
-  mutable std::mutex hist_mu_;
-  FixedBucketHistogram latency_millis_;
-  FixedBucketHistogram queue_wait_millis_;
-  FixedBucketHistogram batch_occupancy_;
-  FixedBucketHistogram rows_shared_per_query_;
+  mutable Mutex hist_mu_{kLockRankEngineMetrics};
+  FixedBucketHistogram latency_millis_ PLANAR_GUARDED_BY(hist_mu_);
+  FixedBucketHistogram queue_wait_millis_ PLANAR_GUARDED_BY(hist_mu_);
+  FixedBucketHistogram batch_occupancy_ PLANAR_GUARDED_BY(hist_mu_);
+  FixedBucketHistogram rows_shared_per_query_ PLANAR_GUARDED_BY(hist_mu_);
 };
 
 }  // namespace planar

@@ -1,0 +1,275 @@
+// Copyright (c) 2026 The planar Authors. Licensed under the MIT license.
+//
+// Tests for the annotated synchronization layer (common/mutex.h):
+// exclusive and shared ownership semantics, condition-variable waits,
+// and — when the build arms PLANAR_VALIDATE_LOCK_ORDER — death tests
+// proving that out-of-rank, equal-rank, and recursive acquisitions
+// abort with the PLANAR_CHECK-style lock-order diagnostic.
+
+#include "common/mutex.h"
+
+#include <chrono>
+#include <cstddef>
+#include <thread>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+namespace planar {
+namespace {
+
+TEST(MutexTest, MutexLockProvidesMutualExclusion) {
+  constexpr size_t kThreads = 4;
+  constexpr int kIncrementsPerThread = 20000;
+  Mutex mu;
+  int counter = 0;
+  std::vector<std::thread> threads;
+  threads.reserve(kThreads);
+  for (size_t t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&mu, &counter] {
+      for (int i = 0; i < kIncrementsPerThread; ++i) {
+        MutexLock lock(&mu);
+        ++counter;
+      }
+    });
+  }
+  for (std::thread& t : threads) t.join();
+  EXPECT_EQ(counter, static_cast<int>(kThreads) * kIncrementsPerThread);
+}
+
+TEST(MutexTest, TryLockFailsWhileHeldExclusively) {
+  Mutex mu;
+  mu.Lock();
+  std::thread contender([&mu] {
+    const bool acquired = mu.TryLock();
+    EXPECT_FALSE(acquired);
+    if (acquired) mu.Unlock();
+  });
+  contender.join();
+  mu.Unlock();
+  std::thread winner([&mu] {
+    const bool acquired = mu.TryLock();
+    EXPECT_TRUE(acquired);
+    if (acquired) mu.Unlock();
+  });
+  winner.join();
+}
+
+TEST(MutexTest, ReadersShareWritersExclude) {
+  Mutex mu;
+  mu.ReaderLock();
+  std::thread peer([&mu] {
+    // A second reader gets in while the first still holds the lock...
+    const bool reader = mu.ReaderTryLock();
+    EXPECT_TRUE(reader);
+    if (reader) mu.ReaderUnlock();
+    // ...but a writer does not.
+    const bool writer = mu.TryLock();
+    EXPECT_FALSE(writer);
+    if (writer) mu.Unlock();
+  });
+  peer.join();
+  mu.ReaderUnlock();
+  std::thread writer([&mu] {
+    const bool acquired = mu.TryLock();
+    EXPECT_TRUE(acquired);
+    if (acquired) mu.Unlock();
+  });
+  writer.join();
+}
+
+TEST(MutexTest, RankIsRecorded) {
+  Mutex unranked;
+  Mutex ranked(kLockRankCatalog);
+  EXPECT_EQ(unranked.rank(), kLockRankUnranked);
+  EXPECT_EQ(ranked.rank(), kLockRankCatalog);
+}
+
+TEST(CondVarTest, WaitWakesOnSignal) {
+  Mutex mu;
+  CondVar cv;
+  bool ready = false;
+  std::thread producer([&] {
+    {
+      MutexLock lock(&mu);
+      ready = true;
+    }
+    cv.Signal();
+  });
+  {
+    MutexLock lock(&mu);
+    while (!ready) cv.Wait(&mu);
+    EXPECT_TRUE(ready);
+  }
+  producer.join();
+}
+
+TEST(CondVarTest, WaitUntilPastDeadlineReturnsFalseWithoutBlocking) {
+  Mutex mu;
+  CondVar cv;
+  MutexLock lock(&mu);
+  const auto past =
+      std::chrono::steady_clock::now() - std::chrono::seconds(1);
+  EXPECT_FALSE(cv.WaitUntil(&mu, past));
+}
+
+TEST(CondVarTest, WaitUntilFutureDeadlineEventuallyTimesOut) {
+  Mutex mu;
+  CondVar cv;
+  const auto deadline =
+      std::chrono::steady_clock::now() + std::chrono::milliseconds(20);
+  MutexLock lock(&mu);
+  // Nobody signals: spurious wakeups may return true, but the deadline
+  // must eventually surface as a false return.
+  while (cv.WaitUntil(&mu, deadline)) {
+  }
+  EXPECT_GE(std::chrono::steady_clock::now() + std::chrono::milliseconds(1),
+            deadline);
+}
+
+TEST(CondVarTest, SignalAllWakesEveryWaiter) {
+  constexpr size_t kWaiters = 3;
+  Mutex mu;
+  CondVar cv;
+  bool go = false;
+  size_t awake = 0;
+  std::vector<std::thread> waiters;
+  waiters.reserve(kWaiters);
+  for (size_t i = 0; i < kWaiters; ++i) {
+    waiters.emplace_back([&] {
+      MutexLock lock(&mu);
+      while (!go) cv.Wait(&mu);
+      ++awake;
+    });
+  }
+  {
+    MutexLock lock(&mu);
+    go = true;
+  }
+  cv.SignalAll();
+  for (std::thread& t : waiters) t.join();
+  MutexLock lock(&mu);
+  EXPECT_EQ(awake, kWaiters);
+}
+
+TEST(LockOrderTest, ValidationFlagMatchesBuildConfiguration) {
+#if defined(PLANAR_VALIDATE_LOCK_ORDER)
+  EXPECT_TRUE(kLockOrderValidationEnabled);
+#else
+  EXPECT_FALSE(kLockOrderValidationEnabled);
+#endif
+}
+
+// The nesting tests use static-duration mutexes: TSan's deadlock
+// detector keys its lock graph on mutex addresses and keeps edges past
+// destruction, so stack-slot reuse across tests would fabricate an
+// inversion cycle between two independently-consistent chains.
+TEST(LockOrderTest, IncreasingRanksAreAccepted) {
+  // The sanctioned order: outermost (queue) -> catalog -> metrics leaf.
+  static Mutex outer(kLockRankEngineQueue);
+  static Mutex middle(kLockRankCatalog);
+  static Mutex inner(kLockRankEngineMetrics);
+  MutexLock a(&outer);
+  MutexLock b(&middle);
+  MutexLock c(&inner);
+  SUCCEED();
+}
+
+TEST(LockOrderTest, UnrankedMutexesAreExemptFromRankChecks) {
+  static Mutex first;
+  static Mutex second;
+  static Mutex ranked(kLockRankEngineQueue);
+  MutexLock a(&ranked);
+  MutexLock b(&first);   // unranked after ranked: allowed
+  MutexLock c(&second);  // unranked after unranked: allowed
+  SUCCEED();
+}
+
+#if defined(PLANAR_VALIDATE_LOCK_ORDER)
+
+// The helpers below violate locking discipline on purpose — that is the
+// behavior under test — so they are the one sanctioned test-side use of
+// the analysis escape hatch (the validator, not the static analysis, is
+// the checker that must catch them).
+void AcquireAgainstRankOrder() PLANAR_NO_THREAD_SAFETY_ANALYSIS {
+  Mutex outer(kLockRankCatalog);
+  Mutex inner(kLockRankEngineQueue);
+  outer.Lock();
+  inner.Lock();  // rank 100 after rank 200: must abort
+  inner.Unlock();
+  outer.Unlock();
+}
+
+void AcquireEqualRanks() PLANAR_NO_THREAD_SAFETY_ANALYSIS {
+  Mutex a(kLockRankCatalog);
+  Mutex b(kLockRankCatalog);
+  a.Lock();
+  b.Lock();  // equal ranks never nest: must abort
+  b.Unlock();
+  a.Unlock();
+}
+
+void AcquireRecursively() PLANAR_NO_THREAD_SAFETY_ANALYSIS {
+  Mutex mu;
+  mu.Lock();
+  mu.Lock();  // recursive acquisition is UB on the raw mutex: must abort
+  mu.Unlock();
+}
+
+void AcquireRecursivelyAsReaderAfterWriter()
+    PLANAR_NO_THREAD_SAFETY_ANALYSIS {
+  Mutex mu;
+  mu.Lock();
+  mu.ReaderLock();  // shared-after-exclusive on one thread: must abort
+  mu.ReaderUnlock();
+  mu.Unlock();
+}
+
+TEST(LockOrderDeathTest, OutOfRankAcquisitionAborts) {
+  EXPECT_DEATH(AcquireAgainstRankOrder(),
+               "lock-order violation: acquiring Mutex .* with rank 100 "
+               "while holding Mutex .* with rank 200");
+}
+
+TEST(LockOrderDeathTest, EqualRankAcquisitionAborts) {
+  EXPECT_DEATH(AcquireEqualRanks(), "lock-order violation");
+}
+
+TEST(LockOrderDeathTest, RecursiveAcquisitionAborts) {
+  EXPECT_DEATH(AcquireRecursively(),
+               "lock-order violation: recursive acquisition");
+}
+
+TEST(LockOrderDeathTest, ReaderAfterWriterOnSameMutexAborts) {
+  EXPECT_DEATH(AcquireRecursivelyAsReaderAfterWriter(),
+               "lock-order violation: recursive acquisition");
+}
+
+TEST(LockOrderTest, WaitCycleKeepsRegistryExact) {
+  // A wait releases and reacquires its mutex through the registry; a
+  // correctly-ordered acquisition after the wait must still pass, and
+  // the post-wait hold is still tracked (the unlock balances it).
+  Mutex mu(kLockRankEngineQueue);
+  CondVar cv;
+  {
+    MutexLock lock(&mu);
+    const auto past =
+        std::chrono::steady_clock::now() - std::chrono::seconds(1);
+    (void)cv.WaitUntil(&mu, past);
+    Mutex inner(kLockRankCatalog);
+    MutexLock nested(&inner);  // rank 200 after rank 100: still legal
+  }
+  SUCCEED();
+}
+
+#else
+
+TEST(LockOrderDeathTest, SkippedWithoutValidator) {
+  GTEST_SKIP() << "build with -DPLANAR_VALIDATE_LOCK_ORDER=ON (the "
+                  "lockorder preset) to arm the lock-order validator";
+}
+
+#endif  // PLANAR_VALIDATE_LOCK_ORDER
+
+}  // namespace
+}  // namespace planar

@@ -19,6 +19,24 @@ Rules (library code under src/ unless stated otherwise):
                     library spawns (e.g. the engine's worker pool under
                     src/engine) must be joined so shutdown is a
                     deterministic drain, never a process-exit race.
+  sync-via-common-mutex
+                    raw standard synchronization primitives (std::mutex
+                    and friends, std::lock_guard / std::unique_lock /
+                    std::scoped_lock / std::shared_lock,
+                    std::condition_variable[_any]) are forbidden in src/
+                    outside common/mutex.{h,cc}: all locking goes
+                    through the capability-annotated planar::Mutex /
+                    MutexLock / ReaderMutexLock / CondVar wrappers so
+                    Clang's thread-safety analysis (-Werror=thread-safety
+                    on clang builds) sees every critical section.
+  relaxed-atomic-comment
+                    every `std::memory_order_relaxed` use in src/ must
+                    carry a `relaxed-ok:` comment (same line or within
+                    the 8 lines above; consecutive uses chain) stating
+                    why relaxed ordering suffices at that site — the
+                    same annotate-the-contract discipline as the kernel
+                    rules, so future edits cannot silently weaken a
+                    cancellation flag or counter into a race.
   header-guards     every .h under src/, tests/, and bench/ must open with
                     `#ifndef PLANAR_<PATH>_<FILE>_H_` + matching #define
                     derived from its repo-relative path.
@@ -69,6 +87,18 @@ RE_STDOUT = re.compile(
 )
 RE_ASSERT = re.compile(r"(?<![A-Za-z0-9_])assert\s*\(")
 RE_DETACH = re.compile(r"\.\s*detach\s*\(\s*\)")
+# Raw standard synchronization primitives (sync-via-common-mutex). The
+# annotated wrappers in src/common/mutex.{h,cc} are the only files
+# allowed to name these.
+RE_RAW_SYNC = re.compile(
+    r"std::(?:recursive_mutex|timed_mutex|recursive_timed_mutex"
+    r"|shared_mutex|shared_timed_mutex|mutex"
+    r"|lock_guard|unique_lock|scoped_lock|shared_lock"
+    r"|condition_variable_any|condition_variable)\b")
+SYNC_EXEMPT_FILES = {Path("src/common/mutex.h"), Path("src/common/mutex.cc")}
+# Number of lines above a memory_order_relaxed use within which a
+# `relaxed-ok:` comment (or a previously covered use) must appear.
+RELAXED_COMMENT_WINDOW = 8
 # std::sort(<first-arg>, ...) where the sorted container smells like index
 # keys or (key, id) entries.
 RE_CORE_SORT = re.compile(
@@ -124,7 +154,12 @@ def findings_for_file(root: Path, path: Path):
     lines = code.splitlines()
 
     if str(rel.parts[0]) in SOURCE_DIRS:
+        raw_lines = text.splitlines()
+        last_relaxed_ok = -10**9  # line of the newest relaxed-ok comment
         for lineno, line in enumerate(lines, start=1):
+            raw = raw_lines[lineno - 1] if lineno <= len(raw_lines) else ""
+            if "relaxed-ok:" in raw:
+                last_relaxed_ok = lineno
             if RE_EXCEPTION.search(line):
                 yield (rel, lineno, "no-exceptions",
                        "throw/try is forbidden in library code; use "
@@ -141,6 +176,22 @@ def findings_for_file(root: Path, path: Path):
                 yield (rel, lineno, "no-detached-threads",
                        "library threads must be joined (graceful "
                        "drain), never detached")
+            if rel not in SYNC_EXEMPT_FILES and RE_RAW_SYNC.search(line):
+                yield (rel, lineno, "sync-via-common-mutex",
+                       "raw std synchronization primitives are forbidden "
+                       "in library code; use the annotated planar::Mutex "
+                       "/ MutexLock / ReaderMutexLock / CondVar wrappers "
+                       "(common/mutex.h) so the thread-safety analysis "
+                       "sees the critical section")
+            if "memory_order_relaxed" in line:
+                if lineno - last_relaxed_ok <= RELAXED_COMMENT_WINDOW:
+                    last_relaxed_ok = lineno  # consecutive uses chain
+                else:
+                    yield (rel, lineno, "relaxed-atomic-comment",
+                           "memory_order_relaxed needs a nearby "
+                           "'relaxed-ok:' comment stating why relaxed "
+                           "ordering suffices at this site (and what the "
+                           "authoritative synchronization is)")
 
     if (len(rel.parts) > 2 and rel.parts[0] == "src" and rel.parts[1] == "core"
             and not rel.name.startswith("sort_util")):
@@ -262,7 +313,66 @@ def self_test() -> int:
                   f"kernel-ffp-contract finding(s), got {got}",
                   file=sys.stderr)
             return 1
-    print(f"planar_lint: self-test OK ({len(cases)} fixture cases)")
+
+    def write_source(rel_path: str, content: str) -> Path:
+        root = Path(tempfile.mkdtemp(prefix="planar_lint_selftest_"))
+        target = root / rel_path
+        target.parent.mkdir(parents=True)
+        target.write_text(content)
+        return root
+
+    # (path, file content, rule expected to fire, expected finding count)
+    file_cases = [
+        # sync-via-common-mutex: raw primitives outside common/mutex.h.
+        # (one finding per offending line, like the other line rules)
+        ("src/engine/fixture.cc",
+         "#include <mutex>\nstd::mutex mu;\nstd::lock_guard<std::mutex> "
+         "l(mu);\n", "sync-via-common-mutex", 2),
+        ("src/engine/fixture.cc",
+         "void f() { std::condition_variable_any cv; }\n",
+         "sync-via-common-mutex", 1),
+        # ... but common/mutex.h itself may name them,
+        ("src/common/mutex.cc", "std::shared_mutex raw;\n",
+         "sync-via-common-mutex", 0),
+        # and comments / planar wrappers never fire.
+        ("src/engine/fixture.cc",
+         "// std::mutex is forbidden here\nplanar::Mutex mu;\n"
+         "planar::MutexLock lock(&mu);\n", "sync-via-common-mutex", 0),
+        # relaxed-atomic-comment: bare relaxed load fires,
+        ("src/core/fixture.cc",
+         "int f() { return x.load(std::memory_order_relaxed); }\n",
+         "relaxed-atomic-comment", 1),
+        # a same-line or preceding relaxed-ok: comment covers it,
+        ("src/core/fixture.cc",
+         "// relaxed-ok: advisory flag; join is authoritative.\n"
+         "int f() { return x.load(std::memory_order_relaxed); }\n",
+         "relaxed-atomic-comment", 0),
+        # consecutive uses chain through one comment,
+        ("src/core/fixture.cc",
+         "// relaxed-ok: independent counters.\n"
+         + "x.fetch_add(1, std::memory_order_relaxed);\n" * 12,
+         "relaxed-atomic-comment", 0),
+        # and a comment too far above does not cover the use.
+        ("src/core/fixture.cc",
+         "// relaxed-ok: stale justification.\n" + "\n" * 10
+         + "int f() { return x.load(std::memory_order_relaxed); }\n",
+         "relaxed-atomic-comment", 1),
+        # acquire/release orderings need no comment.
+        ("src/core/fixture.cc",
+         "int f() { return x.load(std::memory_order_acquire); }\n",
+         "relaxed-atomic-comment", 0),
+    ]
+    for i, (rel_path, content, rule, want) in enumerate(file_cases):
+        root = write_source(rel_path, content)
+        path = root / rel_path
+        got = [f for f in findings_for_file(root, path) if f[2] == rule]
+        if len(got) != want:
+            print(f"planar_lint: self-test file case {i} FAILED: expected "
+                  f"{want} {rule} finding(s), got {got}", file=sys.stderr)
+            return 1
+
+    total = len(cases) + len(file_cases)
+    print(f"planar_lint: self-test OK ({total} fixture cases)")
     return 0
 
 
