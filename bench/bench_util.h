@@ -22,6 +22,12 @@
 #define PLANAR_GIT_SHA "unknown"
 #endif
 
+// Injected by bench/CMakeLists.txt at configure time (UTC, ISO-8601);
+// "unknown" when the header is compiled outside the bench tree.
+#ifndef PLANAR_BUILD_UTC
+#define PLANAR_BUILD_UTC "unknown"
+#endif
+
 namespace planar {
 namespace bench {
 
@@ -44,7 +50,8 @@ inline std::string CompilerId() {
 /// matches the host they were measured on.
 inline std::string JsonStamp() {
   return std::string(",\"git_sha\":\"") + PLANAR_GIT_SHA +
-         "\",\"compiler\":\"" + CompilerId() + "\",\"host_threads\":" +
+         "\",\"build_utc\":\"" + PLANAR_BUILD_UTC + "\",\"compiler\":\"" +
+         CompilerId() + "\",\"host_threads\":" +
          std::to_string(std::thread::hardware_concurrency());
 }
 

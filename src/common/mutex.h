@@ -102,6 +102,14 @@ inline constexpr int kLockRankUnranked = -1;  ///< exempt from rank checks
 /// Engine admission queue (BoundedQueue::mu_): outermost — held only
 /// within queue methods, never while calling into catalog or metrics.
 inline constexpr int kLockRankEngineQueue = 100;
+/// Ingest manager registry (IngestManager::mu_): maps target names to
+/// shards; held only for the lookup, released before any shard work.
+inline constexpr int kLockRankIngestManager = 140;
+/// Ingest shard state (IngestManager::Shard::mu_): guards the delta
+/// epoch and merger handshake. Sits between the manager registry and the
+/// catalog because the merger installs (kLockRankCatalog) while advancing
+/// the shard epoch under this lock's protocol.
+inline constexpr int kLockRankIngestDelta = 150;
 /// Catalog snapshot map (Catalog::mu_): may be acquired while no queue
 /// lock is held; index-set builds happen outside it by design.
 inline constexpr int kLockRankCatalog = 200;

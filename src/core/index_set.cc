@@ -334,6 +334,41 @@ Status PlanarIndexSet::AppendRow(const double* phi_values) {
   return Status::OK();
 }
 
+Status PlanarIndexSet::AppendRows(const double* rows, size_t count) {
+  if (count == 0) return Status::OK();
+  const uint32_t first = static_cast<uint32_t>(phi_->size());
+  const size_t dim = phi_->dim();
+  for (size_t i = 0; i < count; ++i) {
+    phi_->AppendRow(rows + i * dim);
+  }
+  for (PlanarIndex& index : indices_) {
+    if (!index.AppendBatch(first, count)) {
+      index.Rebuild();
+      ++rebuild_count_;
+    }
+  }
+  return Status::OK();
+}
+
+Result<PlanarIndexSet> PlanarIndexSet::Clone() const {
+  for (const PlanarIndex& index : indices_) {
+    if (index.backend() == PlanarIndexOptions::Backend::kBTree) {
+      return Status::FailedPrecondition(
+          "Clone supports the sorted-array backend only; the B+-tree "
+          "node store is not copyable");
+    }
+  }
+  PlanarIndexSet copy(PhiMatrix(*phi_), options_);
+  copy.rebuild_count_ = rebuild_count_;
+  copy.indices_.reserve(indices_.size());
+  for (const PlanarIndex& index : indices_) {
+    Result<PlanarIndex> cloned = index.CloneFor(copy.phi_.get());
+    if (!cloned.ok()) return cloned.status();
+    copy.indices_.push_back(std::move(cloned).value());
+  }
+  return copy;
+}
+
 size_t PlanarIndexSet::MemoryUsage() const {
   size_t total = sizeof(*this) + phi_->MemoryUsage();
   for (const PlanarIndex& index : indices_) total += index.MemoryUsage();

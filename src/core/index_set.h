@@ -197,6 +197,24 @@ class PlanarIndexSet {
   /// Appends one row of phi and maintains every index.
   Status AppendRow(const double* phi_values);
 
+  /// Appends `count` rows of phi (row-major, size() * dim doubles) and
+  /// maintains every index with one batched backward merge apiece —
+  /// O(r (n + k log k)) total instead of AppendRow's O(r k log n). The
+  /// bulk half of the ingest merge path (src/ingest): the merger clones
+  /// the installed set, appends the drained delta rows here, and installs
+  /// the result. Indices whose translation cannot absorb a new row are
+  /// rebuilt transparently (rebuild_count() advances), so the result is
+  /// always exact.
+  Status AppendRows(const double* rows, size_t count);
+
+  /// Deep copy sharing no storage with this set, so the copy can take
+  /// maintenance calls (AppendRows, UpdateRow) while the original keeps
+  /// serving queries behind a Catalog snapshot — the clone step of the
+  /// ingest merge. Sorted-array backend only: fails with
+  /// kFailedPrecondition when any index uses the B+-tree backend, whose
+  /// node store is not copyable.
+  Result<PlanarIndexSet> Clone() const;
+
   /// The owned phi matrix.
   const PhiMatrix& phi() const { return *phi_; }
   /// Number of points.

@@ -909,6 +909,85 @@ bool PlanarIndex::NotifyAppend(uint32_t row) {
   return true;
 }
 
+bool PlanarIndex::AppendBatch(uint32_t first_row, size_t count) {
+  PLANAR_CHECK_EQ(static_cast<size_t>(first_row), key_of_row_.size());
+  PLANAR_CHECK_EQ(static_cast<size_t>(first_row) + count, phi_->size());
+  if (count == 0) return true;
+  const size_t old_n = key_of_row_.size();
+  for (size_t i = 0; i < count; ++i) {
+    if (!translator_.Covers(phi_->row(old_n + i))) return false;
+  }
+  // One contiguous kernel call over the appended range: bit-identical to
+  // the per-row RawKey maintenance path and the Rebuild bulk path, so a
+  // batch-appended index and a rebuilt one carry the same keys.
+  key_of_row_.resize(old_n + count);
+  kernels::Ops().dot_range(signed_normal_.data(), signed_normal_.size(),
+                           phi_->data(), phi_->dim(), old_n, count,
+                           key_shift_, key_of_row_.data() + old_n);
+  if (options_.backend == PlanarIndexOptions::Backend::kBTree) {
+    for (size_t i = 0; i < count; ++i) {
+      tree_.Insert(key_of_row_[old_n + i],
+                   static_cast<uint32_t>(old_n + i));
+    }
+    return true;
+  }
+  // Sorted array: sort the k fresh entries and backward-merge them into
+  // the existing run in place — the same O(n + k log k) splice UpdateBatch
+  // uses, with the existing run already compact (nothing was displaced).
+  // The (key, id) tie order matches a full re-sort, so the result is
+  // identical to a Rebuild (machine-checked by ingest_test and the
+  // update_batch_test append-then-update case).
+  std::vector<OrderStatisticBTree::Entry> fresh(count);
+  for (size_t i = 0; i < count; ++i) {
+    fresh[i] = {key_of_row_[old_n + i], static_cast<uint32_t>(old_n + i)};
+  }
+  SortEntries(&fresh, options_.build_threads);
+  keys_.resize(old_n + count);
+  ids_.resize(old_n + count);
+  size_t a = old_n;         // end of the existing sorted run
+  size_t b = fresh.size();  // end of the fresh run
+  size_t out = old_n + count;  // write cursor, one past
+  while (b > 0) {
+    const OrderStatisticBTree::Entry& fb = fresh[b - 1];
+    if (a > 0 && (keys_[a - 1] > fb.key ||
+                  (keys_[a - 1] == fb.key && ids_[a - 1] > fb.value))) {
+      --a;
+      --out;
+      keys_[out] = keys_[a];
+      ids_[out] = ids_[a];
+    } else {
+      --b;
+      --out;
+      keys_[out] = fb.key;
+      ids_[out] = fb.value;
+    }
+  }
+  RefreshSearchLayout();
+  return true;
+}
+
+Result<PlanarIndex> PlanarIndex::CloneFor(const PhiMatrix* phi) const {
+  if (options_.backend == PlanarIndexOptions::Backend::kBTree) {
+    return Status::FailedPrecondition(
+        "CloneFor supports the sorted-array backend only; the B+-tree "
+        "node store is not copyable");
+  }
+  PLANAR_CHECK(phi != nullptr);
+  PLANAR_CHECK_EQ(phi->size(), phi_->size());
+  PlanarIndex copy;
+  copy.phi_ = phi;
+  copy.options_ = options_;
+  copy.translator_ = translator_;
+  copy.normal_ = normal_;
+  copy.signed_normal_ = signed_normal_;
+  copy.key_shift_ = key_shift_;
+  copy.keys_ = keys_;
+  copy.ids_ = ids_;
+  copy.eytz_ = eytz_;
+  copy.key_of_row_ = key_of_row_;
+  return copy;
+}
+
 size_t PlanarIndex::MemoryUsage() const {
   size_t total = sizeof(*this);
   total += keys_.capacity() * sizeof(double);

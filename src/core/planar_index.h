@@ -276,8 +276,29 @@ class PlanarIndex {
   /// phi->size() - 1. Same contract as Update.
   bool NotifyAppend(uint32_t row);
 
+  /// Maintenance: `count` new rows were appended to the phi matrix
+  /// starting at row `first_row`, which must equal the pre-append size.
+  /// The appended analogue of UpdateBatch: the new keys are computed with
+  /// one batched kernel call, sorted through SortEntries, and backward-
+  /// merged into the sorted run in place — O(n + k log k) on the
+  /// sorted-array backend (O(k log n) tree inserts on the B+-tree), with
+  /// a result identical to a full Rebuild. This is the merge path of the
+  /// ingest subsystem (src/ingest). Returns false when any new row
+  /// escapes the translation bounds — the caller must Rebuild() before
+  /// querying again.
+  bool AppendBatch(uint32_t first_row, size_t count);
+
   /// Recomputes the translation and every key from the current matrix.
   void Rebuild();
+
+  /// Deep copy of this index rebound to `phi`, which must hold exactly
+  /// the rows this index was built over (same values, same order). The
+  /// copy shares no storage with the original, so one side can keep
+  /// serving queries while the other takes maintenance calls — the MVCC
+  /// snapshot-clone step of the ingest merge path (clone the installed
+  /// set, AppendBatch the delta, install the result). Sorted-array
+  /// backend only: the B+-tree's node store is not copyable.
+  Result<PlanarIndex> CloneFor(const PhiMatrix* phi) const;
 
   /// The mirrored-space normal (all entries > 0).
   const std::vector<double>& normal() const { return normal_; }

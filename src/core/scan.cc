@@ -12,6 +12,60 @@
 
 namespace planar {
 
+Result<size_t> ScanRowsInequality(const double* rows, size_t dim, size_t count,
+                                  uint32_t id_offset,
+                                  const ScalarProductQuery& q,
+                                  const Deadline& deadline,
+                                  std::vector<uint32_t>* out) {
+  PLANAR_CHECK_EQ(dim, q.a.size());
+  PLANAR_CHECK(out != nullptr);
+  const size_t before = out->size();
+  const bool le = q.cmp == Comparison::kLessEqual;
+  const kernels::DotOps& ops = kernels::Ops();
+  double residuals[kernels::kBlockRows];
+  uint32_t accepted[kernels::kBlockRows];
+  for (size_t row = 0; row < count; row += kernels::kBlockRows) {
+    if (deadline.Expired()) {
+      return Status::DeadlineExceeded("sequential scan exceeded its deadline");
+    }
+    const size_t blk = std::min(kernels::kBlockRows, count - row);
+    ops.dot_range(q.a.data(), dim, rows, dim, row, blk, -q.b, residuals);
+    const size_t kept = kernels::CompressAcceptRange(
+        residuals, id_offset + static_cast<uint32_t>(row), blk, le, accepted);
+    out->insert(out->end(), accepted, accepted + kept);
+  }
+  return out->size() - before;
+}
+
+Status ScanRowsTopK(const double* rows, size_t dim, size_t count,
+                    uint32_t id_offset, const ScalarProductQuery& q,
+                    const Deadline& deadline, TopKBuffer* buffer) {
+  PLANAR_CHECK_EQ(dim, q.a.size());
+  PLANAR_CHECK(buffer != nullptr);
+  const double norm_a = Norm(q.a);
+  PLANAR_CHECK(norm_a > 0.0);  // caller validated the query normal
+  const bool le = q.cmp == Comparison::kLessEqual;
+  const kernels::DotOps& ops = kernels::Ops();
+  double residuals[kernels::kBlockRows];
+  for (size_t row = 0; row < count; row += kernels::kBlockRows) {
+    if (deadline.Expired()) {
+      return Status::DeadlineExceeded(
+          "sequential top-k scan exceeded its deadline");
+    }
+    const size_t blk = std::min(kernels::kBlockRows, count - row);
+    ops.dot_range(q.a.data(), dim, rows, dim, row, blk, -q.b, residuals);
+    for (size_t i = 0; i < blk; ++i) {
+      const double residual = residuals[i];
+      const bool match = le ? residual <= 0.0 : residual >= 0.0;
+      if (match) {
+        buffer->Insert(id_offset + static_cast<uint32_t>(row + i),
+                       std::fabs(residual) / norm_a);
+      }
+    }
+  }
+  return Status::OK();
+}
+
 InequalityResult ScanInequality(const PhiMatrix& phi,
                                 const ScalarProductQuery& q) {
   Result<InequalityResult> result =
@@ -37,22 +91,12 @@ Result<InequalityResult> ScanInequality(const PhiMatrix& phi,
   result.ids.reserve(n);
   // Batched over contiguous rows: per block, one deadline poll, one
   // kernel call for the residuals, one branch-light compress-store of the
-  // matching row ids.
-  const bool le = q.cmp == Comparison::kLessEqual;
-  const kernels::DotOps& ops = kernels::Ops();
-  double residuals[kernels::kBlockRows];
-  uint32_t accepted[kernels::kBlockRows];
-  for (size_t row = 0; row < n; row += kernels::kBlockRows) {
-    if (deadline.Expired()) {
-      return Status::DeadlineExceeded("sequential scan exceeded its deadline");
-    }
-    const size_t blk = std::min(kernels::kBlockRows, n - row);
-    ops.dot_range(q.a.data(), phi.dim(), phi.data(), phi.dim(), row, blk,
-                  -q.b, residuals);
-    const size_t kept = kernels::CompressAcceptRange(
-        residuals, static_cast<uint32_t>(row), blk, le, accepted);
-    result.ids.insert(result.ids.end(), accepted, accepted + kept);
-  }
+  // matching row ids (shared with the ingest delta overlay via the raw
+  // helper above).
+  Result<size_t> appended = ScanRowsInequality(phi.data(), phi.dim(), n,
+                                               /*id_offset=*/0, q, deadline,
+                                               &result.ids);
+  if (!appended.ok()) return appended.status();
   result.stats.result_size = result.ids.size();
   return result;
 }
@@ -81,27 +125,10 @@ Result<TopKResult> ScanTopK(const PhiMatrix& phi, const ScalarProductQuery& q,
   result.stats.num_points = n;
   result.stats.verified_intermediate = n;
   result.stats.index_used = -1;
-  const bool le = q.cmp == Comparison::kLessEqual;
-  const kernels::DotOps& ops = kernels::Ops();
-  double residuals[kernels::kBlockRows];
   TopKBuffer buffer(k);
-  for (size_t row = 0; row < n; row += kernels::kBlockRows) {
-    if (deadline.Expired()) {
-      return Status::DeadlineExceeded(
-          "sequential top-k scan exceeded its deadline");
-    }
-    const size_t blk = std::min(kernels::kBlockRows, n - row);
-    ops.dot_range(q.a.data(), phi.dim(), phi.data(), phi.dim(), row, blk,
-                  -q.b, residuals);
-    for (size_t i = 0; i < blk; ++i) {
-      const double residual = residuals[i];
-      const bool match = le ? residual <= 0.0 : residual >= 0.0;
-      if (match) {
-        buffer.Insert(static_cast<uint32_t>(row + i),
-                      std::fabs(residual) / norm_a);
-      }
-    }
-  }
+  Status scan = ScanRowsTopK(phi.data(), phi.dim(), n, /*id_offset=*/0, q,
+                             deadline, &buffer);
+  if (!scan.ok()) return scan;
   result.neighbors = buffer.TakeSorted();
   return result;
 }

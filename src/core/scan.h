@@ -8,14 +8,42 @@
 #define PLANAR_CORE_SCAN_H_
 
 #include <cstddef>
+#include <cstdint>
+#include <vector>
 
 #include "common/deadline.h"
 #include "common/result.h"
+#include "common/status.h"
 #include "core/planar_index.h"
 #include "core/query.h"
 #include "core/row_matrix.h"
+#include "core/topk.h"
 
 namespace planar {
+
+/// Scan-verifies `count` row-major rows of width `dim` starting at `rows`,
+/// appending the id `id_offset + i` of every row i that satisfies `q` to
+/// `*out`. The block-at-a-time kernel loop is the one behind
+/// ScanInequality, so the accept decision per row is bit-identical to the
+/// full-matrix scan and the index verification paths. Exposed raw so the
+/// ingest delta overlay (src/ingest) can verify not-yet-merged rows
+/// against the same predicate; returns the number of ids appended, or
+/// kDeadlineExceeded (polled per block).
+Result<size_t> ScanRowsInequality(const double* rows, size_t dim, size_t count,
+                                  uint32_t id_offset,
+                                  const ScalarProductQuery& q,
+                                  const Deadline& deadline,
+                                  std::vector<uint32_t>* out);
+
+/// Top-k analogue of ScanRowsInequality: offers every satisfying row in
+/// [0, count) to `*buffer` as id `id_offset + i` with the usual
+/// |residual| / ||a|| hyperplane distance. The caller owns buffer capacity
+/// and must have validated `q` (finite, non-zero normal). Feeding a buffer
+/// seeded with the base-index neighbors reproduces exactly the quiesced
+/// full-data scan (ties break by id inside TopKBuffer::TakeSorted).
+Status ScanRowsTopK(const double* rows, size_t dim, size_t count,
+                    uint32_t id_offset, const ScalarProductQuery& q,
+                    const Deadline& deadline, TopKBuffer* buffer);
 
 /// Answers the inequality query by evaluating the scalar product for every
 /// row of `phi`.

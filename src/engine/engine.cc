@@ -63,6 +63,11 @@ void Engine::Drain() {
   }
 }
 
+void Engine::AttachIngest(IngestBackend* backend) {
+  if (backend != nullptr) backend->BindMetrics(&metrics_);
+  ingest_.store(backend, std::memory_order_release);
+}
+
 DebugSnapshot Engine::Snapshot() const {
   DebugSnapshot snapshot;
   snapshot.counters = metrics_.counters();
@@ -70,6 +75,12 @@ DebugSnapshot Engine::Snapshot() const {
   snapshot.queue_wait_millis = metrics_.queue_wait_millis();
   snapshot.batch_occupancy = metrics_.batch_occupancy();
   snapshot.rows_shared_per_query = metrics_.rows_shared_per_query();
+  snapshot.merge_latency_millis = metrics_.merge_latency_millis();
+  if (IngestBackend* ingest = ingest_.load(std::memory_order_acquire)) {
+    const IngestBackend::Gauges gauges = ingest->gauges();
+    snapshot.ingest_targets = gauges.targets;
+    snapshot.delta_rows = gauges.delta_rows;
+  }
   snapshot.queue_depth = queue_.size();
   // relaxed-ok: best-effort gauge; a snapshot is allowed to be
   // momentarily behind while requests are moving (see header contract).
@@ -82,14 +93,38 @@ DebugSnapshot Engine::Snapshot() const {
 
 EngineResponse Engine::Execute(const EngineRequest& request) const {
   EngineResponse response;
+  IngestBackend* const ingest = ingest_.load(std::memory_order_acquire);
+  // Writes never touch the catalog read path: they go to the ingest
+  // backend or nowhere.
+  if (request.kind == QueryKind::kAppend) {
+    if (ingest == nullptr) {
+      response.status = Status::FailedPrecondition(
+          "kAppend requires an ingest backend (Engine::AttachIngest)");
+      return response;
+    }
+    if (request.deadline.Expired()) {
+      response.status = Status::DeadlineExceeded(
+          "deadline expired before execution started");
+      return response;
+    }
+    Result<uint32_t> first = ingest->Append(request.target, request.rows);
+    if (first.ok()) {
+      response.first_appended_id = first.value();
+    } else {
+      response.status = first.status();
+    }
+    return response;
+  }
+  // Reads against an ingest-managed target overlay the delta inside the
+  // backend; everything else serves from the catalog snapshot as before.
+  // NotFound keeps precedence over an expired deadline, as on the
+  // pre-ingest path.
   const Catalog::SetPtr set = catalog_->Find(request.target);
   if (set == nullptr) {
     response.status =
         Status::NotFound("no catalog entry named '" + request.target + "'");
     return response;
   }
-  // A request that spent its whole budget in the queue is answered
-  // without starting the query at all.
   if (request.deadline.Expired()) {
     response.status = Status::DeadlineExceeded(
         "deadline expired before execution started");
@@ -97,8 +132,12 @@ EngineResponse Engine::Execute(const EngineRequest& request) const {
   }
   switch (request.kind) {
     case QueryKind::kInequality: {
-      Result<InequalityResult> result =
-          set->Inequality(request.query, request.deadline);
+      Result<InequalityResult> result = Status::Internal("unset");
+      if (ingest == nullptr ||
+          !ingest->Inequality(request.target, request.query, request.deadline,
+                              &result)) {
+        result = set->Inequality(request.query, request.deadline);
+      }
       if (result.ok()) {
         response.inequality = std::move(result).value();
       } else {
@@ -107,8 +146,12 @@ EngineResponse Engine::Execute(const EngineRequest& request) const {
       break;
     }
     case QueryKind::kTopK: {
-      Result<TopKResult> result =
-          set->TopK(request.query, request.k, request.deadline);
+      Result<TopKResult> result = Status::Internal("unset");
+      if (ingest == nullptr ||
+          !ingest->TopK(request.target, request.query, request.k,
+                        request.deadline, &result)) {
+        result = set->TopK(request.query, request.k, request.deadline);
+      }
       if (result.ok()) {
         response.topk = std::move(result).value();
       } else {
@@ -116,6 +159,8 @@ EngineResponse Engine::Execute(const EngineRequest& request) const {
       }
       break;
     }
+    case QueryKind::kAppend:
+      break;  // handled above
   }
   return response;
 }
@@ -209,9 +254,20 @@ void Engine::RunGroup(std::vector<Pending>& batch,
     }
     BatchExecStats exec_stats;
     WallTimer execute_timer;
-    std::vector<Result<InequalityResult>> results = set->BatchInequality(
-        std::span<const ScalarProductQuery>(queries),
-        std::span<const Deadline>(deadlines), &exec_stats);
+    // The coalesced path also overlays the delta for ingest-managed
+    // targets; the backend produces per-query results bit-identical to
+    // the serial overlay path.
+    std::vector<Result<InequalityResult>> results;
+    IngestBackend* const ingest = ingest_.load(std::memory_order_acquire);
+    if (ingest == nullptr ||
+        !ingest->BatchInequality(batch[members[0]].request.target,
+                                 std::span<const ScalarProductQuery>(queries),
+                                 std::span<const Deadline>(deadlines),
+                                 &exec_stats, &results)) {
+      results = set->BatchInequality(
+          std::span<const ScalarProductQuery>(queries),
+          std::span<const Deadline>(deadlines), &exec_stats);
+    }
     const double execute_millis = execute_timer.ElapsedMillis();
     metrics_.OnBatchExecuted(live.size(), exec_stats.RowsSharedPerQuery());
     for (size_t li = 0; li < live.size(); ++li) {

@@ -26,6 +26,7 @@
 #include "common/timer.h"
 #include "engine/bounded_queue.h"
 #include "engine/catalog.h"
+#include "engine/ingest_hook.h"
 #include "engine/metrics.h"
 #include "engine/request.h"
 
@@ -87,6 +88,14 @@ class Engine {
   /// (momentarily behind) while requests are moving.
   DebugSnapshot Snapshot() const;
 
+  /// Attaches the write-path backend (see engine/ingest_hook.h): kAppend
+  /// requests route to it, reads against targets it manages overlay the
+  /// delta, and its counters flow into this engine's metrics. `backend`
+  /// must outlive the engine (or be detached with nullptr after its own
+  /// Stop()). Not thread-safe against in-flight requests — attach before
+  /// serving, as part of engine setup.
+  void AttachIngest(IngestBackend* backend);
+
   const EngineOptions& options() const { return options_; }
 
  private:
@@ -117,6 +126,10 @@ class Engine {
   Catalog* const catalog_;
   const EngineOptions options_;
   BoundedQueue<Pending> queue_;
+  // Borrowed write-path backend; null until AttachIngest. Atomic so the
+  // const query paths can load it without a lock (attachment happens
+  // before serving; the atomic is belt-and-suspenders for snapshots).
+  std::atomic<IngestBackend*> ingest_{nullptr};
   EngineMetrics metrics_;
   std::vector<std::thread> workers_;
   std::atomic<bool> draining_{false};

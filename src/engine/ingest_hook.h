@@ -1,0 +1,81 @@
+// Copyright (c) 2026 The planar Authors. Licensed under the MIT license.
+//
+// The engine-side seam of the ingest subsystem (src/ingest). The engine
+// cannot depend on src/ingest (ingest depends on the engine's Catalog for
+// MVCC installs), so writes and delta-aware reads route through this
+// abstract backend: the engine holds a borrowed IngestBackend* and asks it
+// first; a `false` return means "target not managed — serve from the
+// catalog snapshot as before". Query methods must answer with exactly the
+// ids a quiesced merge would produce (CONTRIBUTING: every new read path
+// scan-verifies the delta).
+
+#ifndef PLANAR_ENGINE_INGEST_HOOK_H_
+#define PLANAR_ENGINE_INGEST_HOOK_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "common/deadline.h"
+#include "common/result.h"
+#include "core/batch.h"
+#include "core/planar_index.h"
+#include "core/query.h"
+
+namespace planar {
+
+class EngineMetrics;
+
+/// Write-path backend the engine consults before its catalog read path.
+/// Implemented by ingest::IngestManager; the interface lives here so
+/// planar_engine stays free of a planar_ingest dependency.
+class IngestBackend {
+ public:
+  virtual ~IngestBackend() = default;
+
+  /// Point-in-time gauges for DebugSnapshot.
+  struct Gauges {
+    size_t targets = 0;     ///< catalog entries under ingest management
+    size_t delta_rows = 0;  ///< unmerged rows across all deltas
+    uint64_t merges = 0;    ///< background merges installed so far
+  };
+
+  /// True when `target` takes writes through this backend, meaning its
+  /// reads must overlay the delta.
+  virtual bool Manages(const std::string& target) const = 0;
+
+  /// Appends `rows.size() / dim` rows (row-major) to `target`'s delta.
+  /// Returns the first global row id assigned, kResourceExhausted when
+  /// the delta is at capacity (admission control: shed, never block),
+  /// kNotFound for an unmanaged target.
+  virtual Result<uint32_t> Append(const std::string& target,
+                                  const std::vector<double>& rows) = 0;
+
+  /// Delta-overlay reads. Each returns false when `target` is not
+  /// managed (caller falls back to the plain catalog path) and true with
+  /// `*out` filled otherwise.
+  virtual bool Inequality(const std::string& target,
+                          const ScalarProductQuery& q,
+                          const Deadline& deadline,
+                          Result<InequalityResult>* out) const = 0;
+  virtual bool TopK(const std::string& target, const ScalarProductQuery& q,
+                    size_t k, const Deadline& deadline,
+                    Result<TopKResult>* out) const = 0;
+  virtual bool BatchInequality(
+      const std::string& target, std::span<const ScalarProductQuery> queries,
+      std::span<const Deadline> deadlines, BatchExecStats* exec_stats,
+      std::vector<Result<InequalityResult>>* out) const = 0;
+
+  /// Routes the backend's counters (appends, sheds, merges, merge
+  /// latency) into the engine's metrics sink. Called by
+  /// Engine::AttachIngest; `metrics` outlives the backend's last write.
+  virtual void BindMetrics(EngineMetrics* metrics) = 0;
+
+  virtual Gauges gauges() const = 0;
+};
+
+}  // namespace planar
+
+#endif  // PLANAR_ENGINE_INGEST_HOOK_H_

@@ -24,7 +24,8 @@ EngineMetrics::EngineMetrics()
     : latency_millis_(FixedBucketHistogram::LatencyMillis()),
       queue_wait_millis_(FixedBucketHistogram::LatencyMillis()),
       batch_occupancy_(BatchOccupancyHistogram()),
-      rows_shared_per_query_(RowsSharedHistogram()) {}
+      rows_shared_per_query_(RowsSharedHistogram()),
+      merge_latency_millis_(FixedBucketHistogram::LatencyMillis()) {}
 
 void EngineMetrics::OnCompleted(const Status& status, double queue_millis,
                                 double execute_millis) {
@@ -52,7 +53,21 @@ EngineCounters EngineMetrics::counters() const {
   c.completed_ok = completed_ok_.load(std::memory_order_relaxed);
   c.deadline_exceeded = deadline_exceeded_.load(std::memory_order_relaxed);
   c.failed = failed_.load(std::memory_order_relaxed);
+  c.appended_rows = appended_rows_.load(std::memory_order_relaxed);
+  c.appends_shed = appends_shed_.load(std::memory_order_relaxed);
+  c.merges = merges_.load(std::memory_order_relaxed);
   return c;
+}
+
+void EngineMetrics::OnMergeCompleted(double merge_millis) {
+  Bump(&merges_);
+  MutexLock lock(&hist_mu_);
+  merge_latency_millis_.Add(merge_millis);
+}
+
+FixedBucketHistogram EngineMetrics::merge_latency_millis() const {
+  MutexLock lock(&hist_mu_);
+  return merge_latency_millis_;
 }
 
 FixedBucketHistogram EngineMetrics::latency_millis() const {
@@ -94,10 +109,15 @@ std::string DebugSnapshot::ToString() const {
   add("completed_ok", counters.completed_ok);
   add("deadline_exceeded", counters.deadline_exceeded);
   add("failed", counters.failed);
+  add("appended_rows", counters.appended_rows);
+  add("appends_shed", counters.appends_shed);
+  add("merges", counters.merges);
   add("queue_depth", queue_depth);
   add("in_flight", in_flight);
   add("workers", workers);
   add("catalog_entries", catalog_entries);
+  add("ingest_targets", ingest_targets);
+  add("delta_rows", delta_rows);
   table.AddRow({"draining", draining ? "true" : "false"});
 
   const auto add_histogram = [&table](const std::string& prefix,
@@ -110,6 +130,7 @@ std::string DebugSnapshot::ToString() const {
   };
   add_histogram("latency", latency_millis);
   add_histogram("queue_wait", queue_wait_millis);
+  add_histogram("merge_latency", merge_latency_millis);
 
   // Unitless histograms (counts, not milliseconds).
   const auto add_count_histogram = [&table](const std::string& prefix,

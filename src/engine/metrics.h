@@ -29,6 +29,11 @@ struct EngineCounters {
   uint64_t completed_ok = 0;        ///< finished with an OK status
   uint64_t deadline_exceeded = 0;   ///< finished with kDeadlineExceeded
   uint64_t failed = 0;              ///< finished with any other error
+  // Ingest lifecycle (bumped by the attached IngestBackend; all zero when
+  // no backend is attached). appended_rows / wall time is the ingest qps.
+  uint64_t appended_rows = 0;       ///< rows accepted into a delta
+  uint64_t appends_shed = 0;        ///< appends shed (delta at capacity)
+  uint64_t merges = 0;              ///< background merges installed
 };
 
 /// Bucket layout for batch-occupancy samples: how many inequality
@@ -55,10 +60,16 @@ struct DebugSnapshot {
   /// Per-query average of phi rows obtained from a batch-mate's stream
   /// (one sample per batch execution; unitless row counts).
   FixedBucketHistogram rows_shared_per_query = RowsSharedHistogram();
+  /// Wall time of each background delta merge, clone through install
+  /// (one sample per merge; milliseconds).
+  FixedBucketHistogram merge_latency_millis =
+      FixedBucketHistogram::LatencyMillis();
   size_t queue_depth = 0;      ///< requests waiting at snapshot time
   size_t in_flight = 0;        ///< requests executing at snapshot time
   size_t workers = 0;          ///< worker threads configured
   size_t catalog_entries = 0;  ///< entries in the attached catalog
+  size_t ingest_targets = 0;   ///< catalog entries under ingest management
+  size_t delta_rows = 0;       ///< unmerged delta rows at snapshot time
   bool draining = false;       ///< Drain() has begun
 
   /// Renders counters, gauges, and latency percentiles as an aligned
@@ -87,6 +98,16 @@ class EngineMetrics {
   void OnBatchExecuted(size_t occupancy, double rows_shared_per_query)
       PLANAR_EXCLUDES(hist_mu_);
 
+  /// Ingest lifecycle, bumped by the attached IngestBackend.
+  void OnAppendedRows(size_t rows) {
+    // relaxed-ok: independent monotone counter, same contract as Bump.
+    appended_rows_.fetch_add(rows, std::memory_order_relaxed);
+  }
+  void OnAppendShed() { Bump(&appends_shed_); }
+  /// Records one background merge: bumps the merge counter and feeds the
+  /// merge-latency histogram.
+  void OnMergeCompleted(double merge_millis) PLANAR_EXCLUDES(hist_mu_);
+
   /// Consistent copy of the counters.
   EngineCounters counters() const;
 
@@ -96,6 +117,7 @@ class EngineMetrics {
   FixedBucketHistogram batch_occupancy() const PLANAR_EXCLUDES(hist_mu_);
   FixedBucketHistogram rows_shared_per_query() const
       PLANAR_EXCLUDES(hist_mu_);
+  FixedBucketHistogram merge_latency_millis() const PLANAR_EXCLUDES(hist_mu_);
 
  private:
   static void Bump(std::atomic<uint64_t>* c) {
@@ -112,12 +134,16 @@ class EngineMetrics {
   std::atomic<uint64_t> completed_ok_{0};
   std::atomic<uint64_t> deadline_exceeded_{0};
   std::atomic<uint64_t> failed_{0};
+  std::atomic<uint64_t> appended_rows_{0};
+  std::atomic<uint64_t> appends_shed_{0};
+  std::atomic<uint64_t> merges_{0};
 
   mutable Mutex hist_mu_{kLockRankEngineMetrics};
   FixedBucketHistogram latency_millis_ PLANAR_GUARDED_BY(hist_mu_);
   FixedBucketHistogram queue_wait_millis_ PLANAR_GUARDED_BY(hist_mu_);
   FixedBucketHistogram batch_occupancy_ PLANAR_GUARDED_BY(hist_mu_);
   FixedBucketHistogram rows_shared_per_query_ PLANAR_GUARDED_BY(hist_mu_);
+  FixedBucketHistogram merge_latency_millis_ PLANAR_GUARDED_BY(hist_mu_);
 };
 
 }  // namespace planar

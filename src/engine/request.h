@@ -9,7 +9,9 @@
 #define PLANAR_ENGINE_REQUEST_H_
 
 #include <cstddef>
+#include <cstdint>
 #include <string>
+#include <vector>
 
 #include "common/deadline.h"
 #include "common/status.h"
@@ -18,10 +20,12 @@
 
 namespace planar {
 
-/// Which of the paper's two problems a request asks for.
+/// Which of the paper's two problems a request asks for — or, with
+/// kAppend, the write path the paper's static model lacks.
 enum class QueryKind {
   kInequality,  ///< Problem 1: all rows with <a, phi(x)> cmp b
   kTopK,        ///< Problem 2: k satisfying rows nearest the hyperplane
+  kAppend,      ///< ingest: append `rows` to the target's delta buffer
 };
 
 /// One unit of work submitted to an Engine.
@@ -32,18 +36,28 @@ struct EngineRequest {
   ScalarProductQuery query;
   /// Result size for kTopK; ignored for kInequality.
   size_t k = 10;
+  /// For kAppend: row-major phi rows to append (size() must be a multiple
+  /// of the target's dimensionality). Requires an IngestBackend attached
+  /// via Engine::AttachIngest that manages the target; appends shed with
+  /// kResourceExhausted when the delta is at capacity. Ignored for the
+  /// query kinds.
+  std::vector<double> rows;
   /// Per-request deadline. Default: infinite. An expired deadline is
   /// detected both before execution starts and cooperatively inside the
   /// II verification loops (see common/deadline.h).
   Deadline deadline;
 };
 
-/// The engine's answer. Exactly one of `inequality` / `topk` is
-/// meaningful, per `EngineRequest::kind`, and only when status.ok().
+/// The engine's answer. Exactly one of `inequality` / `topk` /
+/// `first_appended_id` is meaningful, per `EngineRequest::kind`, and only
+/// when status.ok().
 struct EngineResponse {
   Status status;
   InequalityResult inequality;
   TopKResult topk;
+  /// For kAppend: the global row id assigned to the first appended row
+  /// (ids are consecutive from there and stable across merges).
+  uint32_t first_appended_id = 0;
   /// Time spent queued before a worker picked the request up.
   double queue_millis = 0.0;
   /// Time spent executing the query.

@@ -1,0 +1,342 @@
+// Copyright (c) 2026 The planar Authors. Licensed under the MIT license.
+
+#include "ingest/ingest.h"
+
+#include <utility>
+
+#include "common/macros.h"
+#include "common/timer.h"
+#include "core/scan.h"
+#include "core/topk.h"
+#include "engine/metrics.h"
+
+namespace planar {
+
+IngestManager::IngestManager(Catalog* catalog, const IngestOptions& options)
+    : catalog_(catalog), options_(options) {
+  PLANAR_CHECK(catalog != nullptr);
+  PLANAR_CHECK(options_.delta_capacity > 0);
+  PLANAR_CHECK(options_.merge_threshold > 0);
+  PLANAR_CHECK(options_.merge_threshold <= options_.delta_capacity);
+}
+
+IngestManager::~IngestManager() { Stop(); }
+
+Status IngestManager::Manage(const std::string& target) {
+  if (stopped_.load(std::memory_order_acquire)) {
+    return Status::Unavailable("ingest manager is stopped");
+  }
+  const Catalog::SetPtr base = catalog_->Find(target);
+  if (base == nullptr) {
+    return Status::NotFound("no catalog entry named '" + target + "'");
+  }
+  for (size_t i = 0; i < base->num_indices(); ++i) {
+    if (base->index(i).backend() == PlanarIndexOptions::Backend::kBTree) {
+      return Status::FailedPrecondition(
+          "ingest requires the sorted-array backend (the merge clone "
+          "cannot copy the B+-tree node store)");
+    }
+  }
+  auto shard = std::make_unique<Shard>(target);
+  shard->dim = base->phi().dim();
+  Shard* raw = shard.get();
+  {
+    MutexLock lock(&mu_);
+    if (shards_.count(target) != 0) {
+      return Status::FailedPrecondition("'" + target +
+                                        "' is already ingest-managed");
+    }
+    {
+      MutexLock shard_lock(&raw->mu);
+      raw->delta =
+          std::make_shared<DeltaBuffer>(raw->dim, options_.delta_capacity);
+      raw->view = std::make_shared<const View>(View{base, raw->delta});
+    }
+    raw->merger = std::thread([this, raw] { MergerLoop(raw); });
+    shards_.emplace(target, std::move(shard));
+  }
+  return Status::OK();
+}
+
+IngestManager::Shard* IngestManager::FindShard(
+    const std::string& target) const {
+  ReaderMutexLock lock(&mu_);
+  auto it = shards_.find(target);
+  return it == shards_.end() ? nullptr : it->second.get();
+}
+
+std::shared_ptr<const IngestManager::View> IngestManager::PinView(
+    const std::string& target) const {
+  Shard* shard = FindShard(target);
+  if (shard == nullptr) return nullptr;
+  ReaderMutexLock epoch(&shard->mu);
+  return shard->view;
+}
+
+bool IngestManager::Manages(const std::string& target) const {
+  return FindShard(target) != nullptr;
+}
+
+Result<uint32_t> IngestManager::Append(const std::string& target,
+                                       const std::vector<double>& rows) {
+  Shard* shard = FindShard(target);
+  if (shard == nullptr) {
+    return Status::NotFound("'" + target + "' is not ingest-managed");
+  }
+  if (rows.empty() || rows.size() % shard->dim != 0) {
+    return Status::InvalidArgument(
+        "append payload must be a non-empty multiple of " +
+        std::to_string(shard->dim) + " doubles (row-major phi rows)");
+  }
+  const size_t count = rows.size() / shard->dim;
+  EngineMetrics* const metrics = metrics_.load(std::memory_order_acquire);
+  MutexLock lock(&shard->mu);
+  if (shard->stop) {
+    return Status::Unavailable("ingest manager is stopped");
+  }
+  const uint32_t first =
+      static_cast<uint32_t>(shard->view->base->size() + shard->delta->size());
+  if (!shard->delta->Append(rows.data(), count)) {
+    // Shed, never block: the caller retries after the merge the full
+    // delta has already triggered.
+    shard->wake.Signal();
+    if (metrics != nullptr) metrics->OnAppendShed();
+    return Status::ResourceExhausted(
+        "delta for '" + target + "' is at capacity (" +
+        std::to_string(shard->delta->capacity()) +
+        " rows); merge in progress, retry");
+  }
+  shard->appended_total += count;
+  if (shard->delta->size() >= options_.merge_threshold) {
+    shard->wake.Signal();
+  }
+  if (metrics != nullptr) metrics->OnAppendedRows(count);
+  return first;
+}
+
+bool IngestManager::Inequality(const std::string& target,
+                               const ScalarProductQuery& q,
+                               const Deadline& deadline,
+                               Result<InequalityResult>* out) const {
+  const std::shared_ptr<const View> view = PinView(target);
+  if (view == nullptr) return false;
+  const size_t delta_rows = view->delta->size();
+  Result<InequalityResult> base = view->base->Inequality(q, deadline);
+  if (!base.ok()) {
+    *out = base.status();
+    return true;
+  }
+  InequalityResult result = std::move(base).value();
+  Result<size_t> appended = ScanRowsInequality(
+      view->delta->data(), view->delta->dim(), delta_rows,
+      static_cast<uint32_t>(view->base->size()), q, deadline, &result.ids);
+  if (!appended.ok()) {
+    *out = appended.status();
+    return true;
+  }
+  result.stats.num_points += delta_rows;
+  result.stats.verified += delta_rows;
+  result.stats.result_size = result.ids.size();
+  *out = std::move(result);
+  return true;
+}
+
+bool IngestManager::TopK(const std::string& target,
+                         const ScalarProductQuery& q, size_t k,
+                         const Deadline& deadline,
+                         Result<TopKResult>* out) const {
+  const std::shared_ptr<const View> view = PinView(target);
+  if (view == nullptr) return false;
+  const size_t delta_rows = view->delta->size();
+  // The base call also validates q and k; an error passes through
+  // untouched, exactly as on the unmanaged path.
+  Result<TopKResult> base = view->base->TopK(q, k, deadline);
+  if (!base.ok()) {
+    *out = base.status();
+    return true;
+  }
+  TopKResult result = std::move(base).value();
+  if (delta_rows > 0) {
+    // Re-seeding a buffer with the base's k nearest and offering every
+    // delta row reproduces the k nearest of the union: any point in the
+    // merged top-k is either a delta row or already among the base's
+    // top-k. TakeSorted's id tie-break keeps the order deterministic.
+    TopKBuffer buffer(k);
+    for (const Neighbor& neighbor : result.neighbors) {
+      buffer.Insert(neighbor.id, neighbor.distance);
+    }
+    Status scanned = ScanRowsTopK(view->delta->data(), view->delta->dim(),
+                                  delta_rows,
+                                  static_cast<uint32_t>(view->base->size()), q,
+                                  deadline, &buffer);
+    if (!scanned.ok()) {
+      *out = scanned;
+      return true;
+    }
+    result.neighbors = buffer.TakeSorted();
+    result.stats.num_points += delta_rows;
+    result.stats.verified_intermediate += delta_rows;
+  }
+  *out = std::move(result);
+  return true;
+}
+
+bool IngestManager::BatchInequality(
+    const std::string& target, std::span<const ScalarProductQuery> queries,
+    std::span<const Deadline> deadlines, BatchExecStats* exec_stats,
+    std::vector<Result<InequalityResult>>* out) const {
+  const std::shared_ptr<const View> view = PinView(target);
+  if (view == nullptr) return false;
+  const size_t delta_rows = view->delta->size();
+  const uint32_t id_offset = static_cast<uint32_t>(view->base->size());
+  *out = view->base->BatchInequality(queries, deadlines, exec_stats);
+  for (size_t i = 0; i < out->size(); ++i) {
+    Result<InequalityResult>& result = (*out)[i];
+    if (!result.ok()) continue;
+    const Deadline deadline = deadlines.empty() ? Deadline() : deadlines[i];
+    Result<size_t> appended = ScanRowsInequality(
+        view->delta->data(), view->delta->dim(), delta_rows, id_offset,
+        queries[i], deadline, &result.value().ids);
+    if (!appended.ok()) {
+      result = appended.status();
+      continue;
+    }
+    result.value().stats.num_points += delta_rows;
+    result.value().stats.verified += delta_rows;
+    result.value().stats.result_size = result.value().ids.size();
+  }
+  return true;
+}
+
+void IngestManager::BindMetrics(EngineMetrics* metrics) {
+  metrics_.store(metrics, std::memory_order_release);
+}
+
+IngestBackend::Gauges IngestManager::gauges() const {
+  Gauges gauges;
+  // relaxed-ok: monotone monitoring counter; nothing orders on it.
+  gauges.merges = merges_.load(std::memory_order_relaxed);
+  ReaderMutexLock lock(&mu_);
+  gauges.targets = shards_.size();
+  for (const auto& [name, shard] : shards_) {
+    ReaderMutexLock epoch(&shard->mu);
+    gauges.delta_rows += shard->view->delta->size();
+  }
+  return gauges;
+}
+
+Status IngestManager::Flush(const std::string& target,
+                            const Deadline& deadline) {
+  Shard* shard = FindShard(target);
+  if (shard == nullptr) {
+    return Status::NotFound("'" + target + "' is not ingest-managed");
+  }
+  MutexLock lock(&shard->mu);
+  const uint64_t goal = shard->appended_total;
+  shard->flush_requested = true;
+  shard->wake.Signal();
+  while (shard->merged_total < goal) {
+    if (shard->stop) {
+      return Status::Unavailable("ingest manager stopped during flush");
+    }
+    if (deadline.is_infinite()) {
+      shard->merged.Wait(&shard->mu);
+    } else if (!shard->merged.WaitUntil(&shard->mu, deadline.when()) &&
+               shard->merged_total < goal) {
+      return Status::DeadlineExceeded("flush deadline expired with " +
+                                      std::to_string(goal -
+                                                     shard->merged_total) +
+                                      " rows unmerged");
+    }
+  }
+  return Status::OK();
+}
+
+void IngestManager::Stop() {
+  if (stopped_.exchange(true, std::memory_order_acq_rel)) return;
+  std::vector<Shard*> all;
+  {
+    ReaderMutexLock lock(&mu_);
+    all.reserve(shards_.size());
+    for (const auto& [name, shard] : shards_) all.push_back(shard.get());
+  }
+  for (Shard* shard : all) {
+    {
+      MutexLock lock(&shard->mu);
+      shard->stop = true;
+    }
+    shard->wake.Signal();
+    shard->merged.SignalAll();
+  }
+  for (Shard* shard : all) {
+    if (shard->merger.joinable()) shard->merger.join();
+  }
+}
+
+void IngestManager::MergerLoop(Shard* shard) {
+  for (;;) {
+    std::shared_ptr<const View> view;
+    size_t drain = 0;
+    {
+      MutexLock lock(&shard->mu);
+      while (!shard->stop && !shard->flush_requested &&
+             shard->delta->size() < options_.merge_threshold) {
+        shard->wake.Wait(&shard->mu);
+      }
+      drain = shard->delta->size();
+      if (drain == 0) {
+        if (shard->flush_requested) {
+          // Nothing outstanding: the flush goal is already met.
+          shard->flush_requested = false;
+          shard->merged.SignalAll();
+        }
+        if (shard->stop) return;
+        continue;
+      }
+      view = shard->view;
+    }
+    // The expensive part runs with no lock held: clone the installed
+    // base (readers keep serving it), fold in the drained prefix, and
+    // install. The drained rows are immutable and `drain` was
+    // snapshotted under the lock, so concurrent appends (which only
+    // extend past `drain`) cannot race this read.
+    WallTimer merge_timer;
+    Result<PlanarIndexSet> merged = view->base->Clone();
+    PLANAR_CHECK(merged.ok());  // Manage() validated the backend
+    const Status appended =
+        merged.value().AppendRows(view->delta->data(), drain);
+    PLANAR_CHECK(appended.ok());
+    const Catalog::SetPtr installed =
+        catalog_->Install(shard->name, std::move(merged).value());
+    // Account the merge before waking flushers so a caller returning
+    // from Flush() observes the bumped counters.
+    // relaxed-ok: monotone monitoring counter; nothing orders on it.
+    merges_.fetch_add(1, std::memory_order_relaxed);
+    if (EngineMetrics* const metrics =
+            metrics_.load(std::memory_order_acquire)) {
+      metrics->OnMergeCompleted(merge_timer.ElapsedMillis());
+    }
+    {
+      MutexLock lock(&shard->mu);
+      // Epoch swap: surviving tail rows (appended during the merge) move
+      // to a fresh delta. Their global ids are unchanged — the base grew
+      // by exactly the number of rows removed in front of them.
+      auto fresh =
+          std::make_shared<DeltaBuffer>(shard->dim, options_.delta_capacity);
+      const size_t now = shard->delta->size();
+      if (now > drain) {
+        PLANAR_CHECK(fresh->Append(shard->delta->data() + drain * shard->dim,
+                                   now - drain));
+      }
+      shard->delta = fresh;
+      shard->view = std::make_shared<const View>(View{installed, fresh});
+      shard->merged_total += drain;
+      if (shard->flush_requested && shard->delta->size() == 0) {
+        shard->flush_requested = false;
+      }
+      shard->merged.SignalAll();
+    }
+  }
+}
+
+}  // namespace planar

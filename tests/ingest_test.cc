@@ -1,0 +1,448 @@
+// Copyright (c) 2026 The planar Authors. Licensed under the MIT license.
+//
+// Ingest subsystem tests: manage/append/flush lifecycle, delta-overlay
+// reads (Inequality / TopK / BatchInequality), admission control, engine
+// integration (kAppend requests, snapshot gauges), and the randomized
+// bit-identity guarantee — queries through the ingest path answer
+// exactly like a serial quiesced from-scratch build over the same rows,
+// before, during, and after background merges.
+
+#include "ingest/ingest.h"
+
+#include <future>
+#include <memory>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "common/random.h"
+#include "core/scan.h"
+#include "engine/engine.h"
+#include "tests/test_util.h"
+
+namespace planar {
+namespace {
+
+constexpr char kTarget[] = "main";
+
+std::vector<ParameterDomain> Domains() {
+  return {{1.0, 6.0}, {-6.0, -1.0}, {1.0, 6.0}};
+}
+
+IndexSetOptions SmallBudget() {
+  IndexSetOptions options;
+  options.budget = 5;
+  return options;
+}
+
+// Builds an n-row set, installs it as kTarget, and mirrors its rows into
+// `*all` so tests can grow a quiesced reference alongside the ingest.
+void InstallBase(Catalog* catalog, size_t n, uint64_t seed, PhiMatrix* all) {
+  PhiMatrix phi = RandomPhi(n, 3, -20.0, 80.0, seed);
+  if (all != nullptr) {
+    for (size_t i = 0; i < phi.size(); ++i) all->AppendRow(phi.row(i));
+  }
+  auto set = PlanarIndexSet::Build(std::move(phi), Domains(), SmallBudget());
+  PLANAR_CHECK(set.ok());
+  catalog->Install(kTarget, std::move(set).value());
+}
+
+std::vector<double> RandomRows(size_t count, Rng* rng) {
+  std::vector<double> rows(count * 3);
+  for (double& v : rows) v = rng->Uniform(-20.0, 80.0);
+  return rows;
+}
+
+ScalarProductQuery RandomQuery(Rng* rng) {
+  ScalarProductQuery q;
+  q.a = {rng->Uniform(1, 6), -rng->Uniform(1, 6), rng->Uniform(1, 6)};
+  q.b = rng->Uniform(-200, 400);
+  q.cmp = rng->UniformInt(2) == 0 ? Comparison::kLessEqual
+                                  : Comparison::kGreaterEqual;
+  return q;
+}
+
+// The quiesced reference: a from-scratch build over every row appended
+// so far. Same domains, options, and seed as the managed set, so the
+// sampled index definitions are identical.
+PlanarIndexSet FreshBuild(const PhiMatrix& all) {
+  PhiMatrix copy(all);
+  auto set = PlanarIndexSet::Build(std::move(copy), Domains(), SmallBudget());
+  PLANAR_CHECK(set.ok());
+  return std::move(set).value();
+}
+
+TEST(IngestManageTest, ValidatesTargetAndBackend) {
+  Catalog catalog;
+  IngestManager manager(&catalog);
+  EXPECT_EQ(manager.Manage("absent").code(), StatusCode::kNotFound);
+
+  IndexSetOptions tree = SmallBudget();
+  tree.index_options.backend = PlanarIndexOptions::Backend::kBTree;
+  PhiMatrix phi = RandomPhi(100, 3, -20.0, 80.0, 7);
+  auto set = PlanarIndexSet::Build(std::move(phi), Domains(), tree);
+  ASSERT_TRUE(set.ok());
+  catalog.Install("tree", std::move(set).value());
+  EXPECT_EQ(manager.Manage("tree").code(), StatusCode::kFailedPrecondition);
+
+  InstallBase(&catalog, 100, 8, nullptr);
+  ASSERT_TRUE(manager.Manage(kTarget).ok());
+  EXPECT_TRUE(manager.Manages(kTarget));
+  EXPECT_FALSE(manager.Manages("tree"));
+  // Double-manage is refused.
+  EXPECT_EQ(manager.Manage(kTarget).code(), StatusCode::kFailedPrecondition);
+}
+
+TEST(IngestOverlayTest, InequalitySeesUnmergedRows) {
+  Catalog catalog;
+  PhiMatrix all(3);
+  InstallBase(&catalog, 400, 9, &all);
+  IngestOptions options;
+  options.merge_threshold = 1 << 20;  // never merge in this test
+  options.delta_capacity = 1 << 20;
+  IngestManager manager(&catalog, options);
+  ASSERT_TRUE(manager.Manage(kTarget).ok());
+
+  Rng rng(10);
+  const std::vector<double> rows = RandomRows(150, &rng);
+  auto first = manager.Append(kTarget, rows);
+  ASSERT_TRUE(first.ok());
+  EXPECT_EQ(first.value(), 400u);  // ids continue past the base
+  for (size_t i = 0; i < 150; ++i) all.AppendRow(rows.data() + i * 3);
+
+  for (int trial = 0; trial < 20; ++trial) {
+    const ScalarProductQuery q = RandomQuery(&rng);
+    Result<InequalityResult> got = Status::Internal("unset");
+    ASSERT_TRUE(manager.Inequality(kTarget, q, Deadline::Infinite(), &got));
+    ASSERT_TRUE(got.ok());
+    EXPECT_EQ(got->stats.num_points, 550u);
+    EXPECT_EQ(Sorted(got->ids), BruteForceMatches(all, q)) << trial;
+  }
+}
+
+TEST(IngestOverlayTest, TopKMatchesQuiescedRebuild) {
+  Catalog catalog;
+  PhiMatrix all(3);
+  InstallBase(&catalog, 300, 11, &all);
+  IngestOptions options;
+  options.merge_threshold = 1 << 20;
+  options.delta_capacity = 1 << 20;
+  IngestManager manager(&catalog, options);
+  ASSERT_TRUE(manager.Manage(kTarget).ok());
+
+  Rng rng(12);
+  const std::vector<double> rows = RandomRows(120, &rng);
+  ASSERT_TRUE(manager.Append(kTarget, rows).ok());
+  for (size_t i = 0; i < 120; ++i) all.AppendRow(rows.data() + i * 3);
+  const PlanarIndexSet reference = FreshBuild(all);
+
+  for (int trial = 0; trial < 15; ++trial) {
+    const ScalarProductQuery q = RandomQuery(&rng);
+    const size_t k = 1 + rng.UniformInt(20);
+    Result<TopKResult> got = Status::Internal("unset");
+    ASSERT_TRUE(manager.TopK(kTarget, q, k, Deadline::Infinite(), &got));
+    ASSERT_TRUE(got.ok());
+    auto want = reference.TopK(q, k);
+    ASSERT_TRUE(want.ok());
+    ASSERT_EQ(got->neighbors.size(), want->neighbors.size()) << trial;
+    for (size_t i = 0; i < want->neighbors.size(); ++i) {
+      EXPECT_EQ(got->neighbors[i].id, want->neighbors[i].id) << trial;
+      EXPECT_DOUBLE_EQ(got->neighbors[i].distance,
+                       want->neighbors[i].distance)
+          << trial;
+    }
+  }
+}
+
+TEST(IngestOverlayTest, BatchInequalityMatchesSerialOverlay) {
+  Catalog catalog;
+  PhiMatrix all(3);
+  InstallBase(&catalog, 350, 13, &all);
+  IngestOptions options;
+  options.merge_threshold = 1 << 20;
+  options.delta_capacity = 1 << 20;
+  IngestManager manager(&catalog, options);
+  ASSERT_TRUE(manager.Manage(kTarget).ok());
+
+  Rng rng(14);
+  const std::vector<double> rows = RandomRows(90, &rng);
+  ASSERT_TRUE(manager.Append(kTarget, rows).ok());
+  for (size_t i = 0; i < 90; ++i) all.AppendRow(rows.data() + i * 3);
+
+  std::vector<ScalarProductQuery> queries;
+  for (int i = 0; i < 6; ++i) {
+    ScalarProductQuery q = RandomQuery(&rng);
+    q.cmp = Comparison::kLessEqual;  // one coalescible group
+    queries.push_back(q);
+  }
+  std::vector<Result<InequalityResult>> batch;
+  ASSERT_TRUE(manager.BatchInequality(kTarget, queries, {}, nullptr, &batch));
+  ASSERT_EQ(batch.size(), queries.size());
+  for (size_t i = 0; i < queries.size(); ++i) {
+    ASSERT_TRUE(batch[i].ok()) << i;
+    Result<InequalityResult> serial = Status::Internal("unset");
+    ASSERT_TRUE(manager.Inequality(kTarget, queries[i], Deadline::Infinite(),
+                                   &serial));
+    ASSERT_TRUE(serial.ok());
+    // Bit-identical to the serial overlay, which matches brute force.
+    EXPECT_EQ(batch[i]->ids, serial->ids) << i;
+    EXPECT_EQ(Sorted(batch[i]->ids), BruteForceMatches(all, queries[i])) << i;
+  }
+}
+
+TEST(IngestFlushTest, FlushMergesIntoTheCatalogWithStableIds) {
+  Catalog catalog;
+  PhiMatrix all(3);
+  InstallBase(&catalog, 250, 15, &all);
+  IngestOptions options;
+  options.merge_threshold = 1 << 20;  // merge only via Flush
+  options.delta_capacity = 1 << 20;
+  IngestManager manager(&catalog, options);
+  ASSERT_TRUE(manager.Manage(kTarget).ok());
+
+  Rng rng(16);
+  const std::vector<double> rows = RandomRows(130, &rng);
+  ASSERT_TRUE(manager.Append(kTarget, rows).ok());
+  for (size_t i = 0; i < 130; ++i) all.AppendRow(rows.data() + i * 3);
+
+  const ScalarProductQuery q = RandomQuery(&rng);
+  Result<InequalityResult> before = Status::Internal("unset");
+  ASSERT_TRUE(manager.Inequality(kTarget, q, Deadline::Infinite(), &before));
+  ASSERT_TRUE(before.ok());
+
+  const uint64_t version_before = catalog.version();
+  ASSERT_TRUE(manager.Flush(kTarget).ok());
+  EXPECT_GT(catalog.version(), version_before);
+  // The install holds every row; the delta is empty again.
+  EXPECT_EQ(catalog.Find(kTarget)->size(), 380u);
+  EXPECT_EQ(manager.gauges().delta_rows, 0u);
+  EXPECT_EQ(manager.gauges().merges, 1u);
+
+  // Ids are stable across the merge: the same query answers the same.
+  Result<InequalityResult> after = Status::Internal("unset");
+  ASSERT_TRUE(manager.Inequality(kTarget, q, Deadline::Infinite(), &after));
+  ASSERT_TRUE(after.ok());
+  EXPECT_EQ(Sorted(after->ids), Sorted(before->ids));
+  EXPECT_EQ(Sorted(after->ids), BruteForceMatches(all, q));
+
+  // A second flush with nothing appended is a no-op.
+  ASSERT_TRUE(manager.Flush(kTarget).ok());
+  EXPECT_EQ(manager.gauges().merges, 1u);
+}
+
+TEST(IngestAdmissionTest, ShedsWhenDeltaIsFull) {
+  Catalog catalog;
+  InstallBase(&catalog, 100, 17, nullptr);
+  IngestOptions options;
+  options.delta_capacity = 64;
+  options.merge_threshold = 64;
+  IngestManager manager(&catalog, options);
+  ASSERT_TRUE(manager.Manage(kTarget).ok());
+
+  Rng rng(18);
+  // One batch larger than the whole delta: shed outright, nothing kept.
+  auto shed = manager.Append(kTarget, RandomRows(65, &rng));
+  EXPECT_EQ(shed.status().code(), StatusCode::kResourceExhausted);
+
+  // After a merge drains the delta, appends are admitted again.
+  ASSERT_TRUE(manager.Append(kTarget, RandomRows(64, &rng)).ok());
+  ASSERT_TRUE(manager.Flush(kTarget).ok());
+  EXPECT_TRUE(manager.Append(kTarget, RandomRows(32, &rng)).ok());
+
+  // Malformed payloads are rejected before touching the delta.
+  EXPECT_EQ(manager.Append(kTarget, {}).status().code(), StatusCode::kInvalidArgument);
+  EXPECT_EQ(manager.Append(kTarget, {1.0, 2.0}).status().code(),
+            StatusCode::kInvalidArgument);
+  EXPECT_EQ(manager.Append("absent", {1.0, 2.0, 3.0}).status().code(),
+            StatusCode::kNotFound);
+}
+
+TEST(IngestStopTest, StopDrainsAndRejectsFurtherAppends) {
+  Catalog catalog;
+  PhiMatrix all(3);
+  InstallBase(&catalog, 120, 19, &all);
+  IngestOptions options;
+  options.merge_threshold = 1 << 20;
+  options.delta_capacity = 1 << 20;
+  IngestManager manager(&catalog, options);
+  ASSERT_TRUE(manager.Manage(kTarget).ok());
+
+  Rng rng(20);
+  const std::vector<double> rows = RandomRows(40, &rng);
+  ASSERT_TRUE(manager.Append(kTarget, rows).ok());
+  for (size_t i = 0; i < 40; ++i) all.AppendRow(rows.data() + i * 3);
+
+  manager.Stop();
+  // The final drain merged everything into the catalog.
+  EXPECT_EQ(catalog.Find(kTarget)->size(), 160u);
+  EXPECT_EQ(manager.Append(kTarget, RandomRows(1, &rng)).status().code(),
+            StatusCode::kUnavailable);
+  EXPECT_EQ(manager.Manage(kTarget).code(), StatusCode::kUnavailable);
+  // Reads keep serving after Stop.
+  const ScalarProductQuery q = RandomQuery(&rng);
+  Result<InequalityResult> got = Status::Internal("unset");
+  ASSERT_TRUE(manager.Inequality(kTarget, q, Deadline::Infinite(), &got));
+  ASSERT_TRUE(got.ok());
+  EXPECT_EQ(Sorted(got->ids), BruteForceMatches(all, q));
+}
+
+// The acceptance-criteria test: across many rounds of appends and
+// background merges, every query kind answers exactly like a serial
+// quiesced from-scratch build over the same rows.
+TEST(IngestRandomizedTest, BitIdenticalToQuiescedRebuildAcrossMerges) {
+  Catalog catalog;
+  PhiMatrix all(3);
+  InstallBase(&catalog, 500, 21, &all);
+  IngestOptions options;
+  options.merge_threshold = 96;  // small: many background merges
+  options.delta_capacity = 4096;
+  IngestManager manager(&catalog, options);
+  ASSERT_TRUE(manager.Manage(kTarget).ok());
+
+  Rng rng(22);
+  for (int round = 0; round < 12; ++round) {
+    const size_t count = 40 + rng.UniformInt(120);
+    const std::vector<double> rows = RandomRows(count, &rng);
+    auto first = manager.Append(kTarget, rows);
+    ASSERT_TRUE(first.ok()) << first.status().ToString();
+    EXPECT_EQ(first.value(), all.size());  // id continuity across merges
+    for (size_t i = 0; i < count; ++i) all.AppendRow(rows.data() + i * 3);
+    if (round % 4 == 3) {
+      ASSERT_TRUE(manager.Flush(kTarget).ok());
+    }
+
+    const PlanarIndexSet reference = FreshBuild(all);
+    for (int trial = 0; trial < 4; ++trial) {
+      const ScalarProductQuery q = RandomQuery(&rng);
+      Result<InequalityResult> got = Status::Internal("unset");
+      ASSERT_TRUE(manager.Inequality(kTarget, q, Deadline::Infinite(), &got));
+      ASSERT_TRUE(got.ok());
+      EXPECT_EQ(Sorted(got->ids), Sorted(reference.Inequality(q).ids))
+          << "round " << round << " trial " << trial;
+
+      const size_t k = 1 + rng.UniformInt(15);
+      Result<TopKResult> topk = Status::Internal("unset");
+      ASSERT_TRUE(manager.TopK(kTarget, q, k, Deadline::Infinite(), &topk));
+      ASSERT_TRUE(topk.ok());
+      auto want = reference.TopK(q, k);
+      ASSERT_TRUE(want.ok());
+      ASSERT_EQ(topk->neighbors.size(), want->neighbors.size());
+      for (size_t i = 0; i < want->neighbors.size(); ++i) {
+        EXPECT_EQ(topk->neighbors[i].id, want->neighbors[i].id)
+            << "round " << round << " trial " << trial << " rank " << i;
+        EXPECT_DOUBLE_EQ(topk->neighbors[i].distance,
+                         want->neighbors[i].distance);
+      }
+    }
+  }
+  // Quiesce completely and compare once more.
+  ASSERT_TRUE(manager.Flush(kTarget).ok());
+  EXPECT_EQ(catalog.Find(kTarget)->size(), all.size());
+  const PlanarIndexSet reference = FreshBuild(all);
+  for (int trial = 0; trial < 10; ++trial) {
+    const ScalarProductQuery q = RandomQuery(&rng);
+    Result<InequalityResult> got = Status::Internal("unset");
+    ASSERT_TRUE(manager.Inequality(kTarget, q, Deadline::Infinite(), &got));
+    ASSERT_TRUE(got.ok());
+    EXPECT_EQ(Sorted(got->ids), Sorted(reference.Inequality(q).ids)) << trial;
+  }
+}
+
+TEST(IngestEngineTest, AppendRequestsAndOverlayReadsThroughTheEngine) {
+  Catalog catalog;
+  PhiMatrix all(3);
+  InstallBase(&catalog, 200, 23, &all);
+  IngestOptions ingest_options;
+  ingest_options.merge_threshold = 1 << 20;
+  ingest_options.delta_capacity = 1 << 20;
+  IngestManager manager(&catalog, ingest_options);
+  ASSERT_TRUE(manager.Manage(kTarget).ok());
+
+  EngineOptions engine_options;
+  engine_options.num_workers = 0;  // deterministic: RunPending drives
+  Engine engine(&catalog, engine_options);
+  engine.AttachIngest(&manager);
+
+  Rng rng(24);
+  const std::vector<double> rows = RandomRows(60, &rng);
+  EngineRequest append;
+  append.target = kTarget;
+  append.kind = QueryKind::kAppend;
+  append.rows = rows;
+  auto append_future = engine.Submit(std::move(append));
+  ASSERT_TRUE(append_future.ok());
+  EXPECT_EQ(engine.RunPending(), 1u);
+  EngineResponse append_response = append_future.value().get();
+  ASSERT_TRUE(append_response.status.ok());
+  EXPECT_EQ(append_response.first_appended_id, 200u);
+  for (size_t i = 0; i < 60; ++i) all.AppendRow(rows.data() + i * 3);
+
+  // Single query: the engine's read path consults the overlay.
+  EngineRequest query;
+  query.target = kTarget;
+  query.kind = QueryKind::kInequality;
+  query.query = RandomQuery(&rng);
+  auto query_future = engine.Submit(query);
+  ASSERT_TRUE(query_future.ok());
+  EXPECT_EQ(engine.RunPending(), 1u);
+  EngineResponse query_response = query_future.value().get();
+  ASSERT_TRUE(query_response.status.ok());
+  EXPECT_EQ(Sorted(query_response.inequality.ids),
+            BruteForceMatches(all, query.query));
+
+  // Grouped queries: the coalesced path overlays the delta too.
+  std::vector<std::future<EngineResponse>> futures;
+  std::vector<ScalarProductQuery> queries;
+  for (int i = 0; i < 4; ++i) {
+    EngineRequest grouped;
+    grouped.target = kTarget;
+    grouped.kind = QueryKind::kInequality;
+    grouped.query = RandomQuery(&rng);
+    grouped.query.cmp = Comparison::kLessEqual;
+    queries.push_back(grouped.query);
+    auto future = engine.Submit(std::move(grouped));
+    ASSERT_TRUE(future.ok());
+    futures.push_back(std::move(future).value());
+  }
+  EXPECT_EQ(engine.RunPending(), 4u);
+  for (int i = 0; i < 4; ++i) {
+    EngineResponse response = futures[i].get();
+    ASSERT_TRUE(response.status.ok()) << i;
+    EXPECT_EQ(Sorted(response.inequality.ids),
+              BruteForceMatches(all, queries[i]))
+        << i;
+  }
+
+  // Gauges and counters flow into the snapshot.
+  const DebugSnapshot snapshot = engine.Snapshot();
+  EXPECT_EQ(snapshot.ingest_targets, 1u);
+  EXPECT_EQ(snapshot.delta_rows, 60u);
+  EXPECT_EQ(snapshot.counters.appended_rows, 60u);
+  EXPECT_EQ(snapshot.counters.merges, 0u);
+
+  manager.Stop();
+  EXPECT_EQ(engine.Snapshot().counters.merges, 1u);  // final drain
+}
+
+TEST(IngestEngineTest, AppendWithoutBackendFailsPrecondition) {
+  Catalog catalog;
+  InstallBase(&catalog, 50, 25, nullptr);
+  EngineOptions engine_options;
+  engine_options.num_workers = 0;
+  Engine engine(&catalog, engine_options);
+
+  EngineRequest append;
+  append.target = kTarget;
+  append.kind = QueryKind::kAppend;
+  append.rows = {1.0, 2.0, 3.0};
+  auto future = engine.Submit(std::move(append));
+  ASSERT_TRUE(future.ok());
+  EXPECT_EQ(engine.RunPending(), 1u);
+  EXPECT_EQ(future.value().get().status.code(),
+            StatusCode::kFailedPrecondition);
+}
+
+}  // namespace
+}  // namespace planar

@@ -10,6 +10,13 @@
 //   planar_cli info  --index=index.planar
 //   planar_cli query --index=index.planar --a="1,2,-0.5" --b=10
 //                    [--cmp=le|ge] [--topk=K] [--explain]
+//   planar_cli append --index=index.planar (--csv=more.csv | --rows="1,2;3,4")
+//                     [--out=index.planar]
+//
+// `append` routes the new rows through the ingest delta path (the same
+// IngestManager the engine serves writes with), forces a background
+// merge via Flush, and re-serializes the merged set — so the written
+// file is byte-identical to a from-scratch build over the full data.
 //
 // The feature space of a CLI-built index is the raw CSV columns
 // (phi = identity); use the library API for nonlinear phi.
@@ -24,6 +31,8 @@
 #include "core/scan.h"
 #include "core/serialize.h"
 #include "datagen/csv_loader.h"
+#include "engine/catalog.h"
+#include "ingest/ingest.h"
 
 namespace planar {
 namespace {
@@ -199,6 +208,84 @@ int RunQuery(const FlagParser& flags) {
   return 0;
 }
 
+int RunAppend(const FlagParser& flags) {
+  const std::string index_path = flags.GetString("index", "index.planar");
+  const std::string out_path = flags.GetString("out", index_path);
+  auto set = LoadIndexSet(index_path);
+  if (!set.ok()) return Fail(set.status());
+  const size_t dim = set->phi().dim();
+  const size_t before = set->size();
+
+  // Gather the rows to append: a CSV file, inline --rows, or both.
+  std::vector<double> rows;
+  if (flags.Has("csv")) {
+    CsvOptions csv_options;
+    const std::string delimiter = flags.GetString("delimiter", ",");
+    csv_options.delimiter = delimiter.empty() ? ',' : delimiter[0];
+    csv_options.has_header = flags.GetBool("header", false);
+    auto data = LoadCsv(flags.GetString("csv", ""), csv_options);
+    if (!data.ok()) return Fail(data.status());
+    if (data->dim() != dim) {
+      std::fprintf(stderr, "csv has %zu columns, index expects %zu\n",
+                   data->dim(), dim);
+      return 2;
+    }
+    rows.insert(rows.end(), data->data(), data->data() + data->size() * dim);
+  }
+  if (flags.Has("rows")) {
+    std::string text = flags.GetString("rows", "");
+    size_t start = 0;
+    while (start <= text.size()) {
+      const size_t semi = text.find(';', start);
+      const std::string piece =
+          text.substr(start, semi == std::string::npos ? std::string::npos
+                                                       : semi - start);
+      auto row = ParseDoubles(piece);
+      if (!row.ok()) return Fail(row.status());
+      if (row->size() != dim) {
+        std::fprintf(stderr, "row '%s' has %zu values, index expects %zu\n",
+                     piece.c_str(), row->size(), dim);
+        return 2;
+      }
+      rows.insert(rows.end(), row->begin(), row->end());
+      if (semi == std::string::npos) break;
+      start = semi + 1;
+    }
+  }
+  if (rows.empty()) {
+    std::fprintf(stderr, "append requires --csv and/or --rows\n");
+    return 2;
+  }
+
+  // The library write path: install the set, hand it to an
+  // IngestManager, append through the delta, and force a merge. The
+  // final catalog snapshot is the merged set.
+  constexpr char kName[] = "cli";
+  Catalog catalog;
+  catalog.Install(kName, std::move(set).value());
+  const size_t count = rows.size() / dim;
+  IngestOptions options;
+  options.delta_capacity = count;
+  options.merge_threshold = count;
+  IngestManager manager(&catalog, options);
+  Status status = manager.Manage(kName);
+  if (!status.ok()) return Fail(status);
+  WallTimer timer;
+  auto first = manager.Append(kName, rows);
+  if (!first.ok()) return Fail(first.status());
+  status = manager.Flush(kName);
+  if (!status.ok()) return Fail(status);
+  manager.Stop();
+  const Catalog::SetPtr merged = catalog.Find(kName);
+  std::printf("appended %zu rows (ids %u..%zu) in %.2f s: %zu -> %zu points\n",
+              count, first.value(), before + count - 1,
+              timer.ElapsedSeconds(), before, merged->size());
+  status = SaveIndexSet(*merged, out_path);
+  if (!status.ok()) return Fail(status);
+  std::printf("saved to %s\n", out_path.c_str());
+  return 0;
+}
+
 int Run(int argc, char** argv) {
   FlagParser flags(argc, argv);
   const std::string command =
@@ -206,14 +293,17 @@ int Run(int argc, char** argv) {
   if (command == "build") return RunBuild(flags);
   if (command == "info") return RunInfo(flags);
   if (command == "query") return RunQuery(flags);
+  if (command == "append") return RunAppend(flags);
   std::fprintf(stderr,
-               "usage: planar_cli <build|info|query> [flags]\n"
+               "usage: planar_cli <build|info|query|append> [flags]\n"
                "  build --csv=f [--delimiter=';'] [--header] "
                "[--columns=0,1,2] --domains=lo:hi,... [--budget=N] "
                "[--out=index.planar]\n"
                "  info  --index=index.planar\n"
                "  query --index=index.planar --a=1,2,3 --b=10 [--cmp=le|ge] "
-               "[--topk=K] [--explain]\n");
+               "[--topk=K] [--explain]\n"
+               "  append --index=index.planar (--csv=f | --rows='1,2;3,4') "
+               "[--out=index.planar]\n");
   return 2;
 }
 
