@@ -193,7 +193,7 @@ int main(int argc, char** argv) {
           "\"rows_per_sec\":%.0f%s}\n",
           workload, n, queries.size(), batch_size, serial_qps, batch_qps,
           speedup, stats.SharingFactor(), rows_per_sec,
-          bench::JsonStamp().c_str());
+          bench::JsonStamp(1).c_str());
     }
   }
   std::printf("\n");

@@ -177,7 +177,7 @@ int main(int argc, char** argv) {
           "{\"bench\":\"build\",\"r\":%zu,\"n\":%zu,\"threads\":%zu,"
           "\"rows_per_sec\":%.0f,\"speedup_vs_serial\":%.2f%s}\n",
           normals.size(), n, threads, rows_per_sec, speedup,
-          bench::JsonStamp().c_str());
+          bench::JsonStamp(threads).c_str());
     }
   }
 
@@ -196,7 +196,7 @@ int main(int argc, char** argv) {
         "{\"bench\":\"search\",\"n\":%zu,\"std_ns\":%.1f,"
         "\"eytzinger_ns\":%.1f,\"speedup\":%.2f%s}\n",
         keys, m.std_ns, m.eytzinger_ns, m.speedup(),
-        bench::JsonStamp().c_str());
+        bench::JsonStamp(1).c_str());
   }
 
   std::printf("\n");

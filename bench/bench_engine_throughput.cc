@@ -126,7 +126,7 @@ int main(int argc, char** argv) {
           r.workers, r.batch, clients, n, r.rps, r.p50_ms, r.p99_ms,
           static_cast<unsigned long long>(r.completed),
           static_cast<unsigned long long>(r.shed),
-          bench::JsonStamp().c_str());
+          bench::JsonStamp(r.workers + clients).c_str());
     }
   }
   std::printf("\n");

@@ -295,7 +295,7 @@ int main(int argc, char** argv) {
         r.quiesced_p99, r.concurrent_p50, r.concurrent_p99,
         static_cast<unsigned long long>(r.merges),
         static_cast<unsigned long long>(r.sheds),
-        bench::JsonStamp().c_str());
+        bench::JsonStamp(readers + 2).c_str());
   }
   std::printf("\n");
   table.Print();

@@ -227,7 +227,7 @@ int main(int argc, char** argv) {
           "\"kernel_rows_per_sec\":%.0f,\"speedup\":%.2f%s}\n",
           row.workload, dim, n, kernels::BackendName(),
           row.m.baseline_rows_per_sec, row.m.kernel_rows_per_sec,
-          row.m.speedup(), bench::JsonStamp().c_str());
+          row.m.speedup(), bench::JsonStamp(1).c_str());
     }
   }
   std::printf("\n");

@@ -45,14 +45,20 @@ inline std::string CompilerId() {
 /// Provenance fields every bench JSON line must carry, as a comma-led
 /// fragment ready to splice before the closing brace:
 ///   std::printf("{\"bench\":\"x\",\"metric\":%f%s}\n", v,
-///               JsonStamp().c_str());
-/// Committed BENCH_*.json baselines are only comparable when the stamp
-/// matches the host they were measured on.
-inline std::string JsonStamp() {
+///               JsonStamp(threads).c_str());
+/// `effective_threads` is how many threads the measured configuration
+/// actually used (1 for single-threaded benches), recorded next to the
+/// host's core count so scaling claims stay honest: a "parallel" result
+/// with effective_threads == 1 (e.g. measured on a 1-core host) is flat
+/// by construction, not by regression. Committed BENCH_*.json baselines
+/// are only comparable when the stamp matches the host they were
+/// measured on.
+inline std::string JsonStamp(size_t effective_threads) {
   return std::string(",\"git_sha\":\"") + PLANAR_GIT_SHA +
          "\",\"build_utc\":\"" + PLANAR_BUILD_UTC + "\",\"compiler\":\"" +
          CompilerId() + "\",\"host_threads\":" +
-         std::to_string(std::thread::hardware_concurrency());
+         std::to_string(std::thread::hardware_concurrency()) +
+         ",\"effective_threads\":" + std::to_string(effective_threads);
 }
 
 /// Prints the standard bench banner.

@@ -15,7 +15,6 @@
 #include <cstddef>
 #include <cstdio>
 #include <cstdlib>
-#include <vector>
 
 namespace planar {
 namespace internal {
@@ -29,12 +28,24 @@ struct HeldLock {
 // Release order need not mirror acquisition order (guards in sibling
 // scopes unwind independently), so releases erase by identity rather
 // than popping the top.
-thread_local std::vector<HeldLock> held_locks;
+//
+// The stack is a fixed POD array, not a std::vector, and that is
+// load-bearing: the main thread's thread_local destructors run before
+// static-duration destructors ([basic.start.term]), and static objects
+// with mutexes (e.g. ThreadPool::Shared()) still lock — and hence
+// consult this registry — during their own destruction. A vector here
+// would already be destroyed at that point (use-after-destroy, observed
+// as exit-time heap corruption); a trivially-destructible array is just
+// memory until the thread truly ends.
+constexpr size_t kMaxHeldLocks = 64;
+thread_local HeldLock held_locks[kMaxHeldLocks];
+thread_local size_t held_count = 0;
 
 }  // namespace
 
 void LockOrderCheckAcquire(const void* mu, int rank) {
-  for (const HeldLock& held : held_locks) {
+  for (size_t i = 0; i < held_count; ++i) {
+    const HeldLock& held = held_locks[i];
     if (held.mu == mu) {
       std::fprintf(stderr,
                    "PLANAR_CHECK failed: lock-order violation: recursive "
@@ -57,14 +68,24 @@ void LockOrderCheckAcquire(const void* mu, int rank) {
 }
 
 void LockOrderAcquired(const void* mu, int rank) {
-  held_locks.push_back(HeldLock{mu, rank});
+  if (held_count == kMaxHeldLocks) {
+    std::fprintf(stderr,
+                 "PLANAR_CHECK failed: lock-order registry overflow: this "
+                 "thread holds %zu mutexes at once (deeper nesting than "
+                 "any sane chain; raise kMaxHeldLocks if intentional)\n",
+                 held_count);
+    std::abort();
+  }
+  held_locks[held_count++] = HeldLock{mu, rank};
 }
 
 void LockOrderReleased(const void* mu) {
-  for (size_t i = held_locks.size(); i > 0; --i) {
+  for (size_t i = held_count; i > 0; --i) {
     if (held_locks[i - 1].mu == mu) {
-      held_locks.erase(held_locks.begin() +
-                       static_cast<std::ptrdiff_t>(i - 1));
+      for (size_t j = i - 1; j + 1 < held_count; ++j) {
+        held_locks[j] = held_locks[j + 1];
+      }
+      --held_count;
       return;
     }
   }

@@ -99,8 +99,20 @@ namespace planar {
 // aborts deterministically under PLANAR_VALIDATE_LOCK_ORDER. Leave gaps
 // when adding ranks so new subsystems slot in without renumbering.
 inline constexpr int kLockRankUnranked = -1;  ///< exempt from rank checks
-/// Engine admission queue (BoundedQueue::mu_): outermost — held only
-/// within queue methods, never while calling into catalog or metrics.
+/// Thread-pool task queue (ThreadPool::mu_): outermost of all — held
+/// only to push/pop closures, never while running one, and explicitly
+/// below kLockRankEngineQueue so pool bookkeeping can never wrap engine
+/// admission (a pool worker acquires the engine queue lock only after
+/// the pool lock is released).
+inline constexpr int kLockRankThreadPool = 50;
+/// Per-ParallelFor completion latch (ParallelJob::mu): guards the
+/// done-chunk count one fan-out is waiting on. Above the pool queue —
+/// a worker signals completion after popping (and releasing) the pool
+/// lock — and below every engine/catalog rank, because user closures
+/// run with no job lock held.
+inline constexpr int kLockRankThreadPoolJob = 60;
+/// Engine admission queue (BoundedQueue::mu_): held only within queue
+/// methods, never while calling into catalog or metrics.
 inline constexpr int kLockRankEngineQueue = 100;
 /// Ingest manager registry (IngestManager::mu_): maps target names to
 /// shards; held only for the lookup, released before any shard work.

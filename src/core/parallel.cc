@@ -2,36 +2,16 @@
 
 #include "core/parallel.h"
 
-#include <algorithm>
-#include <thread>
-
-#include "common/macros.h"
+#include "common/thread_pool.h"
 
 namespace planar {
 
 void ParallelFor(size_t n, const std::function<void(size_t)>& fn,
                  size_t threads) {
-  if (n == 0) return;
-  if (threads == 0) {
-    threads = std::max(1u, std::thread::hardware_concurrency());
-  }
-  threads = std::min(threads, n);
-  if (threads == 1) {
-    for (size_t i = 0; i < n; ++i) fn(i);
-    return;
-  }
-  std::vector<std::thread> workers;
-  workers.reserve(threads);
-  const size_t chunk = (n + threads - 1) / threads;
-  for (size_t t = 0; t < threads; ++t) {
-    const size_t begin = t * chunk;
-    const size_t end = std::min(n, begin + chunk);
-    if (begin >= end) break;
-    workers.emplace_back([begin, end, &fn] {
-      for (size_t i = begin; i < end; ++i) fn(i);
-    });
-  }
-  for (std::thread& worker : workers) worker.join();
+  // The pool clamps to n and to its own width, and the calling thread
+  // participates, so degenerate shapes (n == 0, threads > n, nested
+  // calls) keep the exactly-once contract without spawning anything.
+  ThreadPool::Shared().ParallelFor(n, fn, threads);
 }
 
 std::vector<InequalityResult> ParallelInequality(

@@ -18,10 +18,12 @@
 
 namespace planar {
 
-/// Runs fn(i) for every i in [0, n) on up to `threads` std::threads
-/// (0 = hardware concurrency). Blocks until every call returned.
-/// Each index is processed exactly once; the assignment of indices to
-/// threads is contiguous sharding.
+/// Runs fn(i) for every i in [0, n) on up to `threads` workers of the
+/// process-wide shared ThreadPool (0 = hardware concurrency; always
+/// clamped to n). Blocks until every call returned. Each index is
+/// processed exactly once; the assignment of indices to workers is
+/// contiguous sharding. Thin shim over ThreadPool::Shared().ParallelFor
+/// — no threads are constructed per call.
 void ParallelFor(size_t n, const std::function<void(size_t)>& fn,
                  size_t threads = 0);
 

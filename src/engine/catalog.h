@@ -21,13 +21,19 @@
 
 #include "common/mutex.h"
 #include "core/index_set.h"
+#include "core/sharded.h"
 
 namespace planar {
 
 /// Thread-safe name -> index-set mapping with copy-on-swap updates.
+/// A name holds either a monolithic PlanarIndexSet or a sharded
+/// scatter-gather ShardedIndexSet (core/sharded.h), never both:
+/// installing one flavor replaces any entry of the other flavor under
+/// the same name, so request routing is unambiguous.
 class Catalog {
  public:
   using SetPtr = std::shared_ptr<const PlanarIndexSet>;
+  using ShardedPtr = std::shared_ptr<const ShardedIndexSet>;
 
   Catalog() = default;
   Catalog(const Catalog&) = delete;
@@ -50,15 +56,35 @@ class Catalog {
                                  size_t build_threads = 0)
       PLANAR_EXCLUDES(mu_);
 
-  /// Removes `name`. Returns false when no such entry exists. Readers
-  /// holding the snapshot keep it alive until they finish.
+  /// Installs (or replaces) `name` with a sharded set; same snapshot
+  /// semantics as Install. A monolithic entry of the same name is
+  /// replaced (and vice versa).
+  ShardedPtr InstallSharded(const std::string& name, ShardedIndexSet set)
+      PLANAR_EXCLUDES(mu_);
+
+  /// Builds a ShardedIndexSet with `options` and installs it under
+  /// `name`. The build (slice copies plus per-shard index builds) runs
+  /// outside any catalog lock.
+  Result<ShardedPtr> BuildAndInstallSharded(
+      const std::string& name, PhiMatrix phi,
+      const std::vector<ParameterDomain>& domains,
+      ShardedIndexSetOptions options = ShardedIndexSetOptions())
+      PLANAR_EXCLUDES(mu_);
+
+  /// Removes `name` (either flavor). Returns false when no such entry
+  /// exists. Readers holding the snapshot keep it alive until they
+  /// finish.
   bool Drop(const std::string& name) PLANAR_EXCLUDES(mu_);
 
-  /// The current snapshot for `name`, or nullptr when absent. O(log r).
-  /// Takes the lock in shared mode: concurrent Find/Names/size calls
-  /// never serialize behind each other, only behind the short exclusive
-  /// pointer swap of Install/Drop.
+  /// The current monolithic snapshot for `name`, or nullptr when absent
+  /// or sharded. O(log r). Takes the lock in shared mode: concurrent
+  /// Find/Names/size calls never serialize behind each other, only
+  /// behind the short exclusive pointer swap of Install/Drop.
   SetPtr Find(const std::string& name) const PLANAR_EXCLUDES(mu_);
+
+  /// The current sharded snapshot for `name`, or nullptr when absent or
+  /// monolithic.
+  ShardedPtr FindSharded(const std::string& name) const PLANAR_EXCLUDES(mu_);
 
   /// All entry names, sorted.
   std::vector<std::string> Names() const PLANAR_EXCLUDES(mu_);
@@ -73,6 +99,9 @@ class Catalog {
  private:
   mutable Mutex mu_{kLockRankCatalog};
   std::map<std::string, SetPtr> sets_ PLANAR_GUARDED_BY(mu_);
+  /// Disjoint from sets_ by construction (install of one flavor erases
+  /// the other).
+  std::map<std::string, ShardedPtr> sharded_ PLANAR_GUARDED_BY(mu_);
   std::atomic<uint64_t> version_{0};
 };
 

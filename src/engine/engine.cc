@@ -16,9 +16,16 @@ Engine::Engine(Catalog* catalog, const EngineOptions& options)
     : catalog_(catalog),
       options_(options),
       queue_(options.queue_capacity) {
-  workers_.reserve(options_.num_workers);
-  for (size_t i = 0; i < options_.num_workers; ++i) {
-    workers_.emplace_back([this] { WorkerLoop(); });
+  if (options_.num_workers > 0) {
+    ThreadPoolOptions pool_options;
+    pool_options.threads = options_.num_workers;
+    pool_options.pin_threads = options_.pin_workers;
+    pool_ = std::make_unique<ThreadPool>(pool_options);
+    // Each worker occupies one pool thread with its serving loop until
+    // the queue closes at Drain().
+    for (size_t i = 0; i < options_.num_workers; ++i) {
+      pool_->Run([this] { WorkerLoop(); });
+    }
   }
 }
 
@@ -55,8 +62,7 @@ void Engine::Drain() {
   if (drained_.exchange(true, std::memory_order_acq_rel)) return;
   draining_.store(true, std::memory_order_release);
   queue_.Close();
-  for (std::thread& worker : workers_) worker.join();
-  workers_.clear();
+  if (pool_ != nullptr) pool_->Shutdown();
   // Whatever the workers did not claim (all of it, in 0-worker mode)
   // runs inline so every admitted request is answered and accounted.
   while (RunPending() > 0) {
@@ -81,17 +87,27 @@ DebugSnapshot Engine::Snapshot() const {
     snapshot.ingest_targets = gauges.targets;
     snapshot.delta_rows = gauges.delta_rows;
   }
+  snapshot.shard_fanout = metrics_.shard_fanout();
   snapshot.queue_depth = queue_.size();
   // relaxed-ok: best-effort gauge; a snapshot is allowed to be
   // momentarily behind while requests are moving (see header contract).
   snapshot.in_flight = in_flight_.load(std::memory_order_relaxed);
-  snapshot.workers = workers_.size();
+  snapshot.workers = pool_ == nullptr ? 0 : pool_->threads();
   snapshot.catalog_entries = catalog_->size();
   snapshot.draining = draining_.load(std::memory_order_acquire);
   return snapshot;
 }
 
-EngineResponse Engine::Execute(const EngineRequest& request) const {
+Result<Catalog::ShardedPtr> Engine::BuildAndInstallSharded(
+    const std::string& name, PhiMatrix phi,
+    const std::vector<ParameterDomain>& domains,
+    ShardedIndexSetOptions options) {
+  if (options.shards == 0) options.shards = options_.shards;
+  return catalog_->BuildAndInstallSharded(name, std::move(phi), domains,
+                                          options);
+}
+
+EngineResponse Engine::Execute(const EngineRequest& request) {
   EngineResponse response;
   IngestBackend* const ingest = ingest_.load(std::memory_order_acquire);
   // Writes never touch the catalog read path: they go to the ingest
@@ -117,13 +133,19 @@ EngineResponse Engine::Execute(const EngineRequest& request) const {
   }
   // Reads against an ingest-managed target overlay the delta inside the
   // backend; everything else serves from the catalog snapshot as before.
+  // A name resolves to a monolithic entry or a sharded one, never both
+  // (Catalog exclusivity); sharded targets are never ingest-managed.
   // NotFound keeps precedence over an expired deadline, as on the
   // pre-ingest path.
   const Catalog::SetPtr set = catalog_->Find(request.target);
+  Catalog::ShardedPtr sharded;
   if (set == nullptr) {
-    response.status =
-        Status::NotFound("no catalog entry named '" + request.target + "'");
-    return response;
+    sharded = catalog_->FindSharded(request.target);
+    if (sharded == nullptr) {
+      response.status =
+          Status::NotFound("no catalog entry named '" + request.target + "'");
+      return response;
+    }
   }
   if (request.deadline.Expired()) {
     response.status = Status::DeadlineExceeded(
@@ -133,9 +155,14 @@ EngineResponse Engine::Execute(const EngineRequest& request) const {
   switch (request.kind) {
     case QueryKind::kInequality: {
       Result<InequalityResult> result = Status::Internal("unset");
-      if (ingest == nullptr ||
-          !ingest->Inequality(request.target, request.query, request.deadline,
-                              &result)) {
+      if (sharded != nullptr) {
+        result = sharded->Inequality(request.query, request.deadline);
+        metrics_.OnShardedExecuted(
+            sharded->num_shards(),
+            result.ok() ? result.value().stats.verified : 0);
+      } else if (ingest == nullptr ||
+                 !ingest->Inequality(request.target, request.query,
+                                     request.deadline, &result)) {
         result = set->Inequality(request.query, request.deadline);
       }
       if (result.ok()) {
@@ -147,9 +174,14 @@ EngineResponse Engine::Execute(const EngineRequest& request) const {
     }
     case QueryKind::kTopK: {
       Result<TopKResult> result = Status::Internal("unset");
-      if (ingest == nullptr ||
-          !ingest->TopK(request.target, request.query, request.k,
-                        request.deadline, &result)) {
+      if (sharded != nullptr) {
+        result = sharded->TopK(request.query, request.k, request.deadline);
+        metrics_.OnShardedExecuted(
+            sharded->num_shards(),
+            result.ok() ? result.value().stats.verified_intermediate : 0);
+      } else if (ingest == nullptr ||
+                 !ingest->TopK(request.target, request.query, request.k,
+                               request.deadline, &result)) {
         result = set->TopK(request.query, request.k, request.deadline);
       }
       if (result.ok()) {
@@ -221,6 +253,10 @@ void Engine::RunGroup(std::vector<Pending>& batch,
     queue_millis[m] = batch[members[m]].queued.ElapsedMillis();
   }
   const Catalog::SetPtr set = catalog_->Find(batch[members[0]].request.target);
+  const Catalog::ShardedPtr sharded =
+      set == nullptr
+          ? catalog_->FindSharded(batch[members[0]].request.target)
+          : nullptr;
   // Requests that cannot execute — unknown target, or a deadline already
   // spent in the queue — are answered up front with the same statuses the
   // serial path produces; the rest form the live group.
@@ -229,7 +265,7 @@ void Engine::RunGroup(std::vector<Pending>& batch,
   for (size_t m = 0; m < members.size(); ++m) {
     Pending& pending = batch[members[m]];
     EngineResponse response;
-    if (set == nullptr) {
+    if (set == nullptr && sharded == nullptr) {
       response.status = Status::NotFound("no catalog entry named '" +
                                          pending.request.target + "'");
     } else if (pending.request.deadline.Expired()) {
@@ -259,11 +295,23 @@ void Engine::RunGroup(std::vector<Pending>& batch,
     // the serial overlay path.
     std::vector<Result<InequalityResult>> results;
     IngestBackend* const ingest = ingest_.load(std::memory_order_acquire);
-    if (ingest == nullptr ||
-        !ingest->BatchInequality(batch[members[0]].request.target,
-                                 std::span<const ScalarProductQuery>(queries),
-                                 std::span<const Deadline>(deadlines),
-                                 &exec_stats, &results)) {
+    if (sharded != nullptr) {
+      // The whole group fans to every shard, so each shard's cross-query
+      // coalescing still applies within its slice.
+      results = sharded->BatchInequality(
+          std::span<const ScalarProductQuery>(queries),
+          std::span<const Deadline>(deadlines), &exec_stats);
+      uint64_t verified = 0;
+      for (const Result<InequalityResult>& result : results) {
+        if (result.ok()) verified += result.value().stats.verified;
+      }
+      metrics_.OnShardedExecuted(sharded->num_shards(), verified);
+    } else if (ingest == nullptr ||
+               !ingest->BatchInequality(
+                   batch[members[0]].request.target,
+                   std::span<const ScalarProductQuery>(queries),
+                   std::span<const Deadline>(deadlines), &exec_stats,
+                   &results)) {
       results = set->BatchInequality(
           std::span<const ScalarProductQuery>(queries),
           std::span<const Deadline>(deadlines), &exec_stats);

@@ -18,11 +18,12 @@
 #include <atomic>
 #include <cstddef>
 #include <future>
-#include <thread>
+#include <memory>
 #include <vector>
 
 #include "common/result.h"
 #include "common/status.h"
+#include "common/thread_pool.h"
 #include "common/timer.h"
 #include "engine/bounded_queue.h"
 #include "engine/catalog.h"
@@ -52,6 +53,14 @@ struct EngineOptions {
   /// added latency under light load for larger batches — worth it when
   /// queries overlap heavily and the batch path's row sharing pays.
   double batch_linger_millis = 0.0;
+  /// Default shard count for BuildAndInstallSharded when the caller's
+  /// ShardedIndexSetOptions leave shards == 0. 0 = one shard per
+  /// hardware core (the shard-per-core serving layout).
+  size_t shards = 0;
+  /// Pin each worker thread to a core (worker i -> core i mod cores) so
+  /// shard fan-outs run on a stable core set. Linux only; silently a
+  /// no-op elsewhere.
+  bool pin_workers = false;
 };
 
 /// A serving runtime bound to one (not owned) catalog.
@@ -88,6 +97,16 @@ class Engine {
   /// (momentarily behind) while requests are moving.
   DebugSnapshot Snapshot() const;
 
+  /// Builds a ShardedIndexSet and installs it in the bound catalog under
+  /// `name` (requests naming it then scatter-gather across its shards).
+  /// When `options.shards` is 0, EngineOptions::shards decides (0 there
+  /// = one shard per core). The build runs on the calling thread,
+  /// outside any lock.
+  Result<Catalog::ShardedPtr> BuildAndInstallSharded(
+      const std::string& name, PhiMatrix phi,
+      const std::vector<ParameterDomain>& domains,
+      ShardedIndexSetOptions options = ShardedIndexSetOptions());
+
   /// Attaches the write-path backend (see engine/ingest_hook.h): kAppend
   /// requests route to it, reads against targets it manages overlay the
   /// delta, and its counters flow into this engine's metrics. `backend`
@@ -105,9 +124,11 @@ class Engine {
     WallTimer queued;  // started on admission; read when execution begins
   };
 
-  /// Runs one request to completion: catalog lookup, pre-execution
-  /// deadline check, deadline-aware core query call.
-  EngineResponse Execute(const EngineRequest& request) const;
+  /// Runs one request to completion: catalog lookup (monolithic entry,
+  /// else sharded scatter-gather), pre-execution deadline check,
+  /// deadline-aware core query call. Non-const: sharded executions feed
+  /// the shard-fanout metrics.
+  EngineResponse Execute(const EngineRequest& request);
 
   /// Executes one popped batch, fulfilling promises and recording
   /// metrics. Inequality requests that share a catalog entry and
@@ -131,7 +152,10 @@ class Engine {
   // before serving; the atomic is belt-and-suspenders for snapshots).
   std::atomic<IngestBackend*> ingest_{nullptr};
   EngineMetrics metrics_;
-  std::vector<std::thread> workers_;
+  /// Worker threads live on a dedicated pool (optionally pinned); null
+  /// in 0-worker mode. Each worker occupies one pool thread with
+  /// WorkerLoop until the queue closes.
+  std::unique_ptr<ThreadPool> pool_;
   std::atomic<bool> draining_{false};
   std::atomic<bool> drained_{false};
   std::atomic<size_t> in_flight_{0};

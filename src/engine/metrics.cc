@@ -20,12 +20,17 @@ FixedBucketHistogram RowsSharedHistogram() {
                                65536, 262144, 1048576});
 }
 
+FixedBucketHistogram ShardFanoutHistogram() {
+  return FixedBucketHistogram({1, 2, 4, 8, 16, 32, 64});
+}
+
 EngineMetrics::EngineMetrics()
     : latency_millis_(FixedBucketHistogram::LatencyMillis()),
       queue_wait_millis_(FixedBucketHistogram::LatencyMillis()),
       batch_occupancy_(BatchOccupancyHistogram()),
       rows_shared_per_query_(RowsSharedHistogram()),
-      merge_latency_millis_(FixedBucketHistogram::LatencyMillis()) {}
+      merge_latency_millis_(FixedBucketHistogram::LatencyMillis()),
+      shard_fanout_(ShardFanoutHistogram()) {}
 
 void EngineMetrics::OnCompleted(const Status& status, double queue_millis,
                                 double execute_millis) {
@@ -56,7 +61,22 @@ EngineCounters EngineMetrics::counters() const {
   c.appended_rows = appended_rows_.load(std::memory_order_relaxed);
   c.appends_shed = appends_shed_.load(std::memory_order_relaxed);
   c.merges = merges_.load(std::memory_order_relaxed);
+  c.sharded_queries = sharded_queries_.load(std::memory_order_relaxed);
+  c.shard_rows_verified = shard_rows_verified_.load(std::memory_order_relaxed);
   return c;
+}
+
+void EngineMetrics::OnShardedExecuted(size_t fanout, uint64_t rows_verified) {
+  Bump(&sharded_queries_);
+  // relaxed-ok: independent monotone counter, same contract as Bump.
+  shard_rows_verified_.fetch_add(rows_verified, std::memory_order_relaxed);
+  MutexLock lock(&hist_mu_);
+  shard_fanout_.Add(static_cast<double>(fanout));
+}
+
+FixedBucketHistogram EngineMetrics::shard_fanout() const {
+  MutexLock lock(&hist_mu_);
+  return shard_fanout_;
 }
 
 void EngineMetrics::OnMergeCompleted(double merge_millis) {
@@ -112,6 +132,8 @@ std::string DebugSnapshot::ToString() const {
   add("appended_rows", counters.appended_rows);
   add("appends_shed", counters.appends_shed);
   add("merges", counters.merges);
+  add("sharded_queries", counters.sharded_queries);
+  add("shard_rows_verified", counters.shard_rows_verified);
   add("queue_depth", queue_depth);
   add("in_flight", in_flight);
   add("workers", workers);
@@ -143,6 +165,7 @@ std::string DebugSnapshot::ToString() const {
   };
   add_count_histogram("batch_occupancy", batch_occupancy);
   add_count_histogram("rows_shared_per_query", rows_shared_per_query);
+  add_count_histogram("shard_fanout", shard_fanout);
   return table.ToText();
 }
 

@@ -34,6 +34,9 @@ struct EngineCounters {
   uint64_t appended_rows = 0;       ///< rows accepted into a delta
   uint64_t appends_shed = 0;        ///< appends shed (delta at capacity)
   uint64_t merges = 0;              ///< background merges installed
+  // Sharded scatter-gather serving (zero when no sharded set is used).
+  uint64_t sharded_queries = 0;     ///< queries fanned across shards
+  uint64_t shard_rows_verified = 0; ///< II rows verified across all shards
 };
 
 /// Bucket layout for batch-occupancy samples: how many inequality
@@ -45,6 +48,11 @@ FixedBucketHistogram BatchOccupancyHistogram();
 /// obtained from another query's streaming instead of demanding its own
 /// read (powers of four; 0 means no sharing happened).
 FixedBucketHistogram RowsSharedHistogram();
+
+/// Bucket layout for shard-fanout samples: how many shards one sharded
+/// query (or batch) scattered across (powers of two up to the largest
+/// shard count a sane deployment configures).
+FixedBucketHistogram ShardFanoutHistogram();
 
 /// Point-in-time view of one engine, safe to inspect with no locks held.
 struct DebugSnapshot {
@@ -64,6 +72,9 @@ struct DebugSnapshot {
   /// (one sample per merge; milliseconds).
   FixedBucketHistogram merge_latency_millis =
       FixedBucketHistogram::LatencyMillis();
+  /// Shards each sharded query scattered across (one sample per sharded
+  /// execution; unitless shard counts).
+  FixedBucketHistogram shard_fanout = ShardFanoutHistogram();
   size_t queue_depth = 0;      ///< requests waiting at snapshot time
   size_t in_flight = 0;        ///< requests executing at snapshot time
   size_t workers = 0;          ///< worker threads configured
@@ -108,6 +119,11 @@ class EngineMetrics {
   /// merge-latency histogram.
   void OnMergeCompleted(double merge_millis) PLANAR_EXCLUDES(hist_mu_);
 
+  /// Records one sharded scatter-gather execution: how many shards it
+  /// fanned across and how many II rows the shards verified in total.
+  void OnShardedExecuted(size_t fanout, uint64_t rows_verified)
+      PLANAR_EXCLUDES(hist_mu_);
+
   /// Consistent copy of the counters.
   EngineCounters counters() const;
 
@@ -118,6 +134,7 @@ class EngineMetrics {
   FixedBucketHistogram rows_shared_per_query() const
       PLANAR_EXCLUDES(hist_mu_);
   FixedBucketHistogram merge_latency_millis() const PLANAR_EXCLUDES(hist_mu_);
+  FixedBucketHistogram shard_fanout() const PLANAR_EXCLUDES(hist_mu_);
 
  private:
   static void Bump(std::atomic<uint64_t>* c) {
@@ -137,6 +154,8 @@ class EngineMetrics {
   std::atomic<uint64_t> appended_rows_{0};
   std::atomic<uint64_t> appends_shed_{0};
   std::atomic<uint64_t> merges_{0};
+  std::atomic<uint64_t> sharded_queries_{0};
+  std::atomic<uint64_t> shard_rows_verified_{0};
 
   mutable Mutex hist_mu_{kLockRankEngineMetrics};
   FixedBucketHistogram latency_millis_ PLANAR_GUARDED_BY(hist_mu_);
@@ -144,6 +163,7 @@ class EngineMetrics {
   FixedBucketHistogram batch_occupancy_ PLANAR_GUARDED_BY(hist_mu_);
   FixedBucketHistogram rows_shared_per_query_ PLANAR_GUARDED_BY(hist_mu_);
   FixedBucketHistogram merge_latency_millis_ PLANAR_GUARDED_BY(hist_mu_);
+  FixedBucketHistogram shard_fanout_ PLANAR_GUARDED_BY(hist_mu_);
 };
 
 }  // namespace planar

@@ -52,6 +52,8 @@ Status IngestManager::Manage(const std::string& target) {
           std::make_shared<DeltaBuffer>(raw->dim, options_.delta_capacity);
       raw->view = std::make_shared<const View>(View{base, raw->delta});
     }
+    // threads-ok: dedicated merger thread (see Shard::merger in
+    // ingest.h); joined in Stop(), never pooled.
     raw->merger = std::thread([this, raw] { MergerLoop(raw); });
     shards_.emplace(target, std::move(shard));
   }

@@ -146,6 +146,10 @@ class IngestManager final : public IngestBackend {
     uint64_t merged_total PLANAR_GUARDED_BY(mu) = 0;
     bool flush_requested PLANAR_GUARDED_BY(mu) = false;
     bool stop PLANAR_GUARDED_BY(mu) = false;
+    // threads-ok: dedicated long-lived merger, one per managed target.
+    // It blocks on the shard's CondVar between merges, so parking it in
+    // the shared ThreadPool would pin a pool slot for the manager's
+    // whole lifetime and starve query fan-outs.
     std::thread merger;
   };
 

@@ -10,6 +10,7 @@
 
 #include <gtest/gtest.h>
 
+#include "core/sharded.h"
 #include "engine/bounded_queue.h"
 #include "engine/catalog.h"
 #include "tests/test_util.h"
@@ -158,6 +159,118 @@ TEST_F(EngineTest, ExecutesInequalityAndTopK) {
   const EngineResponse r2 = f2->get();
   ASSERT_TRUE(r2.status.ok()) << r2.status.ToString();
   EXPECT_EQ(r2.topk.neighbors.size(), 5u);
+}
+
+TEST_F(EngineTest, ShardedTargetRoutesThroughScatterGather) {
+  EngineOptions options;
+  options.num_workers = 0;
+  options.shards = 3;  // default shard count for installs below
+  Engine engine(&catalog_, options);
+
+  PhiMatrix phi = RandomPhi(600, 3, -20.0, 80.0, 33);
+  ShardedIndexSetOptions sharded_options;
+  sharded_options.min_rows_per_shard = 1;
+  auto installed = engine.BuildAndInstallSharded(
+      "sharded", PhiMatrix(phi), {{1.0, 6.0}, {-6.0, -1.0}, {1.0, 6.0}},
+      sharded_options);
+  ASSERT_TRUE(installed.ok()) << installed.status().ToString();
+  // options.shards was 0: EngineOptions::shards decides.
+  EXPECT_EQ(installed.value()->num_shards(), 3u);
+
+  EngineRequest inequality;
+  inequality.target = "sharded";
+  inequality.query = MakeQuery();
+  auto f1 = engine.Submit(std::move(inequality));
+  ASSERT_TRUE(f1.ok());
+
+  EngineRequest topk;
+  topk.target = "sharded";
+  topk.kind = QueryKind::kTopK;
+  topk.query = MakeQuery();
+  topk.k = 5;
+  auto f2 = engine.Submit(std::move(topk));
+  ASSERT_TRUE(f2.ok());
+  EXPECT_EQ(engine.RunPending(), 2u);
+
+  // Sharded answers are canonical (ascending ids) — equal to the brute
+  // force reference without re-sorting.
+  const EngineResponse r1 = f1->get();
+  ASSERT_TRUE(r1.status.ok()) << r1.status.ToString();
+  EXPECT_EQ(r1.inequality.ids, BruteForceMatches(phi, MakeQuery()));
+
+  // And the top-k is bit-identical to a monolithic set over the same
+  // rows.
+  const EngineResponse r2 = f2->get();
+  ASSERT_TRUE(r2.status.ok()) << r2.status.ToString();
+  auto mono = PlanarIndexSet::Build(
+      PhiMatrix(phi), {{1.0, 6.0}, {-6.0, -1.0}, {1.0, 6.0}});
+  ASSERT_TRUE(mono.ok());
+  auto want = mono.value().TopK(MakeQuery(), 5);
+  ASSERT_TRUE(want.ok());
+  ASSERT_EQ(r2.topk.neighbors.size(), want.value().neighbors.size());
+  for (size_t i = 0; i < want.value().neighbors.size(); ++i) {
+    EXPECT_EQ(r2.topk.neighbors[i].id, want.value().neighbors[i].id);
+    EXPECT_EQ(r2.topk.neighbors[i].distance,
+              want.value().neighbors[i].distance);
+  }
+
+  const DebugSnapshot snapshot = engine.Snapshot();
+  EXPECT_EQ(snapshot.counters.sharded_queries, 2u);
+  EXPECT_EQ(snapshot.shard_fanout.count(), 2u);
+  EXPECT_DOUBLE_EQ(snapshot.shard_fanout.mean(), 3.0);
+
+  // Dropping the sharded entry makes the name unknown again.
+  EXPECT_TRUE(catalog_.Drop("sharded"));
+  EngineRequest gone;
+  gone.target = "sharded";
+  gone.query = MakeQuery();
+  auto f3 = engine.Submit(std::move(gone));
+  ASSERT_TRUE(f3.ok());
+  EXPECT_EQ(engine.RunPending(), 1u);
+  EXPECT_EQ(f3->get().status.code(), StatusCode::kNotFound);
+}
+
+TEST_F(EngineTest, GroupedInequalitiesAgainstShardedTargetCountOnce) {
+  // 0 workers + RunPending: one deterministic batch pop. Three
+  // compatible inequality requests against the sharded entry coalesce
+  // into one grouped BatchInequality fan-out — counted as ONE sharded
+  // execution in the metrics, answered individually and canonically.
+  EngineOptions options;
+  options.num_workers = 0;
+  Engine engine(&catalog_, options);
+
+  PhiMatrix phi = RandomPhi(400, 3, -20.0, 80.0, 35);
+  ShardedIndexSetOptions sharded_options;
+  sharded_options.shards = 2;
+  sharded_options.min_rows_per_shard = 1;
+  ASSERT_TRUE(engine
+                  .BuildAndInstallSharded(
+                      "sharded", PhiMatrix(phi),
+                      {{1.0, 6.0}, {-6.0, -1.0}, {1.0, 6.0}},
+                      sharded_options)
+                  .ok());
+
+  const double cutoffs[] = {50.0, 100.0, 150.0};
+  std::vector<std::future<EngineResponse>> futures;
+  for (const double b : cutoffs) {
+    EngineRequest request;
+    request.target = "sharded";
+    request.query = MakeQuery(b);
+    auto future = engine.Submit(std::move(request));
+    ASSERT_TRUE(future.ok());
+    futures.push_back(std::move(*future));
+  }
+  EXPECT_EQ(engine.RunPending(), 3u);
+
+  for (size_t i = 0; i < futures.size(); ++i) {
+    const EngineResponse response = futures[i].get();
+    ASSERT_TRUE(response.status.ok()) << response.status.ToString();
+    EXPECT_EQ(response.inequality.ids,
+              BruteForceMatches(phi, MakeQuery(cutoffs[i])));
+  }
+  const DebugSnapshot snapshot = engine.Snapshot();
+  EXPECT_EQ(snapshot.counters.sharded_queries, 1u);
+  EXPECT_EQ(snapshot.shard_fanout.count(), 1u);
 }
 
 TEST_F(EngineTest, UnknownTargetReturnsNotFound) {

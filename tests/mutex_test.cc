@@ -175,6 +175,20 @@ TEST(LockOrderTest, IncreasingRanksAreAccepted) {
   SUCCEED();
 }
 
+TEST(LockOrderTest, ThreadPoolRanksNestBelowEngineRanks) {
+  // The pool's queue is the outermost lock in the serving stack (a
+  // worker holds nothing when it pops work), the job latch sits just
+  // above it, and everything engine-side ranks higher — so pool ->
+  // job -> engine-queue is the sanctioned increasing chain.
+  static Mutex pool(kLockRankThreadPool);
+  static Mutex job(kLockRankThreadPoolJob);
+  static Mutex queue(kLockRankEngineQueue);
+  MutexLock a(&pool);
+  MutexLock b(&job);
+  MutexLock c(&queue);
+  SUCCEED();
+}
+
 TEST(LockOrderTest, UnrankedMutexesAreExemptFromRankChecks) {
   static Mutex first;
   static Mutex second;
@@ -198,6 +212,29 @@ void AcquireAgainstRankOrder() PLANAR_NO_THREAD_SAFETY_ANALYSIS {
   inner.Lock();  // rank 100 after rank 200: must abort
   inner.Unlock();
   outer.Unlock();
+}
+
+void AcquirePoolRankWhileHoldingEngineRank()
+    PLANAR_NO_THREAD_SAFETY_ANALYSIS {
+  Mutex queue(kLockRankEngineQueue);
+  Mutex pool(kLockRankThreadPool);
+  queue.Lock();
+  pool.Lock();  // rank 50 after rank 100: must abort — submitting pool
+                // work while holding an engine lock inverts the chain
+  pool.Unlock();
+  queue.Unlock();
+}
+
+void AcquireJobRankWhileHoldingPoolRank()
+    PLANAR_NO_THREAD_SAFETY_ANALYSIS {
+  // The sanctioned direction: job latch (60) nests above the pool
+  // queue (50)... and the reverse must abort.
+  Mutex job(kLockRankThreadPoolJob);
+  Mutex pool(kLockRankThreadPool);
+  job.Lock();
+  pool.Lock();  // rank 50 after rank 60: must abort
+  pool.Unlock();
+  job.Unlock();
 }
 
 void AcquireEqualRanks() PLANAR_NO_THREAD_SAFETY_ANALYSIS {
@@ -229,6 +266,18 @@ TEST(LockOrderDeathTest, OutOfRankAcquisitionAborts) {
   EXPECT_DEATH(AcquireAgainstRankOrder(),
                "lock-order violation: acquiring Mutex .* with rank 100 "
                "while holding Mutex .* with rank 200");
+}
+
+TEST(LockOrderDeathTest, PoolRankAfterEngineRankAborts) {
+  EXPECT_DEATH(AcquirePoolRankWhileHoldingEngineRank(),
+               "lock-order violation: acquiring Mutex .* with rank 50 "
+               "while holding Mutex .* with rank 100");
+}
+
+TEST(LockOrderDeathTest, PoolRankAfterJobRankAborts) {
+  EXPECT_DEATH(AcquireJobRankWhileHoldingPoolRank(),
+               "lock-order violation: acquiring Mutex .* with rank 50 "
+               "while holding Mutex .* with rank 60");
 }
 
 TEST(LockOrderDeathTest, EqualRankAcquisitionAborts) {

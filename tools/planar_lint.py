@@ -37,6 +37,19 @@ Rules (library code under src/ unless stated otherwise):
                     same annotate-the-contract discipline as the kernel
                     rules, so future edits cannot silently weaken a
                     cancellation flag or counter into a race.
+  threads-via-pool  raw `std::thread` / `std::jthread` construction is
+                    forbidden in src/ outside common/ (the ThreadPool's
+                    home): library parallelism runs on the shared pinned
+                    pool (common/thread_pool.h) so thread counts, core
+                    affinity, and shutdown stay centralized. A site that
+                    genuinely needs a dedicated thread (e.g. the ingest
+                    background merger, which blocks on a CondVar for its
+                    whole lifetime and must not occupy a pool slot)
+                    carries a `threads-ok:` comment (same line or within
+                    the 8 lines above; consecutive uses chain) justifying
+                    the exemption. `std::thread::hardware_concurrency()`
+                    never fires — querying the core count is not spawning
+                    a thread.
   header-guards     every .h under src/, tests/, and bench/ must open with
                     `#ifndef PLANAR_<PATH>_<FILE>_H_` + matching #define
                     derived from its repo-relative path.
@@ -99,6 +112,12 @@ SYNC_EXEMPT_FILES = {Path("src/common/mutex.h"), Path("src/common/mutex.cc")}
 # Number of lines above a memory_order_relaxed use within which a
 # `relaxed-ok:` comment (or a previously covered use) must appear.
 RELAXED_COMMENT_WINDOW = 8
+# Raw thread construction (threads-via-pool). The negative lookahead
+# keeps std::thread::hardware_concurrency() (a core-count query, not a
+# spawn) from firing. src/common/ — the pool's home — is exempt.
+RE_RAW_THREAD = re.compile(r"std::(?:jthread|thread)\b(?!\s*::)")
+# Same annotate-the-exemption discipline (and window) as relaxed-ok:.
+THREADS_COMMENT_WINDOW = 8
 # std::sort(<first-arg>, ...) where the sorted container smells like index
 # keys or (key, id) entries.
 RE_CORE_SORT = re.compile(
@@ -156,10 +175,14 @@ def findings_for_file(root: Path, path: Path):
     if str(rel.parts[0]) in SOURCE_DIRS:
         raw_lines = text.splitlines()
         last_relaxed_ok = -10**9  # line of the newest relaxed-ok comment
+        last_threads_ok = -10**9  # line of the newest threads-ok comment
+        in_common = len(rel.parts) > 1 and rel.parts[1] == "common"
         for lineno, line in enumerate(lines, start=1):
             raw = raw_lines[lineno - 1] if lineno <= len(raw_lines) else ""
             if "relaxed-ok:" in raw:
                 last_relaxed_ok = lineno
+            if "threads-ok:" in raw:
+                last_threads_ok = lineno
             if RE_EXCEPTION.search(line):
                 yield (rel, lineno, "no-exceptions",
                        "throw/try is forbidden in library code; use "
@@ -192,6 +215,16 @@ def findings_for_file(root: Path, path: Path):
                            "'relaxed-ok:' comment stating why relaxed "
                            "ordering suffices at this site (and what the "
                            "authoritative synchronization is)")
+            if not in_common and RE_RAW_THREAD.search(line):
+                if lineno - last_threads_ok <= THREADS_COMMENT_WINDOW:
+                    last_threads_ok = lineno  # consecutive uses chain
+                else:
+                    yield (rel, lineno, "threads-via-pool",
+                           "raw std::thread/std::jthread is forbidden "
+                           "outside src/common/; run the work on the "
+                           "shared ThreadPool (common/thread_pool.h), or "
+                           "carry a nearby 'threads-ok:' comment "
+                           "justifying a dedicated thread")
 
     if (len(rel.parts) > 2 and rel.parts[0] == "src" and rel.parts[1] == "core"
             and not rel.name.startswith("sort_util")):
@@ -361,6 +394,29 @@ def self_test() -> int:
         ("src/core/fixture.cc",
          "int f() { return x.load(std::memory_order_acquire); }\n",
          "relaxed-atomic-comment", 0),
+        # threads-via-pool: raw construction fires (std::thread and
+        # std::jthread alike),
+        ("src/engine/fixture.cc",
+         "std::thread worker([] {});\n", "threads-via-pool", 1),
+        ("src/engine/fixture.cc",
+         "std::jthread worker([] {});\n", "threads-via-pool", 1),
+        # a nearby threads-ok: comment justifies a dedicated thread,
+        ("src/ingest/fixture.cc",
+         "// threads-ok: long-lived merger; blocks on a CondVar, must\n"
+         "// not occupy a pool slot.\n"
+         "std::thread merger([] {});\n", "threads-via-pool", 0),
+        # a justification too far above does not cover the use,
+        ("src/ingest/fixture.cc",
+         "// threads-ok: stale justification.\n" + "\n" * 10
+         + "std::thread merger([] {});\n", "threads-via-pool", 1),
+        # the pool's home (src/common/) is exempt,
+        ("src/common/thread_pool.cc",
+         "workers_.emplace_back(std::thread([] {}));\n",
+         "threads-via-pool", 0),
+        # and querying the core count is not spawning a thread.
+        ("src/core/fixture.cc",
+         "size_t n = std::thread::hardware_concurrency();\n",
+         "threads-via-pool", 0),
     ]
     for i, (rel_path, content, rule, want) in enumerate(file_cases):
         root = write_source(rel_path, content)
