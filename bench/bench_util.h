@@ -12,6 +12,10 @@
 #include <string>
 #include <thread>
 
+#if defined(__linux__) || defined(__APPLE__)
+#include <sys/resource.h>
+#endif
+
 #include "common/flags.h"
 #include "common/stats.h"
 #include "common/timer.h"
@@ -42,6 +46,27 @@ inline std::string CompilerId() {
 #endif
 }
 
+/// Peak resident set size of this process in bytes, or 0 when the
+/// platform offers no getrusage. Linux reports ru_maxrss in KiB, macOS in
+/// bytes; normalized to bytes here. High-water mark, not current usage —
+/// it can only grow over the process lifetime, so per-workload deltas
+/// within one bench binary are not meaningful; the stamped value answers
+/// "what did reproducing this line cost in memory", not "what does the
+/// index occupy" (that is resident_bytes below).
+inline size_t PeakRssBytes() {
+#if defined(__linux__) || defined(__APPLE__)
+  struct rusage usage;
+  if (getrusage(RUSAGE_SELF, &usage) != 0) return 0;
+#if defined(__APPLE__)
+  return static_cast<size_t>(usage.ru_maxrss);
+#else
+  return static_cast<size_t>(usage.ru_maxrss) * 1024;
+#endif
+#else
+  return 0;
+#endif
+}
+
 /// Provenance fields every bench JSON line must carry, as a comma-led
 /// fragment ready to splice before the closing brace:
 ///   std::printf("{\"bench\":\"x\",\"metric\":%f%s}\n", v,
@@ -52,13 +77,22 @@ inline std::string CompilerId() {
 /// with effective_threads == 1 (e.g. measured on a 1-core host) is flat
 /// by construction, not by regression. Committed BENCH_*.json baselines
 /// are only comparable when the stamp matches the host they were
-/// measured on.
-inline std::string JsonStamp(size_t effective_threads) {
-  return std::string(",\"git_sha\":\"") + PLANAR_GIT_SHA +
-         "\",\"build_utc\":\"" + PLANAR_BUILD_UTC + "\",\"compiler\":\"" +
-         CompilerId() + "\",\"host_threads\":" +
-         std::to_string(std::thread::hardware_concurrency()) +
-         ",\"effective_threads\":" + std::to_string(effective_threads);
+/// measured on. `resident_bytes`, when non-zero, is the measured
+/// configuration's hot-path footprint (PlanarIndexSet::ResidentBytes);
+/// peak_rss_bytes is stamped on every line.
+inline std::string JsonStamp(size_t effective_threads,
+                             size_t resident_bytes = 0) {
+  std::string stamp =
+      std::string(",\"git_sha\":\"") + PLANAR_GIT_SHA + "\",\"build_utc\":\"" +
+      PLANAR_BUILD_UTC + "\",\"compiler\":\"" + CompilerId() +
+      "\",\"host_threads\":" +
+      std::to_string(std::thread::hardware_concurrency()) +
+      ",\"effective_threads\":" + std::to_string(effective_threads) +
+      ",\"peak_rss_bytes\":" + std::to_string(PeakRssBytes());
+  if (resident_bytes != 0) {
+    stamp += ",\"resident_bytes\":" + std::to_string(resident_bytes);
+  }
+  return stamp;
 }
 
 /// Prints the standard bench banner.

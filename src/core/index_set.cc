@@ -10,6 +10,7 @@
 
 #include "common/macros.h"
 #include "common/random.h"
+#include "core/mixed.h"
 #include "core/parallel.h"
 #include "geometry/vec.h"
 
@@ -372,6 +373,30 @@ Result<PlanarIndexSet> PlanarIndexSet::Clone() const {
 size_t PlanarIndexSet::MemoryUsage() const {
   size_t total = sizeof(*this) + phi_->MemoryUsage();
   for (const PlanarIndex& index : indices_) total += index.MemoryUsage();
+  return total;
+}
+
+void PlanarIndexSet::MaybeEnableMixedPrecision() {
+  if (MixedPrecisionForcedOn()) {
+    options_.index_options.mixed_precision = true;
+  }
+  if (options_.index_options.mixed_precision &&
+      MixedPrecisionRuntimeEnabled()) {
+    phi_->EnableF32Mirror();
+  }
+}
+
+size_t PlanarIndexSet::ResidentBytes() const {
+  const size_t n = phi_->size();
+  // f32-ok: the mirror halves the bytes the verification kernels stream.
+  const bool mirror = phi_->f32_data() != nullptr;
+  const size_t row_bytes = phi_->dim() * (mirror ? sizeof(float)
+                                                 : sizeof(double));
+  size_t total = n * row_bytes;
+  // Per index: the phase-1/2 walk touches one sorted key (f32 when the
+  // mixed bracket walk is live, f64 otherwise) and one row id per rank.
+  const size_t key_bytes = mirror ? sizeof(float) : sizeof(double);
+  total += indices_.size() * n * (key_bytes + sizeof(uint32_t));
   return total;
 }
 

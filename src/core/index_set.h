@@ -233,10 +233,26 @@ class PlanarIndexSet {
   /// Heap footprint of all indices plus the owned matrix, in bytes.
   size_t MemoryUsage() const;
 
+  /// Bytes actually streamed by the hot verification paths: the matrix
+  /// rows read by II verification / scan (f32 mirror when mixed precision
+  /// is live, f64 otherwise) plus each index's search-layout keys and row
+  /// ids. This is the bandwidth-bound footprint the mixed-precision mode
+  /// shrinks; MemoryUsage() is total RAM and *grows* with the mirror.
+  size_t ResidentBytes() const;
+
  private:
   explicit PlanarIndexSet(PhiMatrix phi, IndexSetOptions options)
       : phi_(std::make_unique<PhiMatrix>(std::move(phi))),
-        options_(options) {}
+        options_(options) {
+    MaybeEnableMixedPrecision();
+  }
+
+  // Applies the PLANAR_FORCE_F32 override to options_ and materializes the
+  // matrix's f32 mirror when mixed precision is on (option set and not
+  // disabled via PLANAR_DISABLE_F32). Called from the constructor so every
+  // route into a live set — Build, BuildWithNormals, Clone, snapshot load —
+  // regenerates the mirror; it is never serialized.
+  void MaybeEnableMixedPrecision();
 
   // Builds every definition (sharded across options_.build_threads via
   // ParallelFor) and appends the indices in definition order; on any

@@ -1,0 +1,111 @@
+// Copyright (c) 2026 The planar Authors. Licensed under the MIT license.
+//
+// Portable scalar f32 kernels (the canonical eight-lane blocked-summation
+// reference) and their one-time runtime dispatch. Compiled with
+// -ffp-contract=off like every kernel TU, so the per-lane multiply-adds
+// are never fused and the AVX2 f32 path reproduces these results
+// bit-for-bit (see the DotOpsF32 contract in kernels.h).
+
+#include "core/kernels/kernels.h"
+
+namespace planar {
+namespace kernels {
+
+namespace {
+
+// The canonical f32 blocked dot product: eight partial sums over lanes
+// j % 8, reduced as t_l = s_l + s_{l+4} then ((t0 + t2) + (t1 + t3)), and
+// a sequential tail. Mirrors how one __m256 of eight floats is reduced
+// (low/high 128-bit halves added first), so the AVX2 implementation can
+// match it exactly.
+float DotOneF32Scalar(const float* a, const float* row, size_t dim) {
+  float s0 = 0.0f, s1 = 0.0f, s2 = 0.0f, s3 = 0.0f;
+  float s4 = 0.0f, s5 = 0.0f, s6 = 0.0f, s7 = 0.0f;
+  size_t j = 0;
+  for (; j + 8 <= dim; j += 8) {
+    s0 += a[j] * row[j];
+    s1 += a[j + 1] * row[j + 1];
+    s2 += a[j + 2] * row[j + 2];
+    s3 += a[j + 3] * row[j + 3];
+    s4 += a[j + 4] * row[j + 4];
+    s5 += a[j + 5] * row[j + 5];
+    s6 += a[j + 6] * row[j + 6];
+    s7 += a[j + 7] * row[j + 7];
+  }
+  const float t0 = s0 + s4;
+  const float t1 = s1 + s5;
+  const float t2 = s2 + s6;
+  const float t3 = s3 + s7;
+  float tail = 0.0f;
+  for (; j < dim; ++j) tail += a[j] * row[j];
+  return ((t0 + t2) + (t1 + t3)) + tail;
+}
+
+void DotGatherF32Scalar(const float* a, size_t dim, const float* rows,
+                        size_t stride, const uint32_t* ids, size_t count,
+                        float bias, float* out) {
+  // Two-way row unroll, like the f64 gather: independent accumulation
+  // chains for adjacent candidates hide load latency.
+  size_t i = 0;
+  for (; i + 2 <= count; i += 2) {
+    const float* r0 = rows + static_cast<size_t>(ids[i]) * stride;
+    const float* r1 = rows + static_cast<size_t>(ids[i + 1]) * stride;
+    out[i] = DotOneF32Scalar(a, r0, dim) + bias;
+    out[i + 1] = DotOneF32Scalar(a, r1, dim) + bias;
+  }
+  for (; i < count; ++i) {
+    out[i] =
+        DotOneF32Scalar(a, rows + static_cast<size_t>(ids[i]) * stride, dim) +
+        bias;
+  }
+}
+
+void DotRangeF32Scalar(const float* a, size_t dim, const float* rows,
+                       size_t stride, size_t first_row, size_t count,
+                       float bias, float* out) {
+  const float* row = rows + first_row * stride;
+  for (size_t i = 0; i < count; ++i, row += stride) {
+    out[i] = DotOneF32Scalar(a, row, dim) + bias;
+  }
+}
+
+void DotBlockManyF32Scalar(const float* const* qs, const float* biases,
+                           size_t num_q, size_t dim, const float* rows,
+                           size_t stride, const uint32_t* ids, size_t count,
+                           float* out, size_t out_stride) {
+  for (size_t q = 0; q < num_q; ++q) {
+    DotGatherF32Scalar(qs[q], dim, rows, stride, ids, count, biases[q],
+                       out + q * out_stride);
+  }
+}
+
+constexpr DotOpsF32 kScalarOpsF32 = {&DotOneF32Scalar, &DotGatherF32Scalar,
+                                     &DotRangeF32Scalar,
+                                     &DotBlockManyF32Scalar, "scalar-f32"};
+
+const DotOpsF32& DispatchF32() {
+  // Piggybacks on the f64 dispatch decision: SimdEnabled() is false when
+  // PLANAR_DISABLE_SIMD is set or the CPU lacks avx2+fma, and the f32
+  // backend must always match the f64 one (a mixed scalar/AVX2 pairing
+  // would be harmless for correctness but confusing to benchmark).
+  if (!SimdEnabled()) return kScalarOpsF32;
+  const DotOpsF32* avx2 = Avx2OpsF32();
+  if (avx2 != nullptr) return *avx2;
+  return kScalarOpsF32;
+}
+
+}  // namespace
+
+#if !PLANAR_HAVE_AVX2
+const DotOpsF32* Avx2OpsF32() { return nullptr; }
+#endif
+
+const DotOpsF32& ScalarOpsF32() { return kScalarOpsF32; }
+
+const DotOpsF32& OpsF32() {
+  static const DotOpsF32& ops = DispatchF32();
+  return ops;
+}
+
+}  // namespace kernels
+}  // namespace planar

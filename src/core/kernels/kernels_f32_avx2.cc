@@ -1,0 +1,211 @@
+// Copyright (c) 2026 The planar Authors. Licensed under the MIT license.
+//
+// AVX2 f32 kernels for the mixed-precision mirror path. Compiled with
+// -mavx2 -mfma -ffp-contract=off like the f64 AVX2 TU; nothing here runs
+// unless Avx2OpsF32() verified cpuid support at dispatch time.
+//
+// Bit-identical contract (DotOpsF32 in kernels.h): one __m256 accumulator
+// holds eight per-lane partial sums (indices j % 8), reduced as
+// t_l = s_l + s_{l+4} (adding the low and high 128-bit halves) and then
+// ((t0 + t2) + (t1 + t3)) — exactly the scalar f32 reference's order.
+
+#include "core/kernels/kernels.h"
+
+#if PLANAR_HAVE_AVX2
+
+#include <immintrin.h>
+
+namespace planar {
+namespace kernels {
+
+namespace {
+
+// Reduces an 8-lane f32 accumulator in the canonical order: low/high
+// 128-bit halves added first (t_l = s_l + s_{l+4}), then the 4-lane
+// ((t0 + t2) + (t1 + t3)) reduction, matching the scalar reference.
+inline float ReduceBlockedF32(__m256 acc) {
+  const __m128 lo = _mm256_castps256_ps128(acc);      // [s0, s1, s2, s3]
+  const __m128 hi = _mm256_extractf128_ps(acc, 1);    // [s4, s5, s6, s7]
+  const __m128 t = _mm_add_ps(lo, hi);                // [t0, t1, t2, t3]
+  const __m128 pair = _mm_add_ps(t, _mm_movehl_ps(t, t));  // [t0+t2, t1+t3]
+  const __m128 swapped = _mm_shuffle_ps(pair, pair, 0x55);
+  return _mm_cvtss_f32(_mm_add_ss(pair, swapped));
+}
+
+// Sequential tail for dim % 8 trailing entries, same order as the scalar
+// reference's tail loop.
+inline float TailDotF32(const float* a, const float* row, size_t from,
+                        size_t dim) {
+  float tail = 0.0f;
+  for (size_t j = from; j < dim; ++j) tail += a[j] * row[j];
+  return tail;
+}
+
+float DotOneF32Avx2(const float* a, const float* row, size_t dim) {
+  __m256 acc = _mm256_setzero_ps();
+  size_t j = 0;
+  for (; j + 8 <= dim; j += 8) {
+    acc = _mm256_add_ps(
+        acc, _mm256_mul_ps(_mm256_loadu_ps(a + j), _mm256_loadu_ps(row + j)));
+  }
+  return ReduceBlockedF32(acc) + TailDotF32(a, row, j, dim);
+}
+
+// Four rows per iteration, like the f64 gather: independent accumulation
+// chains per row hide the add latency.
+void DotGatherF32Avx2(const float* a, size_t dim, const float* rows,
+                      size_t stride, const uint32_t* ids, size_t count,
+                      float bias, float* out) {
+  size_t i = 0;
+  for (; i + 4 <= count; i += 4) {
+    const float* r0 = rows + static_cast<size_t>(ids[i]) * stride;
+    const float* r1 = rows + static_cast<size_t>(ids[i + 1]) * stride;
+    const float* r2 = rows + static_cast<size_t>(ids[i + 2]) * stride;
+    const float* r3 = rows + static_cast<size_t>(ids[i + 3]) * stride;
+    __m256 acc0 = _mm256_setzero_ps();
+    __m256 acc1 = _mm256_setzero_ps();
+    __m256 acc2 = _mm256_setzero_ps();
+    __m256 acc3 = _mm256_setzero_ps();
+    size_t j = 0;
+    for (; j + 8 <= dim; j += 8) {
+      const __m256 av = _mm256_loadu_ps(a + j);
+      acc0 = _mm256_add_ps(acc0, _mm256_mul_ps(av, _mm256_loadu_ps(r0 + j)));
+      acc1 = _mm256_add_ps(acc1, _mm256_mul_ps(av, _mm256_loadu_ps(r1 + j)));
+      acc2 = _mm256_add_ps(acc2, _mm256_mul_ps(av, _mm256_loadu_ps(r2 + j)));
+      acc3 = _mm256_add_ps(acc3, _mm256_mul_ps(av, _mm256_loadu_ps(r3 + j)));
+    }
+    out[i] = ReduceBlockedF32(acc0) + TailDotF32(a, r0, j, dim) + bias;
+    out[i + 1] = ReduceBlockedF32(acc1) + TailDotF32(a, r1, j, dim) + bias;
+    out[i + 2] = ReduceBlockedF32(acc2) + TailDotF32(a, r2, j, dim) + bias;
+    out[i + 3] = ReduceBlockedF32(acc3) + TailDotF32(a, r3, j, dim) + bias;
+  }
+  for (; i < count; ++i) {
+    out[i] =
+        DotOneF32Avx2(a, rows + static_cast<size_t>(ids[i]) * stride, dim) +
+        bias;
+  }
+}
+
+void DotRangeF32Avx2(const float* a, size_t dim, const float* rows,
+                     size_t stride, size_t first_row, size_t count, float bias,
+                     float* out) {
+  const float* row = rows + first_row * stride;
+  size_t i = 0;
+  for (; i + 4 <= count; i += 4) {
+    const float* r0 = row;
+    const float* r1 = row + stride;
+    const float* r2 = row + 2 * stride;
+    const float* r3 = row + 3 * stride;
+    __m256 acc0 = _mm256_setzero_ps();
+    __m256 acc1 = _mm256_setzero_ps();
+    __m256 acc2 = _mm256_setzero_ps();
+    __m256 acc3 = _mm256_setzero_ps();
+    size_t j = 0;
+    for (; j + 8 <= dim; j += 8) {
+      const __m256 av = _mm256_loadu_ps(a + j);
+      acc0 = _mm256_add_ps(acc0, _mm256_mul_ps(av, _mm256_loadu_ps(r0 + j)));
+      acc1 = _mm256_add_ps(acc1, _mm256_mul_ps(av, _mm256_loadu_ps(r1 + j)));
+      acc2 = _mm256_add_ps(acc2, _mm256_mul_ps(av, _mm256_loadu_ps(r2 + j)));
+      acc3 = _mm256_add_ps(acc3, _mm256_mul_ps(av, _mm256_loadu_ps(r3 + j)));
+    }
+    out[i] = ReduceBlockedF32(acc0) + TailDotF32(a, r0, j, dim) + bias;
+    out[i + 1] = ReduceBlockedF32(acc1) + TailDotF32(a, r1, j, dim) + bias;
+    out[i + 2] = ReduceBlockedF32(acc2) + TailDotF32(a, r2, j, dim) + bias;
+    out[i + 3] = ReduceBlockedF32(acc3) + TailDotF32(a, r3, j, dim) + bias;
+    row += 4 * stride;
+  }
+  for (; i < count; ++i, row += stride) {
+    out[i] = DotOneF32Avx2(a, row, dim) + bias;
+  }
+}
+
+// Two queries x four rows register-blocked micro-GEMM, the f32 analogue of
+// DotBlockManyAvx2: each row block's loads are shared across the query
+// pair. Odd trailing query falls back to the single-query gather.
+void DotBlockManyF32Avx2(const float* const* qs, const float* biases,
+                         size_t num_q, size_t dim, const float* rows,
+                         size_t stride, const uint32_t* ids, size_t count,
+                         float* out, size_t out_stride) {
+  size_t q = 0;
+  for (; q + 2 <= num_q; q += 2) {
+    const float* a0 = qs[q];
+    const float* a1 = qs[q + 1];
+    float* out0 = out + q * out_stride;
+    float* out1 = out + (q + 1) * out_stride;
+    const float bias0 = biases[q];
+    const float bias1 = biases[q + 1];
+    size_t i = 0;
+    for (; i + 4 <= count; i += 4) {
+      const float* r0 = rows + static_cast<size_t>(ids[i]) * stride;
+      const float* r1 = rows + static_cast<size_t>(ids[i + 1]) * stride;
+      const float* r2 = rows + static_cast<size_t>(ids[i + 2]) * stride;
+      const float* r3 = rows + static_cast<size_t>(ids[i + 3]) * stride;
+      __m256 acc00 = _mm256_setzero_ps();
+      __m256 acc01 = _mm256_setzero_ps();
+      __m256 acc02 = _mm256_setzero_ps();
+      __m256 acc03 = _mm256_setzero_ps();
+      __m256 acc10 = _mm256_setzero_ps();
+      __m256 acc11 = _mm256_setzero_ps();
+      __m256 acc12 = _mm256_setzero_ps();
+      __m256 acc13 = _mm256_setzero_ps();
+      size_t j = 0;
+      for (; j + 8 <= dim; j += 8) {
+        const __m256 av0 = _mm256_loadu_ps(a0 + j);
+        const __m256 av1 = _mm256_loadu_ps(a1 + j);
+        const __m256 rv0 = _mm256_loadu_ps(r0 + j);
+        const __m256 rv1 = _mm256_loadu_ps(r1 + j);
+        const __m256 rv2 = _mm256_loadu_ps(r2 + j);
+        const __m256 rv3 = _mm256_loadu_ps(r3 + j);
+        acc00 = _mm256_add_ps(acc00, _mm256_mul_ps(av0, rv0));
+        acc01 = _mm256_add_ps(acc01, _mm256_mul_ps(av0, rv1));
+        acc02 = _mm256_add_ps(acc02, _mm256_mul_ps(av0, rv2));
+        acc03 = _mm256_add_ps(acc03, _mm256_mul_ps(av0, rv3));
+        acc10 = _mm256_add_ps(acc10, _mm256_mul_ps(av1, rv0));
+        acc11 = _mm256_add_ps(acc11, _mm256_mul_ps(av1, rv1));
+        acc12 = _mm256_add_ps(acc12, _mm256_mul_ps(av1, rv2));
+        acc13 = _mm256_add_ps(acc13, _mm256_mul_ps(av1, rv3));
+      }
+      out0[i] = ReduceBlockedF32(acc00) + TailDotF32(a0, r0, j, dim) + bias0;
+      out0[i + 1] =
+          ReduceBlockedF32(acc01) + TailDotF32(a0, r1, j, dim) + bias0;
+      out0[i + 2] =
+          ReduceBlockedF32(acc02) + TailDotF32(a0, r2, j, dim) + bias0;
+      out0[i + 3] =
+          ReduceBlockedF32(acc03) + TailDotF32(a0, r3, j, dim) + bias0;
+      out1[i] = ReduceBlockedF32(acc10) + TailDotF32(a1, r0, j, dim) + bias1;
+      out1[i + 1] =
+          ReduceBlockedF32(acc11) + TailDotF32(a1, r1, j, dim) + bias1;
+      out1[i + 2] =
+          ReduceBlockedF32(acc12) + TailDotF32(a1, r2, j, dim) + bias1;
+      out1[i + 3] =
+          ReduceBlockedF32(acc13) + TailDotF32(a1, r3, j, dim) + bias1;
+    }
+    for (; i < count; ++i) {
+      const float* r = rows + static_cast<size_t>(ids[i]) * stride;
+      out0[i] = DotOneF32Avx2(a0, r, dim) + bias0;
+      out1[i] = DotOneF32Avx2(a1, r, dim) + bias1;
+    }
+  }
+  for (; q < num_q; ++q) {
+    DotGatherF32Avx2(qs[q], dim, rows, stride, ids, count, biases[q],
+                     out + q * out_stride);
+  }
+}
+
+constexpr DotOpsF32 kAvx2OpsF32 = {&DotOneF32Avx2, &DotGatherF32Avx2,
+                                   &DotRangeF32Avx2, &DotBlockManyF32Avx2,
+                                   "avx2-f32"};
+
+}  // namespace
+
+const DotOpsF32* Avx2OpsF32() {
+  // Same once-checked cpuid latch as the f64 path.
+  static const bool supported =
+      __builtin_cpu_supports("avx2") && __builtin_cpu_supports("fma");
+  return supported ? &kAvx2OpsF32 : nullptr;
+}
+
+}  // namespace kernels
+}  // namespace planar
+
+#endif  // PLANAR_HAVE_AVX2

@@ -1,0 +1,184 @@
+// Copyright (c) 2026 The planar Authors. Licensed under the MIT license.
+//
+// Band derivation (summary; full walk-through in DESIGN.md section 5j).
+// The f32 residual r32 = fl32(<a32, x32> - b32) differs from the f64
+// reference residual r64 by (1) conversion error of a, b, and the mirror
+// rows — relative u32 = 2^-24 per value, absolute ~2^-150 in the f32
+// subnormal range, (2) f32 summation rounding, bounded by gamma_dim * S
+// where S = |b| + sum_i |a_i| * M_i envelopes every partial sum via the
+// grow-only column bounds M_i, and (3) the f64 reference's own rounding,
+// ~dim * 2^-53 * S. The band adds them with ~4x margin:
+//
+//   band = 4 (dim+4) u32 S  +  2^-148 (1 + sum_i (|a_i| + M_i))
+//        + (2 dim + 4) 2^-126
+//
+// The middle term covers subnormal conversion error amplified by the
+// opposite factor (|a_i| * err(x_i) and M_i * err(a_i)); the last covers
+// per-operation underflow rounding. The plan is unusable when 4S or the
+// band leave the finite float range, so f32 partial sums can never
+// overflow to infinity and make a wrong sure decision; NaN residuals fail
+// both band compares and always re-verify in f64.
+
+#include "core/mixed.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdlib>
+#include <limits>
+
+#include "common/macros.h"
+#include "core/kernels/kernels.h"
+
+namespace planar {
+
+namespace {
+
+// f32-ok: range constants for the band and overflow guards.
+constexpr double kFloatMax =
+    static_cast<double>(std::numeric_limits<float>::max());
+
+// Reads an on/off environment flag exactly once per call site (the
+// callers latch the result in a static). Same contract as
+// PLANAR_DISABLE_SIMD: unset, empty, or "0" means false.
+bool EnvFlagSet(const char* name) {
+  // Read before any worker threads exist; nothing in the library calls
+  // setenv, so the concurrent-getenv hazard cannot arise.
+  // NOLINTNEXTLINE(concurrency-mt-unsafe)
+  const char* env = std::getenv(name);
+  if (env == nullptr || env[0] == '\0') return false;
+  return !(env[0] == '0' && env[1] == '\0');
+}
+
+}  // namespace
+
+bool MixedPrecisionRuntimeEnabled() {
+  static const bool enabled = !EnvFlagSet("PLANAR_DISABLE_F32");
+  return enabled;
+}
+
+bool MixedPrecisionForcedOn() {
+  static const bool forced = EnvFlagSet("PLANAR_FORCE_F32");
+  return forced;
+}
+
+MixedQueryPlan MakeMixedPlan(const double* a, size_t dim, double b,
+                             bool less_equal, const RowMatrix& phi) {
+  MixedQueryPlan plan;
+  plan.less_equal = less_equal;
+  if (!MixedPrecisionRuntimeEnabled()) return plan;
+  if (phi.f32_data() == nullptr || phi.empty() || phi.dim() != dim) {
+    return plan;
+  }
+  const double u32 = std::ldexp(1.0, -24);
+  double s = std::fabs(b);
+  double abs_slack = 1.0;
+  for (size_t i = 0; i < dim; ++i) {
+    const double mi =
+        std::max(std::fabs(phi.ColumnMin(i)), std::fabs(phi.ColumnMax(i)));
+    s += std::fabs(a[i]) * mi;
+    abs_slack += std::fabs(a[i]) + mi;
+  }
+  // Overflow guard: with 4S inside the float range no f32 partial sum can
+  // reach infinity, so a finite (possibly wrong-by-less-than-band) f32
+  // residual is guaranteed. The !(<) form also rejects NaN envelopes
+  // (non-finite a, b, or column bounds).
+  if (!(s * 4.0 < kFloatMax)) return plan;
+  const double band_d = 4.0 * static_cast<double>(dim + 4) * u32 * s +
+                        std::ldexp(abs_slack, -148) +
+                        (2.0 * static_cast<double>(dim) + 4.0) *
+                            std::ldexp(1.0, -126);
+  if (!(band_d < kFloatMax)) return plan;
+  // Round the band up one ulp so the float compare is conservative even
+  // when the double->float cast rounded down.
+  plan.band = std::nextafterf(static_cast<float>(band_d),
+                              std::numeric_limits<float>::infinity());
+  plan.a32.resize(dim);
+  for (size_t i = 0; i < dim; ++i) plan.a32[i] = FloatMirrorValue(a[i]);
+  plan.bias32 = FloatMirrorValue(-b);
+  plan.usable = true;
+  return plan;
+}
+
+size_t MixedResolveBlock(const MixedQueryPlan& plan, const double* a,
+                         size_t dim, double b, const double* rows64,
+                         size_t stride, const uint32_t* ids,
+                         const float* res32, size_t blk, double* decision) {
+  PLANAR_DCHECK(plan.usable && blk <= kernels::kBlockRows);
+  // f32-ok: band compares run in float against the f32 residuals.
+  const float band = plan.band;
+  // Sentinels chosen so CompressAccept's predicate (<= 0 for less_equal,
+  // >= 0 otherwise) passes for sure accepts and fails for sure rejects.
+  const double pass = plan.less_equal ? -1.0 : 1.0;
+  const double fail = -pass;
+  uint32_t band_ids[kernels::kBlockRows];
+  size_t band_pos[kernels::kBlockRows];
+  size_t nband = 0;
+  if (plan.less_equal) {
+    for (size_t i = 0; i < blk; ++i) {
+      const float r = res32[i];
+      const bool sure_accept = r < -band;
+      const bool sure_reject = r > band;
+      decision[i] = sure_accept ? pass : fail;
+      // Compress-collect the band rows (NaN fails both strict compares
+      // and lands here, the conservative side).
+      band_ids[nband] = ids[i];
+      band_pos[nband] = i;
+      nband += static_cast<size_t>(!(sure_accept || sure_reject));
+    }
+  } else {
+    for (size_t i = 0; i < blk; ++i) {
+      const float r = res32[i];
+      const bool sure_accept = r > band;
+      const bool sure_reject = r < -band;
+      decision[i] = sure_accept ? pass : fail;
+      band_ids[nband] = ids[i];
+      band_pos[nband] = i;
+      nband += static_cast<size_t>(!(sure_accept || sure_reject));
+    }
+  }
+  if (nband != 0) {
+    double res64[kernels::kBlockRows];
+    kernels::Ops().dot_gather(a, dim, rows64, stride, band_ids, nband, -b,
+                              res64);
+    for (size_t i = 0; i < nband; ++i) decision[band_pos[i]] = res64[i];
+  }
+  return nband;
+}
+
+size_t MixedResolveBlockRange(const MixedQueryPlan& plan, const double* a,
+                              size_t dim, double b, const double* rows64,
+                              size_t stride, size_t first_row,
+                              const float* res32, size_t blk,
+                              double* decision) {
+  PLANAR_DCHECK(blk <= kernels::kBlockRows);
+  uint32_t ids[kernels::kBlockRows];
+  for (size_t i = 0; i < blk; ++i) {
+    ids[i] = static_cast<uint32_t>(first_row + i);
+  }
+  return MixedResolveBlock(plan, a, dim, b, rows64, stride, ids, res32, blk,
+                           decision);
+}
+
+size_t MixedFilterPossible(const MixedQueryPlan& plan, const float* res32,
+                           const uint32_t* ids, size_t blk,
+                           uint32_t* possible) {
+  PLANAR_DCHECK(plan.usable);
+  // f32-ok: band compares run in float against the f32 residuals.
+  const float band = plan.band;
+  size_t kept = 0;
+  if (plan.less_equal) {
+    for (size_t i = 0; i < blk; ++i) {
+      possible[kept] = ids[i];
+      // NaN fails the strict compare, so it stays possible.
+      kept += static_cast<size_t>(!(res32[i] > band));
+    }
+  } else {
+    for (size_t i = 0; i < blk; ++i) {
+      possible[kept] = ids[i];
+      kept += static_cast<size_t>(!(res32[i] < -band));
+    }
+  }
+  return kept;
+}
+
+}  // namespace planar

@@ -21,6 +21,16 @@ namespace planar {
 
 namespace {
 
+// Bracket half-width around an f32 mirror key guaranteed to contain the
+// exact f64 key: float conversion error is at most u32 = 2^-24 relative
+// (so <= u32 |k32| / (1 - u32) in terms of the mirror value) plus 2^-150
+// absolute in the f32 subnormal range. 4 u32 |k32| + 2^-126 covers both
+// with margin to spare for the double-arithmetic rounding of the bracket
+// itself. Only valid for finite mirror keys; overflow-clamped infinities
+// fall back to the exact key.
+constexpr double kKeyBracketRel = 0x1p-22;
+constexpr double kKeyBracketAbs = 0x1p-126;
+
 // Exact signed residual <a, phi_row> - b, computed with the kernel dot so
 // per-row evaluations (top-k walk) agree bit-for-bit with the batched
 // verification blocks.
@@ -51,6 +61,42 @@ bool VerifyBlocks(const NormalizedQuery& q, const double* rows, size_t stride,
     const size_t old_size = out->size();
     out->resize(old_size + blk);
     const size_t kept = kernels::CompressAccept(residuals, ids + off, blk, le,
+                                                out->data() + old_size);
+    out->resize(old_size + kept);
+  }
+  return true;
+}
+
+// VerifyBlocks through the mixed-precision path (DESIGN.md section 5j):
+// per block, one f32 gather over the mirror classifies every candidate
+// against the widened band, MixedResolveBlock re-verifies only band rows
+// in f64 and leaves a decision-residual array whose CompressAccept output
+// is bit-identical to the pure-f64 path — same ids, same order, same
+// block/cancellation cadence.
+// f32-ok: `rows32` is the read-only mirror; exactness comes from the
+// band + f64 re-verify above.
+template <typename CancelFn>
+bool VerifyBlocksMixed(const NormalizedQuery& q, const MixedQueryPlan& mixed,
+                       const double* rows, const float* rows32, size_t stride,
+                       const uint32_t* ids, size_t count, CancelFn&& cancelled,
+                       std::vector<uint32_t>* out) {
+  const kernels::DotOpsF32& ops32 = kernels::OpsF32();
+  const bool le = q.cmp == Comparison::kLessEqual;
+  const double* a = q.a.data();
+  const size_t dim = q.a.size();
+  // f32-ok: mirror residual block for band classification.
+  float res32[kernels::kBlockRows];
+  double decision[kernels::kBlockRows];
+  for (size_t off = 0; off < count; off += kernels::kBlockRows) {
+    if (cancelled()) return false;
+    const size_t blk = std::min(kernels::kBlockRows, count - off);
+    ops32.dot_gather(mixed.a32.data(), dim, rows32, stride, ids + off, blk,
+                     mixed.bias32, res32);
+    MixedResolveBlock(mixed, a, dim, q.b, rows, stride, ids + off, res32, blk,
+                      decision);
+    const size_t old_size = out->size();
+    out->resize(old_size + blk);
+    const size_t kept = kernels::CompressAccept(decision, ids + off, blk, le,
                                                 out->data() + old_size);
     out->resize(old_size + kept);
   }
@@ -165,8 +211,22 @@ void PlanarIndex::Rebuild() {
 void PlanarIndex::RefreshSearchLayout() {
   if (options_.backend == PlanarIndexOptions::Backend::kSortedArray) {
     eytz_.Build(keys_.data(), keys_.size());
+    if (options_.mixed_precision && MixedPrecisionRuntimeEnabled()) {
+      // Refresh the f32 key mirror alongside the Eytzinger sidecar so
+      // every maintenance path (Rebuild, Update, UpdateBatch, append
+      // merges) keeps it consistent by construction.
+      keys_f32_.resize(keys_.size());
+      for (size_t r = 0; r < keys_.size(); ++r) {
+        keys_f32_[r] = FloatMirrorValue(keys_[r]);
+      }
+    } else {
+      keys_f32_.clear();
+      keys_f32_.shrink_to_fit();
+    }
   } else {
     eytz_.Clear();
+    keys_f32_.clear();
+    keys_f32_.shrink_to_fit();
   }
 }
 
@@ -409,6 +469,9 @@ Result<InequalityResult> PlanarIndex::RunInequality(
   const size_t larger_begin = RankLessEqual(p.high_cut);
   PLANAR_DCHECK(smaller_end <= larger_begin);
 
+  // One mixed-precision plan per query, shared read-only by every
+  // verification shard; unusable means the blocks run pure f64.
+  const MixedQueryPlan mixed = MixedPlanFor(q);
   const bool le = q.cmp == Comparison::kLessEqual;
   // Which rank range is accepted outright.
   const size_t accept_begin = le ? 0 : larger_begin;
@@ -429,8 +492,8 @@ Result<InequalityResult> PlanarIndex::RunInequality(
     result.ids.insert(result.ids.end(),
                       ids_.begin() + static_cast<ptrdiff_t>(accept_begin),
                       ids_.begin() + static_cast<ptrdiff_t>(accept_end));
-    if (!VerifyCandidates(q, ids_.data() + smaller_end, ii_count, deadline,
-                          &result.ids)) {
+    if (!VerifyCandidates(q, mixed, ids_.data() + smaller_end, ii_count,
+                          deadline, &result.ids)) {
       return Status::DeadlineExceeded(
           "inequality query exceeded its deadline during II verification");
     }
@@ -444,7 +507,7 @@ Result<InequalityResult> PlanarIndex::RunInequality(
     // with the same batched kernels as the sorted-array backend.
     std::vector<uint32_t> candidates;
     CollectRange(smaller_end, larger_begin, &candidates);
-    if (!VerifyCandidates(q, candidates.data(), ii_count, deadline,
+    if (!VerifyCandidates(q, mixed, candidates.data(), ii_count, deadline,
                           &result.ids)) {
       return Status::DeadlineExceeded(
           "inequality query exceeded its deadline during II verification");
@@ -459,27 +522,42 @@ Result<InequalityResult> PlanarIndex::RunInequality(
   return result;
 }
 
+MixedQueryPlan PlanarIndex::MixedPlanFor(const NormalizedQuery& q) const {
+  if (!options_.mixed_precision) return MixedQueryPlan();
+  return MakeMixedPlan(q.a.data(), q.a.size(), q.b,
+                       q.cmp == Comparison::kLessEqual, *phi_);
+}
+
 bool PlanarIndex::VerifyCandidates(const NormalizedQuery& q,
+                                   const MixedQueryPlan& mixed,
                                    const uint32_t* ids, size_t count,
                                    const Deadline& deadline,
                                    std::vector<uint32_t>* out) const {
   if (count == 0) return true;
   const size_t threads = options_.parallel_verify_threads;
   if (threads != 1 && count >= kParallelVerifyMinRows) {
-    return VerifyCandidatesParallel(q, ids, count, threads, deadline, out);
+    return VerifyCandidatesParallel(q, mixed, ids, count, threads, deadline,
+                                    out);
   }
-  return VerifyCandidatesSerial(q, ids, count, deadline, out);
+  return VerifyCandidatesSerial(q, mixed, ids, count, deadline, out);
 }
 
 bool PlanarIndex::VerifyCandidatesSerial(const NormalizedQuery& q,
+                                         const MixedQueryPlan& mixed,
                                          const uint32_t* ids, size_t count,
                                          const Deadline& deadline,
                                          std::vector<uint32_t>* out) const {
+  if (mixed.usable) {
+    return VerifyBlocksMixed(q, mixed, phi_->data(), phi_->f32_data(),
+                             phi_->dim(), ids, count,
+                             [&deadline] { return deadline.Expired(); }, out);
+  }
   return VerifyBlocks(q, phi_->data(), phi_->dim(), ids, count,
                       [&deadline] { return deadline.Expired(); }, out);
 }
 
 bool PlanarIndex::VerifyCandidatesParallel(const NormalizedQuery& q,
+                                           const MixedQueryPlan& mixed,
                                            const uint32_t* ids, size_t count,
                                            size_t threads,
                                            const Deadline& deadline,
@@ -508,18 +586,25 @@ bool PlanarIndex::VerifyCandidatesParallel(const NormalizedQuery& q,
         if (begin >= end) return;
         std::vector<uint32_t>& local = shard_out[s];
         local.reserve(end - begin);
-        const bool done = VerifyBlocks(
-            q, phi_->data(), phi_->dim(), ids + begin, end - begin,
-            [&] {
-              // relaxed-ok: advisory fast-exit flag; the post-join load
-              // is the authoritative answer (see the comment at the
-              // declaration above).
-              if (expired.load(std::memory_order_relaxed)) return true;
-              if (!deadline.Expired()) return false;
-              expired.store(true, std::memory_order_relaxed);
-              return true;
-            },
-            &local);
+        auto cancelled = [&] {
+          // relaxed-ok: advisory fast-exit flag; the post-join load
+          // is the authoritative answer (see the comment at the
+          // declaration above).
+          if (expired.load(std::memory_order_relaxed)) return true;
+          if (!deadline.Expired()) return false;
+          expired.store(true, std::memory_order_relaxed);
+          return true;
+        };
+        // The mixed plan is read-only; every shard classifies its own
+        // candidate range with it, so shard-order concatenation still
+        // reproduces the serial (mixed or pure-f64) output exactly.
+        const bool done =
+            mixed.usable
+                ? VerifyBlocksMixed(q, mixed, phi_->data(), phi_->f32_data(),
+                                    phi_->dim(), ids + begin, end - begin,
+                                    cancelled, &local)
+                : VerifyBlocks(q, phi_->data(), phi_->dim(), ids + begin,
+                               end - begin, cancelled, &local);
         (void)done;
       },
       shards);
@@ -578,26 +663,46 @@ Result<TopKResult> PlanarIndex::RunTopK(const NormalizedQuery& q, size_t k,
   const double norm_a = q.NormA();
   const bool le = q.cmp == Comparison::kLessEqual;
 
-  TopKBuffer buffer(k);
+  // The heap can never hold more than n entries, so a huge k does not
+  // reserve unbounded storage.
+  TopKBuffer buffer(k, n);
 
   // Phase 1: verify the intermediate interval (Algorithm 2, lines 3-7)
   // with the batched kernels — per block: one deadline poll, one batched
   // residual computation, then the (branchy, heap-bound) insert loop over
-  // the few matches.
+  // the few matches. With a usable mixed plan the f32 mirror prunes the
+  // sure rejects first and the exact residuals are gathered only for the
+  // remaining rows; a sure reject's residual fails the match predicate by
+  // definition of the band, so the inserted (id, distance) sequence — and
+  // therefore the heap state and final neighbors — is identical.
   const kernels::DotOps& ops = kernels::Ops();
+  const MixedQueryPlan mixed = MixedPlanFor(q);
   const double* rows = phi_->data();
+  // f32-ok: mirror base pointer for the mixed top-k filter.
+  const float* rows32 = phi_->f32_data();
   const size_t stride = phi_->dim();
   const size_t dim = q.a.size();
   const size_t ii_count = larger_begin - smaller_end;
   double residuals[kernels::kBlockRows];
+  // f32-ok: mirror residual block for the mixed top-k filter.
+  float res32[kernels::kBlockRows];
+  uint32_t possible[kernels::kBlockRows];
 
   auto consider_block = [&](const uint32_t* block_ids, size_t blk) {
-    ops.dot_gather(q.a.data(), dim, rows, stride, block_ids, blk, -q.b,
+    const uint32_t* eval_ids = block_ids;
+    size_t eval_count = blk;
+    if (mixed.usable) {
+      kernels::OpsF32().dot_gather(mixed.a32.data(), dim, rows32, stride,
+                                   block_ids, blk, mixed.bias32, res32);
+      eval_count = MixedFilterPossible(mixed, res32, block_ids, blk, possible);
+      eval_ids = possible;
+    }
+    ops.dot_gather(q.a.data(), dim, rows, stride, eval_ids, eval_count, -q.b,
                    residuals);
-    for (size_t i = 0; i < blk; ++i) {
+    for (size_t i = 0; i < eval_count; ++i) {
       const double residual = residuals[i];
       const bool match = le ? residual <= 0.0 : residual >= 0.0;
-      if (match) buffer.Insert(block_ids[i], std::fabs(residual) / norm_a);
+      if (match) buffer.Insert(eval_ids[i], std::fabs(residual) / norm_a);
     }
     result.stats.verified_intermediate += blk;
   };
@@ -622,6 +727,36 @@ Result<TopKResult> PlanarIndex::RunTopK(const NormalizedQuery& q, size_t k,
   const Status deadline_status = Status::DeadlineExceeded(
       "top-k query exceeded its deadline during candidate evaluation");
 
+  // Accept-region termination check. With the f32 key mirror available,
+  // the exact key is bracketed by [k32 - d, k32 + d] (see kKeyBracketRel):
+  // the computed lower_bound_distance is weakly monotone in the key
+  // (decreasing for <=, increasing for >=, every IEEE op order-preserving
+  // with positive rmax/rmin and norm_a), so evaluating it at the bracket
+  // ends decides most rows without touching the f64 keys_ line; only an
+  // inconclusive bracket (or a non-finite mirror key, where the bracket
+  // guarantee lapses) reads the exact key. The decision — and therefore
+  // early_terminated, scanned_accept_region, and the heap contents — is
+  // identical to the pure-f64 walk by the monotonicity argument.
+  const bool keys32 =
+      mixed.usable && !keys_.empty() && keys_f32_.size() == keys_.size();
+  auto terminate_at = [&](size_t r) {
+    if (!buffer.full()) return false;
+    const double worst = buffer.WorstDistance();
+    if (keys32) {
+      const double k32 = static_cast<double>(keys_f32_[r]);
+      if (std::isfinite(k32)) {
+        const double d = kKeyBracketRel * std::fabs(k32) + kKeyBracketAbs;
+        const double lb_term =
+            lower_bound_distance(le ? k32 + d : k32 - d);
+        if (lb_term > worst) return true;
+        const double lb_cont =
+            lower_bound_distance(le ? k32 - d : k32 + d);
+        if (lb_cont <= worst) return false;
+      }
+    }
+    return lower_bound_distance(keys_[r]) > worst;
+  };
+
   if (options_.backend == PlanarIndexOptions::Backend::kSortedArray) {
     for (size_t off = 0; off < ii_count; off += kernels::kBlockRows) {
       if (deadline.Expired()) return deadline_status;
@@ -633,8 +768,7 @@ Result<TopKResult> PlanarIndex::RunTopK(const NormalizedQuery& q, size_t k,
     if (le) {
       for (size_t r = smaller_end; r-- > 0;) {
         if (past_deadline()) return deadline_status;
-        if (buffer.full() &&
-            lower_bound_distance(keys_[r]) > buffer.WorstDistance()) {
+        if (terminate_at(r)) {
           result.stats.early_terminated = true;
           break;
         }
@@ -646,8 +780,7 @@ Result<TopKResult> PlanarIndex::RunTopK(const NormalizedQuery& q, size_t k,
     } else {
       for (size_t r = larger_begin; r < n; ++r) {
         if (past_deadline()) return deadline_status;
-        if (buffer.full() &&
-            lower_bound_distance(keys_[r]) > buffer.WorstDistance()) {
+        if (terminate_at(r)) {
           result.stats.early_terminated = true;
           break;
         }
@@ -984,6 +1117,7 @@ Result<PlanarIndex> PlanarIndex::CloneFor(const PhiMatrix* phi) const {
   copy.keys_ = keys_;
   copy.ids_ = ids_;
   copy.eytz_ = eytz_;
+  copy.keys_f32_ = keys_f32_;
   copy.key_of_row_ = key_of_row_;
   return copy;
 }
@@ -992,6 +1126,8 @@ size_t PlanarIndex::MemoryUsage() const {
   size_t total = sizeof(*this);
   total += keys_.capacity() * sizeof(double);
   total += ids_.capacity() * sizeof(uint32_t);
+  // f32-ok: key-mirror footprint accounting.
+  total += keys_f32_.capacity() * sizeof(float);
   total += eytz_.MemoryUsage();
   total += key_of_row_.capacity() * sizeof(double);
   total += (normal_.capacity() + signed_normal_.capacity()) * sizeof(double);

@@ -29,6 +29,7 @@
 #include "common/result.h"
 #include "common/status.h"
 #include "core/eytzinger.h"
+#include "core/mixed.h"
 #include "core/query.h"
 #include "core/row_matrix.h"
 #include "core/topk.h"
@@ -120,6 +121,19 @@ struct PlanarIndexOptions {
   /// nesting thread pools there would oversubscribe; turn this on for
   /// large single-query workloads.
   size_t parallel_verify_threads = 1;
+
+  /// Mixed-precision verification (DESIGN.md section 5j): when true and
+  /// the phi matrix carries an f32 mirror (RowMatrix::EnableF32Mirror —
+  /// PlanarIndexSet::Build does this automatically), II verification,
+  /// top-k candidate evaluation, and the batch streaming path classify
+  /// candidates with f32 kernels against a conservatively widened accept
+  /// band and re-verify only band rows in f64. Emitted ids, order, and
+  /// stats are bit-identical to the f64 reference; the win is ~2x fewer
+  /// bytes streamed per candidate row. The index also keeps an f32 copy
+  /// of its sorted keys for the top-k lower-bound walk. Ignored at
+  /// runtime when the PLANAR_DISABLE_F32 environment variable is set.
+  /// Not serialized: load paths rebuild mirrors from the stored doubles.
+  bool mixed_precision = false;
 
   /// Build/Rebuild parallelism (1 = serial, 0 = hardware concurrency,
   /// n = n threads): key construction shards the dot_range kernel over
@@ -353,21 +367,28 @@ class PlanarIndex {
                              const Deadline& deadline) const;
   // Verifies the candidate ids (block-batched kernels, one deadline poll
   // per block) and appends accepted ids to *out in candidate order.
+  // `mixed` is the per-query mixed-precision plan (unusable = pure f64).
   // Returns false iff the deadline expired mid-verification.
-  bool VerifyCandidatesSerial(const NormalizedQuery& q, const uint32_t* ids,
+  bool VerifyCandidatesSerial(const NormalizedQuery& q,
+                              const MixedQueryPlan& mixed, const uint32_t* ids,
                               size_t count, const Deadline& deadline,
                               std::vector<uint32_t>* out) const;
   // Same contract, sharded across ParallelFor with per-shard buffers
   // merged in shard order (deterministic: identical output to serial).
-  bool VerifyCandidatesParallel(const NormalizedQuery& q, const uint32_t* ids,
-                                size_t count, size_t threads,
-                                const Deadline& deadline,
+  bool VerifyCandidatesParallel(const NormalizedQuery& q,
+                                const MixedQueryPlan& mixed,
+                                const uint32_t* ids, size_t count,
+                                size_t threads, const Deadline& deadline,
                                 std::vector<uint32_t>* out) const;
   // Dispatches between the two based on options_ and count; for the
   // B+-tree backend the caller materializes candidate ids first.
-  bool VerifyCandidates(const NormalizedQuery& q, const uint32_t* ids,
-                        size_t count, const Deadline& deadline,
+  bool VerifyCandidates(const NormalizedQuery& q, const MixedQueryPlan& mixed,
+                        const uint32_t* ids, size_t count,
+                        const Deadline& deadline,
                         std::vector<uint32_t>* out) const;
+  // The mixed-precision plan for `q`, or an unusable plan when
+  // options_.mixed_precision is off or MakeMixedPlan declines.
+  MixedQueryPlan MixedPlanFor(const NormalizedQuery& q) const;
 
   const PhiMatrix* phi_ = nullptr;
   PlanarIndexOptions options_;
@@ -382,6 +403,12 @@ class PlanarIndex {
   std::vector<double> keys_;    // ascending
   std::vector<uint32_t> ids_;   // ids_[r] = row with rank r
   EytzingerKeys eytz_;          // branchless SI/LI boundary search
+  // f32-ok: mixed-precision key mirror (keys_f32_[r] = FloatMirrorValue
+  // of keys_[r]), refreshed with the search layout; empty unless
+  // options_.mixed_precision is on. The top-k accept-region walk brackets
+  // each exact key with it and touches keys_ only when the bracket is
+  // inconclusive.
+  std::vector<float> keys_f32_;
   // B+-tree backend.
   OrderStatisticBTree tree_;
 

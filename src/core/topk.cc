@@ -17,9 +17,12 @@ bool HeapLess(const Neighbor& a, const Neighbor& b) {
 
 }  // namespace
 
-TopKBuffer::TopKBuffer(size_t k) : k_(k) {
+TopKBuffer::TopKBuffer(size_t k, size_t candidate_bound) : k_(k) {
   PLANAR_CHECK_GT(k, 0u);
-  heap_.reserve(k);
+  // One up-front reservation sized to what can actually be held: Insert
+  // on the hot walk never reallocates, and an absurd k cannot
+  // over-allocate past the candidate count.
+  heap_.reserve(std::min(k, candidate_bound));
 }
 
 void TopKBuffer::Insert(uint32_t id, double distance) {

@@ -23,8 +23,12 @@ struct Neighbor {
 /// Keeps the k smallest-distance neighbors seen so far (max-heap).
 class TopKBuffer {
  public:
-  /// A buffer for k > 0 neighbors.
-  explicit TopKBuffer(size_t k);
+  /// A buffer for k > 0 neighbors. `candidate_bound`, when known, caps
+  /// the up-front reservation at min(k, candidate_bound): the buffer can
+  /// never hold more entries than candidates exist, so a huge k (say,
+  /// "top billion" against a thousand rows) must not reserve gigabytes.
+  explicit TopKBuffer(
+      size_t k, size_t candidate_bound = std::numeric_limits<size_t>::max());
 
   /// Offers a candidate; kept iff the buffer is not full or the candidate
   /// beats the current worst.

@@ -74,6 +74,19 @@ Rules (library code under src/ unless stated otherwise):
                     forbids the compiler from contracting a*b+c into FMA,
                     and a newly added kernel TU that misses the flag breaks
                     it silently on -O2.
+  no-naked-float-in-core
+                    the `float` type is forbidden in src/core outside the
+                    mixed-precision module (core/mixed.{h,cc}) and the
+                    kernel TUs (src/core/kernels/): every query answer
+                    must come from the exact f64 pipeline, and a float
+                    that leaks into index math silently destroys the
+                    bit-identity guarantee the mixed mode is built
+                    around. A deliberate reduced-precision site (mirror
+                    storage, band compares) carries an `f32-ok:` comment
+                    (same line or within the 8 lines above; consecutive
+                    uses chain) stating why the precision loss is safe —
+                    i.e. how the site is covered by the widened band +
+                    exact re-verify contract.
 
 Exit status 0 when clean, 1 with one "file:line: rule: message" diagnostic
 per finding otherwise. Registered as a ctest (`ctest -R planar_lint`).
@@ -123,6 +136,14 @@ THREADS_COMMENT_WINDOW = 8
 RE_CORE_SORT = re.compile(
     r"std::(?:stable_)?sort\s*\(\s*([A-Za-z_][A-Za-z0-9_.\->]*)")
 RE_KEYLIKE = re.compile(r"entr|key", re.IGNORECASE)
+# The `float` type token (no-naked-float-in-core). Word boundaries keep
+# identifiers like FloatMirrorValue or f32_data from firing; comments and
+# strings are stripped before matching.
+RE_NAKED_FLOAT = re.compile(r"(?<![A-Za-z0-9_])float(?![A-Za-z0-9_])")
+# Same annotate-the-exemption discipline (and window) as relaxed-ok:.
+F32_COMMENT_WINDOW = 8
+# The mixed-precision module and the kernel TUs are float's home.
+F32_EXEMPT_FILES = {"mixed.h", "mixed.cc"}
 
 
 def strip_comments_and_strings(text: str) -> str:
@@ -176,13 +197,19 @@ def findings_for_file(root: Path, path: Path):
         raw_lines = text.splitlines()
         last_relaxed_ok = -10**9  # line of the newest relaxed-ok comment
         last_threads_ok = -10**9  # line of the newest threads-ok comment
+        last_f32_ok = -10**9      # line of the newest f32-ok comment
         in_common = len(rel.parts) > 1 and rel.parts[1] == "common"
+        float_guarded = (len(rel.parts) > 1 and rel.parts[1] == "core"
+                         and "kernels" not in rel.parts
+                         and rel.name not in F32_EXEMPT_FILES)
         for lineno, line in enumerate(lines, start=1):
             raw = raw_lines[lineno - 1] if lineno <= len(raw_lines) else ""
             if "relaxed-ok:" in raw:
                 last_relaxed_ok = lineno
             if "threads-ok:" in raw:
                 last_threads_ok = lineno
+            if "f32-ok:" in raw:
+                last_f32_ok = lineno
             if RE_EXCEPTION.search(line):
                 yield (rel, lineno, "no-exceptions",
                        "throw/try is forbidden in library code; use "
@@ -225,6 +252,17 @@ def findings_for_file(root: Path, path: Path):
                            "shared ThreadPool (common/thread_pool.h), or "
                            "carry a nearby 'threads-ok:' comment "
                            "justifying a dedicated thread")
+            if float_guarded and RE_NAKED_FLOAT.search(line):
+                if lineno - last_f32_ok <= F32_COMMENT_WINDOW:
+                    last_f32_ok = lineno  # consecutive uses chain
+                else:
+                    yield (rel, lineno, "no-naked-float-in-core",
+                           "the float type in src/core is reserved for "
+                           "the mixed-precision mirror (core/mixed, "
+                           "core/kernels); move it there, or carry a "
+                           "nearby 'f32-ok:' comment stating how this "
+                           "site is covered by the widened-band + exact "
+                           "f64 re-verify contract")
 
     if (len(rel.parts) > 2 and rel.parts[0] == "src" and rel.parts[1] == "core"
             and not rel.name.startswith("sort_util")):
@@ -417,6 +455,35 @@ def self_test() -> int:
         ("src/core/fixture.cc",
          "size_t n = std::thread::hardware_concurrency();\n",
          "threads-via-pool", 0),
+        # no-naked-float-in-core: a bare float in src/core fires,
+        ("src/core/fixture.cc",
+         "float band = 0.0f;\n", "no-naked-float-in-core", 1),
+        # a same-line or preceding f32-ok: comment covers it,
+        ("src/core/fixture.cc",
+         "// f32-ok: mirror storage; band + f64 re-verify keep answers "
+         "exact.\nstd::vector<float> mirror;\n",
+         "no-naked-float-in-core", 0),
+        # consecutive uses chain through one comment,
+        ("src/core/fixture.cc",
+         "// f32-ok: mirror keys, same contract as the row mirror.\n"
+         + "float k = 0.0f;\n" * 12, "no-naked-float-in-core", 0),
+        # a comment too far above does not cover the use,
+        ("src/core/fixture.cc",
+         "// f32-ok: stale justification.\n" + "\n" * 10
+         + "float band = 0.0f;\n", "no-naked-float-in-core", 1),
+        # identifiers containing 'float' and comments never fire,
+        ("src/core/fixture.cc",
+         "// a float in a comment is fine\n"
+         "double FloatMirrorValue(double v);\n",
+         "no-naked-float-in-core", 0),
+        # the mixed-precision module and kernel TUs are exempt,
+        ("src/core/mixed.cc", "float band = 0.0f;\n",
+         "no-naked-float-in-core", 0),
+        ("src/core/kernels/fixture.cc", "float acc[8];\n",
+         "no-naked-float-in-core", 0),
+        # and the rule only polices src/core.
+        ("src/engine/fixture.cc", "float x = 0.0f;\n",
+         "no-naked-float-in-core", 0),
     ]
     for i, (rel_path, content, rule, want) in enumerate(file_cases):
         root = write_source(rel_path, content)
