@@ -1,0 +1,58 @@
+// Copyright (c) 2026 The planar Authors. Licensed under the MIT license.
+
+#include "core/aggregate.h"
+
+#include <algorithm>
+
+namespace planar {
+
+double CanonicalBlockedSum(const double* v, size_t n) {
+  double total = 0.0;
+  for (size_t off = 0; off < n; off += kAggregateBlockRows) {
+    const size_t blk = std::min(kAggregateBlockRows, n - off);
+    double block_sum = 0.0;
+    for (size_t i = 0; i < blk; ++i) block_sum += v[off + i];
+    total += block_sum;
+  }
+  return total;
+}
+
+void PrefixAggregates::Clear() {
+  // agg-ok: PrefixAggregates owns its storage; this is the canonical
+  // construction/teardown site the lint rule points everyone else at.
+  sum.clear();
+  sum.shrink_to_fit();
+  pos.clear();
+  pos.shrink_to_fit();
+  neg.clear();
+  neg.shrink_to_fit();
+}
+
+size_t PrefixAggregates::MemoryUsage() const {
+  return (sum.capacity() + pos.capacity() + neg.capacity()) * sizeof(double);
+}
+
+void BuildPrefixAggregates(const double* payload, size_t stride,
+                           const uint32_t* ids, size_t n,
+                           PrefixAggregates* out) {
+  // agg-ok: the one sanctioned construction of prefix-aggregate arrays
+  // (sequential rank-order accumulation; see the header's determinism
+  // rule).
+  out->sum.assign(n + 1, 0.0);
+  out->pos.assign(n + 1, 0.0);
+  out->neg.assign(n + 1, 0.0);
+  double run_sum = 0.0;
+  double run_pos = 0.0;
+  double run_neg = 0.0;
+  for (size_t r = 0; r < n; ++r) {
+    const double v = payload[static_cast<size_t>(ids[r]) * stride];
+    run_sum += v;
+    run_pos += std::max(v, 0.0);
+    run_neg += std::min(v, 0.0);
+    out->sum[r + 1] = run_sum;
+    out->pos[r + 1] = run_pos;
+    out->neg[r + 1] = run_neg;
+  }
+}
+
+}  // namespace planar

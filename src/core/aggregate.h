@@ -1,0 +1,68 @@
+// Copyright (c) 2026 The planar Authors. Licensed under the MIT license.
+//
+// Canonical blocked summation and rank-ordered prefix aggregates — the
+// deterministic arithmetic behind the aggregate fast path (DESIGN.md
+// section 5k). COUNT bounds come straight from the SI/LI boundary ranks;
+// SUM bounds need, per rank range, the exact payload total of the
+// accepted region plus a [negative-part, positive-part] envelope of the
+// intermediate region. Both are O(1) prefix differences over the arrays
+// built here.
+//
+// Determinism rule (enforced by the planar_lint agg-prefix-construction
+// rule): prefix-aggregate arrays are only ever built by
+// BuildPrefixAggregates, and every streaming accumulation of payload
+// values goes through CanonicalBlockedSum — one fixed summation order,
+// so a SUM answered today and a SUM answered after a reload of the same
+// index state are bit-identical. No cross-path bit-identity is claimed
+// for sums (prefix differences and streamed refinement round
+// differently); COUNTs are integers and bit-exact everywhere.
+
+#ifndef PLANAR_CORE_AGGREGATE_H_
+#define PLANAR_CORE_AGGREGATE_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace planar {
+
+/// Rows per summation block. Matches the verification kernels'
+/// kernels::kBlockRows so refinement accumulation shares the block
+/// cadence of the verify loop it rides on.
+inline constexpr size_t kAggregateBlockRows = 256;
+
+/// Deterministic sum of v[0, n): each kAggregateBlockRows-sized block is
+/// summed sequentially, then the block totals are summed sequentially —
+/// one fixed association for every caller, independent of SIMD dispatch,
+/// thread count, or call site.
+double CanonicalBlockedSum(const double* v, size_t n);
+
+/// Rank-ordered prefix aggregates over one index's payload column.
+/// Arrays have n + 1 entries; entry r covers ranks [0, r), so the payload
+/// total of a rank range [b, e) is sum[e] - sum[b], and its
+/// positive/negative parts bound any subset's contribution:
+///   neg[e] - neg[b]  <=  sum over any subset of [b, e)  <=  pos[e] - pos[b].
+struct PrefixAggregates {
+  std::vector<double> sum;  ///< prefix totals of the payload
+  std::vector<double> pos;  ///< prefix totals of max(payload, 0)
+  std::vector<double> neg;  ///< prefix totals of min(payload, 0)
+
+  bool empty() const { return sum.empty(); }
+  void Clear();
+  size_t MemoryUsage() const;
+};
+
+/// Builds the three prefix arrays for payload values read in rank order:
+/// the payload of rank r is payload[ids[r] * stride]. Pass the phi base
+/// pointer offset to the payload column (phi->data() + column) with
+/// stride = phi->dim(). Accumulation is sequential in rank order — the
+/// one canonical construction (see the determinism rule above). NaN
+/// payload values poison every prefix from their rank on; callers that
+/// need NaN-free aggregates must not select such a column.
+void BuildPrefixAggregates(const double* payload, size_t stride,
+                           const uint32_t* ids, size_t n,
+                           PrefixAggregates* out);
+
+}  // namespace planar
+
+#endif  // PLANAR_CORE_AGGREGATE_H_

@@ -266,6 +266,62 @@ Result<InequalityResult> PlanarIndexSet::Inequality(
   return result;
 }
 
+Result<CountResult> PlanarIndexSet::CountInequality(
+    const ScalarProductQuery& q, const CountTolerance& tolerance,
+    const Deadline& deadline) const {
+  const NormalizedQuery norm = NormalizedQuery::From(q);
+  const int best = SelectBestIndex(norm);
+  if (best < 0) {
+    return ScanCountInequality(*phi_, q, deadline);
+  }
+  const PlanarIndex& index = indices_[static_cast<size_t>(best)];
+  if (options_.scan_fallback_fraction < 1.0) {
+    const Result<PlanarIndex::Intervals> iv = index.ComputeIntervals(norm);
+    PLANAR_CHECK(iv.ok());  // CanServe was verified by the selector
+    const double intermediate =
+        static_cast<double>(iv->larger_begin - iv->smaller_end);
+    // Divert to the flat scan only when the index would refine anyway
+    // (gap over tolerance): a bounds-only answer is O(log n) and beats
+    // the scan no matter how wide the intermediate interval is.
+    if (intermediate >
+            tolerance.Allowed(static_cast<double>(phi_->size())) &&
+        intermediate > options_.scan_fallback_fraction *
+                           static_cast<double>(phi_->size())) {
+      return ScanCountInequality(*phi_, q, deadline);
+    }
+  }
+  Result<CountResult> result = index.CountInequality(norm, tolerance, deadline);
+  if (result.ok()) result->stats.index_used = best;
+  return result;
+}
+
+Result<AggregateResult> PlanarIndexSet::AggregateInequality(
+    const ScalarProductQuery& q, const CountTolerance& tolerance,
+    const Deadline& deadline) const {
+  const NormalizedQuery norm = NormalizedQuery::From(q);
+  const int best = SelectBestIndex(norm);
+  if (best < 0) {
+    return ScanAggregateInequality(*phi_, options_.index_options.payload_column,
+                                   q, deadline);
+  }
+  const PlanarIndex& index = indices_[static_cast<size_t>(best)];
+  if (options_.scan_fallback_fraction < 1.0) {
+    const Result<PlanarIndex::Intervals> iv = index.ComputeIntervals(norm);
+    PLANAR_CHECK(iv.ok());  // CanServe was verified by the selector
+    const double intermediate =
+        static_cast<double>(iv->larger_begin - iv->smaller_end);
+    if (intermediate > options_.scan_fallback_fraction *
+                           static_cast<double>(phi_->size())) {
+      return ScanAggregateInequality(
+          *phi_, options_.index_options.payload_column, q, deadline);
+    }
+  }
+  Result<AggregateResult> result =
+      index.AggregateInequality(norm, tolerance, deadline);
+  if (result.ok()) result->count.stats.index_used = best;
+  return result;
+}
+
 Result<TopKResult> PlanarIndexSet::TopK(const ScalarProductQuery& q,
                                         size_t k) const {
   return TopK(q, k, Deadline::Infinite());

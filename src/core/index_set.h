@@ -120,6 +120,27 @@ class PlanarIndexSet {
   Result<InequalityResult> Inequality(const ScalarProductQuery& q,
                                       const Deadline& deadline) const;
 
+  /// COUNT of the matching points without materializing ids: the best
+  /// index answers O(log n) [lower, upper] bounds and refines only past
+  /// `tolerance` (see PlanarIndex::CountInequality). Falls back to an
+  /// exact full-scan count when no index can serve or the hybrid scan
+  /// guard fires (stats.index_used == -1 then). At tolerance 0 the count
+  /// is exact and bit-equal to Inequality(...).ids.size().
+  Result<CountResult> CountInequality(
+      const ScalarProductQuery& q,
+      const CountTolerance& tolerance = CountTolerance(),
+      const Deadline& deadline = Deadline::Infinite()) const;
+
+  /// SUM/AVG over the configured payload column
+  /// (options().index_options.payload_column), with COUNT bounds riding
+  /// along (see PlanarIndex::AggregateInequality). Falls back to the
+  /// exact full-scan aggregate when no index can serve or the hybrid
+  /// scan guard fires.
+  Result<AggregateResult> AggregateInequality(
+      const ScalarProductQuery& q,
+      const CountTolerance& tolerance = CountTolerance(),
+      const Deadline& deadline = Deadline::Infinite()) const;
+
   /// Problem 1 for a whole batch of queries with cross-query work
   /// sharing (implemented in core/batch.cc). Each query gets the usual
   /// best-index selection, SI/LI/II boundary searches, and scan-fallback

@@ -63,18 +63,30 @@ bool MixedPrecisionForcedOn() {
 
 MixedQueryPlan MakeMixedPlan(const double* a, size_t dim, double b,
                              bool less_equal, const RowMatrix& phi) {
+  if (phi.f32_data() == nullptr || phi.empty() || phi.dim() != dim) {
+    MixedQueryPlan plan;
+    plan.less_equal = less_equal;
+    return plan;
+  }
+  std::vector<double> env(dim);
+  for (size_t i = 0; i < dim; ++i) {
+    env[i] = std::max(std::fabs(phi.ColumnMin(i)), std::fabs(phi.ColumnMax(i)));
+  }
+  return MakeMixedPlanWithEnvelope(a, dim, b, less_equal, env.data());
+}
+
+MixedQueryPlan MakeMixedPlanWithEnvelope(const double* a, size_t dim, double b,
+                                         bool less_equal,
+                                         const double* column_abs_max) {
   MixedQueryPlan plan;
   plan.less_equal = less_equal;
   if (!MixedPrecisionRuntimeEnabled()) return plan;
-  if (phi.f32_data() == nullptr || phi.empty() || phi.dim() != dim) {
-    return plan;
-  }
+  if (dim == 0) return plan;
   const double u32 = std::ldexp(1.0, -24);
   double s = std::fabs(b);
   double abs_slack = 1.0;
   for (size_t i = 0; i < dim; ++i) {
-    const double mi =
-        std::max(std::fabs(phi.ColumnMin(i)), std::fabs(phi.ColumnMax(i)));
+    const double mi = column_abs_max[i];
     s += std::fabs(a[i]) * mi;
     abs_slack += std::fabs(a[i]) + mi;
   }

@@ -63,6 +63,18 @@ struct MixedQueryPlan {
 MixedQueryPlan MakeMixedPlan(const double* a, size_t dim, double b,
                              bool less_equal, const RowMatrix& phi);
 
+/// The envelope-based core of MakeMixedPlan: `column_abs_max[i]` must
+/// bound |row[i]| for every row the plan will classify (grow-only bounds
+/// are fine — a looser envelope only widens the band). This is the entry
+/// point for row stores that are not RowMatrix, notably the ingest
+/// DeltaBuffer's f32 mirror; the caller is responsible for only using the
+/// plan against rows the envelope covers. Returns an unusable plan when
+/// the runtime switch is off or the envelope is too large for a sound
+/// f32 band.
+MixedQueryPlan MakeMixedPlanWithEnvelope(const double* a, size_t dim, double b,
+                                         bool less_equal,
+                                         const double* column_abs_max);
+
 /// Resolves one block of `blk` (<= kernels::kBlockRows) candidates whose
 /// f32 residuals are in `res32`: writes a decision-residual array where
 /// sure accepts/rejects become sentinel values (+/-1, chosen to pass or

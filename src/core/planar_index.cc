@@ -128,6 +128,17 @@ Result<PlanarIndex> PlanarIndex::Build(const PhiMatrix* phi,
   if (options.epsilon_band < 0.0) {
     return Status::InvalidArgument("epsilon_band must be non-negative");
   }
+  if (options.payload_column >= 0) {
+    if (static_cast<size_t>(options.payload_column) >= phi->dim()) {
+      return Status::InvalidArgument(
+          "payload_column must name a phi matrix column");
+    }
+    if (options.backend == PlanarIndexOptions::Backend::kBTree) {
+      return Status::InvalidArgument(
+          "payload aggregates require the sorted-array backend (prefix "
+          "aggregates are keyed by the flat rank order)");
+    }
+  }
 
   PlanarIndex index;
   index.phi_ = phi;
@@ -223,10 +234,37 @@ void PlanarIndex::RefreshSearchLayout() {
       keys_f32_.clear();
       keys_f32_.shrink_to_fit();
     }
+    if (options_.learned_cdf) {
+      // The learned CDF rides the same refresh cadence as the Eytzinger
+      // sidecar: any mutation of keys_ rebuilds it, so predictions are
+      // never stale. A fit over the error budget is discarded and every
+      // boundary search falls back to the exact descent.
+      LearnedCdf::Options cdf_options;
+      cdf_options.max_error_budget = kLearnedCdfMaxErrorBudget;
+      // Scale segments with n (~1024 ranks each, >= the default 256):
+      // a fixed segment count makes per-segment rank spans — and hence
+      // fit error — grow linearly with n, which busts the error budget
+      // exactly on the large arrays where the model pays off. ~24 bytes
+      // per segment keeps the sidecar under 0.1% of the key array.
+      cdf_options.max_segments =
+          std::max<size_t>(cdf_options.max_segments, keys_.size() / 1024);
+      cdf_.Build(keys_.data(), keys_.size(), cdf_options);
+    } else {
+      cdf_.Clear();
+    }
+    if (options_.payload_column >= 0) {
+      BuildPrefixAggregates(
+          phi_->data() + static_cast<size_t>(options_.payload_column),
+          phi_->dim(), ids_.data(), ids_.size(), &payload_prefix_);
+    } else {
+      payload_prefix_.Clear();
+    }
   } else {
     eytz_.Clear();
     keys_f32_.clear();
     keys_f32_.shrink_to_fit();
+    cdf_.Clear();
+    payload_prefix_.Clear();
   }
 }
 
@@ -240,6 +278,31 @@ double PlanarIndex::RawKey(const double* phi_row) const {
 
 size_t PlanarIndex::RankLessEqual(double key) const {
   if (options_.backend == PlanarIndexOptions::Backend::kSortedArray) {
+    if (!cdf_.empty()) {
+      // Predict-then-probe (DESIGN.md 5k): the model predicts the
+      // upper-bound rank, a windowed std::upper_bound probes
+      // +/- (max_error + 2) ranks around it, and the O(1) validation
+      // below only accepts the globally-correct rank — keys_[r-1] <= key
+      // < keys_[r] with the array-edge cases — so a probe that clamped
+      // at its window edge (true rank outside the window), a NaN probe,
+      // or any model bug falls through to the exact descent. Answers are
+      // therefore identical to std::upper_bound by construction.
+      const double pred = cdf_.PredictRank(key);
+      const double w = static_cast<double>(cdf_.max_error() + 2);
+      const size_t n = keys_.size();
+      const size_t lo = pred > w ? static_cast<size_t>(pred - w) : 0;
+      const double hi_d = pred + w + 1.0;
+      const size_t hi =
+          hi_d >= static_cast<double>(n) ? n : static_cast<size_t>(hi_d);
+      if (lo < hi) {
+        const double* base = keys_.data();
+        const size_t r = static_cast<size_t>(
+            std::upper_bound(base + lo, base + hi, key) - base);
+        if ((r == 0 || base[r - 1] <= key) && (r == n || base[r] > key)) {
+          return r;
+        }
+      }
+    }
     // Branchless Eytzinger descent with prefetch; small arrays (below
     // kEytzingerMinKeys the sidecar is not materialized) keep the flat
     // std::upper_bound, which is already cache-resident there.
@@ -619,6 +682,314 @@ bool PlanarIndex::VerifyCandidatesParallel(const NormalizedQuery& q,
     out->insert(out->end(), local.begin(), local.end());
   }
   return true;
+}
+
+Result<CountResult> PlanarIndex::CountInequality(
+    const ScalarProductQuery& q, const CountTolerance& tolerance) const {
+  return CountInequality(NormalizedQuery::From(q), tolerance,
+                         Deadline::Infinite());
+}
+
+Result<CountResult> PlanarIndex::CountInequality(
+    const NormalizedQuery& q, const CountTolerance& tolerance,
+    const Deadline& deadline) const {
+  if (!q.IsFinite()) {
+    return Status::InvalidArgument("query parameters must be finite");
+  }
+  if (!CanServe(q)) {
+    return Status::FailedPrecondition(
+        "query octant is incompatible with this index");
+  }
+  PLANAR_CHECK_EQ(phi_->size(), size());
+  return RunCount(q, tolerance, deadline);
+}
+
+Result<AggregateResult> PlanarIndex::AggregateInequality(
+    const ScalarProductQuery& q, const CountTolerance& tolerance) const {
+  return AggregateInequality(NormalizedQuery::From(q), tolerance,
+                             Deadline::Infinite());
+}
+
+Result<AggregateResult> PlanarIndex::AggregateInequality(
+    const NormalizedQuery& q, const CountTolerance& tolerance,
+    const Deadline& deadline) const {
+  if (!q.IsFinite()) {
+    return Status::InvalidArgument("query parameters must be finite");
+  }
+  if (!CanServe(q)) {
+    return Status::FailedPrecondition(
+        "query octant is incompatible with this index");
+  }
+  PLANAR_CHECK_EQ(phi_->size(), size());
+  return RunAggregate(q, tolerance, deadline);
+}
+
+bool PlanarIndex::CountCandidates(const NormalizedQuery& q,
+                                  const MixedQueryPlan& mixed,
+                                  const uint32_t* ids, size_t count,
+                                  const double* payload, size_t payload_stride,
+                                  const Deadline& deadline,
+                                  const std::function<bool(size_t)>& stop,
+                                  size_t* accepted, size_t* resolved,
+                                  double* accepted_sum) const {
+  // The counting twin of VerifyBlocks / VerifyBlocksMixed: same block
+  // size, same deadline cadence, same accept predicate (through the same
+  // CompressAccept kernel), but accepts land in a scratch block instead
+  // of a result vector. Refinement always runs serially: the early-stop
+  // predicate is a running prefix over rank order, which sharding would
+  // reorder.
+  const kernels::DotOps& ops = kernels::Ops();
+  const kernels::DotOpsF32& ops32 = kernels::OpsF32();
+  const bool le = q.cmp == Comparison::kLessEqual;
+  const double* a = q.a.data();
+  const size_t dim = q.a.size();
+  const double* rows = phi_->data();
+  // f32-ok: read-only mirror for the mixed counting blocks.
+  const float* rows32 = phi_->f32_data();
+  const size_t stride = phi_->dim();
+  double residuals[kernels::kBlockRows];
+  // f32-ok: mirror residual block for band classification.
+  float res32[kernels::kBlockRows];
+  uint32_t kept_ids[kernels::kBlockRows];
+  double vals[kernels::kBlockRows];
+  for (size_t off = 0; off < count; off += kernels::kBlockRows) {
+    if (stop && stop(*resolved)) return true;
+    if (deadline.Expired()) return false;
+    const size_t blk = std::min(kernels::kBlockRows, count - off);
+    size_t kept;
+    if (mixed.usable) {
+      ops32.dot_gather(mixed.a32.data(), dim, rows32, stride, ids + off, blk,
+                       mixed.bias32, res32);
+      MixedResolveBlock(mixed, a, dim, q.b, rows, stride, ids + off, res32,
+                        blk, residuals);
+      kept = kernels::CompressAccept(residuals, ids + off, blk, le, kept_ids);
+    } else {
+      ops.dot_gather(a, dim, rows, stride, ids + off, blk, -q.b, residuals);
+      kept = kernels::CompressAccept(residuals, ids + off, blk, le, kept_ids);
+    }
+    *accepted += kept;
+    *resolved += blk;
+    if (payload != nullptr && kept != 0) {
+      for (size_t i = 0; i < kept; ++i) {
+        vals[i] = payload[static_cast<size_t>(kept_ids[i]) * payload_stride];
+      }
+      // agg-ok: per-block payload totals go through the canonical helper
+      // and accumulate in block order, so a refined sum is deterministic
+      // for a fixed index state.
+      *accepted_sum += CanonicalBlockedSum(vals, kept);
+    }
+  }
+  return true;
+}
+
+Result<CountResult> PlanarIndex::RunCount(const NormalizedQuery& q,
+                                          const CountTolerance& tolerance,
+                                          const Deadline& deadline) const {
+  const size_t n = size();
+  CountResult result;
+  result.stats.num_points = n;
+  const bool le = q.cmp == Comparison::kLessEqual;
+
+  if (q.IsDegenerate()) {
+    // <0, phi(x)> cmp b with b >= 0: constant over all points.
+    const bool all_match = le ? (0.0 <= q.b) : (0.0 >= q.b);
+    result.lower = result.upper = result.estimate = all_match ? n : 0;
+    result.exact = true;
+    if (all_match) {
+      result.stats.accepted_directly = n;
+    } else {
+      result.stats.rejected_directly = n;
+    }
+    result.stats.result_size = result.estimate;
+    return result;
+  }
+
+  const Prepared p = Prepare(q);
+  const size_t smaller_end = RankLessEqual(p.low_cut);
+  const size_t larger_begin = RankLessEqual(p.high_cut);
+  PLANAR_DCHECK(smaller_end <= larger_begin);
+  const size_t outright = le ? smaller_end : n - larger_begin;
+  const size_t ii_count = larger_begin - smaller_end;
+  result.lower = outright;
+  result.upper = outright + ii_count;
+  result.stats.accepted_directly = outright;
+  result.stats.rejected_directly = le ? n - larger_begin : smaller_end;
+
+  // Point estimate inside the current bounds: the learned CDF evaluated
+  // at the midpoint of the key cuts when available (clamped into the
+  // sound bounds, so a bad model can bias but never lie), otherwise the
+  // bound midpoint.
+  auto fill_estimate = [&](CountResult* r) {
+    r->estimate = r->lower + (r->upper - r->lower) / 2;
+    if (r->lower == r->upper) return;
+    if (cdf_.empty()) return;
+    const double mid_cut = 0.5 * p.low_cut + 0.5 * p.high_cut;
+    if (!std::isfinite(mid_cut)) return;
+    const double pred = cdf_.PredictRank(mid_cut);
+    double est = le ? pred : static_cast<double>(n) - pred;
+    est = std::min(static_cast<double>(r->upper),
+                   std::max(static_cast<double>(r->lower), est));
+    r->estimate = std::min(
+        r->upper, std::max(r->lower, static_cast<size_t>(est + 0.5)));
+    r->model_estimated = true;
+  };
+
+  const double allowed_d = tolerance.Allowed(static_cast<double>(n));
+  const size_t allowed = allowed_d >= static_cast<double>(n)
+                             ? n
+                             : static_cast<size_t>(allowed_d);
+  if (result.gap() <= allowed) {
+    result.exact = result.gap() == 0;
+    fill_estimate(&result);
+    result.stats.result_size = result.estimate;
+    return result;
+  }
+
+  // Refine: stream the II through the counting blocks, stopping as soon
+  // as the unresolved remainder fits the tolerance (never, at 0).
+  const MixedQueryPlan mixed = MixedPlanFor(q);
+  size_t accepted = 0;
+  size_t resolved = 0;
+  double unused_sum = 0.0;
+  const std::function<bool(size_t)> stop = [&](size_t done) {
+    return ii_count - done <= allowed;
+  };
+  bool completed;
+  if (options_.backend == PlanarIndexOptions::Backend::kSortedArray) {
+    completed =
+        CountCandidates(q, mixed, ids_.data() + smaller_end, ii_count, nullptr,
+                        0, deadline, stop, &accepted, &resolved, &unused_sum);
+  } else {
+    std::vector<uint32_t> candidates;
+    CollectRange(smaller_end, larger_begin, &candidates);
+    completed = CountCandidates(q, mixed, candidates.data(), ii_count, nullptr,
+                                0, deadline, stop, &accepted, &resolved,
+                                &unused_sum);
+  }
+  if (!completed) {
+    return Status::DeadlineExceeded(
+        "count query exceeded its deadline during II refinement");
+  }
+  result.refined = true;
+  result.lower = outright + accepted;
+  result.upper = result.lower + (ii_count - resolved);
+  result.exact = result.gap() == 0;
+  result.stats.verified = resolved;
+  fill_estimate(&result);
+  result.stats.result_size = result.estimate;
+  return result;
+}
+
+Result<AggregateResult> PlanarIndex::RunAggregate(
+    const NormalizedQuery& q, const CountTolerance& tolerance,
+    const Deadline& deadline) const {
+  if (!has_payload()) {
+    return Status::FailedPrecondition(
+        "no payload column configured (set PlanarIndexOptions::"
+        "payload_column on the sorted-array backend)");
+  }
+  const size_t n = size();
+  const bool le = q.cmp == Comparison::kLessEqual;
+  const PrefixAggregates& pre = payload_prefix_;
+  PLANAR_DCHECK(pre.sum.size() == n + 1);
+  AggregateResult result;
+  result.count.stats.num_points = n;
+
+  if (q.IsDegenerate()) {
+    const bool all_match = le ? (0.0 <= q.b) : (0.0 >= q.b);
+    const size_t c = all_match ? n : 0;
+    result.count.lower = result.count.upper = result.count.estimate = c;
+    result.count.exact = true;
+    if (all_match) {
+      result.count.stats.accepted_directly = n;
+      result.sum = pre.sum[n];
+    } else {
+      result.count.stats.rejected_directly = n;
+    }
+    result.sum_lower = result.sum_upper = result.sum;
+    result.exact = true;
+    result.count.stats.result_size = c;
+    return result;
+  }
+
+  const Prepared p = Prepare(q);
+  const size_t smaller_end = RankLessEqual(p.low_cut);
+  const size_t larger_begin = RankLessEqual(p.high_cut);
+  PLANAR_DCHECK(smaller_end <= larger_begin);
+  const size_t outright = le ? smaller_end : n - larger_begin;
+  const size_t ii_count = larger_begin - smaller_end;
+
+  // Exact payload total of the outright-accepted rank range, straight
+  // from the prefix sums; the II contributes its negative/positive-part
+  // envelope to the bounds.
+  const double accept_sum =
+      le ? pre.sum[smaller_end] : pre.sum[n] - pre.sum[larger_begin];
+  result.sum_lower = accept_sum + (pre.neg[larger_begin] - pre.neg[smaller_end]);
+  result.sum_upper = accept_sum + (pre.pos[larger_begin] - pre.pos[smaller_end]);
+
+  result.count.lower = outright;
+  result.count.upper = outright + ii_count;
+  result.count.stats.accepted_directly = outright;
+  result.count.stats.rejected_directly = le ? n - larger_begin : smaller_end;
+  result.count.estimate =
+      result.count.lower + (result.count.upper - result.count.lower) / 2;
+
+  const double total_abs = pre.pos[n] - pre.neg[n];
+  const double allowed = tolerance.Allowed(total_abs);
+  double gap = result.sum_upper - result.sum_lower;
+  if (gap <= allowed) {
+    result.exact = gap == 0.0;
+    result.count.exact = result.count.gap() == 0;
+    result.sum = result.exact ? result.sum_lower
+                              : 0.5 * result.sum_lower + 0.5 * result.sum_upper;
+    result.count.stats.result_size = result.count.estimate;
+    return result;
+  }
+
+  // Refine: stream the II in rank order, accumulating accepted payloads
+  // in canonical blocked summation, stopping once the envelope of the
+  // unresolved rank suffix fits the tolerance. The suffix envelope is a
+  // prefix-array difference, so the stop predicate is O(1) per poll.
+  const MixedQueryPlan mixed = MixedPlanFor(q);
+  const double* payload =
+      phi_->data() + static_cast<size_t>(options_.payload_column);
+  size_t accepted = 0;
+  size_t resolved = 0;
+  double accepted_sum = 0.0;
+  const std::function<bool(size_t)> stop = [&](size_t done) {
+    const size_t r = smaller_end + done;
+    const double rem_gap = (pre.pos[larger_begin] - pre.pos[r]) -
+                           (pre.neg[larger_begin] - pre.neg[r]);
+    return rem_gap <= allowed;
+  };
+  const bool completed = CountCandidates(
+      q, mixed, ids_.data() + smaller_end, ii_count, payload, phi_->dim(),
+      deadline, stop, &accepted, &resolved, &accepted_sum);
+  if (!completed) {
+    return Status::DeadlineExceeded(
+        "aggregate query exceeded its deadline during II refinement");
+  }
+  result.refined = true;
+  result.count.refined = true;
+  result.count.lower = outright + accepted;
+  result.count.upper = result.count.lower + (ii_count - resolved);
+  result.count.exact = result.count.gap() == 0;
+  result.count.estimate =
+      result.count.lower + (result.count.upper - result.count.lower) / 2;
+  result.count.stats.verified = resolved;
+  result.count.stats.result_size = result.count.estimate;
+  const size_t r = smaller_end + resolved;
+  result.sum_lower =
+      accept_sum + accepted_sum + (pre.neg[larger_begin] - pre.neg[r]);
+  result.sum_upper =
+      accept_sum + accepted_sum + (pre.pos[larger_begin] - pre.pos[r]);
+  result.exact = resolved == ii_count;
+  result.sum = result.exact ? accept_sum + accepted_sum
+                            : 0.5 * result.sum_lower + 0.5 * result.sum_upper;
+  if (result.exact) {
+    result.sum_lower = result.sum_upper = result.sum;
+  }
+  return result;
 }
 
 Result<TopKResult> PlanarIndex::TopK(const ScalarProductQuery& q,
@@ -1118,6 +1489,10 @@ Result<PlanarIndex> PlanarIndex::CloneFor(const PhiMatrix* phi) const {
   copy.ids_ = ids_;
   copy.eytz_ = eytz_;
   copy.keys_f32_ = keys_f32_;
+  copy.cdf_ = cdf_;
+  // agg-ok: wholesale copy of prefix arrays built by the canonical
+  // helper; no values are recomputed.
+  copy.payload_prefix_ = payload_prefix_;
   copy.key_of_row_ = key_of_row_;
   return copy;
 }
@@ -1129,6 +1504,8 @@ size_t PlanarIndex::MemoryUsage() const {
   // f32-ok: key-mirror footprint accounting.
   total += keys_f32_.capacity() * sizeof(float);
   total += eytz_.MemoryUsage();
+  total += cdf_.MemoryUsage();
+  total += payload_prefix_.MemoryUsage();
   total += key_of_row_.capacity() * sizeof(double);
   total += (normal_.capacity() + signed_normal_.capacity()) * sizeof(double);
   if (options_.backend == PlanarIndexOptions::Backend::kBTree) {

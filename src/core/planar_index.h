@@ -21,6 +21,7 @@
 #define PLANAR_CORE_PLANAR_INDEX_H_
 
 #include <cstdint>
+#include <functional>
 #include <string>
 #include <vector>
 
@@ -28,6 +29,7 @@
 #include "common/deadline.h"
 #include "common/result.h"
 #include "common/status.h"
+#include "core/aggregate.h"
 #include "core/eytzinger.h"
 #include "core/mixed.h"
 #include "core/query.h"
@@ -35,6 +37,7 @@
 #include "core/topk.h"
 #include "core/translation.h"
 #include "geometry/octant.h"
+#include "learn/learned_cdf.h"
 
 namespace planar {
 
@@ -61,6 +64,60 @@ struct QueryStats {
 struct InequalityResult {
   std::vector<uint32_t> ids;
   QueryStats stats;
+};
+
+/// Acceptable bound gap for approximate COUNT/SUM queries. The allowed
+/// gap is max(absolute, relative * scale), where scale is the point
+/// count n for COUNT and the total absolute payload for SUM. Both zero
+/// (the default) demands an exact answer.
+struct CountTolerance {
+  double absolute = 0.0;
+  double relative = 0.0;
+
+  /// The largest acceptable gap at the given scale (>= 0; non-finite or
+  /// negative inputs clamp to 0, i.e. exact).
+  double Allowed(double scale) const {
+    const double abs_ok = absolute > 0.0 ? absolute : 0.0;
+    const double rel_ok = relative > 0.0 ? relative * scale : 0.0;
+    const double allowed = abs_ok > rel_ok ? abs_ok : rel_ok;
+    return allowed > 0.0 ? allowed : 0.0;
+  }
+};
+
+/// Result of a COUNT inequality query. The true count always lies in
+/// [lower, upper]; `estimate` is a point estimate inside those bounds
+/// (the exact count when `exact`). At tolerance 0 the result is exact
+/// and bit-equal to ScanInequality(...).ids.size().
+struct CountResult {
+  size_t lower = 0;
+  size_t upper = 0;
+  size_t estimate = 0;
+  bool exact = false;            ///< lower == upper (bounds met or refined)
+  bool refined = false;          ///< the II was (partially) streamed
+  bool model_estimated = false;  ///< estimate came from the learned CDF
+  QueryStats stats;
+
+  size_t gap() const { return upper - lower; }
+};
+
+/// Result of a SUM/AVG inequality query over the configured payload
+/// column. The true sum always lies in [sum_lower, sum_upper]; `sum` is
+/// a point estimate inside those bounds (the exact deterministic sum
+/// when `exact` — canonical blocked summation, see core/aggregate.h).
+/// The COUNT bounds for the same predicate ride along in `count`.
+struct AggregateResult {
+  double sum_lower = 0.0;
+  double sum_upper = 0.0;
+  double sum = 0.0;
+  bool exact = false;
+  bool refined = false;
+  CountResult count;
+
+  /// Estimated average (exact when both sum and count are exact); 0 over
+  /// an empty match set.
+  double Average() const {
+    return count.estimate == 0 ? 0.0 : sum / static_cast<double>(count.estimate);
+  }
 };
 
 /// Statistics of a top-k query (Table 3 reports checked/total).
@@ -135,6 +192,25 @@ struct PlanarIndexOptions {
   /// Not serialized: load paths rebuild mirrors from the stored doubles.
   bool mixed_precision = false;
 
+  /// Learned key->rank CDF sidecar (DESIGN.md section 5k): built at
+  /// every RefreshSearchLayout over the sorted keys and used for
+  /// predict-then-probe boundary search (probe a +/-(max_error + 2)
+  /// window, validate against the flat key array, fall back to the
+  /// Eytzinger descent on any mismatch — answers are identical either
+  /// way) and for model-based COUNT estimates between the sound
+  /// [SI, LI] bounds. A fit whose exact max error exceeds
+  /// kLearnedCdfMaxErrorBudget is discarded. Never serialized; rebuilt
+  /// on load like the Eytzinger layout.
+  bool learned_cdf = true;
+
+  /// Payload column for SUM/AVG aggregate queries: an index into the phi
+  /// matrix columns, or -1 (the default) for no payload. When set, every
+  /// RefreshSearchLayout rebuilds rank-ordered prefix-aggregate arrays
+  /// (core/aggregate.h) over that column, and AggregateInequality
+  /// answers O(log n) SUM bounds / exact refined sums. Sorted-array
+  /// backend only; not serialized (a loaded set must be reconfigured).
+  int payload_column = -1;
+
   /// Build/Rebuild parallelism (1 = serial, 0 = hardware concurrency,
   /// n = n threads): key construction shards the dot_range kernel over
   /// contiguous row ranges and the (key, id) sort runs through
@@ -153,6 +229,12 @@ inline constexpr size_t kParallelVerifyMinRows = 8192;
 /// Smallest matrix worth building with threads; below this, spawn/join
 /// costs more than the key computation and sort combined.
 inline constexpr size_t kParallelBuildMinRows = 16384;
+
+/// Largest learned-CDF fit error worth probing: the probe window is
+/// 2 * (max_error + 2) keys, so past this budget the windowed
+/// std::upper_bound stops beating the full Eytzinger descent and the fit
+/// is discarded at build (the fallback contract of DESIGN.md 5k).
+inline constexpr size_t kLearnedCdfMaxErrorBudget = 512;
 
 /// One Planar index over an externally-owned phi matrix.
 ///
@@ -202,6 +284,49 @@ class PlanarIndex {
   /// infinite deadline adds no clock reads.
   Result<InequalityResult> Inequality(const NormalizedQuery& q,
                                       const Deadline& deadline) const;
+
+  /// COUNT of the points satisfying the query, without materializing
+  /// ids. The [lower, upper] bounds come from the two SI/LI boundary
+  /// searches alone — O(log n), no phi access. When the gap exceeds
+  /// `tolerance` (max of its absolute and relative-to-n readings), the
+  /// intermediate interval is streamed through the same f64 /
+  /// mixed-precision verify kernels as Inequality — counting accepts
+  /// instead of storing ids, deadline-polled per block, stopping early
+  /// once the unresolved remainder fits the tolerance. At tolerance 0
+  /// the count is exact and bit-equal to Inequality(...).ids.size().
+  Result<CountResult> CountInequality(
+      const ScalarProductQuery& q,
+      const CountTolerance& tolerance = CountTolerance()) const;
+  Result<CountResult> CountInequality(const NormalizedQuery& q,
+                                      const CountTolerance& tolerance,
+                                      const Deadline& deadline) const;
+
+  /// SUM over the configured payload column (PlanarIndexOptions::
+  /// payload_column) of the points satisfying the query, plus the COUNT
+  /// bounds for the same predicate. Bounds come from the rank-ordered
+  /// prefix-aggregate arrays (exact accepted-region total, positive/
+  /// negative-part envelope over the II) in O(log n); `tolerance` reads
+  /// its absolute field in payload units and its relative field against
+  /// the total absolute payload. Refinement streams the II exactly like
+  /// CountInequality, accumulating accepted payloads in canonical
+  /// blocked summation — deterministic for a fixed index state. Fails
+  /// with FailedPrecondition when no payload column is configured or the
+  /// backend is not the sorted array.
+  Result<AggregateResult> AggregateInequality(
+      const ScalarProductQuery& q,
+      const CountTolerance& tolerance = CountTolerance()) const;
+  Result<AggregateResult> AggregateInequality(const NormalizedQuery& q,
+                                              const CountTolerance& tolerance,
+                                              const Deadline& deadline) const;
+
+  /// True when a payload column is configured and its prefix aggregates
+  /// are live (sorted-array backend).
+  bool has_payload() const { return !payload_prefix_.empty(); }
+
+  /// The learned-CDF sidecar (empty when options_.learned_cdf is off,
+  /// the backend is the B+-tree, the key array is too small, or the fit
+  /// blew the error budget). Exposed for tests and benches.
+  const LearnedCdf& learned_cdf() const { return cdf_; }
 
   /// Problem 2: the k satisfying points nearest to the query hyperplane.
   Result<TopKResult> TopK(const ScalarProductQuery& q, size_t k) const;
@@ -363,6 +488,26 @@ class PlanarIndex {
   void RefreshSearchLayout();
   Result<InequalityResult> RunInequality(const NormalizedQuery& q,
                                          const Deadline& deadline) const;
+  Result<CountResult> RunCount(const NormalizedQuery& q,
+                               const CountTolerance& tolerance,
+                               const Deadline& deadline) const;
+  Result<AggregateResult> RunAggregate(const NormalizedQuery& q,
+                                       const CountTolerance& tolerance,
+                                       const Deadline& deadline) const;
+  // Streams `count` candidate ids through the counting verify blocks
+  // (f64 or mixed, one deadline poll per block) without materializing
+  // accepted ids. `accepted`/`resolved` accumulate; when `payload` is
+  // non-null, `accepted_sum` accumulates the accepted rows' payload in
+  // canonical blocked summation. `stop` is polled at block boundaries
+  // with the resolved-so-far count and may end the stream early (bounds
+  // already within tolerance). Returns false iff the deadline expired.
+  bool CountCandidates(const NormalizedQuery& q, const MixedQueryPlan& mixed,
+                       const uint32_t* ids, size_t count,
+                       const double* payload, size_t payload_stride,
+                       const Deadline& deadline,
+                       const std::function<bool(size_t)>& stop,
+                       size_t* accepted, size_t* resolved,
+                       double* accepted_sum) const;
   Result<TopKResult> RunTopK(const NormalizedQuery& q, size_t k,
                              const Deadline& deadline) const;
   // Verifies the candidate ids (block-batched kernels, one deadline poll
@@ -409,6 +554,15 @@ class PlanarIndex {
   // each exact key with it and touches keys_ only when the bracket is
   // inconclusive.
   std::vector<float> keys_f32_;
+  // Learned key->rank CDF sidecar (see PlanarIndexOptions::learned_cdf):
+  // predict-then-probe boundary search + model-based count estimates.
+  // Rebuilt with the search layout, never serialized, carries no
+  // authority (every probe is validated, every estimate bounded).
+  LearnedCdf cdf_;
+  // Rank-ordered prefix aggregates over the payload column (empty unless
+  // options_.payload_column >= 0 on the sorted-array backend). Rebuilt
+  // with the search layout by the canonical helper (core/aggregate.h).
+  PrefixAggregates payload_prefix_;
   // B+-tree backend.
   OrderStatisticBTree tree_;
 

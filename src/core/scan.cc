@@ -6,6 +6,7 @@
 #include <cmath>
 
 #include "common/macros.h"
+#include "core/aggregate.h"
 #include "core/kernels/kernels.h"
 #include "core/mixed.h"
 #include "core/topk.h"
@@ -14,42 +15,6 @@
 namespace planar {
 
 namespace {
-
-// Mixed-precision body of ScanInequality: the f32 mirror classifies each
-// block against the widened band, the band rows are re-verified in f64 by
-// MixedResolveBlockRange, and the compress-store consumes the resulting
-// sentinel/residual array — so the accepted ids (and their order) are
-// bit-identical to the pure f64 scan above.
-Result<size_t> ScanRowsInequalityMixed(const PhiMatrix& phi,
-                                       const ScalarProductQuery& q,
-                                       const MixedQueryPlan& plan,
-                                       const Deadline& deadline,
-                                       std::vector<uint32_t>* out) {
-  const size_t before = out->size();
-  const size_t n = phi.size();
-  const size_t dim = phi.dim();
-  const bool le = q.cmp == Comparison::kLessEqual;
-  const kernels::DotOpsF32& ops32 = kernels::OpsF32();
-  // f32-ok: mirror rows and residuals for the band classification.
-  const float* rows32 = phi.f32_data();
-  float res32[kernels::kBlockRows];
-  double decision[kernels::kBlockRows];
-  uint32_t accepted[kernels::kBlockRows];
-  for (size_t row = 0; row < n; row += kernels::kBlockRows) {
-    if (deadline.Expired()) {
-      return Status::DeadlineExceeded("sequential scan exceeded its deadline");
-    }
-    const size_t blk = std::min(kernels::kBlockRows, n - row);
-    ops32.dot_range(plan.a32.data(), dim, rows32, dim, row, blk, plan.bias32,
-                    res32);
-    MixedResolveBlockRange(plan, q.a.data(), dim, q.b, phi.data(), dim, row,
-                           res32, blk, decision);
-    const size_t kept = kernels::CompressAcceptRange(
-        decision, static_cast<uint32_t>(row), blk, le, accepted);
-    out->insert(out->end(), accepted, accepted + kept);
-  }
-  return out->size() - before;
-}
 
 // Mixed-precision body of ScanTopK: rows the f32 residual proves strictly
 // outside the band on the reject side can never match, so only the
@@ -124,6 +89,105 @@ Result<size_t> ScanRowsInequality(const double* rows, size_t dim, size_t count,
   return out->size() - before;
 }
 
+// f32-ok: the f32 rows are a screening mirror only — every row the f32
+// pass cannot place outside the widened band is re-verified against the
+// exact f64 rows below, so answers stay bit-equal to the f64-only scan.
+Result<size_t> ScanRowsInequalityMixed(const double* rows64,
+                                       const float* rows32, size_t dim,
+                                       size_t count, uint32_t id_offset,
+                                       const ScalarProductQuery& q,
+                                       const MixedQueryPlan& plan,
+                                       const Deadline& deadline,
+                                       std::vector<uint32_t>* out) {
+  PLANAR_CHECK_EQ(dim, q.a.size());
+  PLANAR_CHECK(out != nullptr && plan.usable);
+  // The f32 mirror classifies each block against the widened band, the
+  // band rows are re-verified in f64 by MixedResolveBlockRange, and the
+  // compress-store consumes the resulting sentinel/residual array — so
+  // the accepted ids (and their order) are bit-identical to the pure f64
+  // ScanRowsInequality.
+  const size_t before = out->size();
+  const bool le = q.cmp == Comparison::kLessEqual;
+  const kernels::DotOpsF32& ops32 = kernels::OpsF32();
+  // f32-ok: mirror residuals for the band classification.
+  float res32[kernels::kBlockRows];
+  double decision[kernels::kBlockRows];
+  uint32_t accepted[kernels::kBlockRows];
+  for (size_t row = 0; row < count; row += kernels::kBlockRows) {
+    if (deadline.Expired()) {
+      return Status::DeadlineExceeded("sequential scan exceeded its deadline");
+    }
+    const size_t blk = std::min(kernels::kBlockRows, count - row);
+    ops32.dot_range(plan.a32.data(), dim, rows32, dim, row, blk, plan.bias32,
+                    res32);
+    MixedResolveBlockRange(plan, q.a.data(), dim, q.b, rows64, dim, row,
+                           res32, blk, decision);
+    const size_t kept = kernels::CompressAcceptRange(
+        decision, id_offset + static_cast<uint32_t>(row), blk, le, accepted);
+    out->insert(out->end(), accepted, accepted + kept);
+  }
+  return out->size() - before;
+}
+
+Result<size_t> ScanRowsCountInequality(const double* rows, size_t dim,
+                                       size_t count,
+                                       const ScalarProductQuery& q,
+                                       const Deadline& deadline) {
+  PLANAR_CHECK_EQ(dim, q.a.size());
+  const bool le = q.cmp == Comparison::kLessEqual;
+  const kernels::DotOps& ops = kernels::Ops();
+  double residuals[kernels::kBlockRows];
+  uint32_t accepted[kernels::kBlockRows];
+  size_t total = 0;
+  for (size_t row = 0; row < count; row += kernels::kBlockRows) {
+    if (deadline.Expired()) {
+      return Status::DeadlineExceeded("sequential scan exceeded its deadline");
+    }
+    const size_t blk = std::min(kernels::kBlockRows, count - row);
+    ops.dot_range(q.a.data(), dim, rows, dim, row, blk, -q.b, residuals);
+    total += kernels::CompressAcceptRange(
+        residuals, static_cast<uint32_t>(row), blk, le, accepted);
+  }
+  return total;
+}
+
+Status ScanRowsAggregateInequality(const double* rows, size_t dim,
+                                   size_t count, int payload_column,
+                                   const ScalarProductQuery& q,
+                                   const Deadline& deadline, size_t* matched,
+                                   double* sum) {
+  PLANAR_CHECK_EQ(dim, q.a.size());
+  PLANAR_CHECK(matched != nullptr && sum != nullptr);
+  PLANAR_CHECK(payload_column >= 0 && static_cast<size_t>(payload_column) <
+                                          dim);
+  const double* payload = rows + static_cast<size_t>(payload_column);
+  const bool le = q.cmp == Comparison::kLessEqual;
+  const kernels::DotOps& ops = kernels::Ops();
+  double residuals[kernels::kBlockRows];
+  uint32_t accepted[kernels::kBlockRows];
+  double vals[kernels::kBlockRows];
+  for (size_t row = 0; row < count; row += kernels::kBlockRows) {
+    if (deadline.Expired()) {
+      return Status::DeadlineExceeded("sequential scan exceeded its deadline");
+    }
+    const size_t blk = std::min(kernels::kBlockRows, count - row);
+    ops.dot_range(q.a.data(), dim, rows, dim, row, blk, -q.b, residuals);
+    const size_t kept = kernels::CompressAcceptRange(
+        residuals, static_cast<uint32_t>(row), blk, le, accepted);
+    *matched += kept;
+    if (kept != 0) {
+      for (size_t i = 0; i < kept; ++i) {
+        vals[i] = payload[static_cast<size_t>(accepted[i]) * dim];
+      }
+      // agg-ok: per-block payload totals go through the canonical helper
+      // and accumulate in row order — the same determinism rule as the
+      // index refinement path.
+      *sum += CanonicalBlockedSum(vals, kept);
+    }
+  }
+  return Status::OK();
+}
+
 Status ScanRowsTopK(const double* rows, size_t dim, size_t count,
                     uint32_t id_offset, const ScalarProductQuery& q,
                     const Deadline& deadline, TopKBuffer* buffer) {
@@ -188,11 +252,59 @@ Result<InequalityResult> ScanInequality(const PhiMatrix& phi,
           : MixedQueryPlan();
   Result<size_t> appended =
       plan.usable
-          ? ScanRowsInequalityMixed(phi, q, plan, deadline, &result.ids)
+          ? ScanRowsInequalityMixed(phi.data(), phi.f32_data(), phi.dim(), n,
+                                    /*id_offset=*/0, q, plan, deadline,
+                                    &result.ids)
           : ScanRowsInequality(phi.data(), phi.dim(), n, /*id_offset=*/0, q,
                                deadline, &result.ids);
   if (!appended.ok()) return appended.status();
   result.stats.result_size = result.ids.size();
+  return result;
+}
+
+Result<CountResult> ScanCountInequality(const PhiMatrix& phi,
+                                        const ScalarProductQuery& q,
+                                        const Deadline& deadline) {
+  PLANAR_CHECK_EQ(phi.dim(), q.a.size());
+  CountResult result;
+  const size_t n = phi.size();
+  result.stats.num_points = n;
+  result.stats.verified = n;
+  result.stats.index_used = -1;
+  Result<size_t> matched =
+      ScanRowsCountInequality(phi.data(), phi.dim(), n, q, deadline);
+  if (!matched.ok()) return matched.status();
+  result.lower = result.upper = result.estimate = matched.value();
+  result.exact = true;
+  result.stats.result_size = result.estimate;
+  return result;
+}
+
+Result<AggregateResult> ScanAggregateInequality(const PhiMatrix& phi,
+                                                int payload_column,
+                                                const ScalarProductQuery& q,
+                                                const Deadline& deadline) {
+  PLANAR_CHECK_EQ(phi.dim(), q.a.size());
+  if (payload_column < 0 ||
+      static_cast<size_t>(payload_column) >= phi.dim()) {
+    return Status::InvalidArgument(
+        "payload_column must name a phi matrix column");
+  }
+  AggregateResult result;
+  const size_t n = phi.size();
+  result.count.stats.num_points = n;
+  result.count.stats.verified = n;
+  result.count.stats.index_used = -1;
+  size_t total = 0;
+  double sum = 0.0;
+  const Status scanned = ScanRowsAggregateInequality(
+      phi.data(), phi.dim(), n, payload_column, q, deadline, &total, &sum);
+  if (!scanned.ok()) return scanned;
+  result.count.lower = result.count.upper = result.count.estimate = total;
+  result.count.exact = true;
+  result.count.stats.result_size = total;
+  result.sum_lower = result.sum_upper = result.sum = sum;
+  result.exact = true;
   return result;
 }
 

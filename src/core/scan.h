@@ -35,6 +35,44 @@ Result<size_t> ScanRowsInequality(const double* rows, size_t dim, size_t count,
                                   const Deadline& deadline,
                                   std::vector<uint32_t>* out);
 
+/// Mixed-precision body of ScanRowsInequality for row stores that carry
+/// an f32 mirror (`rows32`, same row-major layout as `rows64`): the
+/// mirror classifies each block against `plan`'s widened band, band rows
+/// re-verify in f64, and the accepted ids (and their order) are
+/// bit-identical to the pure f64 scan. `plan` must have been built with
+/// an envelope covering every row (MakeMixedPlanWithEnvelope); callers
+/// check plan.usable and fall back to ScanRowsInequality otherwise.
+/// Exposed raw for the ingest delta overlay's mirror.
+// f32-ok: mirror rows input to the band classifier.
+Result<size_t> ScanRowsInequalityMixed(const double* rows64,
+                                       const float* rows32, size_t dim,
+                                       size_t count, uint32_t id_offset,
+                                       const ScalarProductQuery& q,
+                                       const MixedQueryPlan& plan,
+                                       const Deadline& deadline,
+                                       std::vector<uint32_t>* out);
+
+/// Counting twin of ScanRowsInequality: returns how many of the `count`
+/// rows satisfy `q` without materializing ids — same block cadence, same
+/// accept predicate (through the same CompressAccept kernel), so the
+/// count is bit-equal to ScanRowsInequality(...)'s appended size. Used
+/// by the COUNT fast path's scan fallback and the ingest delta overlay.
+Result<size_t> ScanRowsCountInequality(const double* rows, size_t dim,
+                                       size_t count,
+                                       const ScalarProductQuery& q,
+                                       const Deadline& deadline);
+
+/// Raw exact aggregate: adds to `*matched` / `*sum` the match count and
+/// the payload-column total of the matching rows among the `count` rows,
+/// accumulating accepted payloads per block through the canonical
+/// blocked summation (core/aggregate.h). Shared by the full-matrix
+/// ScanAggregateInequality and the ingest delta overlay.
+Status ScanRowsAggregateInequality(const double* rows, size_t dim,
+                                   size_t count, int payload_column,
+                                   const ScalarProductQuery& q,
+                                   const Deadline& deadline, size_t* matched,
+                                   double* sum);
+
 /// Top-k analogue of ScanRowsInequality: offers every satisfying row in
 /// [0, count) to `*buffer` as id `id_offset + i` with the usual
 /// |residual| / ||a|| hyperplane distance. The caller owns buffer capacity
@@ -56,6 +94,23 @@ InequalityResult ScanInequality(const PhiMatrix& phi,
 Result<InequalityResult> ScanInequality(const PhiMatrix& phi,
                                         const ScalarProductQuery& q,
                                         const Deadline& deadline);
+
+/// Exact COUNT by full scan: the baseline CountInequality is benched and
+/// property-tested against. Always exact (lower == upper == estimate);
+/// stats mirror the scan fallback of ScanInequality (verified = n,
+/// index_used = -1).
+Result<CountResult> ScanCountInequality(const PhiMatrix& phi,
+                                        const ScalarProductQuery& q,
+                                        const Deadline& deadline);
+
+/// Exact SUM over `payload_column` of phi (plus the exact COUNT) by full
+/// scan. Accepted payloads accumulate in canonical blocked summation
+/// (core/aggregate.h), matching the refined index path's determinism
+/// rule. Fails with InvalidArgument for an out-of-range column.
+Result<AggregateResult> ScanAggregateInequality(const PhiMatrix& phi,
+                                                int payload_column,
+                                                const ScalarProductQuery& q,
+                                                const Deadline& deadline);
 
 /// Answers the top-k nearest neighbor query by evaluating every row and
 /// keeping the k nearest satisfying points. Fails for an all-zero query

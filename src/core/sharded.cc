@@ -18,6 +18,87 @@ constexpr char kInequalityDeadlineMsg[] =
     "sharded inequality query exceeded its deadline";
 constexpr char kTopKDeadlineMsg[] =
     "sharded top-k query exceeded its deadline";
+constexpr char kCountDeadlineMsg[] =
+    "sharded count query exceeded its deadline";
+constexpr char kAggregateDeadlineMsg[] =
+    "sharded aggregate query exceeded its deadline";
+
+/// Per-shard tolerance split: the absolute budget divides evenly across
+/// shards (per-shard gaps sum, so the merged gap stays within the
+/// original absolute budget) and the relative budget passes through
+/// (each shard reads it against its own scale; shard scales sum to the
+/// global scale, so the merged gap stays within relative * global
+/// scale).
+CountTolerance SplitTolerance(const CountTolerance& tolerance, size_t shards) {
+  CountTolerance split = tolerance;
+  split.absolute = tolerance.absolute / static_cast<double>(shards);
+  return split;
+}
+
+/// Sums per-shard QueryStats into `*merged` and returns whether every
+/// shard reported the same serving index as shard 0.
+void MergeQueryStats(const QueryStats& part, const QueryStats& first,
+                     QueryStats* merged, bool* common_index) {
+  merged->num_points += part.num_points;
+  merged->accepted_directly += part.accepted_directly;
+  merged->rejected_directly += part.rejected_directly;
+  merged->verified += part.verified;
+  merged->result_size += part.result_size;
+  if (part.index_used != first.index_used) *common_index = false;
+}
+
+/// Folds per-shard count results into one: bounds, estimates, and stats
+/// sum (shards partition the rows).
+CountResult MergeCount(
+    size_t shards,
+    const std::function<const CountResult&(size_t)>& result_at) {
+  CountResult merged;
+  merged.exact = true;
+  bool common_index = true;
+  for (size_t s = 0; s < shards; ++s) {
+    const CountResult& part = result_at(s);
+    merged.lower += part.lower;
+    merged.upper += part.upper;
+    merged.estimate += part.estimate;
+    merged.exact &= part.exact;
+    merged.refined |= part.refined;
+    merged.model_estimated |= part.model_estimated;
+    MergeQueryStats(part.stats, result_at(0).stats, &merged.stats,
+                    &common_index);
+  }
+  merged.stats.index_used = common_index ? result_at(0).stats.index_used : -1;
+  return merged;
+}
+
+/// Folds per-shard aggregate results into one (sum bounds and the count
+/// piggyback both sum across the row partition).
+AggregateResult MergeAggregate(
+    size_t shards,
+    const std::function<const AggregateResult&(size_t)>& result_at) {
+  AggregateResult merged;
+  merged.exact = true;
+  merged.count.exact = true;
+  bool common_index = true;
+  for (size_t s = 0; s < shards; ++s) {
+    const AggregateResult& part = result_at(s);
+    merged.sum_lower += part.sum_lower;
+    merged.sum_upper += part.sum_upper;
+    merged.sum += part.sum;
+    merged.exact &= part.exact;
+    merged.refined |= part.refined;
+    merged.count.lower += part.count.lower;
+    merged.count.upper += part.count.upper;
+    merged.count.estimate += part.count.estimate;
+    merged.count.exact &= part.count.exact;
+    merged.count.refined |= part.count.refined;
+    merged.count.model_estimated |= part.count.model_estimated;
+    MergeQueryStats(part.count.stats, result_at(0).count.stats,
+                    &merged.count.stats, &common_index);
+  }
+  merged.count.stats.index_used =
+      common_index ? result_at(0).count.stats.index_used : -1;
+  return merged;
+}
 
 /// Merges per-shard statuses deterministically: the first (lowest-shard)
 /// non-deadline error wins — validation errors are shard-independent, so
@@ -207,6 +288,124 @@ Result<InequalityResult> ShardedIndexSet::Inequality(
       kInequalityDeadlineMsg);
   if (!merged_status.ok()) return merged_status;
   return MergeInequality(shards, [&](size_t s) -> const InequalityResult& {
+    return partial[s].value();
+  });
+}
+
+Result<CountResult> ShardedIndexSet::CountInequality(
+    const ScalarProductQuery& q, const CountTolerance& tolerance,
+    const Deadline& deadline) const {
+  const size_t shards = shards_.size();
+  // Single shard: no fan-out to run or merge — execute inline with the
+  // caller's whole tolerance (see Inequality).
+  if (shards == 1) {
+    Result<CountResult> result =
+        shards_[0].CountInequality(q, tolerance, deadline);
+    if (result.ok()) {
+      // relaxed-ok: monotone monitoring counter (see header); nothing
+      // orders on it.
+      rows_verified_[0].fetch_add(result.value().stats.verified,
+                                  std::memory_order_relaxed);
+      return result;
+    }
+    if (result.status().code() == StatusCode::kDeadlineExceeded) {
+      return Status::DeadlineExceeded(kCountDeadlineMsg);
+    }
+    return result;
+  }
+  const CountTolerance shard_tolerance = SplitTolerance(tolerance, shards);
+  std::vector<Result<CountResult>> partial(
+      shards, Status::Internal("shard not executed"));
+  // First-expiry cancellation, same protocol as Inequality above.
+  std::atomic<bool> expired(false);
+  ParallelFor(
+      shards,
+      [&](size_t s) {
+        // relaxed-ok: advisory fast-skip flag — a shard that misses a
+        // racing store simply runs and expires on its own deadline
+        // poll; the merge below reads `partial` after ParallelFor's
+        // join, which is the authoritative synchronization.
+        if (expired.load(std::memory_order_relaxed)) {
+          partial[s] = Status::DeadlineExceeded(kCountDeadlineMsg);
+          return;
+        }
+        Result<CountResult> result =
+            shards_[s].CountInequality(q, shard_tolerance, deadline);
+        if (result.ok()) {
+          // relaxed-ok: monotone monitoring counter (see header);
+          // nothing orders on it.
+          rows_verified_[s].fetch_add(result.value().stats.verified,
+                                      std::memory_order_relaxed);
+        } else if (result.status().code() == StatusCode::kDeadlineExceeded) {
+          // relaxed-ok: see the flag's declaration above.
+          expired.store(true, std::memory_order_relaxed);
+        }
+        partial[s] = std::move(result);
+      },
+      FanoutWidth());
+  const Status merged_status = MergeStatuses(
+      shards,
+      [&](size_t s) -> const Result<CountResult>& { return partial[s]; },
+      kCountDeadlineMsg);
+  if (!merged_status.ok()) return merged_status;
+  return MergeCount(shards, [&](size_t s) -> const CountResult& {
+    return partial[s].value();
+  });
+}
+
+Result<AggregateResult> ShardedIndexSet::AggregateInequality(
+    const ScalarProductQuery& q, const CountTolerance& tolerance,
+    const Deadline& deadline) const {
+  const size_t shards = shards_.size();
+  // Single shard: inline, no fan-out scaffolding (see Inequality).
+  if (shards == 1) {
+    Result<AggregateResult> result =
+        shards_[0].AggregateInequality(q, tolerance, deadline);
+    if (result.ok()) {
+      // relaxed-ok: monotone monitoring counter (see header); nothing
+      // orders on it.
+      rows_verified_[0].fetch_add(result.value().count.stats.verified,
+                                  std::memory_order_relaxed);
+      return result;
+    }
+    if (result.status().code() == StatusCode::kDeadlineExceeded) {
+      return Status::DeadlineExceeded(kAggregateDeadlineMsg);
+    }
+    return result;
+  }
+  const CountTolerance shard_tolerance = SplitTolerance(tolerance, shards);
+  std::vector<Result<AggregateResult>> partial(
+      shards, Status::Internal("shard not executed"));
+  std::atomic<bool> expired(false);
+  ParallelFor(
+      shards,
+      [&](size_t s) {
+        // relaxed-ok: advisory fast-skip flag, same protocol as
+        // Inequality above; the post-join merge is authoritative.
+        if (expired.load(std::memory_order_relaxed)) {
+          partial[s] = Status::DeadlineExceeded(kAggregateDeadlineMsg);
+          return;
+        }
+        Result<AggregateResult> result =
+            shards_[s].AggregateInequality(q, shard_tolerance, deadline);
+        if (result.ok()) {
+          // relaxed-ok: monotone monitoring counter (see header);
+          // nothing orders on it.
+          rows_verified_[s].fetch_add(result.value().count.stats.verified,
+                                      std::memory_order_relaxed);
+        } else if (result.status().code() == StatusCode::kDeadlineExceeded) {
+          // relaxed-ok: see the flag's declaration above.
+          expired.store(true, std::memory_order_relaxed);
+        }
+        partial[s] = std::move(result);
+      },
+      FanoutWidth());
+  const Status merged_status = MergeStatuses(
+      shards,
+      [&](size_t s) -> const Result<AggregateResult>& { return partial[s]; },
+      kAggregateDeadlineMsg);
+  if (!merged_status.ok()) return merged_status;
+  return MergeAggregate(shards, [&](size_t s) -> const AggregateResult& {
     return partial[s].value();
   });
 }

@@ -108,6 +108,27 @@ class ShardedIndexSet {
       std::span<const Deadline> deadlines = {},
       BatchExecStats* exec_stats = nullptr) const;
 
+  /// COUNT fanned across shards: per-shard [lower, upper] bounds sum to
+  /// the global bounds (shards partition the rows, so the sums are
+  /// bit-identical to the monolithic bounds for the same serving index
+  /// definitions). Each shard refines independently against a tolerance
+  /// split of {absolute / num_shards(), relative}, so the merged gap is
+  /// at most absolute + relative * n; at tolerance 0 every shard counts
+  /// exactly and the merged count equals the monolithic exact count.
+  Result<CountResult> CountInequality(
+      const ScalarProductQuery& q,
+      const CountTolerance& tolerance = CountTolerance(),
+      const Deadline& deadline = Deadline::Infinite()) const;
+
+  /// SUM/AVG fanned across shards, same merge and tolerance-split rules
+  /// as CountInequality (the absolute tolerance splits evenly; the
+  /// relative tolerance reads each shard's own total absolute payload,
+  /// which sums to the global one).
+  Result<AggregateResult> AggregateInequality(
+      const ScalarProductQuery& q,
+      const CountTolerance& tolerance = CountTolerance(),
+      const Deadline& deadline = Deadline::Infinite()) const;
+
   /// Problem 2: per-shard top-k merged through the canonical
   /// (distance, id) buffer — bit-identical to the monolithic set.
   Result<TopKResult> TopK(const ScalarProductQuery& q, size_t k,

@@ -88,6 +88,7 @@ DebugSnapshot Engine::Snapshot() const {
     snapshot.delta_rows = gauges.delta_rows;
   }
   snapshot.shard_fanout = metrics_.shard_fanout();
+  snapshot.bound_gap = metrics_.bound_gap();
   snapshot.queue_depth = queue_.size();
   // relaxed-ok: best-effort gauge; a snapshot is allowed to be
   // momentarily behind while requests are moving (see header contract).
@@ -186,6 +187,54 @@ EngineResponse Engine::Execute(const EngineRequest& request) {
       }
       if (result.ok()) {
         response.topk = std::move(result).value();
+      } else {
+        response.status = result.status();
+      }
+      break;
+    }
+    case QueryKind::kCount: {
+      Result<CountResult> result = Status::Internal("unset");
+      if (sharded != nullptr) {
+        result = sharded->CountInequality(request.query, request.tolerance,
+                                          request.deadline);
+        metrics_.OnShardedExecuted(
+            sharded->num_shards(),
+            result.ok() ? result.value().stats.verified : 0);
+      } else if (ingest == nullptr ||
+                 !ingest->Count(request.target, request.query,
+                                request.tolerance, request.deadline,
+                                &result)) {
+        result = set->CountInequality(request.query, request.tolerance,
+                                      request.deadline);
+      }
+      if (result.ok()) {
+        metrics_.OnCountExecuted(result.value().refined,
+                                 result.value().gap());
+        response.count = std::move(result).value();
+      } else {
+        response.status = result.status();
+      }
+      break;
+    }
+    case QueryKind::kAggregate: {
+      Result<AggregateResult> result = Status::Internal("unset");
+      if (sharded != nullptr) {
+        result = sharded->AggregateInequality(request.query, request.tolerance,
+                                              request.deadline);
+        metrics_.OnShardedExecuted(
+            sharded->num_shards(),
+            result.ok() ? result.value().count.stats.verified : 0);
+      } else if (ingest == nullptr ||
+                 !ingest->Aggregate(request.target, request.query,
+                                    request.tolerance, request.deadline,
+                                    &result)) {
+        result = set->AggregateInequality(request.query, request.tolerance,
+                                          request.deadline);
+      }
+      if (result.ok()) {
+        metrics_.OnCountExecuted(result.value().count.refined,
+                                 result.value().count.gap());
+        response.aggregate = std::move(result).value();
       } else {
         response.status = result.status();
       }

@@ -67,6 +67,19 @@ class IngestBackend {
       const std::string& target, std::span<const ScalarProductQuery> queries,
       std::span<const Deadline> deadlines, BatchExecStats* exec_stats,
       std::vector<Result<InequalityResult>>* out) const = 0;
+  /// COUNT with the delta overlaid: base bounds/refinement plus an exact
+  /// scan-count of the unmerged rows, so tolerance-0 counts stay
+  /// bit-equal to a quiesced merge.
+  virtual bool Count(const std::string& target, const ScalarProductQuery& q,
+                     const CountTolerance& tolerance, const Deadline& deadline,
+                     Result<CountResult>* out) const = 0;
+  /// SUM/AVG with the delta overlaid (exact payload accumulation over
+  /// the unmerged rows, same canonical blocked summation as the base).
+  virtual bool Aggregate(const std::string& target,
+                         const ScalarProductQuery& q,
+                         const CountTolerance& tolerance,
+                         const Deadline& deadline,
+                         Result<AggregateResult>* out) const = 0;
 
   /// Routes the backend's counters (appends, sheds, merges, merge
   /// latency) into the engine's metrics sink. Called by

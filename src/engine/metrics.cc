@@ -24,13 +24,21 @@ FixedBucketHistogram ShardFanoutHistogram() {
   return FixedBucketHistogram({1, 2, 4, 8, 16, 32, 64});
 }
 
+FixedBucketHistogram BoundGapHistogram() {
+  // Powers of four: gaps span from exact (0) through a handful of
+  // unresolved II rows up to whole-II widths on million-row sets.
+  return FixedBucketHistogram({0, 1, 4, 16, 64, 256, 1024, 4096, 16384,
+                               65536, 262144, 1048576});
+}
+
 EngineMetrics::EngineMetrics()
     : latency_millis_(FixedBucketHistogram::LatencyMillis()),
       queue_wait_millis_(FixedBucketHistogram::LatencyMillis()),
       batch_occupancy_(BatchOccupancyHistogram()),
       rows_shared_per_query_(RowsSharedHistogram()),
       merge_latency_millis_(FixedBucketHistogram::LatencyMillis()),
-      shard_fanout_(ShardFanoutHistogram()) {}
+      shard_fanout_(ShardFanoutHistogram()),
+      bound_gap_(BoundGapHistogram()) {}
 
 void EngineMetrics::OnCompleted(const Status& status, double queue_millis,
                                 double execute_millis) {
@@ -63,7 +71,21 @@ EngineCounters EngineMetrics::counters() const {
   c.merges = merges_.load(std::memory_order_relaxed);
   c.sharded_queries = sharded_queries_.load(std::memory_order_relaxed);
   c.shard_rows_verified = shard_rows_verified_.load(std::memory_order_relaxed);
+  c.count_queries = count_queries_.load(std::memory_order_relaxed);
+  c.count_refined = count_refined_.load(std::memory_order_relaxed);
   return c;
+}
+
+void EngineMetrics::OnCountExecuted(bool refined, uint64_t gap) {
+  Bump(&count_queries_);
+  if (refined) Bump(&count_refined_);
+  MutexLock lock(&hist_mu_);
+  bound_gap_.Add(static_cast<double>(gap));
+}
+
+FixedBucketHistogram EngineMetrics::bound_gap() const {
+  MutexLock lock(&hist_mu_);
+  return bound_gap_;
 }
 
 void EngineMetrics::OnShardedExecuted(size_t fanout, uint64_t rows_verified) {
@@ -134,6 +156,8 @@ std::string DebugSnapshot::ToString() const {
   add("merges", counters.merges);
   add("sharded_queries", counters.sharded_queries);
   add("shard_rows_verified", counters.shard_rows_verified);
+  add("count_queries", counters.count_queries);
+  add("count_refined", counters.count_refined);
   add("queue_depth", queue_depth);
   add("in_flight", in_flight);
   add("workers", workers);
@@ -166,6 +190,7 @@ std::string DebugSnapshot::ToString() const {
   add_count_histogram("batch_occupancy", batch_occupancy);
   add_count_histogram("rows_shared_per_query", rows_shared_per_query);
   add_count_histogram("shard_fanout", shard_fanout);
+  add_count_histogram("bound_gap", bound_gap);
   return table.ToText();
 }
 

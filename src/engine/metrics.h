@@ -37,6 +37,12 @@ struct EngineCounters {
   // Sharded scatter-gather serving (zero when no sharded set is used).
   uint64_t sharded_queries = 0;     ///< queries fanned across shards
   uint64_t shard_rows_verified = 0; ///< II rows verified across all shards
+  // Approximate aggregate fast path (kCount / kAggregate requests).
+  // count_refined / count_queries is the refinement rate: the fraction of
+  // count-family requests whose boundary bounds were not already within
+  // tolerance and had to stream II rows.
+  uint64_t count_queries = 0;       ///< kCount + kAggregate executed
+  uint64_t count_refined = 0;       ///< of those, how many refined the II
 };
 
 /// Bucket layout for batch-occupancy samples: how many inequality
@@ -53,6 +59,11 @@ FixedBucketHistogram RowsSharedHistogram();
 /// query (or batch) scattered across (powers of two up to the largest
 /// shard count a sane deployment configures).
 FixedBucketHistogram ShardFanoutHistogram();
+
+/// Bucket layout for bound-gap samples: the upper - lower width a
+/// count-family request returned with, before any caller-side rounding
+/// (powers of four; 0 means the answer was exact).
+FixedBucketHistogram BoundGapHistogram();
 
 /// Point-in-time view of one engine, safe to inspect with no locks held.
 struct DebugSnapshot {
@@ -75,6 +86,9 @@ struct DebugSnapshot {
   /// Shards each sharded query scattered across (one sample per sharded
   /// execution; unitless shard counts).
   FixedBucketHistogram shard_fanout = ShardFanoutHistogram();
+  /// Bound gap each count-family request answered with (one sample per
+  /// OK kCount/kAggregate execution; unitless row counts).
+  FixedBucketHistogram bound_gap = BoundGapHistogram();
   size_t queue_depth = 0;      ///< requests waiting at snapshot time
   size_t in_flight = 0;        ///< requests executing at snapshot time
   size_t workers = 0;          ///< worker threads configured
@@ -124,6 +138,11 @@ class EngineMetrics {
   void OnShardedExecuted(size_t fanout, uint64_t rows_verified)
       PLANAR_EXCLUDES(hist_mu_);
 
+  /// Records one OK count-family (kCount / kAggregate) execution: whether
+  /// it refined past the boundary bounds, and the bound gap it answered
+  /// with (feeds the refinement-rate counters and the gap histogram).
+  void OnCountExecuted(bool refined, uint64_t gap) PLANAR_EXCLUDES(hist_mu_);
+
   /// Consistent copy of the counters.
   EngineCounters counters() const;
 
@@ -135,6 +154,7 @@ class EngineMetrics {
       PLANAR_EXCLUDES(hist_mu_);
   FixedBucketHistogram merge_latency_millis() const PLANAR_EXCLUDES(hist_mu_);
   FixedBucketHistogram shard_fanout() const PLANAR_EXCLUDES(hist_mu_);
+  FixedBucketHistogram bound_gap() const PLANAR_EXCLUDES(hist_mu_);
 
  private:
   static void Bump(std::atomic<uint64_t>* c) {
@@ -156,6 +176,8 @@ class EngineMetrics {
   std::atomic<uint64_t> merges_{0};
   std::atomic<uint64_t> sharded_queries_{0};
   std::atomic<uint64_t> shard_rows_verified_{0};
+  std::atomic<uint64_t> count_queries_{0};
+  std::atomic<uint64_t> count_refined_{0};
 
   mutable Mutex hist_mu_{kLockRankEngineMetrics};
   FixedBucketHistogram latency_millis_ PLANAR_GUARDED_BY(hist_mu_);
@@ -164,6 +186,7 @@ class EngineMetrics {
   FixedBucketHistogram rows_shared_per_query_ PLANAR_GUARDED_BY(hist_mu_);
   FixedBucketHistogram merge_latency_millis_ PLANAR_GUARDED_BY(hist_mu_);
   FixedBucketHistogram shard_fanout_ PLANAR_GUARDED_BY(hist_mu_);
+  FixedBucketHistogram bound_gap_ PLANAR_GUARDED_BY(hist_mu_);
 };
 
 }  // namespace planar

@@ -26,6 +26,8 @@ enum class QueryKind {
   kInequality,  ///< Problem 1: all rows with <a, phi(x)> cmp b
   kTopK,        ///< Problem 2: k satisfying rows nearest the hyperplane
   kAppend,      ///< ingest: append `rows` to the target's delta buffer
+  kCount,       ///< COUNT of Problem 1 matches within `tolerance`
+  kAggregate,   ///< SUM/AVG of the payload column over Problem 1 matches
 };
 
 /// One unit of work submitted to an Engine.
@@ -42,19 +44,28 @@ struct EngineRequest {
   /// kResourceExhausted when the delta is at capacity. Ignored for the
   /// query kinds.
   std::vector<double> rows;
+  /// For kCount / kAggregate: how loose a bound pair the caller accepts
+  /// before the engine refines by verifying II rows. The default (both
+  /// zero) demands an exact, bit-reproducible answer. Ignored for the
+  /// other kinds.
+  CountTolerance tolerance;
   /// Per-request deadline. Default: infinite. An expired deadline is
   /// detected both before execution starts and cooperatively inside the
   /// II verification loops (see common/deadline.h).
   Deadline deadline;
 };
 
-/// The engine's answer. Exactly one of `inequality` / `topk` /
-/// `first_appended_id` is meaningful, per `EngineRequest::kind`, and only
-/// when status.ok().
+/// The engine's answer. Exactly one of `inequality` / `topk` / `count` /
+/// `aggregate` / `first_appended_id` is meaningful, per
+/// `EngineRequest::kind`, and only when status.ok().
 struct EngineResponse {
   Status status;
   InequalityResult inequality;
   TopKResult topk;
+  /// For kCount: certified [lower, upper] bounds plus an estimate.
+  CountResult count;
+  /// For kAggregate: certified sum bounds plus the piggybacked count.
+  AggregateResult aggregate;
   /// For kAppend: the global row id assigned to the first appended row
   /// (ids are consecutive from there and stable across merges).
   uint32_t first_appended_id = 0;

@@ -6,11 +6,44 @@
 
 #include "common/macros.h"
 #include "common/timer.h"
+#include "core/mixed.h"
 #include "core/scan.h"
 #include "core/topk.h"
 #include "engine/metrics.h"
 
 namespace planar {
+
+namespace {
+
+// Scan-verifies `delta_rows` published delta rows, routing through the
+// mixed-precision band discipline when the delta carries an f32 mirror
+// (the plan's envelope comes from the delta's grow-only column bounds,
+// so every scanned row is covered). The appended ids are bit-identical
+// either way — the band contract of core/mixed.h.
+Result<size_t> ScanDeltaInequality(const DeltaBuffer& delta, size_t delta_rows,
+                                   uint32_t id_offset,
+                                   const ScalarProductQuery& q,
+                                   const Deadline& deadline,
+                                   std::vector<uint32_t>* out) {
+  if (delta_rows == 0) return static_cast<size_t>(0);
+  const size_t dim = delta.dim();
+  if (delta.has_f32_mirror() && dim == q.a.size()) {
+    std::vector<double> envelope(dim);
+    for (size_t i = 0; i < dim; ++i) envelope[i] = delta.column_abs_max(i);
+    const MixedQueryPlan plan = MakeMixedPlanWithEnvelope(
+        q.a.data(), dim, q.b, q.cmp == Comparison::kLessEqual,
+        envelope.data());
+    if (plan.usable) {
+      return ScanRowsInequalityMixed(delta.data(), delta.f32_data(), dim,
+                                     delta_rows, id_offset, q, plan, deadline,
+                                     out);
+    }
+  }
+  return ScanRowsInequality(delta.data(), dim, delta_rows, id_offset, q,
+                            deadline, out);
+}
+
+}  // namespace
 
 IngestManager::IngestManager(Catalog* catalog, const IngestOptions& options)
     : catalog_(catalog), options_(options) {
@@ -50,6 +83,10 @@ Status IngestManager::Manage(const std::string& target) {
       MutexLock shard_lock(&raw->mu);
       raw->delta =
           std::make_shared<DeltaBuffer>(raw->dim, options_.delta_capacity);
+      // One precision discipline for the whole overlay: the delta
+      // mirrors iff the base set's matrix does, so delta scans share
+      // the base's mixed-precision band path.
+      if (base->phi().f32_data() != nullptr) raw->delta->EnableF32Mirror();
       raw->view = std::make_shared<const View>(View{base, raw->delta});
     }
     // threads-ok: dedicated merger thread (see Shard::merger in
@@ -129,9 +166,9 @@ bool IngestManager::Inequality(const std::string& target,
     return true;
   }
   InequalityResult result = std::move(base).value();
-  Result<size_t> appended = ScanRowsInequality(
-      view->delta->data(), view->delta->dim(), delta_rows,
-      static_cast<uint32_t>(view->base->size()), q, deadline, &result.ids);
+  Result<size_t> appended = ScanDeltaInequality(
+      *view->delta, delta_rows, static_cast<uint32_t>(view->base->size()), q,
+      deadline, &result.ids);
   if (!appended.ok()) {
     *out = appended.status();
     return true;
@@ -196,9 +233,9 @@ bool IngestManager::BatchInequality(
     Result<InequalityResult>& result = (*out)[i];
     if (!result.ok()) continue;
     const Deadline deadline = deadlines.empty() ? Deadline() : deadlines[i];
-    Result<size_t> appended = ScanRowsInequality(
-        view->delta->data(), view->delta->dim(), delta_rows, id_offset,
-        queries[i], deadline, &result.value().ids);
+    Result<size_t> appended = ScanDeltaInequality(
+        *view->delta, delta_rows, id_offset, queries[i], deadline,
+        &result.value().ids);
     if (!appended.ok()) {
       result = appended.status();
       continue;
@@ -207,6 +244,87 @@ bool IngestManager::BatchInequality(
     result.value().stats.verified += delta_rows;
     result.value().stats.result_size = result.value().ids.size();
   }
+  return true;
+}
+
+bool IngestManager::Count(const std::string& target,
+                          const ScalarProductQuery& q,
+                          const CountTolerance& tolerance,
+                          const Deadline& deadline,
+                          Result<CountResult>* out) const {
+  const std::shared_ptr<const View> view = PinView(target);
+  if (view == nullptr) return false;
+  const size_t delta_rows = view->delta->size();
+  Result<CountResult> base =
+      view->base->CountInequality(q, tolerance, deadline);
+  if (!base.ok()) {
+    *out = base.status();
+    return true;
+  }
+  CountResult result = std::move(base).value();
+  if (delta_rows > 0) {
+    // The unmerged rows are counted exactly (they are few by the merge
+    // threshold), so the overlay widens nothing: the bounds shift by
+    // the exact delta match count, and a tolerance-0 answer stays
+    // bit-equal to a quiesced merge.
+    Result<size_t> matched = ScanRowsCountInequality(
+        view->delta->data(), view->delta->dim(), delta_rows, q, deadline);
+    if (!matched.ok()) {
+      *out = matched.status();
+      return true;
+    }
+    result.lower += matched.value();
+    result.upper += matched.value();
+    result.estimate += matched.value();
+    result.stats.num_points += delta_rows;
+    result.stats.verified += delta_rows;
+    result.stats.result_size = result.estimate;
+  }
+  *out = std::move(result);
+  return true;
+}
+
+bool IngestManager::Aggregate(const std::string& target,
+                              const ScalarProductQuery& q,
+                              const CountTolerance& tolerance,
+                              const Deadline& deadline,
+                              Result<AggregateResult>* out) const {
+  const std::shared_ptr<const View> view = PinView(target);
+  if (view == nullptr) return false;
+  const size_t delta_rows = view->delta->size();
+  // The base call also validates the payload configuration; an error
+  // passes through untouched, exactly as on the unmanaged path.
+  Result<AggregateResult> base =
+      view->base->AggregateInequality(q, tolerance, deadline);
+  if (!base.ok()) {
+    *out = base.status();
+    return true;
+  }
+  AggregateResult result = std::move(base).value();
+  if (delta_rows > 0) {
+    const int payload_column =
+        view->base->options().index_options.payload_column;
+    size_t matched = 0;
+    double delta_sum = 0.0;
+    const Status scanned = ScanRowsAggregateInequality(
+        view->delta->data(), view->delta->dim(), delta_rows, payload_column,
+        q, deadline, &matched, &delta_sum);
+    if (!scanned.ok()) {
+      *out = scanned;
+      return true;
+    }
+    // Exact shift of every bound by the delta's exact contribution.
+    result.sum_lower += delta_sum;
+    result.sum_upper += delta_sum;
+    result.sum += delta_sum;
+    result.count.lower += matched;
+    result.count.upper += matched;
+    result.count.estimate += matched;
+    result.count.stats.num_points += delta_rows;
+    result.count.stats.verified += delta_rows;
+    result.count.stats.result_size = result.count.estimate;
+  }
+  *out = std::move(result);
   return true;
 }
 
@@ -325,6 +443,9 @@ void IngestManager::MergerLoop(Shard* shard) {
       // by exactly the number of rows removed in front of them.
       auto fresh =
           std::make_shared<DeltaBuffer>(shard->dim, options_.delta_capacity);
+      // The clone regenerated the base mirror iff mixed precision is
+      // live; the fresh delta follows it (see Manage).
+      if (installed->phi().f32_data() != nullptr) fresh->EnableF32Mirror();
       const size_t now = shard->delta->size();
       if (now > drain) {
         PLANAR_CHECK(fresh->Append(shard->delta->data() + drain * shard->dim,

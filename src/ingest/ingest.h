@@ -113,6 +113,13 @@ class IngestManager final : public IngestBackend {
                        BatchExecStats* exec_stats,
                        std::vector<Result<InequalityResult>>* out)
       const override PLANAR_EXCLUDES(mu_);
+  bool Count(const std::string& target, const ScalarProductQuery& q,
+             const CountTolerance& tolerance, const Deadline& deadline,
+             Result<CountResult>* out) const override PLANAR_EXCLUDES(mu_);
+  bool Aggregate(const std::string& target, const ScalarProductQuery& q,
+                 const CountTolerance& tolerance, const Deadline& deadline,
+                 Result<AggregateResult>* out) const override
+      PLANAR_EXCLUDES(mu_);
   void BindMetrics(EngineMetrics* metrics) override;
   Gauges gauges() const override PLANAR_EXCLUDES(mu_);
 

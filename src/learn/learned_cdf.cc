@@ -1,0 +1,102 @@
+// Copyright (c) 2026 The planar Authors. Licensed under the MIT license.
+
+#include "learn/learned_cdf.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace planar {
+
+void LearnedCdf::Clear() {
+  boundaries_.clear();
+  boundaries_.shrink_to_fit();
+  segments_.clear();
+  segments_.shrink_to_fit();
+  n_ = 0;
+  max_error_ = 0;
+}
+
+void LearnedCdf::Build(const double* keys, size_t n, const Options& options) {
+  Clear();
+  n_ = n;
+  if (n < options.min_keys || n < 2) {
+    n_ = 0;
+    return;
+  }
+  const size_t want = std::max<size_t>(1, options.max_segments);
+
+  // Interpolation nodes at equal rank spacing, deduplicated on key so
+  // every segment spans a strictly positive key range (duplicate-heavy
+  // regions collapse into their neighbors; the error pass below charges
+  // the model for whatever resolution that loses).
+  struct Node {
+    double x;
+    double rank;
+  };
+  std::vector<Node> nodes;
+  nodes.reserve(want + 1);
+  for (size_t s = 0; s <= want; ++s) {
+    const size_t r = std::min(n - 1, (s * (n - 1)) / want);
+    const double x = keys[r];
+    if (!std::isfinite(x)) {
+      n_ = 0;
+      return;
+    }
+    if (nodes.empty() || x > nodes.back().x) {
+      nodes.push_back({x, static_cast<double>(r)});
+    } else {
+      // Same key, later rank: steepen the node so duplicates predict
+      // their last occurrence (the upper-bound side).
+      nodes.back().rank = static_cast<double>(r);
+    }
+  }
+  if (nodes.size() < 2) {
+    // All sampled keys equal: no slope to fit.
+    n_ = 0;
+    return;
+  }
+  boundaries_.reserve(nodes.size() - 1);
+  segments_.reserve(nodes.size() - 1);
+  for (size_t i = 0; i + 1 < nodes.size(); ++i) {
+    const double dx = nodes[i + 1].x - nodes[i].x;
+    const double slope = (nodes[i + 1].rank - nodes[i].rank) / dx;
+    if (!std::isfinite(slope) || !(slope > 0.0)) {
+      Clear();
+      return;
+    }
+    boundaries_.push_back(nodes[i].x);
+    segments_.push_back({nodes[i].x, slope, nodes[i].rank});
+  }
+
+  // Exact max-error pass: the window guarantee quoted in the header is
+  // only as good as this measurement, so it runs over every key, not a
+  // sample.
+  double worst = 0.0;
+  for (size_t r = 0; r < n; ++r) {
+    const double diff = std::fabs(PredictRank(keys[r]) - static_cast<double>(r));
+    if (!(diff < 1e15)) {  // NaN or absurd: fit unusable
+      Clear();
+      return;
+    }
+    worst = std::max(worst, diff);
+  }
+  max_error_ = static_cast<size_t>(std::ceil(worst));
+  if (options.max_error_budget != 0 && max_error_ > options.max_error_budget) {
+    Clear();
+  }
+}
+
+double LearnedCdf::PredictRank(double x) const {
+  // Segment lookup over at most max_segments boundaries — a few cache
+  // lines total, much hotter than the O(log n) descent it replaces.
+  size_t idx = static_cast<size_t>(
+      std::upper_bound(boundaries_.begin(), boundaries_.end(), x) -
+      boundaries_.begin());
+  if (idx > 0) --idx;
+  const Segment& seg = segments_[idx];
+  const double val = seg.rank0 + seg.slope * (x - seg.x0);
+  const double hi = static_cast<double>(n_);
+  return std::min(hi, std::max(0.0, val));
+}
+
+}  // namespace planar

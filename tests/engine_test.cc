@@ -161,6 +161,143 @@ TEST_F(EngineTest, ExecutesInequalityAndTopK) {
   EXPECT_EQ(r2.topk.neighbors.size(), 5u);
 }
 
+TEST_F(EngineTest, ExecutesCountAndAggregateRequests) {
+  // A second target with a payload column so kAggregate has a sum to
+  // answer; "main" serves the plain count.
+  {
+    PhiMatrix phi = RandomPhi(600, 3, 1.0, 80.0, 33);
+    IndexSetOptions with_payload;
+    with_payload.index_options.payload_column = 2;
+    auto set = PlanarIndexSet::Build(
+        std::move(phi), {{1.0, 6.0}, {1.0, 6.0}, {1.0, 6.0}}, with_payload);
+    ASSERT_TRUE(set.ok()) << set.status().ToString();
+    catalog_.Install("paid", std::move(set).value());
+  }
+  EngineOptions options;
+  Engine engine(&catalog_, options);
+
+  EngineRequest count;
+  count.target = "main";
+  count.kind = QueryKind::kCount;
+  count.query = MakeQuery();
+  auto f1 = engine.Submit(std::move(count));
+  ASSERT_TRUE(f1.ok());
+
+  ScalarProductQuery paid_query;
+  paid_query.a = {2.0, 3.0, 4.0};
+  paid_query.b = 400.0;
+  paid_query.cmp = Comparison::kLessEqual;
+  EngineRequest aggregate;
+  aggregate.target = "paid";
+  aggregate.kind = QueryKind::kAggregate;
+  aggregate.query = paid_query;
+  auto f2 = engine.Submit(std::move(aggregate));
+  ASSERT_TRUE(f2.ok());
+
+  const EngineResponse r1 = f1->get();
+  ASSERT_TRUE(r1.status.ok()) << r1.status.ToString();
+  const Catalog::SetPtr main_set = catalog_.Find("main");
+  EXPECT_TRUE(r1.count.exact);
+  EXPECT_EQ(r1.count.estimate,
+            BruteForceMatches(main_set->phi(), MakeQuery()).size());
+
+  const EngineResponse r2 = f2->get();
+  ASSERT_TRUE(r2.status.ok()) << r2.status.ToString();
+  const Catalog::SetPtr paid_set = catalog_.Find("paid");
+  double want_sum = 0.0;
+  size_t want_count = 0;
+  for (size_t i = 0; i < paid_set->phi().size(); ++i) {
+    if (paid_query.Matches(paid_set->phi().row(i))) {
+      want_sum += paid_set->phi().row(i)[2];
+      ++want_count;
+    }
+  }
+  EXPECT_TRUE(r2.aggregate.exact);
+  EXPECT_DOUBLE_EQ(r2.aggregate.sum, want_sum);
+  EXPECT_EQ(r2.aggregate.count.estimate, want_count);
+
+  engine.Drain();
+  const DebugSnapshot snapshot = engine.Snapshot();
+  EXPECT_EQ(snapshot.counters.count_queries, 2u);
+  EXPECT_EQ(snapshot.bound_gap.count(), 2u);  // one gap sample per request
+}
+
+TEST_F(EngineTest, CountRequestsStayExactInsideMixedBatches) {
+  EngineOptions options;
+  options.num_workers = 0;  // RunPending drives one coalesced batch
+  Engine engine(&catalog_, options);
+  const Catalog::SetPtr set = catalog_.Find("main");
+
+  // Interleave count requests with a coalescible inequality group; the
+  // counts run serially inside the batch and must stay bit-exact.
+  std::vector<std::future<EngineResponse>> count_futures;
+  std::vector<std::future<EngineResponse>> ineq_futures;
+  std::vector<double> thresholds = {60.0, 100.0, 140.0, 180.0};
+  for (double b : thresholds) {
+    EngineRequest ineq;
+    ineq.target = "main";
+    ineq.query = MakeQuery(b);
+    auto fi = engine.Submit(std::move(ineq));
+    ASSERT_TRUE(fi.ok());
+    ineq_futures.push_back(std::move(*fi));
+
+    EngineRequest count;
+    count.target = "main";
+    count.kind = QueryKind::kCount;
+    count.query = MakeQuery(b);
+    auto fc = engine.Submit(std::move(count));
+    ASSERT_TRUE(fc.ok());
+    count_futures.push_back(std::move(*fc));
+  }
+  while (engine.RunPending() > 0) {
+  }
+  for (size_t i = 0; i < thresholds.size(); ++i) {
+    const EngineResponse ineq = ineq_futures[i].get();
+    const EngineResponse count = count_futures[i].get();
+    ASSERT_TRUE(ineq.status.ok());
+    ASSERT_TRUE(count.status.ok());
+    EXPECT_TRUE(count.count.exact);
+    EXPECT_EQ(count.count.estimate, ineq.inequality.ids.size()) << i;
+    EXPECT_EQ(count.count.estimate,
+              BruteForceMatches(set->phi(), MakeQuery(thresholds[i])).size())
+        << i;
+  }
+}
+
+TEST_F(EngineTest, ShardedCountRoutesThroughScatterGather) {
+  PhiMatrix phi = RandomPhi(2000, 3, -20.0, 80.0, 44);
+  PhiMatrix copy(phi.dim());
+  copy.Reserve(phi.size());
+  for (size_t i = 0; i < phi.size(); ++i) copy.AppendRow(phi.row(i));
+  ShardedIndexSetOptions sharded_options;
+  sharded_options.shards = 4;
+  sharded_options.min_rows_per_shard = 1;
+  auto sharded = ShardedIndexSet::Build(
+      std::move(copy), {{1.0, 6.0}, {-6.0, -1.0}, {1.0, 6.0}},
+      sharded_options);
+  ASSERT_TRUE(sharded.ok()) << sharded.status().ToString();
+  catalog_.InstallSharded("wide", std::move(sharded).value());
+
+  EngineOptions options;
+  Engine engine(&catalog_, options);
+  EngineRequest count;
+  count.target = "wide";
+  count.kind = QueryKind::kCount;
+  count.query = MakeQuery();
+  auto future = engine.Submit(std::move(count));
+  ASSERT_TRUE(future.ok());
+  const EngineResponse response = future->get();
+  ASSERT_TRUE(response.status.ok()) << response.status.ToString();
+  EXPECT_TRUE(response.count.exact);
+  EXPECT_EQ(response.count.estimate, BruteForceMatches(phi, MakeQuery()).size());
+
+  engine.Drain();
+  const DebugSnapshot snapshot = engine.Snapshot();
+  EXPECT_EQ(snapshot.counters.sharded_queries, 1u);
+  EXPECT_EQ(snapshot.counters.count_queries, 1u);
+  EXPECT_EQ(snapshot.counters.count_refined, response.count.refined ? 1u : 0u);
+}
+
 TEST_F(EngineTest, ShardedTargetRoutesThroughScatterGather) {
   EngineOptions options;
   options.num_workers = 0;

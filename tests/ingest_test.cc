@@ -192,6 +192,105 @@ TEST(IngestOverlayTest, BatchInequalityMatchesSerialOverlay) {
   }
 }
 
+TEST(IngestOverlayTest, CountOverlayIsBitExactAcrossMerge) {
+  Catalog catalog;
+  PhiMatrix all(3);
+  InstallBase(&catalog, 400, 15, &all);
+  IngestOptions options;
+  options.merge_threshold = 1 << 20;  // merge only on Flush
+  options.delta_capacity = 1 << 20;
+  IngestManager manager(&catalog, options);
+  ASSERT_TRUE(manager.Manage(kTarget).ok());
+
+  Rng rng(16);
+  const std::vector<double> rows = RandomRows(130, &rng);
+  ASSERT_TRUE(manager.Append(kTarget, rows).ok());
+  for (size_t i = 0; i < 130; ++i) all.AppendRow(rows.data() + i * 3);
+
+  std::vector<ScalarProductQuery> queries;
+  for (int i = 0; i < 20; ++i) queries.push_back(RandomQuery(&rng));
+
+  // Unmerged: base bounds plus an exact delta scan-count.
+  for (const ScalarProductQuery& q : queries) {
+    Result<CountResult> got = Status::Internal("unset");
+    ASSERT_TRUE(manager.Count(kTarget, q, CountTolerance(),
+                              Deadline::Infinite(), &got));
+    ASSERT_TRUE(got.ok()) << got.status().ToString();
+    EXPECT_TRUE(got->exact);
+    EXPECT_EQ(got->estimate, BruteForceMatches(all, q).size());
+    EXPECT_EQ(got->stats.num_points, 530u);
+  }
+  // Quiesced: after Flush the same counts come from the merged base.
+  ASSERT_TRUE(manager.Flush(kTarget).ok());
+  for (const ScalarProductQuery& q : queries) {
+    Result<CountResult> got = Status::Internal("unset");
+    ASSERT_TRUE(manager.Count(kTarget, q, CountTolerance(),
+                              Deadline::Infinite(), &got));
+    ASSERT_TRUE(got.ok());
+    EXPECT_EQ(got->estimate, BruteForceMatches(all, q).size());
+  }
+  manager.Stop();
+}
+
+TEST(IngestOverlayTest, AggregateOverlayMatchesBruteForce) {
+  // Integer-valued rows so payload sums are exact in double arithmetic.
+  Catalog catalog;
+  PhiMatrix all(3);
+  Rng rng(17);
+  {
+    PhiMatrix phi(3);
+    phi.Reserve(350);
+    for (size_t i = 0; i < 350; ++i) {
+      const std::vector<double> row = {
+          static_cast<double>(1 + rng.NextUint64() % 60),
+          -static_cast<double>(1 + rng.NextUint64() % 60),
+          static_cast<double>(1 + rng.NextUint64() % 60)};
+      phi.AppendRow(row);
+      all.AppendRow(row);
+    }
+    IndexSetOptions with_payload = SmallBudget();
+    with_payload.index_options.payload_column = 2;
+    auto set =
+        PlanarIndexSet::Build(std::move(phi), Domains(), with_payload);
+    ASSERT_TRUE(set.ok()) << set.status().ToString();
+    catalog.Install(kTarget, std::move(set).value());
+  }
+  IngestOptions options;
+  options.merge_threshold = 1 << 20;
+  options.delta_capacity = 1 << 20;
+  IngestManager manager(&catalog, options);
+  ASSERT_TRUE(manager.Manage(kTarget).ok());
+
+  std::vector<double> rows(120 * 3);
+  for (size_t i = 0; i < rows.size(); i += 3) {
+    rows[i] = static_cast<double>(1 + rng.NextUint64() % 60);
+    rows[i + 1] = -static_cast<double>(1 + rng.NextUint64() % 60);
+    rows[i + 2] = static_cast<double>(1 + rng.NextUint64() % 60);
+  }
+  ASSERT_TRUE(manager.Append(kTarget, rows).ok());
+  for (size_t i = 0; i < 120; ++i) all.AppendRow(rows.data() + i * 3);
+
+  for (int trial = 0; trial < 20; ++trial) {
+    const ScalarProductQuery q = RandomQuery(&rng);
+    Result<AggregateResult> got = Status::Internal("unset");
+    ASSERT_TRUE(manager.Aggregate(kTarget, q, CountTolerance(),
+                                  Deadline::Infinite(), &got));
+    ASSERT_TRUE(got.ok()) << got.status().ToString();
+    double want_sum = 0.0;
+    size_t want_count = 0;
+    for (size_t i = 0; i < all.size(); ++i) {
+      if (q.Matches(all.row(i))) {
+        want_sum += all.row(i)[2];
+        ++want_count;
+      }
+    }
+    EXPECT_TRUE(got->exact);
+    EXPECT_EQ(got->sum, want_sum) << trial;
+    EXPECT_EQ(got->count.estimate, want_count) << trial;
+  }
+  manager.Stop();
+}
+
 TEST(IngestFlushTest, FlushMergesIntoTheCatalogWithStableIds) {
   Catalog catalog;
   PhiMatrix all(3);

@@ -1,0 +1,164 @@
+// Copyright (c) 2026 The planar Authors. Licensed under the MIT license.
+//
+// LearnedCdf contract (learn/learned_cdf.h): the fit is weakly
+// increasing and clamped to [0, n], the measured max_error() makes the
+// predict-then-probe window sound (the true upper-bound rank of any
+// probe lies within max_error() + 1 of the prediction), and every
+// degenerate input — too few keys, all-equal keys, over-budget fits —
+// leaves the model empty so callers fall back to exact search.
+
+#include "learn/learned_cdf.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "common/random.h"
+
+namespace planar {
+namespace {
+
+LearnedCdf::Options SmallKeyOptions() {
+  LearnedCdf::Options options;
+  options.min_keys = 2;  // let tests fit tiny arrays
+  return options;
+}
+
+std::vector<double> UniformKeys(size_t n, uint64_t seed) {
+  Rng rng(seed);
+  std::vector<double> keys(n);
+  for (double& k : keys) k = rng.Uniform(0.0, 1000.0);
+  std::sort(keys.begin(), keys.end());
+  return keys;
+}
+
+TEST(LearnedCdfTest, EmptyBelowMinKeys) {
+  const std::vector<double> keys = UniformKeys(100, 1);
+  LearnedCdf model;
+  model.Build(keys.data(), keys.size());  // default min_keys = 4096
+  EXPECT_TRUE(model.empty());
+}
+
+TEST(LearnedCdfTest, EmptyOnAllEqualKeys) {
+  const std::vector<double> keys(5000, 42.0);
+  LearnedCdf model;
+  model.Build(keys.data(), keys.size(), SmallKeyOptions());
+  EXPECT_TRUE(model.empty());
+}
+
+TEST(LearnedCdfTest, EmptyOnNonFiniteKeys) {
+  std::vector<double> keys = UniformKeys(5000, 2);
+  keys.back() = std::numeric_limits<double>::infinity();
+  LearnedCdf model;
+  model.Build(keys.data(), keys.size(), SmallKeyOptions());
+  EXPECT_TRUE(model.empty());
+}
+
+TEST(LearnedCdfTest, OverBudgetFitIsDiscarded) {
+  // A single linear segment over quadratic keys misses by far more than
+  // one rank; a budget of 1 must reject the fit.
+  std::vector<double> keys(4096);
+  for (size_t i = 0; i < keys.size(); ++i) {
+    keys[i] = static_cast<double>(i) * static_cast<double>(i);
+  }
+  LearnedCdf::Options options;
+  options.min_keys = 2;
+  options.max_segments = 1;
+  options.max_error_budget = 1;
+  LearnedCdf model;
+  model.Build(keys.data(), keys.size(), options);
+  EXPECT_TRUE(model.empty());
+  // The same fit with an unlimited budget is kept (and self-reports the
+  // error it measured).
+  options.max_error_budget = 0;
+  model.Build(keys.data(), keys.size(), options);
+  EXPECT_FALSE(model.empty());
+  EXPECT_GT(model.max_error(), 1u);
+}
+
+TEST(LearnedCdfTest, PredictionsAreMonotoneAndClamped) {
+  const std::vector<double> keys = UniformKeys(8192, 3);
+  LearnedCdf model;
+  model.Build(keys.data(), keys.size(), SmallKeyOptions());
+  ASSERT_FALSE(model.empty());
+  EXPECT_EQ(model.size(), keys.size());
+  Rng rng(4);
+  double prev_x = -std::numeric_limits<double>::infinity();
+  double prev_rank = model.PredictRank(prev_x);
+  EXPECT_EQ(prev_rank, 0.0);
+  std::vector<double> probes;
+  for (int i = 0; i < 1000; ++i) probes.push_back(rng.Uniform(-100.0, 1100.0));
+  std::sort(probes.begin(), probes.end());
+  for (double x : probes) {
+    const double rank = model.PredictRank(x);
+    EXPECT_GE(rank, prev_rank) << "x=" << x;
+    EXPECT_GE(rank, 0.0);
+    EXPECT_LE(rank, static_cast<double>(keys.size()));
+    prev_rank = rank;
+  }
+  EXPECT_EQ(model.PredictRank(std::numeric_limits<double>::infinity()),
+            static_cast<double>(keys.size()));
+}
+
+// The probe-window soundness the index relies on: for any probe x, the
+// true std::upper_bound rank lies within max_error() + 1 of the
+// prediction (header derivation).
+TEST(LearnedCdfTest, WindowContainsTrueUpperBoundRank) {
+  for (uint64_t seed : {5u, 6u, 7u}) {
+    const std::vector<double> keys = UniformKeys(8192, seed);
+    LearnedCdf model;
+    model.Build(keys.data(), keys.size(), SmallKeyOptions());
+    ASSERT_FALSE(model.empty());
+    const double w = static_cast<double>(model.max_error() + 1);
+    Rng rng(seed * 31);
+    for (int i = 0; i < 2000; ++i) {
+      // Mix uniform probes with exact key values (ties stress the
+      // upper-bound side of the fit).
+      const double x = (i % 3 == 0) ? keys[rng.NextUint64() % keys.size()]
+                                    : rng.Uniform(-50.0, 1050.0);
+      const double truth = static_cast<double>(
+          std::upper_bound(keys.begin(), keys.end(), x) - keys.begin());
+      const double pred = model.PredictRank(x);
+      EXPECT_LE(std::fabs(pred - truth), w) << "x=" << x;
+    }
+  }
+}
+
+TEST(LearnedCdfTest, DuplicateHeavyKeysStaySound) {
+  // 64 distinct values, each repeated 128 times: nodes collapse and the
+  // error pass charges the model for the lost resolution.
+  std::vector<double> keys;
+  keys.reserve(8192);
+  for (int v = 0; v < 64; ++v) {
+    for (int r = 0; r < 128; ++r) keys.push_back(static_cast<double>(v));
+  }
+  LearnedCdf model;
+  model.Build(keys.data(), keys.size(), SmallKeyOptions());
+  if (model.empty()) return;  // an empty model is a valid (safe) outcome
+  const double w = static_cast<double>(model.max_error() + 1);
+  for (double x = -1.0; x <= 64.0; x += 0.25) {
+    const double truth = static_cast<double>(
+        std::upper_bound(keys.begin(), keys.end(), x) - keys.begin());
+    EXPECT_LE(std::fabs(model.PredictRank(x) - truth), w) << "x=" << x;
+  }
+}
+
+TEST(LearnedCdfTest, ClearResetsEverything) {
+  const std::vector<double> keys = UniformKeys(8192, 8);
+  LearnedCdf model;
+  model.Build(keys.data(), keys.size(), SmallKeyOptions());
+  ASSERT_FALSE(model.empty());
+  EXPECT_GT(model.segments(), 0u);
+  EXPECT_GT(model.MemoryUsage(), 0u);
+  model.Clear();
+  EXPECT_TRUE(model.empty());
+  EXPECT_EQ(model.size(), 0u);
+  EXPECT_EQ(model.max_error(), 0u);
+  EXPECT_EQ(model.segments(), 0u);
+}
+
+}  // namespace
+}  // namespace planar

@@ -10,6 +10,8 @@
 //   planar_cli info  --index=index.planar
 //   planar_cli query --index=index.planar --a="1,2,-0.5" --b=10
 //                    [--cmp=le|ge] [--topk=K] [--explain]
+//   planar_cli count --index=index.planar --a="1,2,-0.5" --b=10
+//                    [--cmp=le|ge] [--tolerance=N] [--rel=F]
 //   planar_cli append --index=index.planar (--csv=more.csv | --rows="1,2;3,4")
 //                     [--out=index.planar]
 //
@@ -208,6 +210,50 @@ int RunQuery(const FlagParser& flags) {
   return 0;
 }
 
+int RunCount(const FlagParser& flags) {
+  auto set = LoadIndexSet(flags.GetString("index", "index.planar"));
+  if (!set.ok()) return Fail(set.status());
+
+  auto a = ParseDoubles(flags.GetString("a", ""));
+  if (!a.ok()) return Fail(a.status());
+  ScalarProductQuery q;
+  q.a = *a;
+  q.b = flags.GetDouble("b", 0.0);
+  q.cmp = flags.GetString("cmp", "le") == "ge" ? Comparison::kGreaterEqual
+                                               : Comparison::kLessEqual;
+  if (q.a.size() != set->phi().dim()) {
+    std::fprintf(stderr, "--a needs %zu coefficients\n", set->phi().dim());
+    return 2;
+  }
+
+  CountTolerance tolerance;
+  tolerance.absolute = flags.GetDouble("tolerance", 0.0);
+  tolerance.relative = flags.GetDouble("rel", 0.0);
+
+  WallTimer timer;
+  auto result = set->CountInequality(q, tolerance);
+  if (!result.ok()) return Fail(result.status());
+  std::printf("bounds [%zu, %zu]  estimate %zu%s in %.3f ms "
+              "(%s%zu rows verified, index %d)\n",
+              result->lower, result->upper, result->estimate,
+              result->model_estimated ? " (model)" : "",
+              timer.ElapsedMillis(), result->refined ? "refined, " : "",
+              result->stats.verified, result->stats.index_used);
+  if (result->exact) {
+    std::printf("exact count: %zu\n", result->estimate);
+    return 0;
+  }
+  // The approximate answer came back within tolerance without resolving
+  // every II row; re-run at tolerance 0 so the user also sees the truth.
+  WallTimer exact_timer;
+  auto exact = set->CountInequality(q);
+  if (!exact.ok()) return Fail(exact.status());
+  std::printf("exact count: %zu in %.3f ms (%zu rows verified)\n",
+              exact->estimate, exact_timer.ElapsedMillis(),
+              exact->stats.verified);
+  return 0;
+}
+
 int RunAppend(const FlagParser& flags) {
   const std::string index_path = flags.GetString("index", "index.planar");
   const std::string out_path = flags.GetString("out", index_path);
@@ -293,15 +339,18 @@ int Run(int argc, char** argv) {
   if (command == "build") return RunBuild(flags);
   if (command == "info") return RunInfo(flags);
   if (command == "query") return RunQuery(flags);
+  if (command == "count") return RunCount(flags);
   if (command == "append") return RunAppend(flags);
   std::fprintf(stderr,
-               "usage: planar_cli <build|info|query|append> [flags]\n"
+               "usage: planar_cli <build|info|query|count|append> [flags]\n"
                "  build --csv=f [--delimiter=';'] [--header] "
                "[--columns=0,1,2] --domains=lo:hi,... [--budget=N] "
                "[--out=index.planar]\n"
                "  info  --index=index.planar\n"
                "  query --index=index.planar --a=1,2,3 --b=10 [--cmp=le|ge] "
                "[--topk=K] [--explain]\n"
+               "  count --index=index.planar --a=1,2,3 --b=10 [--cmp=le|ge] "
+               "[--tolerance=N] [--rel=F]\n"
                "  append --index=index.planar (--csv=f | --rows='1,2;3,4') "
                "[--out=index.planar]\n");
   return 2;

@@ -74,6 +74,21 @@ Rules (library code under src/ unless stated otherwise):
                     forbids the compiler from contracting a*b+c into FMA,
                     and a newly added kernel TU that misses the flag breaks
                     it silently on -O2.
+  agg-prefix-construction
+                    mutating the prefix-aggregate arrays (`.sum` /
+                    `.pos` / `.neg` container writes: element
+                    assignment, push_back/assign/resize/clear and
+                    friends) is forbidden in src/ outside
+                    core/aggregate.cc — prefix aggregates must be
+                    (re)built only through BuildPrefixAggregates /
+                    PrefixAggregates::Clear so the canonical blocked
+                    summation order (and hence bit-reproducible SUM
+                    answers) holds everywhere. A site that genuinely
+                    must touch the arrays carries an `agg-ok:` comment
+                    (same line or within the 8 lines above; consecutive
+                    uses chain). Scalar result fields (e.g.
+                    AggregateResult::sum) never fire — only indexed or
+                    container-method writes do.
   no-naked-float-in-core
                     the `float` type is forbidden in src/core outside the
                     mixed-precision module (core/mixed.{h,cc}) and the
@@ -144,6 +159,19 @@ RE_NAKED_FLOAT = re.compile(r"(?<![A-Za-z0-9_])float(?![A-Za-z0-9_])")
 F32_COMMENT_WINDOW = 8
 # The mixed-precision module and the kernel TUs are float's home.
 F32_EXEMPT_FILES = {"mixed.h", "mixed.cc"}
+# Prefix-aggregate mutations (agg-prefix-construction): element writes
+# or container-method calls on a `.sum` / `.pos` / `.neg` member. Reads
+# (`pre.sum[r]` on the right-hand side) and scalar assignments
+# (`result.sum = ...`, no index / no container method) never fire.
+RE_AGG_MUTATION = re.compile(
+    r"(?:\.|->)(?:sum|pos|neg)\s*"
+    r"(?:\[[^\]]*\]\s*(?:=(?!=)|\+=|-=|\*=|/=)"
+    r"|\.\s*(?:push_back|emplace_back|assign|resize|clear|insert|erase"
+    r"|shrink_to_fit|swap)\s*\()")
+# Same annotate-the-exemption discipline (and window) as relaxed-ok:.
+AGG_COMMENT_WINDOW = 8
+# The canonical construction helper's home (core/aggregate.cc) is exempt.
+AGG_EXEMPT_FILES = {Path("src/core/aggregate.cc")}
 
 
 def strip_comments_and_strings(text: str) -> str:
@@ -198,6 +226,7 @@ def findings_for_file(root: Path, path: Path):
         last_relaxed_ok = -10**9  # line of the newest relaxed-ok comment
         last_threads_ok = -10**9  # line of the newest threads-ok comment
         last_f32_ok = -10**9      # line of the newest f32-ok comment
+        last_agg_ok = -10**9      # line of the newest agg-ok comment
         in_common = len(rel.parts) > 1 and rel.parts[1] == "common"
         float_guarded = (len(rel.parts) > 1 and rel.parts[1] == "core"
                          and "kernels" not in rel.parts
@@ -210,6 +239,8 @@ def findings_for_file(root: Path, path: Path):
                 last_threads_ok = lineno
             if "f32-ok:" in raw:
                 last_f32_ok = lineno
+            if "agg-ok:" in raw:
+                last_agg_ok = lineno
             if RE_EXCEPTION.search(line):
                 yield (rel, lineno, "no-exceptions",
                        "throw/try is forbidden in library code; use "
@@ -263,6 +294,17 @@ def findings_for_file(root: Path, path: Path):
                            "nearby 'f32-ok:' comment stating how this "
                            "site is covered by the widened-band + exact "
                            "f64 re-verify contract")
+            if rel not in AGG_EXEMPT_FILES and RE_AGG_MUTATION.search(line):
+                if lineno - last_agg_ok <= AGG_COMMENT_WINDOW:
+                    last_agg_ok = lineno  # consecutive uses chain
+                else:
+                    yield (rel, lineno, "agg-prefix-construction",
+                           "prefix-aggregate arrays (.sum/.pos/.neg) must "
+                           "be (re)built through BuildPrefixAggregates / "
+                           "PrefixAggregates::Clear (core/aggregate.cc) so "
+                           "the canonical blocked summation order holds; "
+                           "carry a nearby 'agg-ok:' comment if this "
+                           "mutation is genuinely canonical")
 
     if (len(rel.parts) > 2 and rel.parts[0] == "src" and rel.parts[1] == "core"
             and not rel.name.startswith("sort_util")):
@@ -484,6 +526,40 @@ def self_test() -> int:
         # and the rule only polices src/core.
         ("src/engine/fixture.cc", "float x = 0.0f;\n",
          "no-naked-float-in-core", 0),
+        # agg-prefix-construction: container-method writes fire,
+        ("src/ingest/fixture.cc",
+         "void f(PrefixAggregates* out) { out->sum.assign(9, 0.0); }\n",
+         "agg-prefix-construction", 1),
+        # element assignment fires (including compound assignment),
+        ("src/core/fixture.cc",
+         "void f(PrefixAggregates& p) {\n"
+         "  p.sum[3] = 1.0;\n"
+         "  p.neg[3] += 2.0;\n"
+         "}\n", "agg-prefix-construction", 2),
+        # reads and scalar result fields never fire,
+        ("src/engine/fixture.cc",
+         "double g(const PrefixAggregates& p, AggregateResult* r) {\n"
+         "  r->sum = p.sum[4] - p.sum[1];\n"
+         "  return p.pos[4] == p.sum[4] ? p.neg[0] : 0.0;\n"
+         "}\n", "agg-prefix-construction", 0),
+        # a nearby agg-ok: comment covers a sanctioned mutation,
+        ("src/core/fixture.cc",
+         "// agg-ok: rebuild after delta merge, same canonical order.\n"
+         "void f(PrefixAggregates& p) { p.pos.clear(); }\n",
+         "agg-prefix-construction", 0),
+        # consecutive uses chain through one comment,
+        ("src/core/fixture.cc",
+         "// agg-ok: canonical teardown.\n"
+         + "p.sum.clear();\n" * 12, "agg-prefix-construction", 0),
+        # a comment too far above does not cover the use,
+        ("src/core/fixture.cc",
+         "// agg-ok: stale justification.\n" + "\n" * 10
+         + "void f(PrefixAggregates& p) { p.sum.resize(4); }\n",
+         "agg-prefix-construction", 1),
+        # and the canonical helper's home is exempt.
+        ("src/core/aggregate.cc",
+         "void Build(PrefixAggregates* out) { out->sum.assign(9, 0.0); }\n",
+         "agg-prefix-construction", 0),
     ]
     for i, (rel_path, content, rule, want) in enumerate(file_cases):
         root = write_source(rel_path, content)
